@@ -1,0 +1,81 @@
+/// \file bench_ablation_1hop.cc
+/// \brief §3.2's central claim, quantified: 1-hop neighbourhood queries
+/// (triangle counting) are a poor fit for the vertex-centric model because
+/// the neighbourhood pairs must first be materialized as messages — a
+/// quadratic blow-up — whereas SQL expresses them directly as joins.
+/// Compares SqlTriangleCount against the vertex-centric
+/// TriangleCountProgram on the same graphs.
+
+#include "bench_common.h"
+
+#include "algorithms/triangle_program.h"
+#include "common/timer.h"
+#include "sqlgraph/sql_common.h"
+#include "sqlgraph/triangle_count.h"
+
+namespace vertexica {
+namespace bench {
+namespace {
+
+FigureTable& Table1h() {
+  static FigureTable table(
+      "Ablation (Sec 3.2): 1-hop query, SQL vs vertex-centric");
+  return table;
+}
+
+// The vertex-centric variant generates Sum(deg^2) messages; keep the graph
+// moderate so the bench finishes.
+const Graph& OneHopGraph() {
+  static const Graph g = GenerateRmat(
+      std::max<int64_t>(512, static_cast<int64_t>(20000 * Scale() * 4)),
+      std::max<int64_t>(2048, static_cast<int64_t>(120000 * Scale() * 4)),
+      777);
+  return g;
+}
+
+void BM_SqlTriangles(benchmark::State& state) {
+  Table edges = MakeEdgeListTable(OneHopGraph());
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto count = SqlTriangleCount(edges);
+    VX_CHECK(count.ok()) << count.status().ToString();
+    benchmark::DoNotOptimize(*count);
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table1h().Record("RMAT", "SQL (3 joins)", seconds);
+}
+BENCHMARK(BM_SqlTriangles)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VertexCentricTriangles(benchmark::State& state) {
+  double seconds = 0;
+  int64_t messages = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    RunStats stats;
+    auto count = RunVertexCentricTriangleCount(&cat, OneHopGraph(), {},
+                                               &stats);
+    VX_CHECK(count.ok()) << count.status().ToString();
+    benchmark::DoNotOptimize(*count);
+    seconds = stats.total_seconds;
+    messages = stats.total_messages;
+    state.SetIterationTime(seconds);
+  }
+  state.counters["probe_messages"] = static_cast<double>(messages);
+  Table1h().Record("RMAT", "vertex-centric", seconds);
+}
+BENCHMARK(BM_VertexCentricTriangles)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vertexica
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::vertexica::bench::Table1h().Print();
+  return 0;
+}

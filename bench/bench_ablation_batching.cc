@@ -1,0 +1,51 @@
+/// \file bench_ablation_batching.cc
+/// \brief §2.3 "Vertex Batching" ablation: partition-count sweep. One
+/// partition per worker amortizes UDF invocation cost best; many tiny
+/// partitions approach the "each vertex in a different worker" extreme the
+/// paper warns against ("this leads to many UDF calls, which are
+/// relatively expensive").
+
+#include "bench_common.h"
+
+#include "algorithms/pagerank.h"
+
+namespace vertexica {
+namespace bench {
+namespace {
+
+FigureTable& TableB() {
+  static FigureTable table("Ablation (Sec 2.3): vertex batching");
+  return table;
+}
+
+void BM_Partitions(benchmark::State& state) {
+  const int partitions = static_cast<int>(state.range(0));
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  VertexicaOptions opts;
+  opts.num_partitions = partitions;
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    RunStats stats;
+    VX_CHECK(RunPageRank(&cat, g, 5, 0.85, opts, &stats).ok());
+    seconds = stats.total_seconds;
+    state.SetIterationTime(seconds);
+  }
+  TableB().Record("Twitter PR", std::to_string(partitions) + " parts",
+                  seconds);
+}
+// 0 = one partition per worker (the default batching the paper lands on).
+BENCHMARK(BM_Partitions)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Arg(1024)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vertexica
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::vertexica::bench::TableB().Print();
+  return 0;
+}

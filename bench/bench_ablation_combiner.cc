@@ -1,0 +1,72 @@
+/// \file bench_ablation_combiner.cc
+/// \brief Combiner ablation (Pregel heritage): collapsing messages per
+/// receiver between supersteps shrinks the message table (and the next
+/// superstep's union) at the cost of one aggregation.
+
+#include "bench_common.h"
+
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+
+namespace vertexica {
+namespace bench {
+namespace {
+
+FigureTable& TableC() {
+  static FigureTable table("Ablation: message combiner");
+  return table;
+}
+
+void RunCombiner(benchmark::State& state, const char* row, bool sssp,
+                 bool combine) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  VertexicaOptions opts;
+  opts.use_combiner = combine;
+  double seconds = 0;
+  int64_t messages = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    RunStats stats;
+    if (sssp) {
+      VX_CHECK(RunShortestPaths(&cat, g, 0, opts, &stats).ok());
+    } else {
+      VX_CHECK(RunPageRank(&cat, g, 5, 0.85, opts, &stats).ok());
+    }
+    seconds = stats.total_seconds;
+    messages = stats.total_messages;
+    state.SetIterationTime(seconds);
+  }
+  state.counters["messages"] = static_cast<double>(messages);
+  TableC().Record(row, combine ? "combiner on" : "combiner off", seconds);
+}
+
+void BM_PrOn(benchmark::State& s) { RunCombiner(s, "Twitter PR", false, true); }
+void BM_PrOff(benchmark::State& s) {
+  RunCombiner(s, "Twitter PR", false, false);
+}
+void BM_SsspOn(benchmark::State& s) {
+  RunCombiner(s, "Twitter SSSP", true, true);
+}
+void BM_SsspOff(benchmark::State& s) {
+  RunCombiner(s, "Twitter SSSP", true, false);
+}
+
+BENCHMARK(BM_PrOn)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PrOff)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SsspOn)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SsspOff)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vertexica
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::vertexica::bench::TableC().Print();
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// \file bench_ablation_update_replace.cc
+/// \brief §2.3 "Update Vs Replace" ablation: in-place vertex updates versus
+/// left-join table rebuilds, across the update-fraction spectrum.
+/// PageRank updates every vertex every superstep (replace should win);
+/// late SSSP supersteps touch only a frontier (in-place should win).
+
+#include "bench_common.h"
+
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+
+namespace vertexica {
+namespace bench {
+namespace {
+
+FigureTable& TableUr() {
+  static FigureTable table("Ablation (Sec 2.3): update vs replace");
+  return table;
+}
+
+void RunWithThreshold(benchmark::State& state, const char* row, bool sssp,
+                      double threshold, const char* column) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  VertexicaOptions opts;
+  opts.update_threshold = threshold;
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    RunStats stats;
+    if (sssp) {
+      VX_CHECK(RunShortestPaths(&cat, g, 0, opts, &stats).ok());
+    } else {
+      VX_CHECK(RunPageRank(&cat, g, 5, 0.85, opts, &stats).ok());
+    }
+    seconds = stats.total_seconds;
+    state.SetIterationTime(seconds);
+  }
+  TableUr().Record(row, column, seconds);
+}
+
+void BM_PrAlwaysUpdate(benchmark::State& s) {
+  RunWithThreshold(s, "Twitter PR", false, 1.1, "always update");
+}
+void BM_PrAlwaysReplace(benchmark::State& s) {
+  RunWithThreshold(s, "Twitter PR", false, 0.0, "always replace");
+}
+void BM_PrAdaptive(benchmark::State& s) {
+  RunWithThreshold(s, "Twitter PR", false, 0.1, "adaptive(0.1)");
+}
+void BM_SsspAlwaysUpdate(benchmark::State& s) {
+  RunWithThreshold(s, "Twitter SSSP", true, 1.1, "always update");
+}
+void BM_SsspAlwaysReplace(benchmark::State& s) {
+  RunWithThreshold(s, "Twitter SSSP", true, 0.0, "always replace");
+}
+void BM_SsspAdaptive(benchmark::State& s) {
+  RunWithThreshold(s, "Twitter SSSP", true, 0.1, "adaptive(0.1)");
+}
+
+BENCHMARK(BM_PrAlwaysUpdate)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PrAlwaysReplace)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PrAdaptive)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SsspAlwaysUpdate)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SsspAlwaysReplace)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SsspAdaptive)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vertexica
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::vertexica::bench::TableUr().Print();
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// \file bench_ablation_workers.cc
+/// \brief §2.3 "Parallel Workers" ablation: PageRank runtime as the number
+/// of parallel worker UDF instances grows ("in practice, we have as many
+/// workers as the number of cores").
+
+#include <thread>
+
+#include "bench_common.h"
+
+#include "algorithms/pagerank.h"
+
+namespace vertexica {
+namespace bench {
+namespace {
+
+FigureTable& TableW() {
+  static FigureTable table("Ablation (Sec 2.3): parallel workers");
+  return table;
+}
+
+void BM_Workers(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const Graph& g = GetDataset(DatasetId::kGPlus);
+  VertexicaOptions opts;
+  opts.num_workers = workers;
+  // Fix the partition count so only parallelism varies, not batching.
+  opts.num_partitions =
+      2 * static_cast<int>(std::thread::hardware_concurrency());
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    RunStats stats;
+    VX_CHECK(RunPageRank(&cat, g, 5, 0.85, opts, &stats).ok());
+    seconds = stats.total_seconds;
+    state.SetIterationTime(seconds);
+  }
+  TableW().Record("GPlus PR", std::to_string(workers) + " workers",
+                  seconds);
+}
+BENCHMARK(BM_Workers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vertexica
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::vertexica::bench::TableW().Print();
+  return 0;
+}

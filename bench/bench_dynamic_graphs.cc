@@ -1,0 +1,185 @@
+/// \file bench_dynamic_graphs.cc
+/// \brief §3.3 / §4.2.3: dynamic graph analysis — mutation cost (add /
+/// remove / update edges with full version retention), temporal diff
+/// queries (ΔPageRank, shortest-path decrease), and continuous
+/// re-evaluation ticks.
+
+#include "bench_common.h"
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "sqlgraph/sql_common.h"
+#include "sqlgraph/triangle_count.h"
+#include "temporal/continuous.h"
+#include "temporal/versioned_graph.h"
+
+namespace vertexica {
+namespace bench {
+namespace {
+
+FigureTable& Table33() {
+  static FigureTable table("Sec 3.3: dynamic graph analysis");
+  return table;
+}
+
+Table RandomEdgeBatch(int64_t n, int64_t count, uint64_t seed) {
+  Rng rng(seed);
+  Table t(Schema({{"src", DataType::kInt64},
+                  {"dst", DataType::kInt64},
+                  {"weight", DataType::kDouble}}));
+  for (int64_t e = 0; e < count; ++e) {
+    VX_CHECK_OK(t.AppendRow(
+        {Value(static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(n)))),
+         Value(static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(n)))),
+         Value(1.0 + rng.NextDouble())}));
+  }
+  return t;
+}
+
+void BM_AddEdgesVersioned(benchmark::State& state) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    VersionedGraphStore store(&cat);
+    VX_CHECK_OK(store.CommitVersion(MakeEdgeListTable(g)).status());
+    WallTimer timer;
+    for (int batch = 0; batch < 10; ++batch) {
+      VX_CHECK_OK(store
+                      .AddEdges(RandomEdgeBatch(g.num_vertices, 1000,
+                                                static_cast<uint64_t>(batch)))
+                      .status());
+    }
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  state.counters["versions"] = 10;
+  state.counters["edges_per_batch"] = 1000;
+  Table33().Record("Twitter", "AddEdges x10", seconds);
+}
+BENCHMARK(BM_AddEdgesVersioned)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RemoveEdgesVersioned(benchmark::State& state) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    VersionedGraphStore store(&cat);
+    Table edges = MakeEdgeListTable(g);
+    VX_CHECK_OK(store.CommitVersion(edges).status());
+    const Table victims = edges.Slice(0, 1000);
+    WallTimer timer;
+    VX_CHECK_OK(store.RemoveEdges(victims).status());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table33().Record("Twitter", "RemoveEdges", seconds);
+}
+BENCHMARK(BM_RemoveEdgesVersioned)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UpdateEdgeWeights(benchmark::State& state) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    VersionedGraphStore store(&cat);
+    Table edges = MakeEdgeListTable(g);
+    VX_CHECK_OK(store.CommitVersion(edges).status());
+    Table updates = edges.Slice(0, 1000);
+    WallTimer timer;
+    VX_CHECK_OK(store.UpdateEdgeColumn(updates, "weight").status());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table33().Record("Twitter", "UpdateWeights", seconds);
+}
+BENCHMARK(BM_UpdateEdgeWeights)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PageRankDelta(benchmark::State& state) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  VX_CHECK_OK(store.CommitVersion(MakeEdgeListTable(g)).status());
+  VX_CHECK_OK(
+      store.AddEdges(RandomEdgeBatch(g.num_vertices, 5000, 77)).status());
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto delta = PageRankDelta(store, 1, 2, 5);
+    VX_CHECK(delta.ok()) << delta.status().ToString();
+    benchmark::DoNotOptimize(delta->num_rows());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table33().Record("Twitter", "PageRankDelta", seconds);
+}
+BENCHMARK(BM_PageRankDelta)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShortestPathDecrease(benchmark::State& state) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  VX_CHECK_OK(store.CommitVersion(MakeEdgeListTable(g)).status());
+  VX_CHECK_OK(
+      store.AddEdges(RandomEdgeBatch(g.num_vertices, 5000, 78)).status());
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto closer = ShortestPathDecrease(store, 1, 2, 0, 0.5);
+    VX_CHECK(closer.ok()) << closer.status().ToString();
+    benchmark::DoNotOptimize(closer->num_rows());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table33().Record("Twitter", "PathDecrease", seconds);
+}
+BENCHMARK(BM_ShortestPathDecrease)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ContinuousTriangles(benchmark::State& state) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    VersionedGraphStore store(&cat);
+    VX_CHECK_OK(store.CommitVersion(MakeEdgeListTable(g)).status());
+    ContinuousRunner runner(&store, "triangle count",
+                            [](const Table& edges) -> Result<Table> {
+                              VX_ASSIGN_OR_RETURN(int64_t n,
+                                                  SqlTriangleCount(edges));
+                              Table t(Schema({{"triangles",
+                                               DataType::kInt64}}));
+                              VX_RETURN_NOT_OK(t.AppendRow({Value(n)}));
+                              return t;
+                            });
+    WallTimer timer;
+    VX_CHECK_OK(runner.Poll().status());  // initial version
+    for (int tick = 0; tick < 4; ++tick) {
+      VX_CHECK_OK(store
+                      .AddEdges(RandomEdgeBatch(g.num_vertices, 500,
+                                                static_cast<uint64_t>(tick)))
+                      .status());
+      VX_CHECK_OK(runner.Poll().status());
+    }
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table33().Record("Twitter", "Continuous x5", seconds);
+}
+BENCHMARK(BM_ContinuousTriangles)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vertexica
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::vertexica::bench::Table33().Print();
+  return 0;
+}

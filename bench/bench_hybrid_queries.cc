@@ -1,0 +1,164 @@
+/// \file bench_hybrid_queries.cc
+/// \brief §3.2: the 1-hop SQL algorithms (triangle counting, strong
+/// overlap, weak ties, clustering coefficients) and the composed hybrid
+/// queries (important bridges, SSSP from the most clustered node) —
+/// queries "very difficult or even not possible on traditional graph
+/// processing systems".
+
+#include "bench_common.h"
+
+#include "common/timer.h"
+#include "exec/plan_builder.h"
+#include "pipeline/dataflow.h"
+#include "pipeline/nodes.h"
+#include "sqlgraph/clustering_coefficient.h"
+#include "sqlgraph/sql_common.h"
+#include "sqlgraph/sql_shortest_paths.h"
+#include "sqlgraph/strong_overlap.h"
+#include "sqlgraph/triangle_count.h"
+#include "sqlgraph/weak_ties.h"
+
+namespace vertexica {
+namespace bench {
+namespace {
+
+FigureTable& Table32() {
+  static FigureTable table("Sec 3.2: hybrid 1-hop queries");
+  return table;
+}
+
+// The pairwise 1-hop queries are quadratic in neighbourhood size; run them
+// on a sub-sampled Twitter preset so the whole suite stays fast.
+const Graph& HybridGraph() {
+  static const Graph g = [] {
+    const Graph& tw = GetDataset(DatasetId::kTwitter);
+    Graph out;
+    out.num_vertices = tw.num_vertices;
+    // Keep every 4th edge.
+    for (int64_t e = 0; e < tw.num_edges(); e += 4) {
+      out.AddEdge(tw.src[static_cast<size_t>(e)],
+                  tw.dst[static_cast<size_t>(e)], tw.EdgeWeight(e));
+    }
+    return out;
+  }();
+  return g;
+}
+
+void BM_TriangleCounting(benchmark::State& state) {
+  Table edges = MakeEdgeListTable(HybridGraph());
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto count = SqlTriangleCount(edges);
+    VX_CHECK(count.ok()) << count.status().ToString();
+    benchmark::DoNotOptimize(*count);
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table32().Record("Twitter/4", "Triangles", seconds);
+}
+BENCHMARK(BM_TriangleCounting)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StrongOverlap(benchmark::State& state) {
+  Table edges = MakeEdgeListTable(HybridGraph());
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto pairs = SqlStrongOverlap(edges, /*min_common=*/5);
+    VX_CHECK(pairs.ok()) << pairs.status().ToString();
+    benchmark::DoNotOptimize(pairs->num_rows());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table32().Record("Twitter/4", "StrongOverlap", seconds);
+}
+BENCHMARK(BM_StrongOverlap)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WeakTies(benchmark::State& state) {
+  Table edges = MakeEdgeListTable(HybridGraph());
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto ties = SqlWeakTies(edges, /*min_pairs=*/10);
+    VX_CHECK(ties.ok()) << ties.status().ToString();
+    benchmark::DoNotOptimize(ties->num_rows());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table32().Record("Twitter/4", "WeakTies", seconds);
+}
+BENCHMARK(BM_WeakTies)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClusteringCoefficients(benchmark::State& state) {
+  Table edges = MakeEdgeListTable(HybridGraph());
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto cc = SqlClusteringCoefficients(edges);
+    VX_CHECK(cc.ok()) << cc.status().ToString();
+    benchmark::DoNotOptimize(cc->num_rows());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table32().Record("Twitter/4", "ClusterCoeff", seconds);
+}
+BENCHMARK(BM_ClusteringCoefficients)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ImportantBridges(benchmark::State& state) {
+  // Composed hybrid query: weak ties ⋈ PageRank, filter on both.
+  Table edges = MakeEdgeListTable(HybridGraph());
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    Pipeline p;
+    const int src = p.AddNode(MakeSourceNode("edges", edges));
+    const int ties = p.AddNode(MakeWeakTiesNode(10), {src});
+    const int pr = p.AddNode(MakePageRankNode(5), {src});
+    const int joined = p.AddNode(MakeJoinNode({"id"}, {"id"}), {ties, pr});
+    const int out = p.AddNode(
+        MakeSelectionNode(Gt(Col("rank"),
+                             Lit(1.0 / HybridGraph().num_vertices))),
+        {joined});
+    auto result = p.Run(out);
+    VX_CHECK(result.ok()) << result.status().ToString();
+    benchmark::DoNotOptimize(result->num_rows());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table32().Record("Twitter/4", "Bridges+PR", seconds);
+}
+BENCHMARK(BM_ImportantBridges)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SsspFromMostClustered(benchmark::State& state) {
+  Table edges = MakeEdgeListTable(HybridGraph());
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto seed = SqlMaxClusteringVertex(edges);
+    VX_CHECK(seed.ok()) << seed.status().ToString();
+    auto dist = SqlShortestPaths(HybridGraph(), *seed);
+    VX_CHECK(dist.ok()) << dist.status().ToString();
+    benchmark::DoNotOptimize(dist->data());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table32().Record("Twitter/4", "SSSP@maxCC", seconds);
+}
+BENCHMARK(BM_SsspFromMostClustered)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vertexica
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::vertexica::bench::Table32().Print();
+  return 0;
+}

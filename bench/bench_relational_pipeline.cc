@@ -1,0 +1,138 @@
+/// \file bench_relational_pipeline.cc
+/// \brief §3.4: end-to-end pipelines mixing relational pre/post-processing
+/// with graph algorithms — selection → algorithm → aggregation, PageRank
+/// histograms, and metadata joins ("end-to-end data processing, starting
+/// from raw data and right up to deriving meaningful insights").
+
+#include "bench_common.h"
+
+#include "common/timer.h"
+#include "graphgen/metadata.h"
+#include "pipeline/dataflow.h"
+#include "pipeline/nodes.h"
+#include "sqlgraph/sql_common.h"
+
+namespace vertexica {
+namespace bench {
+namespace {
+
+FigureTable& Table34() {
+  static FigureTable table("Sec 3.4: relational pipelines");
+  return table;
+}
+
+const Table& TwitterEdgesWithMetadata() {
+  static const Table edges =
+      GenerateEdgeMetadata(GetDataset(DatasetId::kTwitter), 4242);
+  return edges;
+}
+
+void BM_SelectThenPageRankThenAggregate(benchmark::State& state) {
+  const Table& edges = TwitterEdgesWithMetadata();
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    Pipeline p;
+    const int src = p.AddNode(MakeSourceNode("edges", edges));
+    const int family = p.AddNode(
+        MakeSelectionNode(Eq(Col("type"), Lit(std::string("family")))),
+        {src});
+    const int pr = p.AddNode(MakePageRankNode(5), {family});
+    const int agg = p.AddNode(
+        MakeAggregationNode({}, {{AggOp::kMax, "rank", "max_rank"},
+                                 {AggOp::kAvg, "rank", "avg_rank"},
+                                 {AggOp::kCountStar, "", "nodes"}}),
+        {pr});
+    auto out = p.Run(agg);
+    VX_CHECK(out.ok()) << out.status().ToString();
+    benchmark::DoNotOptimize(out->num_rows());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table34().Record("Twitter", "Select>PR>Agg", seconds);
+}
+BENCHMARK(BM_SelectThenPageRankThenAggregate)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PageRankHistogram(benchmark::State& state) {
+  const Table& edges = TwitterEdgesWithMetadata();
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    Pipeline p;
+    const int src = p.AddNode(MakeSourceNode("edges", edges));
+    const int pr = p.AddNode(MakePageRankNode(5), {src});
+    const int hist = p.AddNode(MakeHistogramNode("rank", 20), {pr});
+    auto out = p.Run(hist);
+    VX_CHECK(out.ok()) << out.status().ToString();
+    benchmark::DoNotOptimize(out->num_rows());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table34().Record("Twitter", "PR histogram", seconds);
+}
+BENCHMARK(BM_PageRankHistogram)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MetadataJoinAggregate(benchmark::State& state) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  const Table& edges = TwitterEdgesWithMetadata();
+  Table metadata = GenerateNodeMetadata(g.num_vertices, 4243);
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    Pipeline p;
+    const int src = p.AddNode(MakeSourceNode("edges", edges));
+    const int pr = p.AddNode(MakePageRankNode(5), {src});
+    const int meta = p.AddNode(MakeSourceNode("metadata", metadata));
+    const int joined = p.AddNode(MakeJoinNode({"id"}, {"id"}), {pr, meta});
+    // Average rank per value of the low-cardinality attribute u0.
+    const int agg = p.AddNode(
+        MakeAggregationNode({"u0"}, {{AggOp::kAvg, "rank", "avg_rank"}}),
+        {joined});
+    auto out = p.Run(agg);
+    VX_CHECK(out.ok()) << out.status().ToString();
+    benchmark::DoNotOptimize(out->num_rows());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table34().Record("Twitter", "PR join meta", seconds);
+}
+BENCHMARK(BM_MetadataJoinAggregate)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TimestampWindowAnalysis(benchmark::State& state) {
+  // "last one year" style temporal filter on the edge creation timestamp,
+  // then triangle counting on the recent subgraph.
+  const Table& edges = TwitterEdgesWithMetadata();
+  constexpr int64_t kNow = 1700000000;
+  constexpr int64_t kYear = 365LL * 24 * 3600;
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    Pipeline p;
+    const int src = p.AddNode(MakeSourceNode("edges", edges));
+    const int recent = p.AddNode(
+        MakeSelectionNode(Ge(Col("created"), Lit(kNow - kYear))), {src});
+    const int tri = p.AddNode(MakeTriangleCountingNode(), {recent});
+    auto out = p.Run(tri);
+    VX_CHECK(out.ok()) << out.status().ToString();
+    benchmark::DoNotOptimize(out->num_rows());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table34().Record("Twitter", "LastYear tri", seconds);
+}
+BENCHMARK(BM_TimestampWindowAnalysis)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vertexica
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::vertexica::bench::Table34().Print();
+  return 0;
+}

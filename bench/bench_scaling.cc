@@ -1,0 +1,94 @@
+/// \file bench_scaling.cc
+/// \brief Size-scaling sweep behind Figure 2's trend lines: PageRank
+/// runtime of Vertexica (vertex-centric), Vertexica (SQL) and the Giraph
+/// comparator's raw compute as the RMAT graph grows. Shows the shapes that
+/// produce the paper's crossover: fixed costs dominate small graphs, bulk
+/// throughput dominates large ones.
+
+#include "bench_common.h"
+
+#include "algorithms/pagerank.h"
+#include "common/timer.h"
+#include "giraph/bsp_engine.h"
+#include "sqlgraph/sql_pagerank.h"
+
+namespace vertexica {
+namespace bench {
+namespace {
+
+constexpr int kIterations = 5;
+
+FigureTable& TableScaling() {
+  static FigureTable table("Scaling sweep: PageRank vs graph size");
+  return table;
+}
+
+Graph SizedGraph(int64_t scale_index) {
+  const int64_t n = 1000LL << scale_index;   // 1k, 4k, 16k, 64k vertices
+  const int64_t m = 8000LL << scale_index;   // avg degree 8
+  return GenerateRmat(n, m, 0xabc + static_cast<uint64_t>(scale_index));
+}
+
+std::string RowName(int64_t scale_index) {
+  const int64_t n = 1000LL << scale_index;
+  return std::to_string(n / 1000) + "k/" + std::to_string(n * 8 / 1000) +
+         "k";
+}
+
+void BM_VertexicaScaling(benchmark::State& state) {
+  const Graph g = SizedGraph(state.range(0));
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    RunStats stats;
+    VX_CHECK(RunPageRank(&cat, g, kIterations, 0.85, {}, &stats).ok());
+    seconds = stats.total_seconds;
+    state.SetIterationTime(seconds);
+  }
+  TableScaling().Record(RowName(state.range(0)), "Vertexica", seconds);
+}
+BENCHMARK(BM_VertexicaScaling)->DenseRange(0, 6, 2)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SqlScaling(benchmark::State& state) {
+  const Graph g = SizedGraph(state.range(0));
+  double seconds = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto ranks = SqlPageRank(g, kIterations);
+    VX_CHECK(ranks.ok());
+    benchmark::DoNotOptimize(ranks->data());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  TableScaling().Record(RowName(state.range(0)), "Vertexica(SQL)", seconds);
+}
+BENCHMARK(BM_SqlScaling)->DenseRange(0, 6, 2)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_GiraphComputeScaling(benchmark::State& state) {
+  const Graph g = SizedGraph(state.range(0));
+  double seconds = 0;
+  for (auto _ : state) {
+    PageRankProgram program(kIterations);
+    BspEngine engine(g, &program);  // raw compute: no modeled overheads
+    GiraphStats stats;
+    VX_CHECK_OK(engine.Run(&stats));
+    seconds = stats.compute_seconds;
+    state.SetIterationTime(seconds);
+  }
+  TableScaling().Record(RowName(state.range(0)), "BSP compute", seconds);
+}
+BENCHMARK(BM_GiraphComputeScaling)->DenseRange(0, 6, 2)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vertexica
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::vertexica::bench::TableScaling().Print();
+  return 0;
+}

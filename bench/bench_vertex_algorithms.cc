@@ -1,0 +1,114 @@
+/// \file bench_vertex_algorithms.cc
+/// \brief §3.1: runtime of the four vertex-centric algorithms shipped with
+/// Vertexica (PageRank, SSSP, connected components, collaborative
+/// filtering) on the Twitter preset, plus random walk with restart.
+
+#include "bench_common.h"
+
+#include "algorithms/collaborative_filtering.h"
+#include "algorithms/connected_components.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/random_walk.h"
+#include "algorithms/sssp.h"
+
+namespace vertexica {
+namespace bench {
+namespace {
+
+FigureTable& Table31() {
+  static FigureTable table("Sec 3.1: vertex-centric algorithm suite");
+  return table;
+}
+
+void BM_PageRank(benchmark::State& state) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    RunStats stats;
+    VX_CHECK(RunPageRank(&cat, g, 10, 0.85, {}, &stats).ok());
+    seconds = stats.total_seconds;
+    state.SetIterationTime(seconds);
+  }
+  Table31().Record("Twitter", "PageRank", seconds);
+}
+BENCHMARK(BM_PageRank)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShortestPaths(benchmark::State& state) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    RunStats stats;
+    VX_CHECK(RunShortestPaths(&cat, g, 0, {}, &stats).ok());
+    seconds = stats.total_seconds;
+    state.SetIterationTime(seconds);
+  }
+  Table31().Record("Twitter", "SSSP", seconds);
+}
+BENCHMARK(BM_ShortestPaths)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    RunStats stats;
+    ConnectedComponentsProgram program;
+    const Graph bidir = g.WithReverseEdges();
+    VX_CHECK_OK(RunVertexProgram(&cat, bidir, &program, {}, {}, &stats));
+    seconds = stats.total_seconds;
+    state.SetIterationTime(seconds);
+  }
+  Table31().Record("Twitter", "ConnComp", seconds);
+}
+BENCHMARK(BM_ConnectedComponents)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CollaborativeFiltering(benchmark::State& state) {
+  // Bipartite ratings sized like the Twitter preset's vertex count.
+  const Graph& twitter = GetDataset(DatasetId::kTwitter);
+  const int64_t users = twitter.num_vertices / 2;
+  const int64_t items = twitter.num_vertices / 8;
+  Graph ratings = GenerateBipartite(users, std::max<int64_t>(8, items),
+                                    twitter.num_edges() / 4, 1234);
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    RunStats stats;
+    VX_CHECK(RunCollaborativeFiltering(&cat, ratings, 8, 5, {}, &stats).ok());
+    seconds = stats.total_seconds;
+    state.SetIterationTime(seconds);
+  }
+  Table31().Record("Twitter", "CollabFilter", seconds);
+}
+BENCHMARK(BM_CollaborativeFiltering)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandomWalkWithRestart(benchmark::State& state) {
+  const Graph& g = GetDataset(DatasetId::kTwitter);
+  double seconds = 0;
+  for (auto _ : state) {
+    Catalog cat;
+    RunStats stats;
+    VX_CHECK(RunRandomWalkWithRestart(&cat, g, 0, 10, 0.15, {}, &stats).ok());
+    seconds = stats.total_seconds;
+    state.SetIterationTime(seconds);
+  }
+  Table31().Record("Twitter", "RWR", seconds);
+}
+BENCHMARK(BM_RandomWalkWithRestart)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace vertexica
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::vertexica::bench::Table31().Print();
+  return 0;
+}

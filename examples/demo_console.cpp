@@ -1,0 +1,227 @@
+/// \file demo_console.cpp
+/// \brief The demo GUI's console (§4.1/Figure 3) as a command-line tool.
+/// Everything the toolbar offers is a command; the "time monitor" is the
+/// timing printed after each one.
+///
+/// Run interactively:   ./demo_console
+/// Or scripted:         echo "load rmat 1000 8000
+///                            pagerank 10
+///                            top rank 5
+///                            triangles
+///                            sssp 0
+///                            filter family
+///                            weakties 5
+///                            stats
+///                            quit" | ./demo_console
+///
+/// Commands:
+///   load rmat|er|ba N M       generate a graph (deterministic seed)
+///   load csv FILE             load an edge list (src,dst[,weight]) CSV
+///   filter TYPE               scope analysis to edges of one type
+///   unfilter                  clear the scope
+///   pagerank [ITERS]          SQL PageRank over the current scope
+///   sssp SRC                  SQL shortest paths from SRC
+///   triangles                 total triangle count
+///   weakties MIN              bridge nodes with >= MIN open pairs
+///   overlap MIN               node pairs with >= MIN common neighbours
+///   top COLUMN K              show top-K rows of the last result
+///   stats                     graph + last-run statistics
+///   quit
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "exec/plan_builder.h"
+#include "graphgen/generators.h"
+#include "graphgen/metadata.h"
+#include "sqlgraph/graph_extraction.h"
+#include "sqlgraph/sql_common.h"
+#include "sqlgraph/sql_pagerank.h"
+#include "sqlgraph/sql_shortest_paths.h"
+#include "sqlgraph/strong_overlap.h"
+#include "sqlgraph/triangle_count.h"
+#include "sqlgraph/weak_ties.h"
+#include "storage/csv.h"
+
+using namespace vertexica;  // NOLINT — example brevity
+
+namespace {
+
+struct Session {
+  std::optional<Table> edges;      // full edge table (with metadata)
+  std::optional<Table> scope;      // filtered view, if any
+  std::optional<Table> last;       // last result, for `top`
+  double last_seconds = 0;
+
+  const Table& Current() const { return scope ? *scope : *edges; }
+};
+
+void Report(Session* s, const WallTimer& timer, Result<Table> result) {
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  s->last_seconds = timer.ElapsedSeconds();
+  s->last = std::move(result).MoveValueUnsafe();
+  std::printf("%lld rows in %.3f s\n",
+              static_cast<long long>(s->last->num_rows()), s->last_seconds);
+  std::printf("%s", s->last->ToString(5).c_str());
+}
+
+Result<Table> VerticesOf(const Table& edges) {
+  return PlanBuilder::Scan(edges)
+      .Select({"src"})
+      .Rename({"id"})
+      .Union(PlanBuilder::Scan(edges).Select({"dst"}).Rename({"id"}))
+      .Distinct()
+      .Execute();
+}
+
+void HandleLoad(Session* s, std::istringstream& args) {
+  std::string kind;
+  args >> kind;
+  if (kind == "csv") {
+    std::string path;
+    args >> path;
+    auto table = ReadCsvFile(path);
+    if (!table.ok()) {
+      std::printf("error: %s\n", table.status().ToString().c_str());
+      return;
+    }
+    s->edges = std::move(table).MoveValueUnsafe();
+  } else {
+    int64_t n = 1000;
+    int64_t m = 8000;
+    args >> n >> m;
+    Graph g;
+    if (kind == "er") {
+      g = GenerateErdosRenyi(n, m, 7);
+    } else if (kind == "ba") {
+      g = GenerateBarabasiAlbert(n, std::max<int64_t>(1, m / n), 7);
+    } else {
+      g = GenerateRmat(n, m, 7);
+    }
+    s->edges = GenerateEdgeMetadata(g, 8);
+  }
+  s->scope.reset();
+  std::printf("loaded %lld edges %s\n",
+              static_cast<long long>(s->edges->num_rows()),
+              s->edges->schema().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Session session;
+  std::string line;
+  std::printf("vertexica demo console — type 'help' for commands\n");
+  while (std::printf("> ") && std::getline(std::cin, line)) {
+    std::istringstream args(Trim(line));
+    std::string cmd;
+    if (!(args >> cmd) || cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf("commands: load filter unfilter pagerank sssp triangles "
+                  "weakties overlap top degrees stats quit\n");
+      continue;
+    }
+    if (cmd == "load") {
+      HandleLoad(&session, args);
+      continue;
+    }
+    if (!session.edges) {
+      std::printf("load a graph first (e.g. 'load rmat 1000 8000')\n");
+      continue;
+    }
+    WallTimer timer;
+    if (cmd == "filter") {
+      std::string type;
+      args >> type;
+      auto filtered = PlanBuilder::Scan(*session.edges)
+                          .Filter(Eq(Col("type"), Lit(type)))
+                          .Execute();
+      if (filtered.ok()) {
+        std::printf("scope: %lld of %lld edges have type '%s'\n",
+                    static_cast<long long>(filtered->num_rows()),
+                    static_cast<long long>(session.edges->num_rows()),
+                    type.c_str());
+        session.scope = std::move(filtered).MoveValueUnsafe();
+      } else {
+        std::printf("error: %s\n", filtered.status().ToString().c_str());
+      }
+    } else if (cmd == "unfilter") {
+      session.scope.reset();
+      std::printf("scope cleared\n");
+    } else if (cmd == "pagerank") {
+      int iters = 10;
+      args >> iters;
+      auto vertices = VerticesOf(session.Current());
+      if (vertices.ok()) {
+        Report(&session, timer,
+               SqlPageRank(*vertices, session.Current(), iters));
+      }
+    } else if (cmd == "sssp") {
+      int64_t src = 0;
+      args >> src;
+      auto vertices = VerticesOf(session.Current());
+      if (vertices.ok()) {
+        Report(&session, timer,
+               SqlShortestPaths(*vertices, session.Current(), src));
+      }
+    } else if (cmd == "triangles") {
+      auto count = SqlTriangleCount(session.Current());
+      if (count.ok()) {
+        std::printf("%lld triangles in %.3f s\n",
+                    static_cast<long long>(*count), timer.ElapsedSeconds());
+      } else {
+        std::printf("error: %s\n", count.status().ToString().c_str());
+      }
+    } else if (cmd == "weakties") {
+      int64_t min_pairs = 1;
+      args >> min_pairs;
+      Report(&session, timer, SqlWeakTies(session.Current(), min_pairs));
+    } else if (cmd == "overlap") {
+      int64_t min_common = 2;
+      args >> min_common;
+      Report(&session, timer, SqlStrongOverlap(session.Current(), min_common));
+    } else if (cmd == "top") {
+      std::string column;
+      int64_t k = 5;
+      args >> column >> k;
+      if (!session.last) {
+        std::printf("no previous result\n");
+        continue;
+      }
+      auto top = PlanBuilder::Scan(*session.last)
+                     .TopN({{column, /*ascending=*/false}}, k)
+                     .Execute();
+      if (top.ok()) {
+        std::printf("%s", top->ToString(k).c_str());
+      } else {
+        std::printf("error: %s\n", top.status().ToString().c_str());
+      }
+    } else if (cmd == "stats") {
+      auto summary = SummarizeGraph(session.Current());
+      if (summary.ok()) {
+        std::printf("vertices: %lld, edges: %lld (scope: %lld of %lld), "
+                    "max outdeg: %lld, avg outdeg: %.2f; last query: %.3f s\n",
+                    static_cast<long long>(summary->num_vertices),
+                    static_cast<long long>(summary->num_edges),
+                    static_cast<long long>(session.Current().num_rows()),
+                    static_cast<long long>(session.edges->num_rows()),
+                    static_cast<long long>(summary->max_out_degree),
+                    summary->avg_out_degree, session.last_seconds);
+      }
+    } else if (cmd == "degrees") {
+      Report(&session, timer, DegreeTable(session.Current()));
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

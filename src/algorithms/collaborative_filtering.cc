@@ -1,0 +1,94 @@
+#include "algorithms/collaborative_filtering.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace vertexica {
+
+void CollaborativeFilteringProgram::InitValue(int64_t vertex_id,
+                                              int64_t /*num_vertices*/,
+                                              double* value) const {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(k_));
+  for (int i = 0; i < k_; ++i) {
+    const uint64_t h =
+        HashInt64(static_cast<uint64_t>(vertex_id) * 131 + static_cast<uint64_t>(i));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+    value[i] = (u + 1e-3) * scale;
+  }
+}
+
+void CollaborativeFilteringProgram::Compute(VertexContext* ctx) {
+  std::vector<double> mine(ctx->GetVertexValue(),
+                           ctx->GetVertexValue() + k_);
+  if (ctx->superstep() >= 1) {
+    double sq_error = 0.0;
+    for (int64_t m = 0; m < ctx->num_messages(); ++m) {
+      const double* msg = ctx->GetMessage(m);
+      const double rating = msg[0];
+      const double* theirs = msg + 1;
+      double dot = 0.0;
+      for (int i = 0; i < k_; ++i) dot += mine[static_cast<size_t>(i)] * theirs[i];
+      const double err = rating - dot;
+      sq_error += err * err;
+      for (int i = 0; i < k_; ++i) {
+        mine[static_cast<size_t>(i)] +=
+            lr_ * (err * theirs[i] - lambda_ * mine[static_cast<size_t>(i)]);
+      }
+    }
+    ctx->ModifyVertexValue(mine.data());
+    ctx->Aggregate("cf_sq_error", sq_error);
+  }
+
+  if (ctx->superstep() < max_iterations_) {
+    std::vector<double> msg(static_cast<size_t>(k_) + 1);
+    for (int64_t e = 0; e < ctx->num_out_edges(); ++e) {
+      msg[0] = ctx->OutEdgeWeight(e);  // the rating lives on the edge
+      for (int i = 0; i < k_; ++i) {
+        msg[static_cast<size_t>(i) + 1] = mine[static_cast<size_t>(i)];
+      }
+      ctx->SendMessage(ctx->OutEdgeTarget(e), msg.data());
+    }
+  } else {
+    ctx->VoteToHalt();
+  }
+}
+
+double CfModel::Predict(int64_t user, int64_t item) const {
+  double dot = 0.0;
+  for (int i = 0; i < num_factors; ++i) {
+    dot += factors[static_cast<size_t>(user) * num_factors + i] *
+           factors[static_cast<size_t>(item) * num_factors + i];
+  }
+  return dot;
+}
+
+Result<CfModel> RunCollaborativeFiltering(Catalog* catalog,
+                                          const Graph& ratings,
+                                          int num_factors, int max_iterations,
+                                          VertexicaOptions options,
+                                          RunStats* stats) {
+  CollaborativeFilteringProgram program(num_factors, max_iterations);
+  const Graph bidirectional = ratings.WithReverseEdges();
+  Coordinator coordinator(catalog, &program, options);
+  VX_RETURN_NOT_OK(LoadGraphTables(catalog, bidirectional, program));
+  VX_RETURN_NOT_OK(coordinator.Run(stats));
+
+  CfModel model;
+  model.num_factors = num_factors;
+  model.factors.assign(
+      static_cast<size_t>(bidirectional.num_vertices) * num_factors, 0.0);
+  for (int c = 0; c < num_factors; ++c) {
+    VX_ASSIGN_OR_RETURN(auto component, ReadVertexValues(*catalog, {}, c));
+    for (size_t v = 0; v < component.size(); ++v) {
+      model.factors[v * static_cast<size_t>(num_factors) +
+                    static_cast<size_t>(c)] = component[v];
+    }
+  }
+  auto it = coordinator.aggregates().find("cf_sq_error");
+  model.squared_error = it == coordinator.aggregates().end() ? 0.0 : it->second;
+  return model;
+}
+
+}  // namespace vertexica

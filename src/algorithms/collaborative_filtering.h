@@ -1,0 +1,82 @@
+/// \file collaborative_filtering.h
+/// \brief Vertex-centric collaborative filtering (§3.1 (iv)) — "a
+/// recommendation technique to predict the edge weights in a bipartite
+/// graph".
+
+#ifndef VERTEXICA_ALGORITHMS_COLLABORATIVE_FILTERING_H_
+#define VERTEXICA_ALGORITHMS_COLLABORATIVE_FILTERING_H_
+
+#include <vector>
+
+#include "vertexica/coordinator.h"
+#include "vertexica/vertex_program.h"
+
+namespace vertexica {
+
+/// \brief Gradient-descent matrix factorization over a bipartite rating
+/// graph (the paper's CF / "stochastic gradient descent" use case).
+///
+/// Every vertex (user or item) holds a length-K latent factor vector. Each
+/// superstep a vertex sends [rating, factors...] along its rated edges;
+/// receivers take a gradient step on the squared rating error. Requires
+/// edges in both directions (RunCollaborativeFiltering adds reverses).
+class CollaborativeFilteringProgram : public VertexProgram {
+ public:
+  CollaborativeFilteringProgram(int num_factors = 8, int max_iterations = 10,
+                                double learning_rate = 0.05,
+                                double regularization = 0.05)
+      : k_(num_factors),
+        max_iterations_(max_iterations),
+        lr_(learning_rate),
+        lambda_(regularization) {}
+
+  int value_arity() const override { return k_; }
+  int message_arity() const override { return k_ + 1; }
+
+  /// Deterministic pseudo-random init in (0, 1/sqrt(K)].
+  void InitValue(int64_t vertex_id, int64_t num_vertices,
+                 double* value) const override;
+
+  void Compute(VertexContext* ctx) override;
+
+  /// Sum of squared rating errors observed in the previous superstep
+  /// (training error; divide by ratings to get MSE).
+  std::vector<AggregatorSpec> aggregators() const override {
+    return {{"cf_sq_error", AggregatorKind::kSum}};
+  }
+
+  int num_factors() const { return k_; }
+  int max_iterations() const { return max_iterations_; }
+
+ private:
+  int k_;
+  int max_iterations_;
+  double lr_;
+  double lambda_;
+};
+
+/// \brief Learned CF model: per-vertex latent factors and final training
+/// error.
+struct CfModel {
+  int num_factors = 0;
+  /// factors[v * num_factors + k], indexed by vertex id.
+  std::vector<double> factors;
+  /// Sum of squared errors over directed rating edges at the last step.
+  double squared_error = 0.0;
+
+  /// \brief Predicted rating for (user, item).
+  double Predict(int64_t user, int64_t item) const;
+};
+
+/// \brief Trains CF over a bipartite rating graph (users then items; edge
+/// weights are ratings).
+Result<CfModel> RunCollaborativeFiltering(Catalog* catalog,
+                                          const Graph& ratings,
+                                          int num_factors = 8,
+                                          int max_iterations = 10,
+                                          VertexicaOptions options = {},
+                                          RunStats* stats = nullptr);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_ALGORITHMS_COLLABORATIVE_FILTERING_H_

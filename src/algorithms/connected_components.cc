@@ -1,0 +1,35 @@
+#include "algorithms/connected_components.h"
+
+namespace vertexica {
+
+void ConnectedComponentsProgram::Compute(VertexContext* ctx) {
+  double best = ctx->GetVertexValue(0);
+  for (int64_t i = 0; i < ctx->num_messages(); ++i) {
+    best = std::min(best, ctx->GetMessage(i)[0]);
+  }
+  if (ctx->superstep() == 0) {
+    ctx->SendMessageToAllNeighbors(best);
+  } else if (best < ctx->GetVertexValue(0)) {
+    ctx->ModifyVertexValue(best);
+    ctx->SendMessageToAllNeighbors(best);
+  }
+  ctx->VoteToHalt();
+}
+
+Result<std::vector<int64_t>> RunConnectedComponents(Catalog* catalog,
+                                                    const Graph& graph,
+                                                    VertexicaOptions options,
+                                                    RunStats* stats) {
+  ConnectedComponentsProgram program;
+  const Graph bidirectional = graph.WithReverseEdges();
+  VX_RETURN_NOT_OK(
+      RunVertexProgram(catalog, bidirectional, &program, options, {}, stats));
+  VX_ASSIGN_OR_RETURN(auto labels, ReadVertexValues(*catalog, {}));
+  std::vector<int64_t> out(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out[i] = static_cast<int64_t>(labels[i]);
+  }
+  return out;
+}
+
+}  // namespace vertexica

@@ -1,0 +1,45 @@
+/// \file connected_components.h
+/// \brief Vertex-centric connected components (§3.1 (iii)) — "find subgraphs
+/// in which any two vertices are connected to each other".
+
+#ifndef VERTEXICA_ALGORITHMS_CONNECTED_COMPONENTS_H_
+#define VERTEXICA_ALGORITHMS_CONNECTED_COMPONENTS_H_
+
+#include <vector>
+
+#include "vertexica/coordinator.h"
+#include "vertexica/vertex_program.h"
+
+namespace vertexica {
+
+/// \brief HashMin label propagation: every vertex starts labelled with its
+/// own id and repeatedly adopts the minimum label among itself and its
+/// neighbours. Converges to the minimum vertex id of each (weakly)
+/// connected component.
+///
+/// Labels must flow against edge direction too, so run this on a graph with
+/// reverse edges (RunConnectedComponents adds them automatically).
+class ConnectedComponentsProgram : public VertexProgram {
+ public:
+  int value_arity() const override { return 1; }
+  int message_arity() const override { return 1; }
+
+  void InitValue(int64_t vertex_id, int64_t /*num_vertices*/,
+                 double* value) const override {
+    value[0] = static_cast<double>(vertex_id);
+  }
+
+  void Compute(VertexContext* ctx) override;
+
+  MessageCombiner combiner() const override { return MessageCombiner::kMin; }
+};
+
+/// \brief Runs weakly-connected components; returns the component label
+/// (minimum member id) of every vertex.
+Result<std::vector<int64_t>> RunConnectedComponents(
+    Catalog* catalog, const Graph& graph, VertexicaOptions options = {},
+    RunStats* stats = nullptr);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_ALGORITHMS_CONNECTED_COMPONENTS_H_

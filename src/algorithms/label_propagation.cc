@@ -1,0 +1,51 @@
+#include "algorithms/label_propagation.h"
+
+#include <map>
+
+namespace vertexica {
+
+void LabelPropagationProgram::Compute(VertexContext* ctx) {
+  if (ctx->superstep() > 0) {
+    // Adopt the most frequent incoming label; ties toward the smaller.
+    std::map<int64_t, int64_t> counts;
+    for (int64_t m = 0; m < ctx->num_messages(); ++m) {
+      counts[static_cast<int64_t>(ctx->GetMessage(m)[0])]++;
+    }
+    int64_t best_label = static_cast<int64_t>(ctx->GetVertexValue(0));
+    int64_t best_count = 0;
+    for (const auto& [label, count] : counts) {
+      if (count > best_count) {  // std::map iterates ascending ⇒ min tie-break
+        best_count = count;
+        best_label = label;
+      }
+    }
+    if (best_count > 0 &&
+        best_label != static_cast<int64_t>(ctx->GetVertexValue(0))) {
+      ctx->ModifyVertexValue(static_cast<double>(best_label));
+    }
+  }
+  if (ctx->superstep() < max_iterations_) {
+    ctx->SendMessageToAllNeighbors(ctx->GetVertexValue(0));
+  } else {
+    ctx->VoteToHalt();
+  }
+}
+
+Result<std::vector<int64_t>> RunLabelPropagation(Catalog* catalog,
+                                                 const Graph& graph,
+                                                 int max_iterations,
+                                                 VertexicaOptions options,
+                                                 RunStats* stats) {
+  LabelPropagationProgram program(max_iterations);
+  const Graph bidirectional = graph.WithReverseEdges();
+  VX_RETURN_NOT_OK(
+      RunVertexProgram(catalog, bidirectional, &program, options, {}, stats));
+  VX_ASSIGN_OR_RETURN(auto labels, ReadVertexValues(*catalog, {}));
+  std::vector<int64_t> out(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out[i] = static_cast<int64_t>(labels[i]);
+  }
+  return out;
+}
+
+}  // namespace vertexica

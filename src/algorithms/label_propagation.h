@@ -1,0 +1,51 @@
+/// \file label_propagation.h
+/// \brief Community detection by label propagation — another of the
+/// "message passing algorithms" §1 says Vertexica expresses naturally.
+///
+/// Every vertex starts in its own community; each superstep it adopts the
+/// most frequent label among its neighbours (ties broken toward the
+/// smaller label, making the algorithm deterministic under synchronous
+/// execution). Runs a fixed number of iterations.
+
+#ifndef VERTEXICA_ALGORITHMS_LABEL_PROPAGATION_H_
+#define VERTEXICA_ALGORITHMS_LABEL_PROPAGATION_H_
+
+#include <vector>
+
+#include "vertexica/coordinator.h"
+#include "vertexica/vertex_program.h"
+
+namespace vertexica {
+
+/// \brief Synchronous label propagation (no combiner — the full label
+/// multiset is needed to take a mode).
+class LabelPropagationProgram : public VertexProgram {
+ public:
+  explicit LabelPropagationProgram(int max_iterations = 10)
+      : max_iterations_(max_iterations) {}
+
+  int value_arity() const override { return 1; }
+  int message_arity() const override { return 1; }
+
+  void InitValue(int64_t vertex_id, int64_t /*num_vertices*/,
+                 double* value) const override {
+    value[0] = static_cast<double>(vertex_id);
+  }
+
+  void Compute(VertexContext* ctx) override;
+
+ private:
+  int max_iterations_;
+};
+
+/// \brief Runs label propagation on the undirected view of `graph`;
+/// returns each vertex's community label.
+Result<std::vector<int64_t>> RunLabelPropagation(Catalog* catalog,
+                                                 const Graph& graph,
+                                                 int max_iterations = 10,
+                                                 VertexicaOptions options = {},
+                                                 RunStats* stats = nullptr);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_ALGORITHMS_LABEL_PROPAGATION_H_

@@ -1,0 +1,39 @@
+#include "algorithms/pagerank.h"
+
+namespace vertexica {
+
+void PageRankProgram::Compute(VertexContext* ctx) {
+  if (ctx->superstep() >= 1) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < ctx->num_messages(); ++i) {
+      sum += ctx->GetMessage(i)[0];
+    }
+    const double rank =
+        (1.0 - damping_) / static_cast<double>(ctx->num_vertices()) +
+        damping_ * sum;
+    ctx->ModifyVertexValue(rank);
+  }
+  ctx->Aggregate("pagerank_mass", ctx->GetVertexValue(0));
+
+  if (ctx->superstep() < max_iterations_) {
+    const int64_t degree = ctx->num_out_edges();
+    if (degree > 0) {
+      ctx->SendMessageToAllNeighbors(ctx->GetVertexValue(0) /
+                                     static_cast<double>(degree));
+    }
+  } else {
+    ctx->VoteToHalt();
+  }
+}
+
+Result<std::vector<double>> RunPageRank(Catalog* catalog, const Graph& graph,
+                                        int max_iterations, double damping,
+                                        VertexicaOptions options,
+                                        RunStats* stats) {
+  PageRankProgram program(max_iterations, damping);
+  VX_RETURN_NOT_OK(
+      RunVertexProgram(catalog, graph, &program, options, {}, stats));
+  return ReadVertexValues(*catalog, {});
+}
+
+}  // namespace vertexica

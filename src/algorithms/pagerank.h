@@ -1,0 +1,59 @@
+/// \file pagerank.h
+/// \brief Vertex-centric PageRank (§3.1 (i)) — "a ranking algorithm to
+/// compute the relative importance of every vertex".
+
+#ifndef VERTEXICA_ALGORITHMS_PAGERANK_H_
+#define VERTEXICA_ALGORITHMS_PAGERANK_H_
+
+#include <vector>
+
+#include "vertexica/coordinator.h"
+#include "vertexica/vertex_program.h"
+
+namespace vertexica {
+
+/// \brief Classic Pregel PageRank: each superstep a vertex sums its incoming
+/// contributions, sets rank = (1-d)/N + d * sum, and scatters rank/outdeg
+/// to its neighbours. Runs a fixed number of iterations, then halts.
+class PageRankProgram : public VertexProgram {
+ public:
+  explicit PageRankProgram(int max_iterations = 10, double damping = 0.85)
+      : max_iterations_(max_iterations), damping_(damping) {}
+
+  int value_arity() const override { return 1; }
+  int message_arity() const override { return 1; }
+
+  void InitValue(int64_t /*vertex_id*/, int64_t num_vertices,
+                 double* value) const override {
+    value[0] = 1.0 / static_cast<double>(num_vertices);
+  }
+
+  void Compute(VertexContext* ctx) override;
+
+  /// Contributions to one vertex can be summed ahead of delivery.
+  MessageCombiner combiner() const override { return MessageCombiner::kSum; }
+
+  /// Tracks the total rank mass each superstep (diagnostic invariant).
+  std::vector<AggregatorSpec> aggregators() const override {
+    return {{"pagerank_mass", AggregatorKind::kSum}};
+  }
+
+  int max_iterations() const { return max_iterations_; }
+  double damping() const { return damping_; }
+
+ private:
+  int max_iterations_;
+  double damping_;
+};
+
+/// \brief Loads `graph` and runs PageRank on the Vertexica engine,
+/// returning per-vertex ranks (indexed by vertex id).
+Result<std::vector<double>> RunPageRank(Catalog* catalog, const Graph& graph,
+                                        int max_iterations = 10,
+                                        double damping = 0.85,
+                                        VertexicaOptions options = {},
+                                        RunStats* stats = nullptr);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_ALGORITHMS_PAGERANK_H_

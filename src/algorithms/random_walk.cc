@@ -1,0 +1,35 @@
+#include "algorithms/random_walk.h"
+
+namespace vertexica {
+
+void RandomWalkWithRestartProgram::Compute(VertexContext* ctx) {
+  if (ctx->superstep() >= 1) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < ctx->num_messages(); ++i) {
+      sum += ctx->GetMessage(i)[0];
+    }
+    const double restart_mass = ctx->vertex_id() == source_ ? restart_ : 0.0;
+    ctx->ModifyVertexValue((1.0 - restart_) * sum + restart_mass);
+  }
+  if (ctx->superstep() < max_iterations_) {
+    const int64_t degree = ctx->num_out_edges();
+    if (degree > 0 && ctx->GetVertexValue(0) > 0.0) {
+      ctx->SendMessageToAllNeighbors(ctx->GetVertexValue(0) /
+                                     static_cast<double>(degree));
+    }
+  } else {
+    ctx->VoteToHalt();
+  }
+}
+
+Result<std::vector<double>> RunRandomWalkWithRestart(
+    Catalog* catalog, const Graph& graph, int64_t source, int max_iterations,
+    double restart_probability, VertexicaOptions options, RunStats* stats) {
+  RandomWalkWithRestartProgram program(source, max_iterations,
+                                       restart_probability);
+  VX_RETURN_NOT_OK(
+      RunVertexProgram(catalog, graph, &program, options, {}, stats));
+  return ReadVertexValues(*catalog, {});
+}
+
+}  // namespace vertexica

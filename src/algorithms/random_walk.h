@@ -1,0 +1,52 @@
+/// \file random_walk.h
+/// \brief Random walk with restart (personalized PageRank), one of the
+/// message-passing algorithms §1 lists as expressible in Vertexica.
+
+#ifndef VERTEXICA_ALGORITHMS_RANDOM_WALK_H_
+#define VERTEXICA_ALGORITHMS_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "vertexica/coordinator.h"
+#include "vertexica/vertex_program.h"
+
+namespace vertexica {
+
+/// \brief Deterministic power-iteration RWR: v ← (1-c)·Wᵀv + c·e_source,
+/// where c is the restart probability. Converges to the personalized
+/// PageRank vector of the source vertex.
+class RandomWalkWithRestartProgram : public VertexProgram {
+ public:
+  RandomWalkWithRestartProgram(int64_t source, int max_iterations = 15,
+                               double restart_probability = 0.15)
+      : source_(source),
+        max_iterations_(max_iterations),
+        restart_(restart_probability) {}
+
+  int value_arity() const override { return 1; }
+  int message_arity() const override { return 1; }
+
+  void InitValue(int64_t vertex_id, int64_t /*num_vertices*/,
+                 double* value) const override {
+    value[0] = vertex_id == source_ ? 1.0 : 0.0;
+  }
+
+  void Compute(VertexContext* ctx) override;
+
+  MessageCombiner combiner() const override { return MessageCombiner::kSum; }
+
+ private:
+  int64_t source_;
+  int max_iterations_;
+  double restart_;
+};
+
+/// \brief Runs RWR from `source`; returns per-vertex proximity scores.
+Result<std::vector<double>> RunRandomWalkWithRestart(
+    Catalog* catalog, const Graph& graph, int64_t source,
+    int max_iterations = 15, double restart_probability = 0.15,
+    VertexicaOptions options = {}, RunStats* stats = nullptr);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_ALGORITHMS_RANDOM_WALK_H_

@@ -1,0 +1,178 @@
+#include "algorithms/reference.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace vertexica {
+
+std::vector<double> PageRankReference(const Graph& graph, int iterations,
+                                      double damping) {
+  const Graph g = graph.AsDirected();
+  const auto n = static_cast<size_t>(g.num_vertices);
+  const Csr csr = Csr::Build(g);
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(),
+              (1.0 - damping) / static_cast<double>(n));
+    for (size_t v = 0; v < n; ++v) {
+      const int64_t deg = csr.degree(static_cast<int64_t>(v));
+      if (deg == 0) continue;
+      const double share = damping * rank[v] / static_cast<double>(deg);
+      for (int64_t e = csr.offsets[v]; e < csr.offsets[v + 1]; ++e) {
+        next[static_cast<size_t>(csr.neighbors[static_cast<size_t>(e)])] +=
+            share;
+      }
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<double> DijkstraReference(const Graph& graph, int64_t source) {
+  const Csr csr = Csr::Build(graph);
+  const auto n = static_cast<size_t>(csr.num_vertices());
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  using Entry = std::pair<double, int64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[static_cast<size_t>(source)] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<size_t>(v)]) continue;
+    for (int64_t e = csr.offsets[static_cast<size_t>(v)];
+         e < csr.offsets[static_cast<size_t>(v) + 1]; ++e) {
+      const int64_t u = csr.neighbors[static_cast<size_t>(e)];
+      const double nd = d + csr.weights[static_cast<size_t>(e)];
+      if (nd < dist[static_cast<size_t>(u)]) {
+        dist[static_cast<size_t>(u)] = nd;
+        pq.emplace(nd, u);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+struct UnionFind {
+  explicit UnionFind(size_t n) : parent(n) {
+    for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int64_t>(i);
+  }
+  int64_t Find(int64_t x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int64_t a, int64_t b) {
+    const int64_t ra = Find(a);
+    const int64_t rb = Find(b);
+    if (ra == rb) return;
+    // Attach the larger root under the smaller so labels are min ids.
+    if (ra < rb) {
+      parent[static_cast<size_t>(rb)] = ra;
+    } else {
+      parent[static_cast<size_t>(ra)] = rb;
+    }
+  }
+  std::vector<int64_t> parent;
+};
+}  // namespace
+
+std::vector<int64_t> WccReference(const Graph& graph) {
+  UnionFind uf(static_cast<size_t>(graph.num_vertices));
+  for (int64_t e = 0; e < graph.num_edges(); ++e) {
+    uf.Union(graph.src[static_cast<size_t>(e)],
+             graph.dst[static_cast<size_t>(e)]);
+  }
+  std::vector<int64_t> labels(static_cast<size_t>(graph.num_vertices));
+  for (int64_t v = 0; v < graph.num_vertices; ++v) {
+    labels[static_cast<size_t>(v)] = uf.Find(v);
+  }
+  return labels;
+}
+
+namespace {
+/// Sorted unique undirected adjacency (no self loops).
+std::vector<std::vector<int64_t>> UndirectedAdjacency(const Graph& graph) {
+  std::vector<std::vector<int64_t>> adj(
+      static_cast<size_t>(graph.num_vertices));
+  for (int64_t e = 0; e < graph.num_edges(); ++e) {
+    const int64_t a = graph.src[static_cast<size_t>(e)];
+    const int64_t b = graph.dst[static_cast<size_t>(e)];
+    if (a == b) continue;
+    adj[static_cast<size_t>(a)].push_back(b);
+    adj[static_cast<size_t>(b)].push_back(a);
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adj;
+}
+}  // namespace
+
+int64_t TriangleCountReference(const Graph& graph) {
+  const auto adj = UndirectedAdjacency(graph);
+  int64_t triangles = 0;
+  // Count each triangle once via the ordered (a < b < c) orientation.
+  for (int64_t a = 0; a < graph.num_vertices; ++a) {
+    const auto& na = adj[static_cast<size_t>(a)];
+    for (int64_t b : na) {
+      if (b <= a) continue;
+      const auto& nb = adj[static_cast<size_t>(b)];
+      // Intersect neighbours greater than b.
+      size_t i = 0;
+      size_t j = 0;
+      while (i < na.size() && j < nb.size()) {
+        if (na[i] < nb[j]) {
+          ++i;
+        } else if (na[i] > nb[j]) {
+          ++j;
+        } else {
+          if (na[i] > b) ++triangles;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+std::vector<int64_t> PerVertexTrianglesReference(const Graph& graph) {
+  const auto adj = UndirectedAdjacency(graph);
+  std::vector<int64_t> counts(static_cast<size_t>(graph.num_vertices), 0);
+  for (int64_t a = 0; a < graph.num_vertices; ++a) {
+    const auto& na = adj[static_cast<size_t>(a)];
+    for (int64_t b : na) {
+      if (b <= a) continue;
+      const auto& nb = adj[static_cast<size_t>(b)];
+      size_t i = 0;
+      size_t j = 0;
+      while (i < na.size() && j < nb.size()) {
+        if (na[i] < nb[j]) {
+          ++i;
+        } else if (na[i] > nb[j]) {
+          ++j;
+        } else {
+          const int64_t c = na[i];
+          if (c > b) {
+            counts[static_cast<size_t>(a)]++;
+            counts[static_cast<size_t>(b)]++;
+            counts[static_cast<size_t>(c)]++;
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace vertexica

@@ -1,0 +1,39 @@
+/// \file reference.h
+/// \brief Textbook single-threaded reference implementations used by tests
+/// and benches to validate every engine (Vertexica vertex-centric,
+/// Vertexica SQL, the Giraph comparator, the GraphDB comparator).
+
+#ifndef VERTEXICA_ALGORITHMS_REFERENCE_H_
+#define VERTEXICA_ALGORITHMS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graphgen/graph.h"
+
+namespace vertexica {
+
+/// \brief Synchronous power iteration with the same update rule as the
+/// Pregel program: rank'(v) = (1-d)/N + d·Σ_{u→v} rank(u)/outdeg(u),
+/// run for exactly `iterations` updates.
+std::vector<double> PageRankReference(const Graph& graph, int iterations,
+                                      double damping = 0.85);
+
+/// \brief Dijkstra from `source` (non-negative weights); +inf when
+/// unreachable.
+std::vector<double> DijkstraReference(const Graph& graph, int64_t source);
+
+/// \brief Weakly connected components via union-find; labels are the
+/// minimum vertex id of each component.
+std::vector<int64_t> WccReference(const Graph& graph);
+
+/// \brief Exact triangle count of the undirected simple graph underlying
+/// `graph` (self-loops and duplicate edges ignored).
+int64_t TriangleCountReference(const Graph& graph);
+
+/// \brief Per-vertex triangle participation counts (same undirected view).
+std::vector<int64_t> PerVertexTrianglesReference(const Graph& graph);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_ALGORITHMS_REFERENCE_H_

@@ -1,0 +1,42 @@
+#include "algorithms/sssp.h"
+
+namespace vertexica {
+
+void ShortestPathProgram::Compute(VertexContext* ctx) {
+  double best = ctx->GetVertexValue(0);
+  bool improved = false;
+
+  if (ctx->superstep() == 0) {
+    // Only the source has a finite distance to propagate.
+    improved = ctx->vertex_id() == source_;
+  }
+  for (int64_t i = 0; i < ctx->num_messages(); ++i) {
+    const double candidate = ctx->GetMessage(i)[0];
+    if (candidate < best) {
+      best = candidate;
+      improved = true;
+    }
+  }
+  if (best < ctx->GetVertexValue(0)) {
+    ctx->ModifyVertexValue(best);
+  }
+  if (improved) {
+    for (int64_t e = 0; e < ctx->num_out_edges(); ++e) {
+      ctx->SendMessage(ctx->OutEdgeTarget(e), best + ctx->OutEdgeWeight(e));
+    }
+  }
+  ctx->VoteToHalt();
+}
+
+Result<std::vector<double>> RunShortestPaths(Catalog* catalog,
+                                             const Graph& graph,
+                                             int64_t source,
+                                             VertexicaOptions options,
+                                             RunStats* stats) {
+  ShortestPathProgram program(source);
+  VX_RETURN_NOT_OK(
+      RunVertexProgram(catalog, graph, &program, options, {}, stats));
+  return ReadVertexValues(*catalog, {});
+}
+
+}  // namespace vertexica

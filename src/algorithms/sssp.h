@@ -1,0 +1,53 @@
+/// \file sssp.h
+/// \brief Vertex-centric single-source shortest paths (§3.1 (ii)).
+
+#ifndef VERTEXICA_ALGORITHMS_SSSP_H_
+#define VERTEXICA_ALGORITHMS_SSSP_H_
+
+#include <limits>
+#include <vector>
+
+#include "vertexica/coordinator.h"
+#include "vertexica/vertex_program.h"
+
+namespace vertexica {
+
+/// \brief Pregel SSSP: a vertex relaxes to the minimum of its distance and
+/// incoming candidates, propagating improvements along out-edges. Purely
+/// message-driven: every vertex votes to halt each superstep and is only
+/// reawakened by a better candidate distance.
+class ShortestPathProgram : public VertexProgram {
+ public:
+  explicit ShortestPathProgram(int64_t source) : source_(source) {}
+
+  int value_arity() const override { return 1; }
+  int message_arity() const override { return 1; }
+
+  void InitValue(int64_t vertex_id, int64_t /*num_vertices*/,
+                 double* value) const override {
+    value[0] = vertex_id == source_
+                   ? 0.0
+                   : std::numeric_limits<double>::infinity();
+  }
+
+  void Compute(VertexContext* ctx) override;
+
+  MessageCombiner combiner() const override { return MessageCombiner::kMin; }
+
+  int64_t source() const { return source_; }
+
+ private:
+  int64_t source_;
+};
+
+/// \brief Loads `graph` and runs SSSP from `source` on the Vertexica engine.
+/// Unreachable vertices report +infinity.
+Result<std::vector<double>> RunShortestPaths(Catalog* catalog,
+                                             const Graph& graph,
+                                             int64_t source,
+                                             VertexicaOptions options = {},
+                                             RunStats* stats = nullptr);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_ALGORITHMS_SSSP_H_

@@ -1,0 +1,54 @@
+/// \file triangle_program.h
+/// \brief Triangle counting *as a vertex-centric program* — deliberately
+/// included to demonstrate §3.2's point: "vertex-centric computations …
+/// do not work very well, if at all, for queries which involve 1-hop
+/// neighborhood", because the vertex must first materialize its
+/// neighbourhood pairs as messages (a quadratic blow-up per vertex).
+///
+/// Algorithm (2 supersteps over the canonically oriented graph a→b, a<b):
+///  - superstep 0: vertex w enumerates ordered pairs (u, v), u < v, of its
+///    out-neighbours and sends the probe message [v] to u —
+///    Σ_w C(deg⁺(w), 2) messages;
+///  - superstep 1: vertex u counts how many probes name one of its own
+///    out-neighbours and contributes the count to the global "triangles"
+///    aggregator.
+///
+/// Compare with the three-join SQL formulation in sqlgraph/triangle_count.h
+/// (bench_ablation_1hop measures the gap).
+
+#ifndef VERTEXICA_ALGORITHMS_TRIANGLE_PROGRAM_H_
+#define VERTEXICA_ALGORITHMS_TRIANGLE_PROGRAM_H_
+
+#include "vertexica/coordinator.h"
+#include "vertexica/vertex_program.h"
+
+namespace vertexica {
+
+/// \brief The vertex-centric triangle counter described above.
+class TriangleCountProgram : public VertexProgram {
+ public:
+  int value_arity() const override { return 1; }
+  int message_arity() const override { return 1; }
+
+  void InitValue(int64_t, int64_t, double* value) const override {
+    value[0] = 0.0;
+  }
+
+  void Compute(VertexContext* ctx) override;
+
+  std::vector<AggregatorSpec> aggregators() const override {
+    return {{"triangles", AggregatorKind::kSum}};
+  }
+};
+
+/// \brief Counts triangles with the vertex-centric engine. `graph` may be
+/// arbitrary; it is canonically oriented internally. Returns the exact
+/// triangle count (matching TriangleCountReference / SqlTriangleCount).
+Result<int64_t> RunVertexCentricTriangleCount(Catalog* catalog,
+                                              const Graph& graph,
+                                              VertexicaOptions options = {},
+                                              RunStats* stats = nullptr);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_ALGORITHMS_TRIANGLE_PROGRAM_H_

@@ -1,0 +1,56 @@
+#include "catalog/catalog.h"
+
+namespace vertexica {
+
+Status Catalog::CreateTable(const std::string& name, Table table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("Table '" + name + "' already exists");
+  }
+  tables_[name] = std::make_shared<const Table>(std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::ReplaceTable(const std::string& name, Table table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tables_[name] = std::make_shared<const Table>(std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("Table '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Table>> Catalog::GetTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("Table '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.count(name) > 0;
+}
+
+Result<int64_t> Catalog::RowCount(const std::string& name) const {
+  VX_ASSIGN_OR_RETURN(auto table, GetTable(name));
+  return table->num_rows();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace vertexica

@@ -1,0 +1,55 @@
+/// \file catalog.h
+/// \brief Named-table catalog: the "database" the coordinator operates on.
+///
+/// The Vertexica coordinator is a stored procedure that reads and *replaces*
+/// the vertex/message tables each superstep (§2.3 "Update Vs Replace");
+/// `ReplaceTable` is the swap primitive it uses. The catalog is thread-safe
+/// so parallel workers can read tables while the coordinator owns writes.
+
+#ifndef VERTEXICA_CATALOG_CATALOG_H_
+#define VERTEXICA_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief A collection of named tables.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// \brief Registers a new table; fails if the name exists.
+  Status CreateTable(const std::string& name, Table table);
+
+  /// \brief Swaps in a new version of `name` (creates it if absent).
+  /// This models Vertica's cheap "replace table" used by §2.3.
+  Status ReplaceTable(const std::string& name, Table table);
+
+  /// \brief Removes a table; fails if absent.
+  Status DropTable(const std::string& name);
+
+  /// \brief Immutable snapshot handle of the current table version.
+  Result<std::shared_ptr<const Table>> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// \brief Number of rows, or NotFound.
+  Result<int64_t> RowCount(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const Table>> tables_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_CATALOG_CATALOG_H_

@@ -1,0 +1,94 @@
+#include "catalog/catalog_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/csv.h"
+
+namespace vertexica {
+
+namespace {
+
+const char* TypeToken(DataType t) { return DataTypeName(t); }
+
+Result<DataType> TokenToType(const std::string& token) {
+  if (token == "BOOL") return DataType::kBool;
+  if (token == "INT64") return DataType::kInt64;
+  if (token == "DOUBLE") return DataType::kDouble;
+  if (token == "STRING") return DataType::kString;
+  return Status::IoError("manifest: unknown type '" + token + "'");
+}
+
+}  // namespace
+
+Status SaveCatalog(const Catalog& catalog, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create '" + directory + "': " +
+                           ec.message());
+  }
+
+  std::ofstream manifest(directory + "/MANIFEST");
+  if (!manifest.is_open()) {
+    return Status::IoError("cannot write manifest in '" + directory + "'");
+  }
+
+  const auto names = catalog.TableNames();
+  int file_index = 0;
+  for (const auto& name : names) {
+    VX_ASSIGN_OR_RETURN(auto table, catalog.GetTable(name));
+    const std::string file = StringFormat("t%04d.csv", file_index++);
+    // Manifest line: file<TAB>table-name<TAB>col:TYPE<TAB>...
+    manifest << file << '\t' << name;
+    for (const auto& field : table->schema().fields()) {
+      manifest << '\t' << field.name << ':' << TypeToken(field.type);
+    }
+    manifest << '\n';
+    VX_RETURN_NOT_OK(WriteCsvFile(*table, directory + "/" + file));
+  }
+  manifest.flush();
+  if (!manifest.good()) return Status::IoError("manifest write failed");
+  return Status::OK();
+}
+
+Status LoadCatalog(const std::string& directory, Catalog* catalog) {
+  std::ifstream manifest(directory + "/MANIFEST");
+  if (!manifest.is_open()) {
+    return Status::IoError("no manifest in '" + directory + "'");
+  }
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (Trim(line).empty()) continue;
+    const auto parts = Split(line, '\t');
+    if (parts.size() < 2) {
+      return Status::IoError("bad manifest line: '" + line + "'");
+    }
+    const std::string& file = parts[0];
+    const std::string& name = parts[1];
+    Schema schema;
+    for (size_t i = 2; i < parts.size(); ++i) {
+      const auto colon = parts[i].rfind(':');
+      if (colon == std::string::npos) {
+        return Status::IoError("bad manifest column: '" + parts[i] + "'");
+      }
+      VX_ASSIGN_OR_RETURN(DataType type,
+                          TokenToType(parts[i].substr(colon + 1)));
+      schema.AddField({parts[i].substr(0, colon), type});
+    }
+    std::ifstream in(directory + "/" + file);
+    if (!in.is_open()) {
+      return Status::IoError("missing table file '" + file + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    VX_ASSIGN_OR_RETURN(Table table,
+                        ParseCsvWithSchema(buffer.str(), schema));
+    VX_RETURN_NOT_OK(catalog->ReplaceTable(name, std::move(table)));
+  }
+  return Status::OK();
+}
+
+}  // namespace vertexica

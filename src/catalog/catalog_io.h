@@ -1,0 +1,31 @@
+/// \file catalog_io.h
+/// \brief Catalog persistence: checkpoint and recovery.
+///
+/// §1 lists "transactions, checkpointing and recovery, fault tolerance,
+/// durability" among the relational features users are reluctant to
+/// forego. This module provides the checkpoint/recover pair: a catalog is
+/// saved as one CSV file per table plus a manifest recording names and
+/// schemas, and restored losslessly (types come from the manifest, not
+/// from CSV inference).
+
+#ifndef VERTEXICA_CATALOG_CATALOG_IO_H_
+#define VERTEXICA_CATALOG_CATALOG_IO_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace vertexica {
+
+/// \brief Writes every table of `catalog` into `directory` (created if
+/// missing): a `MANIFEST` file plus `<n>.csv` per table.
+Status SaveCatalog(const Catalog& catalog, const std::string& directory);
+
+/// \brief Restores a catalog previously written by SaveCatalog into
+/// `catalog` (existing tables with the same names are replaced).
+Status LoadCatalog(const std::string& directory, Catalog* catalog);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_CATALOG_CATALOG_IO_H_

@@ -1,0 +1,72 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace vertexica {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >=
+               g_log_level.load(std::memory_order_relaxed)),
+      level_(level) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << file << ":" << line << "] Check failed: ("
+          << condition << ") ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace vertexica

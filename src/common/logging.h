@@ -1,0 +1,81 @@
+/// \file logging.h
+/// \brief Minimal leveled logging and check macros.
+
+#ifndef VERTEXICA_COMMON_LOGGING_H_
+#define VERTEXICA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vertexica {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Process-wide minimum level below which log lines are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Accumulates one log line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// \brief Like LogMessage but aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vertexica
+
+#define VX_LOG(level)                                            \
+  ::vertexica::internal::LogMessage(::vertexica::LogLevel::level, \
+                                    __FILE__, __LINE__)
+
+/// Fatal invariant check: always evaluated, aborts with a message on failure.
+#define VX_CHECK(cond)                                                  \
+  if (!(cond))                                                          \
+  ::vertexica::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define VX_CHECK_OK(expr)                                          \
+  do {                                                             \
+    ::vertexica::Status _vx_st = (expr);                           \
+    VX_CHECK(_vx_st.ok()) << _vx_st.ToString();                    \
+  } while (0)
+
+#ifndef NDEBUG
+#define VX_DCHECK(cond) VX_CHECK(cond)
+#else
+#define VX_DCHECK(cond) \
+  if (false) ::vertexica::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+#endif
+
+#endif  // VERTEXICA_COMMON_LOGGING_H_

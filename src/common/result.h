@@ -1,0 +1,76 @@
+/// \file result.h
+/// \brief `Result<T>`: a value-or-Status union (Arrow idiom).
+
+#ifndef VERTEXICA_COMMON_RESULT_H_
+#define VERTEXICA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vertexica {
+
+/// \brief Holds either a successfully computed `T` or the `Status`
+/// describing why it could not be computed.
+///
+/// Construction from `T` yields a success result; construction from a
+/// non-OK `Status` yields a failure. Constructing from an OK status is a
+/// programming error and is converted to an Internal error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// \brief The failure status; `Status::OK()` when this result holds a value.
+  const Status& status() const { return status_; }
+
+  /// \brief Access the contained value. Requires `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Moves the value out, leaving the result in a moved-from state.
+  T MoveValueUnsafe() { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace vertexica
+
+/// Evaluates an expression returning Result<T>; on success assigns the value
+/// to `lhs`, on failure returns the status to the caller.
+#define VX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).MoveValueUnsafe();
+
+#define VX_ASSIGN_OR_RETURN(lhs, rexpr) \
+  VX_ASSIGN_OR_RETURN_IMPL(VX_CONCAT(_vx_result_, __COUNTER__), lhs, rexpr)
+
+#endif  // VERTEXICA_COMMON_RESULT_H_

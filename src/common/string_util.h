@@ -1,0 +1,32 @@
+/// \file string_util.h
+/// \brief Small string helpers shared across modules.
+
+#ifndef VERTEXICA_COMMON_STRING_UTIL_H_
+#define VERTEXICA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vertexica {
+
+/// \brief Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// \brief Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,83 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace vertexica {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = std::min(n, num_threads());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    futures.push_back(Submit([begin, end, &fn]() {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool pool(0);
+  return &pool;
+}
+
+void Barrier::ArriveAndWait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::size_t gen = generation_;
+  if (--count_ == 0) {
+    ++generation_;
+    count_ = threshold_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [this, gen]() { return generation_ != gen; });
+  }
+}
+
+}  // namespace vertexica

@@ -1,0 +1,38 @@
+/// \file timer.h
+/// \brief Wall-clock timing helpers used by benches and the time monitor.
+
+#ifndef VERTEXICA_COMMON_TIMER_H_
+#define VERTEXICA_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace vertexica {
+
+/// \brief Measures elapsed wall-clock time from construction (or Restart).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_COMMON_TIMER_H_

@@ -1,0 +1,292 @@
+#include "exec/aggregate.h"
+
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace vertexica {
+
+namespace {
+
+/// Per-(group, aggregate) running state.
+struct AccState {
+  double dsum = 0.0;
+  int64_t isum = 0;
+  int64_t count = 0;
+  bool seen = false;
+  Value extreme;  // current min or max
+};
+
+int CompareValues(const Value& a, const Value& b) {
+  if (a.is_string()) {
+    return a.string_value().compare(b.string_value());
+  }
+  if (a.is_bool()) {
+    const int x = a.bool_value() ? 1 : 0;
+    const int y = b.bool_value() ? 1 : 0;
+    return x - y;
+  }
+  const double x = a.AsDouble();
+  const double y = b.AsDouble();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+uint64_t HashGroupRow(const Table& t, const std::vector<int>& cols,
+                      int64_t row) {
+  uint64_t h = 0xabcdef01ULL;
+  for (int c : cols) h = HashCombine(h, t.column(c).HashRow(row));
+  return h;
+}
+
+bool GroupRowsEqual(const Table& t, const std::vector<int>& cols, int64_t a,
+                    int64_t b) {
+  for (int c : cols) {
+    const Column& col = t.column(c);
+    if (col.IsNull(a) != col.IsNull(b)) return false;
+    if (!col.IsNull(a) && col.CompareRows(a, col, b) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kSum:
+      return "SUM";
+    case AggOp::kCount:
+      return "COUNT";
+    case AggOp::kCountStar:
+      return "COUNT(*)";
+    case AggOp::kMin:
+      return "MIN";
+    case AggOp::kMax:
+      return "MAX";
+    case AggOp::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+HashAggregateOp::HashAggregateOp(OperatorPtr input,
+                                 std::vector<std::string> group_by,
+                                 std::vector<AggSpec> aggs)
+    : input_(std::move(input)),
+      group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)) {
+  const Schema& in = input_->output_schema();
+  for (const auto& g : group_by_) {
+    const int idx = in.FieldIndex(g);
+    if (idx < 0) {
+      init_status_ =
+          Status::InvalidArgument("Aggregate: no group-by column '" + g + "'");
+      return;
+    }
+    schema_.AddField(in.field(idx));
+  }
+  for (const auto& a : aggs_) {
+    DataType in_type = DataType::kInt64;
+    if (a.op != AggOp::kCountStar) {
+      const int idx = in.FieldIndex(a.input);
+      if (idx < 0) {
+        init_status_ = Status::InvalidArgument(
+            "Aggregate: no input column '" + a.input + "'");
+        return;
+      }
+      in_type = in.field(idx).type;
+      if ((a.op == AggOp::kSum || a.op == AggOp::kAvg) &&
+          !IsNumeric(in_type)) {
+        init_status_ = Status::TypeError(
+            std::string(AggOpName(a.op)) + " requires a numeric column");
+        return;
+      }
+    }
+    DataType out_type = DataType::kInt64;
+    switch (a.op) {
+      case AggOp::kSum:
+        out_type = in_type;
+        break;
+      case AggOp::kCount:
+      case AggOp::kCountStar:
+        out_type = DataType::kInt64;
+        break;
+      case AggOp::kMin:
+      case AggOp::kMax:
+        out_type = in_type;
+        break;
+      case AggOp::kAvg:
+        out_type = DataType::kDouble;
+        break;
+    }
+    schema_.AddField(Field{a.output, out_type});
+  }
+}
+
+Status HashAggregateOp::Compute() {
+  VX_ASSIGN_OR_RETURN(Table in, Collect(input_.get()));
+
+  std::vector<int> group_cols;
+  for (const auto& g : group_by_) {
+    VX_ASSIGN_OR_RETURN(int idx, in.ColumnIndex(g));
+    group_cols.push_back(idx);
+  }
+  std::vector<int> agg_cols;
+  for (const auto& a : aggs_) {
+    if (a.op == AggOp::kCountStar) {
+      agg_cols.push_back(-1);
+    } else {
+      VX_ASSIGN_OR_RETURN(int idx, in.ColumnIndex(a.input));
+      agg_cols.push_back(idx);
+    }
+  }
+
+  // Assign group ids. Fast path: single non-null INT64 key.
+  std::vector<int64_t> group_of(static_cast<size_t>(in.num_rows()));
+  std::vector<int64_t> representative;  // first row of each group
+  if (group_cols.size() == 1 &&
+      in.column(group_cols[0]).type() == DataType::kInt64 &&
+      in.column(group_cols[0]).null_count() == 0) {
+    const auto& keys = in.column(group_cols[0]).ints();
+    Int64HashMap<int64_t> ids(keys.size());
+    for (int64_t i = 0; i < in.num_rows(); ++i) {
+      int64_t& gid = ids.GetOrInsert(keys[static_cast<size_t>(i)], -1);
+      if (gid < 0) {
+        gid = static_cast<int64_t>(representative.size());
+        representative.push_back(i);
+      }
+      group_of[static_cast<size_t>(i)] = gid;
+    }
+  } else if (!group_cols.empty()) {
+    std::unordered_map<uint64_t, std::vector<int64_t>> chains;
+    for (int64_t i = 0; i < in.num_rows(); ++i) {
+      const uint64_t h = HashGroupRow(in, group_cols, i);
+      auto& chain = chains[h];
+      int64_t gid = -1;
+      for (int64_t g : chain) {
+        if (GroupRowsEqual(in, group_cols, representative[static_cast<size_t>(g)],
+                           i)) {
+          gid = g;
+          break;
+        }
+      }
+      if (gid < 0) {
+        gid = static_cast<int64_t>(representative.size());
+        representative.push_back(i);
+        chain.push_back(gid);
+      }
+      group_of[static_cast<size_t>(i)] = gid;
+    }
+  } else {
+    // Global aggregate: one group, possibly with zero rows.
+    representative.push_back(0);
+    for (auto& g : group_of) g = 0;
+  }
+
+  const size_t num_groups = representative.size();
+  const size_t num_aggs = aggs_.size();
+  std::vector<AccState> acc(num_groups * num_aggs);
+
+  for (int64_t i = 0; i < in.num_rows(); ++i) {
+    const auto gid = static_cast<size_t>(group_of[static_cast<size_t>(i)]);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      AccState& st = acc[gid * num_aggs + a];
+      if (aggs_[a].op == AggOp::kCountStar) {
+        ++st.count;
+        continue;
+      }
+      const Column& col = in.column(agg_cols[a]);
+      if (col.IsNull(i)) continue;
+      switch (aggs_[a].op) {
+        case AggOp::kCount:
+          ++st.count;
+          break;
+        case AggOp::kSum:
+        case AggOp::kAvg:
+          ++st.count;
+          if (col.type() == DataType::kInt64) {
+            st.isum += col.GetInt64(i);
+            st.dsum += static_cast<double>(col.GetInt64(i));
+          } else {
+            st.dsum += col.GetDouble(i);
+          }
+          break;
+        case AggOp::kMin:
+        case AggOp::kMax: {
+          Value v = col.GetValue(i);
+          if (!st.seen) {
+            st.extreme = std::move(v);
+            st.seen = true;
+          } else {
+            const int cmp = CompareValues(v, st.extreme);
+            if ((aggs_[a].op == AggOp::kMin && cmp < 0) ||
+                (aggs_[a].op == AggOp::kMax && cmp > 0)) {
+              st.extreme = std::move(v);
+            }
+          }
+          break;
+        }
+        case AggOp::kCountStar:
+          break;
+      }
+    }
+  }
+
+  // Materialize output.
+  std::vector<Column> out_cols;
+  for (size_t g = 0; g < group_cols.size(); ++g) {
+    out_cols.push_back(in.column(group_cols[g]).Take(representative));
+  }
+  const bool empty_global = group_by_.empty() && in.num_rows() == 0;
+  for (size_t a = 0; a < num_aggs; ++a) {
+    const DataType out_type =
+        schema_.field(static_cast<int>(group_cols.size() + a)).type;
+    Column col(out_type);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const AccState& st = acc[g * num_aggs + a];
+      switch (aggs_[a].op) {
+        case AggOp::kCountStar:
+        case AggOp::kCount:
+          col.AppendInt64(st.count);
+          break;
+        case AggOp::kSum:
+          if (st.count == 0 || empty_global) {
+            col.AppendNull();
+          } else if (out_type == DataType::kInt64) {
+            col.AppendInt64(st.isum);
+          } else {
+            col.AppendDouble(st.dsum);
+          }
+          break;
+        case AggOp::kAvg:
+          if (st.count == 0 || empty_global) {
+            col.AppendNull();
+          } else {
+            col.AppendDouble(st.dsum / static_cast<double>(st.count));
+          }
+          break;
+        case AggOp::kMin:
+        case AggOp::kMax:
+          if (!st.seen) {
+            col.AppendNull();
+          } else {
+            col.AppendValue(st.extreme);
+          }
+          break;
+      }
+    }
+    out_cols.push_back(std::move(col));
+  }
+  VX_ASSIGN_OR_RETURN(Table out, Table::Make(schema_, std::move(out_cols)));
+  result_ = std::move(out);
+  return Status::OK();
+}
+
+Result<std::optional<Table>> HashAggregateOp::Next() {
+  VX_RETURN_NOT_OK(init_status_);
+  if (done_) return std::optional<Table>{};
+  VX_RETURN_NOT_OK(Compute());
+  done_ = true;
+  return std::move(result_);
+}
+
+}  // namespace vertexica

@@ -1,0 +1,77 @@
+/// \file aggregate.h
+/// \brief Hash aggregation (GROUP BY) with SUM/COUNT/MIN/MAX/AVG.
+///
+/// Aggregation is central to the SQL graph algorithms (§3.2): PageRank sums
+/// contributions per destination, shortest paths takes MIN(distance) per
+/// vertex, triangle counting COUNTs per node, strong overlap COUNTs common
+/// neighbours per pair.
+
+#ifndef VERTEXICA_EXEC_AGGREGATE_H_
+#define VERTEXICA_EXEC_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace vertexica {
+
+enum class AggOp { kSum, kCount, kCountStar, kMin, kMax, kAvg };
+
+const char* AggOpName(AggOp op);
+
+/// \brief One aggregate: op + input column (ignored for COUNT(*)) + output
+/// column name.
+struct AggSpec {
+  AggOp op;
+  std::string input;   // empty for kCountStar
+  std::string output;
+};
+
+/// \brief Blocking hash-aggregation operator.
+///
+/// Output schema: the group-by columns (in the given order) followed by one
+/// column per AggSpec. With an empty group-by list produces exactly one row
+/// (global aggregate), even for empty input. NULL inputs are ignored by all
+/// aggregates except COUNT(*); SUM over int64 stays int64.
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr input, std::vector<std::string> group_by,
+                  std::vector<AggSpec> aggs);
+
+  const Schema& output_schema() const override { return schema_; }
+  Result<std::optional<Table>> Next() override;
+
+  std::string label() const override {
+    std::string out = "HashAggregate(by: ";
+    for (size_t i = 0; i < group_by_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by_[i];
+    }
+    out += "; ";
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::string(AggOpName(aggs_[i].op));
+      if (aggs_[i].op != AggOp::kCountStar) out += "(" + aggs_[i].input + ")";
+    }
+    return out + ")";
+  }
+  std::vector<const Operator*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  Status Compute();
+
+  OperatorPtr input_;
+  std::vector<std::string> group_by_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+  Status init_status_;
+  bool done_ = false;
+  std::optional<Table> result_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_EXEC_AGGREGATE_H_

@@ -1,0 +1,30 @@
+#include "exec/filter.h"
+
+namespace vertexica {
+
+FilterOp::FilterOp(OperatorPtr input, ExprPtr predicate)
+    : input_(std::move(input)), predicate_(std::move(predicate)) {}
+
+Result<std::optional<Table>> FilterOp::Next() {
+  for (;;) {
+    VX_ASSIGN_OR_RETURN(auto batch, input_->Next());
+    if (!batch.has_value()) return std::optional<Table>{};
+    VX_ASSIGN_OR_RETURN(Column mask, predicate_->Evaluate(*batch));
+    if (mask.type() != DataType::kBool) {
+      return Status::TypeError("Filter predicate must be BOOL: " +
+                               predicate_->ToString());
+    }
+    std::vector<int64_t> selected;
+    selected.reserve(static_cast<size_t>(batch->num_rows()));
+    for (int64_t i = 0; i < batch->num_rows(); ++i) {
+      if (!mask.IsNull(i) && mask.GetBool(i)) selected.push_back(i);
+    }
+    if (selected.empty()) continue;  // fetch more input
+    if (static_cast<int64_t>(selected.size()) == batch->num_rows()) {
+      return std::optional<Table>(std::move(*batch));
+    }
+    return std::optional<Table>(batch->Take(selected));
+  }
+}
+
+}  // namespace vertexica

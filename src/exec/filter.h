@@ -1,0 +1,37 @@
+/// \file filter.h
+/// \brief Selection (σ): keeps rows whose predicate evaluates to TRUE.
+
+#ifndef VERTEXICA_EXEC_FILTER_H_
+#define VERTEXICA_EXEC_FILTER_H_
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace vertexica {
+
+/// \brief Filters each input batch by a boolean predicate expression.
+/// Rows where the predicate is NULL are dropped (SQL WHERE semantics).
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr input, ExprPtr predicate);
+
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+  Result<std::optional<Table>> Next() override;
+
+  std::string label() const override {
+    return "Filter(" + predicate_->ToString() + ")";
+  }
+  std::vector<const Operator*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  OperatorPtr input_;
+  ExprPtr predicate_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_EXEC_FILTER_H_

@@ -1,0 +1,199 @@
+#include "exec/hash_join.h"
+
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "exec/operator.h"
+
+namespace vertexica {
+
+namespace {
+
+/// Gathers `indices` from `col`; index -1 produces NULL (left-join padding).
+Column TakeWithNulls(const Column& col, const std::vector<int64_t>& indices) {
+  Column out(col.type());
+  out.Reserve(static_cast<int64_t>(indices.size()));
+  for (int64_t idx : indices) {
+    if (idx < 0) {
+      out.AppendNull();
+    } else {
+      out.AppendValue(col.GetValue(idx));
+    }
+  }
+  return out;
+}
+
+uint64_t HashKeyRow(const Table& t, const std::vector<int>& key_cols,
+                    int64_t row) {
+  uint64_t h = 0x12345678ULL;
+  for (int c : key_cols) h = HashCombine(h, t.column(c).HashRow(row));
+  return h;
+}
+
+bool KeyRowHasNull(const Table& t, const std::vector<int>& key_cols,
+                   int64_t row) {
+  for (int c : key_cols) {
+    if (t.column(c).IsNull(row)) return true;
+  }
+  return false;
+}
+
+bool KeysEqual(const Table& a, const std::vector<int>& a_cols, int64_t ai,
+               const Table& b, const std::vector<int>& b_cols, int64_t bi) {
+  for (size_t k = 0; k < a_cols.size(); ++k) {
+    if (a.column(a_cols[k]).CompareRows(ai, b.column(b_cols[k]), bi) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner:
+      return "INNER";
+    case JoinType::kLeft:
+      return "LEFT";
+    case JoinType::kSemi:
+      return "SEMI";
+    case JoinType::kAnti:
+      return "ANTI";
+  }
+  return "?";
+}
+
+HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build,
+                       std::vector<std::string> probe_keys,
+                       std::vector<std::string> build_keys, JoinType type)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_key_names_(std::move(probe_keys)),
+      build_key_names_(std::move(build_keys)),
+      type_(type) {
+  if (probe_key_names_.size() != build_key_names_.size() ||
+      probe_key_names_.empty()) {
+    init_status_ = Status::InvalidArgument("HashJoin: bad key lists");
+    return;
+  }
+  const Schema& ps = probe_->output_schema();
+  const Schema& bs = build_->output_schema();
+  for (const auto& k : probe_key_names_) {
+    if (ps.FieldIndex(k) < 0) {
+      init_status_ =
+          Status::InvalidArgument("HashJoin: no probe column '" + k + "'");
+      return;
+    }
+  }
+  for (const auto& k : build_key_names_) {
+    if (bs.FieldIndex(k) < 0) {
+      init_status_ =
+          Status::InvalidArgument("HashJoin: no build column '" + k + "'");
+      return;
+    }
+  }
+  for (const auto& f : ps.fields()) schema_.AddField(f);
+  if (type_ == JoinType::kInner || type_ == JoinType::kLeft) {
+    for (const auto& f : bs.fields()) {
+      std::string name = f.name;
+      if (schema_.HasField(name)) name += "_r";
+      schema_.AddField(Field{std::move(name), f.type});
+    }
+  }
+}
+
+Status HashJoinOp::BuildHashTable() {
+  VX_ASSIGN_OR_RETURN(build_table_, Collect(build_.get()));
+  for (const auto& k : build_key_names_) {
+    VX_ASSIGN_OR_RETURN(int idx, build_table_.ColumnIndex(k));
+    build_key_cols_.push_back(idx);
+  }
+  index_.reserve(static_cast<size_t>(build_table_.num_rows()));
+  for (int64_t i = 0; i < build_table_.num_rows(); ++i) {
+    if (KeyRowHasNull(build_table_, build_key_cols_, i)) continue;
+    index_[HashKeyRow(build_table_, build_key_cols_, i)].push_back(i);
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Status HashJoinOp::ProbeBatch(const Table& batch,
+                              std::vector<int64_t>* probe_idx,
+                              std::vector<int64_t>* build_idx) {
+  std::vector<int> probe_cols;
+  for (const auto& k : probe_key_names_) {
+    VX_ASSIGN_OR_RETURN(int idx, batch.ColumnIndex(k));
+    probe_cols.push_back(idx);
+  }
+  for (int64_t i = 0; i < batch.num_rows(); ++i) {
+    bool matched = false;
+    if (!KeyRowHasNull(batch, probe_cols, i)) {
+      auto it = index_.find(HashKeyRow(batch, probe_cols, i));
+      if (it != index_.end()) {
+        for (int64_t bi : it->second) {
+          if (KeysEqual(batch, probe_cols, i, build_table_, build_key_cols_,
+                        bi)) {
+            matched = true;
+            if (type_ == JoinType::kInner || type_ == JoinType::kLeft) {
+              probe_idx->push_back(i);
+              build_idx->push_back(bi);
+            } else {
+              break;  // semi/anti only need existence
+            }
+          }
+        }
+      }
+    }
+    switch (type_) {
+      case JoinType::kLeft:
+        if (!matched) {
+          probe_idx->push_back(i);
+          build_idx->push_back(-1);
+        }
+        break;
+      case JoinType::kSemi:
+        if (matched) probe_idx->push_back(i);
+        break;
+      case JoinType::kAnti:
+        if (!matched) probe_idx->push_back(i);
+        break;
+      case JoinType::kInner:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Table>> HashJoinOp::Next() {
+  VX_RETURN_NOT_OK(init_status_);
+  if (!built_) VX_RETURN_NOT_OK(BuildHashTable());
+
+  for (;;) {
+    VX_ASSIGN_OR_RETURN(auto batch, probe_->Next());
+    if (!batch.has_value()) return std::optional<Table>{};
+
+    std::vector<int64_t> probe_idx;
+    std::vector<int64_t> build_idx;
+    VX_RETURN_NOT_OK(ProbeBatch(*batch, &probe_idx, &build_idx));
+    if (probe_idx.empty()) continue;
+
+    std::vector<Column> columns;
+    columns.reserve(static_cast<size_t>(schema_.num_fields()));
+    {
+      Table probe_side = batch->Take(probe_idx);
+      for (int c = 0; c < probe_side.num_columns(); ++c) {
+        columns.push_back(std::move(*probe_side.mutable_column(c)));
+      }
+    }
+    if (type_ == JoinType::kInner || type_ == JoinType::kLeft) {
+      for (int c = 0; c < build_table_.num_columns(); ++c) {
+        columns.push_back(TakeWithNulls(build_table_.column(c), build_idx));
+      }
+    }
+    VX_ASSIGN_OR_RETURN(Table out, Table::Make(schema_, std::move(columns)));
+    return std::optional<Table>(std::move(out));
+  }
+}
+
+}  // namespace vertexica

@@ -1,0 +1,18 @@
+#include "exec/limit.h"
+
+namespace vertexica {
+
+Result<std::optional<Table>> LimitOp::Next() {
+  if (remaining_ <= 0) return std::optional<Table>{};
+  VX_ASSIGN_OR_RETURN(auto batch, input_->Next());
+  if (!batch.has_value()) return std::optional<Table>{};
+  if (batch->num_rows() <= remaining_) {
+    remaining_ -= batch->num_rows();
+    return batch;
+  }
+  Table out = batch->Slice(0, remaining_);
+  remaining_ = 0;
+  return std::optional<Table>(std::move(out));
+}
+
+}  // namespace vertexica

@@ -1,0 +1,43 @@
+#include "exec/operator.h"
+
+#include <sstream>
+
+namespace vertexica {
+
+namespace {
+void ExplainInto(const Operator& op, int depth, std::ostringstream* out) {
+  for (int i = 0; i < depth; ++i) *out << "  ";
+  *out << op.label() << "\n";
+  for (const Operator* child : op.children()) {
+    ExplainInto(*child, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string ExplainPlan(const Operator& root) {
+  std::ostringstream out;
+  ExplainInto(root, 0, &out);
+  return out.str();
+}
+
+Result<Table> Collect(Operator* op) {
+  Table out(op->output_schema());
+  for (;;) {
+    VX_ASSIGN_OR_RETURN(auto batch, op->Next());
+    if (!batch.has_value()) break;
+    VX_RETURN_NOT_OK(out.Append(*batch));
+  }
+  return out;
+}
+
+Result<int64_t> CountRows(Operator* op) {
+  int64_t rows = 0;
+  for (;;) {
+    VX_ASSIGN_OR_RETURN(auto batch, op->Next());
+    if (!batch.has_value()) break;
+    rows += batch->num_rows();
+  }
+  return rows;
+}
+
+}  // namespace vertexica

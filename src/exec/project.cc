@@ -1,0 +1,31 @@
+#include "exec/project.h"
+
+namespace vertexica {
+
+ProjectOp::ProjectOp(OperatorPtr input, std::vector<ProjectionSpec> outputs)
+    : input_(std::move(input)), outputs_(std::move(outputs)) {
+  for (const auto& spec : outputs_) {
+    auto type = spec.expr->OutputType(input_->output_schema());
+    if (!type.ok()) {
+      init_status_ = type.status();
+      return;
+    }
+    schema_.AddField(Field{spec.name, *type});
+  }
+}
+
+Result<std::optional<Table>> ProjectOp::Next() {
+  VX_RETURN_NOT_OK(init_status_);
+  VX_ASSIGN_OR_RETURN(auto batch, input_->Next());
+  if (!batch.has_value()) return std::optional<Table>{};
+  std::vector<Column> columns;
+  columns.reserve(outputs_.size());
+  for (const auto& spec : outputs_) {
+    VX_ASSIGN_OR_RETURN(Column col, spec.expr->Evaluate(*batch));
+    columns.push_back(std::move(col));
+  }
+  VX_ASSIGN_OR_RETURN(Table out, Table::Make(schema_, std::move(columns)));
+  return std::optional<Table>(std::move(out));
+}
+
+}  // namespace vertexica

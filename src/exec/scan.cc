@@ -1,0 +1,21 @@
+#include "exec/scan.h"
+
+namespace vertexica {
+
+TableScan::TableScan(std::shared_ptr<const Table> table, int64_t batch_size)
+    : table_(std::move(table)), batch_size_(batch_size) {
+  VX_CHECK(batch_size_ > 0);
+}
+
+TableScan::TableScan(Table table, int64_t batch_size)
+    : TableScan(std::make_shared<const Table>(std::move(table)), batch_size) {}
+
+Result<std::optional<Table>> TableScan::Next() {
+  if (offset_ >= table_->num_rows()) return std::optional<Table>{};
+  const int64_t count = std::min(batch_size_, table_->num_rows() - offset_);
+  Table batch = table_->Slice(offset_, count);
+  offset_ += count;
+  return std::optional<Table>(std::move(batch));
+}
+
+}  // namespace vertexica

@@ -1,0 +1,40 @@
+/// \file scan.h
+/// \brief Table scan over an immutable table snapshot.
+
+#ifndef VERTEXICA_EXEC_SCAN_H_
+#define VERTEXICA_EXEC_SCAN_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+
+namespace vertexica {
+
+/// \brief Emits `batch_size`-row slices of a materialized table.
+class TableScan : public Operator {
+ public:
+  explicit TableScan(std::shared_ptr<const Table> table,
+                     int64_t batch_size = kDefaultBatchSize);
+
+  /// \brief Convenience overload copying a table value.
+  explicit TableScan(Table table, int64_t batch_size = kDefaultBatchSize);
+
+  const Schema& output_schema() const override { return table_->schema(); }
+  Result<std::optional<Table>> Next() override;
+
+  std::string label() const override {
+    return "TableScan(" + std::to_string(table_->num_rows()) + " rows)";
+  }
+  std::vector<const Operator*> children() const override {
+    return {};
+  }
+
+ private:
+  std::shared_ptr<const Table> table_;
+  int64_t batch_size_;
+  int64_t offset_ = 0;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_EXEC_SCAN_H_

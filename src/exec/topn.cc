@@ -1,0 +1,43 @@
+#include "exec/topn.h"
+
+#include "storage/sort.h"
+
+namespace vertexica {
+
+TopNOp::TopNOp(OperatorPtr input, std::vector<OrderBySpec> keys,
+               int64_t limit)
+    : input_(std::move(input)), keys_(std::move(keys)), limit_(limit) {}
+
+Result<std::optional<Table>> TopNOp::Next() {
+  if (done_) return std::optional<Table>{};
+  done_ = true;
+  if (limit_ <= 0) return std::optional<Table>(Table(input_->output_schema()));
+
+  std::vector<SortKey> resolved;
+  resolved.reserve(keys_.size());
+  for (const auto& k : keys_) {
+    const int idx = input_->output_schema().FieldIndex(k.column);
+    if (idx < 0) {
+      return Status::InvalidArgument("TopN: no column '" + k.column + "'");
+    }
+    resolved.push_back(SortKey{idx, k.ascending});
+  }
+
+  // Streaming candidates: append a batch, re-sort, truncate to `limit`.
+  // Memory stays O(limit + batch); each step is O((limit+B) log(limit+B)).
+  Table candidates(input_->output_schema());
+  for (;;) {
+    VX_ASSIGN_OR_RETURN(auto batch, input_->Next());
+    if (!batch.has_value()) break;
+    VX_RETURN_NOT_OK(candidates.Append(*batch));
+    if (candidates.num_rows() > 2 * limit_) {
+      candidates = SortTable(candidates, resolved).Slice(
+          0, std::min(limit_, candidates.num_rows()));
+    }
+  }
+  candidates = SortTable(candidates, resolved)
+                   .Slice(0, std::min(limit_, candidates.num_rows()));
+  return std::optional<Table>(std::move(candidates));
+}
+
+}  // namespace vertexica

@@ -1,0 +1,41 @@
+#include "exec/union_all.h"
+
+namespace vertexica {
+
+UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
+    : children_(std::move(children)) {
+  if (children_.empty()) {
+    init_status_ = Status::InvalidArgument("UnionAll: no children");
+    return;
+  }
+  schema_ = children_[0]->output_schema();
+  for (size_t i = 1; i < children_.size(); ++i) {
+    if (!children_[i]->output_schema().EqualTypes(schema_)) {
+      init_status_ = Status::TypeError(
+          "UnionAll: child " + std::to_string(i) + " has schema " +
+          children_[i]->output_schema().ToString() + ", expected types of " +
+          schema_.ToString());
+      return;
+    }
+  }
+}
+
+Result<std::optional<Table>> UnionAllOp::Next() {
+  VX_RETURN_NOT_OK(init_status_);
+  while (current_ < children_.size()) {
+    VX_ASSIGN_OR_RETURN(auto batch, children_[current_]->Next());
+    if (batch.has_value()) {
+      // Rename to the common schema (first child's names).
+      if (!batch->schema().Equals(schema_)) {
+        std::vector<std::string> names;
+        for (const auto& f : schema_.fields()) names.push_back(f.name);
+        return std::optional<Table>(batch->RenameColumns(names));
+      }
+      return batch;
+    }
+    ++current_;
+  }
+  return std::optional<Table>{};
+}
+
+}  // namespace vertexica

@@ -1,0 +1,42 @@
+/// \file union_all.h
+/// \brief UNION ALL over type-compatible children.
+///
+/// This is the operator behind the paper's headline optimization (§2.3
+/// "Table Unions"): the vertex, edge and message tables are renamed to a
+/// common schema and unioned — not joined — before being fed to workers.
+
+#ifndef VERTEXICA_EXEC_UNION_ALL_H_
+#define VERTEXICA_EXEC_UNION_ALL_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace vertexica {
+
+/// \brief Concatenates child streams. Children must have equal column
+/// types; output uses the first child's column names (the "common schema").
+class UnionAllOp : public Operator {
+ public:
+  explicit UnionAllOp(std::vector<OperatorPtr> children);
+
+  const Schema& output_schema() const override { return schema_; }
+  Result<std::optional<Table>> Next() override;
+
+  std::string label() const override { return "UnionAll"; }
+  std::vector<const Operator*> children() const override {
+    std::vector<const Operator*> out;
+    for (const auto& c : children_) out.push_back(c.get());
+    return out;
+  }
+
+ private:
+  std::vector<OperatorPtr> children_;
+  Schema schema_;
+  Status init_status_;
+  size_t current_ = 0;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_EXEC_UNION_ALL_H_

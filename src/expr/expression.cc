@@ -1,0 +1,584 @@
+#include "expr/expression.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace vertexica {
+
+namespace {
+
+bool IsArithmetic(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int64_t ApplyIntArith(BinaryOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return a + b;
+    case BinaryOp::kSub:
+      return a - b;
+    case BinaryOp::kMul:
+      return a * b;
+    case BinaryOp::kMod:
+      return b == 0 ? 0 : a % b;
+    default:
+      return 0;
+  }
+}
+
+double ApplyDoubleArith(BinaryOp op, double a, double b) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return a + b;
+    case BinaryOp::kSub:
+      return a - b;
+    case BinaryOp::kMul:
+      return a * b;
+    case BinaryOp::kDiv:
+      return a / b;
+    case BinaryOp::kMod:
+      return std::fmod(a, b);
+    default:
+      return 0.0;
+  }
+}
+
+bool ApplyCompare(BinaryOp op, int cmp) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return cmp == 0;
+    case BinaryOp::kNe:
+      return cmp != 0;
+    case BinaryOp::kLt:
+      return cmp < 0;
+    case BinaryOp::kLe:
+      return cmp <= 0;
+    case BinaryOp::kGt:
+      return cmp > 0;
+    case BinaryOp::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- ColumnRef
+
+Result<Column> ColumnRefExpr::Evaluate(const Table& batch) const {
+  const Column* col = batch.ColumnByName(name_);
+  if (col == nullptr) {
+    return Status::InvalidArgument("Unknown column '" + name_ + "' in " +
+                                   batch.schema().ToString());
+  }
+  return *col;
+}
+
+Result<DataType> ColumnRefExpr::OutputType(const Schema& schema) const {
+  const int idx = schema.FieldIndex(name_);
+  if (idx < 0) {
+    return Status::InvalidArgument("Unknown column '" + name_ + "' in " +
+                                   schema.ToString());
+  }
+  return schema.field(idx).type;
+}
+
+// ------------------------------------------------------------------ Literal
+
+Result<Column> LiteralExpr::Evaluate(const Table& batch) const {
+  Column out(type_);
+  out.Reserve(batch.num_rows());
+  for (int64_t i = 0; i < batch.num_rows(); ++i) out.AppendValue(value_);
+  return out;
+}
+
+Result<DataType> LiteralExpr::OutputType(const Schema&) const { return type_; }
+
+// ------------------------------------------------------------------- Binary
+
+Result<DataType> BinaryExpr::OutputType(const Schema& schema) const {
+  VX_ASSIGN_OR_RETURN(DataType lt, left_->OutputType(schema));
+  VX_ASSIGN_OR_RETURN(DataType rt, right_->OutputType(schema));
+  if (IsArithmetic(op_)) {
+    if (!IsNumeric(lt) || !IsNumeric(rt)) {
+      return Status::TypeError(StringFormat(
+          "Arithmetic '%s' requires numeric operands, got %s and %s",
+          BinaryOpName(op_), DataTypeName(lt), DataTypeName(rt)));
+    }
+    if (op_ == BinaryOp::kDiv) return DataType::kDouble;
+    return (lt == DataType::kDouble || rt == DataType::kDouble)
+               ? DataType::kDouble
+               : DataType::kInt64;
+  }
+  if (IsComparison(op_)) {
+    const bool both_numeric = IsNumeric(lt) && IsNumeric(rt);
+    if (lt != rt && !both_numeric) {
+      return Status::TypeError(StringFormat(
+          "Cannot compare %s with %s", DataTypeName(lt), DataTypeName(rt)));
+    }
+    return DataType::kBool;
+  }
+  // AND / OR
+  if (lt != DataType::kBool || rt != DataType::kBool) {
+    return Status::TypeError(StringFormat(
+        "'%s' requires BOOL operands, got %s and %s", BinaryOpName(op_),
+        DataTypeName(lt), DataTypeName(rt)));
+  }
+  return DataType::kBool;
+}
+
+Result<Column> BinaryExpr::Evaluate(const Table& batch) const {
+  VX_ASSIGN_OR_RETURN(DataType out_type, OutputType(batch.schema()));
+  VX_ASSIGN_OR_RETURN(Column lhs, left_->Evaluate(batch));
+  VX_ASSIGN_OR_RETURN(Column rhs, right_->Evaluate(batch));
+  const int64_t n = batch.num_rows();
+  Column out(out_type);
+  out.Reserve(n);
+
+  const bool no_nulls = lhs.null_count() == 0 && rhs.null_count() == 0;
+
+  if (IsArithmetic(op_)) {
+    if (out_type == DataType::kInt64 && no_nulls) {
+      // int64 (+,-,*,%) int64 fast path.
+      const auto& a = lhs.ints();
+      const auto& b = rhs.ints();
+      auto* dst = out.mutable_ints();
+      dst->resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        (*dst)[static_cast<size_t>(i)] = ApplyIntArith(
+            op_, a[static_cast<size_t>(i)], b[static_cast<size_t>(i)]);
+      }
+      return Column::FromInts(std::move(*dst));
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      if (lhs.IsNull(i) || rhs.IsNull(i)) {
+        out.AppendNull();
+        continue;
+      }
+      if (out_type == DataType::kInt64) {
+        out.AppendInt64(ApplyIntArith(op_, lhs.GetInt64(i), rhs.GetInt64(i)));
+      } else {
+        out.AppendDouble(
+            ApplyDoubleArith(op_, lhs.GetNumeric(i), rhs.GetNumeric(i)));
+      }
+    }
+    return out;
+  }
+
+  if (IsComparison(op_)) {
+    const bool numeric = IsNumeric(lhs.type()) && IsNumeric(rhs.type());
+    for (int64_t i = 0; i < n; ++i) {
+      if (lhs.IsNull(i) || rhs.IsNull(i)) {
+        out.AppendNull();
+        continue;
+      }
+      int cmp;
+      if (numeric && lhs.type() != rhs.type()) {
+        const double a = lhs.GetNumeric(i);
+        const double b = rhs.GetNumeric(i);
+        cmp = a < b ? -1 : (a > b ? 1 : 0);
+      } else {
+        cmp = lhs.CompareRows(i, rhs, i);
+      }
+      out.AppendBool(ApplyCompare(op_, cmp));
+    }
+    return out;
+  }
+
+  // AND / OR with Kleene semantics.
+  for (int64_t i = 0; i < n; ++i) {
+    const bool ln = lhs.IsNull(i);
+    const bool rn = rhs.IsNull(i);
+    const bool lv = ln ? false : lhs.GetBool(i);
+    const bool rv = rn ? false : rhs.GetBool(i);
+    if (op_ == BinaryOp::kAnd) {
+      if ((!ln && !lv) || (!rn && !rv)) {
+        out.AppendBool(false);
+      } else if (ln || rn) {
+        out.AppendNull();
+      } else {
+        out.AppendBool(true);
+      }
+    } else {  // OR
+      if ((!ln && lv) || (!rn && rv)) {
+        out.AppendBool(true);
+      } else if (ln || rn) {
+        out.AppendNull();
+      } else {
+        out.AppendBool(false);
+      }
+    }
+  }
+  return out;
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left_->ToString() + " " + BinaryOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+// -------------------------------------------------------------------- Unary
+
+Result<DataType> UnaryExpr::OutputType(const Schema& schema) const {
+  VX_ASSIGN_OR_RETURN(DataType t, input_->OutputType(schema));
+  switch (op_) {
+    case UnaryOp::kNot:
+      if (t != DataType::kBool) {
+        return Status::TypeError("NOT requires BOOL");
+      }
+      return DataType::kBool;
+    case UnaryOp::kNegate:
+    case UnaryOp::kAbs:
+      if (!IsNumeric(t)) {
+        return Status::TypeError("Numeric unary op requires numeric input");
+      }
+      return t;
+    case UnaryOp::kIsNull:
+    case UnaryOp::kIsNotNull:
+      return DataType::kBool;
+  }
+  return Status::Internal("bad unary op");
+}
+
+Result<Column> UnaryExpr::Evaluate(const Table& batch) const {
+  VX_ASSIGN_OR_RETURN(DataType out_type, OutputType(batch.schema()));
+  VX_ASSIGN_OR_RETURN(Column in, input_->Evaluate(batch));
+  const int64_t n = in.length();
+  Column out(out_type);
+  out.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    switch (op_) {
+      case UnaryOp::kIsNull:
+        out.AppendBool(in.IsNull(i));
+        break;
+      case UnaryOp::kIsNotNull:
+        out.AppendBool(!in.IsNull(i));
+        break;
+      case UnaryOp::kNot:
+        if (in.IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendBool(!in.GetBool(i));
+        }
+        break;
+      case UnaryOp::kNegate:
+        if (in.IsNull(i)) {
+          out.AppendNull();
+        } else if (in.type() == DataType::kInt64) {
+          out.AppendInt64(-in.GetInt64(i));
+        } else {
+          out.AppendDouble(-in.GetDouble(i));
+        }
+        break;
+      case UnaryOp::kAbs:
+        if (in.IsNull(i)) {
+          out.AppendNull();
+        } else if (in.type() == DataType::kInt64) {
+          out.AppendInt64(std::abs(in.GetInt64(i)));
+        } else {
+          out.AppendDouble(std::fabs(in.GetDouble(i)));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string UnaryExpr::ToString() const {
+  switch (op_) {
+    case UnaryOp::kNot:
+      return "NOT " + input_->ToString();
+    case UnaryOp::kNegate:
+      return "-" + input_->ToString();
+    case UnaryOp::kIsNull:
+      return input_->ToString() + " IS NULL";
+    case UnaryOp::kIsNotNull:
+      return input_->ToString() + " IS NOT NULL";
+    case UnaryOp::kAbs:
+      return "ABS(" + input_->ToString() + ")";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------------------- Cast
+
+Result<DataType> CastExpr::OutputType(const Schema& schema) const {
+  VX_ASSIGN_OR_RETURN(DataType t, input_->OutputType(schema));
+  if (t == to_) return to_;
+  if (to_ == DataType::kString) return to_;  // anything renders to string
+  if (IsNumeric(t) && IsNumeric(to_)) return to_;
+  if (t == DataType::kBool && to_ == DataType::kInt64) return to_;
+  return Status::TypeError(StringFormat("Cannot cast %s to %s",
+                                        DataTypeName(t), DataTypeName(to_)));
+}
+
+Result<Column> CastExpr::Evaluate(const Table& batch) const {
+  VX_RETURN_NOT_OK(OutputType(batch.schema()).status());
+  VX_ASSIGN_OR_RETURN(Column in, input_->Evaluate(batch));
+  if (in.type() == to_) return in;
+  Column out(to_);
+  out.Reserve(in.length());
+  for (int64_t i = 0; i < in.length(); ++i) {
+    if (in.IsNull(i)) {
+      out.AppendNull();
+      continue;
+    }
+    switch (to_) {
+      case DataType::kInt64:
+        if (in.type() == DataType::kBool) {
+          out.AppendInt64(in.GetBool(i) ? 1 : 0);
+        } else {
+          out.AppendInt64(static_cast<int64_t>(in.GetDouble(i)));
+        }
+        break;
+      case DataType::kDouble:
+        out.AppendDouble(in.GetNumeric(i));
+        break;
+      case DataType::kString: {
+        Value v = in.GetValue(i);
+        out.AppendString(v.is_string() ? v.string_value() : v.ToString());
+        break;
+      }
+      case DataType::kBool:
+        return Status::TypeError("Cannot cast to BOOL");
+    }
+  }
+  return out;
+}
+
+std::string CastExpr::ToString() const {
+  return StringFormat("CAST(%s AS %s)", input_->ToString().c_str(),
+                      DataTypeName(to_));
+}
+
+// ----------------------------------------------------------------------- If
+
+namespace {
+/// Common branch type for If/Coalesce: equal types, or promoted numeric.
+Result<DataType> BranchType(DataType a, DataType b, const char* what) {
+  if (a == b) return a;
+  if (IsNumeric(a) && IsNumeric(b)) return DataType::kDouble;
+  return Status::TypeError(StringFormat("%s branches have types %s and %s",
+                                        what, DataTypeName(a),
+                                        DataTypeName(b)));
+}
+
+void AppendCoerced(Column* out, const Column& in, int64_t i) {
+  if (in.IsNull(i)) {
+    out->AppendNull();
+  } else if (out->type() == DataType::kDouble &&
+             in.type() == DataType::kInt64) {
+    out->AppendDouble(static_cast<double>(in.GetInt64(i)));
+  } else {
+    out->AppendValue(in.GetValue(i));
+  }
+}
+}  // namespace
+
+Result<DataType> IfExpr::OutputType(const Schema& schema) const {
+  VX_ASSIGN_OR_RETURN(DataType ct, cond_->OutputType(schema));
+  if (ct != DataType::kBool) {
+    return Status::TypeError("CASE condition must be BOOL");
+  }
+  VX_ASSIGN_OR_RETURN(DataType tt, then_->OutputType(schema));
+  VX_ASSIGN_OR_RETURN(DataType et, else_->OutputType(schema));
+  return BranchType(tt, et, "CASE");
+}
+
+Result<Column> IfExpr::Evaluate(const Table& batch) const {
+  VX_ASSIGN_OR_RETURN(DataType out_type, OutputType(batch.schema()));
+  VX_ASSIGN_OR_RETURN(Column cond, cond_->Evaluate(batch));
+  VX_ASSIGN_OR_RETURN(Column thenv, then_->Evaluate(batch));
+  VX_ASSIGN_OR_RETURN(Column elsev, else_->Evaluate(batch));
+  Column out(out_type);
+  out.Reserve(cond.length());
+  for (int64_t i = 0; i < cond.length(); ++i) {
+    const bool take_then = !cond.IsNull(i) && cond.GetBool(i);
+    AppendCoerced(&out, take_then ? thenv : elsev, i);
+  }
+  return out;
+}
+
+std::string IfExpr::ToString() const {
+  return "CASE WHEN " + cond_->ToString() + " THEN " + then_->ToString() +
+         " ELSE " + else_->ToString() + " END";
+}
+
+// ------------------------------------------------------------------ Coalesce
+
+Result<DataType> CoalesceExpr::OutputType(const Schema& schema) const {
+  VX_ASSIGN_OR_RETURN(DataType a, first_->OutputType(schema));
+  VX_ASSIGN_OR_RETURN(DataType b, second_->OutputType(schema));
+  return BranchType(a, b, "COALESCE");
+}
+
+Result<Column> CoalesceExpr::Evaluate(const Table& batch) const {
+  VX_ASSIGN_OR_RETURN(DataType out_type, OutputType(batch.schema()));
+  VX_ASSIGN_OR_RETURN(Column a, first_->Evaluate(batch));
+  VX_ASSIGN_OR_RETURN(Column b, second_->Evaluate(batch));
+  Column out(out_type);
+  out.Reserve(a.length());
+  for (int64_t i = 0; i < a.length(); ++i) {
+    AppendCoerced(&out, a.IsNull(i) ? b : a, i);
+  }
+  return out;
+}
+
+std::string CoalesceExpr::ToString() const {
+  return "COALESCE(" + first_->ToString() + ", " + second_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------- Factories
+
+ExprPtr Col(std::string name) {
+  return std::make_shared<ColumnRefExpr>(std::move(name));
+}
+ExprPtr Lit(int64_t v) {
+  return std::make_shared<LiteralExpr>(Value(v), DataType::kInt64);
+}
+ExprPtr Lit(double v) {
+  return std::make_shared<LiteralExpr>(Value(v), DataType::kDouble);
+}
+ExprPtr Lit(bool v) {
+  return std::make_shared<LiteralExpr>(Value(v), DataType::kBool);
+}
+ExprPtr Lit(std::string v) {
+  return std::make_shared<LiteralExpr>(Value(std::move(v)), DataType::kString);
+}
+ExprPtr NullLit(DataType type) {
+  return std::make_shared<LiteralExpr>(Value::Null(), type);
+}
+
+namespace {
+ExprPtr MakeBinary(BinaryOp op, ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(op, std::move(a), std::move(b));
+}
+}  // namespace
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kAdd, std::move(a), std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kSub, std::move(a), std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kMul, std::move(a), std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kDiv, std::move(a), std::move(b));
+}
+ExprPtr Mod(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kMod, std::move(a), std::move(b));
+}
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kGe, std::move(a), std::move(b));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinaryOp::kOr, std::move(a), std::move(b));
+}
+ExprPtr Not(ExprPtr a) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kNot, std::move(a));
+}
+ExprPtr Negate(ExprPtr a) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kNegate, std::move(a));
+}
+ExprPtr IsNull(ExprPtr a) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kIsNull, std::move(a));
+}
+ExprPtr IsNotNull(ExprPtr a) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kIsNotNull, std::move(a));
+}
+ExprPtr Abs(ExprPtr a) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kAbs, std::move(a));
+}
+ExprPtr Cast(ExprPtr a, DataType to) {
+  return std::make_shared<CastExpr>(std::move(a), to);
+}
+ExprPtr If(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr) {
+  return std::make_shared<IfExpr>(std::move(cond), std::move(then_expr),
+                                  std::move(else_expr));
+}
+ExprPtr Coalesce(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CoalesceExpr>(std::move(a), std::move(b));
+}
+ExprPtr Least(ExprPtr a, ExprPtr b) {
+  // NULL-safe: pick b only when it is non-NULL and strictly smaller.
+  return If(And(IsNotNull(b), Lt(b, a)), b, a);
+}
+
+}  // namespace vertexica

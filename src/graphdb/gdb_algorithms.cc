@@ -1,0 +1,152 @@
+#include "graphdb/gdb_algorithms.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/timer.h"
+
+namespace vertexica {
+namespace graphdb {
+
+namespace {
+
+void FillStats(const GraphDb& db, const WallTimer& timer, GdbRunStats* stats) {
+  if (stats == nullptr) return;
+  stats->seconds = timer.ElapsedSeconds();
+  stats->node_accesses = db.store().node_accesses();
+  stats->rel_accesses = db.store().rel_accesses();
+  stats->prop_accesses = db.store().prop_accesses();
+  stats->modeled_io_seconds = static_cast<double>(stats->TotalAccesses()) *
+                              stats->access_latency_ns * 1e-9;
+  stats->total_seconds = stats->seconds + stats->modeled_io_seconds;
+}
+
+}  // namespace
+
+Result<std::vector<double>> GdbPageRank(GraphDb* db, int iterations,
+                                        double damping, GdbRunStats* stats) {
+  WallTimer timer;
+  db->mutable_store()->ResetAccessCounters();
+  const int64_t n = db->node_count();
+  if (n == 0) return std::vector<double>{};
+
+  // Seed rank and cache out-degrees as node properties (one transaction),
+  // the way an application would prepare a PageRank run.
+  {
+    Transaction tx = db->Begin();
+    for (int64_t v = 0; v < n; ++v) {
+      VX_RETURN_NOT_OK(tx.SetNodeProperty(
+          v, "rank", PropertyValue::Double(1.0 / static_cast<double>(n))));
+      VX_ASSIGN_OR_RETURN(int64_t deg, db->OutDegree(v));
+      VX_RETURN_NOT_OK(
+          tx.SetNodeProperty(v, "outdeg", PropertyValue::Int(deg)));
+    }
+    VX_RETURN_NOT_OK(tx.Commit());
+  }
+
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> next(static_cast<size_t>(n));
+    for (int64_t v = 0; v < n; ++v) {
+      double acc = 0.0;
+      VX_RETURN_NOT_OK(db->ForEachRelationship(
+          v, [&](int64_t, int64_t other, bool outgoing) {
+            if (!outgoing) {
+              auto rank = db->GetNodeProperty(other, "rank");
+              auto deg = db->GetNodeProperty(other, "outdeg");
+              if (rank.ok() && deg.ok() && deg->i > 0) {
+                acc += rank->d / static_cast<double>(deg->i);
+              }
+            }
+            return true;
+          }));
+      next[static_cast<size_t>(v)] =
+          (1.0 - damping) / static_cast<double>(n) + damping * acc;
+    }
+    Transaction tx = db->Begin();
+    for (int64_t v = 0; v < n; ++v) {
+      VX_RETURN_NOT_OK(tx.SetNodeProperty(
+          v, "rank", PropertyValue::Double(next[static_cast<size_t>(v)])));
+    }
+    VX_RETURN_NOT_OK(tx.Commit());
+  }
+
+  std::vector<double> out(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    VX_ASSIGN_OR_RETURN(PropertyValue rank, db->GetNodeProperty(v, "rank"));
+    out[static_cast<size_t>(v)] = rank.d;
+  }
+  FillStats(*db, timer, stats);
+  return out;
+}
+
+Result<std::vector<double>> GdbShortestPaths(GraphDb* db, int64_t source,
+                                             GdbRunStats* stats) {
+  WallTimer timer;
+  db->mutable_store()->ResetAccessCounters();
+  const int64_t n = db->node_count();
+  std::vector<double> dist(static_cast<size_t>(n),
+                           std::numeric_limits<double>::infinity());
+  if (source < 0 || source >= n) {
+    return Status::InvalidArgument("bad source node");
+  }
+  dist[static_cast<size_t>(source)] = 0.0;
+  // Label-correcting relaxation sweeps — the way a traversal-API
+  // application typically writes SSSP against a transactional store:
+  // rescan every node's relationships, reading the weight property per
+  // hop, until a whole sweep improves nothing. Converges to the exact
+  // distances (Bellman–Ford) in at most |V|-1 sweeps.
+  for (int64_t round = 0; round < std::max<int64_t>(1, n - 1); ++round) {
+    bool improved = false;
+    for (int64_t v = 0; v < n; ++v) {
+      const double dv = dist[static_cast<size_t>(v)];
+      if (dv == std::numeric_limits<double>::infinity()) continue;
+      VX_RETURN_NOT_OK(db->ForEachRelationship(
+          v, [&](int64_t rel, int64_t other, bool outgoing) {
+            if (!outgoing) return true;
+            auto weight = db->GetRelationshipProperty(rel, "weight");
+            const double w = weight.ok() ? weight->d : 1.0;
+            if (dv + w < dist[static_cast<size_t>(other)]) {
+              dist[static_cast<size_t>(other)] = dv + w;
+              improved = true;
+            }
+            return true;
+          }));
+    }
+    if (!improved) break;
+  }
+  FillStats(*db, timer, stats);
+  return dist;
+}
+
+Result<std::vector<int64_t>> GdbConnectedComponents(GraphDb* db,
+                                                    GdbRunStats* stats) {
+  WallTimer timer;
+  db->mutable_store()->ResetAccessCounters();
+  const int64_t n = db->node_count();
+  std::vector<int64_t> label(static_cast<size_t>(n), -1);
+  for (int64_t seed = 0; seed < n; ++seed) {
+    if (label[static_cast<size_t>(seed)] >= 0) continue;
+    // BFS over both directions; the seed is the minimum id of its
+    // component because we scan seeds in increasing order.
+    std::queue<int64_t> frontier;
+    frontier.push(seed);
+    label[static_cast<size_t>(seed)] = seed;
+    while (!frontier.empty()) {
+      const int64_t v = frontier.front();
+      frontier.pop();
+      VX_RETURN_NOT_OK(db->ForEachRelationship(
+          v, [&](int64_t, int64_t other, bool) {
+            if (label[static_cast<size_t>(other)] < 0) {
+              label[static_cast<size_t>(other)] = seed;
+              frontier.push(other);
+            }
+            return true;
+          }));
+    }
+  }
+  FillStats(*db, timer, stats);
+  return label;
+}
+
+}  // namespace graphdb
+}  // namespace vertexica

@@ -1,0 +1,427 @@
+#include "graphdb/graph_db.h"
+
+namespace vertexica {
+namespace graphdb {
+
+// ----------------------------------------------------------------- GraphDb
+
+Transaction GraphDb::Begin() {
+  write_mutex_.lock();  // exclusive writer; released on commit/rollback
+  return Transaction(this, next_txid_++);
+}
+
+int32_t GraphDb::InternType(const std::string& type) {
+  auto [it, _] =
+      type_ids_.emplace(type, static_cast<int32_t>(type_ids_.size()));
+  return it->second;
+}
+
+int32_t GraphDb::InternKey(const std::string& key) {
+  auto [it, _] = key_ids_.emplace(key, static_cast<int32_t>(key_ids_.size()));
+  return it->second;
+}
+
+int32_t GraphDb::LookupType(const std::string& type) const {
+  auto it = type_ids_.find(type);
+  return it == type_ids_.end() ? -1 : it->second;
+}
+
+Result<std::string> GraphDb::RelationshipType(int64_t rel) const {
+  if (!store_.ValidRel(rel)) {
+    return Status::InvalidArgument("no such relationship");
+  }
+  const int32_t id = store_.rel(rel).type;
+  for (const auto& [name, tid] : type_ids_) {
+    if (tid == id) return name;
+  }
+  return Status::Internal("relationship has unknown type id");
+}
+
+Result<int64_t> GraphDb::FindProperty(int64_t first_prop, int32_t key) const {
+  int64_t cur = first_prop;
+  while (cur != kNil) {
+    const PropertyRecord& p = store_.prop(cur);
+    if (p.in_use && p.key == key) return cur;
+    cur = p.next;
+  }
+  return Status::NotFound("property not found");
+}
+
+Result<PropertyValue> GraphDb::GetNodeProperty(int64_t node,
+                                               const std::string& key) const {
+  if (!store_.ValidNode(node)) {
+    return Status::InvalidArgument("no such node");
+  }
+  auto key_it = key_ids_.find(key);
+  if (key_it == key_ids_.end()) return Status::NotFound("unknown key");
+  VX_ASSIGN_OR_RETURN(int64_t pid,
+                      FindProperty(store_.node(node).first_prop,
+                                   key_it->second));
+  return store_.prop(pid).value;
+}
+
+Result<PropertyValue> GraphDb::GetRelationshipProperty(
+    int64_t rel, const std::string& key) const {
+  if (!store_.ValidRel(rel)) {
+    return Status::InvalidArgument("no such relationship");
+  }
+  auto key_it = key_ids_.find(key);
+  if (key_it == key_ids_.end()) return Status::NotFound("unknown key");
+  VX_ASSIGN_OR_RETURN(
+      int64_t pid, FindProperty(store_.rel(rel).first_prop, key_it->second));
+  return store_.prop(pid).value;
+}
+
+Status GraphDb::ForEachRelationship(
+    int64_t node,
+    const std::function<bool(int64_t, int64_t, bool)>& fn) const {
+  if (!store_.ValidNode(node)) {
+    return Status::InvalidArgument("no such node");
+  }
+  int64_t cur = store_.node(node).first_rel;
+  while (cur != kNil) {
+    const RelationshipRecord& r = store_.rel(cur);
+    const bool outgoing = r.src == node;
+    const int64_t other = outgoing ? r.dst : r.src;
+    const int64_t next = outgoing ? r.src_next : r.dst_next;
+    if (r.in_use && !fn(cur, other, outgoing)) break;
+    cur = next;
+  }
+  return Status::OK();
+}
+
+Result<int64_t> GraphDb::OutDegree(int64_t node) const {
+  int64_t degree = 0;
+  VX_RETURN_NOT_OK(ForEachRelationship(
+      node, [&degree](int64_t, int64_t, bool outgoing) {
+        if (outgoing) ++degree;
+        return true;
+      }));
+  return degree;
+}
+
+Status GraphDb::SetPropertyImpl(int64_t entity, bool is_node, int32_t key,
+                                PropertyValue value,
+                                std::vector<UndoEntry>* undo) {
+  int64_t* head = is_node ? &store_.node(entity).first_prop
+                          : &store_.rel(entity).first_prop;
+  auto found = FindProperty(*head, key);
+  if (found.ok()) {
+    PropertyRecord& p = store_.prop(*found);
+    UndoEntry u;
+    u.kind = UndoEntry::Kind::kRestoreProperty;
+    u.entity = *found;
+    u.old_value = p.value;
+    undo->push_back(u);
+    p.value = value;
+  } else {
+    const int64_t pid = store_.AllocProperty();
+    PropertyRecord& p = store_.prop(pid);
+    p.key = key;
+    p.value = value;
+    p.next = *head;
+    *head = pid;
+    UndoEntry u;
+    u.kind = UndoEntry::Kind::kRemoveProperty;
+    u.entity = pid;
+    u.entity_is_node = is_node;
+    u.key = key;
+    undo->push_back(u);
+    // Remember which chain owns it for rollback unlinking.
+    undo->back().old_value =
+        PropertyValue::Int(entity);  // chain owner stashed here
+  }
+  return Status::OK();
+}
+
+Status GraphDb::LoadGraph(const Graph& graph, const std::string& rel_type) {
+  const Graph g = graph.AsDirected();
+  Transaction tx = Begin();
+  for (int64_t v = 0; v < g.num_vertices; ++v) tx.CreateNode();
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    VX_ASSIGN_OR_RETURN(
+        int64_t rel,
+        tx.CreateRelationship(g.src[static_cast<size_t>(e)],
+                              g.dst[static_cast<size_t>(e)], rel_type));
+    VX_RETURN_NOT_OK(tx.SetRelationshipProperty(
+        rel, "weight", PropertyValue::Double(g.EdgeWeight(e))));
+  }
+  return tx.Commit();
+}
+
+// -------------------------------------------------------------- Transaction
+
+Transaction::Transaction(GraphDb* db, int64_t txid) : db_(db), txid_(txid) {
+  db_->wal_.Append({txid_, WalOp::kBegin, -1, -1, 0.0});
+}
+
+Transaction::Transaction(Transaction&& other) noexcept
+    : db_(other.db_),
+      txid_(other.txid_),
+      finished_(other.finished_),
+      undo_(std::move(other.undo_)) {
+  other.finished_ = true;
+  other.db_ = nullptr;
+}
+
+Transaction::~Transaction() {
+  if (!finished_) Rollback();
+}
+
+int64_t Transaction::CreateNode() {
+  const int64_t id = db_->store_.AllocNode();
+  db_->wal_.Append({txid_, WalOp::kCreateNode, id, -1, 0.0});
+  UndoEntry u;
+  u.kind = UndoEntry::Kind::kUnallocNode;
+  u.entity = id;
+  undo_.push_back(u);
+  return id;
+}
+
+Result<int64_t> Transaction::CreateRelationship(int64_t src, int64_t dst,
+                                                const std::string& type) {
+  RecordStore& store = db_->store_;
+  if (!store.ValidNode(src) || !store.ValidNode(dst)) {
+    return Status::InvalidArgument("CreateRelationship: bad endpoint");
+  }
+  const int64_t id = store.AllocRelationship();
+  RelationshipRecord& r = store.rel(id);
+  r.src = src;
+  r.dst = dst;
+  r.type = db_->InternType(type);
+
+  // Head-insert into the source chain.
+  const int64_t src_head = store.node(src).first_rel;
+  r.src_next = src_head;
+  if (src_head != kNil) {
+    RelationshipRecord& o = store.rel(src_head);
+    if (o.src == src) {
+      o.src_prev = id;
+    } else {
+      o.dst_prev = id;
+    }
+  }
+  store.node(src).first_rel = id;
+
+  // Head-insert into the destination chain (self-loops live on the source
+  // chain only).
+  if (dst != src) {
+    const int64_t dst_head = store.node(dst).first_rel;
+    r.dst_next = dst_head;
+    if (dst_head != kNil) {
+      RelationshipRecord& o = store.rel(dst_head);
+      if (o.src == dst) {
+        o.src_prev = id;
+      } else {
+        o.dst_prev = id;
+      }
+    }
+    store.node(dst).first_rel = id;
+  }
+
+  db_->wal_.Append({txid_, WalOp::kCreateRelationship, id, -1, 0.0});
+  UndoEntry u;
+  u.kind = UndoEntry::Kind::kUnallocRel;
+  u.entity = id;
+  undo_.push_back(u);
+  return id;
+}
+
+namespace {
+
+/// Unlinks a relationship from one endpoint's chain given its neighbours.
+void UnlinkSide(RecordStore* store, int64_t node_id, int64_t prev,
+                int64_t next) {
+  if (prev == kNil) {
+    store->node(node_id).first_rel = next;
+  } else {
+    RelationshipRecord& p = store->rel(prev);
+    if (p.src == node_id) {
+      p.src_next = next;
+    } else {
+      p.dst_next = next;
+    }
+  }
+  if (next != kNil) {
+    RelationshipRecord& nx = store->rel(next);
+    if (nx.src == node_id) {
+      nx.src_prev = prev;
+    } else {
+      nx.dst_prev = prev;
+    }
+  }
+}
+
+}  // namespace
+
+Status Transaction::DeleteRelationship(int64_t rel_id) {
+  RecordStore& store = db_->store_;
+  if (!store.ValidRel(rel_id)) {
+    return Status::InvalidArgument("DeleteRelationship: no such relationship");
+  }
+  RelationshipRecord snapshot = store.rel(rel_id);
+  UnlinkSide(&store, snapshot.src, snapshot.src_prev,
+             snapshot.src_next);
+  if (snapshot.dst != snapshot.src) {
+    UnlinkSide(&store, snapshot.dst, snapshot.dst_prev,
+               snapshot.dst_next);
+  }
+  RelationshipRecord& r = store.rel(rel_id);
+  r.in_use = false;
+
+  db_->wal_.Append({txid_, WalOp::kDeleteRelationship, rel_id, -1, 0.0});
+  UndoEntry u;
+  u.kind = UndoEntry::Kind::kRelinkRel;
+  u.entity = rel_id;
+  u.rel_snapshot = snapshot;
+  undo_.push_back(u);
+  return Status::OK();
+}
+
+Status Transaction::DeleteNode(int64_t node_id) {
+  RecordStore& store = db_->store_;
+  if (!store.ValidNode(node_id)) {
+    return Status::InvalidArgument("DeleteNode: no such node");
+  }
+  // Cascade: delete every relationship in the node's chain first (each
+  // deletion is individually undoable).
+  for (;;) {
+    const int64_t rel = store.node(node_id).first_rel;
+    if (rel == kNil) break;
+    VX_RETURN_NOT_OK(DeleteRelationship(rel));
+  }
+  store.node(node_id).in_use = false;
+  db_->wal_.Append({txid_, WalOp::kDeleteNode, node_id, -1, 0.0});
+  UndoEntry u;
+  u.kind = UndoEntry::Kind::kReviveNode;
+  u.entity = node_id;
+  undo_.push_back(u);
+  return Status::OK();
+}
+
+Status Transaction::SetNodeProperty(int64_t node, const std::string& key,
+                                    PropertyValue value) {
+  if (!db_->store_.ValidNode(node)) {
+    return Status::InvalidArgument("SetNodeProperty: no such node");
+  }
+  const int32_t key_id = db_->InternKey(key);
+  db_->wal_.Append({txid_, WalOp::kSetProperty, node, key_id,
+                    value.kind == PropertyValue::Kind::kDouble
+                        ? value.d
+                        : static_cast<double>(value.i)});
+  return db_->SetPropertyImpl(node, /*is_node=*/true, key_id, value, &undo_);
+}
+
+Status Transaction::SetRelationshipProperty(int64_t rel,
+                                            const std::string& key,
+                                            PropertyValue value) {
+  if (!db_->store_.ValidRel(rel)) {
+    return Status::InvalidArgument("SetRelationshipProperty: no such rel");
+  }
+  const int32_t key_id = db_->InternKey(key);
+  db_->wal_.Append({txid_, WalOp::kSetProperty, rel, key_id,
+                    value.kind == PropertyValue::Kind::kDouble
+                        ? value.d
+                        : static_cast<double>(value.i)});
+  return db_->SetPropertyImpl(rel, /*is_node=*/false, key_id, value, &undo_);
+}
+
+Status Transaction::Commit() {
+  if (finished_) return Status::Aborted("transaction already finished");
+  db_->wal_.Append({txid_, WalOp::kCommit, -1, -1, 0.0});
+  finished_ = true;
+  undo_.clear();
+  db_->write_mutex_.unlock();
+  return Status::OK();
+}
+
+void Transaction::Rollback() {
+  if (finished_) return;
+  RecordStore& store = db_->store_;
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    switch (it->kind) {
+      case UndoEntry::Kind::kUnallocNode:
+        store.node(it->entity).in_use = false;
+        break;
+      case UndoEntry::Kind::kUnallocRel: {
+        RelationshipRecord& r = store.rel(it->entity);
+        if (r.in_use) {
+          RelationshipRecord snapshot = r;
+          UnlinkSide(&store, snapshot.src, snapshot.src_prev,
+                     snapshot.src_next);
+          if (snapshot.dst != snapshot.src) {
+            UnlinkSide(&store, snapshot.dst, snapshot.dst_prev,
+                       snapshot.dst_next);
+          }
+          r.in_use = false;
+        }
+        break;
+      }
+      case UndoEntry::Kind::kRestoreProperty:
+        store.prop(it->entity).value = it->old_value;
+        break;
+      case UndoEntry::Kind::kRemoveProperty: {
+        // The chain owner id was stashed in old_value.i.
+        const int64_t owner = it->old_value.i;
+        int64_t* head = it->entity_is_node
+                            ? &store.node(owner).first_prop
+                            : &store.rel(owner).first_prop;
+        int64_t cur = *head;
+        int64_t prev = kNil;
+        while (cur != kNil) {
+          if (cur == it->entity) {
+            if (prev == kNil) {
+              *head = store.prop(cur).next;
+            } else {
+              store.prop(prev).next = store.prop(cur).next;
+            }
+            store.prop(cur).in_use = false;
+            break;
+          }
+          prev = cur;
+          cur = store.prop(cur).next;
+        }
+        break;
+      }
+      case UndoEntry::Kind::kRelinkRel: {
+        // Restore the snapshot and re-link at its original positions.
+        RelationshipRecord& r = store.rel(it->entity);
+        r = it->rel_snapshot;
+        const auto relink_side = [&](int64_t node_id, int64_t prev,
+                                     int64_t next) {
+          if (prev == kNil) {
+            store.node(node_id).first_rel = it->entity;
+          } else {
+            RelationshipRecord& p = store.rel(prev);
+            if (p.src == node_id) {
+              p.src_next = it->entity;
+            } else {
+              p.dst_next = it->entity;
+            }
+          }
+          if (next != kNil) {
+            RelationshipRecord& nx = store.rel(next);
+            if (nx.src == node_id) {
+              nx.src_prev = it->entity;
+            } else {
+              nx.dst_prev = it->entity;
+            }
+          }
+        };
+        relink_side(r.src, r.src_prev, r.src_next);
+        if (r.dst != r.src) relink_side(r.dst, r.dst_prev, r.dst_next);
+        break;
+      }
+      case UndoEntry::Kind::kReviveNode:
+        store.node(it->entity).in_use = true;
+        break;
+    }
+  }
+  db_->wal_.Append({txid_, WalOp::kAbort, -1, -1, 0.0});
+  finished_ = true;
+  undo_.clear();
+  db_->write_mutex_.unlock();
+}
+
+}  // namespace graphdb
+}  // namespace vertexica

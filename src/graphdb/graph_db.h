@@ -1,0 +1,153 @@
+/// \file graph_db.h
+/// \brief The transactional property-graph database baseline (Figure 2's
+/// "Graph Database"): record stores + WAL + lock-based transactions + a
+/// traversal API.
+///
+/// Deliberately faithful to a 2014-era embedded graph database: exclusive
+/// write transactions guarded by a store lock, per-hop record chasing, and
+/// property access through linked chains. Algorithms run via the traversal
+/// API (see gdb_algorithms.h) and therefore pay these costs on every hop —
+/// which is why this system loses to both Giraph and Vertexica.
+
+#ifndef VERTEXICA_GRAPHDB_GRAPH_DB_H_
+#define VERTEXICA_GRAPHDB_GRAPH_DB_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graphdb/record_store.h"
+#include "graphdb/wal.h"
+#include "graphgen/graph.h"
+
+namespace vertexica {
+namespace graphdb {
+
+/// \brief Undo record for rollback.
+struct UndoEntry {
+  enum class Kind : uint8_t {
+    kUnallocNode,
+    kUnallocRel,
+    kRestoreProperty,  // property existed with old value
+    kRemoveProperty,   // property was created by this tx
+    kRelinkRel,        // relationship was deleted; restore the snapshot
+    kReviveNode,       // node was deleted; mark in_use again
+  } kind;
+  int64_t entity = -1;
+  bool entity_is_node = true;
+  int32_t key = -1;
+  PropertyValue old_value;
+  RelationshipRecord rel_snapshot;  // kRelinkRel only
+};
+
+class GraphDb;
+
+/// \brief An exclusive read-write transaction. Commit or Rollback exactly
+/// once; destruction without commit rolls back (RAII).
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  Transaction(Transaction&& other) noexcept;
+
+  /// \name Mutations
+  /// @{
+  int64_t CreateNode();
+  Result<int64_t> CreateRelationship(int64_t src, int64_t dst,
+                                     const std::string& type);
+  Status DeleteRelationship(int64_t rel_id);
+  /// Deletes a node and (cascade) every relationship attached to it.
+  Status DeleteNode(int64_t node_id);
+  Status SetNodeProperty(int64_t node, const std::string& key,
+                         PropertyValue value);
+  Status SetRelationshipProperty(int64_t rel, const std::string& key,
+                                 PropertyValue value);
+  /// @}
+
+  Status Commit();
+  void Rollback();
+
+  int64_t id() const { return txid_; }
+
+ private:
+  friend class GraphDb;
+  Transaction(GraphDb* db, int64_t txid);
+
+  GraphDb* db_;
+  int64_t txid_;
+  bool finished_ = false;
+  std::vector<UndoEntry> undo_;
+};
+
+/// \brief The embedded graph database.
+class GraphDb {
+ public:
+  GraphDb() = default;
+
+  /// \brief Starts an exclusive write transaction (blocks other writers).
+  Transaction Begin();
+
+  /// \name Read API (no transaction required; snapshot-free reads as in an
+  /// embedded 2014-era store)
+  /// @{
+  int64_t node_count() const { return store_.node_count(); }
+  int64_t relationship_count() const { return store_.rel_count(); }
+
+  Result<PropertyValue> GetNodeProperty(int64_t node,
+                                        const std::string& key) const;
+  Result<PropertyValue> GetRelationshipProperty(int64_t rel,
+                                                const std::string& key) const;
+
+  /// \brief Walks `node`'s relationship chain; fn(rel_id, other_end,
+  /// is_outgoing). Stops early if fn returns false.
+  Status ForEachRelationship(
+      int64_t node,
+      const std::function<bool(int64_t rel, int64_t other, bool outgoing)>& fn)
+      const;
+
+  /// \brief Out-degree of a node (chain walk — O(degree), like Neo4j
+  /// pre-dense-node optimization).
+  Result<int64_t> OutDegree(int64_t node) const;
+
+  /// \brief Interned id for a relationship type / property key.
+  int32_t InternType(const std::string& type);
+  int32_t InternKey(const std::string& key);
+
+  /// \brief Id of an already-interned relationship type, or -1.
+  int32_t LookupType(const std::string& type) const;
+
+  /// \brief Type name of a relationship.
+  Result<std::string> RelationshipType(int64_t rel) const;
+  /// @}
+
+  /// \brief Bulk-loads a graph: one node per vertex, one relationship per
+  /// edge with `weight` property, all inside a single transaction.
+  Status LoadGraph(const Graph& graph, const std::string& rel_type = "edge");
+
+  const Wal& wal() const { return wal_; }
+  RecordStore* mutable_store() { return &store_; }
+  const RecordStore& store() const { return store_; }
+
+ private:
+  friend class Transaction;
+
+  Result<int64_t> FindProperty(int64_t first_prop, int32_t key) const;
+  Status SetPropertyImpl(int64_t entity, bool is_node, int32_t key,
+                         PropertyValue value, std::vector<UndoEntry>* undo);
+
+  RecordStore store_;
+  Wal wal_;
+  std::mutex write_mutex_;
+  int64_t next_txid_ = 1;
+  std::map<std::string, int32_t> type_ids_;
+  std::map<std::string, int32_t> key_ids_;
+};
+
+}  // namespace graphdb
+}  // namespace vertexica
+
+#endif  // VERTEXICA_GRAPHDB_GRAPH_DB_H_

@@ -1,0 +1,36 @@
+#include "graphdb/record_store.h"
+
+namespace vertexica {
+namespace graphdb {
+
+int64_t RecordStore::AllocNode() {
+  nodes_.emplace_back();
+  nodes_.back().in_use = true;
+  return static_cast<int64_t>(nodes_.size()) - 1;
+}
+
+int64_t RecordStore::AllocRelationship() {
+  rels_.emplace_back();
+  rels_.back().in_use = true;
+  return static_cast<int64_t>(rels_.size()) - 1;
+}
+
+int64_t RecordStore::AllocProperty() {
+  props_.emplace_back();
+  props_.back().in_use = true;
+  return static_cast<int64_t>(props_.size()) - 1;
+}
+
+int64_t RecordStore::InternString(std::string s) {
+  strings_.push_back(std::move(s));
+  return static_cast<int64_t>(strings_.size()) - 1;
+}
+
+void RecordStore::ResetAccessCounters() {
+  node_accesses_ = 0;
+  rel_accesses_ = 0;
+  prop_accesses_ = 0;
+}
+
+}  // namespace graphdb
+}  // namespace vertexica

@@ -1,0 +1,156 @@
+/// \file record_store.h
+/// \brief Fixed-size record stores in the style of Neo4j's native storage:
+/// node records heading doubly-linked relationship chains, relationship
+/// records threaded through both endpoints' chains, and a linked property
+/// store.
+///
+/// This is the substrate of the "transactional graph database" baseline of
+/// Figure 2 (see DESIGN.md §2). Its cost profile — pointer-chasing record
+/// lookups and per-property chain walks instead of bulk columnar scans —
+/// is what makes the graph-database baseline slow, exactly as in the paper.
+
+#ifndef VERTEXICA_GRAPHDB_RECORD_STORE_H_
+#define VERTEXICA_GRAPHDB_RECORD_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vertexica {
+namespace graphdb {
+
+inline constexpr int64_t kNil = -1;
+
+/// \brief One node record: head pointers of its relationship and property
+/// chains.
+struct NodeRecord {
+  bool in_use = false;
+  int64_t first_rel = kNil;   // head of this node's relationship chain
+  int64_t first_prop = kNil;  // head of its property chain
+};
+
+/// \brief One relationship record, a member of *two* chains (source's and
+/// destination's), exactly like Neo4j's store format.
+struct RelationshipRecord {
+  bool in_use = false;
+  int64_t src = kNil;
+  int64_t dst = kNil;
+  int32_t type = 0;
+  int64_t src_prev = kNil;
+  int64_t src_next = kNil;
+  int64_t dst_prev = kNil;
+  int64_t dst_next = kNil;
+  int64_t first_prop = kNil;
+};
+
+/// \brief Property value: a small tagged union (strings interned in the
+/// store's string pool).
+struct PropertyValue {
+  enum class Kind : uint8_t { kInt, kDouble, kString } kind = Kind::kInt;
+  int64_t i = 0;
+  double d = 0.0;
+  int64_t string_ref = kNil;
+
+  static PropertyValue Int(int64_t v) {
+    PropertyValue p;
+    p.kind = Kind::kInt;
+    p.i = v;
+    return p;
+  }
+  static PropertyValue Double(double v) {
+    PropertyValue p;
+    p.kind = Kind::kDouble;
+    p.d = v;
+    return p;
+  }
+};
+
+/// \brief One property record in a chain.
+struct PropertyRecord {
+  bool in_use = false;
+  int32_t key = 0;  // interned key id
+  PropertyValue value;
+  int64_t next = kNil;
+};
+
+/// \brief The backing arrays plus page-cache-style access accounting.
+///
+/// Every record access goes through an accessor that bumps a counter, so
+/// benches can report logical I/O (the analogue of Neo4j page-cache hits).
+class RecordStore {
+ public:
+  /// \name Allocation
+  /// @{
+  int64_t AllocNode();
+  int64_t AllocRelationship();
+  int64_t AllocProperty();
+  int64_t InternString(std::string s);
+  /// @}
+
+  /// \name Record access (counted)
+  /// @{
+  NodeRecord& node(int64_t id) {
+    ++node_accesses_;
+    return nodes_[static_cast<size_t>(id)];
+  }
+  const NodeRecord& node(int64_t id) const {
+    ++node_accesses_;
+    return nodes_[static_cast<size_t>(id)];
+  }
+  RelationshipRecord& rel(int64_t id) {
+    ++rel_accesses_;
+    return rels_[static_cast<size_t>(id)];
+  }
+  const RelationshipRecord& rel(int64_t id) const {
+    ++rel_accesses_;
+    return rels_[static_cast<size_t>(id)];
+  }
+  PropertyRecord& prop(int64_t id) {
+    ++prop_accesses_;
+    return props_[static_cast<size_t>(id)];
+  }
+  const PropertyRecord& prop(int64_t id) const {
+    ++prop_accesses_;
+    return props_[static_cast<size_t>(id)];
+  }
+  const std::string& string(int64_t ref) const {
+    return strings_[static_cast<size_t>(ref)];
+  }
+  /// @}
+
+  int64_t node_count() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t rel_count() const { return static_cast<int64_t>(rels_.size()); }
+
+  bool ValidNode(int64_t id) const {
+    return id >= 0 && id < node_count() &&
+           nodes_[static_cast<size_t>(id)].in_use;
+  }
+  bool ValidRel(int64_t id) const {
+    return id >= 0 && id < rel_count() &&
+           rels_[static_cast<size_t>(id)].in_use;
+  }
+
+  /// \name Logical-I/O accounting
+  /// @{
+  int64_t node_accesses() const { return node_accesses_; }
+  int64_t rel_accesses() const { return rel_accesses_; }
+  int64_t prop_accesses() const { return prop_accesses_; }
+  void ResetAccessCounters();
+  /// @}
+
+ private:
+  std::vector<NodeRecord> nodes_;
+  std::vector<RelationshipRecord> rels_;
+  std::vector<PropertyRecord> props_;
+  std::vector<std::string> strings_;
+  mutable int64_t node_accesses_ = 0;
+  mutable int64_t rel_accesses_ = 0;
+  mutable int64_t prop_accesses_ = 0;
+};
+
+}  // namespace graphdb
+}  // namespace vertexica
+
+#endif  // VERTEXICA_GRAPHDB_RECORD_STORE_H_

@@ -1,0 +1,71 @@
+#include "graphdb/traversal.h"
+
+#include <deque>
+
+namespace vertexica {
+namespace graphdb {
+
+Result<std::vector<Visit>> Traverse(const GraphDb& db, int64_t start,
+                                    const TraversalOptions& options) {
+  if (!db.store().ValidNode(start)) {
+    return Status::InvalidArgument("Traverse: no such start node");
+  }
+  const int32_t type_id =
+      options.type_filter.empty() ? -1 : db.LookupType(options.type_filter);
+
+  std::vector<Visit> visits;
+  std::vector<uint8_t> seen(static_cast<size_t>(db.node_count()), 0);
+  std::deque<Visit> frontier;
+  frontier.push_back({start, 0});
+  seen[static_cast<size_t>(start)] = 1;
+
+  while (!frontier.empty()) {
+    Visit current;
+    if (options.breadth_first) {
+      current = frontier.front();
+      frontier.pop_front();
+    } else {
+      current = frontier.back();
+      frontier.pop_back();
+    }
+    visits.push_back(current);
+    if (current.depth >= options.max_depth) continue;
+
+    VX_RETURN_NOT_OK(db.ForEachRelationship(
+        current.node,
+        [&](int64_t rel, int64_t other, bool outgoing) {
+          const bool direction_ok =
+              options.direction == TraversalOptions::Direction::kBoth ||
+              (outgoing &&
+               options.direction == TraversalOptions::Direction::kOutgoing) ||
+              (!outgoing &&
+               options.direction == TraversalOptions::Direction::kIncoming);
+          if (!direction_ok) return true;
+          if (type_id >= 0 && db.store().rel(rel).type != type_id) {
+            return true;
+          }
+          if (seen[static_cast<size_t>(other)] == 0) {
+            seen[static_cast<size_t>(other)] = 1;
+            frontier.push_back({other, current.depth + 1});
+          }
+          return true;
+        }));
+  }
+  return visits;
+}
+
+Result<std::vector<int64_t>> KHopNeighborhood(const GraphDb& db,
+                                              int64_t start, int k) {
+  TraversalOptions options;
+  options.max_depth = k;
+  VX_ASSIGN_OR_RETURN(auto visits, Traverse(db, start, options));
+  std::vector<int64_t> nodes;
+  nodes.reserve(visits.size());
+  for (const auto& visit : visits) {
+    if (visit.node != start) nodes.push_back(visit.node);
+  }
+  return nodes;
+}
+
+}  // namespace graphdb
+}  // namespace vertexica

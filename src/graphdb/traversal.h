@@ -1,0 +1,52 @@
+/// \file traversal.h
+/// \brief A Neo4j-style traversal framework over the record store:
+/// depth-bounded breadth/depth-first expansion with direction and
+/// relationship-type filters. This is the API a 2014 graph-database
+/// application programs against (the paper's baseline executes its
+/// algorithms through exactly this kind of interface).
+
+#ifndef VERTEXICA_GRAPHDB_TRAVERSAL_H_
+#define VERTEXICA_GRAPHDB_TRAVERSAL_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graphdb/graph_db.h"
+
+namespace vertexica {
+namespace graphdb {
+
+/// \brief Expansion rules for Traverse.
+struct TraversalOptions {
+  enum class Direction { kOutgoing, kIncoming, kBoth };
+
+  int max_depth = std::numeric_limits<int>::max();
+  Direction direction = Direction::kBoth;
+  /// Only follow relationships of this type (empty = all types).
+  std::string type_filter;
+  /// Breadth-first (true) or depth-first (false) expansion order.
+  bool breadth_first = true;
+};
+
+/// \brief One visited node.
+struct Visit {
+  int64_t node;
+  int depth;  // hops from the start node (start itself is depth 0)
+};
+
+/// \brief Expands from `start`, visiting every node at most once, within
+/// `max_depth` hops. Visits are returned in expansion order (BFS: depth
+/// non-decreasing).
+Result<std::vector<Visit>> Traverse(const GraphDb& db, int64_t start,
+                                    const TraversalOptions& options = {});
+
+/// \brief Nodes within exactly or up to `k` hops of `start` (both
+/// directions, any type), excluding `start`.
+Result<std::vector<int64_t>> KHopNeighborhood(const GraphDb& db,
+                                              int64_t start, int k);
+
+}  // namespace graphdb
+}  // namespace vertexica
+
+#endif  // VERTEXICA_GRAPHDB_TRAVERSAL_H_

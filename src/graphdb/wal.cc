@@ -1,0 +1,16 @@
+#include "graphdb/wal.h"
+
+#include <algorithm>
+
+namespace vertexica {
+namespace graphdb {
+
+int64_t Wal::committed_count() const {
+  return std::count_if(entries_.begin(), entries_.end(),
+                       [](const WalEntry& e) {
+                         return e.op == WalOp::kCommit;
+                       });
+}
+
+}  // namespace graphdb
+}  // namespace vertexica

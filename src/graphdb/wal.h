@@ -1,0 +1,62 @@
+/// \file wal.h
+/// \brief Write-ahead log for the graph database baseline.
+///
+/// Every mutation appends a logical log entry before touching the store;
+/// commit/abort markers bound transactions. The log is held in memory (the
+/// benchmark machine's "disk"), giving the baseline the WAL write
+/// amplification a transactional store pays on every update — one of the
+/// §3.3 features relational engines give for free.
+
+#ifndef VERTEXICA_GRAPHDB_WAL_H_
+#define VERTEXICA_GRAPHDB_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vertexica {
+namespace graphdb {
+
+/// \brief Kinds of logical log entries.
+enum class WalOp : uint8_t {
+  kBegin,
+  kCommit,
+  kAbort,
+  kCreateNode,
+  kCreateRelationship,
+  kDeleteRelationship,
+  kDeleteNode,
+  kSetProperty,
+};
+
+/// \brief One WAL entry.
+struct WalEntry {
+  int64_t txid = 0;
+  WalOp op = WalOp::kBegin;
+  int64_t entity = -1;   // node or relationship id
+  int32_t key = -1;      // property key (kSetProperty)
+  double payload = 0.0;  // numeric payload where applicable
+};
+
+/// \brief Append-only in-memory log.
+class Wal {
+ public:
+  void Append(WalEntry entry) { entries_.push_back(entry); }
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  const std::vector<WalEntry>& entries() const { return entries_; }
+
+  /// \brief Number of committed transactions recorded.
+  int64_t committed_count() const;
+
+  /// \brief Drops everything (checkpoint).
+  void Truncate() { entries_.clear(); }
+
+ private:
+  std::vector<WalEntry> entries_;
+};
+
+}  // namespace graphdb
+}  // namespace vertexica
+
+#endif  // VERTEXICA_GRAPHDB_WAL_H_

@@ -1,0 +1,61 @@
+#include "graphgen/datasets.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "graphgen/generators.h"
+
+namespace vertexica {
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kTwitter:
+      return "Twitter";
+    case DatasetId::kGPlus:
+      return "GPlus";
+    case DatasetId::kLiveJournal:
+      return "LiveJournal";
+  }
+  return "?";
+}
+
+DatasetDims DatasetDimensions(DatasetId id) {
+  // Sizes as stated in the paper (§2.3): Twitter (81K, 1.7M),
+  // GPlus (107K, 13.6M), LiveJournal (4.8M, 68M).
+  switch (id) {
+    case DatasetId::kTwitter:
+      return {81306, 1768149};
+    case DatasetId::kGPlus:
+      return {107614, 13673453};
+    case DatasetId::kLiveJournal:
+      return {4847571, 68993773};
+  }
+  return {0, 0};
+}
+
+Graph MakeDataset(DatasetId id, double scale) {
+  VX_CHECK(scale > 0.0 && scale <= 1.0);
+  const DatasetDims dims = DatasetDimensions(id);
+  const int64_t n = std::max<int64_t>(
+      64, static_cast<int64_t>(static_cast<double>(dims.num_vertices) * scale));
+  const int64_t m = std::max<int64_t>(
+      256, static_cast<int64_t>(static_cast<double>(dims.num_edges) * scale));
+  const uint64_t seed = 0x5eed0000ULL + static_cast<uint64_t>(id);
+  Graph g = GenerateRmat(n, m, seed);
+  AssignRandomWeights(&g, 1.0, 10.0, seed ^ 0xabcdULL);
+  return g;
+}
+
+double BenchScaleFromEnv() {
+  const char* env = std::getenv("VERTEXICA_BENCH_SCALE");
+  if (env == nullptr) return 0.05;
+  const double v = std::atof(env);
+  return (v > 0.0 && v <= 1.0) ? v : 0.05;
+}
+
+std::vector<DatasetId> AllDatasets() {
+  return {DatasetId::kTwitter, DatasetId::kGPlus, DatasetId::kLiveJournal};
+}
+
+}  // namespace vertexica

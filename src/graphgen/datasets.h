@@ -1,0 +1,44 @@
+/// \file datasets.h
+/// \brief Named dataset presets matching the paper's evaluation graphs.
+///
+/// §2.3/Figure 2 uses Twitter (81K vertices, 1.7M edges), GPlus (107K,
+/// 13.6M) and LiveJournal (4.8M, 68M) from SNAP. Presets generate RMAT
+/// graphs with those dimensions, scaled by an optional factor so the full
+/// benchmark suite completes quickly by default (see EXPERIMENTS.md).
+
+#ifndef VERTEXICA_GRAPHGEN_DATASETS_H_
+#define VERTEXICA_GRAPHGEN_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graphgen/graph.h"
+
+namespace vertexica {
+
+/// \brief The evaluation datasets of Figure 2.
+enum class DatasetId { kTwitter, kGPlus, kLiveJournal };
+
+/// \brief Human-readable name as printed in the paper's figures.
+const char* DatasetName(DatasetId id);
+
+/// \brief Paper-reported size of the dataset.
+struct DatasetDims {
+  int64_t num_vertices;
+  int64_t num_edges;
+};
+DatasetDims DatasetDimensions(DatasetId id);
+
+/// \brief Generates the preset at the given scale (1.0 = paper size).
+/// Determinstic per (id, scale).
+Graph MakeDataset(DatasetId id, double scale = 1.0);
+
+/// \brief Reads the scale factor from VERTEXICA_BENCH_SCALE (default 0.05).
+double BenchScaleFromEnv();
+
+/// \brief All Figure-2 datasets in paper order.
+std::vector<DatasetId> AllDatasets();
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_GRAPHGEN_DATASETS_H_

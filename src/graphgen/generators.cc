@@ -1,0 +1,161 @@
+#include "graphgen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vertexica {
+
+Graph GenerateErdosRenyi(int64_t num_vertices, int64_t num_edges,
+                         uint64_t seed) {
+  VX_CHECK(num_vertices > 1);
+  Rng rng(seed);
+  Graph g;
+  g.num_vertices = num_vertices;
+  g.directed = true;
+  g.src.reserve(static_cast<size_t>(num_edges));
+  g.dst.reserve(static_cast<size_t>(num_edges));
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const auto s =
+        static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(num_vertices)));
+    int64_t d =
+        static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(num_vertices)));
+    if (d == s) d = (d + 1) % num_vertices;  // no self loops
+    g.src.push_back(s);
+    g.dst.push_back(d);
+  }
+  return g;
+}
+
+Graph GenerateRmat(int64_t num_vertices, int64_t num_edges, uint64_t seed,
+                   double a, double b, double c) {
+  VX_CHECK(num_vertices > 1);
+  VX_CHECK(a + b + c < 1.0);
+  Rng rng(seed);
+  int levels = 0;
+  while ((int64_t{1} << levels) < num_vertices) ++levels;
+  const int64_t n_pow2 = int64_t{1} << levels;
+
+  Graph g;
+  g.num_vertices = num_vertices;
+  g.directed = true;
+  g.src.reserve(static_cast<size_t>(num_edges));
+  g.dst.reserve(static_cast<size_t>(num_edges));
+  while (g.num_edges() < num_edges) {
+    int64_t row = 0;
+    int64_t col = 0;
+    int64_t span = n_pow2;
+    for (int l = 0; l < levels; ++l) {
+      span >>= 1;
+      // Add a little per-level noise, as recommended to avoid degenerate
+      // staircases in the degree distribution.
+      const double u = rng.NextDouble();
+      if (u < a) {
+        // top-left: nothing to add
+      } else if (u < a + b) {
+        col += span;
+      } else if (u < a + b + c) {
+        row += span;
+      } else {
+        row += span;
+        col += span;
+      }
+    }
+    if (row >= num_vertices || col >= num_vertices || row == col) continue;
+    g.src.push_back(row);
+    g.dst.push_back(col);
+  }
+  return g;
+}
+
+Graph GenerateBarabasiAlbert(int64_t num_vertices, int64_t edges_per_vertex,
+                             uint64_t seed) {
+  VX_CHECK(num_vertices > edges_per_vertex);
+  Rng rng(seed);
+  Graph g;
+  g.num_vertices = num_vertices;
+  g.directed = true;
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // realizes preferential attachment.
+  std::vector<int64_t> targets;
+  // Seed clique over the first (m+1) vertices.
+  for (int64_t v = 0; v <= edges_per_vertex; ++v) {
+    for (int64_t u = 0; u < v; ++u) {
+      g.src.push_back(v);
+      g.dst.push_back(u);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (int64_t v = edges_per_vertex + 1; v < num_vertices; ++v) {
+    std::vector<int64_t> chosen;
+    while (static_cast<int64_t>(chosen.size()) < edges_per_vertex) {
+      const int64_t t = targets[rng.Uniform(targets.size())];
+      if (t != v &&
+          std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (int64_t t : chosen) {
+      g.src.push_back(v);
+      g.dst.push_back(t);
+      targets.push_back(t);
+      targets.push_back(v);
+    }
+  }
+  return g;
+}
+
+Graph GenerateWattsStrogatz(int64_t num_vertices, int64_t k, double beta,
+                            uint64_t seed) {
+  VX_CHECK(k % 2 == 0 && k < num_vertices);
+  Rng rng(seed);
+  Graph g;
+  g.num_vertices = num_vertices;
+  g.directed = false;
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    for (int64_t j = 1; j <= k / 2; ++j) {
+      int64_t target = (v + j) % num_vertices;
+      if (rng.NextDouble() < beta) {
+        // Rewire to a uniformly random non-self target.
+        target = static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>(num_vertices)));
+        if (target == v) target = (target + 1) % num_vertices;
+      }
+      g.src.push_back(v);
+      g.dst.push_back(target);
+    }
+  }
+  return g;
+}
+
+Graph GenerateBipartite(int64_t num_users, int64_t num_items,
+                        int64_t num_ratings, uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  g.num_vertices = num_users + num_items;
+  g.directed = true;
+  // Skewed popularity on both sides (zipf over users and items).
+  ZipfDistribution user_dist(static_cast<uint64_t>(num_users), 0.8);
+  ZipfDistribution item_dist(static_cast<uint64_t>(num_items), 1.0);
+  g.weight.reserve(static_cast<size_t>(num_ratings));
+  for (int64_t e = 0; e < num_ratings; ++e) {
+    const auto u = static_cast<int64_t>(user_dist.Sample(&rng) - 1);
+    const auto i =
+        num_users + static_cast<int64_t>(item_dist.Sample(&rng) - 1);
+    const double rating = 1.0 + std::floor(rng.NextDouble() * 5.0);
+    g.src.push_back(u);
+    g.dst.push_back(i);
+    g.weight.push_back(std::min(rating, 5.0));
+  }
+  return g;
+}
+
+void AssignRandomWeights(Graph* g, double lo, double hi, uint64_t seed) {
+  Rng rng(seed);
+  g->weight.resize(g->src.size());
+  for (auto& w : g->weight) w = lo + (hi - lo) * rng.NextDouble();
+}
+
+}  // namespace vertexica

@@ -1,0 +1,51 @@
+/// \file generators.h
+/// \brief Deterministic synthetic graph generators.
+///
+/// The paper evaluates on SNAP social graphs (Twitter, GPlus, LiveJournal),
+/// which cannot be shipped here; these generators produce graphs with the
+/// same |V|/|E| and a power-law degree profile so that every code path the
+/// paper exercises (skewed fan-out, heavy message traffic, multi-superstep
+/// propagation) is exercised identically. See DESIGN.md §2.
+
+#ifndef VERTEXICA_GRAPHGEN_GENERATORS_H_
+#define VERTEXICA_GRAPHGEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "graphgen/graph.h"
+
+namespace vertexica {
+
+/// \brief Erdős–Rényi G(n, m): m uniformly random directed edges.
+Graph GenerateErdosRenyi(int64_t num_vertices, int64_t num_edges,
+                         uint64_t seed);
+
+/// \brief R-MAT recursive-matrix generator (Chakrabarti et al.), the
+/// standard stand-in for social-network graphs. Defaults to the canonical
+/// (a,b,c,d) = (0.57,0.19,0.19,0.05) parameters.
+Graph GenerateRmat(int64_t num_vertices, int64_t num_edges, uint64_t seed,
+                   double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// \brief Barabási–Albert preferential attachment with `edges_per_vertex`
+/// out-edges per newcomer; yields a power-law in-degree distribution.
+Graph GenerateBarabasiAlbert(int64_t num_vertices, int64_t edges_per_vertex,
+                             uint64_t seed);
+
+/// \brief Watts–Strogatz small-world ring (k nearest neighbours, rewiring
+/// probability beta). Undirected.
+Graph GenerateWattsStrogatz(int64_t num_vertices, int64_t k, double beta,
+                            uint64_t seed);
+
+/// \brief Random bipartite "users × items" rating graph for collaborative
+/// filtering: edges carry ratings in [1, 5]. Users are ids
+/// [0, num_users), items are [num_users, num_users + num_items).
+Graph GenerateBipartite(int64_t num_users, int64_t num_items,
+                        int64_t num_ratings, uint64_t seed);
+
+/// \brief Assigns uniform random weights in [lo, hi] to all edges.
+void AssignRandomWeights(Graph* g, double lo, double hi, uint64_t seed);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_GRAPHGEN_GENERATORS_H_

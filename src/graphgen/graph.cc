@@ -1,0 +1,84 @@
+#include "graphgen/graph.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vertexica {
+
+void Graph::AddEdge(int64_t s, int64_t d, double w) {
+  src.push_back(s);
+  dst.push_back(d);
+  const bool weighted = (w != 1.0) || !weight.empty();
+  if (weighted && weight.empty()) {
+    // First non-unit weight: back-fill earlier edges with the default.
+    weight.assign(src.size() - 1, 1.0);
+  }
+  if (weighted) weight.push_back(w);
+}
+
+Graph Graph::AsDirected() const {
+  if (directed) return *this;
+  Graph out;
+  out.num_vertices = num_vertices;
+  out.directed = true;
+  const int64_t m = num_edges();
+  out.src.reserve(static_cast<size_t>(2 * m));
+  out.dst.reserve(static_cast<size_t>(2 * m));
+  if (!weight.empty()) out.weight.reserve(static_cast<size_t>(2 * m));
+  for (int64_t e = 0; e < m; ++e) {
+    const auto se = static_cast<size_t>(e);
+    out.src.push_back(src[se]);
+    out.dst.push_back(dst[se]);
+    out.src.push_back(dst[se]);
+    out.dst.push_back(src[se]);
+    if (!weight.empty()) {
+      out.weight.push_back(weight[se]);
+      out.weight.push_back(weight[se]);
+    }
+  }
+  return out;
+}
+
+Graph Graph::WithReverseEdges() const {
+  Graph out = AsDirected();
+  if (!directed) return out;  // undirected already expanded symmetrically
+  const int64_t m = num_edges();
+  for (int64_t e = 0; e < m; ++e) {
+    const auto se = static_cast<size_t>(e);
+    out.AddEdge(dst[se], src[se], EdgeWeight(e));
+  }
+  return out;
+}
+
+std::vector<int64_t> Graph::OutDegrees() const {
+  const Graph g = AsDirected();
+  std::vector<int64_t> deg(static_cast<size_t>(g.num_vertices), 0);
+  for (int64_t s : g.src) deg[static_cast<size_t>(s)]++;
+  return deg;
+}
+
+Csr Csr::Build(const Graph& graph) {
+  const Graph g = graph.AsDirected();
+  Csr csr;
+  const auto n = static_cast<size_t>(g.num_vertices);
+  csr.offsets.assign(n + 1, 0);
+  for (int64_t s : g.src) {
+    VX_DCHECK(s >= 0 && s < g.num_vertices);
+    csr.offsets[static_cast<size_t>(s) + 1]++;
+  }
+  std::partial_sum(csr.offsets.begin(), csr.offsets.end(),
+                   csr.offsets.begin());
+  csr.neighbors.resize(g.src.size());
+  csr.weights.resize(g.src.size());
+  std::vector<int64_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    const auto s = static_cast<size_t>(g.src[static_cast<size_t>(e)]);
+    const auto pos = static_cast<size_t>(cursor[s]++);
+    csr.neighbors[pos] = g.dst[static_cast<size_t>(e)];
+    csr.weights[pos] = g.EdgeWeight(e);
+  }
+  return csr;
+}
+
+}  // namespace vertexica

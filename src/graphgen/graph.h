@@ -1,0 +1,66 @@
+/// \file graph.h
+/// \brief Plain in-memory graph: the interchange format between generators,
+/// the Vertexica loader, and the comparator systems (Giraph, GraphDB).
+
+#ifndef VERTEXICA_GRAPHGEN_GRAPH_H_
+#define VERTEXICA_GRAPHGEN_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vertexica {
+
+/// \brief Edge-list graph with optional weights.
+///
+/// Vertices are dense ids [0, num_vertices). Parallel arrays `src`/`dst`/
+/// `weight` hold the edges. `directed == false` means each stored edge
+/// represents both directions (consumers expand as needed).
+struct Graph {
+  int64_t num_vertices = 0;
+  std::vector<int64_t> src;
+  std::vector<int64_t> dst;
+  std::vector<double> weight;  // empty => all weights 1.0
+  bool directed = true;
+
+  int64_t num_edges() const { return static_cast<int64_t>(src.size()); }
+
+  double EdgeWeight(int64_t e) const {
+    return weight.empty() ? 1.0 : weight[static_cast<size_t>(e)];
+  }
+
+  /// \brief Appends an edge.
+  void AddEdge(int64_t s, int64_t d, double w = 1.0);
+
+  /// \brief Returns a directed version: for undirected inputs every edge is
+  /// emitted in both directions; directed inputs are returned unchanged.
+  Graph AsDirected() const;
+
+  /// \brief Returns a graph with all reverse edges added (used to make
+  /// message flow bidirectional for connected components / CF).
+  Graph WithReverseEdges() const;
+
+  /// \brief Out-degree of every vertex (on the directed view).
+  std::vector<int64_t> OutDegrees() const;
+};
+
+/// \brief Compressed sparse row adjacency built from a Graph; the in-memory
+/// comparators (Giraph engine) iterate this.
+struct Csr {
+  std::vector<int64_t> offsets;  // size num_vertices + 1
+  std::vector<int64_t> neighbors;
+  std::vector<double> weights;
+
+  int64_t num_vertices() const {
+    return static_cast<int64_t>(offsets.size()) - 1;
+  }
+  int64_t degree(int64_t v) const {
+    return offsets[static_cast<size_t>(v) + 1] - offsets[static_cast<size_t>(v)];
+  }
+
+  static Csr Build(const Graph& g);
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_GRAPHGEN_GRAPH_H_

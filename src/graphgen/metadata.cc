@@ -1,0 +1,128 @@
+#include "graphgen/metadata.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace vertexica {
+
+Table GenerateNodeMetadata(int64_t num_vertices, uint64_t seed,
+                           const MetadataSpec& spec) {
+  Schema schema;
+  schema.AddField({"id", DataType::kInt64});
+  for (int i = 0; i < spec.num_uniform_ints; ++i) {
+    schema.AddField({StringFormat("u%d", i), DataType::kInt64});
+  }
+  for (int i = 0; i < spec.num_zipf_ints; ++i) {
+    schema.AddField({StringFormat("z%d", i), DataType::kInt64});
+  }
+  for (int i = 0; i < spec.num_floats; ++i) {
+    schema.AddField({StringFormat("f%d", i), DataType::kDouble});
+  }
+  for (int i = 0; i < spec.num_strings; ++i) {
+    schema.AddField({StringFormat("s%d", i), DataType::kString});
+  }
+
+  Rng rng(seed);
+
+  // Cardinalities for the uniform ints span 2 .. 1e9 geometrically (§4).
+  std::vector<uint64_t> uniform_card(static_cast<size_t>(spec.num_uniform_ints));
+  for (int i = 0; i < spec.num_uniform_ints; ++i) {
+    const double t = spec.num_uniform_ints == 1
+                         ? 0.0
+                         : static_cast<double>(i) /
+                               static_cast<double>(spec.num_uniform_ints - 1);
+    uniform_card[static_cast<size_t>(i)] =
+        static_cast<uint64_t>(std::pow(10.0, 0.30103 + t * (9.0 - 0.30103)));
+  }
+  // Zipf attributes with skew 0.5 .. 1.9 over a fixed domain.
+  std::vector<ZipfDistribution> zipfs;
+  zipfs.reserve(static_cast<size_t>(spec.num_zipf_ints));
+  for (int i = 0; i < spec.num_zipf_ints; ++i) {
+    const double s =
+        0.5 + 1.4 * (spec.num_zipf_ints == 1
+                         ? 0.0
+                         : static_cast<double>(i) /
+                               static_cast<double>(spec.num_zipf_ints - 1));
+    zipfs.emplace_back(10000, s);
+  }
+  // Float ranges grow geometrically; string lengths/cardinalities vary.
+  std::vector<std::vector<std::string>> string_pools(
+      static_cast<size_t>(spec.num_strings));
+  for (int i = 0; i < spec.num_strings; ++i) {
+    const size_t pool = static_cast<size_t>(1) << (2 + i);  // 4 .. 2048
+    const size_t len = 4 + 2 * static_cast<size_t>(i);
+    auto& p = string_pools[static_cast<size_t>(i)];
+    p.reserve(pool);
+    for (size_t k = 0; k < pool; ++k) p.push_back(rng.NextString(len));
+  }
+
+  Table t(schema);
+  for (int c = 0; c < t.num_columns(); ++c) {
+    t.mutable_column(c)->Reserve(num_vertices);
+  }
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    int c = 0;
+    t.mutable_column(c++)->AppendInt64(v);
+    for (int i = 0; i < spec.num_uniform_ints; ++i) {
+      t.mutable_column(c++)->AppendInt64(static_cast<int64_t>(
+          rng.Uniform(uniform_card[static_cast<size_t>(i)])));
+    }
+    for (int i = 0; i < spec.num_zipf_ints; ++i) {
+      t.mutable_column(c++)->AppendInt64(
+          static_cast<int64_t>(zipfs[static_cast<size_t>(i)].Sample(&rng)));
+    }
+    for (int i = 0; i < spec.num_floats; ++i) {
+      const double range = std::pow(10.0, i % 6);
+      t.mutable_column(c++)->AppendDouble(rng.NextDouble() * range);
+    }
+    for (int i = 0; i < spec.num_strings; ++i) {
+      const auto& pool = string_pools[static_cast<size_t>(i)];
+      t.mutable_column(c++)->AppendString(pool[rng.Uniform(pool.size())]);
+    }
+  }
+  // Fix up row count bookkeeping: we appended column-wise.
+  Table out(schema);
+  std::vector<Column> cols;
+  cols.reserve(static_cast<size_t>(t.num_columns()));
+  for (int c = 0; c < t.num_columns(); ++c) cols.push_back(t.column(c));
+  auto made = Table::Make(schema, std::move(cols));
+  VX_CHECK(made.ok());
+  return std::move(made).MoveValueUnsafe();
+}
+
+Table GenerateEdgeMetadata(const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({{"src", DataType::kInt64},
+                 {"dst", DataType::kInt64},
+                 {"weight", DataType::kDouble},
+                 {"created", DataType::kInt64},
+                 {"type", DataType::kString}});
+  // ~5 years of seconds ending at a fixed "now" so tests are deterministic.
+  constexpr int64_t kNow = 1700000000;
+  constexpr int64_t kFiveYears = 5LL * 365 * 24 * 3600;
+
+  std::vector<Column> cols;
+  cols.emplace_back(Column::FromInts(g.src));
+  cols.emplace_back(Column::FromInts(g.dst));
+  Column weight(DataType::kDouble);
+  Column created(DataType::kInt64);
+  Column type(DataType::kString);
+  weight.Reserve(g.num_edges());
+  created.Reserve(g.num_edges());
+  type.Reserve(g.num_edges());
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    weight.AppendDouble(g.EdgeWeight(e));
+    created.AppendInt64(kNow - static_cast<int64_t>(rng.Uniform(kFiveYears)));
+    type.AppendString(kEdgeTypes[rng.Uniform(kNumEdgeTypes)]);
+  }
+  cols.push_back(std::move(weight));
+  cols.push_back(std::move(created));
+  cols.push_back(std::move(type));
+  auto made = Table::Make(schema, std::move(cols));
+  VX_CHECK(made.ok());
+  return std::move(made).MoveValueUnsafe();
+}
+
+}  // namespace vertexica

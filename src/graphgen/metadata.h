@@ -1,0 +1,46 @@
+/// \file metadata.h
+/// \brief Synthetic node/edge metadata exactly as specified in §4 "Metadata".
+///
+/// Per node: 24 uniformly distributed integer attributes with cardinality
+/// varying from 2 to 1e9, 8 zipfian integer attributes with varying skew,
+/// 18 floating point attributes with varying value ranges, and 10 string
+/// attributes with varying size and cardinality. Per edge: weight, creation
+/// timestamp, and an edge type in {friend, family, classmate} chosen
+/// uniformly at random.
+
+#ifndef VERTEXICA_GRAPHGEN_METADATA_H_
+#define VERTEXICA_GRAPHGEN_METADATA_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+#include "graphgen/graph.h"
+
+namespace vertexica {
+
+/// \brief Counts from the paper's demo setup.
+struct MetadataSpec {
+  int num_uniform_ints = 24;
+  int num_zipf_ints = 8;
+  int num_floats = 18;
+  int num_strings = 10;
+};
+
+/// \brief Table (id, u0..u23, z0..z7, f0..f17, s0..s9) with one row per
+/// vertex. Columns follow the distribution spec above; deterministic per
+/// seed.
+Table GenerateNodeMetadata(int64_t num_vertices, uint64_t seed,
+                           const MetadataSpec& spec = {});
+
+/// \brief The paper's edge types.
+inline constexpr const char* kEdgeTypes[] = {"friend", "family", "classmate"};
+inline constexpr int kNumEdgeTypes = 3;
+
+/// \brief Table (src, dst, weight, created, type) with one row per edge.
+/// `created` is a unix-style timestamp spread over ~5 years so the temporal
+/// demo scenarios (§4.2.3, "last one year") have signal.
+Table GenerateEdgeMetadata(const Graph& g, uint64_t seed);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_GRAPHGEN_METADATA_H_

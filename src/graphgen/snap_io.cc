@@ -1,0 +1,80 @@
+#include "graphgen/snap_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace vertexica {
+
+namespace {
+
+Result<Graph> ParseStream(std::istream& in) {
+  Graph g;
+  g.directed = true;
+  std::unordered_map<int64_t, int64_t> remap;
+  auto Dense = [&](int64_t raw) {
+    auto [it, inserted] = remap.emplace(raw, g.num_vertices);
+    if (inserted) ++g.num_vertices;
+    return it->second;
+  };
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream ls(trimmed);
+    int64_t s = 0;
+    int64_t d = 0;
+    if (!(ls >> s >> d)) {
+      return Status::IoError(
+          StringFormat("snap parse error at line %lld: '%s'",
+                       static_cast<long long>(lineno), trimmed.c_str()));
+    }
+    double w = 1.0;
+    const bool has_weight = static_cast<bool>(ls >> w);
+    // Sequence the remapping explicitly: argument evaluation order is
+    // unspecified and ids must be densified in appearance order.
+    const int64_t dense_src = Dense(s);
+    const int64_t dense_dst = Dense(d);
+    g.AddEdge(dense_src, dense_dst, has_weight ? w : 1.0);
+  }
+  return g;
+}
+
+}  // namespace
+
+Result<Graph> ReadSnapEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  return ParseStream(in);
+}
+
+Result<Graph> ParseSnapEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in);
+}
+
+Status WriteSnapEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << "# Vertexica edge list: " << g.num_vertices << " vertices, "
+      << g.num_edges() << " edges\n";
+  const bool weighted = !g.weight.empty();
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    const auto se = static_cast<size_t>(e);
+    out << g.src[se] << '\t' << g.dst[se];
+    if (weighted) out << '\t' << g.weight[se];
+    out << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace vertexica

@@ -1,0 +1,32 @@
+/// \file snap_io.h
+/// \brief SNAP edge-list text I/O.
+///
+/// The paper loads its datasets from http://snap.stanford.edu/data/ in the
+/// standard "src<TAB>dst" text format; this reader/writer supports the same
+/// format (with '#' comment lines) so users can drop in real SNAP files.
+
+#ifndef VERTEXICA_GRAPHGEN_SNAP_IO_H_
+#define VERTEXICA_GRAPHGEN_SNAP_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graphgen/graph.h"
+
+namespace vertexica {
+
+/// \brief Parses a SNAP edge list. Vertex ids are remapped to a dense
+/// [0, n) range in first-appearance order. An optional third column is read
+/// as the edge weight.
+Result<Graph> ReadSnapEdgeList(const std::string& path);
+
+/// \brief Parses SNAP-format text from memory (same syntax as the file
+/// reader; useful for tests).
+Result<Graph> ParseSnapEdgeList(const std::string& text);
+
+/// \brief Writes "src\tdst[\tweight]" lines with a header comment.
+Status WriteSnapEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_GRAPHGEN_SNAP_IO_H_

@@ -1,0 +1,45 @@
+#include "pipeline/dataflow.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace vertexica {
+
+int Pipeline::AddNode(PipelineNodePtr node, std::vector<int> inputs) {
+  for (int in : inputs) {
+    VX_CHECK(in >= 0 && in < num_nodes()) << "bad pipeline input id " << in;
+  }
+  nodes_.push_back(Entry{std::move(node), std::move(inputs), false, Table()});
+  return num_nodes() - 1;
+}
+
+Result<Table> Pipeline::Run(int node_id) {
+  if (node_id < 0 || node_id >= num_nodes()) {
+    return Status::InvalidArgument("no such pipeline node");
+  }
+  Entry& entry = nodes_[static_cast<size_t>(node_id)];
+  if (entry.computed) return entry.output;
+
+  std::vector<Table> inputs;
+  inputs.reserve(entry.inputs.size());
+  for (int in : entry.inputs) {
+    VX_ASSIGN_OR_RETURN(Table t, Run(in));  // DAG ⇒ recursion terminates
+    inputs.push_back(std::move(t));
+  }
+  WallTimer timer;
+  VX_ASSIGN_OR_RETURN(entry.output, entry.node->Run(inputs));
+  timings_.push_back(
+      NodeTiming{node_id, entry.node->name(), timer.ElapsedSeconds()});
+  entry.computed = true;
+  return entry.output;
+}
+
+void Pipeline::Reset() {
+  for (auto& entry : nodes_) {
+    entry.computed = false;
+    entry.output = Table();
+  }
+  timings_.clear();
+}
+
+}  // namespace vertexica

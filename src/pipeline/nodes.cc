@@ -1,0 +1,243 @@
+#include "pipeline/nodes.h"
+
+#include <cmath>
+
+#include "exec/plan_builder.h"
+#include "sqlgraph/sql_common.h"
+#include "sqlgraph/sql_connected_components.h"
+#include "sqlgraph/sql_pagerank.h"
+#include "sqlgraph/sql_random_walk.h"
+#include "sqlgraph/sql_shortest_paths.h"
+#include "sqlgraph/strong_overlap.h"
+#include "sqlgraph/triangle_count.h"
+#include "sqlgraph/weak_ties.h"
+
+namespace vertexica {
+
+namespace {
+
+/// Adapter from a lambda to PipelineNode.
+class FunctionNode : public PipelineNode {
+ public:
+  FunctionNode(std::string name,
+               std::function<Result<Table>(const std::vector<Table>&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  std::string name() const override { return name_; }
+  Result<Table> Run(const std::vector<Table>& inputs) override {
+    return fn_(inputs);
+  }
+
+ private:
+  std::string name_;
+  std::function<Result<Table>(const std::vector<Table>&)> fn_;
+};
+
+Status RequireInputs(const std::vector<Table>& inputs, size_t n,
+                     const char* who) {
+  if (inputs.size() != n) {
+    return Status::InvalidArgument(std::string(who) + ": expected " +
+                                   std::to_string(n) + " inputs, got " +
+                                   std::to_string(inputs.size()));
+  }
+  return Status::OK();
+}
+
+/// Derives the vertex list (distinct endpoints) from an edge table.
+Result<Table> VertexListOf(const Table& edges) {
+  return PlanBuilder::Scan(edges)
+      .Select({"src"})
+      .Rename({"id"})
+      .Union(PlanBuilder::Scan(edges).Select({"dst"}).Rename({"id"}))
+      .Distinct()
+      .Execute();
+}
+
+}  // namespace
+
+PipelineNodePtr MakeSourceNode(std::string name, Table table) {
+  return std::make_shared<FunctionNode>(
+      std::move(name),
+      [table = std::move(table)](const std::vector<Table>& inputs)
+          -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 0, "Source"));
+        return table;
+      });
+}
+
+PipelineNodePtr MakeFunctionNode(
+    std::string name,
+    std::function<Result<Table>(const std::vector<Table>&)> fn) {
+  return std::make_shared<FunctionNode>(std::move(name), std::move(fn));
+}
+
+PipelineNodePtr MakeSelectionNode(ExprPtr predicate) {
+  return std::make_shared<FunctionNode>(
+      "Selection(" + predicate->ToString() + ")",
+      [predicate](const std::vector<Table>& inputs) -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 1, "Selection"));
+        return PlanBuilder::Scan(inputs[0]).Filter(predicate).Execute();
+      });
+}
+
+PipelineNodePtr MakeProjectionNode(std::vector<ProjectionSpec> outputs) {
+  return std::make_shared<FunctionNode>(
+      "Projection",
+      [outputs = std::move(outputs)](
+          const std::vector<Table>& inputs) -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 1, "Projection"));
+        return PlanBuilder::Scan(inputs[0]).Project(outputs).Execute();
+      });
+}
+
+PipelineNodePtr MakeAggregationNode(std::vector<std::string> group_by,
+                                    std::vector<AggSpec> aggs) {
+  return std::make_shared<FunctionNode>(
+      "Aggregation",
+      [group_by = std::move(group_by), aggs = std::move(aggs)](
+          const std::vector<Table>& inputs) -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 1, "Aggregation"));
+        return PlanBuilder::Scan(inputs[0]).Aggregate(group_by, aggs).Execute();
+      });
+}
+
+PipelineNodePtr MakeJoinNode(std::vector<std::string> left_keys,
+                             std::vector<std::string> right_keys,
+                             JoinType type) {
+  return std::make_shared<FunctionNode>(
+      std::string("Join[") + JoinTypeName(type) + "]",
+      [left_keys = std::move(left_keys), right_keys = std::move(right_keys),
+       type](const std::vector<Table>& inputs) -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 2, "Join"));
+        return PlanBuilder::Scan(inputs[0])
+            .Join(PlanBuilder::Scan(inputs[1]), left_keys, right_keys, type)
+            .Execute();
+      });
+}
+
+PipelineNodePtr MakeHistogramNode(std::string column, int num_buckets) {
+  return std::make_shared<FunctionNode>(
+      "Histogram(" + column + ")",
+      [column, num_buckets](const std::vector<Table>& inputs)
+          -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 1, "Histogram"));
+        const Table& in = inputs[0];
+        VX_ASSIGN_OR_RETURN(
+            Table range, PlanBuilder::Scan(in)
+                             .Aggregate({}, {{AggOp::kMin, column, "lo"},
+                                             {AggOp::kMax, column, "hi"}})
+                             .Execute());
+        if (range.column(0).IsNull(0)) {
+          return Table(Schema({{"bucket", DataType::kInt64},
+                               {"lo", DataType::kDouble},
+                               {"hi", DataType::kDouble},
+                               {"count", DataType::kInt64}}));
+        }
+        const double lo = range.column(0).GetNumeric(0);
+        const double hi = range.column(1).GetNumeric(0);
+        const double width =
+            hi > lo ? (hi - lo) / num_buckets
+                    : 1.0;  // degenerate single-value distribution
+        // bucket = clamp(floor((x - lo) / width), 0, buckets-1)
+        ExprPtr raw = Cast(Div(Sub(Col(column), Lit(lo)), Lit(width)),
+                           DataType::kInt64);
+        ExprPtr bucket =
+            If(Ge(raw, Lit(static_cast<int64_t>(num_buckets))),
+               Lit(static_cast<int64_t>(num_buckets - 1)), raw);
+        VX_ASSIGN_OR_RETURN(
+            Table counts,
+            PlanBuilder::Scan(in)
+                .Project({{"bucket", bucket}})
+                .Aggregate({"bucket"}, {{AggOp::kCountStar, "", "count"}})
+                .Execute());
+        return PlanBuilder::Scan(std::move(counts))
+            .Project({{"bucket", Col("bucket")},
+                      {"lo", Add(Lit(lo), Mul(Col("bucket"), Lit(width)))},
+                      {"hi", Add(Lit(lo), Mul(Add(Col("bucket"), Lit(int64_t{1})),
+                                              Lit(width)))},
+                      {"count", Col("count")}})
+            .OrderBy({{"bucket", true}})
+            .Execute();
+      });
+}
+
+PipelineNodePtr MakePageRankNode(int iterations, double damping) {
+  return std::make_shared<FunctionNode>(
+      "PageRank",
+      [iterations, damping](const std::vector<Table>& inputs)
+          -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 1, "PageRank"));
+        VX_ASSIGN_OR_RETURN(Table vertices, VertexListOf(inputs[0]));
+        return SqlPageRank(vertices, inputs[0], iterations, damping);
+      });
+}
+
+PipelineNodePtr MakeShortestPathsNode(int64_t source) {
+  return std::make_shared<FunctionNode>(
+      "ShortestPaths",
+      [source](const std::vector<Table>& inputs) -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 1, "ShortestPaths"));
+        VX_ASSIGN_OR_RETURN(Table vertices, VertexListOf(inputs[0]));
+        Table edges = inputs[0];
+        if (edges.schema().FieldIndex("weight") < 0) {
+          VX_ASSIGN_OR_RETURN(edges,
+                              PlanBuilder::Scan(std::move(edges))
+                                  .Project({{"src", Col("src")},
+                                            {"dst", Col("dst")},
+                                            {"weight", Lit(1.0)}})
+                                  .Execute());
+        }
+        return SqlShortestPaths(vertices, edges, source);
+      });
+}
+
+PipelineNodePtr MakeConnectedComponentsNode() {
+  return std::make_shared<FunctionNode>(
+      "ConnectedComponents",
+      [](const std::vector<Table>& inputs) -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 1, "ConnectedComponents"));
+        VX_ASSIGN_OR_RETURN(Table vertices, VertexListOf(inputs[0]));
+        return SqlConnectedComponents(vertices, inputs[0]);
+      });
+}
+
+PipelineNodePtr MakeRandomWalkNode(int64_t source, int iterations,
+                                   double restart_probability) {
+  return std::make_shared<FunctionNode>(
+      "RandomWalkWithRestart",
+      [source, iterations, restart_probability](
+          const std::vector<Table>& inputs) -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 1, "RandomWalkWithRestart"));
+        VX_ASSIGN_OR_RETURN(Table vertices, VertexListOf(inputs[0]));
+        return SqlRandomWalkWithRestart(vertices, inputs[0], source,
+                                        iterations, restart_probability);
+      });
+}
+
+PipelineNodePtr MakeTriangleCountingNode() {
+  return std::make_shared<FunctionNode>(
+      "TriangleCounting",
+      [](const std::vector<Table>& inputs) -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 1, "TriangleCounting"));
+        return SqlPerNodeTriangles(inputs[0]);
+      });
+}
+
+PipelineNodePtr MakeStrongOverlapNode(int64_t min_common) {
+  return std::make_shared<FunctionNode>(
+      "StrongOverlap",
+      [min_common](const std::vector<Table>& inputs) -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 1, "StrongOverlap"));
+        return SqlStrongOverlap(inputs[0], min_common);
+      });
+}
+
+PipelineNodePtr MakeWeakTiesNode(int64_t min_pairs) {
+  return std::make_shared<FunctionNode>(
+      "WeakTies",
+      [min_pairs](const std::vector<Table>& inputs) -> Result<Table> {
+        VX_RETURN_NOT_OK(RequireInputs(inputs, 1, "WeakTies"));
+        return SqlWeakTies(inputs[0], min_pairs);
+      });
+}
+
+}  // namespace vertexica

@@ -1,0 +1,72 @@
+/// \file nodes.h
+/// \brief The toolbar's node library (§4.1): relational operators
+/// (selection, projection, aggregation, join) and SQL graph algorithms
+/// (PageRank, shortest paths, triangle counting, strong overlap, weak
+/// ties), packaged as pipeline nodes.
+
+#ifndef VERTEXICA_PIPELINE_NODES_H_
+#define VERTEXICA_PIPELINE_NODES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/hash_join.h"
+#include "exec/project.h"
+#include "expr/expression.h"
+#include "pipeline/dataflow.h"
+
+namespace vertexica {
+
+/// \name Sources and generic nodes
+/// @{
+
+/// \brief Emits a fixed table (the loaded graph / metadata).
+PipelineNodePtr MakeSourceNode(std::string name, Table table);
+
+/// \brief Wraps an arbitrary function.
+PipelineNodePtr MakeFunctionNode(
+    std::string name,
+    std::function<Result<Table>(const std::vector<Table>&)> fn);
+/// @}
+
+/// \name Relational operators (graph pre-/post-processing, §3.4)
+/// @{
+
+/// \brief σ: filters its single input ("Graph Selection").
+PipelineNodePtr MakeSelectionNode(ExprPtr predicate);
+
+/// \brief π: projects its single input ("Graph Projection").
+PipelineNodePtr MakeProjectionNode(std::vector<ProjectionSpec> outputs);
+
+/// \brief γ: groups/aggregates its single input ("Graph Aggregation").
+PipelineNodePtr MakeAggregationNode(std::vector<std::string> group_by,
+                                    std::vector<AggSpec> aggs);
+
+/// \brief ⋈: joins its two inputs ("Graph Join"); input 0 probes, 1 builds.
+PipelineNodePtr MakeJoinNode(std::vector<std::string> left_keys,
+                             std::vector<std::string> right_keys,
+                             JoinType type = JoinType::kInner);
+
+/// \brief Equi-width histogram over a numeric column of the input —
+/// §4.2.2's "distribution of PageRank values". Output (bucket, lo, hi,
+/// count).
+PipelineNodePtr MakeHistogramNode(std::string column, int num_buckets);
+/// @}
+
+/// \name SQL graph algorithms (input: an edge table src/dst[/weight])
+/// @{
+PipelineNodePtr MakePageRankNode(int iterations = 10, double damping = 0.85);
+PipelineNodePtr MakeShortestPathsNode(int64_t source);
+PipelineNodePtr MakeConnectedComponentsNode();
+PipelineNodePtr MakeRandomWalkNode(int64_t source, int iterations = 15,
+                                   double restart_probability = 0.15);
+PipelineNodePtr MakeTriangleCountingNode();
+PipelineNodePtr MakeStrongOverlapNode(int64_t min_common = 2);
+PipelineNodePtr MakeWeakTiesNode(int64_t min_pairs = 1);
+/// @}
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_PIPELINE_NODES_H_

@@ -1,0 +1,75 @@
+#include "sqlgraph/clustering_coefficient.h"
+
+#include "exec/plan_builder.h"
+#include "sqlgraph/sql_common.h"
+#include "sqlgraph/triangle_count.h"
+
+namespace vertexica {
+
+Result<Table> SqlClusteringCoefficients(const Table& edges) {
+  VX_ASSIGN_OR_RETURN(Table und, UndirectedEdges(edges));
+  VX_ASSIGN_OR_RETURN(
+      Table degrees,
+      PlanBuilder::Scan(std::move(und))
+          .Aggregate({"src"}, {{AggOp::kCountStar, "", "degree"}})
+          .Rename({"id", "degree"})
+          .Execute());
+  VX_ASSIGN_OR_RETURN(Table tri, SqlPerNodeTriangles(edges));
+
+  return PlanBuilder::Scan(std::move(degrees))
+      .Join(PlanBuilder::Scan(std::move(tri)), {"id"}, {"id"},
+            JoinType::kLeft)
+      .Project(
+          {{"id", Col("id")},
+           {"degree", Col("degree")},
+           {"triangles", Coalesce(Col("triangles"), Lit(int64_t{0}))},
+           {"coeff",
+            If(Lt(Col("degree"), Lit(int64_t{2})), Lit(0.0),
+               Div(Mul(Lit(2.0),
+                       Coalesce(Col("triangles"), Lit(int64_t{0}))),
+                   Mul(Col("degree"),
+                       Sub(Col("degree"), Lit(int64_t{1})))))}})
+      .Execute();
+}
+
+Result<double> SqlGlobalClusteringCoefficient(const Table& edges) {
+  VX_ASSIGN_OR_RETURN(Table cc, SqlClusteringCoefficients(edges));
+  // triples(v) = deg·(deg-1)/2; transitivity = 3·T / Σ triples.
+  VX_ASSIGN_OR_RETURN(
+      Table agg,
+      PlanBuilder::Scan(std::move(cc))
+          .Project({{"triples",
+                     Div(Mul(Col("degree"), Sub(Col("degree"), Lit(int64_t{1}))),
+                         Lit(2.0))},
+                    {"triangles", Col("triangles")}})
+          .Aggregate({}, {{AggOp::kSum, "triples", "triples"},
+                          {AggOp::kSum, "triangles", "tri3"}})
+          .Execute());
+  if (agg.column(0).IsNull(0) || agg.column(0).GetDouble(0) == 0.0) {
+    return 0.0;
+  }
+  // Σ per-node triangle counts already counts each triangle 3 times.
+  return agg.column(1).GetInt64(0) / agg.column(0).GetDouble(0);
+}
+
+Result<int64_t> SqlMaxClusteringVertex(const Table& edges) {
+  VX_ASSIGN_OR_RETURN(Table cc, SqlClusteringCoefficients(edges));
+  VX_ASSIGN_OR_RETURN(Table top, PlanBuilder::Scan(std::move(cc))
+                                     .OrderBy({{"coeff", false}, {"id", true}})
+                                     .Limit(1)
+                                     .Execute());
+  if (top.num_rows() == 0) {
+    return Status::NotFound("graph has no edges");
+  }
+  return top.ColumnByName("id")->GetInt64(0);
+}
+
+Result<Table> SqlClusteringCoefficients(const Graph& graph) {
+  return SqlClusteringCoefficients(MakeEdgeListTable(graph));
+}
+
+Result<double> SqlGlobalClusteringCoefficient(const Graph& graph) {
+  return SqlGlobalClusteringCoefficient(MakeEdgeListTable(graph));
+}
+
+}  // namespace vertexica

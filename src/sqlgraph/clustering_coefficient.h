@@ -1,0 +1,35 @@
+/// \file clustering_coefficient.h
+/// \brief Local and global clustering coefficients, the §3.2/§4.2.2
+/// composition of triangle counting with degree statistics ("global
+/// clustering coefficient (combining triangle counting with weak ties)").
+
+#ifndef VERTEXICA_SQLGRAPH_CLUSTERING_COEFFICIENT_H_
+#define VERTEXICA_SQLGRAPH_CLUSTERING_COEFFICIENT_H_
+
+#include "common/result.h"
+#include "graphgen/graph.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief Local clustering coefficient per vertex:
+/// c(v) = 2·triangles(v) / (deg(v)·(deg(v)-1)); 0 when deg(v) < 2.
+/// \returns table (id, degree, triangles, coeff) for every vertex that has
+/// at least one undirected edge.
+Result<Table> SqlClusteringCoefficients(const Table& edges);
+
+/// \brief Global (transitivity) coefficient:
+/// 3·triangles / #connected-triples.
+Result<double> SqlGlobalClusteringCoefficient(const Table& edges);
+
+/// \brief Vertex id with the maximum local clustering coefficient (ties
+/// broken by lower id) — the §3.2 example seed for shortest paths.
+Result<int64_t> SqlMaxClusteringVertex(const Table& edges);
+
+/// \brief Convenience overloads on a Graph.
+Result<Table> SqlClusteringCoefficients(const Graph& graph);
+Result<double> SqlGlobalClusteringCoefficient(const Graph& graph);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_SQLGRAPH_CLUSTERING_COEFFICIENT_H_

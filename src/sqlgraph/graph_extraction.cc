@@ -1,0 +1,107 @@
+#include "sqlgraph/graph_extraction.h"
+
+#include "exec/plan_builder.h"
+#include "sqlgraph/sql_common.h"
+
+namespace vertexica {
+
+Result<Table> ExtractEdges(const Table& relation,
+                           const std::string& src_column,
+                           const std::string& dst_column,
+                           const std::string& weight_column) {
+  VX_RETURN_NOT_OK(relation.ColumnIndex(src_column).status());
+  VX_RETURN_NOT_OK(relation.ColumnIndex(dst_column).status());
+  ExprPtr weight = weight_column.empty()
+                       ? Lit(1.0)
+                       : Cast(Col(weight_column), DataType::kDouble);
+  return PlanBuilder::Scan(relation)
+      .Filter(And(IsNotNull(Col(src_column)), IsNotNull(Col(dst_column))))
+      .Project({{"src", Col(src_column)},
+                {"dst", Col(dst_column)},
+                {"weight", std::move(weight)}})
+      .Aggregate({"src", "dst"}, {{AggOp::kSum, "weight", "weight"}})
+      .Execute();
+}
+
+Result<Table> CoOccurrenceGraph(const Table& relation,
+                                const std::string& entity_column,
+                                const std::string& context_column,
+                                int64_t min_shared) {
+  VX_ASSIGN_OR_RETURN(
+      Table pairs,
+      PlanBuilder::Scan(relation)
+          .Project({{"entity", Col(entity_column)},
+                    {"context", Col(context_column)}})
+          .Filter(And(IsNotNull(Col("entity")), IsNotNull(Col("context"))))
+          .Distinct()
+          .Execute());
+  return PlanBuilder::Scan(pairs)
+      .Rename({"src", "context"})
+      .Join(PlanBuilder::Scan(pairs).Rename({"dst", "context2"}),
+            {"context"}, {"context2"})
+      .Filter(Lt(Col("src"), Col("dst")))
+      .Project({{"src", Col("src")},
+                {"dst", Col("dst")},
+                {"one", Lit(1.0)}})
+      .Aggregate({"src", "dst"}, {{AggOp::kSum, "one", "weight"}})
+      .Filter(Ge(Col("weight"), Cast(Lit(min_shared), DataType::kDouble)))
+      .OrderBy({{"weight", false}, {"src", true}, {"dst", true}})
+      .Execute();
+}
+
+Result<Table> DegreeTable(const Table& edges) {
+  VX_ASSIGN_OR_RETURN(
+      Table out_deg,
+      PlanBuilder::Scan(edges)
+          .Aggregate({"src"}, {{AggOp::kCountStar, "", "out_degree"}})
+          .Rename({"id", "out_degree"})
+          .Execute());
+  VX_ASSIGN_OR_RETURN(
+      Table in_deg,
+      PlanBuilder::Scan(edges)
+          .Aggregate({"dst"}, {{AggOp::kCountStar, "", "in_degree"}})
+          .Rename({"id", "in_degree"})
+          .Execute());
+  // Full outer union of endpoints, then left joins so isolated sides get 0.
+  VX_ASSIGN_OR_RETURN(Table ids,
+                      PlanBuilder::Scan(edges)
+                          .Select({"src"})
+                          .Rename({"id"})
+                          .Union(PlanBuilder::Scan(edges)
+                                     .Select({"dst"})
+                                     .Rename({"id"}))
+                          .Distinct()
+                          .Execute());
+  return PlanBuilder::Scan(std::move(ids))
+      .Join(PlanBuilder::Scan(std::move(out_deg)), {"id"}, {"id"},
+            JoinType::kLeft)
+      .Join(PlanBuilder::Scan(std::move(in_deg)), {"id"}, {"id"},
+            JoinType::kLeft)
+      .Project({{"id", Col("id")},
+                {"out_degree", Coalesce(Col("out_degree"), Lit(int64_t{0}))},
+                {"in_degree", Coalesce(Col("in_degree"), Lit(int64_t{0}))}})
+      .Project({{"id", Col("id")},
+                {"out_degree", Col("out_degree")},
+                {"in_degree", Col("in_degree")},
+                {"degree", Add(Col("out_degree"), Col("in_degree"))}})
+      .OrderBy({{"id", true}})
+      .Execute();
+}
+
+Result<GraphSummary> SummarizeGraph(const Table& edges) {
+  GraphSummary summary;
+  summary.num_edges = edges.num_rows();
+  VX_ASSIGN_OR_RETURN(Table degrees, DegreeTable(edges));
+  summary.num_vertices = degrees.num_rows();
+  if (degrees.num_rows() == 0) return summary;
+  VX_ASSIGN_OR_RETURN(
+      Table agg, PlanBuilder::Scan(std::move(degrees))
+                     .Aggregate({}, {{AggOp::kMax, "out_degree", "mx"},
+                                     {AggOp::kAvg, "out_degree", "avg"}})
+                     .Execute());
+  summary.max_out_degree = agg.column(0).GetInt64(0);
+  summary.avg_out_degree = agg.column(1).GetDouble(0);
+  return summary;
+}
+
+}  // namespace vertexica

@@ -1,0 +1,54 @@
+/// \file graph_extraction.h
+/// \brief Extracting graphs from relational data (§3.4): "in many cases,
+/// the graphs may be implicit in the relational data and need to be
+/// extracted in the first place."
+
+#ifndef VERTEXICA_SQLGRAPH_GRAPH_EXTRACTION_H_
+#define VERTEXICA_SQLGRAPH_GRAPH_EXTRACTION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief Extracts an edge table (src, dst, weight) from any relation:
+/// `src_column` / `dst_column` must be INT64; `weight_column` is optional
+/// (empty → weight 1.0). Rows with NULL endpoints are dropped; duplicate
+/// (src, dst) pairs are merged, summing weights.
+Result<Table> ExtractEdges(const Table& relation,
+                           const std::string& src_column,
+                           const std::string& dst_column,
+                           const std::string& weight_column = "");
+
+/// \brief Builds a co-occurrence graph: entities are connected when they
+/// share at least `min_shared` contexts (e.g. users who rated the same
+/// items, authors on the same papers). The classic self-join extraction:
+/// \code{.sql}
+///   SELECT a.entity AS src, b.entity AS dst, COUNT(*) AS weight
+///   FROM r a JOIN r b ON a.context = b.context AND a.entity < b.entity
+///   GROUP BY src, dst HAVING COUNT(*) >= :min_shared;
+/// \endcode
+/// \returns edge table (src, dst, weight), canonically oriented src < dst.
+Result<Table> CoOccurrenceGraph(const Table& relation,
+                                const std::string& entity_column,
+                                const std::string& context_column,
+                                int64_t min_shared = 1);
+
+/// \brief Per-vertex degree summary of an edge table: (id, out_degree,
+/// in_degree, degree) for every endpoint appearing in `edges`.
+Result<Table> DegreeTable(const Table& edges);
+
+/// \brief Whole-graph summary statistics.
+struct GraphSummary {
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;
+  int64_t max_out_degree = 0;
+  double avg_out_degree = 0.0;
+};
+Result<GraphSummary> SummarizeGraph(const Table& edges);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_SQLGRAPH_GRAPH_EXTRACTION_H_

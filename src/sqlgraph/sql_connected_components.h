@@ -1,0 +1,37 @@
+/// \file sql_connected_components.h
+/// \brief Connected components as iterated relational label propagation —
+/// completing the SQL counterparts of the §3.1 vertex-centric suite.
+
+#ifndef VERTEXICA_SQLGRAPH_SQL_CONNECTED_COMPONENTS_H_
+#define VERTEXICA_SQLGRAPH_SQL_CONNECTED_COMPONENTS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graphgen/graph.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief HashMin in SQL: every vertex starts labelled with its own id and
+/// repeatedly takes the minimum label in its closed undirected
+/// neighbourhood until a full pass changes nothing:
+/// \code{.sql}
+///   CREATE TABLE cand AS
+///     SELECT e.dst AS id, MIN(l.label) AS nl
+///     FROM label l JOIN und e ON l.id = e.src GROUP BY e.dst;
+///   CREATE TABLE label AS
+///     SELECT l.id, LEAST(l.label, c.nl) FROM label l
+///     LEFT JOIN cand c ON l.id = c.id;
+/// \endcode
+/// \returns table (id, label) where label = min member id of the
+/// component.
+Result<Table> SqlConnectedComponents(const Table& vertices,
+                                     const Table& edges);
+
+/// \brief Convenience overload; labels indexed by vertex id.
+Result<std::vector<int64_t>> SqlConnectedComponents(const Graph& graph);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_SQLGRAPH_SQL_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,74 @@
+#include "sqlgraph/sql_pagerank.h"
+
+#include "exec/plan_builder.h"
+#include "sqlgraph/sql_common.h"
+
+namespace vertexica {
+
+Result<Table> SqlPageRank(const Table& vertices, const Table& edges,
+                          int iterations, double damping) {
+  const auto n = static_cast<double>(vertices.num_rows());
+  if (n == 0) return Table(Schema({{"id", DataType::kInt64},
+                                   {"rank", DataType::kDouble}}));
+
+  // Pre-join edges with out-degrees once; the per-iteration plan then only
+  // joins this against the current rank table.
+  VX_ASSIGN_OR_RETURN(
+      Table outdeg,
+      PlanBuilder::Scan(edges)
+          .Aggregate({"src"}, {{AggOp::kCountStar, "", "outdeg"}})
+          .Execute());
+  VX_ASSIGN_OR_RETURN(
+      Table edge_deg,
+      PlanBuilder::Scan(edges)
+          .Select({"src", "dst"})
+          .Join(PlanBuilder::Scan(std::move(outdeg)), {"src"}, {"src"})
+          .Select({"src", "dst", "outdeg"})
+          .Execute());
+
+  // rank_0 = 1/N everywhere.
+  VX_ASSIGN_OR_RETURN(Table rank,
+                      PlanBuilder::Scan(vertices)
+                          .Project({{"id", Col("id")},
+                                    {"rank", Lit(1.0 / n)}})
+                          .Execute());
+
+  for (int it = 0; it < iterations; ++it) {
+    VX_ASSIGN_OR_RETURN(
+        Table sums,
+        PlanBuilder::Scan(edge_deg)
+            .Join(PlanBuilder::Scan(rank), {"src"}, {"id"})
+            .Project({{"dst", Col("dst")},
+                      {"c", Div(Col("rank"), Col("outdeg"))}})
+            .Aggregate({"dst"}, {{AggOp::kSum, "c", "s"}})
+            .Execute());
+    VX_ASSIGN_OR_RETURN(
+        rank,
+        PlanBuilder::Scan(vertices)
+            .Join(PlanBuilder::Scan(std::move(sums)), {"id"}, {"dst"},
+                  JoinType::kLeft)
+            .Project({{"id", Col("id")},
+                      {"rank", Add(Lit((1.0 - damping) / n),
+                                   Mul(Lit(damping),
+                                       Coalesce(Col("s"), Lit(0.0))))}})
+            .Execute());
+  }
+  return rank;
+}
+
+Result<std::vector<double>> SqlPageRank(const Graph& graph, int iterations,
+                                        double damping) {
+  VX_ASSIGN_OR_RETURN(Table rank,
+                      SqlPageRank(MakeVertexListTable(graph),
+                                  MakeEdgeListTable(graph), iterations,
+                                  damping));
+  std::vector<double> out(static_cast<size_t>(graph.num_vertices), 0.0);
+  const auto& ids = rank.column(0).ints();
+  const auto& ranks = rank.column(1).doubles();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out[static_cast<size_t>(ids[i])] = ranks[i];
+  }
+  return out;
+}
+
+}  // namespace vertexica

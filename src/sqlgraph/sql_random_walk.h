@@ -1,0 +1,36 @@
+/// \file sql_random_walk.h
+/// \brief Localized PageRank (random walk with restart) in SQL — the §1
+/// example of combining graph algorithms with relational operators:
+/// "Vertexica allows users to easily combine graph algorithms with
+/// relational operators, thereby facilitating more advanced graph queries
+/// e.g. localized PageRank."
+
+#ifndef VERTEXICA_SQLGRAPH_SQL_RANDOM_WALK_H_
+#define VERTEXICA_SQLGRAPH_SQL_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graphgen/graph.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief Iterative RWR: p ← (1-c)·Wᵀp + c·e_source, the same recurrence as
+/// the vertex-centric RandomWalkWithRestartProgram, expressed as the
+/// per-iteration join/aggregate plan of SqlPageRank with a personalized
+/// teleport.
+/// \returns table (id, score).
+Result<Table> SqlRandomWalkWithRestart(const Table& vertices,
+                                       const Table& edges, int64_t source,
+                                       int iterations = 15,
+                                       double restart_probability = 0.15);
+
+/// \brief Convenience overload; scores indexed by vertex id.
+Result<std::vector<double>> SqlRandomWalkWithRestart(
+    const Graph& graph, int64_t source, int iterations = 15,
+    double restart_probability = 0.15);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_SQLGRAPH_SQL_RANDOM_WALK_H_

@@ -1,0 +1,38 @@
+/// \file sql_shortest_paths.h
+/// \brief Single-source shortest paths as iterated relational relaxation —
+/// the "Vertexica (SQL)" series of Figure 2(b).
+
+#ifndef VERTEXICA_SQLGRAPH_SQL_SHORTEST_PATHS_H_
+#define VERTEXICA_SQLGRAPH_SQL_SHORTEST_PATHS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graphgen/graph.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief Bellman–Ford in SQL: repeat
+/// \code{.sql}
+///   CREATE TABLE cand AS
+///     SELECT e.dst, MIN(d.dist + e.weight) AS nd
+///     FROM dist d JOIN edge e ON d.id = e.src
+///     WHERE d.dist < 'inf' GROUP BY e.dst;
+///   CREATE TABLE dist AS
+///     SELECT d.id, LEAST(d.dist, c.nd) FROM dist d
+///     LEFT JOIN cand c ON d.id = c.dst;
+/// \endcode
+/// until no distance improves (at most |V|-1 rounds).
+///
+/// \returns table (id, dist); unreachable vertices have dist = +inf.
+Result<Table> SqlShortestPaths(const Table& vertices, const Table& edges,
+                               int64_t source);
+
+/// \brief Convenience overload returning distances indexed by vertex id.
+Result<std::vector<double>> SqlShortestPaths(const Graph& graph,
+                                             int64_t source);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_SQLGRAPH_SQL_SHORTEST_PATHS_H_

@@ -1,0 +1,24 @@
+#include "sqlgraph/strong_overlap.h"
+
+#include "exec/plan_builder.h"
+#include "sqlgraph/sql_common.h"
+
+namespace vertexica {
+
+Result<Table> SqlStrongOverlap(const Table& edges, int64_t min_common) {
+  VX_ASSIGN_OR_RETURN(Table und, UndirectedEdges(edges));
+  return PlanBuilder::Scan(und)
+      .Rename({"a", "x"})
+      .Join(PlanBuilder::Scan(und).Rename({"b", "x2"}), {"x"}, {"x2"})
+      .Filter(Lt(Col("a"), Col("b")))
+      .Aggregate({"a", "b"}, {{AggOp::kCountStar, "", "common"}})
+      .Filter(Ge(Col("common"), Lit(min_common)))
+      .OrderBy({{"common", false}, {"a", true}, {"b", true}})
+      .Execute();
+}
+
+Result<Table> SqlStrongOverlap(const Graph& graph, int64_t min_common) {
+  return SqlStrongOverlap(MakeEdgeListTable(graph), min_common);
+}
+
+}  // namespace vertexica

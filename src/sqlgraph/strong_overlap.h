@@ -1,0 +1,29 @@
+/// \file strong_overlap.h
+/// \brief Strong overlap (§3.2): "find pairs of nodes having strong overlap
+/// between them. Overlap could be defined as number of common neighbors."
+
+#ifndef VERTEXICA_SQLGRAPH_STRONG_OVERLAP_H_
+#define VERTEXICA_SQLGRAPH_STRONG_OVERLAP_H_
+
+#include "common/result.h"
+#include "graphgen/graph.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief Pairs (a, b), a < b, sharing at least `min_common` undirected
+/// neighbours:
+/// \code{.sql}
+///   SELECT n1.src AS a, n2.src AS b, COUNT(*) AS common
+///   FROM und n1 JOIN und n2 ON n1.dst = n2.dst AND n1.src < n2.src
+///   GROUP BY a, b HAVING COUNT(*) >= :min_common;
+/// \endcode
+/// \returns table (a, b, common) sorted by common desc.
+Result<Table> SqlStrongOverlap(const Table& edges, int64_t min_common = 2);
+
+/// \brief Convenience overload on a Graph.
+Result<Table> SqlStrongOverlap(const Graph& graph, int64_t min_common = 2);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_SQLGRAPH_STRONG_OVERLAP_H_

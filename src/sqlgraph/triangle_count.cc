@@ -1,0 +1,46 @@
+#include "sqlgraph/triangle_count.h"
+
+#include "exec/plan_builder.h"
+#include "sqlgraph/sql_common.h"
+
+namespace vertexica {
+
+Result<Table> SqlTriangleList(const Table& edges) {
+  VX_ASSIGN_OR_RETURN(Table oriented, OrientedEdges(edges));
+  // e1(a,b) ⋈ e2(b,c) ⋈ e3(a,c), all canonically oriented (a < b < c).
+  VX_ASSIGN_OR_RETURN(
+      Table wedges,
+      PlanBuilder::Scan(oriented)
+          .Rename({"a", "b"})
+          .Join(PlanBuilder::Scan(oriented).Rename({"b2", "c"}), {"b"},
+                {"b2"})
+          .Select({"a", "b", "c"})
+          .Execute());
+  return PlanBuilder::Scan(std::move(wedges))
+      .Join(PlanBuilder::Scan(oriented).Rename({"a3", "c3"}), {"a", "c"},
+            {"a3", "c3"}, JoinType::kSemi)
+      .Execute();
+}
+
+Result<int64_t> SqlTriangleCount(const Table& edges) {
+  VX_ASSIGN_OR_RETURN(Table triangles, SqlTriangleList(edges));
+  return triangles.num_rows();
+}
+
+Result<Table> SqlPerNodeTriangles(const Table& edges) {
+  VX_ASSIGN_OR_RETURN(Table triangles, SqlTriangleList(edges));
+  // Each triangle (a,b,c) contributes one count to each corner.
+  return PlanBuilder::Scan(triangles)
+      .Select({"a"})
+      .Rename({"id"})
+      .Union(PlanBuilder::Scan(triangles).Select({"b"}).Rename({"id"}))
+      .Union(PlanBuilder::Scan(triangles).Select({"c"}).Rename({"id"}))
+      .Aggregate({"id"}, {{AggOp::kCountStar, "", "triangles"}})
+      .Execute();
+}
+
+Result<int64_t> SqlTriangleCount(const Graph& graph) {
+  return SqlTriangleCount(MakeEdgeListTable(graph));
+}
+
+}  // namespace vertexica

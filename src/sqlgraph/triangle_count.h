@@ -1,0 +1,36 @@
+/// \file triangle_count.h
+/// \brief SQL triangle counting (§3.2) — a 1-hop algorithm that is natural
+/// in SQL but awkward in vertex-centric systems.
+
+#ifndef VERTEXICA_SQLGRAPH_TRIANGLE_COUNT_H_
+#define VERTEXICA_SQLGRAPH_TRIANGLE_COUNT_H_
+
+#include "common/result.h"
+#include "graphgen/graph.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief Total number of triangles in the undirected simple graph
+/// underlying `edges`. The classic three-way self-join on canonically
+/// oriented edges:
+/// \code{.sql}
+///   SELECT COUNT(*) FROM oriented e1
+///   JOIN oriented e2 ON e1.dst = e2.src
+///   JOIN oriented e3 ON e1.src = e3.src AND e2.dst = e3.dst;
+/// \endcode
+Result<int64_t> SqlTriangleCount(const Table& edges);
+
+/// \brief Per-node participation: table (id, triangles). Vertices in no
+/// triangle are absent.
+Result<Table> SqlPerNodeTriangles(const Table& edges);
+
+/// \brief Table (a, b, c) of all triangles, a < b < c.
+Result<Table> SqlTriangleList(const Table& edges);
+
+/// \brief Convenience overload on a Graph.
+Result<int64_t> SqlTriangleCount(const Graph& graph);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_SQLGRAPH_TRIANGLE_COUNT_H_

@@ -1,0 +1,33 @@
+#include "sqlgraph/weak_ties.h"
+
+#include "exec/plan_builder.h"
+#include "sqlgraph/sql_common.h"
+
+namespace vertexica {
+
+Result<Table> SqlWeakTies(const Table& edges, int64_t min_pairs) {
+  VX_ASSIGN_OR_RETURN(Table und, UndirectedEdges(edges));
+  // Neighbour pairs of the same centre vertex, canonically ordered.
+  VX_ASSIGN_OR_RETURN(
+      Table open_pairs,
+      PlanBuilder::Scan(und)
+          .Rename({"v", "a"})
+          .Join(PlanBuilder::Scan(und).Rename({"v2", "b"}), {"v"}, {"v2"})
+          .Filter(Lt(Col("a"), Col("b")))
+          // Keep only pairs with no direct a—b edge (anti join).
+          .Join(PlanBuilder::Scan(und).Rename({"ea", "eb"}), {"a", "b"},
+                {"ea", "eb"}, JoinType::kAnti)
+          .Execute());
+  return PlanBuilder::Scan(std::move(open_pairs))
+      .Aggregate({"v"}, {{AggOp::kCountStar, "", "open_pairs"}})
+      .Filter(Ge(Col("open_pairs"), Lit(min_pairs)))
+      .Rename({"id", "open_pairs"})
+      .OrderBy({{"open_pairs", false}, {"id", true}})
+      .Execute();
+}
+
+Result<Table> SqlWeakTies(const Graph& graph, int64_t min_pairs) {
+  return SqlWeakTies(MakeEdgeListTable(graph), min_pairs);
+}
+
+}  // namespace vertexica

@@ -1,0 +1,31 @@
+/// \file weak_ties.h
+/// \brief Weak ties (§3.2): "find nodes which act as bridges between
+/// otherwise disconnected pair of nodes."
+
+#ifndef VERTEXICA_SQLGRAPH_WEAK_TIES_H_
+#define VERTEXICA_SQLGRAPH_WEAK_TIES_H_
+
+#include "common/result.h"
+#include "graphgen/graph.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief For every vertex v, counts the neighbour pairs (a, b) that are
+/// NOT directly connected — pairs for which v is the bridge:
+/// \code{.sql}
+///   SELECT n1.src AS v, COUNT(*) AS open_pairs
+///   FROM und n1 JOIN und n2 ON n1.src = n2.src AND n1.dst < n2.dst
+///   WHERE NOT EXISTS (SELECT 1 FROM und e
+///                     WHERE e.src = n1.dst AND e.dst = n2.dst)
+///   GROUP BY v HAVING COUNT(*) >= :min_pairs;
+/// \endcode
+/// \returns table (id, open_pairs) sorted by open_pairs desc.
+Result<Table> SqlWeakTies(const Table& edges, int64_t min_pairs = 1);
+
+/// \brief Convenience overload on a Graph.
+Result<Table> SqlWeakTies(const Graph& graph, int64_t min_pairs = 1);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_SQLGRAPH_WEAK_TIES_H_

@@ -1,0 +1,272 @@
+#include "storage/column.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace vertexica {
+
+Column Column::FromInts(std::vector<int64_t> v) {
+  Column c(DataType::kInt64);
+  c.length_ = static_cast<int64_t>(v.size());
+  c.ints_ = std::move(v);
+  return c;
+}
+
+Column Column::FromDoubles(std::vector<double> v) {
+  Column c(DataType::kDouble);
+  c.length_ = static_cast<int64_t>(v.size());
+  c.doubles_ = std::move(v);
+  return c;
+}
+
+Column Column::FromStrings(std::vector<std::string> v) {
+  Column c(DataType::kString);
+  c.length_ = static_cast<int64_t>(v.size());
+  c.strings_ = std::move(v);
+  return c;
+}
+
+Column Column::FromBools(std::vector<uint8_t> v) {
+  Column c(DataType::kBool);
+  c.length_ = static_cast<int64_t>(v.size());
+  c.bools_ = std::move(v);
+  return c;
+}
+
+void Column::Reserve(int64_t n) {
+  const auto sn = static_cast<size_t>(n);
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.reserve(sn);
+      break;
+    case DataType::kDouble:
+      doubles_.reserve(sn);
+      break;
+    case DataType::kString:
+      strings_.reserve(sn);
+      break;
+    case DataType::kBool:
+      bools_.reserve(sn);
+      break;
+  }
+}
+
+void Column::EnsureValidity() {
+  if (validity_.empty()) {
+    validity_.assign(static_cast<size_t>(length_), 1);
+  }
+}
+
+void Column::AppendNull() {
+  EnsureValidity();
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+    case DataType::kBool:
+      bools_.push_back(0);
+      break;
+  }
+  validity_.push_back(0);
+  ++length_;
+  ++null_count_;
+}
+
+void Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      AppendInt64(v.int64_value());
+      break;
+    case DataType::kDouble:
+      // Allow int literals in double columns for ergonomic row building.
+      AppendDouble(v.is_int64() ? static_cast<double>(v.int64_value())
+                                : v.double_value());
+      break;
+    case DataType::kString:
+      AppendString(v.string_value());
+      break;
+    case DataType::kBool:
+      AppendBool(v.bool_value());
+      break;
+  }
+}
+
+void Column::AppendColumn(const Column& other) {
+  VX_CHECK(type_ == other.type_)
+      << "AppendColumn type mismatch: " << DataTypeName(type_) << " vs "
+      << DataTypeName(other.type_);
+  if (!other.validity_.empty() || !validity_.empty()) {
+    EnsureValidity();
+    if (other.validity_.empty()) {
+      validity_.insert(validity_.end(), static_cast<size_t>(other.length_), 1);
+    } else {
+      validity_.insert(validity_.end(), other.validity_.begin(),
+                       other.validity_.end());
+    }
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+      break;
+    case DataType::kDouble:
+      doubles_.insert(doubles_.end(), other.doubles_.begin(),
+                      other.doubles_.end());
+      break;
+    case DataType::kString:
+      strings_.insert(strings_.end(), other.strings_.begin(),
+                      other.strings_.end());
+      break;
+    case DataType::kBool:
+      bools_.insert(bools_.end(), other.bools_.begin(), other.bools_.end());
+      break;
+  }
+  length_ += other.length_;
+  null_count_ += other.null_count_;
+}
+
+Value Column::GetValue(int64_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(GetInt64(i));
+    case DataType::kDouble:
+      return Value(GetDouble(i));
+    case DataType::kString:
+      return Value(GetString(i));
+    case DataType::kBool:
+      return Value(GetBool(i));
+  }
+  return Value::Null();
+}
+
+Column Column::Take(const std::vector<int64_t>& indices) const {
+  Column out(type_);
+  out.Reserve(static_cast<int64_t>(indices.size()));
+  if (null_count_ == 0) {
+    switch (type_) {
+      case DataType::kInt64:
+        for (int64_t i : indices) out.ints_.push_back(ints_[static_cast<size_t>(i)]);
+        break;
+      case DataType::kDouble:
+        for (int64_t i : indices)
+          out.doubles_.push_back(doubles_[static_cast<size_t>(i)]);
+        break;
+      case DataType::kString:
+        for (int64_t i : indices)
+          out.strings_.push_back(strings_[static_cast<size_t>(i)]);
+        break;
+      case DataType::kBool:
+        for (int64_t i : indices)
+          out.bools_.push_back(bools_[static_cast<size_t>(i)]);
+        break;
+    }
+    out.length_ = static_cast<int64_t>(indices.size());
+    return out;
+  }
+  for (int64_t i : indices) out.AppendValue(GetValue(i));
+  return out;
+}
+
+Column Column::Slice(int64_t offset, int64_t count) const {
+  VX_CHECK(offset >= 0 && offset + count <= length_);
+  Column out(type_);
+  const auto b = static_cast<size_t>(offset);
+  const auto e = static_cast<size_t>(offset + count);
+  switch (type_) {
+    case DataType::kInt64:
+      out.ints_.assign(ints_.begin() + b, ints_.begin() + e);
+      break;
+    case DataType::kDouble:
+      out.doubles_.assign(doubles_.begin() + b, doubles_.begin() + e);
+      break;
+    case DataType::kString:
+      out.strings_.assign(strings_.begin() + b, strings_.begin() + e);
+      break;
+    case DataType::kBool:
+      out.bools_.assign(bools_.begin() + b, bools_.begin() + e);
+      break;
+  }
+  out.length_ = count;
+  if (!validity_.empty()) {
+    out.validity_.assign(validity_.begin() + b, validity_.begin() + e);
+    out.null_count_ =
+        count - std::count(out.validity_.begin(), out.validity_.end(), 1);
+    if (out.null_count_ == 0) out.validity_.clear();
+  }
+  return out;
+}
+
+bool Column::Equals(const Column& other) const {
+  if (type_ != other.type_ || length_ != other.length_ ||
+      null_count_ != other.null_count_) {
+    return false;
+  }
+  for (int64_t i = 0; i < length_; ++i) {
+    if (IsNull(i) != other.IsNull(i)) return false;
+    if (IsNull(i)) continue;
+    if (GetValue(i) != other.GetValue(i)) return false;
+  }
+  return true;
+}
+
+uint64_t Column::HashRow(int64_t i) const {
+  if (IsNull(i)) return 0x6e756c6cULL;  // "null"
+  switch (type_) {
+    case DataType::kInt64:
+      return HashInt64(static_cast<uint64_t>(GetInt64(i)));
+    case DataType::kDouble: {
+      const double d = GetDouble(i);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashInt64(bits);
+    }
+    case DataType::kString:
+      return HashString(GetString(i));
+    case DataType::kBool:
+      return HashInt64(GetBool(i) ? 1 : 2);
+  }
+  return 0;
+}
+
+int Column::CompareRows(int64_t i, const Column& other, int64_t j) const {
+  VX_DCHECK(type_ == other.type_);
+  const bool ln = IsNull(i);
+  const bool rn = other.IsNull(j);
+  if (ln || rn) return ln == rn ? 0 : (ln ? -1 : 1);
+  switch (type_) {
+    case DataType::kInt64: {
+      const int64_t a = GetInt64(i);
+      const int64_t b = other.GetInt64(j);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kDouble: {
+      const double a = GetDouble(i);
+      const double b = other.GetDouble(j);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kString:
+      return GetString(i).compare(other.GetString(j)) < 0
+                 ? -1
+                 : (GetString(i) == other.GetString(j) ? 0 : 1);
+    case DataType::kBool: {
+      const int a = GetBool(i) ? 1 : 0;
+      const int b = other.GetBool(j) ? 1 : 0;
+      return a - b;
+    }
+  }
+  return 0;
+}
+
+}  // namespace vertexica

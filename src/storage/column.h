@@ -1,0 +1,151 @@
+/// \file column.h
+/// \brief A typed, nullable column of values — the engine's unit of storage.
+///
+/// Vertexica sits on a column-oriented database (the paper uses Vertica);
+/// this column vector is the corresponding storage primitive here. Hot
+/// paths access the typed vectors directly (`ints()`, `doubles()`), while
+/// generic code goes through `GetValue`/`AppendValue`.
+
+#ifndef VERTEXICA_STORAGE_COLUMN_H_
+#define VERTEXICA_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/data_type.h"
+#include "storage/value.h"
+
+namespace vertexica {
+
+/// \brief A single column: logical type + typed value vector + validity.
+///
+/// Validity is tracked lazily: while no NULL has been appended the validity
+/// vector stays empty and all slots are valid, so fully-valid columns (the
+/// common case for graph data) pay nothing.
+class Column {
+ public:
+  explicit Column(DataType type = DataType::kInt64) : type_(type) {}
+
+  /// \name Typed factories
+  /// @{
+  static Column FromInts(std::vector<int64_t> v);
+  static Column FromDoubles(std::vector<double> v);
+  static Column FromStrings(std::vector<std::string> v);
+  static Column FromBools(std::vector<uint8_t> v);
+  /// @}
+
+  DataType type() const { return type_; }
+  int64_t length() const { return length_; }
+  int64_t null_count() const { return null_count_; }
+
+  void Reserve(int64_t n);
+
+  /// \name Append
+  /// @{
+  void AppendInt64(int64_t v) {
+    VX_DCHECK(type_ == DataType::kInt64);
+    ints_.push_back(v);
+    NoteAppend();
+  }
+  void AppendDouble(double v) {
+    VX_DCHECK(type_ == DataType::kDouble);
+    doubles_.push_back(v);
+    NoteAppend();
+  }
+  void AppendString(std::string v) {
+    VX_DCHECK(type_ == DataType::kString);
+    strings_.push_back(std::move(v));
+    NoteAppend();
+  }
+  void AppendBool(bool v) {
+    VX_DCHECK(type_ == DataType::kBool);
+    bools_.push_back(v ? 1 : 0);
+    NoteAppend();
+  }
+  void AppendNull();
+  /// \brief Appends a Value; the value must match the column type or be null.
+  void AppendValue(const Value& v);
+  /// \brief Appends rows [0, other.length()) of `other` (same type).
+  void AppendColumn(const Column& other);
+  /// @}
+
+  /// \name Element access
+  /// @{
+  bool IsNull(int64_t i) const {
+    return !validity_.empty() && validity_[static_cast<size_t>(i)] == 0;
+  }
+  int64_t GetInt64(int64_t i) const {
+    VX_DCHECK(type_ == DataType::kInt64);
+    return ints_[static_cast<size_t>(i)];
+  }
+  double GetDouble(int64_t i) const {
+    VX_DCHECK(type_ == DataType::kDouble);
+    return doubles_[static_cast<size_t>(i)];
+  }
+  const std::string& GetString(int64_t i) const {
+    VX_DCHECK(type_ == DataType::kString);
+    return strings_[static_cast<size_t>(i)];
+  }
+  bool GetBool(int64_t i) const {
+    VX_DCHECK(type_ == DataType::kBool);
+    return bools_[static_cast<size_t>(i)] != 0;
+  }
+  /// \brief Numeric value widened to double (int64 or double columns).
+  double GetNumeric(int64_t i) const {
+    return type_ == DataType::kInt64 ? static_cast<double>(GetInt64(i))
+                                     : GetDouble(i);
+  }
+  Value GetValue(int64_t i) const;
+  /// @}
+
+  /// \name Direct typed access for vectorized operators
+  /// @{
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<uint8_t>& bools() const { return bools_; }
+  std::vector<int64_t>* mutable_ints() { return &ints_; }
+  std::vector<double>* mutable_doubles() { return &doubles_; }
+  std::vector<std::string>* mutable_strings() { return &strings_; }
+  std::vector<uint8_t>* mutable_bools() { return &bools_; }
+  /// @}
+
+  /// \brief Gather: column of `indices.size()` rows taken at the indices.
+  Column Take(const std::vector<int64_t>& indices) const;
+
+  /// \brief Contiguous sub-column [offset, offset + count).
+  Column Slice(int64_t offset, int64_t count) const;
+
+  /// \brief Deep equality including null positions.
+  bool Equals(const Column& other) const;
+
+  /// \brief Hash of row `i` (for join/group keys). NULL hashes to a fixed
+  /// distinguished value.
+  uint64_t HashRow(int64_t i) const;
+
+  /// \brief Three-way comparison of row `i` with row `j` of `other` (same
+  /// type). NULLs sort first.
+  int CompareRows(int64_t i, const Column& other, int64_t j) const;
+
+ private:
+  void NoteAppend() {
+    ++length_;
+    if (!validity_.empty()) validity_.push_back(1);
+  }
+  void EnsureValidity();
+
+  DataType type_;
+  int64_t length_ = 0;
+  int64_t null_count_ = 0;
+  std::vector<uint8_t> validity_;  // empty == all valid
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> bools_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_STORAGE_COLUMN_H_

@@ -1,0 +1,317 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace vertexica {
+
+namespace {
+
+/// Splits one CSV record honouring double-quoted fields ("" escapes a
+/// quote inside a quoted field).
+std::vector<std::string> SplitRecord(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"' && current.empty()) {
+      quoted = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool ParsesAsInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParsesAsDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParsesAsBool(const std::string& s, bool* out) {
+  if (s == "true" || s == "TRUE" || s == "True") {
+    *out = true;
+    return true;
+  }
+  if (s == "false" || s == "FALSE" || s == "False") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+struct RawCsv {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+Result<RawCsv> Tokenize(const std::string& text, const CsvOptions& options) {
+  RawCsv raw;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = !options.has_header;
+  size_t width = 0;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = SplitRecord(line, options.delimiter);
+    if (!saw_header) {
+      raw.header = std::move(fields);
+      width = raw.header.size();
+      saw_header = true;
+      continue;
+    }
+    if (width == 0) width = fields.size();
+    if (fields.size() != width) {
+      return Status::IoError(StringFormat(
+          "csv: line %lld has %zu fields, expected %zu",
+          static_cast<long long>(lineno), fields.size(), width));
+    }
+    raw.rows.push_back(std::move(fields));
+  }
+  if (raw.header.empty()) {
+    for (size_t c = 0; c < width; ++c) {
+      raw.header.push_back(StringFormat("c%zu", c));
+    }
+  }
+  return raw;
+}
+
+bool IsNull(const std::string& field, const CsvOptions& options) {
+  return field.empty() || field == options.null_token;
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(const std::string& text, const CsvOptions& options) {
+  VX_ASSIGN_OR_RETURN(RawCsv raw, Tokenize(text, options));
+  const size_t width = raw.header.size();
+
+  // Infer each column's type from the most specific type all rows admit.
+  Schema schema;
+  for (size_t c = 0; c < width; ++c) {
+    bool all_int = true;
+    bool all_double = true;
+    bool all_bool = true;
+    bool any_value = false;
+    for (const auto& row : raw.rows) {
+      const std::string& f = row[c];
+      if (IsNull(f, options)) continue;
+      any_value = true;
+      int64_t i;
+      double d;
+      bool b;
+      if (!ParsesAsInt(f, &i)) all_int = false;
+      if (!ParsesAsDouble(f, &d)) all_double = false;
+      if (!ParsesAsBool(f, &b)) all_bool = false;
+    }
+    DataType type = DataType::kString;
+    if (any_value) {
+      if (all_int) {
+        type = DataType::kInt64;
+      } else if (all_double) {
+        type = DataType::kDouble;
+      } else if (all_bool) {
+        type = DataType::kBool;
+      }
+    }
+    schema.AddField({raw.header[c], type});
+  }
+
+  Table table(schema);
+  for (const auto& row : raw.rows) {
+    std::vector<Value> values;
+    values.reserve(width);
+    for (size_t c = 0; c < width; ++c) {
+      const std::string& f = row[c];
+      if (IsNull(f, options)) {
+        values.push_back(Value::Null());
+        continue;
+      }
+      switch (schema.field(static_cast<int>(c)).type) {
+        case DataType::kInt64: {
+          int64_t v = 0;
+          ParsesAsInt(f, &v);
+          values.push_back(Value(v));
+          break;
+        }
+        case DataType::kDouble: {
+          double v = 0;
+          ParsesAsDouble(f, &v);
+          values.push_back(Value(v));
+          break;
+        }
+        case DataType::kBool: {
+          bool v = false;
+          ParsesAsBool(f, &v);
+          values.push_back(Value(v));
+          break;
+        }
+        case DataType::kString:
+          values.push_back(Value(f));
+          break;
+      }
+    }
+    VX_RETURN_NOT_OK(table.AppendRow(values));
+  }
+  return table;
+}
+
+Result<Table> ParseCsvWithSchema(const std::string& text, const Schema& schema,
+                                 const CsvOptions& options) {
+  VX_ASSIGN_OR_RETURN(RawCsv raw, Tokenize(text, options));
+  if (static_cast<int>(raw.header.size()) != schema.num_fields()) {
+    return Status::InvalidArgument(StringFormat(
+        "csv: %zu columns, schema expects %d", raw.header.size(),
+        schema.num_fields()));
+  }
+  Schema named = schema;
+  if (options.has_header) {
+    named = schema.WithNames(raw.header);
+  }
+  Table table(named);
+  for (const auto& row : raw.rows) {
+    std::vector<Value> values;
+    for (int c = 0; c < named.num_fields(); ++c) {
+      const std::string& f = row[static_cast<size_t>(c)];
+      if (IsNull(f, options)) {
+        values.push_back(Value::Null());
+        continue;
+      }
+      switch (named.field(c).type) {
+        case DataType::kInt64: {
+          int64_t v = 0;
+          if (!ParsesAsInt(f, &v)) {
+            return Status::TypeError("csv: '" + f + "' is not an INT64");
+          }
+          values.push_back(Value(v));
+          break;
+        }
+        case DataType::kDouble: {
+          double v = 0;
+          if (!ParsesAsDouble(f, &v)) {
+            return Status::TypeError("csv: '" + f + "' is not a DOUBLE");
+          }
+          values.push_back(Value(v));
+          break;
+        }
+        case DataType::kBool: {
+          bool v = false;
+          if (!ParsesAsBool(f, &v)) {
+            return Status::TypeError("csv: '" + f + "' is not a BOOL");
+          }
+          values.push_back(Value(v));
+          break;
+        }
+        case DataType::kString:
+          values.push_back(Value(f));
+          break;
+      }
+    }
+    VX_RETURN_NOT_OK(table.AppendRow(values));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string ToCsv(const Table& table, const CsvOptions& options) {
+  std::ostringstream out;
+  auto WriteField = [&](const std::string& s) {
+    const bool needs_quotes =
+        s.find(options.delimiter) != std::string::npos ||
+        s.find('"') != std::string::npos || s.find('\n') != std::string::npos;
+    if (!needs_quotes) {
+      out << s;
+      return;
+    }
+    out << '"';
+    for (char c : s) {
+      if (c == '"') out << '"';
+      out << c;
+    }
+    out << '"';
+  };
+  if (options.has_header) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      WriteField(table.schema().field(c).name);
+    }
+    out << '\n';
+  }
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      const Column& col = table.column(c);
+      if (col.IsNull(r)) {
+        out << options.null_token;
+        continue;
+      }
+      if (col.type() == DataType::kDouble) {
+        // Round-trippable formatting (checkpoint/recovery must be
+        // lossless; Value::ToString renders at display precision).
+        out << StringFormat("%.17g", col.GetDouble(r));
+        continue;
+      }
+      Value v = col.GetValue(r);
+      WriteField(v.is_string() ? v.string_value() : v.ToString());
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << ToCsv(table, options);
+  if (!out.good()) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace vertexica

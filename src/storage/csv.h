@@ -1,0 +1,57 @@
+/// \file csv.h
+/// \brief CSV import/export for tables.
+///
+/// §3.4 stresses that "in many cases, the graphs may be implicit in the
+/// relational data and need to be extracted in the first place" — raw data
+/// arrives as relational files. This module loads such files into engine
+/// tables (with header + type inference or an explicit schema) and writes
+/// results back out.
+
+#ifndef VERTEXICA_STORAGE_CSV_H_
+#define VERTEXICA_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First non-empty line is a header of column names.
+  bool has_header = true;
+  /// Literal text representing SQL NULL (empty fields are also NULL).
+  std::string null_token = "";
+};
+
+/// \brief Parses CSV text into a table.
+///
+/// Column types are inferred from the data: a column is INT64 if every
+/// non-null field parses as an integer, else DOUBLE if every field parses
+/// as a number, else BOOL if every field is true/false, else STRING.
+/// Without a header, columns are named c0, c1, ....
+Result<Table> ParseCsv(const std::string& text, const CsvOptions& options = {});
+
+/// \brief Like ParseCsv but coerces fields to `schema` (and validates the
+/// column count; header names override schema names when present).
+Result<Table> ParseCsvWithSchema(const std::string& text, const Schema& schema,
+                                 const CsvOptions& options = {});
+
+/// \brief Reads a CSV file.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// \brief Renders a table as CSV text (header + rows; NULL as empty field;
+/// strings quoted only when they contain the delimiter, a quote or a
+/// newline).
+std::string ToCsv(const Table& table, const CsvOptions& options = {});
+
+/// \brief Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_STORAGE_CSV_H_

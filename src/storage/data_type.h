@@ -1,0 +1,42 @@
+/// \file data_type.h
+/// \brief Logical column types supported by the relational engine.
+
+#ifndef VERTEXICA_STORAGE_DATA_TYPE_H_
+#define VERTEXICA_STORAGE_DATA_TYPE_H_
+
+#include <string>
+
+namespace vertexica {
+
+/// \brief Logical data types. The engine is deliberately small: 64-bit
+/// integers (ids, counts), doubles (values, ranks, distances), booleans
+/// (vertex halted state) and strings (metadata).
+enum class DataType : int {
+  kBool = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+inline const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+/// \brief True for the two numeric types (kInt64, kDouble).
+inline bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble;
+}
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_STORAGE_DATA_TYPE_H_

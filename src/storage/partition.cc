@@ -1,0 +1,27 @@
+#include "storage/partition.h"
+
+#include "common/logging.h"
+
+namespace vertexica {
+
+std::vector<Table> HashPartition(const Table& table, int key_column,
+                                 int num_partitions) {
+  VX_CHECK(num_partitions > 0);
+  VX_CHECK(table.column(key_column).type() == DataType::kInt64)
+      << "HashPartition key must be INT64";
+
+  std::vector<std::vector<int64_t>> buckets(
+      static_cast<size_t>(num_partitions));
+  const auto& keys = table.column(key_column).ints();
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    buckets[static_cast<size_t>(
+                PartitionOf(keys[static_cast<size_t>(i)], num_partitions))]
+        .push_back(i);
+  }
+  std::vector<Table> out;
+  out.reserve(static_cast<size_t>(num_partitions));
+  for (const auto& idx : buckets) out.push_back(table.Take(idx));
+  return out;
+}
+
+}  // namespace vertexica

@@ -1,0 +1,32 @@
+/// \file partition.h
+/// \brief Hash partitioning of tables.
+///
+/// §2.3 "Vertex Batching": Vertexica hash-partitions the vertex/edge/message
+/// union on vertex id into a fixed number of partitions, each processed
+/// serially by one worker.
+
+#ifndef VERTEXICA_STORAGE_PARTITION_H_
+#define VERTEXICA_STORAGE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief Partition id of an int64 key for `num_partitions` buckets.
+inline int PartitionOf(int64_t key, int num_partitions) {
+  return static_cast<int>(HashInt64(static_cast<uint64_t>(key)) %
+                          static_cast<uint64_t>(num_partitions));
+}
+
+/// \brief Splits `table` into `num_partitions` tables by hashing the int64
+/// column `key_column`. Row order within a partition preserves input order.
+std::vector<Table> HashPartition(const Table& table, int key_column,
+                                 int num_partitions);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_STORAGE_PARTITION_H_

@@ -1,0 +1,43 @@
+#include "storage/schema.h"
+
+#include "common/logging.h"
+
+namespace vertexica {
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::EqualTypes(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].type != other.fields_[i].type) return false;
+  }
+  return true;
+}
+
+Schema Schema::WithNames(const std::vector<std::string>& names) const {
+  VX_CHECK(names.size() == fields_.size());
+  Schema out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    out.AddField(Field{names[i], fields_[i].type});
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace vertexica

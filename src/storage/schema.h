@@ -1,0 +1,63 @@
+/// \file schema.h
+/// \brief Field and Schema descriptions of relational tables.
+
+#ifndef VERTEXICA_STORAGE_SCHEMA_H_
+#define VERTEXICA_STORAGE_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "storage/data_type.h"
+
+namespace vertexica {
+
+/// \brief A named, typed column slot in a schema.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered list of fields describing a table's columns.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Field> fields) : fields_(fields) {}
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// \brief Index of the field named `name`, or -1 if absent.
+  int FieldIndex(const std::string& name) const;
+
+  bool HasField(const std::string& name) const {
+    return FieldIndex(name) >= 0;
+  }
+
+  /// \brief Structural equality (names and types, in order).
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// \brief Type-only equality; used to validate UNION ALL inputs, which may
+  /// rename columns to a common schema (§2.3 "Table Unions").
+  bool EqualTypes(const Schema& other) const;
+
+  /// \brief Schema with the same types but the given names.
+  Schema WithNames(const std::vector<std::string>& names) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_STORAGE_SCHEMA_H_

@@ -1,0 +1,44 @@
+#include "storage/sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace vertexica {
+
+std::vector<int64_t> SortIndices(const Table& table,
+                                 const std::vector<SortKey>& keys) {
+  std::vector<int64_t> indices(static_cast<size_t>(table.num_rows()));
+  std::iota(indices.begin(), indices.end(), 0);
+
+  // Fast path: single ascending int64 key with no nulls (the vertex-batching
+  // case: sort partition on vertex id).
+  if (keys.size() == 1 && keys[0].ascending &&
+      table.column(keys[0].column).type() == DataType::kInt64 &&
+      table.column(keys[0].column).null_count() == 0) {
+    const auto& v = table.column(keys[0].column).ints();
+    std::stable_sort(indices.begin(), indices.end(),
+                     [&v](int64_t a, int64_t b) {
+                       return v[static_cast<size_t>(a)] <
+                              v[static_cast<size_t>(b)];
+                     });
+    return indices;
+  }
+
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&table, &keys](int64_t a, int64_t b) {
+                     for (const SortKey& k : keys) {
+                       const Column& col = table.column(k.column);
+                       int cmp = col.CompareRows(a, col, b);
+                       if (!k.ascending) cmp = -cmp;
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  return indices;
+}
+
+Table SortTable(const Table& table, const std::vector<SortKey>& keys) {
+  return table.Take(SortIndices(table, keys));
+}
+
+}  // namespace vertexica

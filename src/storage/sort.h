@@ -1,0 +1,33 @@
+/// \file sort.h
+/// \brief Multi-key table sorting.
+///
+/// Vertex batching (§2.3) sorts every hash partition of the union table on
+/// vertex id so a worker sees each vertex's tuples contiguously; this module
+/// provides that primitive for arbitrary key lists.
+
+#ifndef VERTEXICA_STORAGE_SORT_H_
+#define VERTEXICA_STORAGE_SORT_H_
+
+#include <vector>
+
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief One sort key: a column index and a direction.
+struct SortKey {
+  int column;
+  bool ascending = true;
+};
+
+/// \brief Returns the row permutation that sorts `table` by `keys`
+/// (stable; NULLs first within ascending order).
+std::vector<int64_t> SortIndices(const Table& table,
+                                 const std::vector<SortKey>& keys);
+
+/// \brief Returns a new table sorted by `keys`.
+Table SortTable(const Table& table, const std::vector<SortKey>& keys);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_STORAGE_SORT_H_

@@ -1,0 +1,154 @@
+#include "storage/table.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace vertexica {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_.num_fields()));
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    columns_.emplace_back(schema_.field(i).type);
+  }
+}
+
+Result<Table> Table::Make(Schema schema, std::vector<Column> columns) {
+  if (static_cast<int>(columns.size()) != schema.num_fields()) {
+    return Status::InvalidArgument(StringFormat(
+        "Table::Make: %d columns for schema with %d fields",
+        static_cast<int>(columns.size()), schema.num_fields()));
+  }
+  int64_t rows = columns.empty() ? 0 : columns[0].length();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].type() != schema.field(static_cast<int>(i)).type) {
+      return Status::TypeError(StringFormat(
+          "Table::Make: column %zu is %s but schema says %s", i,
+          DataTypeName(columns[i].type()),
+          DataTypeName(schema.field(static_cast<int>(i)).type)));
+    }
+    if (columns[i].length() != rows) {
+      return Status::InvalidArgument("Table::Make: ragged column lengths");
+    }
+  }
+  Table t;
+  t.schema_ = std::move(schema);
+  t.columns_ = std::move(columns);
+  t.num_rows_ = rows;
+  return t;
+}
+
+const Column* Table::ColumnByName(const std::string& name) const {
+  const int idx = schema_.FieldIndex(name);
+  return idx < 0 ? nullptr : &columns_[static_cast<size_t>(idx)];
+}
+
+Result<int> Table::ColumnIndex(const std::string& name) const {
+  const int idx = schema_.FieldIndex(name);
+  if (idx < 0) {
+    return Status::InvalidArgument("No column named '" + name + "' in " +
+                                   schema_.ToString());
+  }
+  return idx;
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (static_cast<int>(row.size()) != num_columns()) {
+    return Status::InvalidArgument(
+        StringFormat("AppendRow: %d values for %d columns",
+                     static_cast<int>(row.size()), num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].AppendValue(row[i]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::Append(const Table& other) {
+  if (!schema_.EqualTypes(other.schema_)) {
+    return Status::TypeError("Append: incompatible schemas " +
+                             schema_.ToString() + " vs " +
+                             other.schema_.ToString());
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendColumn(other.columns_[i]);
+  }
+  num_rows_ += other.num_rows_;
+  return Status::OK();
+}
+
+Table Table::Take(const std::vector<int64_t>& indices) const {
+  Table out;
+  out.schema_ = schema_;
+  out.columns_.reserve(columns_.size());
+  for (const auto& c : columns_) out.columns_.push_back(c.Take(indices));
+  out.num_rows_ = static_cast<int64_t>(indices.size());
+  return out;
+}
+
+Table Table::Slice(int64_t offset, int64_t count) const {
+  Table out;
+  out.schema_ = schema_;
+  out.columns_.reserve(columns_.size());
+  for (const auto& c : columns_) out.columns_.push_back(c.Slice(offset, count));
+  out.num_rows_ = count;
+  return out;
+}
+
+Table Table::SelectColumns(const std::vector<int>& col_indices) const {
+  Table out;
+  for (int idx : col_indices) {
+    out.schema_.AddField(schema_.field(idx));
+    out.columns_.push_back(columns_[static_cast<size_t>(idx)]);
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+Table Table::RenameColumns(const std::vector<std::string>& names) const {
+  Table out = *this;
+  out.schema_ = schema_.WithNames(names);
+  return out;
+}
+
+std::vector<Value> Table::GetRow(int64_t i) const {
+  std::vector<Value> row;
+  row.reserve(columns_.size());
+  for (const auto& c : columns_) row.push_back(c.GetValue(i));
+  return row;
+}
+
+bool Table::Equals(const Table& other) const {
+  if (!schema_.Equals(other.schema_) || num_rows_ != other.num_rows_) {
+    return false;
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i].Equals(other.columns_[i])) return false;
+  }
+  return true;
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " rows=" << num_rows_ << "\n";
+  const int64_t n = std::min(num_rows_, max_rows);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int c = 0; c < num_columns(); ++c) {
+      if (c > 0) os << " | ";
+      os << columns_[static_cast<size_t>(c)].GetValue(r).ToString();
+    }
+    os << "\n";
+  }
+  if (n < num_rows_) os << "... (" << (num_rows_ - n) << " more)\n";
+  return os.str();
+}
+
+bool Table::IsConsistent() const {
+  for (const auto& c : columns_) {
+    if (c.length() != num_rows_) return false;
+  }
+  return true;
+}
+
+}  // namespace vertexica

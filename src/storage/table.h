@@ -1,0 +1,84 @@
+/// \file table.h
+/// \brief In-memory columnar table: the engine's relation representation.
+
+#ifndef VERTEXICA_STORAGE_TABLE_H_
+#define VERTEXICA_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace vertexica {
+
+/// \brief A columnar relation: a schema plus one column per field.
+///
+/// Tables are value types (copyable, movable); operators produce new tables
+/// rather than mutating inputs, matching the paper's "replace instead of
+/// update" philosophy (§2.3). All columns always have identical length.
+class Table {
+ public:
+  Table() = default;
+
+  /// \brief Empty table with the given schema.
+  explicit Table(Schema schema);
+
+  /// \brief Assembles a table; fails if column count/types/lengths disagree
+  /// with the schema.
+  static Result<Table> Make(Schema schema, std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return schema_.num_fields(); }
+  int64_t num_rows() const { return num_rows_; }
+
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  Column* mutable_column(int i) { return &columns_[static_cast<size_t>(i)]; }
+
+  /// \brief Column by field name; nullptr when absent.
+  const Column* ColumnByName(const std::string& name) const;
+
+  /// \brief Index of field `name`, or InvalidArgument.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  /// \brief Appends one row given as per-field values.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// \brief Appends all rows of `other`; schemas must have equal types.
+  Status Append(const Table& other);
+
+  /// \brief Gather rows at `indices` (any order, duplicates allowed).
+  Table Take(const std::vector<int64_t>& indices) const;
+
+  /// \brief Contiguous row range [offset, offset+count).
+  Table Slice(int64_t offset, int64_t count) const;
+
+  /// \brief Projection onto the given column indices (relational π).
+  Table SelectColumns(const std::vector<int>& col_indices) const;
+
+  /// \brief Same data, renamed columns (used to build union common schemas).
+  Table RenameColumns(const std::vector<std::string>& names) const;
+
+  /// \brief One row as Values.
+  std::vector<Value> GetRow(int64_t i) const;
+
+  /// \brief Deep equality: schema + data.
+  bool Equals(const Table& other) const;
+
+  /// \brief Debug/console rendering of up to `max_rows` rows.
+  std::string ToString(int64_t max_rows = 20) const;
+
+  /// \brief Sum of rows across columns — used by tests as a sanity invariant.
+  bool IsConsistent() const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_STORAGE_TABLE_H_

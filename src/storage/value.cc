@@ -1,0 +1,19 @@
+#include "storage/value.h"
+
+#include <sstream>
+
+namespace vertexica {
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return bool_value() ? "true" : "false";
+  if (is_int64()) return std::to_string(int64_value());
+  if (is_double()) {
+    std::ostringstream os;
+    os << double_value();
+    return os.str();
+  }
+  return "'" + string_value() + "'";
+}
+
+}  // namespace vertexica

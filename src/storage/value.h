@@ -1,0 +1,66 @@
+/// \file value.h
+/// \brief A single dynamically-typed SQL value (used at row granularity).
+
+#ifndef VERTEXICA_STORAGE_VALUE_H_
+#define VERTEXICA_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "storage/data_type.h"
+
+namespace vertexica {
+
+/// \brief A nullable, dynamically typed scalar.
+///
+/// `Value` is the row-oriented escape hatch of the engine: bulk operators
+/// work directly on typed column vectors, while row construction, literals
+/// and test assertions use `Value`.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() = default;
+
+  Value(bool v) : data_(v) {}                     // NOLINT(runtime/explicit)
+  Value(int64_t v) : data_(v) {}                  // NOLINT(runtime/explicit)
+  Value(int v) : data_(static_cast<int64_t>(v)) {}  // NOLINT
+  Value(double v) : data_(v) {}                   // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}   // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int64_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+
+  /// \brief Numeric coercion: int64 or double widened to double.
+  /// Requires a numeric value.
+  double AsDouble() const {
+    return is_int64() ? static_cast<double>(int64_value()) : double_value();
+  }
+
+  /// \brief Deep equality: null == null, numerics compare by exact state
+  /// (no int/double coercion).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// \brief Rendering for debugging and the console output display.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_STORAGE_VALUE_H_

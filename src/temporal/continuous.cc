@@ -1,0 +1,25 @@
+#include "temporal/continuous.h"
+
+#include "common/timer.h"
+
+namespace vertexica {
+
+Result<std::vector<ContinuousRunner::Tick>> ContinuousRunner::Poll() {
+  std::vector<Tick> fresh;
+  while (last_seen_ < store_->latest_version()) {
+    const int version = last_seen_ + 1;
+    VX_ASSIGN_OR_RETURN(Table edges, store_->EdgesAt(version));
+    WallTimer timer;
+    VX_ASSIGN_OR_RETURN(Table result, analysis_(edges));
+    Tick tick;
+    tick.version = version;
+    tick.seconds = timer.ElapsedSeconds();
+    tick.result = std::move(result);
+    history_.push_back(tick);
+    fresh.push_back(std::move(tick));
+    last_seen_ = version;
+  }
+  return fresh;
+}
+
+}  // namespace vertexica

@@ -1,0 +1,55 @@
+/// \file continuous.h
+/// \brief Continuous analysis mode (§4.1 "Running mode" / §4.2.3): a graph
+/// analysis registered once and re-evaluated as the graph mutates, with
+/// per-run timings for the time monitor and running results for the
+/// console.
+
+#ifndef VERTEXICA_TEMPORAL_CONTINUOUS_H_
+#define VERTEXICA_TEMPORAL_CONTINUOUS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "temporal/versioned_graph.h"
+
+namespace vertexica {
+
+/// \brief Re-runs a table-valued analysis over every new graph version.
+class ContinuousRunner {
+ public:
+  /// Analysis callback: edge table of one version → result table.
+  using Analysis = std::function<Result<Table>(const Table& edges)>;
+
+  /// \brief One completed evaluation.
+  struct Tick {
+    int version = 0;
+    double seconds = 0.0;  ///< plotted by the time monitor
+    Table result;          ///< shown on the console
+  };
+
+  ContinuousRunner(const VersionedGraphStore* store, std::string name,
+                   Analysis analysis)
+      : store_(store), name_(std::move(name)), analysis_(std::move(analysis)) {}
+
+  /// \brief Evaluates the analysis on every version committed since the
+  /// last poll; returns the new ticks (empty when up to date).
+  Result<std::vector<Tick>> Poll();
+
+  /// \brief All ticks so far.
+  const std::vector<Tick>& history() const { return history_; }
+
+  const std::string& name() const { return name_; }
+  int last_seen_version() const { return last_seen_; }
+
+ private:
+  const VersionedGraphStore* store_;
+  std::string name_;
+  Analysis analysis_;
+  int last_seen_ = 0;
+  std::vector<Tick> history_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_TEMPORAL_CONTINUOUS_H_

@@ -1,0 +1,161 @@
+#include "temporal/versioned_graph.h"
+
+#include "exec/plan_builder.h"
+#include "sqlgraph/sql_common.h"
+#include "sqlgraph/sql_pagerank.h"
+#include "sqlgraph/sql_shortest_paths.h"
+
+namespace vertexica {
+
+VersionedGraphStore::VersionedGraphStore(Catalog* catalog, std::string prefix)
+    : catalog_(catalog), prefix_(std::move(prefix)) {}
+
+std::string VersionedGraphStore::TableName(int version) const {
+  return prefix_ + "edges@v" + std::to_string(version);
+}
+
+Result<int> VersionedGraphStore::CommitVersion(Table edges) {
+  if (edges.schema().FieldIndex("src") < 0 ||
+      edges.schema().FieldIndex("dst") < 0) {
+    return Status::InvalidArgument("edge table needs src and dst columns");
+  }
+  const int version = latest_ + 1;
+  VX_RETURN_NOT_OK(catalog_->ReplaceTable(TableName(version), std::move(edges)));
+  latest_ = version;
+  return version;
+}
+
+Result<Table> VersionedGraphStore::EdgesAt(int version) const {
+  if (version < 1 || version > latest_) {
+    return Status::OutOfRange("no version " + std::to_string(version));
+  }
+  VX_ASSIGN_OR_RETURN(auto table, catalog_->GetTable(TableName(version)));
+  return *table;
+}
+
+Result<int> VersionedGraphStore::AddEdges(const Table& new_edges) {
+  VX_ASSIGN_OR_RETURN(Table current, EdgesAt(latest_));
+  VX_ASSIGN_OR_RETURN(
+      Table merged,
+      PlanBuilder::Scan(std::move(current))
+          .Union(PlanBuilder::Scan(new_edges))
+          .Execute());
+  return CommitVersion(std::move(merged));
+}
+
+Result<int> VersionedGraphStore::RemoveEdges(const Table& victims) {
+  VX_ASSIGN_OR_RETURN(Table current, EdgesAt(latest_));
+  VX_ASSIGN_OR_RETURN(
+      Table remaining,
+      PlanBuilder::Scan(std::move(current))
+          .Join(PlanBuilder::Scan(victims).Select({"src", "dst"}),
+                {"src", "dst"}, {"src", "dst"}, JoinType::kAnti)
+          .Execute());
+  return CommitVersion(std::move(remaining));
+}
+
+Result<int> VersionedGraphStore::UpdateEdgeColumn(const Table& updates,
+                                                  const std::string& column) {
+  VX_ASSIGN_OR_RETURN(Table current, EdgesAt(latest_));
+  VX_ASSIGN_OR_RETURN(int col_idx, current.ColumnIndex(column));
+  VX_RETURN_NOT_OK(updates.ColumnIndex(column).status());
+
+  // LEFT JOIN the updates, then COALESCE the new value over the old.
+  VX_ASSIGN_OR_RETURN(
+      Table joined,
+      PlanBuilder::Scan(std::move(current))
+          .Join(PlanBuilder::Scan(updates)
+                    .Select({"src", "dst", column})
+                    .Rename({"u_src", "u_dst", "u_val"}),
+                {"src", "dst"}, {"u_src", "u_dst"}, JoinType::kLeft)
+          .Execute());
+  std::vector<ProjectionSpec> proj;
+  const Schema& schema = joined.schema();
+  for (int c = 0; c < schema.num_fields() - 3; ++c) {  // original columns
+    const std::string& name = schema.field(c).name;
+    if (c == col_idx) {
+      proj.push_back({name, Coalesce(Col("u_val"), Col(name))});
+    } else {
+      proj.push_back({name, Col(name)});
+    }
+  }
+  VX_ASSIGN_OR_RETURN(Table next,
+                      PlanBuilder::Scan(std::move(joined))
+                          .Project(std::move(proj))
+                          .Execute());
+  return CommitVersion(std::move(next));
+}
+
+Result<Table> PageRankDelta(const VersionedGraphStore& store, int old_version,
+                            int new_version, int iterations, double damping) {
+  VX_ASSIGN_OR_RETURN(Table old_edges, store.EdgesAt(old_version));
+  VX_ASSIGN_OR_RETURN(Table new_edges, store.EdgesAt(new_version));
+  VX_ASSIGN_OR_RETURN(Graph old_graph, GraphFromEdgeTable(old_edges));
+  VX_ASSIGN_OR_RETURN(Graph new_graph, GraphFromEdgeTable(new_edges));
+  // Rank over the union vertex domain so joins align.
+  const int64_t n = std::max(old_graph.num_vertices, new_graph.num_vertices);
+  old_graph.num_vertices = n;
+  new_graph.num_vertices = n;
+
+  VX_ASSIGN_OR_RETURN(
+      Table old_rank,
+      SqlPageRank(MakeVertexListTable(old_graph),
+                  MakeEdgeListTable(old_graph), iterations, damping));
+  VX_ASSIGN_OR_RETURN(
+      Table new_rank,
+      SqlPageRank(MakeVertexListTable(new_graph),
+                  MakeEdgeListTable(new_graph), iterations, damping));
+
+  return PlanBuilder::Scan(std::move(old_rank))
+      .Rename({"id", "old_rank"})
+      .Join(PlanBuilder::Scan(std::move(new_rank)).Rename({"nid", "new_rank"}),
+            {"id"}, {"nid"})
+      .Project({{"id", Col("id")},
+                {"old_rank", Col("old_rank")},
+                {"new_rank", Col("new_rank")},
+                {"delta", Sub(Col("new_rank"), Col("old_rank"))}})
+      .Project({{"id", Col("id")},
+                {"old_rank", Col("old_rank")},
+                {"new_rank", Col("new_rank")},
+                {"delta", Col("delta")},
+                {"abs_delta", Abs(Col("delta"))}})
+      .OrderBy({{"abs_delta", false}, {"id", true}})
+      .Select({"id", "old_rank", "new_rank", "delta"})
+      .Execute();
+}
+
+Result<Table> ShortestPathDecrease(const VersionedGraphStore& store,
+                                   int old_version, int new_version,
+                                   int64_t source, double min_decrease) {
+  VX_ASSIGN_OR_RETURN(Table old_edges, store.EdgesAt(old_version));
+  VX_ASSIGN_OR_RETURN(Table new_edges, store.EdgesAt(new_version));
+  VX_ASSIGN_OR_RETURN(Graph old_graph, GraphFromEdgeTable(old_edges));
+  VX_ASSIGN_OR_RETURN(Graph new_graph, GraphFromEdgeTable(new_edges));
+  const int64_t n = std::max(old_graph.num_vertices, new_graph.num_vertices);
+  old_graph.num_vertices = n;
+  new_graph.num_vertices = n;
+
+  VX_ASSIGN_OR_RETURN(
+      Table old_dist,
+      SqlShortestPaths(MakeVertexListTable(old_graph),
+                       MakeEdgeListTable(old_graph), source));
+  VX_ASSIGN_OR_RETURN(
+      Table new_dist,
+      SqlShortestPaths(MakeVertexListTable(new_graph),
+                       MakeEdgeListTable(new_graph), source));
+
+  return PlanBuilder::Scan(std::move(old_dist))
+      .Rename({"id", "old_dist"})
+      .Join(PlanBuilder::Scan(std::move(new_dist)).Rename({"nid", "new_dist"}),
+            {"id"}, {"nid"})
+      .Project({{"id", Col("id")},
+                {"old_dist", Col("old_dist")},
+                {"new_dist", Col("new_dist")},
+                {"decrease", Sub(Col("old_dist"), Col("new_dist"))}})
+      .Filter(And(Lt(Col("new_dist"), Col("old_dist")),
+                  Ge(Col("decrease"), Lit(min_decrease))))
+      .OrderBy({{"decrease", false}, {"id", true}})
+      .Execute();
+}
+
+}  // namespace vertexica

@@ -1,0 +1,76 @@
+/// \file versioned_graph.h
+/// \brief Dynamic graph storage (§3.3): "Vertexica is naturally suited to
+/// handle updates and therefore allows for dynamic graph analysis."
+///
+/// Every mutation (edge insertion/deletion, metadata update) commits a new
+/// immutable edge-table version into the catalog; temporal queries run
+/// graph algorithms "on different versions of nodes and edges" (§4.2.3)
+/// and diff the results.
+
+#ifndef VERTEXICA_TEMPORAL_VERSIONED_GRAPH_H_
+#define VERTEXICA_TEMPORAL_VERSIONED_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief Versioned edge store on top of the catalog.
+///
+/// Versions are numbered 1..latest; table names are "<prefix>edges@v<N>".
+/// The edge schema is caller-defined but must contain src/dst (weight and
+/// further metadata columns flow through untouched).
+class VersionedGraphStore {
+ public:
+  explicit VersionedGraphStore(Catalog* catalog, std::string prefix = "g_");
+
+  /// \brief Commits `edges` as the next version; returns its number.
+  Result<int> CommitVersion(Table edges);
+
+  /// \brief New version = latest ∪ new_edges.
+  Result<int> AddEdges(const Table& new_edges);
+
+  /// \brief New version = latest ∖ victims (matched on src & dst).
+  Result<int> RemoveEdges(const Table& victims);
+
+  /// \brief New version with column `column` of edges matching (src, dst)
+  /// in `updates` replaced by the update's value. `updates` must carry
+  /// src, dst and the new column value.
+  Result<int> UpdateEdgeColumn(const Table& updates,
+                               const std::string& column);
+
+  /// \brief Snapshot of a committed version.
+  Result<Table> EdgesAt(int version) const;
+
+  int latest_version() const { return latest_; }
+
+ private:
+  std::string TableName(int version) const;
+
+  Catalog* catalog_;
+  std::string prefix_;
+  int latest_ = 0;
+};
+
+/// \brief §4.2.3 "how the PageRank of a given node has changed":
+/// runs SQL PageRank on two versions and reports per-vertex deltas.
+/// \returns table (id, old_rank, new_rank, delta) sorted by |delta| desc.
+Result<Table> PageRankDelta(const VersionedGraphStore& store, int old_version,
+                            int new_version, int iterations = 10,
+                            double damping = 0.85);
+
+/// \brief §4.2.3 "which nodes have come closer (smaller path distance)":
+/// vertices whose shortest-path distance from `source` decreased by at
+/// least `min_decrease` between the two versions.
+/// \returns table (id, old_dist, new_dist, decrease).
+Result<Table> ShortestPathDecrease(const VersionedGraphStore& store,
+                                   int old_version, int new_version,
+                                   int64_t source, double min_decrease = 0.0);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_TEMPORAL_VERSIONED_GRAPH_H_

@@ -1,0 +1,34 @@
+#include "udf/stored_procedure.h"
+
+namespace vertexica {
+
+Status ProcedureRegistry::Register(const std::string& name,
+                                   ProcedureBody body) {
+  if (procedures_.count(name) > 0) {
+    return Status::AlreadyExists("Procedure '" + name + "' already exists");
+  }
+  procedures_[name] = std::move(body);
+  return Status::OK();
+}
+
+Status ProcedureRegistry::Call(const std::string& name, Catalog* catalog,
+                               const std::vector<Value>& params) const {
+  auto it = procedures_.find(name);
+  if (it == procedures_.end()) {
+    return Status::NotFound("Procedure '" + name + "' does not exist");
+  }
+  return it->second(catalog, params);
+}
+
+bool ProcedureRegistry::Has(const std::string& name) const {
+  return procedures_.count(name) > 0;
+}
+
+std::vector<std::string> ProcedureRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(procedures_.size());
+  for (const auto& [name, _] : procedures_) names.push_back(name);
+  return names;
+}
+
+}  // namespace vertexica

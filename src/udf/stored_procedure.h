@@ -1,0 +1,46 @@
+/// \file stored_procedure.h
+/// \brief Named imperative procedures executed against a catalog.
+///
+/// The Vertexica coordinator "is implemented as a stored procedure" (§2.2).
+/// This registry gives such procedures a home: a procedure owns imperative
+/// control flow (loops over supersteps) and issues relational plans against
+/// the catalog's tables.
+
+#ifndef VERTEXICA_UDF_STORED_PROCEDURE_H_
+#define VERTEXICA_UDF_STORED_PROCEDURE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace vertexica {
+
+/// \brief Procedure body: receives the catalog and positional parameters.
+using ProcedureBody =
+    std::function<Status(Catalog* catalog, const std::vector<Value>& params)>;
+
+/// \brief A registry of named stored procedures.
+class ProcedureRegistry {
+ public:
+  /// \brief Registers `name`; fails if already present.
+  Status Register(const std::string& name, ProcedureBody body);
+
+  /// \brief Invokes a registered procedure.
+  Status Call(const std::string& name, Catalog* catalog,
+              const std::vector<Value>& params = {}) const;
+
+  bool Has(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, ProcedureBody> procedures_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_UDF_STORED_PROCEDURE_H_

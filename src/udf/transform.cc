@@ -1,0 +1,58 @@
+#include "udf/transform.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "storage/partition.h"
+#include "storage/sort.h"
+
+namespace vertexica {
+
+Result<Table> ApplyTransform(const Table& input, int partition_column,
+                             const TransformUdfFactory& factory,
+                             const TransformOptions& options) {
+  if (partition_column < 0 || partition_column >= input.num_columns()) {
+    return Status::InvalidArgument("ApplyTransform: bad partition column");
+  }
+  int workers = options.num_workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(ThreadPool::Default()->num_threads());
+  }
+  int partitions = options.num_partitions;
+  if (partitions <= 0) partitions = workers;
+
+  std::vector<Table> parts = HashPartition(input, partition_column, partitions);
+
+  // Pre-sort partitions (the §2.3 "each partition is sorted on vertex id"
+  // step) and prepare one output slot per partition so emission order is
+  // deterministic regardless of scheduling.
+  std::vector<SortKey> keys;
+  for (int c : options.sort_columns) keys.push_back(SortKey{c, true});
+
+  // Discover the output schema from a throwaway instance.
+  const Schema out_schema = factory()->output_schema();
+
+  std::vector<Table> outputs(parts.size(), Table(out_schema));
+  std::vector<Status> statuses(parts.size());
+
+  ThreadPool pool(static_cast<size_t>(workers));
+  pool.ParallelFor(parts.size(), [&](size_t p) {
+    Table partition =
+        keys.empty() ? std::move(parts[p]) : SortTable(parts[p], keys);
+    if (partition.num_rows() == 0) return;
+    auto udf = factory();
+    Table& out = outputs[p];
+    statuses[p] = udf->ProcessPartition(
+        partition, [&out](Table batch) { return out.Append(batch); });
+  });
+
+  for (const auto& st : statuses) VX_RETURN_NOT_OK(st);
+
+  Table result(out_schema);
+  for (auto& out : outputs) {
+    VX_RETURN_NOT_OK(result.Append(out));
+  }
+  return result;
+}
+
+}  // namespace vertexica

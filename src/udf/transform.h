@@ -1,0 +1,68 @@
+/// \file transform.h
+/// \brief Vertica-style transform UDFs (table functions with PARTITION BY).
+///
+/// The Vertexica worker (§2.2) is "a container for the vertex-compute
+/// function [that] runs as a database UDF". In Vertica these are transform
+/// functions invoked per partition of their input; this module reproduces
+/// that invocation contract: the engine hash-partitions the input on a key,
+/// optionally sorts each partition, and calls the UDF once per partition.
+/// UDF instances run in parallel across a thread pool ("as many workers as
+/// the number of cores").
+
+#ifndef VERTEXICA_UDF_TRANSFORM_H_
+#define VERTEXICA_UDF_TRANSFORM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "exec/operator.h"
+
+namespace vertexica {
+
+/// \brief User entry point: consume one sorted partition, emit output rows.
+///
+/// `emit` may be called any number of times; each call appends a batch with
+/// the UDF's declared output schema. Implementations must be thread-safe
+/// across *instances* (one instance per partition invocation) but each
+/// instance is called from a single thread.
+class TransformUdf {
+ public:
+  virtual ~TransformUdf() = default;
+
+  /// \brief Output schema of the function.
+  virtual const Schema& output_schema() const = 0;
+
+  /// \brief Processes one partition. `partition` is sorted by the configured
+  /// sort keys. Emitted tables must match `output_schema()`.
+  virtual Status ProcessPartition(const Table& partition,
+                                  const std::function<Status(Table)>& emit) = 0;
+};
+
+/// \brief Factory: one fresh UDF instance per partition (mirrors Vertica's
+/// per-invocation UDx lifecycle).
+using TransformUdfFactory = std::function<std::unique_ptr<TransformUdf>()>;
+
+/// \brief Execution options for ApplyTransform.
+struct TransformOptions {
+  /// Number of hash partitions ("vertex batching" granularity, §2.3).
+  int num_partitions = 0;  // 0 => num_workers
+  /// Parallel UDF instances; 0 => hardware cores.
+  int num_workers = 0;
+  /// Sort each partition by these column indices (ascending) before the UDF
+  /// sees it.
+  std::vector<int> sort_columns;
+};
+
+/// \brief Runs a transform UDF over `input` partitioned by `partition_column`
+/// (an INT64 column index), returning the concatenated outputs.
+///
+/// Equivalent SQL: `SELECT udf(...) OVER (PARTITION BY key ORDER BY ...)`.
+Result<Table> ApplyTransform(const Table& input, int partition_column,
+                             const TransformUdfFactory& factory,
+                             const TransformOptions& options = {});
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_UDF_TRANSFORM_H_

@@ -1,0 +1,404 @@
+#include "vertexica/coordinator.h"
+
+#include "catalog/catalog_io.h"
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "exec/plan_builder.h"
+#include "vertexica/worker.h"
+
+namespace vertexica {
+
+namespace {
+
+bool AllHalted(const Table& vertex) {
+  const Column* halted = vertex.ColumnByName("halted");
+  if (halted == nullptr) return false;
+  for (uint8_t h : halted->bools()) {
+    if (h == 0) return false;
+  }
+  return true;
+}
+
+/// Catalog name of the checkpoint superstep marker.
+std::string MarkerName(const GraphTableNames& names) {
+  return names.vertex + "__vx_next_superstep";
+}
+
+AggOp CombinerToAggOp(MessageCombiner c) {
+  switch (c) {
+    case MessageCombiner::kSum:
+      return AggOp::kSum;
+    case MessageCombiner::kMin:
+      return AggOp::kMin;
+    case MessageCombiner::kMax:
+      return AggOp::kMax;
+    case MessageCombiner::kNone:
+      break;
+  }
+  return AggOp::kSum;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(Catalog* catalog, VertexProgram* program,
+                         VertexicaOptions options, GraphTableNames names)
+    : catalog_(catalog),
+      program_(program),
+      options_(options),
+      names_(std::move(names)) {}
+
+Result<Table> Coordinator::BuildUnionInput(const Table& vertex,
+                                           const Table& edge,
+                                           const Table& message) const {
+  const int va = program_->value_arity();
+  const int ma = program_->message_arity();
+  const int arity = PayloadArity(*program_);
+
+  // §2.3 "Table Unions": the three inputs are renamed to a common schema
+  // and unioned instead of joined.
+  std::vector<ProjectionSpec> vproj = {
+      {"id", Col("id")},
+      {"kind", Lit(static_cast<int64_t>(kVertexTuple))},
+      {"other", Lit(int64_t{-1})},
+      {"halted", Col("halted")}};
+  for (int i = 0; i < arity; ++i) {
+    vproj.push_back({StringFormat("p%d", i),
+                     i < va ? Col(StringFormat("v%d", i)) : Lit(0.0)});
+  }
+  std::vector<ProjectionSpec> eproj = {
+      {"id", Col("src")},
+      {"kind", Lit(static_cast<int64_t>(kEdgeTuple))},
+      {"other", Col("dst")},
+      {"halted", Lit(false)}};
+  for (int i = 0; i < arity; ++i) {
+    eproj.push_back({StringFormat("p%d", i),
+                     i == 0 ? Col("weight") : Lit(0.0)});
+  }
+  std::vector<ProjectionSpec> mproj = {
+      {"id", Col("dst")},
+      {"kind", Lit(static_cast<int64_t>(kMessageTuple))},
+      {"other", Col("src")},
+      {"halted", Lit(false)}};
+  for (int i = 0; i < arity; ++i) {
+    mproj.push_back({StringFormat("p%d", i),
+                     i < ma ? Col(StringFormat("m%d", i)) : Lit(0.0)});
+  }
+
+  return PlanBuilder::Scan(vertex)
+      .Project(std::move(vproj))
+      .Union(PlanBuilder::Scan(edge).Project(std::move(eproj)))
+      .Union(PlanBuilder::Scan(message).Project(std::move(mproj)))
+      .Execute();
+}
+
+Result<Table> Coordinator::BuildJoinInput(const Table& vertex,
+                                          const Table& edge,
+                                          const Table& message) const {
+  const int va = program_->value_arity();
+  const int ma = program_->message_arity();
+
+  // The "traditional database wisdom" plan §2.3 argues against: a 3-way
+  // join of vertex ⟕ message ⟕ edge. Sequence-number columns let the worker
+  // undo the |messages| × |edges| fan-out per vertex.
+  std::vector<ProjectionSpec> mproj = {{"mdst", Col("dst")},
+                                       {"msender", Col("src")}};
+  for (int i = 0; i < ma; ++i) {
+    mproj.push_back({StringFormat("mm%d", i), Col(StringFormat("m%d", i))});
+  }
+  VX_ASSIGN_OR_RETURN(Table msgs,
+                      PlanBuilder::Scan(message).Project(std::move(mproj))
+                          .Execute());
+  msgs = WithRowNumbers(msgs, "msg_seq");
+
+  VX_ASSIGN_OR_RETURN(Table edges, PlanBuilder::Scan(edge)
+                                       .Project({{"esrc", Col("src")},
+                                                 {"edst", Col("dst")},
+                                                 {"eweight", Col("weight")}})
+                                       .Execute());
+  edges = WithRowNumbers(edges, "edge_seq");
+
+  // vertex columns: id, halted, v0..v{va-1}. va is used implicitly by the
+  // JoinWorker, which resolves columns by name.
+  (void)va;
+  return PlanBuilder::Scan(vertex)
+      .Join(PlanBuilder::Scan(std::move(msgs)), {"id"}, {"mdst"},
+            JoinType::kLeft)
+      .Join(PlanBuilder::Scan(std::move(edges)), {"id"}, {"esrc"},
+            JoinType::kLeft)
+      .Execute();
+}
+
+Result<Table> Coordinator::UpdateVerticesInPlace(const Table& vertex,
+                                                 const Table& updates) const {
+  const int va = program_->value_arity();
+  Table out = vertex;  // copy-on-write of the stored version
+  VX_ASSIGN_OR_RETURN(int id_c, out.ColumnIndex("id"));
+  VX_ASSIGN_OR_RETURN(int halted_c, out.ColumnIndex("halted"));
+
+  Int64HashMap<int64_t> row_of(static_cast<size_t>(out.num_rows()));
+  const auto& ids = out.column(id_c).ints();
+  for (int64_t r = 0; r < out.num_rows(); ++r) {
+    row_of.GetOrInsert(ids[static_cast<size_t>(r)], r);
+  }
+
+  auto& halted = *out.mutable_column(halted_c)->mutable_bools();
+  std::vector<std::vector<double>*> vcols(static_cast<size_t>(va));
+  for (int i = 0; i < va; ++i) {
+    VX_ASSIGN_OR_RETURN(int c, out.ColumnIndex(StringFormat("v%d", i)));
+    vcols[static_cast<size_t>(i)] = out.mutable_column(c)->mutable_doubles();
+  }
+
+  VX_ASSIGN_OR_RETURN(int uid_c, updates.ColumnIndex("id"));
+  VX_ASSIGN_OR_RETURN(int uhalted_c, updates.ColumnIndex("halted"));
+  std::vector<const std::vector<double>*> ucols(static_cast<size_t>(va));
+  for (int i = 0; i < va; ++i) {
+    VX_ASSIGN_OR_RETURN(int c, updates.ColumnIndex(StringFormat("v%d", i)));
+    ucols[static_cast<size_t>(i)] = &updates.column(c).doubles();
+  }
+
+  const auto& uids = updates.column(uid_c).ints();
+  const auto& uhalted = updates.column(uhalted_c).bools();
+  for (int64_t u = 0; u < updates.num_rows(); ++u) {
+    const auto su = static_cast<size_t>(u);
+    const int64_t* row = row_of.Find(uids[su]);
+    if (row == nullptr) continue;
+    const auto sr = static_cast<size_t>(*row);
+    halted[sr] = uhalted[su];
+    for (int i = 0; i < va; ++i) {
+      (*vcols[static_cast<size_t>(i)])[sr] = (*ucols[static_cast<size_t>(i)])[su];
+    }
+  }
+  return out;
+}
+
+Result<Table> Coordinator::RebuildVertices(const Table& vertex,
+                                           const Table& updates) const {
+  // §2.3 replace path: new_vertex = (vertex ANTI JOIN updates) ∪ updates,
+  // i.e. a bulk rebuild instead of row updates.
+  return PlanBuilder::Scan(vertex)
+      .Join(PlanBuilder::Scan(updates).Select({"id"}), {"id"}, {"id"},
+            JoinType::kAnti)
+      .Union(PlanBuilder::Scan(updates))
+      .Execute();
+}
+
+Status Coordinator::Run(RunStats* stats) {
+  const int va = program_->value_arity();
+  const int ma = program_->message_arity();
+  const int arity = PayloadArity(*program_);
+  if (va <= 0 || ma <= 0) {
+    return Status::InvalidArgument("vertex program arities must be positive");
+  }
+
+  const auto agg_specs = program_->aggregators();
+  prev_aggregates_.clear();
+
+  // §1 durability: resume from a checkpoint marker restored by LoadCatalog.
+  int first_superstep = 0;
+  if (options_.resume_from_checkpoint &&
+      catalog_->HasTable(MarkerName(names_))) {
+    VX_ASSIGN_OR_RETURN(auto marker, catalog_->GetTable(MarkerName(names_)));
+    if (marker->num_rows() == 1) {
+      first_superstep =
+          static_cast<int>(marker->column(0).GetInt64(0));
+    }
+  }
+
+  WallTimer total_timer;
+  for (int superstep = first_superstep;
+       superstep < options_.max_supersteps; ++superstep) {
+    WallTimer step_timer;
+    VX_ASSIGN_OR_RETURN(auto vertex, catalog_->GetTable(names_.vertex));
+    VX_ASSIGN_OR_RETURN(auto edge, catalog_->GetTable(names_.edge));
+    VX_ASSIGN_OR_RETURN(auto message, catalog_->GetTable(names_.message));
+
+    // Stored-procedure loop condition: "it runs as long as there is any
+    // message for the next superstep" (plus Pregel's not-yet-halted rule).
+    if (superstep > 0 && message->num_rows() == 0 && AllHalted(*vertex)) {
+      break;
+    }
+
+    auto shared = std::make_shared<WorkerSharedState>();
+    shared->program = program_;
+    shared->superstep = superstep;
+    shared->num_vertices = vertex->num_rows();
+    shared->payload_arity = arity;
+    shared->prev_aggregates = &prev_aggregates_;
+    for (const auto& spec : agg_specs) {
+      shared->aggregator_kinds[spec.name] = spec.kind;
+      shared->aggregator_names.push_back(spec.name);
+    }
+
+    WallTimer phase_timer;
+    Table input;
+    if (options_.use_union_input) {
+      VX_ASSIGN_OR_RETURN(input, BuildUnionInput(*vertex, *edge, *message));
+    } else {
+      VX_ASSIGN_OR_RETURN(input, BuildJoinInput(*vertex, *edge, *message));
+    }
+    const double input_seconds = phase_timer.ElapsedSeconds();
+
+    // Vertex batching (§2.3): hash partition on vertex id (column 0), sort
+    // each partition on id, and run the worker UDFs in parallel.
+    TransformOptions topts;
+    topts.num_workers = options_.num_workers;
+    topts.num_partitions = options_.num_partitions;
+    topts.sort_columns = {0};
+    TransformUdfFactory factory;
+    if (options_.use_union_input) {
+      factory = [shared]() -> std::unique_ptr<TransformUdf> {
+        return std::make_unique<Worker>(shared);
+      };
+    } else {
+      factory = [shared]() -> std::unique_ptr<TransformUdf> {
+        return std::make_unique<JoinWorker>(shared);
+      };
+    }
+    phase_timer.Restart();
+    VX_ASSIGN_OR_RETURN(Table out, ApplyTransform(input, 0, factory, topts));
+    const double worker_seconds = phase_timer.ElapsedSeconds();
+    phase_timer.Restart();
+
+    // ---- Split the worker output. -------------------------------------
+    // Vertex updates: kind=0 rows with other=1 (state actually changed).
+    std::vector<ProjectionSpec> uproj = {{"id", Col("id")},
+                                         {"halted", Col("halted")}};
+    for (int i = 0; i < va; ++i) {
+      uproj.push_back({StringFormat("v%d", i), Col(StringFormat("p%d", i))});
+    }
+    VX_ASSIGN_OR_RETURN(
+        Table updates,
+        PlanBuilder::Scan(out)
+            .Filter(And(Eq(Col("kind"), Lit(static_cast<int64_t>(kVertexTuple))),
+                        Eq(Col("other"), Lit(int64_t{1}))))
+            .Project(std::move(uproj))
+            .Execute());
+
+    // New messages: kind=2 rows; sender is `other`, receiver is `id`.
+    std::vector<ProjectionSpec> mproj = {{"src", Col("other")},
+                                         {"dst", Col("id")}};
+    for (int i = 0; i < ma; ++i) {
+      mproj.push_back({StringFormat("m%d", i), Col(StringFormat("p%d", i))});
+    }
+    VX_ASSIGN_OR_RETURN(
+        Table new_messages,
+        PlanBuilder::Scan(out)
+            .Filter(Eq(Col("kind"), Lit(static_cast<int64_t>(kMessageTuple))))
+            .Project(std::move(mproj))
+            .Execute());
+
+    // Aggregator partials and activity count: direct scans over the output.
+    int64_t active = 0;
+    std::map<std::string, double> new_aggregates;
+    for (const auto& spec : agg_specs) {
+      new_aggregates[spec.name] = AggregatorIdentity(spec.kind);
+    }
+    {
+      const auto& kinds = out.column(1).ints();
+      const auto& others = out.column(2).ints();
+      const auto& p0 = out.column(4).doubles();
+      for (int64_t r = 0; r < out.num_rows(); ++r) {
+        const auto sr = static_cast<size_t>(r);
+        if (kinds[sr] == kVertexTuple) {
+          ++active;
+        } else if (kinds[sr] == kAggregateTuple) {
+          const auto idx = static_cast<size_t>(others[sr]);
+          if (idx < agg_specs.size()) {
+            const auto& spec = agg_specs[idx];
+            new_aggregates[spec.name] = MergeAggregate(
+                spec.kind, new_aggregates[spec.name], p0[sr]);
+          }
+        }
+      }
+    }
+
+    // ---- Message combining. -------------------------------------------
+    if (options_.use_combiner &&
+        program_->combiner() != MessageCombiner::kNone &&
+        new_messages.num_rows() > 0) {
+      const AggOp op = CombinerToAggOp(program_->combiner());
+      std::vector<AggSpec> specs;
+      for (int i = 0; i < ma; ++i) {
+        specs.push_back({op, StringFormat("m%d", i), StringFormat("m%d", i)});
+      }
+      std::vector<ProjectionSpec> cproj = {{"src", Lit(int64_t{-1})},
+                                           {"dst", Col("dst")}};
+      for (int i = 0; i < ma; ++i) {
+        cproj.push_back({StringFormat("m%d", i), Col(StringFormat("m%d", i))});
+      }
+      VX_ASSIGN_OR_RETURN(new_messages,
+                          PlanBuilder::Scan(std::move(new_messages))
+                              .Aggregate({"dst"}, std::move(specs))
+                              .Project(std::move(cproj))
+                              .Execute());
+    }
+
+    const double split_seconds = phase_timer.ElapsedSeconds();
+    phase_timer.Restart();
+
+    // ---- Update vs. replace (§2.3). -----------------------------------
+    bool used_replace = false;
+    if (updates.num_rows() > 0) {
+      Table new_vertex;
+      const double frac = static_cast<double>(updates.num_rows()) /
+                          static_cast<double>(std::max<int64_t>(
+                              1, vertex->num_rows()));
+      if (frac < options_.update_threshold) {
+        VX_ASSIGN_OR_RETURN(new_vertex,
+                            UpdateVerticesInPlace(*vertex, updates));
+      } else {
+        used_replace = true;
+        VX_ASSIGN_OR_RETURN(new_vertex, RebuildVertices(*vertex, updates));
+      }
+      VX_RETURN_NOT_OK(
+          catalog_->ReplaceTable(names_.vertex, std::move(new_vertex)));
+    }
+
+    const int64_t messages_sent = new_messages.num_rows();
+    VX_RETURN_NOT_OK(
+        catalog_->ReplaceTable(names_.message, std::move(new_messages)));
+    prev_aggregates_ = std::move(new_aggregates);
+
+    if (stats != nullptr) {
+      SuperstepStats s;
+      s.superstep = superstep;
+      s.input_rows = input.num_rows();
+      s.active_vertices = active;
+      s.vertex_updates = updates.num_rows();
+      s.messages_sent = messages_sent;
+      s.seconds = step_timer.ElapsedSeconds();
+      s.used_replace = used_replace;
+      s.input_seconds = input_seconds;
+      s.worker_seconds = worker_seconds;
+      s.split_seconds = split_seconds;
+      s.apply_seconds = phase_timer.ElapsedSeconds();
+      stats->supersteps.push_back(s);
+      stats->total_messages += messages_sent;
+    }
+
+    if (options_.checkpoint_every > 0 &&
+        (superstep + 1) % options_.checkpoint_every == 0) {
+      Table marker(Schema({{"next_superstep", DataType::kInt64}}));
+      VX_RETURN_NOT_OK(
+          marker.AppendRow({Value(static_cast<int64_t>(superstep + 1))}));
+      VX_RETURN_NOT_OK(
+          catalog_->ReplaceTable(MarkerName(names_), std::move(marker)));
+      VX_RETURN_NOT_OK(SaveCatalog(*catalog_, options_.checkpoint_dir));
+    }
+
+    if (active == 0 && messages_sent == 0) break;
+  }
+  if (stats != nullptr) stats->total_seconds = total_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status RunVertexProgram(Catalog* catalog, const Graph& graph,
+                        VertexProgram* program, VertexicaOptions options,
+                        GraphTableNames names, RunStats* stats) {
+  VX_RETURN_NOT_OK(LoadGraphTables(catalog, graph, *program, names));
+  Coordinator coordinator(catalog, program, options, names);
+  return coordinator.Run(stats);
+}
+
+}  // namespace vertexica

@@ -1,0 +1,107 @@
+/// \file coordinator.h
+/// \brief The coordinator (§2.2): the stored procedure that drives
+/// supersteps — "it runs as long as there is any message for the next
+/// superstep".
+///
+/// Each superstep the coordinator
+///  1. assembles the worker input from the vertex/edge/message tables —
+///     either as the §2.3 table union or as the traditional 3-way join,
+///  2. hash-partitions it on vertex id and sorts each partition (vertex
+///     batching), runs parallel worker UDFs,
+///  3. splits the worker output into vertex updates, new messages, and
+///     global-aggregator partials,
+///  4. optionally combines messages per receiver (combiner),
+///  5. applies vertex updates in place or by table replacement depending on
+///     the update fraction (update vs. replace), and swaps in the new
+///     message table.
+
+#ifndef VERTEXICA_VERTEXICA_COORDINATOR_H_
+#define VERTEXICA_VERTEXICA_COORDINATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "graphgen/graph.h"
+#include "vertexica/graph_tables.h"
+#include "vertexica/options.h"
+#include "vertexica/vertex_program.h"
+
+namespace vertexica {
+
+/// \brief Measurements for one superstep (shown in the demo GUI's time
+/// monitor and consumed by the benches).
+struct SuperstepStats {
+  int superstep = 0;
+  int64_t input_rows = 0;        ///< worker input size (union or join rows)
+  int64_t active_vertices = 0;   ///< vertices whose Compute ran
+  int64_t vertex_updates = 0;    ///< vertices whose state changed
+  int64_t messages_sent = 0;     ///< messages for the next superstep
+  double seconds = 0.0;
+  bool used_replace = false;     ///< update-vs-replace decision taken
+
+  /// \name Phase breakdown (sums to ≈ seconds)
+  /// @{
+  double input_seconds = 0.0;    ///< union/join assembly
+  double worker_seconds = 0.0;   ///< partition + sort + Compute
+  double split_seconds = 0.0;    ///< output split & combiner
+  double apply_seconds = 0.0;    ///< vertex update / table swaps
+  /// @}
+};
+
+/// \brief Whole-run measurements.
+struct RunStats {
+  std::vector<SuperstepStats> supersteps;
+  double total_seconds = 0.0;
+  int64_t total_messages = 0;
+
+  int num_supersteps() const { return static_cast<int>(supersteps.size()); }
+};
+
+/// \brief Drives a vertex program over the graph tables in a catalog.
+class Coordinator {
+ public:
+  Coordinator(Catalog* catalog, VertexProgram* program,
+              VertexicaOptions options = {}, GraphTableNames names = {});
+
+  /// \brief Runs supersteps until no messages remain and all vertices have
+  /// voted to halt (or max_supersteps is reached).
+  Status Run(RunStats* stats = nullptr);
+
+  /// \brief Global aggregator values from the final superstep.
+  const std::map<std::string, double>& aggregates() const {
+    return prev_aggregates_;
+  }
+
+ private:
+  Result<Table> BuildUnionInput(const Table& vertex, const Table& edge,
+                                const Table& message) const;
+  Result<Table> BuildJoinInput(const Table& vertex, const Table& edge,
+                               const Table& message) const;
+  /// In-place path of §2.3 "Update Vs Replace": copies the vertex columns
+  /// and scatters the updates.
+  Result<Table> UpdateVerticesInPlace(const Table& vertex,
+                                      const Table& updates) const;
+  /// Replace path: anti-join out updated ids, union the new rows.
+  Result<Table> RebuildVertices(const Table& vertex,
+                                const Table& updates) const;
+
+  Catalog* catalog_;
+  VertexProgram* program_;
+  VertexicaOptions options_;
+  GraphTableNames names_;
+  std::map<std::string, double> prev_aggregates_;
+};
+
+/// \brief Convenience entry point: loads `graph` into `catalog` (vertex,
+/// edge and empty message tables) and runs the program to completion.
+Status RunVertexProgram(Catalog* catalog, const Graph& graph,
+                        VertexProgram* program,
+                        VertexicaOptions options = {},
+                        GraphTableNames names = {}, RunStats* stats = nullptr);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_VERTEXICA_COORDINATOR_H_

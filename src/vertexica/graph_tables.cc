@@ -1,0 +1,134 @@
+#include "vertexica/graph_tables.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace vertexica {
+
+Schema MakeVertexSchema(int value_arity) {
+  Schema s({{"id", DataType::kInt64}, {"halted", DataType::kBool}});
+  for (int i = 0; i < value_arity; ++i) {
+    s.AddField({StringFormat("v%d", i), DataType::kDouble});
+  }
+  return s;
+}
+
+Schema MakeEdgeSchema() {
+  return Schema({{"src", DataType::kInt64},
+                 {"dst", DataType::kInt64},
+                 {"weight", DataType::kDouble}});
+}
+
+Schema MakeMessageSchema(int message_arity) {
+  Schema s({{"src", DataType::kInt64}, {"dst", DataType::kInt64}});
+  for (int i = 0; i < message_arity; ++i) {
+    s.AddField({StringFormat("m%d", i), DataType::kDouble});
+  }
+  return s;
+}
+
+Schema MakeUnionSchema(int payload_arity) {
+  Schema s({{"id", DataType::kInt64},
+            {"kind", DataType::kInt64},
+            {"other", DataType::kInt64},
+            {"halted", DataType::kBool}});
+  for (int i = 0; i < payload_arity; ++i) {
+    s.AddField({StringFormat("p%d", i), DataType::kDouble});
+  }
+  return s;
+}
+
+int PayloadArity(const VertexProgram& program) {
+  return std::max({program.value_arity(), program.message_arity(), 1});
+}
+
+Status LoadGraphTables(Catalog* catalog, const Graph& graph,
+                       const VertexProgram& program,
+                       const GraphTableNames& names) {
+  const Graph directed = graph.AsDirected();
+  const int arity = program.value_arity();
+
+  // Vertex table.
+  {
+    Schema schema = MakeVertexSchema(arity);
+    std::vector<Column> cols;
+    std::vector<int64_t> ids(static_cast<size_t>(directed.num_vertices));
+    for (int64_t v = 0; v < directed.num_vertices; ++v) {
+      ids[static_cast<size_t>(v)] = v;
+    }
+    cols.push_back(Column::FromInts(std::move(ids)));
+    cols.push_back(Column::FromBools(std::vector<uint8_t>(
+        static_cast<size_t>(directed.num_vertices), 0)));
+    std::vector<std::vector<double>> values(
+        static_cast<size_t>(arity),
+        std::vector<double>(static_cast<size_t>(directed.num_vertices)));
+    std::vector<double> tmp(static_cast<size_t>(arity));
+    for (int64_t v = 0; v < directed.num_vertices; ++v) {
+      program.InitValue(v, directed.num_vertices, tmp.data());
+      for (int i = 0; i < arity; ++i) {
+        values[static_cast<size_t>(i)][static_cast<size_t>(v)] =
+            tmp[static_cast<size_t>(i)];
+      }
+    }
+    for (int i = 0; i < arity; ++i) {
+      cols.push_back(Column::FromDoubles(std::move(values[static_cast<size_t>(i)])));
+    }
+    VX_ASSIGN_OR_RETURN(Table t, Table::Make(schema, std::move(cols)));
+    VX_RETURN_NOT_OK(catalog->ReplaceTable(names.vertex, std::move(t)));
+  }
+
+  // Edge table.
+  {
+    std::vector<Column> cols;
+    cols.push_back(Column::FromInts(directed.src));
+    cols.push_back(Column::FromInts(directed.dst));
+    if (directed.weight.empty()) {
+      cols.push_back(Column::FromDoubles(
+          std::vector<double>(directed.src.size(), 1.0)));
+    } else {
+      cols.push_back(Column::FromDoubles(directed.weight));
+    }
+    VX_ASSIGN_OR_RETURN(Table t, Table::Make(MakeEdgeSchema(), std::move(cols)));
+    VX_RETURN_NOT_OK(catalog->ReplaceTable(names.edge, std::move(t)));
+  }
+
+  // Message table (empty).
+  VX_RETURN_NOT_OK(catalog->ReplaceTable(
+      names.message, Table(MakeMessageSchema(program.message_arity()))));
+  return Status::OK();
+}
+
+Result<std::vector<double>> ReadVertexValues(const Catalog& catalog,
+                                             const GraphTableNames& names,
+                                             int component) {
+  VX_ASSIGN_OR_RETURN(auto table, catalog.GetTable(names.vertex));
+  VX_ASSIGN_OR_RETURN(
+      int vcol, table->ColumnIndex(StringFormat("v%d", component)));
+  VX_ASSIGN_OR_RETURN(int idcol, table->ColumnIndex("id"));
+  const auto& ids = table->column(idcol).ints();
+  const auto& vals = table->column(vcol).doubles();
+  int64_t max_id = -1;
+  for (int64_t id : ids) max_id = std::max(max_id, id);
+  std::vector<double> out(static_cast<size_t>(max_id + 1), 0.0);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out[static_cast<size_t>(ids[i])] = vals[i];
+  }
+  return out;
+}
+
+Table WithRowNumbers(const Table& t, const std::string& name) {
+  Schema schema = t.schema();
+  schema.AddField({name, DataType::kInt64});
+  std::vector<Column> cols;
+  cols.reserve(static_cast<size_t>(t.num_columns()) + 1);
+  for (int c = 0; c < t.num_columns(); ++c) cols.push_back(t.column(c));
+  std::vector<int64_t> seq(static_cast<size_t>(t.num_rows()));
+  for (int64_t i = 0; i < t.num_rows(); ++i) seq[static_cast<size_t>(i)] = i;
+  cols.push_back(Column::FromInts(std::move(seq)));
+  auto made = Table::Make(std::move(schema), std::move(cols));
+  VX_CHECK(made.ok());
+  return std::move(made).MoveValueUnsafe();
+}
+
+}  // namespace vertexica

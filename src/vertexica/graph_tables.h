@@ -1,0 +1,85 @@
+/// \file graph_tables.h
+/// \brief Physical graph storage (§2.2): the vertex, edge and message
+/// relational tables, their schemas, and the loader.
+///
+/// - vertex(id INT64, halted BOOL, v0..v{a-1} DOUBLE)   — id, value, state
+/// - edge(src INT64, dst INT64, weight DOUBLE)
+/// - message(src INT64, dst INT64, m0..m{b-1} DOUBLE)   — sender, receiver,
+///   value
+///
+/// The worker input "common schema" (§2.3 Table Unions) is
+/// (id INT64, kind INT64, other INT64, halted BOOL, p0..p{m-1} DOUBLE)
+/// where m = max(a, b, 1). `kind` tags the originating table; `other`
+/// carries the edge destination / message sender; payload columns carry the
+/// vertex value, edge weight, or message value.
+
+#ifndef VERTEXICA_VERTEXICA_GRAPH_TABLES_H_
+#define VERTEXICA_VERTEXICA_GRAPH_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "graphgen/graph.h"
+#include "storage/table.h"
+#include "vertexica/vertex_program.h"
+
+namespace vertexica {
+
+/// \brief Tuple tags in the common schema.
+enum TupleKind : int64_t {
+  kVertexTuple = 0,
+  kEdgeTuple = 1,
+  kMessageTuple = 2,
+  kAggregateTuple = 3,
+};
+
+/// \brief Catalog names of the three graph tables (prefixable so multiple
+/// graphs / versions coexist, e.g. for temporal analysis).
+struct GraphTableNames {
+  std::string vertex = "vertex";
+  std::string edge = "edge";
+  std::string message = "message";
+
+  static GraphTableNames WithPrefix(const std::string& prefix) {
+    return GraphTableNames{prefix + "vertex", prefix + "edge",
+                           prefix + "message"};
+  }
+};
+
+/// \brief vertex(id, halted, v0..v{arity-1}).
+Schema MakeVertexSchema(int value_arity);
+
+/// \brief edge(src, dst, weight).
+Schema MakeEdgeSchema();
+
+/// \brief message(src, dst, m0..m{arity-1}).
+Schema MakeMessageSchema(int message_arity);
+
+/// \brief Common worker-input/-output schema with `payload_arity` payload
+/// columns.
+Schema MakeUnionSchema(int payload_arity);
+
+/// \brief Payload width for a program: max(value_arity, message_arity, 1).
+int PayloadArity(const VertexProgram& program);
+
+/// \brief Materializes the three tables for `graph` into the catalog
+/// (replacing existing ones). Vertex values are initialized via
+/// `program.InitValue`; the message table starts empty.
+Status LoadGraphTables(Catalog* catalog, const Graph& graph,
+                       const VertexProgram& program,
+                       const GraphTableNames& names = {});
+
+/// \brief Reads component `component` of every vertex value into a dense
+/// vector indexed by vertex id.
+Result<std::vector<double>> ReadVertexValues(const Catalog& catalog,
+                                             const GraphTableNames& names,
+                                             int component = 0);
+
+/// \brief Copy of `t` with an extra INT64 column `name` = row number.
+Table WithRowNumbers(const Table& t, const std::string& name);
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_VERTEXICA_GRAPH_TABLES_H_

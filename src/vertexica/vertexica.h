@@ -1,0 +1,71 @@
+/// \file vertexica.h
+/// \brief Umbrella header: everything a Vertexica application needs.
+///
+/// \code
+///   #include "vertexica/vertexica.h"
+///
+///   vertexica::Catalog catalog;
+///   vertexica::Graph g = vertexica::GenerateRmat(2000, 16000, 7);
+///   auto ranks = vertexica::RunPageRank(&catalog, g, 10);
+/// \endcode
+///
+/// Layering (bottom to top): storage → expr/exec/catalog/udf →
+/// vertexica core → algorithms / sqlgraph → pipeline / temporal.
+/// Comparator systems (giraph/, graphdb/) are not exported here; include
+/// them explicitly when benchmarking against them.
+
+#ifndef VERTEXICA_VERTEXICA_VERTEXICA_H_
+#define VERTEXICA_VERTEXICA_VERTEXICA_H_
+
+// Core engine.
+#include "catalog/catalog.h"        // IWYU pragma: export
+#include "common/result.h"          // IWYU pragma: export
+#include "common/status.h"          // IWYU pragma: export
+#include "exec/plan_builder.h"      // IWYU pragma: export
+#include "expr/expression.h"        // IWYU pragma: export
+#include "storage/csv.h"            // IWYU pragma: export
+#include "storage/table.h"          // IWYU pragma: export
+
+// Vertex-centric layer.
+#include "vertexica/coordinator.h"     // IWYU pragma: export
+#include "vertexica/graph_tables.h"    // IWYU pragma: export
+#include "vertexica/options.h"         // IWYU pragma: export
+#include "vertexica/vertex_program.h"  // IWYU pragma: export
+
+// Graph data.
+#include "graphgen/datasets.h"    // IWYU pragma: export
+#include "graphgen/generators.h"  // IWYU pragma: export
+#include "graphgen/graph.h"       // IWYU pragma: export
+#include "graphgen/metadata.h"    // IWYU pragma: export
+#include "graphgen/snap_io.h"     // IWYU pragma: export
+
+// Algorithm library.
+#include "algorithms/collaborative_filtering.h"  // IWYU pragma: export
+#include "algorithms/connected_components.h"     // IWYU pragma: export
+#include "algorithms/label_propagation.h"        // IWYU pragma: export
+#include "algorithms/pagerank.h"                 // IWYU pragma: export
+#include "algorithms/random_walk.h"              // IWYU pragma: export
+#include "algorithms/sssp.h"                     // IWYU pragma: export
+#include "algorithms/triangle_program.h"         // IWYU pragma: export
+
+// SQL graph algorithms.
+#include "sqlgraph/clustering_coefficient.h"      // IWYU pragma: export
+#include "sqlgraph/graph_extraction.h"            // IWYU pragma: export
+#include "sqlgraph/sql_connected_components.h"    // IWYU pragma: export
+#include "sqlgraph/sql_pagerank.h"                // IWYU pragma: export
+#include "sqlgraph/sql_random_walk.h"             // IWYU pragma: export
+#include "sqlgraph/sql_shortest_paths.h"          // IWYU pragma: export
+#include "sqlgraph/strong_overlap.h"              // IWYU pragma: export
+#include "sqlgraph/triangle_count.h"              // IWYU pragma: export
+#include "sqlgraph/weak_ties.h"                   // IWYU pragma: export
+
+// Durability.
+#include "catalog/catalog_io.h"  // IWYU pragma: export
+
+// Composition.
+#include "pipeline/dataflow.h"         // IWYU pragma: export
+#include "pipeline/nodes.h"            // IWYU pragma: export
+#include "temporal/continuous.h"       // IWYU pragma: export
+#include "temporal/versioned_graph.h"  // IWYU pragma: export
+
+#endif  // VERTEXICA_VERTEXICA_VERTEXICA_H_

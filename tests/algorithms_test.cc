@@ -1,0 +1,248 @@
+// Tests for the remaining vertex-centric algorithms (connected components,
+// collaborative filtering, random walk with restart) and the textbook
+// references themselves.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "algorithms/collaborative_filtering.h"
+#include "algorithms/connected_components.h"
+#include "algorithms/random_walk.h"
+#include "algorithms/reference.h"
+#include "algorithms/triangle_program.h"
+#include "graphgen/generators.h"
+
+namespace vertexica {
+namespace {
+
+TEST(WccReferenceTest, TwoComponents) {
+  Graph g;
+  g.num_vertices = 5;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  auto labels = WccReference(g);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 0);
+  EXPECT_EQ(labels[2], 0);
+  EXPECT_EQ(labels[3], 3);
+  EXPECT_EQ(labels[4], 3);
+}
+
+TEST(ConnectedComponentsTest, MatchesUnionFind) {
+  Graph g;
+  g.num_vertices = 8;
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 1);  // direction must not matter
+  g.AddEdge(3, 4);
+  g.AddEdge(5, 4);
+  g.AddEdge(6, 7);
+  Catalog cat;
+  auto labels = RunConnectedComponents(&cat, g);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  auto expect = WccReference(g);
+  EXPECT_EQ(*labels, expect);
+}
+
+TEST(ConnectedComponentsTest, RandomGraphMatchesReference) {
+  Graph g = GenerateErdosRenyi(300, 350, 21);  // sparse => many components
+  Catalog cat;
+  auto labels = RunConnectedComponents(&cat, g);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(*labels, WccReference(g));
+}
+
+TEST(ConnectedComponentsTest, SingletonVerticesKeepOwnLabel) {
+  Graph g;
+  g.num_vertices = 4;
+  g.AddEdge(0, 1);
+  Catalog cat;
+  auto labels = RunConnectedComponents(&cat, g);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[2], 2);
+  EXPECT_EQ((*labels)[3], 3);
+}
+
+TEST(TriangleReferenceTest, CountsKnownGraph) {
+  Graph g;
+  g.num_vertices = 5;
+  // Triangle 0-1-2 plus a pendant and the extra triangle 1-2-3.
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  EXPECT_EQ(TriangleCountReference(g), 2);
+  auto per = PerVertexTrianglesReference(g);
+  EXPECT_EQ(per[0], 1);
+  EXPECT_EQ(per[1], 2);
+  EXPECT_EQ(per[2], 2);
+  EXPECT_EQ(per[3], 1);
+  EXPECT_EQ(per[4], 0);
+}
+
+TEST(TriangleReferenceTest, IgnoresDuplicatesAndDirections) {
+  Graph g;
+  g.num_vertices = 3;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);  // duplicate in other direction
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  EXPECT_EQ(TriangleCountReference(g), 1);
+}
+
+TEST(CollaborativeFilteringTest, ErrorDecreasesOverTraining) {
+  Graph ratings = GenerateBipartite(40, 15, 400, 33);
+  Catalog cat_short;
+  auto short_model =
+      RunCollaborativeFiltering(&cat_short, ratings, 4, /*iters=*/1);
+  ASSERT_TRUE(short_model.ok()) << short_model.status().ToString();
+  Catalog cat_long;
+  auto long_model =
+      RunCollaborativeFiltering(&cat_long, ratings, 4, /*iters=*/15);
+  ASSERT_TRUE(long_model.ok());
+  EXPECT_LT(long_model->squared_error, short_model->squared_error);
+}
+
+TEST(CollaborativeFilteringTest, PredictionsApproachRatings) {
+  // A tiny dense rating matrix that rank-4 factors can fit well.
+  Graph ratings;
+  ratings.num_vertices = 6;  // 3 users, 3 items (ids 3..5)
+  ratings.AddEdge(0, 3, 5.0);
+  ratings.AddEdge(0, 4, 1.0);
+  ratings.AddEdge(1, 3, 5.0);
+  ratings.AddEdge(1, 5, 1.0);
+  ratings.AddEdge(2, 4, 5.0);
+  ratings.AddEdge(2, 5, 5.0);
+  Catalog cat;
+  auto model = RunCollaborativeFiltering(&cat, ratings, 4, /*iters=*/60);
+  ASSERT_TRUE(model.ok());
+  // Training error per rating should be small-ish after 60 epochs.
+  const double mse = model->squared_error / (2.0 * ratings.num_edges());
+  EXPECT_LT(mse, 1.0);
+  // Relative ordering should be learned.
+  EXPECT_GT(model->Predict(0, 3), model->Predict(0, 4));
+}
+
+TEST(CollaborativeFilteringTest, FactorsHaveDeclaredArity) {
+  Graph ratings = GenerateBipartite(10, 5, 60, 1);
+  Catalog cat;
+  auto model = RunCollaborativeFiltering(&cat, ratings, 6, 2);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_factors, 6);
+  EXPECT_EQ(model->factors.size(), 15u * 6u);
+}
+
+TEST(RandomWalkTest, MassConcentratesNearSource) {
+  // Two cliques joined by one bridge; RWR from clique A should rank clique
+  // A members above clique B members.
+  Graph g;
+  g.num_vertices = 8;
+  for (int64_t a = 0; a < 4; ++a) {
+    for (int64_t b = 0; b < 4; ++b) {
+      if (a != b) g.AddEdge(a, b);
+    }
+  }
+  for (int64_t a = 4; a < 8; ++a) {
+    for (int64_t b = 4; b < 8; ++b) {
+      if (a != b) g.AddEdge(a, b);
+    }
+  }
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 3);
+  Catalog cat;
+  auto scores = RunRandomWalkWithRestart(&cat, g, /*source=*/0, 20);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  EXPECT_GT((*scores)[0], (*scores)[5]);
+  EXPECT_GT((*scores)[1], (*scores)[6]);
+}
+
+TEST(RandomWalkTest, SourceHasRestartMass) {
+  Graph g = GenerateRmat(64, 400, 2);
+  Catalog cat;
+  auto scores = RunRandomWalkWithRestart(&cat, g, 0, 15, 0.2);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GE((*scores)[0], 0.2 * 0.9);  // at least ~the restart mass
+  for (double s : *scores) EXPECT_GE(s, 0.0);
+}
+
+TEST(DijkstraReferenceTest, HandlesWeightsAndUnreachable) {
+  Graph g;
+  g.num_vertices = 4;
+  g.AddEdge(0, 1, 5.0);
+  g.AddEdge(0, 2, 1.0);
+  g.AddEdge(2, 1, 1.0);
+  auto dist = DijkstraReference(g, 0);
+  EXPECT_DOUBLE_EQ(dist[1], 2.0);  // through 2, not direct
+  EXPECT_TRUE(std::isinf(dist[3]));
+}
+
+TEST(VertexCentricTrianglesTest, CountsKnownGraph) {
+  Graph g;
+  g.num_vertices = 5;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  Catalog cat;
+  auto count = RunVertexCentricTriangleCount(&cat, g);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 2);
+}
+
+TEST(VertexCentricTrianglesTest, MatchesReferenceOnRandomGraphs) {
+  for (uint64_t seed : {101u, 102u, 103u}) {
+    Graph g = GenerateRmat(80, 500, seed);
+    Catalog cat;
+    auto count = RunVertexCentricTriangleCount(&cat, g);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, TriangleCountReference(g)) << "seed " << seed;
+  }
+}
+
+TEST(VertexCentricTrianglesTest, IgnoresDuplicateAndReverseEdges) {
+  Graph g;
+  g.num_vertices = 3;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 1);  // duplicate
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  Catalog cat;
+  auto count = RunVertexCentricTriangleCount(&cat, g);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1);
+}
+
+TEST(VertexCentricTrianglesTest, QuadraticMessageBlowup) {
+  // §3.2: the vertex-centric formulation materializes neighbour pairs as
+  // messages. A star with hub degree d must send C(d, 2) probes.
+  Graph g;
+  g.num_vertices = 21;
+  for (int64_t v = 1; v <= 20; ++v) g.AddEdge(0, v);
+  Catalog cat;
+  RunStats stats;
+  auto count = RunVertexCentricTriangleCount(&cat, g, {}, &stats);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0);
+  EXPECT_EQ(stats.total_messages, 20 * 19 / 2);
+}
+
+TEST(PageRankReferenceTest, UniformOnCycle) {
+  Graph g;
+  g.num_vertices = 4;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  auto ranks = PageRankReference(g, 30);
+  for (double r : ranks) EXPECT_NEAR(r, 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace vertexica

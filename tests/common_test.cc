@@ -1,0 +1,297 @@
+// Unit tests for the common substrate: Status/Result, thread pool, RNG,
+// hashing, string utilities.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/threadpool.h"
+
+namespace vertexica {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad column");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad column");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad column");
+}
+
+TEST(StatusTest, AllFactoryPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::NotFound("missing");
+  Status b = a;
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(b.message(), "missing");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Status UseParse(int x, int* out) {
+  VX_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseParse(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_TRUE(UseParse(-5, &out).IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).MoveValueUnsafe();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutures) {
+  ThreadPool pool(4);
+  auto f1 = pool.Submit([] { return 1 + 1; });
+  auto f2 = pool.Submit([] { return std::string("hi"); });
+  EXPECT_EQ(f1.get(), 2);
+  EXPECT_EQ(f2.get(), "hi");
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.ParallelFor(0, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  pool.ParallelFor(1, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(BarrierTest, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  Barrier barrier(kThreads);
+  std::atomic<int> phase0{0};
+  std::atomic<int> phase1_saw_full_phase0{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      phase0++;
+      barrier.ArriveAndWait();
+      if (phase0.load() == kThreads) phase1_saw_full_phase0++;
+      barrier.ArriveAndWait();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(phase1_saw_full_phase0.load(), kThreads);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NextStringLowercase) {
+  Rng rng(3);
+  const std::string s = rng.NextString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(ZipfTest, SkewsTowardSmallValues) {
+  Rng rng(5);
+  ZipfDistribution zipf(1000, 1.2);
+  int64_t small = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1000u);
+    if (v <= 10) ++small;
+  }
+  // With s=1.2, the top-10 values hold well over a third of the mass.
+  EXPECT_GT(small, n / 3);
+}
+
+TEST(ZipfTest, ExponentZeroIsUniformish) {
+  Rng rng(5);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 10000; ++i) counts[zipf.Sample(&rng)]++;
+  for (int k = 1; k <= 10; ++k) EXPECT_GT(counts[k], 700);
+}
+
+TEST(HashTest, Int64HashSpreads) {
+  std::set<uint64_t> hashes;
+  for (int64_t i = 0; i < 1000; ++i) {
+    hashes.insert(HashInt64(static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(HashTest, StringHashDistinguishes) {
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+}
+
+TEST(Int64HashMapTest, InsertFindGrow) {
+  Int64HashMap<int> map;
+  for (int64_t i = -500; i < 500; ++i) {
+    map.GetOrInsert(i, static_cast<int>(i * 3));
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (int64_t i = -500; i < 500; ++i) {
+    const int* v = map.Find(i);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, static_cast<int>(i * 3));
+  }
+  EXPECT_EQ(map.Find(10000), nullptr);
+}
+
+TEST(Int64HashMapTest, GetOrInsertReturnsExisting) {
+  Int64HashMap<int> map;
+  map.GetOrInsert(7, 1);
+  int& v = map.GetOrInsert(7, 99);
+  EXPECT_EQ(v, 1);
+  v = 2;
+  EXPECT_EQ(*map.Find(7), 2);
+}
+
+TEST(Int64HashMapTest, ForEachVisitsAll) {
+  Int64HashMap<int64_t> map;
+  for (int64_t i = 0; i < 100; ++i) map.GetOrInsert(i, i);
+  int64_t sum = 0;
+  map.ForEach([&](int64_t k, int64_t& v) { sum += k + v; });
+  EXPECT_EQ(sum, 2 * (99 * 100 / 2));
+}
+
+TEST(Int64HashMapTest, ClearEmpties) {
+  Int64HashMap<int> map;
+  map.GetOrInsert(1, 1);
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(1), nullptr);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("vertex_table", "vertex"));
+  EXPECT_FALSE(StartsWith("vert", "vertex"));
+}
+
+TEST(StringUtilTest, StringFormat) {
+  EXPECT_EQ(StringFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringFormat("%.2f", 3.14159), "3.14");
+}
+
+}  // namespace
+}  // namespace vertexica

@@ -1,0 +1,105 @@
+// Tests for CSV table import/export.
+
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+
+namespace vertexica {
+namespace {
+
+TEST(CsvTest, InfersTypes) {
+  auto t = ParseCsv("id,score,name,flag\n1,0.5,alice,true\n2,1.5,bob,false\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(t->schema().field(1).type, DataType::kDouble);
+  EXPECT_EQ(t->schema().field(2).type, DataType::kString);
+  EXPECT_EQ(t->schema().field(3).type, DataType::kBool);
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->ColumnByName("id")->GetInt64(1), 2);
+  EXPECT_TRUE(t->ColumnByName("flag")->GetBool(0));
+}
+
+TEST(CsvTest, IntColumnWithDecimalBecomesDouble) {
+  auto t = ParseCsv("x\n1\n2.5\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).type, DataType::kDouble);
+  EXPECT_DOUBLE_EQ(t->column(0).GetDouble(0), 1.0);
+}
+
+TEST(CsvTest, EmptyFieldsAreNull) {
+  auto t = ParseCsv("a,b\n1,\n,2\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->column(1).IsNull(0));
+  EXPECT_TRUE(t->column(0).IsNull(1));
+  EXPECT_EQ(t->column(0).GetInt64(0), 1);
+}
+
+TEST(CsvTest, NoHeaderNamesColumns) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto t = ParseCsv("1,2\n3,4\n", opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).name, "c0");
+  EXPECT_EQ(t->schema().field(1).name, "c1");
+  EXPECT_EQ(t->num_rows(), 2);
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimiterAndEscapes) {
+  auto t = ParseCsv("name,bio\nalice,\"likes, commas\"\nbob,\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->column(1).GetString(0), "likes, commas");
+  EXPECT_EQ(t->column(1).GetString(1), "say \"hi\"");
+}
+
+TEST(CsvTest, RaggedRowFails) {
+  EXPECT_TRUE(ParseCsv("a,b\n1,2,3\n").status().IsIoError());
+}
+
+TEST(CsvTest, SchemaOverrideValidates) {
+  Schema schema({{"src", DataType::kInt64}, {"w", DataType::kDouble}});
+  auto ok = ParseCsvWithSchema("src,w\n1,2\n", schema);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->schema().field(1).type, DataType::kDouble);
+  EXPECT_DOUBLE_EQ(ok->column(1).GetDouble(0), 2.0);
+  auto bad = ParseCsvWithSchema("src,w\nx,2\n", schema);
+  EXPECT_TRUE(bad.status().IsTypeError());
+  Schema narrow({{"src", DataType::kInt64}});
+  EXPECT_TRUE(
+      ParseCsvWithSchema("a,b\n1,2\n", narrow).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t(Schema({{"id", DataType::kInt64},
+                  {"score", DataType::kDouble},
+                  {"name", DataType::kString}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(1.5), Value("a,b")}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value::Null(), Value("plain")}));
+  const std::string csv = ToCsv(t);
+  auto back = ParseCsv(csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 2);
+  EXPECT_EQ(back->column(2).GetString(0), "a,b");
+  EXPECT_TRUE(back->column(1).IsNull(1));
+  EXPECT_EQ(back->column(0).GetInt64(1), 2);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t(Schema({{"x", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{42})}));
+  const std::string path = testing::TempDir() + "/vx_csv_roundtrip.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->column(0).GetInt64(0), 42);
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/x.csv").status().IsIoError());
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto t = ParseCsv("a\r\n1\r\n2\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->column(0).GetInt64(1), 2);
+}
+
+}  // namespace
+}  // namespace vertexica

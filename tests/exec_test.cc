@@ -1,0 +1,430 @@
+// Unit tests for the relational operators and the plan builder.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "exec/plan_builder.h"
+
+namespace vertexica {
+namespace {
+
+Table People() {
+  Table t(Schema({{"id", DataType::kInt64},
+                  {"age", DataType::kInt64},
+                  {"city", DataType::kString}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{30}), Value("bos")}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value(int64_t{25}), Value("nyc")}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{3}), Value(int64_t{35}), Value("bos")}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{4}), Value(int64_t{40}), Value("sfo")}));
+  return t;
+}
+
+Table Orders() {
+  Table t(Schema({{"person", DataType::kInt64}, {"amount", DataType::kDouble}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(10.0)}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(20.0)}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value(5.0)}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{9}), Value(99.0)}));
+  return t;
+}
+
+TEST(ScanTest, EmitsAllRowsInBatches) {
+  Table t = People();
+  TableScan scan(t, /*batch_size=*/3);
+  auto b1 = scan.Next();
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b1->has_value());
+  EXPECT_EQ((*b1)->num_rows(), 3);
+  auto b2 = scan.Next();
+  ASSERT_TRUE(b2->has_value());
+  EXPECT_EQ((*b2)->num_rows(), 1);
+  auto b3 = scan.Next();
+  EXPECT_FALSE(b3->has_value());
+}
+
+TEST(ScanTest, EmptyTable) {
+  TableScan scan(Table(Schema({{"x", DataType::kInt64}})));
+  auto b = scan.Next();
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b->has_value());
+}
+
+TEST(FilterTest, KeepsMatchingRows) {
+  auto result = PlanBuilder::Scan(People())
+                    .Filter(Ge(Col("age"), Lit(int64_t{30})))
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3);
+}
+
+TEST(FilterTest, DropsNullPredicateRows) {
+  Table t(Schema({{"v", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1})}));
+  VX_CHECK_OK(t.AppendRow({Value::Null()}));
+  auto result = PlanBuilder::Scan(t).Filter(Gt(Col("v"), Lit(int64_t{0}))).Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 1);
+}
+
+TEST(FilterTest, NonBoolPredicateFails) {
+  auto result = PlanBuilder::Scan(People()).Filter(Col("age")).Execute();
+  EXPECT_TRUE(result.status().IsTypeError());
+}
+
+TEST(ProjectTest, ComputesExpressions) {
+  auto result = PlanBuilder::Scan(People())
+                    .Project({{"id", Col("id")},
+                              {"age2", Mul(Col("age"), Lit(int64_t{2}))}})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema().field(1).name, "age2");
+  EXPECT_EQ(result->column(1).GetInt64(3), 80);
+}
+
+TEST(ProjectTest, TypeErrorSurfacesAtExecution) {
+  auto result = PlanBuilder::Scan(People())
+                    .Project({{"bad", Add(Col("city"), Lit(int64_t{1}))}})
+                    .Execute();
+  EXPECT_TRUE(result.status().IsTypeError());
+}
+
+TEST(HashJoinTest, InnerJoinMatches) {
+  auto result = PlanBuilder::Scan(Orders())
+                    .Join(PlanBuilder::Scan(People()), {"person"}, {"id"})
+                    .Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Orders for persons 1 (x2) and 2; person 9 has no match.
+  EXPECT_EQ(result->num_rows(), 3);
+  EXPECT_EQ(result->schema().num_fields(), 5);
+}
+
+TEST(HashJoinTest, LeftJoinPadsWithNulls) {
+  auto result = PlanBuilder::Scan(Orders())
+                    .Join(PlanBuilder::Scan(People()), {"person"}, {"id"},
+                          JoinType::kLeft)
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 4);
+  // Find the person=9 row: its joined id must be NULL.
+  const auto& person = result->ColumnByName("person")->ints();
+  int64_t row9 = -1;
+  for (size_t i = 0; i < person.size(); ++i) {
+    if (person[i] == 9) row9 = static_cast<int64_t>(i);
+  }
+  ASSERT_GE(row9, 0);
+  EXPECT_TRUE(result->ColumnByName("id")->IsNull(row9));
+}
+
+TEST(HashJoinTest, SemiJoinKeepsLeftColumnsOnly) {
+  auto result = PlanBuilder::Scan(Orders())
+                    .Join(PlanBuilder::Scan(People()), {"person"}, {"id"},
+                          JoinType::kSemi)
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3);
+  EXPECT_EQ(result->schema().num_fields(), 2);
+}
+
+TEST(HashJoinTest, AntiJoinKeepsNonMatching) {
+  auto result = PlanBuilder::Scan(Orders())
+                    .Join(PlanBuilder::Scan(People()), {"person"}, {"id"},
+                          JoinType::kAnti)
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 1);
+  EXPECT_EQ(result->column(0).GetInt64(0), 9);
+}
+
+TEST(HashJoinTest, DuplicateBuildKeysFanOut) {
+  // Join people against orders (build side has dup keys for person 1).
+  auto result = PlanBuilder::Scan(People())
+                    .Join(PlanBuilder::Scan(Orders()), {"id"}, {"person"})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3);  // person1 x2 + person2 x1
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  Table l(Schema({{"k", DataType::kInt64}}));
+  VX_CHECK_OK(l.AppendRow({Value::Null()}));
+  VX_CHECK_OK(l.AppendRow({Value(int64_t{1})}));
+  Table r(Schema({{"k", DataType::kInt64}}));
+  VX_CHECK_OK(r.AppendRow({Value::Null()}));
+  VX_CHECK_OK(r.AppendRow({Value(int64_t{1})}));
+  auto inner = PlanBuilder::Scan(l)
+                   .Join(PlanBuilder::Scan(r), {"k"}, {"k"})
+                   .Execute();
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner->num_rows(), 1);
+  auto left = PlanBuilder::Scan(l)
+                  .Join(PlanBuilder::Scan(r), {"k"}, {"k"}, JoinType::kLeft)
+                  .Execute();
+  EXPECT_EQ(left->num_rows(), 2);  // null row padded
+}
+
+TEST(HashJoinTest, CollidingNamesGetSuffix) {
+  auto result = PlanBuilder::Scan(People())
+                    .Join(PlanBuilder::Scan(People()), {"id"}, {"id"})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->schema().HasField("id_r"));
+  EXPECT_TRUE(result->schema().HasField("age_r"));
+}
+
+TEST(HashJoinTest, MultiColumnKeys) {
+  Table l(Schema({{"a", DataType::kInt64}, {"b", DataType::kString}}));
+  VX_CHECK_OK(l.AppendRow({Value(int64_t{1}), Value("x")}));
+  VX_CHECK_OK(l.AppendRow({Value(int64_t{1}), Value("y")}));
+  Table r(Schema({{"a", DataType::kInt64}, {"b", DataType::kString},
+                  {"v", DataType::kInt64}}));
+  VX_CHECK_OK(r.AppendRow({Value(int64_t{1}), Value("y"), Value(int64_t{7})}));
+  auto result = PlanBuilder::Scan(l)
+                    .Join(PlanBuilder::Scan(r), {"a", "b"}, {"a", "b"})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1);
+  EXPECT_EQ(result->ColumnByName("v")->GetInt64(0), 7);
+}
+
+TEST(AggregateTest, GroupBySumCount) {
+  auto result =
+      PlanBuilder::Scan(Orders())
+          .Aggregate({"person"}, {{AggOp::kSum, "amount", "total"},
+                                  {AggOp::kCountStar, "", "n"}})
+          .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3);
+  // Find person 1.
+  for (int64_t i = 0; i < result->num_rows(); ++i) {
+    if (result->column(0).GetInt64(i) == 1) {
+      EXPECT_DOUBLE_EQ(result->column(1).GetDouble(i), 30.0);
+      EXPECT_EQ(result->column(2).GetInt64(i), 2);
+    }
+  }
+}
+
+TEST(AggregateTest, GlobalAggregateOnEmptyInput) {
+  Table empty(Schema({{"v", DataType::kInt64}}));
+  auto result = PlanBuilder::Scan(empty)
+                    .Aggregate({}, {{AggOp::kCountStar, "", "n"},
+                                    {AggOp::kSum, "v", "s"},
+                                    {AggOp::kMin, "v", "mn"}})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1);
+  EXPECT_EQ(result->column(0).GetInt64(0), 0);
+  EXPECT_TRUE(result->column(1).IsNull(0));
+  EXPECT_TRUE(result->column(2).IsNull(0));
+}
+
+TEST(AggregateTest, MinMaxAvg) {
+  auto result = PlanBuilder::Scan(People())
+                    .Aggregate({}, {{AggOp::kMin, "age", "mn"},
+                                    {AggOp::kMax, "age", "mx"},
+                                    {AggOp::kAvg, "age", "avg"}})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column(0).GetInt64(0), 25);
+  EXPECT_EQ(result->column(1).GetInt64(0), 40);
+  EXPECT_DOUBLE_EQ(result->column(2).GetDouble(0), 32.5);
+}
+
+TEST(AggregateTest, IntSumStaysInt) {
+  auto result = PlanBuilder::Scan(People())
+                    .Aggregate({}, {{AggOp::kSum, "age", "s"}})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(result->column(0).GetInt64(0), 130);
+}
+
+TEST(AggregateTest, CountIgnoresNulls) {
+  Table t(Schema({{"v", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1})}));
+  VX_CHECK_OK(t.AppendRow({Value::Null()}));
+  auto result = PlanBuilder::Scan(t)
+                    .Aggregate({}, {{AggOp::kCount, "v", "c"},
+                                    {AggOp::kCountStar, "", "n"}})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column(0).GetInt64(0), 1);
+  EXPECT_EQ(result->column(1).GetInt64(0), 2);
+}
+
+TEST(AggregateTest, StringGroupKeys) {
+  auto result = PlanBuilder::Scan(People())
+                    .Aggregate({"city"}, {{AggOp::kCountStar, "", "n"}})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3);
+  for (int64_t i = 0; i < result->num_rows(); ++i) {
+    if (result->column(0).GetString(i) == "bos") {
+      EXPECT_EQ(result->column(1).GetInt64(i), 2);
+    }
+  }
+}
+
+TEST(AggregateTest, MinMaxOnStrings) {
+  auto result = PlanBuilder::Scan(People())
+                    .Aggregate({}, {{AggOp::kMin, "city", "mn"},
+                                    {AggOp::kMax, "city", "mx"}})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column(0).GetString(0), "bos");
+  EXPECT_EQ(result->column(1).GetString(0), "sfo");
+}
+
+TEST(UnionAllTest, ConcatenatesAndRenames) {
+  Table a(Schema({{"x", DataType::kInt64}}));
+  VX_CHECK_OK(a.AppendRow({Value(int64_t{1})}));
+  Table b(Schema({{"y", DataType::kInt64}}));
+  VX_CHECK_OK(b.AppendRow({Value(int64_t{2})}));
+  auto result =
+      PlanBuilder::Scan(a).Union(PlanBuilder::Scan(b)).Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2);
+  EXPECT_EQ(result->schema().field(0).name, "x");
+}
+
+TEST(UnionAllTest, TypeMismatchFails) {
+  Table a(Schema({{"x", DataType::kInt64}}));
+  Table b(Schema({{"x", DataType::kString}}));
+  auto result = PlanBuilder::Scan(a).Union(PlanBuilder::Scan(b)).Execute();
+  EXPECT_TRUE(result.status().IsTypeError());
+}
+
+TEST(SortOpTest, OrderByDescending) {
+  auto result = PlanBuilder::Scan(People())
+                    .OrderBy({{"age", false}})
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ColumnByName("age")->GetInt64(0), 40);
+  EXPECT_EQ(result->ColumnByName("age")->GetInt64(3), 25);
+}
+
+TEST(LimitTest, TruncatesAcrossBatches) {
+  Table t(Schema({{"v", DataType::kInt64}}));
+  for (int64_t i = 0; i < 100; ++i) VX_CHECK_OK(t.AppendRow({Value(i)}));
+  auto op = PlanBuilder::Scan(t, /*batch_size=*/7).Limit(20).Build();
+  auto result = Collect(op.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 20);
+}
+
+TEST(DistinctTest, RemovesDuplicateRows) {
+  Table t(Schema({{"a", DataType::kInt64}, {"b", DataType::kString}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value("x")}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value("x")}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value("y")}));
+  auto result = PlanBuilder::Scan(t).Distinct().Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2);
+}
+
+TEST(DistinctTest, TreatsNullsAsEqual) {
+  Table t(Schema({{"a", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value::Null()}));
+  VX_CHECK_OK(t.AppendRow({Value::Null()}));
+  auto result = PlanBuilder::Scan(t).Distinct().Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 1);
+}
+
+TEST(PlanBuilderTest, SelectReordersColumns) {
+  auto result =
+      PlanBuilder::Scan(People()).Select({"city", "id"}).Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema().field(0).name, "city");
+  EXPECT_EQ(result->schema().field(1).name, "id");
+}
+
+TEST(PlanBuilderTest, RenamePositional) {
+  auto result = PlanBuilder::Scan(Orders()).Rename({"p", "amt"}).Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->schema().HasField("p"));
+  EXPECT_TRUE(result->schema().HasField("amt"));
+}
+
+TEST(PlanBuilderTest, EndToEndPipeline) {
+  // Average order amount per city of people over 24, sorted by city.
+  auto result =
+      PlanBuilder::Scan(Orders())
+          .Join(PlanBuilder::Scan(People()).Filter(
+                    Gt(Col("age"), Lit(int64_t{24}))),
+                {"person"}, {"id"})
+          .Aggregate({"city"}, {{AggOp::kAvg, "amount", "avg_amt"}})
+          .OrderBy({{"city", true}})
+          .Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2);
+  EXPECT_EQ(result->column(0).GetString(0), "bos");
+  EXPECT_DOUBLE_EQ(result->column(1).GetDouble(0), 15.0);
+  EXPECT_EQ(result->column(0).GetString(1), "nyc");
+  EXPECT_DOUBLE_EQ(result->column(1).GetDouble(1), 5.0);
+}
+
+TEST(ExplainTest, RendersPlanTree) {
+  auto plan = PlanBuilder::Scan(Orders())
+                  .Join(PlanBuilder::Scan(People()).Filter(
+                            Gt(Col("age"), Lit(int64_t{24}))),
+                        {"person"}, {"id"})
+                  .Aggregate({"city"}, {{AggOp::kAvg, "amount", "avg_amt"}})
+                  .OrderBy({{"city", true}})
+                  .Limit(3);
+  const std::string explain = plan.Explain();
+  EXPECT_NE(explain.find("Limit(3)"), std::string::npos);
+  EXPECT_NE(explain.find("Sort(city asc)"), std::string::npos);
+  EXPECT_NE(explain.find("HashAggregate(by: city; AVG(amount))"),
+            std::string::npos);
+  EXPECT_NE(explain.find("HashJoin[INNER](person = id)"), std::string::npos);
+  EXPECT_NE(explain.find("Filter((age > 24))"), std::string::npos);
+  EXPECT_NE(explain.find("TableScan(4 rows)"), std::string::npos);
+  // Tree shape: Limit at depth 0, scans further indented.
+  EXPECT_EQ(explain.rfind("Limit(3)\n", 0), 0u);
+}
+
+TEST(ExplainTest, UnionAndTopN) {
+  Table a(Schema({{"x", DataType::kInt64}}));
+  Table b(Schema({{"x", DataType::kInt64}}));
+  auto plan = PlanBuilder::Scan(a)
+                  .Union(PlanBuilder::Scan(b))
+                  .Distinct()
+                  .TopN({{"x", false}}, 7);
+  const std::string explain = plan.Explain();
+  EXPECT_NE(explain.find("TopN(7)"), std::string::npos);
+  EXPECT_NE(explain.find("Distinct"), std::string::npos);
+  EXPECT_NE(explain.find("UnionAll"), std::string::npos);
+}
+
+TEST(CatalogTest, CreateGetReplaceDrop) {
+  Catalog cat;
+  EXPECT_TRUE(cat.CreateTable("t", People()).ok());
+  EXPECT_TRUE(cat.CreateTable("t", People()).IsAlreadyExists());
+  EXPECT_TRUE(cat.HasTable("t"));
+  auto t = cat.GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 4);
+  EXPECT_EQ(*cat.RowCount("t"), 4);
+
+  Table smaller = People().Slice(0, 1);
+  EXPECT_TRUE(cat.ReplaceTable("t", smaller).ok());
+  EXPECT_EQ(*cat.RowCount("t"), 1);
+
+  EXPECT_TRUE(cat.DropTable("t").ok());
+  EXPECT_FALSE(cat.HasTable("t"));
+  EXPECT_TRUE(cat.DropTable("t").IsNotFound());
+  EXPECT_TRUE(cat.GetTable("t").status().IsNotFound());
+}
+
+TEST(CatalogTest, SnapshotsAreImmutable) {
+  Catalog cat;
+  VX_CHECK_OK(cat.CreateTable("t", People()));
+  auto snap = *cat.GetTable("t");
+  VX_CHECK_OK(cat.ReplaceTable("t", Table(Schema({{"x", DataType::kInt64}}))));
+  // The old snapshot still sees 4 rows.
+  EXPECT_EQ(snap->num_rows(), 4);
+  EXPECT_EQ(*cat.RowCount("t"), 0);
+}
+
+}  // namespace
+}  // namespace vertexica

@@ -1,0 +1,224 @@
+// Unit tests for scalar expression evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/expression.h"
+
+namespace vertexica {
+namespace {
+
+Table NumBatch() {
+  Table t(Schema({{"a", DataType::kInt64},
+                  {"b", DataType::kInt64},
+                  {"x", DataType::kDouble}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{10}), Value(0.5)}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value(int64_t{20}), Value(1.5)}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{3}), Value(int64_t{30}), Value(2.5)}));
+  return t;
+}
+
+TEST(ExprTest, ColumnRef) {
+  Table t = NumBatch();
+  auto col = Col("b")->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->GetInt64(2), 30);
+}
+
+TEST(ExprTest, UnknownColumnFails) {
+  Table t = NumBatch();
+  EXPECT_TRUE(Col("nope")->Evaluate(t).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Col("nope")->OutputType(t.schema()).status().IsInvalidArgument());
+}
+
+TEST(ExprTest, LiteralBroadcasts) {
+  Table t = NumBatch();
+  auto col = Lit(int64_t{7})->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->length(), 3);
+  EXPECT_EQ(col->GetInt64(0), 7);
+  EXPECT_EQ(col->GetInt64(2), 7);
+}
+
+TEST(ExprTest, IntArithmeticStaysInt) {
+  Table t = NumBatch();
+  auto e = Add(Col("a"), Col("b"));
+  ASSERT_TRUE(e->OutputType(t.schema()).ok());
+  EXPECT_EQ(*e->OutputType(t.schema()), DataType::kInt64);
+  auto col = e->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->GetInt64(1), 22);
+}
+
+TEST(ExprTest, MixedArithmeticPromotesToDouble) {
+  Table t = NumBatch();
+  auto e = Mul(Col("a"), Col("x"));
+  EXPECT_EQ(*e->OutputType(t.schema()), DataType::kDouble);
+  auto col = e->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ(col->GetDouble(2), 7.5);
+}
+
+TEST(ExprTest, DivisionAlwaysDouble) {
+  Table t = NumBatch();
+  auto e = Div(Col("b"), Col("a"));
+  EXPECT_EQ(*e->OutputType(t.schema()), DataType::kDouble);
+  auto col = e->Evaluate(t);
+  EXPECT_DOUBLE_EQ(col->GetDouble(1), 10.0);
+}
+
+TEST(ExprTest, ModuloInt) {
+  Table t = NumBatch();
+  auto col = Mod(Col("b"), Lit(int64_t{7}))->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->GetInt64(0), 3);   // 10 % 7
+  EXPECT_EQ(col->GetInt64(2), 2);   // 30 % 7
+}
+
+TEST(ExprTest, ArithmeticOnStringIsTypeError) {
+  Schema s({{"s", DataType::kString}});
+  auto e = Add(Col("s"), Lit(int64_t{1}));
+  EXPECT_TRUE(e->OutputType(s).status().IsTypeError());
+}
+
+TEST(ExprTest, Comparisons) {
+  Table t = NumBatch();
+  auto col = Gt(Col("b"), Lit(int64_t{15}))->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_FALSE(col->GetBool(0));
+  EXPECT_TRUE(col->GetBool(1));
+  EXPECT_TRUE(col->GetBool(2));
+}
+
+TEST(ExprTest, CrossTypeNumericComparison) {
+  Table t = NumBatch();
+  auto col = Lt(Col("a"), Col("x"))->Evaluate(t);  // int vs double
+  ASSERT_TRUE(col.ok());
+  EXPECT_FALSE(col->GetBool(0));  // 1 < 0.5 ? no
+  EXPECT_FALSE(col->GetBool(1));  // 2 < 1.5 ? no
+  EXPECT_FALSE(col->GetBool(2));  // 3 < 2.5 ? no
+}
+
+TEST(ExprTest, StringComparison) {
+  Table t(Schema({{"s", DataType::kString}}));
+  VX_CHECK_OK(t.AppendRow({Value("apple")}));
+  VX_CHECK_OK(t.AppendRow({Value("pear")}));
+  auto col = Eq(Col("s"), Lit(std::string("pear")))->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_FALSE(col->GetBool(0));
+  EXPECT_TRUE(col->GetBool(1));
+}
+
+TEST(ExprTest, CompareStringWithIntFails) {
+  Schema s({{"s", DataType::kString}});
+  EXPECT_TRUE(Eq(Col("s"), Lit(int64_t{1}))->OutputType(s).status().IsTypeError());
+}
+
+TEST(ExprTest, NullPropagationInArithmetic) {
+  Table t(Schema({{"a", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1})}));
+  VX_CHECK_OK(t.AppendRow({Value::Null()}));
+  auto col = Add(Col("a"), Lit(int64_t{1}))->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->GetInt64(0), 2);
+  EXPECT_TRUE(col->IsNull(1));
+}
+
+TEST(ExprTest, KleeneAnd) {
+  Table t(Schema({{"p", DataType::kBool}, {"q", DataType::kBool}}));
+  VX_CHECK_OK(t.AppendRow({Value(false), Value::Null()}));
+  VX_CHECK_OK(t.AppendRow({Value(true), Value::Null()}));
+  VX_CHECK_OK(t.AppendRow({Value(true), Value(true)}));
+  auto col = And(Col("p"), Col("q"))->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_FALSE(col->GetBool(0));   // false AND NULL = false
+  EXPECT_FALSE(col->IsNull(0));
+  EXPECT_TRUE(col->IsNull(1));     // true AND NULL = NULL
+  EXPECT_TRUE(col->GetBool(2));
+}
+
+TEST(ExprTest, KleeneOr) {
+  Table t(Schema({{"p", DataType::kBool}, {"q", DataType::kBool}}));
+  VX_CHECK_OK(t.AppendRow({Value(true), Value::Null()}));
+  VX_CHECK_OK(t.AppendRow({Value(false), Value::Null()}));
+  auto col = Or(Col("p"), Col("q"))->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_TRUE(col->GetBool(0));    // true OR NULL = true
+  EXPECT_TRUE(col->IsNull(1));     // false OR NULL = NULL
+}
+
+TEST(ExprTest, NotAndIsNull) {
+  Table t(Schema({{"p", DataType::kBool}}));
+  VX_CHECK_OK(t.AppendRow({Value(true)}));
+  VX_CHECK_OK(t.AppendRow({Value::Null()}));
+  auto ncol = Not(Col("p"))->Evaluate(t);
+  ASSERT_TRUE(ncol.ok());
+  EXPECT_FALSE(ncol->GetBool(0));
+  EXPECT_TRUE(ncol->IsNull(1));
+  auto inul = IsNull(Col("p"))->Evaluate(t);
+  EXPECT_FALSE(inul->GetBool(0));
+  EXPECT_TRUE(inul->GetBool(1));
+  auto notnull = IsNotNull(Col("p"))->Evaluate(t);
+  EXPECT_TRUE(notnull->GetBool(0));
+  EXPECT_FALSE(notnull->GetBool(1));
+}
+
+TEST(ExprTest, NegateAndAbs) {
+  Table t = NumBatch();
+  auto ncol = Negate(Col("a"))->Evaluate(t);
+  EXPECT_EQ(ncol->GetInt64(0), -1);
+  auto acol = Abs(Negate(Col("x")))->Evaluate(t);
+  EXPECT_DOUBLE_EQ(acol->GetDouble(0), 0.5);
+}
+
+TEST(ExprTest, CastIntToDoubleAndBack) {
+  Table t = NumBatch();
+  auto dcol = Cast(Col("a"), DataType::kDouble)->Evaluate(t);
+  EXPECT_EQ(dcol->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(dcol->GetDouble(2), 3.0);
+  auto icol = Cast(Col("x"), DataType::kInt64)->Evaluate(t);
+  EXPECT_EQ(icol->GetInt64(1), 1);  // trunc(1.5)
+}
+
+TEST(ExprTest, CastToString) {
+  Table t = NumBatch();
+  auto scol = Cast(Col("a"), DataType::kString)->Evaluate(t);
+  EXPECT_EQ(scol->GetString(0), "1");
+}
+
+TEST(ExprTest, CastBoolToInt) {
+  Table t(Schema({{"p", DataType::kBool}}));
+  VX_CHECK_OK(t.AppendRow({Value(true)}));
+  VX_CHECK_OK(t.AppendRow({Value(false)}));
+  auto col = Cast(Col("p"), DataType::kInt64)->Evaluate(t);
+  EXPECT_EQ(col->GetInt64(0), 1);
+  EXPECT_EQ(col->GetInt64(1), 0);
+}
+
+TEST(ExprTest, ToStringRendersSql) {
+  auto e = And(Gt(Col("rank"), Lit(0.5)), Eq(Col("type"), Lit(std::string("family"))));
+  EXPECT_EQ(e->ToString(), "((rank > 0.5) AND (type = 'family'))");
+}
+
+TEST(ExprTest, NestedExpression) {
+  Table t = NumBatch();
+  // (a + b) * 2 - a
+  auto e = Sub(Mul(Add(Col("a"), Col("b")), Lit(int64_t{2})), Col("a"));
+  auto col = e->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->GetInt64(0), 21);
+  EXPECT_EQ(col->GetInt64(2), 63);
+}
+
+TEST(ExprTest, DivByZeroYieldsInf) {
+  Table t(Schema({{"a", DataType::kDouble}}));
+  VX_CHECK_OK(t.AppendRow({Value(1.0)}));
+  auto col = Div(Col("a"), Lit(0.0))->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_TRUE(std::isinf(col->GetDouble(0)));
+}
+
+}  // namespace
+}  // namespace vertexica

@@ -1,0 +1,446 @@
+// Tests for the extension features: TopN operator, SQL random walk with
+// restart (localized PageRank), column compression, the umbrella header,
+// and additional coordinator edge cases (orphan messages, aggregator
+// visibility, multi-graph catalogs).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vertexica/vertexica.h"  // umbrella header must be self-contained
+
+#include "algorithms/label_propagation.h"
+#include "algorithms/reference.h"
+#include "catalog/catalog_io.h"
+#include "giraph/bsp_engine.h"
+#include "sqlgraph/sql_common.h"
+#include "storage/compression.h"
+
+namespace vertexica {
+namespace {
+
+// ------------------------------------------------------------------- TopN
+
+Table Scores(int64_t n) {
+  Table t(Schema({{"id", DataType::kInt64}, {"score", DataType::kDouble}}));
+  // Deterministic scrambled scores.
+  for (int64_t i = 0; i < n; ++i) {
+    VX_CHECK_OK(t.AppendRow(
+        {Value(i), Value(static_cast<double>((i * 37) % n))}));
+  }
+  return t;
+}
+
+TEST(TopNTest, MatchesSortLimit) {
+  Table t = Scores(500);
+  auto topn = PlanBuilder::Scan(t, /*batch_size=*/64)
+                  .TopN({{"score", false}}, 10)
+                  .Execute();
+  auto sorted = PlanBuilder::Scan(t)
+                    .OrderBy({{"score", false}})
+                    .Limit(10)
+                    .Execute();
+  ASSERT_TRUE(topn.ok()) << topn.status().ToString();
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_TRUE(topn->Equals(*sorted));
+}
+
+TEST(TopNTest, FewerRowsThanLimit) {
+  Table t = Scores(3);
+  auto topn = PlanBuilder::Scan(t).TopN({{"score", true}}, 10).Execute();
+  ASSERT_TRUE(topn.ok());
+  EXPECT_EQ(topn->num_rows(), 3);
+  EXPECT_DOUBLE_EQ(topn->column(1).GetDouble(0), 0.0);
+}
+
+TEST(TopNTest, ZeroLimitEmpty) {
+  auto topn = PlanBuilder::Scan(Scores(5)).TopN({{"score", true}}, 0).Execute();
+  ASSERT_TRUE(topn.ok());
+  EXPECT_EQ(topn->num_rows(), 0);
+}
+
+TEST(TopNTest, UnknownColumnFails) {
+  auto topn = PlanBuilder::Scan(Scores(5)).TopN({{"nope", true}, }, 3).Execute();
+  EXPECT_TRUE(topn.status().IsInvalidArgument());
+}
+
+TEST(TopNTest, StableTieBreaks) {
+  Table t(Schema({{"id", DataType::kInt64}, {"k", DataType::kInt64}}));
+  for (int64_t i = 0; i < 20; ++i) {
+    VX_CHECK_OK(t.AppendRow({Value(i), Value(int64_t{7})}));
+  }
+  auto topn = PlanBuilder::Scan(t, 4).TopN({{"k", true}}, 5).Execute();
+  ASSERT_TRUE(topn.ok());
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(topn->column(0).GetInt64(i), i);  // input order preserved
+  }
+}
+
+// -------------------------------------------------------------- SQL RWR
+
+TEST(SqlRandomWalkTest, MatchesVertexCentricEngine) {
+  Graph g = GenerateRmat(120, 800, 61);
+  Catalog cat;
+  auto vx = RunRandomWalkWithRestart(&cat, g, /*source=*/3, 12, 0.15);
+  ASSERT_TRUE(vx.ok());
+  auto sql = SqlRandomWalkWithRestart(g, 3, 12, 0.15);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  ASSERT_EQ(vx->size(), sql->size());
+  for (size_t v = 0; v < vx->size(); ++v) {
+    EXPECT_NEAR((*sql)[v], (*vx)[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(SqlRandomWalkTest, MatchesBspEngine) {
+  Graph g = GenerateRmat(100, 700, 62);
+  RandomWalkWithRestartProgram program(5, 10, 0.2);
+  BspEngine engine(g, &program);
+  ASSERT_TRUE(engine.Run().ok());
+  auto sql = SqlRandomWalkWithRestart(g, 5, 10, 0.2);
+  ASSERT_TRUE(sql.ok());
+  for (int64_t v = 0; v < g.num_vertices; ++v) {
+    EXPECT_NEAR((*sql)[static_cast<size_t>(v)], engine.value(v), 1e-9);
+  }
+}
+
+TEST(SqlRandomWalkTest, SourceKeepsRestartMass) {
+  Graph g = GenerateRmat(64, 400, 63);
+  auto sql = SqlRandomWalkWithRestart(g, 0, 15, 0.3);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_GE((*sql)[0], 0.3 * 0.9);
+}
+
+// --------------------------------------------------------- Compression
+
+TEST(CompressionTest, RleRoundTrip) {
+  std::vector<int64_t> values = {1, 1, 1, 2, 3, 3, 1};
+  auto runs = RleEncode(values);
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].value, 1);
+  EXPECT_EQ(runs[0].length, 3);
+  EXPECT_EQ(RleDecode(runs), values);
+  EXPECT_TRUE(RleEncode({}).empty());
+}
+
+TEST(CompressionTest, DictionaryRoundTrip) {
+  std::vector<std::string> values = {"family", "friend", "family",
+                                     "classmate", "family"};
+  auto enc = DictionaryEncode(values);
+  EXPECT_EQ(enc.dictionary.size(), 3u);
+  EXPECT_EQ(enc.dictionary[0], "family");  // first-appearance order
+  EXPECT_EQ(DictionaryDecode(enc), values);
+}
+
+TEST(CompressionTest, SortedIdsCompressWell) {
+  // A sorted, deduplicated vertex-id column is the best case for RLE on
+  // deltas; even plain RLE on a low-cardinality column shines.
+  Column c(DataType::kInt64);
+  for (int64_t i = 0; i < 10000; ++i) c.AppendInt64(i / 1000);  // 10 runs
+  EXPECT_LT(CompressedByteSize(c), UncompressedByteSize(c) / 100);
+}
+
+TEST(CompressionTest, EdgeTypeColumnDictionaryRatio) {
+  // The §4 metadata edge-type column has 3 distinct strings; dictionary
+  // encoding beats raw storage comfortably.
+  Graph g = GenerateErdosRenyi(100, 2000, 9);
+  Table edges = GenerateEdgeMetadata(g, 10);
+  const Column* type = edges.ColumnByName("type");
+  ASSERT_NE(type, nullptr);
+  EXPECT_LT(CompressedByteSize(*type), UncompressedByteSize(*type));
+}
+
+TEST(CompressionTest, RandomDoublesDontCompress) {
+  Column c(DataType::kDouble);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) c.AppendDouble(rng.NextDouble());
+  EXPECT_EQ(CompressedByteSize(c), UncompressedByteSize(c));
+}
+
+// ------------------------------------------- Coordinator edge cases
+
+/// Program that mis-addresses messages to a nonexistent vertex.
+class OrphanMessageProgram : public VertexProgram {
+ public:
+  int value_arity() const override { return 1; }
+  int message_arity() const override { return 1; }
+  void InitValue(int64_t, int64_t, double* v) const override { v[0] = 0; }
+  void Compute(VertexContext* ctx) override {
+    if (ctx->superstep() == 0) {
+      ctx->SendMessage(999999, 1.0);  // no such vertex
+      ctx->SendMessage(ctx->vertex_id(), 1.0);
+    } else {
+      ctx->ModifyVertexValue(static_cast<double>(ctx->num_messages()));
+    }
+    if (ctx->superstep() >= 1) ctx->VoteToHalt();
+  }
+};
+
+TEST(CoordinatorEdgeCaseTest, OrphanMessagesAreDropped) {
+  Graph g;
+  g.num_vertices = 3;
+  g.AddEdge(0, 1);
+  OrphanMessageProgram program;
+  Catalog cat;
+  ASSERT_TRUE(RunVertexProgram(&cat, g, &program).ok());
+  auto vals = ReadVertexValues(cat, {});
+  ASSERT_TRUE(vals.ok());
+  // Every vertex received exactly its own self-message.
+  for (double v : *vals) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+/// Program proving aggregator values are visible one superstep later.
+class AggregatorEchoProgram : public VertexProgram {
+ public:
+  int value_arity() const override { return 1; }
+  int message_arity() const override { return 1; }
+  void InitValue(int64_t, int64_t, double* v) const override { v[0] = -1; }
+  void Compute(VertexContext* ctx) override {
+    if (ctx->superstep() == 0) {
+      ctx->Aggregate("census", 1.0);
+      ctx->SendMessage(ctx->vertex_id(), 0.0);  // keep self alive
+    } else if (ctx->superstep() == 1) {
+      // Superstep 1 must see superstep 0's total.
+      ctx->ModifyVertexValue(ctx->GetAggregate("census"));
+    }
+    if (ctx->superstep() >= 1) ctx->VoteToHalt();
+  }
+  std::vector<AggregatorSpec> aggregators() const override {
+    return {{"census", AggregatorKind::kSum}};
+  }
+};
+
+TEST(CoordinatorEdgeCaseTest, AggregatorVisibleNextSuperstep) {
+  Graph g;
+  g.num_vertices = 7;
+  AggregatorEchoProgram program;
+  Catalog cat;
+  ASSERT_TRUE(RunVertexProgram(&cat, g, &program).ok());
+  auto vals = ReadVertexValues(cat, {});
+  for (double v : *vals) EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(CoordinatorEdgeCaseTest, TwoGraphsCoexistViaPrefixes) {
+  Graph g1 = GenerateRmat(50, 200, 71);
+  Graph g2 = GenerateRmat(60, 300, 72);
+  Catalog cat;
+  PageRankProgram p1(4);
+  PageRankProgram p2(4);
+  auto names1 = GraphTableNames::WithPrefix("a_");
+  auto names2 = GraphTableNames::WithPrefix("b_");
+  ASSERT_TRUE(RunVertexProgram(&cat, g1, &p1, {}, names1).ok());
+  ASSERT_TRUE(RunVertexProgram(&cat, g2, &p2, {}, names2).ok());
+  EXPECT_TRUE(cat.HasTable("a_vertex"));
+  EXPECT_TRUE(cat.HasTable("b_vertex"));
+  EXPECT_EQ(*cat.RowCount("a_vertex"), 50);
+  EXPECT_EQ(*cat.RowCount("b_vertex"), 60);
+  auto r1 = ReadVertexValues(cat, names1);
+  auto r2 = ReadVertexValues(cat, names2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  auto e1 = PageRankReference(g1, 4);
+  for (size_t v = 0; v < e1.size(); ++v) {
+    EXPECT_NEAR((*r1)[v], e1[v], 1e-9);
+  }
+}
+
+// Scope-of-analysis via bounding rectangle (§4.1): using two float
+// metadata attributes as layout coordinates, select nodes inside a
+// rectangle and run analysis on the induced subgraph.
+TEST(ScopeSelectionTest, BoundingRectangleInducedSubgraph) {
+  Graph g = GenerateRmat(300, 2000, 73);
+  Table meta = GenerateNodeMetadata(g.num_vertices, 74);
+  // f0 in [0,1) serves as x, f1 in [0,10) as y.
+  auto inside = PlanBuilder::Scan(meta)
+                    .Filter(And(And(Ge(Col("f0"), Lit(0.2)),
+                                    Le(Col("f0"), Lit(0.8))),
+                                And(Ge(Col("f1"), Lit(2.0)),
+                                    Le(Col("f1"), Lit(8.0)))))
+                    .Select({"id"})
+                    .Execute();
+  ASSERT_TRUE(inside.ok());
+  ASSERT_GT(inside->num_rows(), 0);
+  ASSERT_LT(inside->num_rows(), g.num_vertices);
+
+  // Induced subgraph: both endpoints inside the rectangle.
+  Table edges = MakeEdgeListTable(g);
+  auto induced =
+      PlanBuilder::Scan(edges)
+          .Join(PlanBuilder::Scan(*inside), {"src"}, {"id"}, JoinType::kSemi)
+          .Join(PlanBuilder::Scan(*inside), {"dst"}, {"id"}, JoinType::kSemi)
+          .Execute();
+  ASSERT_TRUE(induced.ok());
+  EXPECT_LT(induced->num_rows(), edges.num_rows());
+  // The induced edge set feeds any SQL algorithm.
+  auto tri = SqlTriangleCount(*induced);
+  ASSERT_TRUE(tri.ok());
+  EXPECT_GE(*tri, 0);
+}
+
+// ------------------------------------------------- Catalog persistence
+
+TEST(CatalogIoTest, SaveAndRestoreRoundTrip) {
+  Catalog catalog;
+  Table people(Schema({{"id", DataType::kInt64},
+                       {"score", DataType::kDouble},
+                       {"name", DataType::kString},
+                       {"flag", DataType::kBool}}));
+  VX_CHECK_OK(people.AppendRow(
+      {Value(int64_t{1}), Value(0.5), Value("a,b"), Value(true)}));
+  VX_CHECK_OK(people.AppendRow(
+      {Value(int64_t{2}), Value::Null(), Value("x"), Value(false)}));
+  VX_CHECK_OK(catalog.CreateTable("people", people));
+  Table empty(Schema({{"x", DataType::kInt64}}));
+  VX_CHECK_OK(catalog.CreateTable("empty", empty));
+
+  const std::string dir = testing::TempDir() + "/vx_catalog_ckpt";
+  ASSERT_TRUE(SaveCatalog(catalog, dir).ok());
+
+  Catalog restored;
+  ASSERT_TRUE(LoadCatalog(dir, &restored).ok());
+  auto back = restored.GetTable("people");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE((*back)->Equals(people));
+  auto empty_back = restored.GetTable("empty");
+  ASSERT_TRUE(empty_back.ok());
+  EXPECT_EQ((*empty_back)->num_rows(), 0);
+  EXPECT_EQ((*empty_back)->schema().field(0).type, DataType::kInt64);
+}
+
+TEST(CatalogIoTest, CheckpointRecoverResumesAnalysis) {
+  // Checkpoint mid-workload: load a graph, checkpoint the catalog, destroy
+  // it, recover, and run PageRank on the recovered tables.
+  Graph g = GenerateRmat(80, 400, 81);
+  PageRankProgram program(5);
+  Catalog catalog;
+  ASSERT_TRUE(LoadGraphTables(&catalog, g, program).ok());
+  const std::string dir = testing::TempDir() + "/vx_catalog_resume";
+  ASSERT_TRUE(SaveCatalog(catalog, dir).ok());
+
+  Catalog recovered;
+  ASSERT_TRUE(LoadCatalog(dir, &recovered).ok());
+  Coordinator coordinator(&recovered, &program);
+  ASSERT_TRUE(coordinator.Run().ok());
+  auto ranks = ReadVertexValues(recovered, {});
+  ASSERT_TRUE(ranks.ok());
+  auto expect = PageRankReference(g, 5);
+  for (size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_NEAR((*ranks)[v], expect[v], 1e-9);
+  }
+}
+
+TEST(CatalogIoTest, MissingDirectoryFails) {
+  Catalog catalog;
+  EXPECT_TRUE(LoadCatalog("/nonexistent/vx", &catalog).IsIoError());
+}
+
+TEST(CheckpointTest, ResumedRunMatchesUninterrupted) {
+  Graph g = GenerateRmat(60, 300, 91);
+  // Uninterrupted baseline.
+  Catalog full;
+  auto expect = RunPageRank(&full, g, 8);
+  ASSERT_TRUE(expect.ok());
+
+  // Interrupted run: checkpoint every superstep, stop after 4.
+  const std::string dir = testing::TempDir() + "/vx_ckpt_resume";
+  PageRankProgram program(8);
+  Catalog cat;
+  ASSERT_TRUE(LoadGraphTables(&cat, g, program).ok());
+  VertexicaOptions opts;
+  opts.max_supersteps = 4;  // "crash" after superstep 3
+  opts.checkpoint_every = 1;
+  opts.checkpoint_dir = dir;
+  Coordinator interrupted(&cat, &program, opts);
+  ASSERT_TRUE(interrupted.Run().ok());
+
+  // Recover into a fresh catalog and resume to completion.
+  Catalog recovered;
+  ASSERT_TRUE(LoadCatalog(dir, &recovered).ok());
+  VertexicaOptions resume;
+  resume.resume_from_checkpoint = true;
+  PageRankProgram program2(8);
+  Coordinator resumed(&recovered, &program2, resume);
+  RunStats stats;
+  ASSERT_TRUE(resumed.Run(&stats).ok());
+  // Resumed run starts past superstep 0 (i.e. it did not restart).
+  ASSERT_FALSE(stats.supersteps.empty());
+  EXPECT_GE(stats.supersteps.front().superstep, 4);
+
+  auto ranks = ReadVertexValues(recovered, {});
+  ASSERT_TRUE(ranks.ok());
+  for (size_t v = 0; v < expect->size(); ++v) {
+    EXPECT_NEAR((*ranks)[v], (*expect)[v], 1e-9);
+  }
+}
+
+TEST(CheckpointTest, NoResumeFlagRestartsFromZero) {
+  Graph g = GenerateRmat(40, 160, 92);
+  const std::string dir = testing::TempDir() + "/vx_ckpt_norestart";
+  PageRankProgram program(5);
+  Catalog cat;
+  ASSERT_TRUE(LoadGraphTables(&cat, g, program).ok());
+  VertexicaOptions opts;
+  opts.max_supersteps = 2;
+  opts.checkpoint_every = 1;
+  opts.checkpoint_dir = dir;
+  Coordinator c(&cat, &program, opts);
+  ASSERT_TRUE(c.Run().ok());
+
+  Catalog recovered;
+  ASSERT_TRUE(LoadCatalog(dir, &recovered).ok());
+  VertexicaOptions no_resume;  // default: start at superstep 0
+  PageRankProgram program2(5);
+  Coordinator again(&recovered, &program2, no_resume);
+  RunStats stats;
+  ASSERT_TRUE(again.Run(&stats).ok());
+  ASSERT_FALSE(stats.supersteps.empty());
+  EXPECT_EQ(stats.supersteps.front().superstep, 0);
+}
+
+// ------------------------------------------------- Label propagation
+
+TEST(LabelPropagationTest, TwoCliquesTwoCommunities) {
+  // Two 5-cliques joined by a single bridge edge.
+  Graph g;
+  g.num_vertices = 10;
+  for (int64_t a = 0; a < 5; ++a) {
+    for (int64_t b = a + 1; b < 5; ++b) g.AddEdge(a, b);
+  }
+  for (int64_t a = 5; a < 10; ++a) {
+    for (int64_t b = a + 1; b < 10; ++b) g.AddEdge(a, b);
+  }
+  g.AddEdge(4, 5);
+  Catalog cat;
+  auto labels = RunLabelPropagation(&cat, g, 10);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  // Within-clique agreement.
+  for (int64_t v = 1; v < 5; ++v) EXPECT_EQ((*labels)[static_cast<size_t>(v)], (*labels)[0]);
+  for (int64_t v = 6; v < 10; ++v) EXPECT_EQ((*labels)[static_cast<size_t>(v)], (*labels)[5]);
+}
+
+TEST(LabelPropagationTest, DeterministicAcrossConfigurations) {
+  Graph g = GenerateRmat(100, 600, 82);
+  Catalog cat1;
+  auto l1 = RunLabelPropagation(&cat1, g, 6);
+  VertexicaOptions opts;
+  opts.num_workers = 2;
+  opts.num_partitions = 16;
+  opts.use_union_input = false;
+  Catalog cat2;
+  auto l2 = RunLabelPropagation(&cat2, g, 6, opts);
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+  EXPECT_EQ(*l1, *l2);
+}
+
+TEST(LabelPropagationTest, IsolatedVertexKeepsOwnLabel) {
+  Graph g;
+  g.num_vertices = 3;
+  g.AddEdge(0, 1);
+  Catalog cat;
+  auto labels = RunLabelPropagation(&cat, g, 5);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[2], 2);
+}
+
+}  // namespace
+}  // namespace vertexica

@@ -1,0 +1,146 @@
+// Tests for graph extraction from relational data (§3.4) and graph
+// summary statistics.
+
+#include <gtest/gtest.h>
+
+#include "sqlgraph/graph_extraction.h"
+#include "sqlgraph/sql_pagerank.h"
+
+namespace vertexica {
+namespace {
+
+Table Ratings() {
+  // (user, item) interactions; some users share items.
+  Table t(Schema({{"user", DataType::kInt64}, {"item", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{100})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value(int64_t{100})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{101})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value(int64_t{101})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{3}), Value(int64_t{101})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{3}), Value(int64_t{102})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{3}), Value(int64_t{102})}));  // dup
+  return t;
+}
+
+TEST(ExtractEdgesTest, BasicExtraction) {
+  auto edges = ExtractEdges(Ratings(), "user", "item");
+  ASSERT_TRUE(edges.ok()) << edges.status().ToString();
+  // 6 distinct (user, item) pairs; the duplicate merges with weight 2.
+  EXPECT_EQ(edges->num_rows(), 6);
+  for (int64_t r = 0; r < edges->num_rows(); ++r) {
+    if (edges->ColumnByName("src")->GetInt64(r) == 3 &&
+        edges->ColumnByName("dst")->GetInt64(r) == 102) {
+      EXPECT_DOUBLE_EQ(edges->ColumnByName("weight")->GetDouble(r), 2.0);
+    }
+  }
+}
+
+TEST(ExtractEdgesTest, DropsNullEndpoints) {
+  Table t(Schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value::Null()}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{2})}));
+  auto edges = ExtractEdges(t, "a", "b");
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->num_rows(), 1);
+}
+
+TEST(ExtractEdgesTest, ExplicitWeightColumn) {
+  Table t(Schema({{"a", DataType::kInt64},
+                  {"b", DataType::kInt64},
+                  {"n", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{2}),
+                           Value(int64_t{3})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{2}),
+                           Value(int64_t{4})}));
+  auto edges = ExtractEdges(t, "a", "b", "n");
+  ASSERT_TRUE(edges.ok());
+  ASSERT_EQ(edges->num_rows(), 1);
+  EXPECT_DOUBLE_EQ(edges->ColumnByName("weight")->GetDouble(0), 7.0);
+}
+
+TEST(ExtractEdgesTest, MissingColumnFails) {
+  EXPECT_TRUE(
+      ExtractEdges(Ratings(), "nope", "item").status().IsInvalidArgument());
+}
+
+TEST(CoOccurrenceTest, UsersSharingItems) {
+  auto graph = CoOccurrenceGraph(Ratings(), "user", "item", 1);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  // Pairs: (1,2) share {100,101} => weight 2; (1,3) share {101}; (2,3)
+  // share {101}.
+  ASSERT_EQ(graph->num_rows(), 3);
+  EXPECT_EQ(graph->ColumnByName("src")->GetInt64(0), 1);
+  EXPECT_EQ(graph->ColumnByName("dst")->GetInt64(0), 2);
+  EXPECT_DOUBLE_EQ(graph->ColumnByName("weight")->GetDouble(0), 2.0);
+}
+
+TEST(CoOccurrenceTest, MinSharedThreshold) {
+  auto graph = CoOccurrenceGraph(Ratings(), "user", "item", 2);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_EQ(graph->num_rows(), 1);  // only (1,2)
+}
+
+TEST(CoOccurrenceTest, DuplicateInteractionsCountOnce) {
+  Table t(Schema({{"e", DataType::kInt64}, {"c", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{9})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{9})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value(int64_t{9})}));
+  auto graph = CoOccurrenceGraph(t, "e", "c", 1);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_EQ(graph->num_rows(), 1);
+  EXPECT_DOUBLE_EQ(graph->ColumnByName("weight")->GetDouble(0), 1.0);
+}
+
+TEST(CoOccurrenceTest, FeedsGraphAlgorithms) {
+  // End-to-end §3.4: extract an implicit graph, then rank it.
+  auto graph = CoOccurrenceGraph(Ratings(), "user", "item", 1);
+  ASSERT_TRUE(graph.ok());
+  auto ids = DegreeTable(*graph);
+  ASSERT_TRUE(ids.ok());
+  auto vertices = ids->SelectColumns({0});
+  auto ranks = SqlPageRank(vertices, *graph, 5);
+  ASSERT_TRUE(ranks.ok()) << ranks.status().ToString();
+  EXPECT_EQ(ranks->num_rows(), 3);
+}
+
+TEST(DegreeTableTest, CountsBothDirections) {
+  Table edges(Schema({{"src", DataType::kInt64},
+                      {"dst", DataType::kInt64}}));
+  VX_CHECK_OK(edges.AppendRow({Value(int64_t{0}), Value(int64_t{1})}));
+  VX_CHECK_OK(edges.AppendRow({Value(int64_t{0}), Value(int64_t{2})}));
+  VX_CHECK_OK(edges.AppendRow({Value(int64_t{1}), Value(int64_t{2})}));
+  auto degrees = DegreeTable(edges);
+  ASSERT_TRUE(degrees.ok()) << degrees.status().ToString();
+  ASSERT_EQ(degrees->num_rows(), 3);
+  // Sorted by id: 0, 1, 2.
+  EXPECT_EQ(degrees->ColumnByName("out_degree")->GetInt64(0), 2);
+  EXPECT_EQ(degrees->ColumnByName("in_degree")->GetInt64(0), 0);
+  EXPECT_EQ(degrees->ColumnByName("out_degree")->GetInt64(2), 0);
+  EXPECT_EQ(degrees->ColumnByName("in_degree")->GetInt64(2), 2);
+  EXPECT_EQ(degrees->ColumnByName("degree")->GetInt64(1), 2);
+}
+
+TEST(SummarizeGraphTest, BasicStats) {
+  Table edges(Schema({{"src", DataType::kInt64},
+                      {"dst", DataType::kInt64}}));
+  VX_CHECK_OK(edges.AppendRow({Value(int64_t{0}), Value(int64_t{1})}));
+  VX_CHECK_OK(edges.AppendRow({Value(int64_t{0}), Value(int64_t{2})}));
+  auto summary = SummarizeGraph(edges);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->num_vertices, 3);
+  EXPECT_EQ(summary->num_edges, 2);
+  EXPECT_EQ(summary->max_out_degree, 2);
+  EXPECT_NEAR(summary->avg_out_degree, 2.0 / 3.0, 1e-9);
+}
+
+TEST(SummarizeGraphTest, EmptyEdges) {
+  Table edges(Schema({{"src", DataType::kInt64},
+                      {"dst", DataType::kInt64}}));
+  auto summary = SummarizeGraph(edges);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->num_vertices, 0);
+  EXPECT_EQ(summary->num_edges, 0);
+}
+
+}  // namespace
+}  // namespace vertexica

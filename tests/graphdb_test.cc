@@ -1,0 +1,388 @@
+// Tests for the transactional graph database baseline: record store,
+// chains, properties, WAL, transactions (commit/rollback), traversal, and
+// the algorithms implemented over it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "algorithms/reference.h"
+#include "graphdb/gdb_algorithms.h"
+#include "graphdb/graph_db.h"
+#include "graphdb/traversal.h"
+#include "graphgen/generators.h"
+
+namespace vertexica {
+namespace {
+
+using graphdb::GraphDb;
+using graphdb::PropertyValue;
+using graphdb::Transaction;
+using graphdb::WalOp;
+
+TEST(GraphDbTest, CreateNodesAndRelationships) {
+  GraphDb db;
+  {
+    Transaction tx = db.Begin();
+    const int64_t a = tx.CreateNode();
+    const int64_t b = tx.CreateNode();
+    auto rel = tx.CreateRelationship(a, b, "knows");
+    ASSERT_TRUE(rel.ok());
+    ASSERT_TRUE(tx.Commit().ok());
+  }
+  EXPECT_EQ(db.node_count(), 2);
+  EXPECT_EQ(db.relationship_count(), 1);
+}
+
+TEST(GraphDbTest, RelationshipChainsBothDirections) {
+  GraphDb db;
+  Transaction tx = db.Begin();
+  const int64_t a = tx.CreateNode();
+  const int64_t b = tx.CreateNode();
+  const int64_t c = tx.CreateNode();
+  ASSERT_TRUE(tx.CreateRelationship(a, b, "e").ok());
+  ASSERT_TRUE(tx.CreateRelationship(c, a, "e").ok());
+  ASSERT_TRUE(tx.Commit().ok());
+
+  // a sees one outgoing (to b) and one incoming (from c).
+  int64_t out = 0;
+  int64_t in = 0;
+  ASSERT_TRUE(db.ForEachRelationship(a, [&](int64_t, int64_t other,
+                                            bool outgoing) {
+                  if (outgoing) {
+                    EXPECT_EQ(other, b);
+                    ++out;
+                  } else {
+                    EXPECT_EQ(other, c);
+                    ++in;
+                  }
+                  return true;
+                })
+                  .ok());
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(in, 1);
+  EXPECT_EQ(*db.OutDegree(a), 1);
+  EXPECT_EQ(*db.OutDegree(c), 1);
+  EXPECT_EQ(*db.OutDegree(b), 0);
+}
+
+TEST(GraphDbTest, PropertiesRoundTrip) {
+  GraphDb db;
+  Transaction tx = db.Begin();
+  const int64_t n = tx.CreateNode();
+  ASSERT_TRUE(tx.SetNodeProperty(n, "rank", PropertyValue::Double(0.5)).ok());
+  ASSERT_TRUE(tx.SetNodeProperty(n, "age", PropertyValue::Int(30)).ok());
+  ASSERT_TRUE(tx.SetNodeProperty(n, "rank", PropertyValue::Double(0.7)).ok());
+  ASSERT_TRUE(tx.Commit().ok());
+  EXPECT_DOUBLE_EQ(db.GetNodeProperty(n, "rank")->d, 0.7);
+  EXPECT_EQ(db.GetNodeProperty(n, "age")->i, 30);
+  EXPECT_TRUE(db.GetNodeProperty(n, "nope").status().IsNotFound());
+}
+
+TEST(GraphDbTest, RollbackUndoesEverything) {
+  GraphDb db;
+  {
+    Transaction tx = db.Begin();
+    const int64_t a = tx.CreateNode();
+    const int64_t b = tx.CreateNode();
+    ASSERT_TRUE(tx.CreateRelationship(a, b, "e").ok());
+    ASSERT_TRUE(tx.Commit().ok());
+  }
+  {
+    Transaction tx = db.Begin();
+    const int64_t c = tx.CreateNode();
+    ASSERT_TRUE(tx.CreateRelationship(0, c, "e").ok());
+    ASSERT_TRUE(tx.SetNodeProperty(0, "x", PropertyValue::Int(1)).ok());
+    tx.Rollback();
+  }
+  // Node c unusable, relationship gone, property gone; chain of 0 intact.
+  EXPECT_FALSE(db.store().ValidNode(2));
+  EXPECT_FALSE(db.store().ValidRel(1));
+  EXPECT_TRUE(db.GetNodeProperty(0, "x").status().IsNotFound());
+  EXPECT_EQ(*db.OutDegree(0), 1);
+}
+
+TEST(GraphDbTest, RollbackRestoresOverwrittenProperty) {
+  GraphDb db;
+  {
+    Transaction tx = db.Begin();
+    const int64_t n = tx.CreateNode();
+    ASSERT_TRUE(tx.SetNodeProperty(n, "v", PropertyValue::Int(1)).ok());
+    ASSERT_TRUE(tx.Commit().ok());
+  }
+  {
+    Transaction tx = db.Begin();
+    ASSERT_TRUE(tx.SetNodeProperty(0, "v", PropertyValue::Int(99)).ok());
+    tx.Rollback();
+  }
+  EXPECT_EQ(db.GetNodeProperty(0, "v")->i, 1);
+}
+
+TEST(GraphDbTest, ImplicitRollbackOnDestruction) {
+  GraphDb db;
+  {
+    Transaction tx = db.Begin();
+    tx.CreateNode();
+    // no commit — destructor must roll back and release the lock
+  }
+  EXPECT_FALSE(db.store().ValidNode(0));
+  // Lock released: a new transaction can start.
+  Transaction tx2 = db.Begin();
+  tx2.CreateNode();
+  ASSERT_TRUE(tx2.Commit().ok());
+}
+
+TEST(GraphDbTest, DeleteRelationshipUnlinksChains) {
+  GraphDb db;
+  Transaction tx = db.Begin();
+  const int64_t a = tx.CreateNode();
+  const int64_t b = tx.CreateNode();
+  const int64_t c = tx.CreateNode();
+  auto r1 = tx.CreateRelationship(a, b, "e");
+  auto r2 = tx.CreateRelationship(a, c, "e");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(tx.DeleteRelationship(*r1).ok());
+  ASSERT_TRUE(tx.Commit().ok());
+  EXPECT_EQ(*db.OutDegree(a), 1);
+  std::set<int64_t> neighbors;
+  ASSERT_TRUE(db.ForEachRelationship(a, [&](int64_t, int64_t other, bool) {
+                  neighbors.insert(other);
+                  return true;
+                })
+                  .ok());
+  EXPECT_EQ(neighbors, std::set<int64_t>{c});
+  // b's chain must no longer reference the deleted relationship.
+  int64_t b_rels = 0;
+  ASSERT_TRUE(db.ForEachRelationship(b, [&](int64_t, int64_t, bool) {
+                  ++b_rels;
+                  return true;
+                })
+                  .ok());
+  EXPECT_EQ(b_rels, 0);
+}
+
+TEST(GraphDbTest, DeleteRollbackRestoresChains) {
+  GraphDb db;
+  {
+    Transaction tx = db.Begin();
+    const int64_t a = tx.CreateNode();
+    const int64_t b = tx.CreateNode();
+    ASSERT_TRUE(tx.CreateRelationship(a, b, "e").ok());
+    ASSERT_TRUE(tx.Commit().ok());
+  }
+  {
+    Transaction tx = db.Begin();
+    ASSERT_TRUE(tx.DeleteRelationship(0).ok());
+    tx.Rollback();
+  }
+  EXPECT_TRUE(db.store().ValidRel(0));
+  EXPECT_EQ(*db.OutDegree(0), 1);
+}
+
+TEST(GraphDbTest, DeleteNodeCascades) {
+  GraphDb db;
+  Transaction tx = db.Begin();
+  const int64_t a = tx.CreateNode();
+  const int64_t b = tx.CreateNode();
+  const int64_t c = tx.CreateNode();
+  ASSERT_TRUE(tx.CreateRelationship(a, b, "e").ok());
+  ASSERT_TRUE(tx.CreateRelationship(c, a, "e").ok());
+  ASSERT_TRUE(tx.CreateRelationship(b, c, "e").ok());
+  ASSERT_TRUE(tx.DeleteNode(a).ok());
+  ASSERT_TRUE(tx.Commit().ok());
+
+  EXPECT_FALSE(db.store().ValidNode(a));
+  EXPECT_FALSE(db.store().ValidRel(0));  // a->b
+  EXPECT_FALSE(db.store().ValidRel(1));  // c->a
+  EXPECT_TRUE(db.store().ValidRel(2));   // b->c survives
+  // Chains of b and c no longer reference a's relationships.
+  EXPECT_EQ(*db.OutDegree(b), 1);
+  EXPECT_EQ(*db.OutDegree(c), 0);
+}
+
+TEST(GraphDbTest, DeleteNodeRollbackRestores) {
+  GraphDb db;
+  {
+    Transaction tx = db.Begin();
+    const int64_t a = tx.CreateNode();
+    const int64_t b = tx.CreateNode();
+    ASSERT_TRUE(tx.CreateRelationship(a, b, "e").ok());
+    ASSERT_TRUE(tx.Commit().ok());
+  }
+  {
+    Transaction tx = db.Begin();
+    ASSERT_TRUE(tx.DeleteNode(0).ok());
+    tx.Rollback();
+  }
+  EXPECT_TRUE(db.store().ValidNode(0));
+  EXPECT_TRUE(db.store().ValidRel(0));
+  EXPECT_EQ(*db.OutDegree(0), 1);
+}
+
+TEST(GraphDbTest, WalRecordsOperations) {
+  GraphDb db;
+  {
+    Transaction tx = db.Begin();
+    const int64_t n = tx.CreateNode();
+    ASSERT_TRUE(tx.SetNodeProperty(n, "v", PropertyValue::Int(1)).ok());
+    ASSERT_TRUE(tx.Commit().ok());
+  }
+  const auto& entries = db.wal().entries();
+  ASSERT_EQ(entries.size(), 4u);  // begin, create, set, commit
+  EXPECT_EQ(entries[0].op, WalOp::kBegin);
+  EXPECT_EQ(entries[1].op, WalOp::kCreateNode);
+  EXPECT_EQ(entries[2].op, WalOp::kSetProperty);
+  EXPECT_EQ(entries[3].op, WalOp::kCommit);
+  EXPECT_EQ(db.wal().committed_count(), 1);
+}
+
+TEST(GraphDbTest, LoadGraphBulk) {
+  Graph g = GenerateRmat(50, 200, 61);
+  AssignRandomWeights(&g, 1.0, 5.0, 62);
+  GraphDb db;
+  ASSERT_TRUE(db.LoadGraph(g).ok());
+  EXPECT_EQ(db.node_count(), 50);
+  EXPECT_EQ(db.relationship_count(), g.num_edges());
+  // Weight of relationship 0 matches the graph.
+  EXPECT_DOUBLE_EQ(db.GetRelationshipProperty(0, "weight")->d,
+                   g.EdgeWeight(0));
+}
+
+TEST(GraphDbTest, AccessCountersTrackLogicalIo) {
+  Graph g = GenerateRmat(30, 100, 63);
+  GraphDb db;
+  ASSERT_TRUE(db.LoadGraph(g).ok());
+  db.mutable_store()->ResetAccessCounters();
+  ASSERT_TRUE(db.OutDegree(0).ok());
+  EXPECT_GT(db.store().node_accesses() + db.store().rel_accesses(), 0);
+}
+
+// A path 0-1-2-3 plus a "family" shortcut 0->3 for traversal tests.
+void BuildPathDb(GraphDb* db) {
+  Transaction tx = db->Begin();
+  for (int i = 0; i < 4; ++i) tx.CreateNode();
+  ASSERT_TRUE(tx.CreateRelationship(0, 1, "friend").ok());
+  ASSERT_TRUE(tx.CreateRelationship(1, 2, "friend").ok());
+  ASSERT_TRUE(tx.CreateRelationship(2, 3, "friend").ok());
+  ASSERT_TRUE(tx.CreateRelationship(0, 3, "family").ok());
+  ASSERT_TRUE(tx.Commit().ok());
+}
+
+TEST(TraversalTest, BfsVisitsByDepth) {
+  GraphDb db;
+  BuildPathDb(&db);
+  auto visits = graphdb::Traverse(db, 0);
+  ASSERT_TRUE(visits.ok()) << visits.status().ToString();
+  ASSERT_EQ(visits->size(), 4u);
+  EXPECT_EQ((*visits)[0].node, 0);
+  EXPECT_EQ((*visits)[0].depth, 0);
+  // BFS: depths are non-decreasing; 1 and 3 are both depth 1 from 0.
+  for (size_t i = 1; i < visits->size(); ++i) {
+    EXPECT_GE((*visits)[i].depth, (*visits)[i - 1].depth);
+  }
+}
+
+TEST(TraversalTest, DepthLimit) {
+  GraphDb db;
+  BuildPathDb(&db);
+  graphdb::TraversalOptions opts;
+  opts.max_depth = 1;
+  opts.direction = graphdb::TraversalOptions::Direction::kOutgoing;
+  opts.type_filter = "friend";
+  auto visits = graphdb::Traverse(db, 0, opts);
+  ASSERT_TRUE(visits.ok());
+  // 0 at depth 0 and 1 at depth 1 only (3 is family-typed).
+  ASSERT_EQ(visits->size(), 2u);
+  EXPECT_EQ((*visits)[1].node, 1);
+}
+
+TEST(TraversalTest, DirectionFilter) {
+  GraphDb db;
+  BuildPathDb(&db);
+  graphdb::TraversalOptions opts;
+  opts.direction = graphdb::TraversalOptions::Direction::kIncoming;
+  auto visits = graphdb::Traverse(db, 3, opts);
+  ASSERT_TRUE(visits.ok());
+  // Incoming from 3: 2 and 0 (family), then 1, then all.
+  EXPECT_EQ(visits->size(), 4u);
+}
+
+TEST(TraversalTest, TypeFilterRestrictsReach) {
+  GraphDb db;
+  BuildPathDb(&db);
+  graphdb::TraversalOptions opts;
+  opts.type_filter = "family";
+  auto visits = graphdb::Traverse(db, 0, opts);
+  ASSERT_TRUE(visits.ok());
+  ASSERT_EQ(visits->size(), 2u);  // 0 and 3 only
+  EXPECT_EQ((*visits)[1].node, 3);
+}
+
+TEST(TraversalTest, KHopNeighborhood) {
+  GraphDb db;
+  BuildPathDb(&db);
+  auto one_hop = graphdb::KHopNeighborhood(db, 1, 1);
+  ASSERT_TRUE(one_hop.ok());
+  std::set<int64_t> nodes(one_hop->begin(), one_hop->end());
+  EXPECT_EQ(nodes, (std::set<int64_t>{0, 2}));
+  auto two_hop = graphdb::KHopNeighborhood(db, 1, 2);
+  ASSERT_TRUE(two_hop.ok());
+  EXPECT_EQ(two_hop->size(), 3u);
+}
+
+TEST(TraversalTest, BadStartFails) {
+  GraphDb db;
+  BuildPathDb(&db);
+  EXPECT_TRUE(graphdb::Traverse(db, 99).status().IsInvalidArgument());
+}
+
+TEST(TraversalTest, RelationshipTypeAccessor) {
+  GraphDb db;
+  BuildPathDb(&db);
+  EXPECT_EQ(*db.RelationshipType(0), "friend");
+  EXPECT_EQ(*db.RelationshipType(3), "family");
+  EXPECT_TRUE(db.RelationshipType(99).status().IsInvalidArgument());
+  EXPECT_EQ(db.LookupType("friend"), 0);
+  EXPECT_EQ(db.LookupType("nope"), -1);
+}
+
+TEST(GdbAlgorithmsTest, PageRankMatchesReference) {
+  Graph g = GenerateRmat(80, 400, 64);
+  GraphDb db;
+  ASSERT_TRUE(db.LoadGraph(g).ok());
+  graphdb::GdbRunStats stats;
+  auto ranks = GdbPageRank(&db, 6, 0.85, &stats);
+  ASSERT_TRUE(ranks.ok()) << ranks.status().ToString();
+  auto expect = PageRankReference(g, 6);
+  for (size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_NEAR((*ranks)[v], expect[v], 1e-9);
+  }
+  EXPECT_GT(stats.prop_accesses, 0);
+}
+
+TEST(GdbAlgorithmsTest, ShortestPathsMatchDijkstra) {
+  Graph g = GenerateRmat(80, 400, 65);
+  AssignRandomWeights(&g, 1.0, 4.0, 66);
+  GraphDb db;
+  ASSERT_TRUE(db.LoadGraph(g).ok());
+  auto dist = GdbShortestPaths(&db, 0);
+  ASSERT_TRUE(dist.ok());
+  auto expect = DijkstraReference(g, 0);
+  for (size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_DOUBLE_EQ((*dist)[v], expect[v]);
+  }
+}
+
+TEST(GdbAlgorithmsTest, ConnectedComponentsMatchUnionFind) {
+  Graph g = GenerateErdosRenyi(100, 110, 67);
+  GraphDb db;
+  ASSERT_TRUE(db.LoadGraph(g).ok());
+  auto labels = GdbConnectedComponents(&db);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(*labels, WccReference(g));
+}
+
+}  // namespace
+}  // namespace vertexica

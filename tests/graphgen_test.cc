@@ -1,0 +1,250 @@
+// Unit tests for graph generation, dataset presets, metadata synthesis and
+// SNAP I/O.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graphgen/datasets.h"
+#include "graphgen/generators.h"
+#include "graphgen/metadata.h"
+#include "graphgen/snap_io.h"
+
+namespace vertexica {
+namespace {
+
+TEST(GraphTest, AddEdgeTracksWeights) {
+  Graph g;
+  g.num_vertices = 3;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2, 2.5);  // first weighted edge back-fills default weights
+  ASSERT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1), 2.5);
+}
+
+TEST(GraphTest, AsDirectedExpandsUndirected) {
+  Graph g;
+  g.num_vertices = 3;
+  g.directed = false;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  Graph d = g.AsDirected();
+  EXPECT_TRUE(d.directed);
+  EXPECT_EQ(d.num_edges(), 4);
+}
+
+TEST(GraphTest, WithReverseEdgesDoubles) {
+  Graph g;
+  g.num_vertices = 2;
+  g.AddEdge(0, 1, 3.0);
+  Graph r = g.WithReverseEdges();
+  ASSERT_EQ(r.num_edges(), 2);
+  EXPECT_EQ(r.src[1], 1);
+  EXPECT_EQ(r.dst[1], 0);
+  EXPECT_DOUBLE_EQ(r.EdgeWeight(1), 3.0);
+}
+
+TEST(GraphTest, OutDegrees) {
+  Graph g;
+  g.num_vertices = 3;
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  auto deg = g.OutDegrees();
+  EXPECT_EQ(deg[0], 2);
+  EXPECT_EQ(deg[1], 1);
+  EXPECT_EQ(deg[2], 0);
+}
+
+TEST(CsrTest, BuildMatchesEdges) {
+  Graph g;
+  g.num_vertices = 4;
+  g.AddEdge(2, 0, 5.0);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 3, 2.0);
+  Csr csr = Csr::Build(g);
+  EXPECT_EQ(csr.num_vertices(), 4);
+  EXPECT_EQ(csr.degree(0), 2);
+  EXPECT_EQ(csr.degree(1), 0);
+  EXPECT_EQ(csr.degree(2), 1);
+  std::set<int64_t> n0(csr.neighbors.begin() + csr.offsets[0],
+                       csr.neighbors.begin() + csr.offsets[1]);
+  EXPECT_EQ(n0, (std::set<int64_t>{1, 3}));
+  EXPECT_DOUBLE_EQ(csr.weights[static_cast<size_t>(csr.offsets[2])], 5.0);
+}
+
+TEST(GeneratorTest, ErdosRenyiDims) {
+  Graph g = GenerateErdosRenyi(100, 500, 1);
+  EXPECT_EQ(g.num_vertices, 100);
+  EXPECT_EQ(g.num_edges(), 500);
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_NE(g.src[static_cast<size_t>(e)], g.dst[static_cast<size_t>(e)]);
+    EXPECT_LT(g.src[static_cast<size_t>(e)], 100);
+    EXPECT_LT(g.dst[static_cast<size_t>(e)], 100);
+  }
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  Graph a = GenerateRmat(256, 1000, 7);
+  Graph b = GenerateRmat(256, 1000, 7);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+  Graph c = GenerateRmat(256, 1000, 8);
+  EXPECT_NE(a.src, c.src);
+}
+
+TEST(GeneratorTest, RmatIsSkewed) {
+  Graph g = GenerateRmat(1024, 10000, 3);
+  auto deg = g.OutDegrees();
+  std::sort(deg.begin(), deg.end(), std::greater<>());
+  // Top 10% of vertices should hold well over 25% of edges (power law).
+  int64_t top = 0;
+  for (size_t i = 0; i < deg.size() / 10; ++i) top += deg[i];
+  EXPECT_GT(top, g.num_edges() / 4);
+}
+
+TEST(GeneratorTest, BarabasiAlbertDegrees) {
+  Graph g = GenerateBarabasiAlbert(500, 3, 5);
+  EXPECT_EQ(g.num_vertices, 500);
+  // Every non-seed vertex contributes exactly 3 out-edges.
+  auto deg = g.OutDegrees();
+  for (int64_t v = 4; v < 500; ++v) {
+    EXPECT_EQ(deg[static_cast<size_t>(v)], 3);
+  }
+}
+
+TEST(GeneratorTest, WattsStrogatzRing) {
+  Graph g = GenerateWattsStrogatz(100, 4, 0.0, 2);
+  EXPECT_FALSE(g.directed);
+  EXPECT_EQ(g.num_edges(), 100 * 2);  // k/2 edges per vertex
+}
+
+TEST(GeneratorTest, BipartiteRatingsInRange) {
+  Graph g = GenerateBipartite(50, 20, 500, 4);
+  EXPECT_EQ(g.num_vertices, 70);
+  EXPECT_EQ(g.num_edges(), 500);
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LT(g.src[static_cast<size_t>(e)], 50);   // user side
+    EXPECT_GE(g.dst[static_cast<size_t>(e)], 50);   // item side
+    EXPECT_GE(g.EdgeWeight(e), 1.0);
+    EXPECT_LE(g.EdgeWeight(e), 5.0);
+  }
+}
+
+TEST(GeneratorTest, AssignRandomWeights) {
+  Graph g = GenerateErdosRenyi(50, 200, 1);
+  AssignRandomWeights(&g, 2.0, 4.0, 9);
+  ASSERT_EQ(g.weight.size(), 200u);
+  for (double w : g.weight) {
+    EXPECT_GE(w, 2.0);
+    EXPECT_LE(w, 4.0);
+  }
+}
+
+TEST(DatasetTest, PresetDimensionsMatchPaper) {
+  EXPECT_EQ(DatasetDimensions(DatasetId::kTwitter).num_vertices, 81306);
+  EXPECT_EQ(DatasetDimensions(DatasetId::kGPlus).num_edges, 13673453);
+  EXPECT_EQ(DatasetDimensions(DatasetId::kLiveJournal).num_vertices, 4847571);
+  EXPECT_STREQ(DatasetName(DatasetId::kTwitter), "Twitter");
+}
+
+TEST(DatasetTest, ScaledGeneration) {
+  Graph g = MakeDataset(DatasetId::kTwitter, 0.01);
+  EXPECT_NEAR(static_cast<double>(g.num_vertices), 813, 5);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 17681, 200);
+  EXPECT_FALSE(g.weight.empty());
+}
+
+TEST(MetadataTest, NodeSchemaMatchesPaperSpec) {
+  Table t = GenerateNodeMetadata(100, 1);
+  // id + 24 uniform + 8 zipf + 18 float + 10 string = 61 columns.
+  EXPECT_EQ(t.num_columns(), 61);
+  EXPECT_EQ(t.num_rows(), 100);
+  EXPECT_TRUE(t.IsConsistent());
+  EXPECT_EQ(t.schema().field(1).type, DataType::kInt64);    // u0
+  EXPECT_EQ(t.schema().field(25).type, DataType::kInt64);   // z0
+  EXPECT_EQ(t.schema().field(33).type, DataType::kDouble);  // f0
+  EXPECT_EQ(t.schema().field(51).type, DataType::kString);  // s0
+}
+
+TEST(MetadataTest, UniformCardinalitiesVary) {
+  Table t = GenerateNodeMetadata(2000, 2);
+  // u0 has cardinality 2: values in {0, 1}.
+  const auto& u0 = t.column(1).ints();
+  for (int64_t v : u0) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 1);
+  }
+  // The last uniform column has a huge domain: expect many distinct values.
+  std::set<int64_t> distinct(t.column(24).ints().begin(),
+                             t.column(24).ints().end());
+  EXPECT_GT(distinct.size(), 1900u);
+}
+
+TEST(MetadataTest, ZipfColumnsSkewed) {
+  Table t = GenerateNodeMetadata(5000, 3);
+  // Highest-skew zipf column z7 (index 32): value 1 dominates.
+  const auto& z7 = t.column(32).ints();
+  int64_t ones = std::count(z7.begin(), z7.end(), 1);
+  EXPECT_GT(ones, 1500);
+}
+
+TEST(MetadataTest, EdgeMetadataSchemaAndTypes) {
+  Graph g = GenerateErdosRenyi(50, 300, 1);
+  Table t = GenerateEdgeMetadata(g, 7);
+  EXPECT_EQ(t.num_rows(), 300);
+  ASSERT_TRUE(t.schema().HasField("type"));
+  std::set<std::string> types(t.ColumnByName("type")->strings().begin(),
+                              t.ColumnByName("type")->strings().end());
+  for (const auto& ty : types) {
+    EXPECT_TRUE(ty == "friend" || ty == "family" || ty == "classmate");
+  }
+  EXPECT_EQ(types.size(), 3u);
+}
+
+TEST(SnapIoTest, ParseBasic) {
+  auto g = ParseSnapEdgeList("# comment\n0\t1\n1\t2\n\n2\t0\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices, 3);
+  EXPECT_EQ(g->num_edges(), 3);
+}
+
+TEST(SnapIoTest, RemapsSparseIds) {
+  auto g = ParseSnapEdgeList("1000 42\n42 7\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices, 3);  // dense remap
+  EXPECT_EQ(g->src[0], 0);
+  EXPECT_EQ(g->dst[0], 1);
+  EXPECT_EQ(g->src[1], 1);
+  EXPECT_EQ(g->dst[1], 2);
+}
+
+TEST(SnapIoTest, ParsesWeights) {
+  auto g = ParseSnapEdgeList("0 1 2.5\n1 0 3.5\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0), 2.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(1), 3.5);
+}
+
+TEST(SnapIoTest, BadLineFails) {
+  EXPECT_TRUE(ParseSnapEdgeList("0 x\n").status().IsIoError());
+}
+
+TEST(SnapIoTest, RoundTripThroughFile) {
+  Graph g = GenerateErdosRenyi(20, 50, 1);
+  AssignRandomWeights(&g, 1.0, 2.0, 2);
+  const std::string path = testing::TempDir() + "/vx_snap_roundtrip.txt";
+  ASSERT_TRUE(WriteSnapEdgeList(g, path).ok());
+  auto back = ReadSnapEdgeList(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  EXPECT_EQ(back->num_vertices, g.num_vertices);
+}
+
+TEST(SnapIoTest, MissingFileFails) {
+  EXPECT_TRUE(ReadSnapEdgeList("/nonexistent/nope.txt").status().IsIoError());
+}
+
+}  // namespace
+}  // namespace vertexica

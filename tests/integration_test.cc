@@ -1,0 +1,271 @@
+// End-to-end integration tests mirroring the demonstration scenarios of
+// §4.2: interactive graph analysis, complex (composed) analysis, and
+// continuous & time-series analysis.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/reference.h"
+#include "algorithms/sssp.h"
+#include "exec/plan_builder.h"
+#include "giraph/bsp_engine.h"
+#include "graphgen/datasets.h"
+#include "graphgen/generators.h"
+#include "graphgen/metadata.h"
+#include "pipeline/dataflow.h"
+#include "pipeline/nodes.h"
+#include "sqlgraph/clustering_coefficient.h"
+#include "sqlgraph/sql_common.h"
+#include "sqlgraph/sql_pagerank.h"
+#include "sqlgraph/sql_shortest_paths.h"
+#include "sqlgraph/triangle_count.h"
+#include "sqlgraph/weak_ties.h"
+#include "temporal/continuous.h"
+#include "temporal/versioned_graph.h"
+
+namespace vertexica {
+namespace {
+
+// ---------------------------------------------------------------- §4.2.1
+
+TEST(InteractiveAnalysisTest, ClickNodeAskPageRankAndTriangles) {
+  // "users can click on a node and ask for its PageRank, or the number of
+  // triangles that the node participates in."
+  Graph g = MakeDataset(DatasetId::kTwitter, 0.005);
+  auto ranks = SqlPageRank(g, 5);
+  ASSERT_TRUE(ranks.ok());
+  const int64_t node = 3;
+  EXPECT_GT((*ranks)[static_cast<size_t>(node)], 0.0);
+
+  auto per_node = SqlPerNodeTriangles(MakeEdgeListTable(g));
+  ASSERT_TRUE(per_node.ok());
+  auto expect = PerVertexTrianglesReference(g);
+  for (int64_t r = 0; r < per_node->num_rows(); ++r) {
+    const int64_t id = per_node->ColumnByName("id")->GetInt64(r);
+    EXPECT_EQ(per_node->ColumnByName("triangles")->GetInt64(r),
+              expect[static_cast<size_t>(id)]);
+  }
+}
+
+TEST(InteractiveAnalysisTest, ShortestPathBetweenTwoClickedNodes) {
+  // "users can click on two nodes and ask for the shortest path between
+  // them" — an SSSP from the first, then a lookup of the second.
+  Graph g = MakeDataset(DatasetId::kTwitter, 0.005);
+  auto dist = SqlShortestPaths(g, /*source=*/0);
+  ASSERT_TRUE(dist.ok());
+  auto expect = DijkstraReference(g, 0);
+  const int64_t target = g.num_vertices / 2;
+  EXPECT_DOUBLE_EQ((*dist)[static_cast<size_t>(target)],
+                   expect[static_cast<size_t>(target)]);
+}
+
+TEST(InteractiveAnalysisTest, ScopeSelectionByMetadataFilter) {
+  // "select all edges of type Family" then analyse only that subgraph.
+  Graph g = GenerateRmat(200, 1200, 91);
+  Table edges = GenerateEdgeMetadata(g, 92);
+  auto family = PlanBuilder::Scan(edges)
+                    .Filter(Eq(Col("type"), Lit(std::string("family"))))
+                    .Execute();
+  ASSERT_TRUE(family.ok());
+  EXPECT_GT(family->num_rows(), 0);
+  EXPECT_LT(family->num_rows(), edges.num_rows());
+  // The filtered edge table feeds a graph algorithm directly.
+  auto tri = SqlTriangleCount(*family);
+  ASSERT_TRUE(tri.ok());
+  auto whole = SqlTriangleCount(edges);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_LE(*tri, *whole);
+}
+
+// ---------------------------------------------------------------- §4.2.2
+
+TEST(ComplexAnalysisTest, ImportantBridges) {
+  // "find all nodes which act as ties between otherwise disconnected nodes
+  // and have PageRank greater than a threshold".
+  Graph g = GenerateRmat(150, 600, 93);
+  Table edges = MakeEdgeListTable(g);
+
+  Pipeline p;
+  const int src = p.AddNode(MakeSourceNode("edges", edges));
+  const int ties = p.AddNode(MakeWeakTiesNode(3), {src});
+  const int pr = p.AddNode(MakePageRankNode(5), {src});
+  const int joined = p.AddNode(MakeJoinNode({"id"}, {"id"}), {ties, pr});
+  const int important = p.AddNode(
+      MakeSelectionNode(Gt(Col("rank"), Lit(1.0 / 150.0))), {joined});
+  auto out = p.Run(important);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Every surviving row is both a bridge and important.
+  for (int64_t r = 0; r < out->num_rows(); ++r) {
+    EXPECT_GE(out->ColumnByName("open_pairs")->GetInt64(r), 3);
+    EXPECT_GT(out->ColumnByName("rank")->GetDouble(r), 1.0 / 150.0);
+  }
+}
+
+TEST(ComplexAnalysisTest, SsspFromMostClusteredNode) {
+  // "compute the single source shortest path with the source node being
+  // the node with the maximum local clustering coefficient".
+  Graph g = GenerateRmat(120, 800, 94);
+  auto seed = SqlMaxClusteringVertex(MakeEdgeListTable(g));
+  ASSERT_TRUE(seed.ok());
+  auto dist = SqlShortestPaths(g, *seed);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ((*dist)[static_cast<size_t>(*seed)], 0.0);
+  auto expect = DijkstraReference(g, *seed);
+  for (size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_DOUBLE_EQ((*dist)[v], expect[v]);
+  }
+}
+
+TEST(ComplexAnalysisTest, GlobalClusteringCoefficient) {
+  // "users can ask for global clustering coefficient (combining triangle
+  // counting with weak ties)".
+  Graph g = GenerateRmat(100, 700, 95);
+  auto global = SqlGlobalClusteringCoefficient(g);
+  ASSERT_TRUE(global.ok());
+  EXPECT_GE(*global, 0.0);
+  EXPECT_LE(*global, 1.0);
+}
+
+TEST(ComplexAnalysisTest, CompareWithGiraphToggle) {
+  // The GUI's "Compare With Giraph" checkbox: same algorithm, same answer,
+  // two engines.
+  Graph g = MakeDataset(DatasetId::kTwitter, 0.003);
+  Catalog cat;
+  RunStats vx_stats;
+  auto vx = RunPageRank(&cat, g, 5, 0.85, {}, &vx_stats);
+  ASSERT_TRUE(vx.ok());
+  PageRankProgram program(5);
+  BspEngine giraph(g, &program);
+  GiraphStats g_stats;
+  ASSERT_TRUE(giraph.Run(&g_stats).ok());
+  for (int64_t v = 0; v < g.num_vertices; ++v) {
+    EXPECT_NEAR((*vx)[static_cast<size_t>(v)], giraph.value(v), 1e-9);
+  }
+  EXPECT_GT(vx_stats.total_seconds, 0.0);
+  EXPECT_GT(g_stats.compute_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------- §4.2.3
+
+TEST(ContinuousAnalysisTest, EdgeFilterChangeChangesResults) {
+  // "change the edge filter from 'Family' to 'Classmates', and observe how
+  // runtimes and the console output changes."
+  Graph g = GenerateRmat(150, 900, 96);
+  Table edges = GenerateEdgeMetadata(g, 97);
+
+  auto run_with_filter = [&edges](const std::string& type) -> Result<int64_t> {
+    VX_ASSIGN_OR_RETURN(Table filtered, PlanBuilder::Scan(edges)
+                                            .Filter(Eq(Col("type"), Lit(type)))
+                                            .Execute());
+    return SqlTriangleCount(filtered);
+  };
+  auto family = run_with_filter("family");
+  auto classmate = run_with_filter("classmate");
+  ASSERT_TRUE(family.ok());
+  ASSERT_TRUE(classmate.ok());
+  // Different subgraphs — results are both valid and generally different.
+  EXPECT_GE(*family, 0);
+  EXPECT_GE(*classmate, 0);
+}
+
+TEST(ContinuousAnalysisTest, MutationsVisibleToContinuousRun) {
+  // "users can also click and modify nodes and edges and observe the
+  // impact of change on the graph analysis."
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  Graph g = GenerateRmat(80, 300, 98);
+  ASSERT_TRUE(store.CommitVersion(MakeEdgeListTable(g)).ok());
+
+  ContinuousRunner runner(&store, "pagerank-top1",
+                          [](const Table& edges) -> Result<Table> {
+                            VX_ASSIGN_OR_RETURN(Graph graph,
+                                                GraphFromEdgeTable(edges));
+                            VX_ASSIGN_OR_RETURN(auto ranks,
+                                                SqlPageRank(graph, 5));
+                            Table t(Schema({{"max_rank", DataType::kDouble}}));
+                            double best = 0;
+                            for (double r : ranks) best = std::max(best, r);
+                            VX_RETURN_NOT_OK(t.AppendRow({Value(best)}));
+                            return t;
+                          });
+  ASSERT_TRUE(runner.Poll().ok());
+
+  // Mutate: pile edges into vertex 7 and re-poll.
+  Table boost(Schema({{"src", DataType::kInt64},
+                      {"dst", DataType::kInt64},
+                      {"weight", DataType::kDouble}}));
+  for (int64_t v = 0; v < 40; ++v) {
+    VX_CHECK_OK(boost.AppendRow({Value(v), Value(int64_t{7}), Value(1.0)}));
+  }
+  ASSERT_TRUE(store.AddEdges(boost).ok());
+  auto ticks = runner.Poll();
+  ASSERT_TRUE(ticks.ok());
+  ASSERT_EQ(ticks->size(), 1u);
+  // Top rank should have increased after concentrating in-links.
+  EXPECT_GT((*ticks)[0].result.column(0).GetDouble(0),
+            runner.history()[0].result.column(0).GetDouble(0));
+}
+
+TEST(TimeSeriesAnalysisTest, PageRankOverFiveVersions) {
+  // "how the PageRank of a given node has changed in the last 5 years" —
+  // five versions, one per year, rank trajectory of one node.
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  Graph g = GenerateRmat(60, 200, 99);
+  ASSERT_TRUE(store.CommitVersion(MakeEdgeListTable(g)).ok());
+  Rng rng(100);
+  for (int year = 1; year < 5; ++year) {
+    Table extra(Schema({{"src", DataType::kInt64},
+                        {"dst", DataType::kInt64},
+                        {"weight", DataType::kDouble}}));
+    for (int e = 0; e < 30; ++e) {
+      VX_CHECK_OK(extra.AppendRow(
+          {Value(static_cast<int64_t>(rng.Uniform(60))),
+           Value(int64_t{5}),  // year over year, node 5 gains links
+           Value(1.0)}));
+    }
+    ASSERT_TRUE(store.AddEdges(extra).ok());
+  }
+  std::vector<double> trajectory;
+  for (int v = 1; v <= store.latest_version(); ++v) {
+    VX_CHECK_OK(store.EdgesAt(v).status());
+    Table edges = *store.EdgesAt(v);
+    auto graph = GraphFromEdgeTable(edges);
+    ASSERT_TRUE(graph.ok());
+    graph->num_vertices = 60;
+    auto ranks = SqlPageRank(*graph, 6);
+    ASSERT_TRUE(ranks.ok());
+    trajectory.push_back((*ranks)[5]);
+  }
+  ASSERT_EQ(trajectory.size(), 5u);
+  // Monotone-ish growth: final year clearly above first.
+  EXPECT_GT(trajectory.back(), trajectory.front() * 1.5);
+}
+
+TEST(TimeSeriesAnalysisTest, WhichNodesCameCloserLastYear) {
+  // "which nodes have come closer (smaller path distance) in the last one
+  // year" — implemented by ShortestPathDecrease over adjacent versions.
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  Table v1(Schema({{"src", DataType::kInt64},
+                   {"dst", DataType::kInt64},
+                   {"weight", DataType::kDouble}}));
+  VX_CHECK_OK(v1.AppendRow({Value(int64_t{0}), Value(int64_t{1}), Value(4.0)}));
+  VX_CHECK_OK(v1.AppendRow({Value(int64_t{1}), Value(int64_t{2}), Value(4.0)}));
+  ASSERT_TRUE(store.CommitVersion(v1).ok());
+  Table shortcut(Schema({{"src", DataType::kInt64},
+                         {"dst", DataType::kInt64},
+                         {"weight", DataType::kDouble}}));
+  VX_CHECK_OK(shortcut.AppendRow(
+      {Value(int64_t{0}), Value(int64_t{2}), Value(1.0)}));
+  ASSERT_TRUE(store.AddEdges(shortcut).ok());
+  auto closer = ShortestPathDecrease(store, 1, 2, 0, 1.0);
+  ASSERT_TRUE(closer.ok());
+  ASSERT_EQ(closer->num_rows(), 1);
+  EXPECT_EQ(closer->ColumnByName("id")->GetInt64(0), 2);
+}
+
+}  // namespace
+}  // namespace vertexica

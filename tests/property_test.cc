@@ -1,0 +1,210 @@
+// Property-based cross-system sweeps: on randomized graphs, all four
+// engines (Vertexica vertex-centric, Vertexica SQL, the Giraph BSP
+// comparator, the GraphDB comparator) must agree with the textbook
+// reference — the central correctness invariant behind Figure 2's claim
+// that the systems compute the same answers at different speeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/connected_components.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/reference.h"
+#include "algorithms/sssp.h"
+#include "giraph/bsp_engine.h"
+#include "graphdb/gdb_algorithms.h"
+#include "graphgen/generators.h"
+#include "sqlgraph/sql_connected_components.h"
+#include "sqlgraph/sql_pagerank.h"
+#include "sqlgraph/sql_shortest_paths.h"
+#include "sqlgraph/triangle_count.h"
+
+namespace vertexica {
+namespace {
+
+struct GraphCase {
+  const char* kind;
+  int64_t n;
+  int64_t m;
+  uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const GraphCase& c) {
+  return os << c.kind << "_n" << c.n << "_m" << c.m << "_s" << c.seed;
+}
+
+Graph MakeCase(const GraphCase& c) {
+  if (std::string(c.kind) == "rmat") {
+    return GenerateRmat(c.n, c.m, c.seed);
+  }
+  if (std::string(c.kind) == "er") {
+    return GenerateErdosRenyi(c.n, c.m, c.seed);
+  }
+  return GenerateBarabasiAlbert(c.n, std::max<int64_t>(1, c.m / c.n), c.seed);
+}
+
+class CrossSystemTest : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(CrossSystemTest, PageRankAgreesEverywhere) {
+  Graph g = MakeCase(GetParam());
+  constexpr int kIters = 6;
+  const auto expect = PageRankReference(g, kIters);
+
+  Catalog cat;
+  auto vx = RunPageRank(&cat, g, kIters);
+  ASSERT_TRUE(vx.ok()) << vx.status().ToString();
+
+  auto sql = SqlPageRank(g, kIters);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+
+  PageRankProgram program(kIters);
+  BspEngine giraph(g, &program);
+  ASSERT_TRUE(giraph.Run().ok());
+
+  graphdb::GraphDb db;
+  ASSERT_TRUE(db.LoadGraph(g).ok());
+  auto gdb = graphdb::GdbPageRank(&db, kIters);
+  ASSERT_TRUE(gdb.ok()) << gdb.status().ToString();
+
+  for (int64_t v = 0; v < g.num_vertices; ++v) {
+    const auto sv = static_cast<size_t>(v);
+    EXPECT_NEAR((*vx)[sv], expect[sv], 1e-9) << "vertexica @" << v;
+    EXPECT_NEAR((*sql)[sv], expect[sv], 1e-9) << "sql @" << v;
+    EXPECT_NEAR(giraph.value(v), expect[sv], 1e-9) << "giraph @" << v;
+    EXPECT_NEAR((*gdb)[sv], expect[sv], 1e-9) << "graphdb @" << v;
+  }
+}
+
+TEST_P(CrossSystemTest, ShortestPathsAgreeEverywhere) {
+  Graph g = MakeCase(GetParam());
+  AssignRandomWeights(&g, 1.0, 8.0, GetParam().seed ^ 0x55);
+  const auto expect = DijkstraReference(g, 0);
+
+  Catalog cat;
+  auto vx = RunShortestPaths(&cat, g, 0);
+  ASSERT_TRUE(vx.ok()) << vx.status().ToString();
+
+  auto sql = SqlShortestPaths(g, 0);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+
+  ShortestPathProgram program(0);
+  BspEngine giraph(g, &program);
+  ASSERT_TRUE(giraph.Run().ok());
+
+  graphdb::GraphDb db;
+  ASSERT_TRUE(db.LoadGraph(g).ok());
+  auto gdb = graphdb::GdbShortestPaths(&db, 0);
+  ASSERT_TRUE(gdb.ok());
+
+  for (int64_t v = 0; v < g.num_vertices; ++v) {
+    const auto sv = static_cast<size_t>(v);
+    EXPECT_DOUBLE_EQ((*vx)[sv], expect[sv]) << "vertexica @" << v;
+    EXPECT_DOUBLE_EQ((*sql)[sv], expect[sv]) << "sql @" << v;
+    EXPECT_DOUBLE_EQ(giraph.value(v), expect[sv]) << "giraph @" << v;
+    EXPECT_DOUBLE_EQ((*gdb)[sv], expect[sv]) << "graphdb @" << v;
+  }
+}
+
+TEST_P(CrossSystemTest, ConnectedComponentsAgreeEverywhere) {
+  Graph g = MakeCase(GetParam());
+  const auto expect = WccReference(g);
+
+  Catalog cat;
+  auto vx = RunConnectedComponents(&cat, g);
+  ASSERT_TRUE(vx.ok()) << vx.status().ToString();
+  EXPECT_EQ(*vx, expect);
+
+  auto sql = SqlConnectedComponents(g);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_EQ(*sql, expect);
+
+  ConnectedComponentsProgram program;
+  const Graph bidir = g.WithReverseEdges();
+  BspEngine giraph(bidir, &program);
+  ASSERT_TRUE(giraph.Run().ok());
+  for (int64_t v = 0; v < g.num_vertices; ++v) {
+    EXPECT_EQ(static_cast<int64_t>(giraph.value(v)),
+              expect[static_cast<size_t>(v)]);
+  }
+
+  graphdb::GraphDb db;
+  ASSERT_TRUE(db.LoadGraph(g).ok());
+  auto gdb = graphdb::GdbConnectedComponents(&db);
+  ASSERT_TRUE(gdb.ok());
+  EXPECT_EQ(*gdb, expect);
+}
+
+TEST_P(CrossSystemTest, TriangleCountMatchesReference) {
+  Graph g = MakeCase(GetParam());
+  auto sql = SqlTriangleCount(g);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_EQ(*sql, TriangleCountReference(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, CrossSystemTest,
+    ::testing::Values(GraphCase{"rmat", 60, 300, 1},
+                      GraphCase{"rmat", 120, 900, 2},
+                      GraphCase{"rmat", 250, 1200, 3},
+                      GraphCase{"er", 80, 200, 4},
+                      GraphCase{"er", 150, 1500, 5},
+                      GraphCase{"ba", 100, 300, 6},
+                      GraphCase{"ba", 200, 1000, 7}),
+    [](const ::testing::TestParamInfo<GraphCase>& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+/// Invariant sweeps on the Vertexica engine configuration space.
+struct ConfigCase {
+  bool use_union;
+  bool use_combiner;
+  double update_threshold;
+  int workers;
+  int partitions;
+};
+
+class VertexicaConfigTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(VertexicaConfigTest, AllConfigsComputeIdenticalPageRank) {
+  const ConfigCase& c = GetParam();
+  Graph g = GenerateRmat(90, 500, 99);
+  VertexicaOptions opts;
+  opts.use_union_input = c.use_union;
+  opts.use_combiner = c.use_combiner;
+  opts.update_threshold = c.update_threshold;
+  opts.num_workers = c.workers;
+  opts.num_partitions = c.partitions;
+  Catalog cat;
+  auto ranks = RunPageRank(&cat, g, 5, 0.85, opts);
+  ASSERT_TRUE(ranks.ok()) << ranks.status().ToString();
+  const auto expect = PageRankReference(g, 5);
+  for (size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_NEAR((*ranks)[v], expect[v], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, VertexicaConfigTest,
+    ::testing::Values(ConfigCase{true, true, 0.1, 0, 0},
+                      ConfigCase{false, true, 0.1, 0, 0},
+                      ConfigCase{true, false, 0.1, 0, 0},
+                      ConfigCase{false, false, 0.1, 2, 4},
+                      ConfigCase{true, true, 0.0, 1, 1},
+                      ConfigCase{true, true, 1.1, 4, 16},
+                      ConfigCase{false, false, 0.0, 3, 2},
+                      ConfigCase{true, false, 1.1, 2, 32}),
+    [](const ::testing::TestParamInfo<ConfigCase>& info) {
+      const ConfigCase& c = info.param;
+      std::ostringstream os;
+      os << (c.use_union ? "union" : "join") << "_"
+         << (c.use_combiner ? "comb" : "nocomb") << "_t"
+         << static_cast<int>(c.update_threshold * 10) << "_w" << c.workers
+         << "_p" << c.partitions;
+      return os.str();
+    });
+
+}  // namespace
+}  // namespace vertexica

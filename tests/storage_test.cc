@@ -1,0 +1,352 @@
+// Unit tests for the columnar storage layer: Value, Column, Schema, Table,
+// sorting and hash partitioning.
+
+#include <gtest/gtest.h>
+
+#include "storage/partition.h"
+#include "storage/sort.h"
+#include "storage/table.h"
+
+namespace vertexica {
+namespace {
+
+TEST(ValueTest, NullAndTypes) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value(int64_t{5}).is_int64());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(true).is_bool());
+}
+
+TEST(ValueTest, AsDoubleWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsDouble(), 3.5);
+}
+
+TEST(ValueTest, EqualityIsTyped) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // no coercion
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(int64_t{0}));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value("ab").ToString(), "'ab'");
+}
+
+TEST(ColumnTest, AppendAndGet) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(1);
+  c.AppendInt64(2);
+  EXPECT_EQ(c.length(), 2);
+  EXPECT_EQ(c.GetInt64(0), 1);
+  EXPECT_EQ(c.GetInt64(1), 2);
+  EXPECT_EQ(c.null_count(), 0);
+}
+
+TEST(ColumnTest, LazyValidity) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(1.0);
+  EXPECT_FALSE(c.IsNull(0));
+  c.AppendNull();
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_EQ(c.null_count(), 1);
+  c.AppendDouble(3.0);
+  EXPECT_FALSE(c.IsNull(2));
+}
+
+TEST(ColumnTest, FromVectorsFactories) {
+  auto c = Column::FromInts({1, 2, 3});
+  EXPECT_EQ(c.length(), 3);
+  EXPECT_EQ(c.type(), DataType::kInt64);
+  auto d = Column::FromDoubles({1.5});
+  EXPECT_EQ(d.GetDouble(0), 1.5);
+  auto s = Column::FromStrings({"a", "b"});
+  EXPECT_EQ(s.GetString(1), "b");
+  auto b = Column::FromBools({1, 0});
+  EXPECT_TRUE(b.GetBool(0));
+  EXPECT_FALSE(b.GetBool(1));
+}
+
+TEST(ColumnTest, AppendValueCoercesIntToDouble) {
+  Column c(DataType::kDouble);
+  c.AppendValue(Value(int64_t{4}));
+  EXPECT_DOUBLE_EQ(c.GetDouble(0), 4.0);
+}
+
+TEST(ColumnTest, AppendColumnConcatenatesWithNulls) {
+  Column a = Column::FromInts({1, 2});
+  Column b(DataType::kInt64);
+  b.AppendInt64(3);
+  b.AppendNull();
+  a.AppendColumn(b);
+  EXPECT_EQ(a.length(), 4);
+  EXPECT_EQ(a.GetInt64(2), 3);
+  EXPECT_TRUE(a.IsNull(3));
+  EXPECT_FALSE(a.IsNull(0));
+  EXPECT_EQ(a.null_count(), 1);
+}
+
+TEST(ColumnTest, TakeGathers) {
+  Column c = Column::FromInts({10, 20, 30, 40});
+  Column t = c.Take({3, 0, 0});
+  ASSERT_EQ(t.length(), 3);
+  EXPECT_EQ(t.GetInt64(0), 40);
+  EXPECT_EQ(t.GetInt64(1), 10);
+  EXPECT_EQ(t.GetInt64(2), 10);
+}
+
+TEST(ColumnTest, TakeKeepsNulls) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(1);
+  c.AppendNull();
+  Column t = c.Take({1, 0});
+  EXPECT_TRUE(t.IsNull(0));
+  EXPECT_EQ(t.GetInt64(1), 1);
+}
+
+TEST(ColumnTest, SliceRange) {
+  Column c = Column::FromInts({0, 1, 2, 3, 4});
+  Column s = c.Slice(1, 3);
+  ASSERT_EQ(s.length(), 3);
+  EXPECT_EQ(s.GetInt64(0), 1);
+  EXPECT_EQ(s.GetInt64(2), 3);
+}
+
+TEST(ColumnTest, SliceRecomputesNullCount) {
+  Column c(DataType::kInt64);
+  c.AppendNull();
+  c.AppendInt64(1);
+  c.AppendInt64(2);
+  Column s = c.Slice(1, 2);
+  EXPECT_EQ(s.null_count(), 0);
+  EXPECT_FALSE(s.IsNull(0));
+}
+
+TEST(ColumnTest, EqualsDeep) {
+  Column a = Column::FromInts({1, 2});
+  Column b = Column::FromInts({1, 2});
+  Column c = Column::FromInts({1, 3});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(ColumnTest, CompareRowsOrdersNullsFirst) {
+  Column c(DataType::kInt64);
+  c.AppendNull();
+  c.AppendInt64(5);
+  EXPECT_LT(c.CompareRows(0, c, 1), 0);
+  EXPECT_GT(c.CompareRows(1, c, 0), 0);
+  EXPECT_EQ(c.CompareRows(0, c, 0), 0);
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"id", DataType::kInt64}, {"value", DataType::kDouble}});
+  EXPECT_EQ(s.num_fields(), 2);
+  EXPECT_EQ(s.FieldIndex("value"), 1);
+  EXPECT_EQ(s.FieldIndex("nope"), -1);
+  EXPECT_TRUE(s.HasField("id"));
+}
+
+TEST(SchemaTest, EqualTypesIgnoresNames) {
+  Schema a({{"x", DataType::kInt64}, {"y", DataType::kDouble}});
+  Schema b({{"u", DataType::kInt64}, {"v", DataType::kDouble}});
+  Schema c({{"u", DataType::kInt64}, {"v", DataType::kString}});
+  EXPECT_FALSE(a.Equals(b));
+  EXPECT_TRUE(a.EqualTypes(b));
+  EXPECT_FALSE(a.EqualTypes(c));
+}
+
+TEST(SchemaTest, WithNames) {
+  Schema a({{"x", DataType::kInt64}});
+  Schema b = a.WithNames({"id"});
+  EXPECT_EQ(b.field(0).name, "id");
+  EXPECT_EQ(b.field(0).type, DataType::kInt64);
+}
+
+Table MakeTestTable() {
+  Table t(Schema({{"id", DataType::kInt64},
+                  {"score", DataType::kDouble},
+                  {"name", DataType::kString}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{3}), Value(1.5), Value("c")}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(2.5), Value("a")}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value(0.5), Value("b")}));
+  return t;
+}
+
+TEST(TableTest, AppendRowAndAccess) {
+  Table t = MakeTestTable();
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_columns(), 3);
+  EXPECT_TRUE(t.IsConsistent());
+  EXPECT_EQ(t.column(0).GetInt64(1), 1);
+  EXPECT_EQ(t.ColumnByName("name")->GetString(2), "b");
+}
+
+TEST(TableTest, AppendRowArityMismatchFails) {
+  Table t(Schema({{"id", DataType::kInt64}}));
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value(int64_t{2})})
+                  .IsInvalidArgument());
+}
+
+TEST(TableTest, MakeValidatesTypes) {
+  Schema s({{"id", DataType::kInt64}});
+  auto bad = Table::Make(s, {Column::FromDoubles({1.0})});
+  EXPECT_TRUE(bad.status().IsTypeError());
+  auto good = Table::Make(s, {Column::FromInts({1})});
+  EXPECT_TRUE(good.ok());
+}
+
+TEST(TableTest, MakeValidatesLengths) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  auto bad = Table::Make(s, {Column::FromInts({1}), Column::FromInts({1, 2})});
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(TableTest, AppendChecksTypes) {
+  Table a(Schema({{"x", DataType::kInt64}}));
+  Table b(Schema({{"x", DataType::kDouble}}));
+  EXPECT_TRUE(a.Append(b).IsTypeError());
+}
+
+TEST(TableTest, AppendAllowsRenamedColumns) {
+  Table a(Schema({{"x", DataType::kInt64}}));
+  Table b(Schema({{"y", DataType::kInt64}}));
+  VX_CHECK_OK(b.AppendRow({Value(int64_t{9})}));
+  EXPECT_TRUE(a.Append(b).ok());
+  EXPECT_EQ(a.num_rows(), 1);
+}
+
+TEST(TableTest, TakeAndSlice) {
+  Table t = MakeTestTable();
+  Table taken = t.Take({2, 0});
+  EXPECT_EQ(taken.num_rows(), 2);
+  EXPECT_EQ(taken.column(0).GetInt64(0), 2);
+  Table sliced = t.Slice(1, 2);
+  EXPECT_EQ(sliced.num_rows(), 2);
+  EXPECT_EQ(sliced.column(0).GetInt64(0), 1);
+}
+
+TEST(TableTest, SelectColumnsProjects) {
+  Table t = MakeTestTable();
+  Table p = t.SelectColumns({2, 0});
+  EXPECT_EQ(p.num_columns(), 2);
+  EXPECT_EQ(p.schema().field(0).name, "name");
+  EXPECT_EQ(p.schema().field(1).name, "id");
+  EXPECT_EQ(p.num_rows(), 3);
+}
+
+TEST(TableTest, RenameColumns) {
+  Table t = MakeTestTable().RenameColumns({"a", "b", "c"});
+  EXPECT_EQ(t.schema().field(0).name, "a");
+  EXPECT_EQ(t.column(0).GetInt64(0), 3);
+}
+
+TEST(TableTest, GetRowRoundTrips) {
+  Table t = MakeTestTable();
+  auto row = t.GetRow(1);
+  EXPECT_EQ(row[0], Value(int64_t{1}));
+  EXPECT_EQ(row[1], Value(2.5));
+  EXPECT_EQ(row[2], Value("a"));
+}
+
+TEST(TableTest, EqualsDeep) {
+  EXPECT_TRUE(MakeTestTable().Equals(MakeTestTable()));
+  Table t = MakeTestTable();
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{9}), Value(9.0), Value("z")}));
+  EXPECT_FALSE(t.Equals(MakeTestTable()));
+}
+
+TEST(SortTest, SingleKeyAscending) {
+  Table t = MakeTestTable();
+  Table sorted = SortTable(t, {{0, true}});
+  EXPECT_EQ(sorted.column(0).GetInt64(0), 1);
+  EXPECT_EQ(sorted.column(0).GetInt64(1), 2);
+  EXPECT_EQ(sorted.column(0).GetInt64(2), 3);
+  // Row integrity: score follows id.
+  EXPECT_DOUBLE_EQ(sorted.column(1).GetDouble(0), 2.5);
+}
+
+TEST(SortTest, SingleKeyDescending) {
+  Table sorted = SortTable(MakeTestTable(), {{1, false}});
+  EXPECT_DOUBLE_EQ(sorted.column(1).GetDouble(0), 2.5);
+  EXPECT_DOUBLE_EQ(sorted.column(1).GetDouble(2), 0.5);
+}
+
+TEST(SortTest, MultiKeyStable) {
+  Table t(Schema({{"k", DataType::kInt64}, {"v", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{10})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{0}), Value(int64_t{20})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{5})}));
+  Table sorted = SortTable(t, {{0, true}, {1, true}});
+  EXPECT_EQ(sorted.column(0).GetInt64(0), 0);
+  EXPECT_EQ(sorted.column(1).GetInt64(1), 5);
+  EXPECT_EQ(sorted.column(1).GetInt64(2), 10);
+}
+
+TEST(SortTest, NullsSortFirst) {
+  Table t(Schema({{"k", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{5})}));
+  VX_CHECK_OK(t.AppendRow({Value::Null()}));
+  Table sorted = SortTable(t, {{0, true}});
+  EXPECT_TRUE(sorted.column(0).IsNull(0));
+  EXPECT_EQ(sorted.column(0).GetInt64(1), 5);
+}
+
+TEST(SortTest, StringKeys) {
+  Table t(Schema({{"s", DataType::kString}}));
+  VX_CHECK_OK(t.AppendRow({Value("banana")}));
+  VX_CHECK_OK(t.AppendRow({Value("apple")}));
+  Table sorted = SortTable(t, {{0, true}});
+  EXPECT_EQ(sorted.column(0).GetString(0), "apple");
+}
+
+TEST(PartitionTest, CoversAllRowsDisjointly) {
+  Table t(Schema({{"id", DataType::kInt64}}));
+  for (int64_t i = 0; i < 1000; ++i) {
+    VX_CHECK_OK(t.AppendRow({Value(i)}));
+  }
+  auto parts = HashPartition(t, 0, 7);
+  ASSERT_EQ(parts.size(), 7u);
+  int64_t total = 0;
+  for (const auto& p : parts) total += p.num_rows();
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(PartitionTest, SameKeySamePartition) {
+  Table t(Schema({{"id", DataType::kInt64}}));
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int64_t i = 0; i < 50; ++i) {
+      VX_CHECK_OK(t.AppendRow({Value(i)}));
+    }
+  }
+  auto parts = HashPartition(t, 0, 4);
+  for (int64_t key = 0; key < 50; ++key) {
+    const int expected = PartitionOf(key, 4);
+    for (size_t p = 0; p < parts.size(); ++p) {
+      const auto& ids = parts[p].column(0).ints();
+      const bool has =
+          std::find(ids.begin(), ids.end(), key) != ids.end();
+      EXPECT_EQ(has, static_cast<int>(p) == expected);
+    }
+  }
+}
+
+TEST(PartitionTest, ReasonablyBalanced) {
+  Table t(Schema({{"id", DataType::kInt64}}));
+  for (int64_t i = 0; i < 10000; ++i) {
+    VX_CHECK_OK(t.AppendRow({Value(i)}));
+  }
+  auto parts = HashPartition(t, 0, 8);
+  for (const auto& p : parts) {
+    EXPECT_GT(p.num_rows(), 900);
+    EXPECT_LT(p.num_rows(), 1600);
+  }
+}
+
+}  // namespace
+}  // namespace vertexica

@@ -1,0 +1,183 @@
+// Tests for dynamic graph analysis (§3.3, §4.2.3): versioned edge store,
+// temporal diff queries, and the continuous runner.
+
+#include <gtest/gtest.h>
+
+#include "graphgen/generators.h"
+#include "sqlgraph/sql_common.h"
+#include "sqlgraph/triangle_count.h"
+#include "temporal/continuous.h"
+#include "temporal/versioned_graph.h"
+
+namespace vertexica {
+namespace {
+
+Table EdgeRows(const std::vector<std::tuple<int64_t, int64_t, double>>& rows) {
+  Table t(Schema({{"src", DataType::kInt64},
+                  {"dst", DataType::kInt64},
+                  {"weight", DataType::kDouble}}));
+  for (const auto& [s, d, w] : rows) {
+    VX_CHECK_OK(t.AppendRow({Value(s), Value(d), Value(w)}));
+  }
+  return t;
+}
+
+TEST(VersionedGraphTest, CommitAndReadBack) {
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  auto v1 = store.CommitVersion(EdgeRows({{0, 1, 1.0}}));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, 1);
+  auto v2 = store.CommitVersion(EdgeRows({{0, 1, 1.0}, {1, 2, 1.0}}));
+  EXPECT_EQ(*v2, 2);
+  EXPECT_EQ(store.latest_version(), 2);
+  EXPECT_EQ((*store.EdgesAt(1)).num_rows(), 1);
+  EXPECT_EQ((*store.EdgesAt(2)).num_rows(), 2);
+  EXPECT_TRUE(store.EdgesAt(3).status().IsOutOfRange());
+  EXPECT_TRUE(store.EdgesAt(0).status().IsOutOfRange());
+}
+
+TEST(VersionedGraphTest, RejectsBadSchema) {
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  Table bad(Schema({{"x", DataType::kInt64}}));
+  EXPECT_TRUE(store.CommitVersion(bad).status().IsInvalidArgument());
+}
+
+TEST(VersionedGraphTest, AddAndRemoveEdges) {
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  ASSERT_TRUE(store.CommitVersion(EdgeRows({{0, 1, 1.0}, {1, 2, 1.0}})).ok());
+  ASSERT_TRUE(store.AddEdges(EdgeRows({{2, 3, 1.0}})).ok());
+  EXPECT_EQ((*store.EdgesAt(2)).num_rows(), 3);
+  ASSERT_TRUE(store.RemoveEdges(EdgeRows({{0, 1, 0.0}})).ok());
+  Table v3 = *store.EdgesAt(3);
+  EXPECT_EQ(v3.num_rows(), 2);
+  // The removed edge is gone; old versions are untouched.
+  for (int64_t r = 0; r < v3.num_rows(); ++r) {
+    EXPECT_FALSE(v3.ColumnByName("src")->GetInt64(r) == 0 &&
+                 v3.ColumnByName("dst")->GetInt64(r) == 1);
+  }
+  EXPECT_EQ((*store.EdgesAt(1)).num_rows(), 2);
+}
+
+TEST(VersionedGraphTest, UpdateEdgeColumn) {
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  ASSERT_TRUE(store.CommitVersion(EdgeRows({{0, 1, 1.0}, {1, 2, 5.0}})).ok());
+  ASSERT_TRUE(store.UpdateEdgeColumn(EdgeRows({{1, 2, 9.0}}), "weight").ok());
+  Table v2 = *store.EdgesAt(2);
+  ASSERT_EQ(v2.num_rows(), 2);
+  for (int64_t r = 0; r < v2.num_rows(); ++r) {
+    if (v2.ColumnByName("src")->GetInt64(r) == 1) {
+      EXPECT_DOUBLE_EQ(v2.ColumnByName("weight")->GetDouble(r), 9.0);
+    } else {
+      EXPECT_DOUBLE_EQ(v2.ColumnByName("weight")->GetDouble(r), 1.0);
+    }
+  }
+}
+
+TEST(TemporalQueriesTest, PageRankDeltaDetectsChange) {
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  // v1: chain 0->1->2. v2: extra edges into 2 boost its rank.
+  ASSERT_TRUE(store.CommitVersion(
+                       EdgeRows({{0, 1, 1.0}, {1, 2, 1.0}, {3, 0, 1.0}}))
+                  .ok());
+  ASSERT_TRUE(store.AddEdges(EdgeRows({{3, 2, 1.0}, {0, 2, 1.0}})).ok());
+  auto delta = PageRankDelta(store, 1, 2, 10);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  ASSERT_GT(delta->num_rows(), 0);
+  // Vertex 2's rank must have increased.
+  bool found2 = false;
+  for (int64_t r = 0; r < delta->num_rows(); ++r) {
+    if (delta->ColumnByName("id")->GetInt64(r) == 2) {
+      found2 = true;
+      EXPECT_GT(delta->ColumnByName("delta")->GetDouble(r), 0.0);
+    }
+  }
+  EXPECT_TRUE(found2);
+}
+
+TEST(TemporalQueriesTest, ShortestPathDecreaseFindsShortcut) {
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  // v1: 0->1->2->3 (each weight 1). v2 adds shortcut 0->3 (weight 1).
+  ASSERT_TRUE(store.CommitVersion(
+                       EdgeRows({{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}}))
+                  .ok());
+  ASSERT_TRUE(store.AddEdges(EdgeRows({{0, 3, 1.0}})).ok());
+  auto closer = ShortestPathDecrease(store, 1, 2, /*source=*/0,
+                                     /*min_decrease=*/1.0);
+  ASSERT_TRUE(closer.ok()) << closer.status().ToString();
+  ASSERT_EQ(closer->num_rows(), 1);
+  EXPECT_EQ(closer->ColumnByName("id")->GetInt64(0), 3);
+  EXPECT_DOUBLE_EQ(closer->ColumnByName("old_dist")->GetDouble(0), 3.0);
+  EXPECT_DOUBLE_EQ(closer->ColumnByName("new_dist")->GetDouble(0), 1.0);
+}
+
+TEST(TemporalQueriesTest, NewlyReachableCountsAsCloser) {
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  ASSERT_TRUE(store.CommitVersion(EdgeRows({{0, 1, 1.0}, {2, 3, 1.0}})).ok());
+  ASSERT_TRUE(store.AddEdges(EdgeRows({{1, 2, 1.0}})).ok());
+  auto closer = ShortestPathDecrease(store, 1, 2, 0);
+  ASSERT_TRUE(closer.ok());
+  // Vertices 2 and 3 become reachable (infinite decrease).
+  EXPECT_EQ(closer->num_rows(), 2);
+}
+
+TEST(ContinuousTest, PollProcessesEachVersionOnce) {
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  ASSERT_TRUE(store.CommitVersion(EdgeRows({{0, 1, 1.0}})).ok());
+
+  int runs = 0;
+  ContinuousRunner runner(&store, "edge count",
+                          [&runs](const Table& edges) -> Result<Table> {
+                            ++runs;
+                            Table t(Schema({{"edges", DataType::kInt64}}));
+                            VX_RETURN_NOT_OK(
+                                t.AppendRow({Value(edges.num_rows())}));
+                            return t;
+                          });
+  auto ticks = runner.Poll();
+  ASSERT_TRUE(ticks.ok());
+  EXPECT_EQ(ticks->size(), 1u);
+  EXPECT_EQ(runs, 1);
+
+  // No new versions: nothing re-runs.
+  ticks = runner.Poll();
+  EXPECT_TRUE(ticks->empty());
+  EXPECT_EQ(runs, 1);
+
+  // Two new versions: both evaluated, in order.
+  ASSERT_TRUE(store.AddEdges(EdgeRows({{1, 2, 1.0}})).ok());
+  ASSERT_TRUE(store.AddEdges(EdgeRows({{2, 3, 1.0}})).ok());
+  ticks = runner.Poll();
+  ASSERT_TRUE(ticks.ok());
+  ASSERT_EQ(ticks->size(), 2u);
+  EXPECT_EQ((*ticks)[0].version, 2);
+  EXPECT_EQ((*ticks)[1].version, 3);
+  EXPECT_EQ((*ticks)[0].result.column(0).GetInt64(0), 2);
+  EXPECT_EQ((*ticks)[1].result.column(0).GetInt64(0), 3);
+  EXPECT_EQ(runner.history().size(), 3u);
+}
+
+TEST(ContinuousTest, AnalysisTimingsRecorded) {
+  Catalog cat;
+  VersionedGraphStore store(&cat);
+  Graph g = GenerateRmat(60, 250, 81);
+  ASSERT_TRUE(store.CommitVersion(MakeEdgeListTable(g)).ok());
+  ContinuousRunner runner(&store, "triangles",
+                          [](const Table& edges) -> Result<Table> {
+                            return SqlPerNodeTriangles(edges);
+                          });
+  auto ticks = runner.Poll();
+  ASSERT_TRUE(ticks.ok());
+  ASSERT_EQ(ticks->size(), 1u);
+  EXPECT_GE((*ticks)[0].seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace vertexica

@@ -1,0 +1,387 @@
+// Tests for the Vertexica core: graph tables, the worker UDF, the
+// coordinator superstep loop, and the §2.3 optimizations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/reference.h"
+#include "algorithms/sssp.h"
+#include "graphgen/generators.h"
+#include "vertexica/coordinator.h"
+#include "vertexica/graph_tables.h"
+#include "vertexica/worker.h"
+
+namespace vertexica {
+namespace {
+
+// A tiny weighted digraph used across tests:
+//   0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (2), 2 -> 3 (1), 1 -> 3 (7)
+Graph Diamond() {
+  Graph g;
+  g.num_vertices = 4;
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 2, 4.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(2, 3, 1.0);
+  g.AddEdge(1, 3, 7.0);
+  return g;
+}
+
+TEST(GraphTablesTest, SchemasMatchPaperLayout) {
+  Schema v = MakeVertexSchema(2);
+  EXPECT_EQ(v.num_fields(), 4);  // id, halted, v0, v1
+  EXPECT_EQ(v.field(0).name, "id");
+  EXPECT_EQ(v.field(1).name, "halted");
+  Schema e = MakeEdgeSchema();
+  EXPECT_EQ(e.num_fields(), 3);  // src, dst, weight
+  Schema m = MakeMessageSchema(1);
+  EXPECT_EQ(m.num_fields(), 3);  // src (sender), dst (receiver), m0
+  Schema u = MakeUnionSchema(2);
+  EXPECT_EQ(u.num_fields(), 6);  // id, kind, other, halted, p0, p1
+}
+
+TEST(GraphTablesTest, LoadCreatesThreeTables) {
+  Catalog cat;
+  PageRankProgram program(3);
+  ASSERT_TRUE(LoadGraphTables(&cat, Diamond(), program).ok());
+  EXPECT_EQ(*cat.RowCount("vertex"), 4);
+  EXPECT_EQ(*cat.RowCount("edge"), 5);
+  EXPECT_EQ(*cat.RowCount("message"), 0);
+  auto vertex = *cat.GetTable("vertex");
+  // Initial rank = 1/N, halted = false.
+  EXPECT_DOUBLE_EQ(vertex->ColumnByName("v0")->GetDouble(0), 0.25);
+  EXPECT_FALSE(vertex->ColumnByName("halted")->GetBool(0));
+  auto edge = *cat.GetTable("edge");
+  EXPECT_DOUBLE_EQ(edge->ColumnByName("weight")->GetDouble(1), 4.0);
+}
+
+TEST(GraphTablesTest, ReadVertexValuesDense) {
+  Catalog cat;
+  ShortestPathProgram program(0);
+  ASSERT_TRUE(LoadGraphTables(&cat, Diamond(), program).ok());
+  auto vals = ReadVertexValues(cat, {});
+  ASSERT_TRUE(vals.ok());
+  ASSERT_EQ(vals->size(), 4u);
+  EXPECT_DOUBLE_EQ((*vals)[0], 0.0);
+  EXPECT_TRUE(std::isinf((*vals)[1]));
+}
+
+TEST(GraphTablesTest, WithRowNumbers) {
+  Table t(Schema({{"x", DataType::kInt64}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{9})}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{8})}));
+  Table seq = WithRowNumbers(t, "seq");
+  EXPECT_EQ(seq.num_columns(), 2);
+  EXPECT_EQ(seq.ColumnByName("seq")->GetInt64(0), 0);
+  EXPECT_EQ(seq.ColumnByName("seq")->GetInt64(1), 1);
+}
+
+TEST(PageRankVertexCentricTest, MatchesReference) {
+  Graph g = Diamond();
+  Catalog cat;
+  auto ranks = RunPageRank(&cat, g, /*iters=*/10);
+  ASSERT_TRUE(ranks.ok()) << ranks.status().ToString();
+  auto expect = PageRankReference(g, 10);
+  ASSERT_EQ(ranks->size(), expect.size());
+  for (size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_NEAR((*ranks)[v], expect[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(PageRankVertexCentricTest, MatchesReferenceOnRandomGraph) {
+  Graph g = GenerateRmat(200, 1500, 17);
+  Catalog cat;
+  auto ranks = RunPageRank(&cat, g, 8);
+  ASSERT_TRUE(ranks.ok());
+  auto expect = PageRankReference(g, 8);
+  for (size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_NEAR((*ranks)[v], expect[v], 1e-9);
+  }
+}
+
+TEST(PageRankVertexCentricTest, StatsRecordSupersteps) {
+  Graph g = Diamond();
+  Catalog cat;
+  RunStats stats;
+  auto ranks = RunPageRank(&cat, g, 5, 0.85, {}, &stats);
+  ASSERT_TRUE(ranks.ok());
+  // iterations 0..5 compute, then one final no-op check.
+  EXPECT_EQ(stats.num_supersteps(), 6);
+  EXPECT_GT(stats.total_messages, 0);
+  EXPECT_EQ(stats.supersteps[0].active_vertices, 4);
+}
+
+TEST(PageRankVertexCentricTest, PhaseBreakdownSumsToStepTime) {
+  Graph g = GenerateRmat(128, 900, 18);
+  Catalog cat;
+  RunStats stats;
+  ASSERT_TRUE(RunPageRank(&cat, g, 4, 0.85, {}, &stats).ok());
+  for (const auto& s : stats.supersteps) {
+    const double phases = s.input_seconds + s.worker_seconds +
+                          s.split_seconds + s.apply_seconds;
+    EXPECT_GT(phases, 0.0);
+    EXPECT_LE(phases, s.seconds * 1.05 + 1e-3);
+    EXPECT_GT(s.input_rows, 0);
+  }
+}
+
+TEST(SsspVertexCentricTest, MatchesDijkstra) {
+  Graph g = Diamond();
+  Catalog cat;
+  auto dist = RunShortestPaths(&cat, g, 0);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  auto expect = DijkstraReference(g, 0);
+  ASSERT_EQ(dist->size(), expect.size());
+  for (size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_DOUBLE_EQ((*dist)[v], expect[v]) << "vertex " << v;
+  }
+  EXPECT_DOUBLE_EQ((*dist)[3], 4.0);  // 0->1->2->3 = 1+2+1
+}
+
+TEST(SsspVertexCentricTest, UnreachableStaysInfinite) {
+  Graph g;
+  g.num_vertices = 3;
+  g.AddEdge(0, 1, 1.0);
+  Catalog cat;
+  auto dist = RunShortestPaths(&cat, g, 0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_TRUE(std::isinf((*dist)[2]));
+}
+
+TEST(SsspVertexCentricTest, MessageDrivenHaltsEarly) {
+  Graph g = Diamond();
+  Catalog cat;
+  RunStats stats;
+  auto dist = RunShortestPaths(&cat, g, 0, {}, &stats);
+  ASSERT_TRUE(dist.ok());
+  // Diamond has diameter 3; the run should finish in a handful of
+  // supersteps, not the max cap.
+  EXPECT_LE(stats.num_supersteps(), 6);
+}
+
+TEST(OptimizationTest, JoinInputMatchesUnionInput) {
+  Graph g = GenerateRmat(128, 800, 5);
+  VertexicaOptions union_opts;
+  union_opts.use_union_input = true;
+  VertexicaOptions join_opts;
+  join_opts.use_union_input = false;
+
+  Catalog cat1;
+  auto r1 = RunPageRank(&cat1, g, 5, 0.85, union_opts);
+  Catalog cat2;
+  auto r2 = RunPageRank(&cat2, g, 5, 0.85, join_opts);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_EQ(r1->size(), r2->size());
+  for (size_t v = 0; v < r1->size(); ++v) {
+    EXPECT_NEAR((*r1)[v], (*r2)[v], 1e-9);
+  }
+}
+
+TEST(OptimizationTest, JoinInputMatchesUnionInputForSssp) {
+  Graph g = GenerateRmat(128, 800, 6);
+  AssignRandomWeights(&g, 1.0, 5.0, 7);
+  VertexicaOptions join_opts;
+  join_opts.use_union_input = false;
+  Catalog cat1;
+  auto d1 = RunShortestPaths(&cat1, g, 0);
+  Catalog cat2;
+  auto d2 = RunShortestPaths(&cat2, g, 0, join_opts);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  for (size_t v = 0; v < d1->size(); ++v) {
+    EXPECT_DOUBLE_EQ((*d1)[v], (*d2)[v]);
+  }
+}
+
+TEST(OptimizationTest, CombinerOnOffSameResult) {
+  Graph g = GenerateRmat(128, 800, 8);
+  VertexicaOptions no_comb;
+  no_comb.use_combiner = false;
+  Catalog cat1;
+  auto r1 = RunPageRank(&cat1, g, 5);
+  Catalog cat2;
+  auto r2 = RunPageRank(&cat2, g, 5, 0.85, no_comb);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t v = 0; v < r1->size(); ++v) {
+    EXPECT_NEAR((*r1)[v], (*r2)[v], 1e-9);
+  }
+}
+
+TEST(OptimizationTest, CombinerShrinksMessageTable) {
+  Graph g = GenerateRmat(128, 2000, 9);
+  VertexicaOptions with_comb;
+  with_comb.use_combiner = true;
+  VertexicaOptions no_comb;
+  no_comb.use_combiner = false;
+  Catalog cat1;
+  RunStats s1;
+  ASSERT_TRUE(RunPageRank(&cat1, g, 4, 0.85, with_comb, &s1).ok());
+  Catalog cat2;
+  RunStats s2;
+  ASSERT_TRUE(RunPageRank(&cat2, g, 4, 0.85, no_comb, &s2).ok());
+  EXPECT_LT(s1.total_messages, s2.total_messages);
+}
+
+TEST(OptimizationTest, UpdateVsReplaceSameResult) {
+  Graph g = GenerateRmat(128, 900, 10);
+  VertexicaOptions always_update;
+  always_update.update_threshold = 1.1;  // always in-place
+  VertexicaOptions always_replace;
+  always_replace.update_threshold = 0.0;  // always rebuild
+  Catalog cat1;
+  auto r1 = RunPageRank(&cat1, g, 5, 0.85, always_update);
+  Catalog cat2;
+  auto r2 = RunPageRank(&cat2, g, 5, 0.85, always_replace);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t v = 0; v < r1->size(); ++v) {
+    EXPECT_NEAR((*r1)[v], (*r2)[v], 1e-9);
+  }
+}
+
+TEST(OptimizationTest, ReplaceDecisionFollowsThreshold) {
+  Graph g = Diamond();
+  Catalog cat;
+  RunStats stats;
+  VertexicaOptions opts;
+  opts.update_threshold = 0.0;  // force replace
+  ASSERT_TRUE(RunPageRank(&cat, g, 3, 0.85, opts, &stats).ok());
+  for (const auto& s : stats.supersteps) {
+    if (s.vertex_updates > 0) {
+      EXPECT_TRUE(s.used_replace);
+    }
+  }
+  Catalog cat2;
+  RunStats stats2;
+  opts.update_threshold = 1.1;  // force in-place
+  ASSERT_TRUE(RunPageRank(&cat2, g, 3, 0.85, opts, &stats2).ok());
+  for (const auto& s : stats2.supersteps) {
+    EXPECT_FALSE(s.used_replace);
+  }
+}
+
+TEST(OptimizationTest, WorkerAndPartitionCountsDontChangeResults) {
+  Graph g = GenerateRmat(128, 700, 11);
+  std::vector<double> base;
+  for (int workers : {1, 2, 4}) {
+    for (int partitions : {0, 1, 8}) {
+      VertexicaOptions opts;
+      opts.num_workers = workers;
+      opts.num_partitions = partitions;
+      Catalog cat;
+      auto r = RunPageRank(&cat, g, 4, 0.85, opts);
+      ASSERT_TRUE(r.ok());
+      if (base.empty()) {
+        base = *r;
+      } else {
+        for (size_t v = 0; v < base.size(); ++v) {
+          EXPECT_NEAR((*r)[v], base[v], 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(CoordinatorTest, AggregatorTracksRankMass) {
+  Graph g = GenerateRmat(100, 600, 12);
+  PageRankProgram program(4);
+  Catalog cat;
+  ASSERT_TRUE(LoadGraphTables(&cat, g, program).ok());
+  Coordinator coord(&cat, &program);
+  ASSERT_TRUE(coord.Run().ok());
+  // Total rank mass stays near 1 (dangling vertices leak a little).
+  auto it = coord.aggregates().find("pagerank_mass");
+  ASSERT_NE(it, coord.aggregates().end());
+  EXPECT_GT(it->second, 0.3);
+  EXPECT_LE(it->second, 1.01);
+}
+
+TEST(CoordinatorTest, MaxSuperstepsBounds) {
+  Graph g = Diamond();
+  PageRankProgram program(1000);  // would run long
+  Catalog cat;
+  ASSERT_TRUE(LoadGraphTables(&cat, g, program).ok());
+  VertexicaOptions opts;
+  opts.max_supersteps = 3;
+  RunStats stats;
+  Coordinator coord(&cat, &program, opts);
+  ASSERT_TRUE(coord.Run(&stats).ok());
+  EXPECT_EQ(stats.num_supersteps(), 3);
+}
+
+TEST(CoordinatorTest, EmptyGraphTerminatesImmediately) {
+  Graph g;
+  g.num_vertices = 3;  // no edges
+  Catalog cat;
+  auto dist = RunShortestPaths(&cat, g, 0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ((*dist)[0], 0.0);
+  EXPECT_TRUE(std::isinf((*dist)[1]));
+}
+
+TEST(WorkerTest, RunnerSkipsInactiveVertex) {
+  PageRankProgram program(2);
+  WorkerSharedState shared;
+  shared.program = &program;
+  shared.superstep = 1;  // not superstep 0
+  shared.num_vertices = 10;
+  shared.payload_arity = 1;
+  std::map<std::string, double> prev;
+  shared.prev_aggregates = &prev;
+
+  VertexRunner runner(&shared);
+  UnionRowBuffer out(1);
+  const double value = 0.1;
+  runner.BeginVertex(5, /*halted=*/true, &value);  // halted, no messages
+  EXPECT_FALSE(runner.FinishVertex(&out));
+  EXPECT_TRUE(out.id.empty());
+}
+
+TEST(WorkerTest, RunnerReactivatesOnMessage) {
+  ShortestPathProgram program(0);
+  WorkerSharedState shared;
+  shared.program = &program;
+  shared.superstep = 2;
+  shared.num_vertices = 10;
+  shared.payload_arity = 1;
+  std::map<std::string, double> prev;
+  shared.prev_aggregates = &prev;
+
+  VertexRunner runner(&shared);
+  UnionRowBuffer out(1);
+  const double inf = std::numeric_limits<double>::infinity();
+  runner.BeginVertex(5, /*halted=*/true, &inf);
+  runner.AddEdge(6, 1.0);
+  const double msg = 3.0;
+  runner.AddMessage(&msg);
+  EXPECT_TRUE(runner.FinishVertex(&out));
+  // Vertex row with changed state + one relaxation message to vertex 6.
+  ASSERT_EQ(out.id.size(), 2u);
+  EXPECT_EQ(out.kind[0], kVertexTuple);
+  EXPECT_DOUBLE_EQ(out.payload[0][0], 3.0);
+  EXPECT_EQ(out.kind[1], kMessageTuple);
+  EXPECT_EQ(out.id[1], 6);
+  EXPECT_DOUBLE_EQ(out.payload[0][1], 4.0);
+}
+
+TEST(WorkerTest, UnionBufferToTable) {
+  UnionRowBuffer buf(2);
+  const double p[2] = {1.5, 2.5};
+  buf.AppendRow(7, kMessageTuple, 3, false, p, 2);
+  Table t = buf.ToTable();
+  EXPECT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.ColumnByName("id")->GetInt64(0), 7);
+  EXPECT_DOUBLE_EQ(t.ColumnByName("p1")->GetDouble(0), 2.5);
+  // Buffer is reusable after ToTable.
+  buf.AppendRow(1, kVertexTuple, 0, true, p, 1);
+  Table t2 = buf.ToTable();
+  EXPECT_EQ(t2.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(t2.ColumnByName("p1")->GetDouble(0), 0.0);  // padded
+}
+
+}  // namespace
+}  // namespace vertexica
