@@ -10,11 +10,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "api/engine.h"
+#include "common/logging.h"
 #include "graphgen/datasets.h"
 #include "graphgen/generators.h"
 
@@ -52,15 +55,97 @@ inline double GiraphPerMessageNs() { return 300.0; }
 inline double GdbAccessLatencyNs() { return 2000.0; }
 
 /// \brief Cached scaled dataset instances (generation is deterministic).
-inline const Graph& GetDataset(DatasetId id) {
+/// Shared pointers so the Engine facade references the cached instance
+/// instead of copying LiveJournal-scale edge lists.
+inline std::shared_ptr<const Graph> GetDatasetShared(DatasetId id) {
   static std::mutex mutex;
-  static std::map<DatasetId, Graph> cache;
+  static std::map<DatasetId, std::shared_ptr<const Graph>> cache;
   std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(id);
   if (it == cache.end()) {
-    it = cache.emplace(id, MakeDataset(id, Scale())).first;
+    it = cache
+             .emplace(id,
+                      std::make_shared<const Graph>(MakeDataset(id, Scale())))
+             .first;
   }
   return it->second;
+}
+
+inline const Graph& GetDataset(DatasetId id) { return *GetDatasetShared(id); }
+
+/// \brief Engine with dataset `id` loaded. Backends prepare lazily, so
+/// e.g. the record-store bulk load is only paid by benches that actually
+/// target graphdb. Only the most recent dataset's engine is kept: figure
+/// benches run grouped by dataset, and retaining every prepared engine
+/// (catalog tables, record stores) would accumulate across datasets. The
+/// returned reference is valid until the next EngineFor with another id.
+inline Engine& EngineFor(DatasetId id) {
+  static std::mutex mutex;
+  static std::map<DatasetId, Engine> engines;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = engines.find(id);
+  if (it == engines.end()) {
+    engines.clear();
+    it = engines.try_emplace(id).first;
+    VX_CHECK_OK(it->second.LoadGraph(GetDatasetShared(id)));
+  }
+  return it->second;
+}
+
+/// \brief Request preloaded with the modeled-cost constants above, so every
+/// figure bench states its workload once and loops over backends.
+inline RunRequest MakeFigureRequest(std::string algorithm) {
+  RunRequest request;
+  request.algorithm = std::move(algorithm);
+  request.giraph.startup_overhead_ms = GiraphStartupMs();
+  request.giraph.per_message_overhead_ns = GiraphPerMessageNs();
+  request.gdb_access_latency_ns = GdbAccessLatencyNs();
+  return request;
+}
+
+/// \brief Series label used in the paper's figures for a backend id.
+inline std::string FigureLabel(const std::string& backend) {
+  if (backend == kVertexicaBackendId) return "Vertexica";
+  if (backend == kSqlGraphBackendId) return "Vertexica(SQL)";
+  if (backend == kGiraphBackendId) return "Giraph";
+  if (backend == kGraphDbBackendId) return "GraphDatabase";
+  return backend;
+}
+
+/// \brief Registers one dataset × backend benchmark grid for a Figure-2
+/// style comparison, encoding the paper's policy that the graph database
+/// runs only the smallest graph. Shared by bench_fig2a / bench_fig2b.
+inline void RegisterFigureBenchmarks(
+    const std::string& prefix,
+    void (*fn)(benchmark::State&, DatasetId, const std::string&)) {
+  Engine probe;
+  for (DatasetId id : AllDatasets()) {
+    for (const std::string& backend : probe.backends()) {
+      // The paper: "the graph database runs only for the smallest graph".
+      if (backend == kGraphDbBackendId && id != DatasetId::kTwitter) {
+        continue;
+      }
+      const std::string name =
+          prefix + "/" + DatasetName(id) + "/" + backend;
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [fn, id, backend](benchmark::State& state) {
+            fn(state, id, backend);
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+/// \brief Prints the unified per-superstep phase breakdown as one JSON line
+/// when VERTEXICA_BENCH_JSON is set (machine-readable bench output).
+inline void MaybeDumpStatsJson(const std::string& label,
+                               const RunStats& stats) {
+  const char* env = std::getenv("VERTEXICA_BENCH_JSON");
+  if (env == nullptr || env[0] == '\0' || env[0] == '0') return;
+  std::printf("STATS_JSON %s %s\n", label.c_str(), stats.ToJson().c_str());
 }
 
 /// \brief Collects (row, column) -> seconds results and renders the same

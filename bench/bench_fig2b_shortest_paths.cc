@@ -1,19 +1,17 @@
 /// \file bench_fig2b_shortest_paths.cc
 /// \brief Reproduces Figure 2(b): single-source shortest paths runtime on
-/// Twitter / GPlus / LiveJournal for the four systems.
+/// Twitter / GPlus / LiveJournal for the four systems, dispatched through
+/// the `vertexica::Engine` facade with one shared `RunRequest`.
 ///
 /// Expected shape (paper numbers at scale 1.0): GraphDB 395.6 s on Twitter
 /// (and absent on larger graphs); Giraph 43.7 s on Twitter vs Vertexica
 /// 10.4 s (>4x); Vertexica (SQL) fastest everywhere (2.96 s Twitter,
 /// 54.4 s LiveJournal).
+///
+/// Timing semantics: one-time backend preparation (Engine::Prepare) is
+/// outside the measured window for every backend; see bench_fig2a's note.
 
 #include "bench_common.h"
-
-#include "algorithms/sssp.h"
-#include "common/timer.h"
-#include "giraph/bsp_engine.h"
-#include "graphdb/gdb_algorithms.h"
-#include "sqlgraph/sql_shortest_paths.h"
 
 namespace vertexica {
 namespace bench {
@@ -26,92 +24,24 @@ FigureTable& Table2b() {
   return table;
 }
 
-void BM_GraphDatabase(benchmark::State& state, DatasetId id) {
-  const Graph& g = GetDataset(id);
-  graphdb::GraphDb db;
-  VX_CHECK_OK(db.LoadGraph(g));
+void BM_ShortestPaths(benchmark::State& state, DatasetId id,
+                      const std::string& backend) {
+  Engine& engine = EngineFor(id);
+  RunRequest request = MakeFigureRequest(kSssp);
+  request.backend = backend;
+  request.source = kSource;
   double seconds = 0;
   for (auto _ : state) {
-    graphdb::GdbRunStats stats;
-    stats.access_latency_ns = GdbAccessLatencyNs();
-    auto dist = graphdb::GdbShortestPaths(&db, kSource, &stats);
-    VX_CHECK(dist.ok()) << dist.status().ToString();
-    benchmark::DoNotOptimize(dist->data());
-    seconds = stats.total_seconds;  // measured + modeled record I/O
+    auto result = engine.Run(request);
+    VX_CHECK(result.ok()) << backend << ": " << result.status().ToString();
+    benchmark::DoNotOptimize(result->values.data());
+    seconds = result->stats.total_seconds;
     state.SetIterationTime(seconds);
+    MaybeDumpStatsJson(std::string(DatasetName(id)) + "/" + backend,
+                       result->stats);
   }
-  Table2b().Record(DatasetName(id), "GraphDatabase", seconds);
+  Table2b().Record(DatasetName(id), FigureLabel(backend), seconds);
 }
-
-void BM_Giraph(benchmark::State& state, DatasetId id) {
-  const Graph& g = GetDataset(id);
-  double seconds = 0;
-  for (auto _ : state) {
-    ShortestPathProgram program(kSource);
-    GiraphOptions opts;
-    opts.startup_overhead_ms = GiraphStartupMs();
-    opts.per_message_overhead_ns = GiraphPerMessageNs();
-    BspEngine engine(g, &program, opts);
-    GiraphStats stats;
-    VX_CHECK_OK(engine.Run(&stats));
-    seconds = stats.total_seconds;
-    state.SetIterationTime(seconds);
-  }
-  Table2b().Record(DatasetName(id), "Giraph", seconds);
-}
-
-void BM_VertexicaVertex(benchmark::State& state, DatasetId id) {
-  const Graph& g = GetDataset(id);
-  double seconds = 0;
-  for (auto _ : state) {
-    Catalog catalog;
-    RunStats stats;
-    auto dist = RunShortestPaths(&catalog, g, kSource, {}, &stats);
-    VX_CHECK(dist.ok()) << dist.status().ToString();
-    benchmark::DoNotOptimize(dist->data());
-    seconds = stats.total_seconds;
-    state.SetIterationTime(seconds);
-  }
-  Table2b().Record(DatasetName(id), "Vertexica", seconds);
-}
-
-void BM_VertexicaSql(benchmark::State& state, DatasetId id) {
-  const Graph& g = GetDataset(id);
-  double seconds = 0;
-  for (auto _ : state) {
-    WallTimer timer;
-    auto dist = SqlShortestPaths(g, kSource);
-    VX_CHECK(dist.ok()) << dist.status().ToString();
-    benchmark::DoNotOptimize(dist->data());
-    seconds = timer.ElapsedSeconds();
-    state.SetIterationTime(seconds);
-  }
-  Table2b().Record(DatasetName(id), "Vertexica(SQL)", seconds);
-}
-
-BENCHMARK_CAPTURE(BM_GraphDatabase, Twitter, DatasetId::kTwitter)
-    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
-
-BENCHMARK_CAPTURE(BM_Giraph, Twitter, DatasetId::kTwitter)
-    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Giraph, GPlus, DatasetId::kGPlus)
-    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Giraph, LiveJournal, DatasetId::kLiveJournal)
-    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
-
-BENCHMARK_CAPTURE(BM_VertexicaVertex, Twitter, DatasetId::kTwitter)
-    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_VertexicaVertex, GPlus, DatasetId::kGPlus)
-    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_VertexicaVertex, LiveJournal, DatasetId::kLiveJournal)
-    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
-
-BENCHMARK_CAPTURE(BM_VertexicaSql, Twitter, DatasetId::kTwitter)
-    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_VertexicaSql, GPlus, DatasetId::kGPlus)
-    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_VertexicaSql, LiveJournal, DatasetId::kLiveJournal)
-    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bench
@@ -119,6 +49,8 @@ BENCHMARK_CAPTURE(BM_VertexicaSql, LiveJournal, DatasetId::kLiveJournal)
 
 int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
+  vertexica::bench::RegisterFigureBenchmarks(
+      "ShortestPaths", vertexica::bench::BM_ShortestPaths);
   ::benchmark::RunSpecifiedBenchmarks();
   ::vertexica::bench::Table2b().Print();
   return 0;

@@ -13,9 +13,7 @@
 #include "pipeline/nodes.h"
 #include "sqlgraph/clustering_coefficient.h"
 #include "sqlgraph/sql_common.h"
-#include "sqlgraph/sql_shortest_paths.h"
 #include "sqlgraph/strong_overlap.h"
-#include "sqlgraph/triangle_count.h"
 #include "sqlgraph/weak_ties.h"
 
 namespace vertexica {
@@ -44,21 +42,35 @@ const Graph& HybridGraph() {
   return g;
 }
 
-void BM_TriangleCounting(benchmark::State& state) {
-  Table edges = MakeEdgeListTable(HybridGraph());
+/// The facade instance all registry-dispatched hybrid benches share. The
+/// sqlgraph backend is prepared eagerly so wall-timed benches never fold
+/// its one-time table materialization into a measured window (lazy Prepare
+/// would land in whichever bench happens to run first).
+Engine& HybridEngine() {
+  static Engine& engine = []() -> Engine& {
+    static Engine e;
+    VX_CHECK_OK(e.LoadGraph(HybridGraph()));
+    VX_CHECK_OK(e.PrepareBackend(kSqlGraphBackendId));
+    return e;
+  }();
+  return engine;
+}
+
+// Triangle counting runs on every backend the AlgorithmRegistry lists for
+// it (registered dynamically in main), quantifying §3.2's point: the 1-hop
+// query is natural in SQL and a quadratic message blow-up vertex-centric.
+void BM_TriangleCounting(benchmark::State& state,
+                         const std::string& backend) {
   double seconds = 0;
   for (auto _ : state) {
-    WallTimer timer;
-    auto count = SqlTriangleCount(edges);
-    VX_CHECK(count.ok()) << count.status().ToString();
-    benchmark::DoNotOptimize(*count);
-    seconds = timer.ElapsedSeconds();
+    auto result = HybridEngine().Run(kTriangleCount, backend);
+    VX_CHECK(result.ok()) << backend << ": " << result.status().ToString();
+    benchmark::DoNotOptimize(result->aggregates.at("triangles"));
+    seconds = result->stats.total_seconds;
     state.SetIterationTime(seconds);
   }
-  Table32().Record("Twitter/4", "Triangles", seconds);
+  Table32().Record("Twitter/4", "Tri:" + FigureLabel(backend), seconds);
 }
-BENCHMARK(BM_TriangleCounting)->UseManualTime()->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
 
 void BM_StrongOverlap(benchmark::State& state) {
   Table edges = MakeEdgeListTable(HybridGraph());
@@ -134,16 +146,23 @@ void BM_ImportantBridges(benchmark::State& state) {
 BENCHMARK(BM_ImportantBridges)->UseManualTime()->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+// Composed hybrid query: a 1-hop SQL analysis (max clustering coefficient)
+// seeds a multi-hop traversal dispatched through the facade.
 void BM_SsspFromMostClustered(benchmark::State& state) {
   Table edges = MakeEdgeListTable(HybridGraph());
+  VX_CHECK(AlgorithmRegistry::Global()->Supports(kSssp, kSqlGraphBackendId));
   double seconds = 0;
   for (auto _ : state) {
     WallTimer timer;
     auto seed = SqlMaxClusteringVertex(edges);
     VX_CHECK(seed.ok()) << seed.status().ToString();
-    auto dist = SqlShortestPaths(HybridGraph(), *seed);
+    RunRequest request;
+    request.algorithm = kSssp;
+    request.backend = kSqlGraphBackendId;
+    request.source = *seed;
+    auto dist = HybridEngine().Run(request);
     VX_CHECK(dist.ok()) << dist.status().ToString();
-    benchmark::DoNotOptimize(dist->data());
+    benchmark::DoNotOptimize(dist->values.data());
     seconds = timer.ElapsedSeconds();
     state.SetIterationTime(seconds);
   }
@@ -158,6 +177,25 @@ BENCHMARK(BM_SsspFromMostClustered)->UseManualTime()->Iterations(1)
 
 int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
+  // Build the shared engine (graph load + eager sqlgraph Prepare) before
+  // any benchmark runs, so no wall-timed window pays the one-time setup.
+  vertexica::bench::HybridEngine();
+  // Triangle counting: one bench per backend the registry lists, instead of
+  // a hard-coded SQL call.
+  vertexica::EnsureBuiltinAlgorithms();
+  for (const std::string& backend :
+       vertexica::AlgorithmRegistry::Global()->BackendsFor(
+           vertexica::kTriangleCount)) {
+    const std::string name = "TriangleCounting/" + backend;
+    ::benchmark::RegisterBenchmark(
+        name.c_str(),
+        [backend](benchmark::State& state) {
+          vertexica::bench::BM_TriangleCounting(state, backend);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
   ::benchmark::RunSpecifiedBenchmarks();
   ::vertexica::bench::Table32().Print();
   return 0;

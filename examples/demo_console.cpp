@@ -19,34 +19,41 @@
 ///   load csv FILE             load an edge list (src,dst[,weight]) CSV
 ///   filter TYPE               scope analysis to edges of one type
 ///   unfilter                  clear the scope
-///   pagerank [ITERS]          SQL PageRank over the current scope
-///   sssp SRC                  SQL shortest paths from SRC
-///   triangles                 total triangle count
+///   backend [NAME]            show or pick the execution backend
+///   backends                  list backends and their algorithms
+///   pagerank [ITERS]          PageRank on the selected backend
+///   sssp SRC                  shortest paths from SRC on the backend
+///   triangles                 total triangle count on the backend
 ///   weakties MIN              bridge nodes with >= MIN open pairs
 ///   overlap MIN               node pairs with >= MIN common neighbours
 ///   top COLUMN K              show top-K rows of the last result
 ///   stats                     graph + last-run statistics
 ///   quit
+///
+/// Graph algorithms go through the `Engine` facade, so `backend giraph`
+/// re-runs the very same commands on the BSP comparator (or `graphdb`,
+/// `vertexica`) — the demo's own Figure-2 toggle.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "exec/plan_builder.h"
 #include "graphgen/generators.h"
 #include "graphgen/metadata.h"
 #include "sqlgraph/graph_extraction.h"
-#include "sqlgraph/sql_common.h"
-#include "sqlgraph/sql_pagerank.h"
-#include "sqlgraph/sql_shortest_paths.h"
 #include "sqlgraph/strong_overlap.h"
-#include "sqlgraph/triangle_count.h"
 #include "sqlgraph/weak_ties.h"
 #include "storage/csv.h"
+#include "vertexica/vertexica.h"
 
 using namespace vertexica;  // NOLINT — example brevity
 
@@ -58,8 +65,99 @@ struct Session {
   std::optional<Table> last;       // last result, for `top`
   double last_seconds = 0;
 
+  Engine engine;                   // facade over all four backends
+  std::string backend = kSqlGraphBackendId;  // the demo's historic default
+  bool engine_stale = true;        // edges/scope changed since LoadGraph
+  std::string last_stats_json;     // unified stats of the last engine run
+  std::vector<int64_t> vertex_ids;  // dense engine id -> original id
+
   const Table& Current() const { return scope ? *scope : *edges; }
 };
+
+/// Re-loads the engine from the current scope. Original vertex ids may be
+/// arbitrary and sparse (CSV loads); the engine works on dense per-vertex
+/// state, so ids are compacted onto [0, n) with `vertex_ids` recording the
+/// mapping back — feeding e.g. id 1e9 straight in would allocate a billion
+/// phantom vertices and distort PageRank normalization.
+Status SyncEngine(Session* s) {
+  if (!s->engine_stale) return Status::OK();
+  const Table& edges = s->Current();
+  const Column* src = edges.ColumnByName("src");
+  const Column* dst = edges.ColumnByName("dst");
+  if (src == nullptr || dst == nullptr) {
+    return Status::InvalidArgument("edge table lacks src/dst columns");
+  }
+  const Column* weight = edges.ColumnByName("weight");
+  std::map<int64_t, int64_t> dense;  // original id -> dense id, id-ordered
+  for (int64_t r = 0; r < edges.num_rows(); ++r) {
+    dense.emplace(src->GetInt64(r), 0);
+    dense.emplace(dst->GetInt64(r), 0);
+  }
+  s->vertex_ids.clear();
+  s->vertex_ids.reserve(dense.size());
+  for (auto& [original, id] : dense) {
+    id = static_cast<int64_t>(s->vertex_ids.size());
+    s->vertex_ids.push_back(original);
+  }
+  Graph g;
+  g.num_vertices = static_cast<int64_t>(dense.size());
+  for (int64_t r = 0; r < edges.num_rows(); ++r) {
+    g.AddEdge(dense[src->GetInt64(r)], dense[dst->GetInt64(r)],
+              weight != nullptr ? weight->GetNumeric(r) : 1.0);
+  }
+  VX_RETURN_NOT_OK(s->engine.LoadGraph(std::move(g)));
+  s->engine_stale = false;
+  return Status::OK();
+}
+
+/// Runs one facade request and reports like the SQL commands do. The
+/// request carries *original* vertex ids; they are translated to the
+/// engine's dense ids here and back when materializing the result.
+void RunOnBackend(Session* s, RunRequest request) {
+  request.backend = s->backend;
+  auto sync = SyncEngine(s);
+  if (!sync.ok()) {
+    std::printf("error: %s\n", sync.ToString().c_str());
+    return;
+  }
+  if (request.algorithm == kSssp) {
+    auto it = std::lower_bound(s->vertex_ids.begin(), s->vertex_ids.end(),
+                               request.source);
+    if (it == s->vertex_ids.end() || *it != request.source) {
+      std::printf("error: vertex %lld not in the current graph\n",
+                  static_cast<long long>(request.source));
+      return;
+    }
+    request.source = it - s->vertex_ids.begin();
+  }
+  auto result = s->engine.Run(request);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  s->last_seconds = result->stats.total_seconds;
+  s->last_stats_json = result->stats.ToJson();
+  if (result->values.empty()) {
+    for (const auto& [name, value] : result->aggregates) {
+      std::printf("%s = %.0f ", name.c_str(), value);
+    }
+    std::printf("on '%s' in %.3f s\n", result->backend.c_str(),
+                s->last_seconds);
+    return;
+  }
+  // Like ToTable(), but reporting the session's original vertex ids.
+  Table out(Schema({{"id", DataType::kInt64},
+                    {result->value_name, DataType::kDouble}}));
+  for (size_t v = 0; v < result->values.size(); ++v) {
+    VX_CHECK_OK(out.AppendRow(
+        {Value(s->vertex_ids[v]), Value(result->values[v])}));
+  }
+  s->last = std::move(out);
+  std::printf("%lld rows on '%s' in %.3f s\n",
+              static_cast<long long>(s->last->num_rows()),
+              result->backend.c_str(), s->last_seconds);
+  std::printf("%s", s->last->ToString(5).c_str());
+}
 
 void Report(Session* s, const WallTimer& timer, Result<Table> result) {
   if (!result.ok()) {
@@ -67,19 +165,11 @@ void Report(Session* s, const WallTimer& timer, Result<Table> result) {
     return;
   }
   s->last_seconds = timer.ElapsedSeconds();
+  s->last_stats_json.clear();  // this query ran outside the engine
   s->last = std::move(result).MoveValueUnsafe();
   std::printf("%lld rows in %.3f s\n",
               static_cast<long long>(s->last->num_rows()), s->last_seconds);
   std::printf("%s", s->last->ToString(5).c_str());
-}
-
-Result<Table> VerticesOf(const Table& edges) {
-  return PlanBuilder::Scan(edges)
-      .Select({"src"})
-      .Rename({"id"})
-      .Union(PlanBuilder::Scan(edges).Select({"dst"}).Rename({"id"}))
-      .Distinct()
-      .Execute();
 }
 
 void HandleLoad(Session* s, std::istringstream& args) {
@@ -109,6 +199,7 @@ void HandleLoad(Session* s, std::istringstream& args) {
     s->edges = GenerateEdgeMetadata(g, 8);
   }
   s->scope.reset();
+  s->engine_stale = true;
   std::printf("loaded %lld edges %s\n",
               static_cast<long long>(s->edges->num_rows()),
               s->edges->schema().ToString().c_str());
@@ -126,8 +217,8 @@ int main() {
     if (!(args >> cmd) || cmd.empty()) continue;
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
-      std::printf("commands: load filter unfilter pagerank sssp triangles "
-                  "weakties overlap top degrees stats quit\n");
+      std::printf("commands: load filter unfilter backend backends pagerank "
+                  "sssp triangles weakties overlap top degrees stats quit\n");
       continue;
     }
     if (cmd == "load") {
@@ -151,36 +242,52 @@ int main() {
                     static_cast<long long>(session.edges->num_rows()),
                     type.c_str());
         session.scope = std::move(filtered).MoveValueUnsafe();
+        session.engine_stale = true;
       } else {
         std::printf("error: %s\n", filtered.status().ToString().c_str());
       }
     } else if (cmd == "unfilter") {
       session.scope.reset();
+      session.engine_stale = true;
       std::printf("scope cleared\n");
+    } else if (cmd == "backend") {
+      std::string name;
+      if (args >> name) {
+        if (session.engine.backend(name) == nullptr) {
+          std::printf("unknown backend '%s' — try 'backends'\n", name.c_str());
+        } else {
+          session.backend = name;
+        }
+      }
+      std::printf("backend: %s\n", session.backend.c_str());
+    } else if (cmd == "backends") {
+      for (const std::string& id : session.engine.backends()) {
+        std::printf("%c %-10s", id == session.backend ? '*' : ' ',
+                    id.c_str());
+        for (const std::string& algo :
+             AlgorithmRegistry::Global()->AlgorithmsFor(id)) {
+          std::printf(" %s", algo.c_str());
+        }
+        std::printf("\n");
+      }
     } else if (cmd == "pagerank") {
-      int iters = 10;
-      args >> iters;
-      auto vertices = VerticesOf(session.Current());
-      if (vertices.ok()) {
-        Report(&session, timer,
-               SqlPageRank(*vertices, session.Current(), iters));
-      }
+      RunRequest request;
+      request.algorithm = kPageRank;
+      // Failed extraction zeroes the target (C++11); keep the default.
+      if (!(args >> request.iterations)) request.iterations = 10;
+      RunOnBackend(&session, request);
     } else if (cmd == "sssp") {
-      int64_t src = 0;
-      args >> src;
-      auto vertices = VerticesOf(session.Current());
-      if (vertices.ok()) {
-        Report(&session, timer,
-               SqlShortestPaths(*vertices, session.Current(), src));
+      RunRequest request;
+      request.algorithm = kSssp;
+      if (!(args >> request.source)) {
+        std::printf("usage: sssp SRC\n");
+        continue;
       }
+      RunOnBackend(&session, request);
     } else if (cmd == "triangles") {
-      auto count = SqlTriangleCount(session.Current());
-      if (count.ok()) {
-        std::printf("%lld triangles in %.3f s\n",
-                    static_cast<long long>(*count), timer.ElapsedSeconds());
-      } else {
-        std::printf("error: %s\n", count.status().ToString().c_str());
-      }
+      RunRequest request;
+      request.algorithm = kTriangleCount;
+      RunOnBackend(&session, request);
     } else if (cmd == "weakties") {
       int64_t min_pairs = 1;
       args >> min_pairs;
@@ -216,6 +323,9 @@ int main() {
                     static_cast<long long>(session.edges->num_rows()),
                     static_cast<long long>(summary->max_out_degree),
                     summary->avg_out_degree, session.last_seconds);
+      }
+      if (!session.last_stats_json.empty()) {
+        std::printf("last run stats: %s\n", session.last_stats_json.c_str());
       }
     } else if (cmd == "degrees") {
       Report(&session, timer, DegreeTable(session.Current()));

@@ -1,19 +1,18 @@
 /// \file quickstart.cpp
 /// \brief Vertexica in five minutes:
-///   1. generate (or load) a graph,
-///   2. run a built-in vertex-centric algorithm (PageRank) on the
-///      relational engine,
+///   1. generate (or load) a graph and hand it to the `Engine` facade,
+///   2. run a built-in algorithm (PageRank) — and the *same request* on
+///      every other backend, one loop, for a cross-system comparison,
 ///   3. write your own vertex program (degree counting) and run it,
-///   4. mix in plain SQL over the same tables.
+///   4. mix in plain SQL over the result — it is still just a table.
 ///
 /// Run: ./quickstart
 
 #include <cstdio>
 
-#include "algorithms/pagerank.h"
 #include "exec/plan_builder.h"
 #include "graphgen/generators.h"
-#include "vertexica/coordinator.h"
+#include "vertexica/vertexica.h"
 
 using namespace vertexica;  // NOLINT — example brevity
 
@@ -45,58 +44,82 @@ class InDegreeProgram : public VertexProgram {
 };
 
 int main() {
-  // 1. A scale-free social graph: 2,000 people, ~16,000 follows.
+  // 1. A scale-free social graph: 2,000 people, ~16,000 follows — loaded
+  //    once into the facade; each backend prepares lazily on first use.
   Graph graph = GenerateRmat(2000, 16000, /*seed=*/7);
   std::printf("graph: %lld vertices, %lld edges\n",
               static_cast<long long>(graph.num_vertices),
               static_cast<long long>(graph.num_edges()));
 
-  // 2. Built-in PageRank through the vertex-centric interface. The catalog
-  //    is the "database": vertex/edge/message tables live in it.
-  Catalog catalog;
-  RunStats stats;
-  auto ranks = RunPageRank(&catalog, graph, /*iterations=*/10,
-                           /*damping=*/0.85, VertexicaOptions{}, &stats);
+  Engine engine;
+  if (auto st = engine.LoadGraph(graph); !st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Built-in PageRank on the default backend (the relational engine).
+  RunRequest request;
+  request.algorithm = "pagerank";
+  request.iterations = 10;
+  auto ranks = engine.Run(request);
   if (!ranks.ok()) {
     std::fprintf(stderr, "PageRank failed: %s\n",
                  ranks.status().ToString().c_str());
     return 1;
   }
-  std::printf("PageRank: %d supersteps, %lld messages, %.3f s\n",
-              stats.num_supersteps(),
-              static_cast<long long>(stats.total_messages),
-              stats.total_seconds);
+  std::printf("PageRank on '%s': %d supersteps, %lld messages, %.3f s\n",
+              ranks->backend.c_str(), ranks->stats.num_supersteps(),
+              static_cast<long long>(ranks->stats.total_messages),
+              ranks->stats.total_seconds);
 
   int64_t best = 0;
   for (int64_t v = 1; v < graph.num_vertices; ++v) {
-    if ((*ranks)[static_cast<size_t>(v)] > (*ranks)[static_cast<size_t>(best)]) {
+    if (ranks->values[static_cast<size_t>(v)] >
+        ranks->values[static_cast<size_t>(best)]) {
       best = v;
     }
   }
   std::printf("most influential vertex: %lld (rank %.6f)\n",
               static_cast<long long>(best),
-              (*ranks)[static_cast<size_t>(best)]);
+              ranks->values[static_cast<size_t>(best)]);
 
-  // 3. Your own vertex program runs exactly the same way.
+  //    The same request runs on every backend — one loop compares all four
+  //    engines. (Raw compute only: the paper-calibrated modeled costs —
+  //    Giraph job launch, graph-database record I/O — are applied by the
+  //    figure benches, bench_fig2a/bench_fig2b.)
+  for (const std::string& backend : engine.backends()) {
+    request.backend = backend;
+    auto result = engine.Run(request);
+    if (result.ok()) {
+      std::printf("  %-10s %.3f s\n", backend.c_str(),
+                  result->stats.total_seconds);
+    } else {
+      std::printf("  %-10s failed: %s\n", backend.c_str(),
+                  result.status().ToString().c_str());
+    }
+  }
+
+  // 3. Your own vertex program runs exactly the same way underneath: the
+  //    classic per-program entry point still exists for custom programs.
   InDegreeProgram in_degree;
-  Catalog catalog2;
-  if (auto st = RunVertexProgram(&catalog2, graph, &in_degree); !st.ok()) {
+  Catalog catalog;
+  if (auto st = RunVertexProgram(&catalog, graph, &in_degree); !st.ok()) {
     std::fprintf(stderr, "InDegree failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  auto degrees = ReadVertexValues(catalog2, {});
+  auto degrees = ReadVertexValues(catalog, {});
   std::printf("in-degree of the influencer: %.0f\n",
               (*degrees)[static_cast<size_t>(best)]);
 
-  // 4. The graph is still just tables — plain SQL works on it. Count
-  //    vertices that halted with at least one out-edge:
-  auto vertex_table = catalog.GetTable("vertex");
-  auto edge_table = catalog.GetTable("edge");
-  auto heavy = PlanBuilder::Scan(*edge_table)
-                   .Aggregate({"src"}, {{AggOp::kCountStar, "", "outdeg"}})
-                   .Filter(Ge(Col("outdeg"), Lit(int64_t{20})))
-                   .Execute();
-  std::printf("vertices with out-degree >= 20: %lld\n",
-              static_cast<long long>(heavy->num_rows()));
+  // 4. The result is still just a table — plain SQL works on it. Top-3
+  //    vertices by rank:
+  Table rank_table = ranks->ToTable();
+  auto top = PlanBuilder::Scan(rank_table)
+                 .TopN({{"rank", /*ascending=*/false}}, 3)
+                 .Execute();
+  if (top.ok()) {
+    std::printf("top-3 by rank via SQL over the result table:\n%s",
+                top->ToString(3).c_str());
+  }
   return 0;
 }

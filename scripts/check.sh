@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus the api parity suite. CI entry point; also the local
+# pre-push check:   ./scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Full suite (tier-1), then the backend-parity suite by name so a parity
+# regression is unmistakable in the log even when other suites also fail.
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+(cd "$BUILD_DIR" && ctest -R api_ --output-on-failure)
+
+echo "check.sh: all green"

@@ -36,6 +36,9 @@ class ConnectedComponentsProgram : public VertexProgram {
 
 /// \brief Runs weakly-connected components; returns the component label
 /// (minimum member id) of every vertex.
+///
+/// \deprecated Prefer `Engine::Run({.algorithm = "connected_components"})`
+/// — see api/engine.h and docs/API.md.
 Result<std::vector<int64_t>> RunConnectedComponents(
     Catalog* catalog, const Graph& graph, VertexicaOptions options = {},
     RunStats* stats = nullptr);

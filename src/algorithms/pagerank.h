@@ -48,6 +48,10 @@ class PageRankProgram : public VertexProgram {
 
 /// \brief Loads `graph` and runs PageRank on the Vertexica engine,
 /// returning per-vertex ranks (indexed by vertex id).
+///
+/// \deprecated Prefer `Engine::Run({.algorithm = "pagerank"})` — see
+/// api/engine.h and docs/API.md; this wrapper remains for source
+/// compatibility and for callers that manage their own Catalog.
 Result<std::vector<double>> RunPageRank(Catalog* catalog, const Graph& graph,
                                         int max_iterations = 10,
                                         double damping = 0.85,

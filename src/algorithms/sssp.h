@@ -42,6 +42,9 @@ class ShortestPathProgram : public VertexProgram {
 
 /// \brief Loads `graph` and runs SSSP from `source` on the Vertexica engine.
 /// Unreachable vertices report +infinity.
+///
+/// \deprecated Prefer `Engine::Run({.algorithm = "sssp"})` — see
+/// api/engine.h and docs/API.md.
 Result<std::vector<double>> RunShortestPaths(Catalog* catalog,
                                              const Graph& graph,
                                              int64_t source,

@@ -40,25 +40,27 @@ void TriangleCountProgram::Compute(VertexContext* ctx) {
   ctx->VoteToHalt();
 }
 
+Graph CanonicallyOriented(const Graph& graph) {
+  Graph oriented;
+  oriented.num_vertices = graph.num_vertices;
+  oriented.directed = true;
+  std::set<std::pair<int64_t, int64_t>> seen;
+  const Graph d = graph.AsDirected();
+  for (int64_t e = 0; e < d.num_edges(); ++e) {
+    int64_t a = d.src[static_cast<size_t>(e)];
+    int64_t b = d.dst[static_cast<size_t>(e)];
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (seen.emplace(a, b).second) oriented.AddEdge(a, b);
+  }
+  return oriented;
+}
+
 Result<int64_t> RunVertexCentricTriangleCount(Catalog* catalog,
                                               const Graph& graph,
                                               VertexicaOptions options,
                                               RunStats* stats) {
-  // Canonically orient: keep one copy of every undirected edge, low -> high.
-  Graph oriented;
-  oriented.num_vertices = graph.num_vertices;
-  oriented.directed = true;
-  {
-    std::set<std::pair<int64_t, int64_t>> seen;
-    const Graph d = graph.AsDirected();
-    for (int64_t e = 0; e < d.num_edges(); ++e) {
-      int64_t a = d.src[static_cast<size_t>(e)];
-      int64_t b = d.dst[static_cast<size_t>(e)];
-      if (a == b) continue;
-      if (a > b) std::swap(a, b);
-      if (seen.emplace(a, b).second) oriented.AddEdge(a, b);
-    }
-  }
+  const Graph oriented = CanonicallyOriented(graph);
   TriangleCountProgram program;
   Coordinator coordinator(catalog, &program, options);
   VX_RETURN_NOT_OK(LoadGraphTables(catalog, oriented, program));

@@ -41,9 +41,18 @@ class TriangleCountProgram : public VertexProgram {
   }
 };
 
+/// \brief Canonical orientation: one copy (low id → high id) of every
+/// undirected simple edge of `graph`, self-loops dropped. This is the input
+/// shape TriangleCountProgram requires; exposed so other engines (the BSP
+/// comparator, the Engine facade) can run the same program.
+Graph CanonicallyOriented(const Graph& graph);
+
 /// \brief Counts triangles with the vertex-centric engine. `graph` may be
 /// arbitrary; it is canonically oriented internally. Returns the exact
 /// triangle count (matching TriangleCountReference / SqlTriangleCount).
+///
+/// \deprecated Prefer `Engine::Run({.algorithm = "triangle_count"})` — see
+/// api/engine.h; this wrapper remains for source compatibility.
 Result<int64_t> RunVertexCentricTriangleCount(Catalog* catalog,
                                               const Graph& graph,
                                               VertexicaOptions options = {},

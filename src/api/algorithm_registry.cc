@@ -1,0 +1,72 @@
+#include "api/algorithm_registry.h"
+
+namespace vertexica {
+
+AlgorithmRegistry* AlgorithmRegistry::Global() {
+  static AlgorithmRegistry* registry = new AlgorithmRegistry();
+  return registry;
+}
+
+void AlgorithmRegistry::Register(const std::string& algorithm,
+                                 const std::string& backend, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  factories_[algorithm][backend] = std::move(factory);
+}
+
+Result<AlgorithmRegistry::Factory> AlgorithmRegistry::Find(
+    const std::string& algorithm, const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto algo_it = factories_.find(algorithm);
+  if (algo_it == factories_.end()) {
+    return Status::NotFound("unknown algorithm '" + algorithm + "'");
+  }
+  auto backend_it = algo_it->second.find(backend);
+  if (backend_it == algo_it->second.end()) {
+    return Status::NotFound("algorithm '" + algorithm +
+                            "' has no implementation on backend '" + backend +
+                            "'");
+  }
+  return backend_it->second;
+}
+
+bool AlgorithmRegistry::Supports(const std::string& algorithm,
+                                 const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto algo_it = factories_.find(algorithm);
+  return algo_it != factories_.end() &&
+         algo_it->second.find(backend) != algo_it->second.end();
+}
+
+std::vector<std::string> AlgorithmRegistry::Algorithms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [algorithm, backends] : factories_) {
+    out.push_back(algorithm);
+  }
+  return out;
+}
+
+std::vector<std::string> AlgorithmRegistry::AlgorithmsFor(
+    const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [algorithm, backends] : factories_) {
+    if (backends.find(backend) != backends.end()) out.push_back(algorithm);
+  }
+  return out;
+}
+
+std::vector<std::string> AlgorithmRegistry::BackendsFor(
+    const std::string& algorithm) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  auto algo_it = factories_.find(algorithm);
+  if (algo_it == factories_.end()) return out;
+  for (const auto& [backend, factory] : algo_it->second) {
+    out.push_back(backend);
+  }
+  return out;
+}
+
+}  // namespace vertexica

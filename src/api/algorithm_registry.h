@@ -1,0 +1,76 @@
+/// \file algorithm_registry.h
+/// \brief Maps algorithm names to per-backend implementations.
+///
+/// The registry is the piece that makes the facade open: adding a new
+/// algorithm (or porting an existing one to another backend) is one
+/// `Register` call — no change to `Engine` or to any backend class. The
+/// built-in algorithms (pagerank, sssp, connected_components,
+/// triangle_count) are installed by `EnsureBuiltinAlgorithms()`, which the
+/// default `Engine` constructor calls.
+
+#ifndef VERTEXICA_API_ALGORITHM_REGISTRY_H_
+#define VERTEXICA_API_ALGORITHM_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/graph_backend.h"
+#include "api/run_types.h"
+#include "common/result.h"
+
+namespace vertexica {
+
+/// \brief Name → per-backend factory table.
+///
+/// Thread-safe; `Global()` is the instance the default backends consult.
+class AlgorithmRegistry {
+ public:
+  /// \brief One algorithm implementation bound to one backend. The backend
+  /// passes itself as the first argument; the factory downcasts to the
+  /// concrete backend it was registered against (registration site and
+  /// backend implementation live together, so the cast is by construction
+  /// safe).
+  using Factory =
+      std::function<Result<RunResult>(GraphBackend*, const RunRequest&)>;
+
+  /// \brief The process-wide registry.
+  static AlgorithmRegistry* Global();
+
+  /// \brief Registers (or replaces) the implementation of `algorithm` on
+  /// `backend`.
+  void Register(const std::string& algorithm, const std::string& backend,
+                Factory factory);
+
+  /// \brief Looks up an implementation; kNotFound when the pair is missing.
+  Result<Factory> Find(const std::string& algorithm,
+                       const std::string& backend) const;
+
+  /// \brief True iff `algorithm` has an implementation on `backend`.
+  bool Supports(const std::string& algorithm,
+                const std::string& backend) const;
+
+  /// \brief All registered algorithm names, sorted.
+  std::vector<std::string> Algorithms() const;
+
+  /// \brief Algorithm names implemented on `backend`, sorted.
+  std::vector<std::string> AlgorithmsFor(const std::string& backend) const;
+
+  /// \brief Backend ids implementing `algorithm`, sorted.
+  std::vector<std::string> BackendsFor(const std::string& algorithm) const;
+
+ private:
+  mutable std::mutex mutex_;
+  // algorithm -> backend id -> factory
+  std::map<std::string, std::map<std::string, Factory>> factories_;
+};
+
+/// \brief Installs the built-in algorithm implementations into the global
+/// registry (idempotent; defined in backends.cc next to the backends).
+void EnsureBuiltinAlgorithms();
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_API_ALGORITHM_REGISTRY_H_

@@ -1,0 +1,110 @@
+/// \file backends.h
+/// \brief The four built-in backends behind the `Engine` facade, one per
+/// system compared in the paper:
+///
+///  - VertexicaBackend — vertex-centric programs compiled to relational
+///    plans (the paper's system): graph tables in a Catalog, driven by the
+///    Coordinator.
+///  - SqlGraphBackend — the hand-written SQL formulations ("Vertexica
+///    (SQL)" in Figure 2): materialized vertex/edge tables.
+///  - GiraphBackend — the in-memory BSP comparator (CSR adjacency, modeled
+///    JVM/job-launch costs via RunRequest::giraph).
+///  - GraphDbBackend — the transactional record-store graph database
+///    (modeled record I/O via RunRequest::gdb_access_latency_ns).
+///
+/// Each backend resolves algorithms through the `AlgorithmRegistry`, so the
+/// set of algorithms a backend supports is open-ended.
+
+#ifndef VERTEXICA_API_BACKENDS_H_
+#define VERTEXICA_API_BACKENDS_H_
+
+#include <memory>
+#include <string>
+
+#include "api/algorithm_registry.h"
+#include "api/graph_backend.h"
+#include "catalog/catalog.h"
+#include "graphdb/graph_db.h"
+#include "graphgen/graph.h"
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief Shared plumbing: id, prepared flag, and a Run that dispatches
+/// through the global AlgorithmRegistry.
+class RegistryBackend : public GraphBackend {
+ public:
+  explicit RegistryBackend(std::string id) : id_(std::move(id)) {}
+
+  const std::string& id() const override { return id_; }
+  bool prepared() const override { return graph_ != nullptr; }
+  Result<RunResult> Run(const RunRequest& request) override;
+
+  /// \brief The graph most recently passed to Prepare. Requires prepared().
+  const Graph& graph() const { return *graph_; }
+
+ protected:
+  /// Rejects null and stores the shared graph; Prepare implementations
+  /// call this first.
+  Status SetGraph(std::shared_ptr<const Graph> graph) {
+    if (graph == nullptr) {
+      return Status::InvalidArgument("null graph passed to Prepare");
+    }
+    graph_ = std::move(graph);
+    return Status::OK();
+  }
+
+  std::string id_;
+  std::shared_ptr<const Graph> graph_;
+};
+
+/// \brief The paper's system: vertex programs on the relational engine.
+class VertexicaBackend : public RegistryBackend {
+ public:
+  VertexicaBackend() : RegistryBackend(kVertexicaBackendId) {}
+  Status Prepare(std::shared_ptr<const Graph> graph) override;
+
+  /// \brief The catalog holding the vertex/edge/message tables; algorithm
+  /// runs load (replace) their tables into it.
+  Catalog* catalog() { return &catalog_; }
+
+ private:
+  Catalog catalog_;
+};
+
+/// \brief Hand-written SQL graph algorithms over materialized tables.
+class SqlGraphBackend : public RegistryBackend {
+ public:
+  SqlGraphBackend() : RegistryBackend(kSqlGraphBackendId) {}
+  Status Prepare(std::shared_ptr<const Graph> graph) override;
+
+  const Table& vertices() const { return vertices_; }
+  const Table& edges() const { return edges_; }
+
+ private:
+  Table vertices_;
+  Table edges_;
+};
+
+/// \brief The in-memory BSP (Giraph) comparator.
+class GiraphBackend : public RegistryBackend {
+ public:
+  GiraphBackend() : RegistryBackend(kGiraphBackendId) {}
+  Status Prepare(std::shared_ptr<const Graph> graph) override;
+};
+
+/// \brief The transactional record-store graph database comparator.
+class GraphDbBackend : public RegistryBackend {
+ public:
+  GraphDbBackend() : RegistryBackend(kGraphDbBackendId) {}
+  Status Prepare(std::shared_ptr<const Graph> graph) override;
+
+  graphdb::GraphDb* db() { return db_.get(); }
+
+ private:
+  std::unique_ptr<graphdb::GraphDb> db_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_API_BACKENDS_H_

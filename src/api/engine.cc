@@ -1,0 +1,113 @@
+#include "api/engine.h"
+
+#include <utility>
+
+namespace vertexica {
+
+Engine::Engine() {
+  EnsureBuiltinAlgorithms();
+  backends_.push_back(std::make_unique<VertexicaBackend>());
+  backends_.push_back(std::make_unique<SqlGraphBackend>());
+  backends_.push_back(std::make_unique<GiraphBackend>());
+  backends_.push_back(std::make_unique<GraphDbBackend>());
+}
+
+Status Engine::LoadGraph(Graph graph) {
+  return LoadGraph(std::make_shared<const Graph>(std::move(graph)));
+}
+
+Status Engine::LoadGraph(std::shared_ptr<const Graph> graph) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("null graph");
+  }
+  if (graph->num_vertices < 0) {
+    return Status::InvalidArgument("negative vertex count");
+  }
+  graph_ = std::move(graph);
+  ++graph_generation_;  // invalidates every backend's prepared state
+  return Status::OK();
+}
+
+Status Engine::PrepareBackend(const std::string& id) {
+  if (!has_graph()) {
+    return Status::InvalidArgument(
+        "no graph loaded — call Engine::LoadGraph first");
+  }
+  GraphBackend* target = backend(id);
+  if (target == nullptr) {
+    return Status::NotFound("unknown backend '" + id + "'");
+  }
+  auto gen_it = prepared_generation_.find(id);
+  if (gen_it != prepared_generation_.end() &&
+      gen_it->second == graph_generation_) {
+    return Status::OK();
+  }
+  VX_RETURN_NOT_OK(target->Prepare(graph_));
+  prepared_generation_[id] = graph_generation_;
+  return Status::OK();
+}
+
+Result<RunResult> Engine::Run(const RunRequest& request) {
+  if (request.algorithm.empty()) {
+    return Status::InvalidArgument("RunRequest.algorithm is empty");
+  }
+  const std::string& id =
+      request.backend.empty() ? default_backend_ : request.backend;
+  VX_RETURN_NOT_OK(PrepareBackend(id));
+  return backend(id)->Run(request);
+}
+
+Result<RunResult> Engine::Run(const std::string& algorithm,
+                              const std::string& backend) {
+  RunRequest request;
+  request.algorithm = algorithm;
+  request.backend = backend;
+  return Run(request);
+}
+
+std::vector<std::string> Engine::backends() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->id());
+  return out;
+}
+
+std::vector<std::string> Engine::algorithms() const {
+  return AlgorithmRegistry::Global()->Algorithms();
+}
+
+bool Engine::Supports(const std::string& algorithm,
+                      const std::string& backend) const {
+  return AlgorithmRegistry::Global()->Supports(algorithm, backend);
+}
+
+GraphBackend* Engine::backend(const std::string& id) {
+  for (const auto& b : backends_) {
+    if (b->id() == id) return b.get();
+  }
+  return nullptr;
+}
+
+Status Engine::RegisterBackend(std::unique_ptr<GraphBackend> backend) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("null backend");
+  }
+  for (const auto& b : backends_) {
+    if (b->id() == backend->id()) {
+      return Status::AlreadyExists("backend '" + backend->id() +
+                                   "' already registered");
+    }
+  }
+  backends_.push_back(std::move(backend));
+  return Status::OK();
+}
+
+Status Engine::set_default_backend(const std::string& id) {
+  if (backend(id) == nullptr) {
+    return Status::NotFound("unknown backend '" + id + "'");
+  }
+  default_backend_ = id;
+  return Status::OK();
+}
+
+}  // namespace vertexica

@@ -1,0 +1,51 @@
+/// \file graph_backend.h
+/// \brief The backend abstraction of the `Engine` facade: Prepare(graph) →
+/// Run(request) → RunResult.
+///
+/// A backend owns whatever engine-local representation of the graph it
+/// needs (relational tables in a catalog, a CSR adjacency, a record store)
+/// and executes algorithms looked up in the `AlgorithmRegistry` against it.
+/// Prepare is the expensive, once-per-graph step; Run may be called any
+/// number of times afterwards.
+
+#ifndef VERTEXICA_API_GRAPH_BACKEND_H_
+#define VERTEXICA_API_GRAPH_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "api/run_types.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "graphgen/graph.h"
+
+namespace vertexica {
+
+/// \brief One pluggable execution engine behind the facade.
+class GraphBackend {
+ public:
+  virtual ~GraphBackend() = default;
+
+  /// \brief Stable identifier ("vertexica", "sqlgraph", "giraph",
+  /// "graphdb", or an application-registered name).
+  virtual const std::string& id() const = 0;
+
+  /// \brief Builds the backend-local representation of `graph`, replacing
+  /// any previously prepared one. The pointer is shared, not copied: every
+  /// backend of an Engine references the same immutable graph instance.
+  virtual Status Prepare(std::shared_ptr<const Graph> graph) = 0;
+
+  /// \brief True once Prepare has succeeded (and until the next Prepare).
+  virtual bool prepared() const = 0;
+
+  /// \brief Executes `request.algorithm` on the prepared graph.
+  ///
+  /// Fails with NotFound if the algorithm has no implementation registered
+  /// for this backend, and with FailedPrecondition-style InvalidArgument if
+  /// Prepare has not run.
+  virtual Result<RunResult> Run(const RunRequest& request) = 0;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_API_GRAPH_BACKEND_H_

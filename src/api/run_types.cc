@@ -1,0 +1,19 @@
+#include "api/run_types.h"
+
+#include "common/logging.h"
+#include "storage/schema.h"
+
+namespace vertexica {
+
+Table RunResult::ToTable() const {
+  Table out(Schema({{"id", DataType::kInt64},
+                    {value_name.empty() ? "value" : value_name,
+                     DataType::kDouble}}));
+  for (size_t v = 0; v < values.size(); ++v) {
+    VX_CHECK_OK(out.AppendRow(
+        {Value(static_cast<int64_t>(v)), Value(values[v])}));
+  }
+  return out;
+}
+
+}  // namespace vertexica

@@ -1,0 +1,107 @@
+/// \file run_types.h
+/// \brief The typed request/response pair of the `Engine` facade.
+///
+/// The paper's point is that the *same* vertex-centric query runs on a
+/// relational engine and on native graph systems. `RunRequest` is that
+/// query, stated once, backend-agnostically; `RunResult` is the uniform
+/// answer every backend produces: a dense per-vertex value vector (also
+/// materializable as a relational table), scalar aggregates, and unified
+/// `RunStats`.
+
+#ifndef VERTEXICA_API_RUN_TYPES_H_
+#define VERTEXICA_API_RUN_TYPES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "giraph/bsp_engine.h"
+#include "storage/table.h"
+#include "vertexica/coordinator.h"
+#include "vertexica/options.h"
+
+namespace vertexica {
+
+/// \name Canonical backend ids (registration order of the default Engine)
+/// @{
+inline constexpr char kVertexicaBackendId[] = "vertexica";
+inline constexpr char kSqlGraphBackendId[] = "sqlgraph";
+inline constexpr char kGiraphBackendId[] = "giraph";
+inline constexpr char kGraphDbBackendId[] = "graphdb";
+/// @}
+
+/// \name Built-in algorithm names (AlgorithmRegistry keys)
+/// @{
+inline constexpr char kPageRank[] = "pagerank";
+inline constexpr char kSssp[] = "sssp";
+inline constexpr char kConnectedComponents[] = "connected_components";
+inline constexpr char kTriangleCount[] = "triangle_count";
+/// @}
+
+/// \brief One backend-agnostic algorithm invocation.
+///
+/// Only `algorithm` is required. Parameters an algorithm does not use are
+/// ignored (e.g. `source` by pagerank), so the same request can be replayed
+/// across algorithms and backends for comparison runs.
+struct RunRequest {
+  /// AlgorithmRegistry key: "pagerank", "sssp", "connected_components",
+  /// "triangle_count", or any name registered by the application.
+  std::string algorithm;
+
+  /// Backend id; empty selects the Engine's default backend.
+  std::string backend;
+
+  /// Iteration bound for fixed-iteration algorithms (pagerank).
+  int iterations = 10;
+
+  /// PageRank damping factor.
+  double damping = 0.85;
+
+  /// Source vertex for single-source algorithms (sssp).
+  int64_t source = 0;
+
+  /// \name Backend passthroughs
+  /// Tuning knobs forwarded verbatim to the backend that understands them;
+  /// the others ignore them.
+  /// @{
+  VertexicaOptions vertexica;          ///< relational-engine knobs (§2.3)
+  GiraphOptions giraph;                ///< BSP comparator knobs
+  double gdb_access_latency_ns = 0.0;  ///< modeled record I/O of the graph DB
+  /// @}
+};
+
+/// \brief The uniform answer of every backend.
+struct RunResult {
+  std::string backend;     ///< id of the backend that produced this result
+  std::string algorithm;   ///< registry key that was run
+
+  /// Semantic name of the per-vertex value ("rank", "dist", "label", ...);
+  /// used as the value column name by `ToTable`.
+  std::string value_name = "value";
+
+  /// Dense per-vertex output indexed by vertex id. Empty for algorithms
+  /// whose only output is scalar (e.g. triangle_count).
+  std::vector<double> values;
+
+  /// Scalar outputs: global aggregator values ("pagerank_mass",
+  /// "triangles") and algorithm-level scalars.
+  std::map<std::string, double> aggregates;
+
+  /// Backend-specific measurements that have no slot in RunStats, e.g.
+  /// "startup_seconds" (giraph) or "record_accesses" (graphdb).
+  std::map<std::string, double> backend_metrics;
+
+  /// Unified run statistics. Backends without a superstep loop fill only
+  /// the totals and leave `supersteps` empty.
+  RunStats stats;
+
+  /// \brief Materializes `values` as a relational table
+  /// (id INT64, <value_name> DOUBLE) — the output is still just a table,
+  /// ready for plain SQL over it.
+  Table ToTable() const;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_API_RUN_TYPES_H_

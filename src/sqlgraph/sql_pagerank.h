@@ -33,6 +33,9 @@ Result<Table> SqlPageRank(const Table& vertices, const Table& edges,
                           int iterations = 10, double damping = 0.85);
 
 /// \brief Convenience overload; returns ranks indexed by vertex id.
+///
+/// \deprecated Prefer `Engine::Run({.algorithm = "pagerank", .backend =
+/// "sqlgraph"})` — see api/engine.h and docs/API.md.
 Result<std::vector<double>> SqlPageRank(const Graph& graph,
                                         int iterations = 10,
                                         double damping = 0.85);

@@ -30,6 +30,9 @@ Result<Table> SqlShortestPaths(const Table& vertices, const Table& edges,
                                int64_t source);
 
 /// \brief Convenience overload returning distances indexed by vertex id.
+///
+/// \deprecated Prefer `Engine::Run({.algorithm = "sssp", .backend =
+/// "sqlgraph"})` — see api/engine.h and docs/API.md.
 Result<std::vector<double>> SqlShortestPaths(const Graph& graph,
                                              int64_t source);
 

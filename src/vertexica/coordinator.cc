@@ -1,5 +1,8 @@
 #include "vertexica/coordinator.h"
 
+#include <ostream>
+#include <sstream>
+
 #include "catalog/catalog_io.h"
 #include "common/hash.h"
 #include "common/string_util.h"
@@ -399,6 +402,34 @@ Status RunVertexProgram(Catalog* catalog, const Graph& graph,
   VX_RETURN_NOT_OK(LoadGraphTables(catalog, graph, *program, names));
   Coordinator coordinator(catalog, program, options, names);
   return coordinator.Run(stats);
+}
+
+std::string RunStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\"total_seconds\":" << total_seconds
+     << ",\"total_messages\":" << total_messages
+     << ",\"num_supersteps\":" << num_supersteps() << ",\"supersteps\":[";
+  for (size_t i = 0; i < supersteps.size(); ++i) {
+    const SuperstepStats& s = supersteps[i];
+    if (i > 0) os << ",";
+    os << "{\"superstep\":" << s.superstep
+       << ",\"input_rows\":" << s.input_rows
+       << ",\"active_vertices\":" << s.active_vertices
+       << ",\"vertex_updates\":" << s.vertex_updates
+       << ",\"messages_sent\":" << s.messages_sent
+       << ",\"seconds\":" << s.seconds
+       << ",\"used_replace\":" << (s.used_replace ? "true" : "false")
+       << ",\"input_seconds\":" << s.input_seconds
+       << ",\"worker_seconds\":" << s.worker_seconds
+       << ",\"split_seconds\":" << s.split_seconds
+       << ",\"apply_seconds\":" << s.apply_seconds << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const RunStats& stats) {
+  return os << stats.ToJson();
 }
 
 }  // namespace vertexica

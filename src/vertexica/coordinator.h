@@ -18,6 +18,7 @@
 #ifndef VERTEXICA_VERTEXICA_COORDINATOR_H_
 #define VERTEXICA_VERTEXICA_COORDINATOR_H_
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -57,8 +58,25 @@ struct RunStats {
   double total_seconds = 0.0;
   int64_t total_messages = 0;
 
-  int num_supersteps() const { return static_cast<int>(supersteps.size()); }
+  /// Superstep count for engines that run supersteps without a per-step
+  /// phase breakdown (e.g. the BSP comparator behind the Engine facade);
+  /// -1 = derive the count from `supersteps`.
+  int superstep_count = -1;
+
+  int num_supersteps() const {
+    return superstep_count >= 0 ? superstep_count
+                                : static_cast<int>(supersteps.size());
+  }
+
+  /// \brief Serializes totals and the per-superstep phase breakdown as a
+  /// single JSON object, so benches and `RunResult` report uniformly:
+  /// {"total_seconds":…,"total_messages":…,"num_supersteps":…,
+  ///  "supersteps":[{"superstep":…,"input_rows":…,…},…]}.
+  std::string ToJson() const;
 };
+
+/// \brief Streams `stats.ToJson()`.
+std::ostream& operator<<(std::ostream& os, const RunStats& stats);
 
 /// \brief Drives a vertex program over the graph tables in a catalog.
 class Coordinator {

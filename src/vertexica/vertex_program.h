@@ -106,8 +106,15 @@ class VertexContext {
 
   /// \name Global aggregators
   /// @{
-  /// Value aggregated during the previous superstep (0 in superstep 0 for
-  /// kSum; +/-inf identities for kMin/kMax).
+  /// \brief Value aggregated during the previous superstep.
+  ///
+  /// Contract: `name` must be one of the aggregators the program declared
+  /// via `VertexProgram::aggregators()`. Before any contribution arrives
+  /// (e.g. in superstep 0) the declared kind's identity is returned — 0 for
+  /// kSum, +inf for kMin, -inf for kMax. Reading an *undeclared* aggregator
+  /// is a programming error and consistently returns quiet NaN (it used to
+  /// return 0.0, which is indistinguishable from a legitimate kSum value);
+  /// NaN propagates loudly through any arithmetic that consumes it.
   double GetAggregate(const std::string& name) const;
   /// Contributes to a named aggregator for the next superstep.
   void Aggregate(const std::string& name, double v);
@@ -208,7 +215,9 @@ inline double VertexContext::GetAggregate(const std::string& name) const {
     auto it = aggregator_kinds_->find(name);
     if (it != aggregator_kinds_->end()) return AggregatorIdentity(it->second);
   }
-  return 0.0;
+  // Undeclared aggregator (or a context with no aggregator table): NaN, so
+  // the misuse cannot masquerade as a real kSum value of 0.
+  return std::numeric_limits<double>::quiet_NaN();
 }
 
 inline void VertexContext::Aggregate(const std::string& name, double v) {

@@ -1,18 +1,29 @@
 /// \file vertexica.h
 /// \brief Umbrella header: everything a Vertexica application needs.
 ///
+/// The front door is the backend-agnostic `Engine` facade — the same
+/// request runs on any of the four engines the paper compares:
+///
 /// \code
 ///   #include "vertexica/vertexica.h"
 ///
-///   vertexica::Catalog catalog;
-///   vertexica::Graph g = vertexica::GenerateRmat(2000, 16000, 7);
-///   auto ranks = vertexica::RunPageRank(&catalog, g, 10);
+///   vertexica::Engine engine;
+///   engine.LoadGraph(vertexica::GenerateRmat(2000, 16000, 7));
+///   auto result = engine.Run("pagerank");            // relational engine
+///   auto giraph = engine.Run("pagerank", "giraph");  // BSP comparator
 /// \endcode
 ///
-/// Layering (bottom to top): storage → expr/exec/catalog/udf →
-/// vertexica core → algorithms / sqlgraph → pipeline / temporal.
-/// Comparator systems (giraph/, graphdb/) are not exported here; include
-/// them explicitly when benchmarking against them.
+/// Layering (bottom to top):
+///   storage → expr/exec/catalog/udf                 relational substrate
+///   → vertexica core (coordinator/worker/tables)    vertex programs as SQL
+///   → algorithms / sqlgraph / giraph / graphdb      the four executions
+///   → api (Engine / GraphBackend / AlgorithmRegistry)  one facade over all
+///   → pipeline / temporal                           composition layers
+///
+/// The comparator systems (giraph/, graphdb/) are first-class backends of
+/// the facade and therefore exported here. The per-algorithm entry points
+/// (`RunPageRank`, `SqlPageRank`, ...) remain as thin deprecated wrappers;
+/// see docs/API.md for the migration table.
 
 #ifndef VERTEXICA_VERTEXICA_VERTEXICA_H_
 #define VERTEXICA_VERTEXICA_VERTEXICA_H_
@@ -58,6 +69,14 @@
 #include "sqlgraph/strong_overlap.h"              // IWYU pragma: export
 #include "sqlgraph/triangle_count.h"              // IWYU pragma: export
 #include "sqlgraph/weak_ties.h"                   // IWYU pragma: export
+
+// The unified facade over all four backends (vertexica, sqlgraph, giraph,
+// graphdb).
+#include "api/algorithm_registry.h"  // IWYU pragma: export
+#include "api/backends.h"            // IWYU pragma: export
+#include "api/engine.h"              // IWYU pragma: export
+#include "api/graph_backend.h"       // IWYU pragma: export
+#include "api/run_types.h"           // IWYU pragma: export
 
 // Durability.
 #include "catalog/catalog_io.h"  // IWYU pragma: export
