@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
@@ -165,6 +166,60 @@ class FigureTable {
     if (std::find(rows_.begin(), rows_.end(), row) == rows_.end()) {
       rows_.push_back(row);
     }
+  }
+
+  /// \brief Minimal JSON string escaping for labels (quotes, backslashes,
+  /// control characters).
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+        out += buf;
+      } else {
+        out += ch;
+      }
+    }
+    return out;
+  }
+
+  /// \brief Writes the collected cells as a BENCH_*.json file (one object
+  /// with a flat results array), so figure data is machine-readable
+  /// alongside the printed table. Returns false on I/O failure.
+  bool WriteJson(const std::string& path) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\"title\":\"" << JsonEscape(title_) << "\",\"scale\":" << Scale()
+        << ",\"results\":[";
+    bool first = true;
+    for (const auto& r : rows_) {
+      auto row_it = cells_.find(r);
+      for (const auto& c : columns_) {
+        auto cell_it = row_it->second.find(c);
+        if (cell_it == row_it->second.end()) continue;
+        if (!first) out << ",";
+        first = false;
+        out << "{\"row\":\"" << JsonEscape(r) << "\",\"column\":\""
+            << JsonEscape(c) << "\",\"seconds\":" << cell_it->second << "}";
+      }
+    }
+    out << "]}\n";
+    return static_cast<bool>(out);
+  }
+
+  /// \brief Seconds recorded for (row, column), or a negative sentinel.
+  double Lookup(const std::string& row, const std::string& column) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto row_it = cells_.find(row);
+    if (row_it == cells_.end()) return -1.0;
+    auto cell_it = row_it->second.find(column);
+    return cell_it == row_it->second.end() ? -1.0 : cell_it->second;
   }
 
   void Print() const {

@@ -3,10 +3,19 @@
 /// with graph algorithms — selection → algorithm → aggregation, PageRank
 /// histograms, and metadata joins ("end-to-end data processing, starting
 /// from raw data and right up to deriving meaningful insights").
+///
+/// Every case sweeps the executor `threads` knob (1 vs. hardware) through
+/// ScopedExecThreads, so the §2.3 "parallel workers" claim is exercised on
+/// the relational operator pipelines themselves: joins, aggregates, and
+/// filters here run on the morsel-parallel executor (exec/parallel.h), and
+/// independent pipeline nodes run as parallel DAG waves.
+
+#include <thread>
 
 #include "bench_common.h"
 
 #include "common/timer.h"
+#include "exec/parallel.h"
 #include "graphgen/metadata.h"
 #include "pipeline/dataflow.h"
 #include "pipeline/nodes.h"
@@ -21,85 +30,86 @@ FigureTable& Table34() {
   return table;
 }
 
+int HardwareThreads() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+std::string ThreadsColumn(int threads) {
+  return "T" + std::to_string(threads);
+}
+
 const Table& TwitterEdgesWithMetadata() {
   static const Table edges =
       GenerateEdgeMetadata(GetDataset(DatasetId::kTwitter), 4242);
   return edges;
 }
 
-void BM_SelectThenPageRankThenAggregate(benchmark::State& state) {
-  const Table& edges = TwitterEdgesWithMetadata();
+/// Runs `build(pipeline)`→Run(target) under `threads` and records one cell.
+template <typename BuildFn>
+void RunPipelineCase(benchmark::State& state, const std::string& row,
+                     const BuildFn& build) {
+  const int threads = static_cast<int>(state.range(0));
   double seconds = 0;
   for (auto _ : state) {
+    ScopedExecThreads scoped(threads);
     WallTimer timer;
     Pipeline p;
-    const int src = p.AddNode(MakeSourceNode("edges", edges));
-    const int family = p.AddNode(
+    const int target = build(&p);
+    auto out = p.Run(target);
+    VX_CHECK(out.ok()) << out.status().ToString();
+    benchmark::DoNotOptimize(out->num_rows());
+    seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Table34().Record(row, ThreadsColumn(threads), seconds);
+}
+
+void BM_SelectThenPageRankThenAggregate(benchmark::State& state) {
+  const Table& edges = TwitterEdgesWithMetadata();
+  RunPipelineCase(state, "Select>PR>Agg", [&edges](Pipeline* p) {
+    const int src = p->AddNode(MakeSourceNode("edges", edges));
+    const int family = p->AddNode(
         MakeSelectionNode(Eq(Col("type"), Lit(std::string("family")))),
         {src});
-    const int pr = p.AddNode(MakePageRankNode(5), {family});
-    const int agg = p.AddNode(
+    const int pr = p->AddNode(MakePageRankNode(5), {family});
+    return p->AddNode(
         MakeAggregationNode({}, {{AggOp::kMax, "rank", "max_rank"},
                                  {AggOp::kAvg, "rank", "avg_rank"},
                                  {AggOp::kCountStar, "", "nodes"}}),
         {pr});
-    auto out = p.Run(agg);
-    VX_CHECK(out.ok()) << out.status().ToString();
-    benchmark::DoNotOptimize(out->num_rows());
-    seconds = timer.ElapsedSeconds();
-    state.SetIterationTime(seconds);
-  }
-  Table34().Record("Twitter", "Select>PR>Agg", seconds);
+  });
 }
-BENCHMARK(BM_SelectThenPageRankThenAggregate)->UseManualTime()->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelectThenPageRankThenAggregate)->Arg(1)->Arg(0)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void BM_PageRankHistogram(benchmark::State& state) {
   const Table& edges = TwitterEdgesWithMetadata();
-  double seconds = 0;
-  for (auto _ : state) {
-    WallTimer timer;
-    Pipeline p;
-    const int src = p.AddNode(MakeSourceNode("edges", edges));
-    const int pr = p.AddNode(MakePageRankNode(5), {src});
-    const int hist = p.AddNode(MakeHistogramNode("rank", 20), {pr});
-    auto out = p.Run(hist);
-    VX_CHECK(out.ok()) << out.status().ToString();
-    benchmark::DoNotOptimize(out->num_rows());
-    seconds = timer.ElapsedSeconds();
-    state.SetIterationTime(seconds);
-  }
-  Table34().Record("Twitter", "PR histogram", seconds);
+  RunPipelineCase(state, "PR histogram", [&edges](Pipeline* p) {
+    const int src = p->AddNode(MakeSourceNode("edges", edges));
+    const int pr = p->AddNode(MakePageRankNode(5), {src});
+    return p->AddNode(MakeHistogramNode("rank", 20), {pr});
+  });
 }
-BENCHMARK(BM_PageRankHistogram)->UseManualTime()->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankHistogram)->Arg(1)->Arg(0)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void BM_MetadataJoinAggregate(benchmark::State& state) {
   const Graph& g = GetDataset(DatasetId::kTwitter);
   const Table& edges = TwitterEdgesWithMetadata();
-  Table metadata = GenerateNodeMetadata(g.num_vertices, 4243);
-  double seconds = 0;
-  for (auto _ : state) {
-    WallTimer timer;
-    Pipeline p;
-    const int src = p.AddNode(MakeSourceNode("edges", edges));
-    const int pr = p.AddNode(MakePageRankNode(5), {src});
-    const int meta = p.AddNode(MakeSourceNode("metadata", metadata));
-    const int joined = p.AddNode(MakeJoinNode({"id"}, {"id"}), {pr, meta});
+  static const Table metadata = GenerateNodeMetadata(g.num_vertices, 4243);
+  RunPipelineCase(state, "PR join meta", [&edges](Pipeline* p) {
+    const int src = p->AddNode(MakeSourceNode("edges", edges));
+    const int pr = p->AddNode(MakePageRankNode(5), {src});
+    const int meta = p->AddNode(MakeSourceNode("metadata", metadata));
+    const int joined = p->AddNode(MakeJoinNode({"id"}, {"id"}), {pr, meta});
     // Average rank per value of the low-cardinality attribute u0.
-    const int agg = p.AddNode(
+    return p->AddNode(
         MakeAggregationNode({"u0"}, {{AggOp::kAvg, "rank", "avg_rank"}}),
         {joined});
-    auto out = p.Run(agg);
-    VX_CHECK(out.ok()) << out.status().ToString();
-    benchmark::DoNotOptimize(out->num_rows());
-    seconds = timer.ElapsedSeconds();
-    state.SetIterationTime(seconds);
-  }
-  Table34().Record("Twitter", "PR join meta", seconds);
+  });
 }
-BENCHMARK(BM_MetadataJoinAggregate)->UseManualTime()->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MetadataJoinAggregate)->Arg(1)->Arg(0)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void BM_TimestampWindowAnalysis(benchmark::State& state) {
   // "last one year" style temporal filter on the edge creation timestamp,
@@ -107,24 +117,28 @@ void BM_TimestampWindowAnalysis(benchmark::State& state) {
   const Table& edges = TwitterEdgesWithMetadata();
   constexpr int64_t kNow = 1700000000;
   constexpr int64_t kYear = 365LL * 24 * 3600;
-  double seconds = 0;
-  for (auto _ : state) {
-    WallTimer timer;
-    Pipeline p;
-    const int src = p.AddNode(MakeSourceNode("edges", edges));
-    const int recent = p.AddNode(
+  RunPipelineCase(state, "LastYear tri", [&edges](Pipeline* p) {
+    const int src = p->AddNode(MakeSourceNode("edges", edges));
+    const int recent = p->AddNode(
         MakeSelectionNode(Ge(Col("created"), Lit(kNow - kYear))), {src});
-    const int tri = p.AddNode(MakeTriangleCountingNode(), {recent});
-    auto out = p.Run(tri);
-    VX_CHECK(out.ok()) << out.status().ToString();
-    benchmark::DoNotOptimize(out->num_rows());
-    seconds = timer.ElapsedSeconds();
-    state.SetIterationTime(seconds);
-  }
-  Table34().Record("Twitter", "LastYear tri", seconds);
+    return p->AddNode(MakeTriangleCountingNode(), {recent});
+  });
 }
-BENCHMARK(BM_TimestampWindowAnalysis)->UseManualTime()->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TimestampWindowAnalysis)->Arg(1)->Arg(0)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void PrintSpeedups() {
+  std::printf("Speedup vs 1 thread (T0 = %d hardware threads):\n",
+              HardwareThreads());
+  for (const char* row :
+       {"Select>PR>Agg", "PR histogram", "PR join meta", "LastYear tri"}) {
+    const double serial = Table34().Lookup(row, ThreadsColumn(1));
+    const double parallel = Table34().Lookup(row, ThreadsColumn(0));
+    if (serial > 0 && parallel > 0) {
+      std::printf("  %-14s %.2fx\n", row, serial / parallel);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace bench
@@ -134,5 +148,7 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::vertexica::bench::Table34().Print();
+  ::vertexica::bench::PrintSpeedups();
+  ::vertexica::bench::Table34().WriteJson("BENCH_relational_pipeline.json");
   return 0;
 }

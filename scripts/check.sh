@@ -9,8 +9,12 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-# Full suite (tier-1), then the backend-parity suite by name so a parity
-# regression is unmistakable in the log even when other suites also fail.
+# Full suite (tier-1) twice: once fully serial (VERTEXICA_THREADS=1) and
+# once at default parallelism, so the morsel executor's serial and parallel
+# paths are both exercised. Then the backend-parity suite by name so a
+# parity regression is unmistakable in the log even when other suites also
+# fail.
+(cd "$BUILD_DIR" && VERTEXICA_THREADS=1 ctest --output-on-failure -j "$(nproc)")
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 (cd "$BUILD_DIR" && ctest -R api_ --output-on-failure)
 

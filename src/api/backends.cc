@@ -10,6 +10,7 @@
 #include "algorithms/sssp.h"
 #include "algorithms/triangle_program.h"
 #include "common/timer.h"
+#include "exec/parallel.h"
 #include "giraph/bsp_engine.h"
 #include "graphdb/gdb_algorithms.h"
 #include "sqlgraph/sql_common.h"
@@ -31,6 +32,10 @@ Result<RunResult> RegistryBackend::Run(const RunRequest& request) {
   VX_ASSIGN_OR_RETURN(
       AlgorithmRegistry::Factory factory,
       AlgorithmRegistry::Global()->Find(request.algorithm, id_));
+  // The one `threads` knob: installed as the ambient executor parallelism
+  // around the dispatch, so every layer that resolves a thread count of 0
+  // (exec kernels, worker UDFs, BSP compute threads) inherits it.
+  ScopedExecThreads scoped_threads(request.threads);
   VX_ASSIGN_OR_RETURN(RunResult result, factory(this, request));
   result.backend = id_;
   result.algorithm = request.algorithm;

@@ -61,6 +61,21 @@ struct RunRequest {
   /// Source vertex for single-source algorithms (sssp).
   int64_t source = 0;
 
+  /// End-to-end parallelism: the one knob controlling every layer that
+  /// fans out — the morsel-parallel relational executor (scans, joins,
+  /// aggregates; see exec/parallel.h), Vertexica worker-UDF instances, and
+  /// Giraph BSP compute threads. 0 keeps the ambient default
+  /// (VERTEXICA_THREADS env var, else hardware cores). Backend-specific
+  /// knobs left at 0 inherit this value; explicitly set ones
+  /// (e.g. `vertexica.num_workers`) win. The graphdb backend is
+  /// single-threaded by design and ignores it. On the relational backends
+  /// (vertexica, sqlgraph) results are bit-identical across `threads`
+  /// settings — morsel boundaries never depend on the thread count; the
+  /// giraph comparator partitions vertices by worker count, so its
+  /// floating-point combine order (and hence low-order bits) may vary with
+  /// `threads`.
+  int threads = 0;
+
   /// \name Backend passthroughs
   /// Tuning knobs forwarded verbatim to the backend that understands them;
   /// the others ignore them.

@@ -2,8 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
 
 namespace vertexica {
+
+std::size_t EnvThreadCount() {
+  const char* env = std::getenv("VERTEXICA_THREADS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -44,27 +57,126 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t workers = std::min(n, num_threads());
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
+  const std::size_t workers = std::min(n, num_threads() + 1);
+  const std::size_t grain = (n + workers - 1) / workers;
+  // Preserve the historical contract: an exception thrown by `fn` (e.g. a
+  // user-supplied vertex program) propagates to the caller instead of being
+  // flattened into a Status.
+  std::mutex eptr_mutex;
+  std::exception_ptr first_exception;
+  const Status status =
+      ParallelFor(0, n, grain, [&](std::size_t begin, std::size_t end) {
+        try {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(eptr_mutex);
+          if (!first_exception) first_exception = std::current_exception();
+          return Status::Aborted("ParallelFor task threw");
+        }
+        return Status::OK();
+      });
+  if (first_exception) std::rethrow_exception(first_exception);
+  VX_CHECK(status.ok()) << status.ToString();
+}
+
+namespace {
+
+/// Shared state of one chunked ParallelFor call. Helpers hold it via
+/// shared_ptr so stragglers scheduled after completion exit harmlessly.
+struct ParallelForState {
+  ThreadPool::ChunkFn fn;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t total_chunks = 0;
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> done_chunks{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  Status first_error;
+
+  /// Claims and runs chunks until none remain (work-sharing loop run by the
+  /// caller and every helper task).
+  void Drain() {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1);
+      if (c >= total_chunks) return;
+      Status status;
+      if (!failed.load(std::memory_order_acquire)) {
+        const std::size_t b = begin + c * grain;
+        const std::size_t e = std::min(end, b + grain);
+        try {
+          status = fn(b, e);
+        } catch (const std::exception& ex) {
+          status = Status::Internal(std::string("ParallelFor task threw: ") +
+                                    ex.what());
+        } catch (...) {
+          status = Status::Internal("ParallelFor task threw a non-exception");
+        }
+      }
+      if (!status.ok() && !failed.exchange(true)) {
+        std::lock_guard<std::mutex> lock(mutex);
+        first_error = status;
+      }
+      if (done_chunks.fetch_add(1) + 1 == total_chunks) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
   }
-  const std::size_t chunk = (n + workers - 1) / workers;
-  std::vector<std::future<void>> futures;
-  futures.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t begin = w * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    futures.push_back(Submit([begin, end, &fn]() {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    }));
+};
+
+}  // namespace
+
+Status ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                               std::size_t grain, const ChunkFn& fn,
+                               int max_threads) {
+  if (begin >= end) return Status::OK();
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t total = (end - begin + grain - 1) / grain;
+  if (total == 1) {
+    try {
+      return fn(begin, end);
+    } catch (const std::exception& ex) {
+      return Status::Internal(std::string("ParallelFor task threw: ") +
+                              ex.what());
+    } catch (...) {
+      return Status::Internal("ParallelFor task threw a non-exception");
+    }
   }
-  for (auto& f : futures) f.get();
+
+  auto state = std::make_shared<ParallelForState>();
+  state->fn = fn;
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->total_chunks = total;
+
+  std::size_t helpers = std::min(total - 1, num_threads());
+  if (max_threads > 0) {
+    helpers = std::min(helpers, static_cast<std::size_t>(max_threads) - 1);
+  }
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Submit([state]() { state->Drain(); });
+  }
+  state->Drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&state]() {
+    return state->done_chunks.load() >= state->total_chunks;
+  });
+  return state->first_error;
 }
 
 ThreadPool* ThreadPool::Default() {
-  static ThreadPool pool(0);
+  // The env override is clamped: a fat-fingered VERTEXICA_THREADS must not
+  // ask the OS for thousands of threads at startup.
+  static ThreadPool pool(std::max(
+      std::min<std::size_t>(EnvThreadCount(), 256),
+      std::max<std::size_t>(1, std::thread::hardware_concurrency())));
   return &pool;
 }
 

@@ -13,7 +13,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace vertexica {
+
+/// \brief Threads requested via the VERTEXICA_THREADS environment variable;
+/// 0 when unset or invalid. The single parsing point shared by the default
+/// pool sizing and the executor's ExecThreads() resolution.
+std::size_t EnvThreadCount();
 
 /// \brief A simple fixed-size thread pool.
 ///
@@ -51,7 +58,26 @@ class ThreadPool {
   /// Work is chunked so that each worker receives a contiguous index range.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
-  /// \brief Default process-wide pool sized to hardware concurrency.
+  /// \brief Per-chunk callback of the morsel ParallelFor: a contiguous
+  /// index range [begin, end).
+  using ChunkFn = std::function<Status(std::size_t begin, std::size_t end)>;
+
+  /// \brief Runs `fn` over [begin, end) split into `grain`-sized chunks
+  /// (morsels) and waits for all of them.
+  ///
+  /// Chunk boundaries depend only on `grain`, never on the thread count, so
+  /// chunk-deterministic callers produce identical results at any
+  /// parallelism. The calling thread participates in draining chunks, which
+  /// makes nested ParallelFor calls (a pool task that itself fans out on the
+  /// same pool) deadlock-free. Error handling: the first non-OK Status (or
+  /// thrown exception, converted to Status::Internal) wins and the remaining
+  /// unstarted chunks are skipped. `max_threads` caps the helper parallelism
+  /// for this call (0 = use every pool worker).
+  Status ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                     const ChunkFn& fn, int max_threads = 0);
+
+  /// \brief Default process-wide pool sized to
+  /// max(hardware concurrency, VERTEXICA_THREADS).
   static ThreadPool* Default();
 
  private:

@@ -28,6 +28,14 @@ struct AggSpec {
   std::string output;
 };
 
+/// \brief Output schema shared by the serial operator and the parallel
+/// aggregation kernel (exec/parallel.h): group-by columns followed by one
+/// column per AggSpec. Validates column references and SUM/AVG numeric
+/// requirements.
+Result<Schema> AggregateOutputSchema(const Schema& input,
+                                     const std::vector<std::string>& group_by,
+                                     const std::vector<AggSpec>& aggs);
+
 /// \brief Blocking hash-aggregation operator.
 ///
 /// Output schema: the group-by columns (in the given order) followed by one

@@ -7,10 +7,8 @@
 
 namespace vertexica {
 
-namespace {
-
-/// Gathers `indices` from `col`; index -1 produces NULL (left-join padding).
-Column TakeWithNulls(const Column& col, const std::vector<int64_t>& indices) {
+Column JoinTakeWithNulls(const Column& col,
+                         const std::vector<int64_t>& indices) {
   Column out(col.type());
   out.Reserve(static_cast<int64_t>(indices.size()));
   for (int64_t idx : indices) {
@@ -23,23 +21,24 @@ Column TakeWithNulls(const Column& col, const std::vector<int64_t>& indices) {
   return out;
 }
 
-uint64_t HashKeyRow(const Table& t, const std::vector<int>& key_cols,
-                    int64_t row) {
+uint64_t JoinKeyHash(const Table& t, const std::vector<int>& key_cols,
+                     int64_t row) {
   uint64_t h = 0x12345678ULL;
   for (int c : key_cols) h = HashCombine(h, t.column(c).HashRow(row));
   return h;
 }
 
-bool KeyRowHasNull(const Table& t, const std::vector<int>& key_cols,
-                   int64_t row) {
+bool JoinKeyHasNull(const Table& t, const std::vector<int>& key_cols,
+                    int64_t row) {
   for (int c : key_cols) {
     if (t.column(c).IsNull(row)) return true;
   }
   return false;
 }
 
-bool KeysEqual(const Table& a, const std::vector<int>& a_cols, int64_t ai,
-               const Table& b, const std::vector<int>& b_cols, int64_t bi) {
+bool JoinKeysEqual(const Table& a, const std::vector<int>& a_cols, int64_t ai,
+                   const Table& b, const std::vector<int>& b_cols,
+                   int64_t bi) {
   for (size_t k = 0; k < a_cols.size(); ++k) {
     if (a.column(a_cols[k]).CompareRows(ai, b.column(b_cols[k]), bi) != 0) {
       return false;
@@ -48,7 +47,34 @@ bool KeysEqual(const Table& a, const std::vector<int>& a_cols, int64_t ai,
   return true;
 }
 
-}  // namespace
+Result<Schema> HashJoinOutputSchema(const Schema& probe, const Schema& build,
+                                    const std::vector<std::string>& probe_keys,
+                                    const std::vector<std::string>& build_keys,
+                                    JoinType type) {
+  if (probe_keys.size() != build_keys.size() || probe_keys.empty()) {
+    return Status::InvalidArgument("HashJoin: bad key lists");
+  }
+  for (const auto& k : probe_keys) {
+    if (probe.FieldIndex(k) < 0) {
+      return Status::InvalidArgument("HashJoin: no probe column '" + k + "'");
+    }
+  }
+  for (const auto& k : build_keys) {
+    if (build.FieldIndex(k) < 0) {
+      return Status::InvalidArgument("HashJoin: no build column '" + k + "'");
+    }
+  }
+  Schema schema;
+  for (const auto& f : probe.fields()) schema.AddField(f);
+  if (type == JoinType::kInner || type == JoinType::kLeft) {
+    for (const auto& f : build.fields()) {
+      std::string name = f.name;
+      if (schema.HasField(name)) name += "_r";
+      schema.AddField(Field{std::move(name), f.type});
+    }
+  }
+  return schema;
+}
 
 const char* JoinTypeName(JoinType t) {
   switch (t) {
@@ -72,35 +98,14 @@ HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build,
       probe_key_names_(std::move(probe_keys)),
       build_key_names_(std::move(build_keys)),
       type_(type) {
-  if (probe_key_names_.size() != build_key_names_.size() ||
-      probe_key_names_.empty()) {
-    init_status_ = Status::InvalidArgument("HashJoin: bad key lists");
+  auto schema = HashJoinOutputSchema(probe_->output_schema(),
+                                     build_->output_schema(),
+                                     probe_key_names_, build_key_names_, type_);
+  if (!schema.ok()) {
+    init_status_ = schema.status();
     return;
   }
-  const Schema& ps = probe_->output_schema();
-  const Schema& bs = build_->output_schema();
-  for (const auto& k : probe_key_names_) {
-    if (ps.FieldIndex(k) < 0) {
-      init_status_ =
-          Status::InvalidArgument("HashJoin: no probe column '" + k + "'");
-      return;
-    }
-  }
-  for (const auto& k : build_key_names_) {
-    if (bs.FieldIndex(k) < 0) {
-      init_status_ =
-          Status::InvalidArgument("HashJoin: no build column '" + k + "'");
-      return;
-    }
-  }
-  for (const auto& f : ps.fields()) schema_.AddField(f);
-  if (type_ == JoinType::kInner || type_ == JoinType::kLeft) {
-    for (const auto& f : bs.fields()) {
-      std::string name = f.name;
-      if (schema_.HasField(name)) name += "_r";
-      schema_.AddField(Field{std::move(name), f.type});
-    }
-  }
+  schema_ = *std::move(schema);
 }
 
 Status HashJoinOp::BuildHashTable() {
@@ -111,8 +116,8 @@ Status HashJoinOp::BuildHashTable() {
   }
   index_.reserve(static_cast<size_t>(build_table_.num_rows()));
   for (int64_t i = 0; i < build_table_.num_rows(); ++i) {
-    if (KeyRowHasNull(build_table_, build_key_cols_, i)) continue;
-    index_[HashKeyRow(build_table_, build_key_cols_, i)].push_back(i);
+    if (JoinKeyHasNull(build_table_, build_key_cols_, i)) continue;
+    index_[JoinKeyHash(build_table_, build_key_cols_, i)].push_back(i);
   }
   built_ = true;
   return Status::OK();
@@ -128,11 +133,11 @@ Status HashJoinOp::ProbeBatch(const Table& batch,
   }
   for (int64_t i = 0; i < batch.num_rows(); ++i) {
     bool matched = false;
-    if (!KeyRowHasNull(batch, probe_cols, i)) {
-      auto it = index_.find(HashKeyRow(batch, probe_cols, i));
+    if (!JoinKeyHasNull(batch, probe_cols, i)) {
+      auto it = index_.find(JoinKeyHash(batch, probe_cols, i));
       if (it != index_.end()) {
         for (int64_t bi : it->second) {
-          if (KeysEqual(batch, probe_cols, i, build_table_, build_key_cols_,
+          if (JoinKeysEqual(batch, probe_cols, i, build_table_, build_key_cols_,
                         bi)) {
             matched = true;
             if (type_ == JoinType::kInner || type_ == JoinType::kLeft) {
@@ -188,7 +193,7 @@ Result<std::optional<Table>> HashJoinOp::Next() {
     }
     if (type_ == JoinType::kInner || type_ == JoinType::kLeft) {
       for (int c = 0; c < build_table_.num_columns(); ++c) {
-        columns.push_back(TakeWithNulls(build_table_.column(c), build_idx));
+        columns.push_back(JoinTakeWithNulls(build_table_.column(c), build_idx));
       }
     }
     VX_ASSIGN_OR_RETURN(Table out, Table::Make(schema_, std::move(columns)));

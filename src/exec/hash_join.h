@@ -21,6 +21,36 @@ enum class JoinType { kInner, kLeft, kSemi, kAnti };
 
 const char* JoinTypeName(JoinType t);
 
+/// \name Row-level join primitives
+/// Shared by the serial operator below and the parallel join kernel
+/// (exec/parallel.h) so both hash, compare, and pad identically.
+/// @{
+
+/// \brief Hash of one row's key columns.
+uint64_t JoinKeyHash(const Table& t, const std::vector<int>& key_cols,
+                     int64_t row);
+
+/// \brief True when any key column is NULL at `row` (SQL: never matches).
+bool JoinKeyHasNull(const Table& t, const std::vector<int>& key_cols,
+                    int64_t row);
+
+/// \brief Multi-column key equality between two rows of two tables.
+bool JoinKeysEqual(const Table& a, const std::vector<int>& a_cols, int64_t ai,
+                   const Table& b, const std::vector<int>& b_cols, int64_t bi);
+
+/// \brief Gathers `indices` from `col`; index -1 produces NULL (left-join
+/// padding).
+Column JoinTakeWithNulls(const Column& col, const std::vector<int64_t>& indices);
+
+/// \brief Output schema shared by all hash-join implementations: probe
+/// columns then build columns (inner/left, collisions suffixed "_r"), probe
+/// columns only (semi/anti). Validates the key lists against both schemas.
+Result<Schema> HashJoinOutputSchema(const Schema& probe, const Schema& build,
+                                    const std::vector<std::string>& probe_keys,
+                                    const std::vector<std::string>& build_keys,
+                                    JoinType type);
+/// @}
+
 /// \brief Canonical hash join: fully materializes the build (right) side,
 /// then streams probe (left) batches against the hash table.
 ///

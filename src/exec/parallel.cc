@@ -1,0 +1,368 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "common/threadpool.h"
+#include "exec/filter.h"
+#include "exec/scan.h"
+
+namespace vertexica {
+
+namespace {
+
+int HardwareThreads() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+std::atomic<int> g_default_threads{0};
+thread_local int tl_thread_override = 0;
+
+}  // namespace
+
+int ExecThreads() {
+  if (tl_thread_override > 0) return tl_thread_override;
+  const int configured = g_default_threads.load(std::memory_order_relaxed);
+  if (configured > 0) return configured;
+  static const int env = static_cast<int>(EnvThreadCount());
+  if (env > 0) return env;
+  static const int hardware = HardwareThreads();
+  return hardware;
+}
+
+void SetDefaultExecThreads(int n) {
+  g_default_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+ScopedExecThreads::ScopedExecThreads(int n) : prev_(tl_thread_override) {
+  if (n > 0) tl_thread_override = n;
+}
+
+ScopedExecThreads::~ScopedExecThreads() { tl_thread_override = prev_; }
+
+Result<Table> ParallelCollect(std::shared_ptr<const Table> input,
+                              const MorselPlanFactory& make_plan,
+                              const ParallelOptions& options) {
+  const int64_t rows = input->num_rows();
+  const int64_t grain = options.ResolvedGrain();
+  const int threads = options.ResolvedThreads();
+
+  // Single morsel (or empty input): run the plan inline over the full range
+  // so tiny tables pay no fan-out cost. Morsel boundaries are fixed by
+  // `grain`, so this fast path produces the same output as the fan-out.
+  if (rows <= grain) {
+    auto plan = make_plan(std::make_unique<TableScan>(std::move(input),
+                                                      kDefaultBatchSize));
+    VX_RETURN_NOT_OK(plan.status());
+    return Collect(plan->get());
+  }
+
+  const auto num_morsels = static_cast<size_t>((rows + grain - 1) / grain);
+  std::vector<Table> outputs(num_morsels);
+  VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
+      0, static_cast<size_t>(rows), static_cast<size_t>(grain),
+      [&](size_t begin, size_t end) -> Status {
+        auto plan = make_plan(std::make_unique<TableScan>(
+            input, kDefaultBatchSize, static_cast<int64_t>(begin),
+            static_cast<int64_t>(end - begin)));
+        VX_RETURN_NOT_OK(plan.status());
+        VX_ASSIGN_OR_RETURN(Table out, Collect(plan->get()));
+        outputs[begin / static_cast<size_t>(grain)] = std::move(out);
+        return Status::OK();
+      },
+      threads));
+
+  Table result(outputs[0].schema());
+  for (const Table& out : outputs) {
+    VX_RETURN_NOT_OK(result.Append(out));
+  }
+  return result;
+}
+
+Result<Table> ParallelCollect(Table input, const MorselPlanFactory& make_plan,
+                              const ParallelOptions& options) {
+  return ParallelCollect(std::make_shared<const Table>(std::move(input)),
+                         make_plan, options);
+}
+
+Result<Table> ParallelFilter(std::shared_ptr<const Table> input,
+                             const ExprPtr& predicate,
+                             const ParallelOptions& options) {
+  return ParallelCollect(
+      std::move(input),
+      [&predicate](OperatorPtr source) -> Result<OperatorPtr> {
+        return OperatorPtr(
+            std::make_unique<FilterOp>(std::move(source), predicate));
+      },
+      options);
+}
+
+Result<Table> ParallelProject(std::shared_ptr<const Table> input,
+                              const std::vector<ProjectionSpec>& outputs,
+                              const ParallelOptions& options) {
+  return ParallelCollect(
+      std::move(input),
+      [&outputs](OperatorPtr source) -> Result<OperatorPtr> {
+        return OperatorPtr(
+            std::make_unique<ProjectOp>(std::move(source), outputs));
+      },
+      options);
+}
+
+Result<Table> ParallelFilterProject(std::shared_ptr<const Table> input,
+                                    const ExprPtr& predicate,
+                                    const std::vector<ProjectionSpec>& outputs,
+                                    const ParallelOptions& options) {
+  return ParallelCollect(
+      std::move(input),
+      [&predicate, &outputs](OperatorPtr source) -> Result<OperatorPtr> {
+        auto filtered =
+            std::make_unique<FilterOp>(std::move(source), predicate);
+        return OperatorPtr(
+            std::make_unique<ProjectOp>(std::move(filtered), outputs));
+      },
+      options);
+}
+
+namespace {
+
+/// Number of independent build-side hash partitions. Fixed (not derived
+/// from the thread count) so chain layout — and with it match order — is
+/// identical at any parallelism.
+constexpr size_t kJoinPartitions = 64;
+
+struct JoinBuildIndex {
+  // partition -> hash -> build row indices (ascending, like the serial op).
+  std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> partitions;
+};
+
+}  // namespace
+
+Result<Table> ParallelHashJoin(const Table& probe, const Table& build,
+                               const std::vector<std::string>& probe_keys,
+                               const std::vector<std::string>& build_keys,
+                               JoinType type, const ParallelOptions& options) {
+  VX_ASSIGN_OR_RETURN(
+      Schema schema, HashJoinOutputSchema(probe.schema(), build.schema(),
+                                          probe_keys, build_keys, type));
+  std::vector<int> probe_cols;
+  for (const auto& k : probe_keys) {
+    VX_ASSIGN_OR_RETURN(int idx, probe.ColumnIndex(k));
+    probe_cols.push_back(idx);
+  }
+  std::vector<int> build_cols;
+  for (const auto& k : build_keys) {
+    VX_ASSIGN_OR_RETURN(int idx, build.ColumnIndex(k));
+    build_cols.push_back(idx);
+  }
+
+  const int threads = options.ResolvedThreads();
+  const int64_t grain = options.ResolvedGrain();
+
+  // ---- Build: scatter (hash, row) into per-chunk partition buckets, then
+  // assemble each partition from the chunks in row order. ----------------
+  const int64_t build_rows = build.num_rows();
+  const size_t build_chunks =
+      build_rows == 0 ? 0
+                      : static_cast<size_t>((build_rows + grain - 1) / grain);
+  std::vector<std::vector<std::vector<std::pair<uint64_t, int64_t>>>> scatter(
+      build_chunks);
+  VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
+      0, static_cast<size_t>(build_rows), static_cast<size_t>(grain),
+      [&](size_t begin, size_t end) {
+        auto& buckets = scatter[begin / static_cast<size_t>(grain)];
+        buckets.resize(kJoinPartitions);
+        for (auto i = static_cast<int64_t>(begin);
+             i < static_cast<int64_t>(end); ++i) {
+          if (JoinKeyHasNull(build, build_cols, i)) continue;
+          const uint64_t h = JoinKeyHash(build, build_cols, i);
+          buckets[h % kJoinPartitions].emplace_back(h, i);
+        }
+        return Status::OK();
+      },
+      threads));
+
+  JoinBuildIndex index;
+  index.partitions.resize(kJoinPartitions);
+  VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
+      0, kJoinPartitions, 1,
+      [&](size_t begin, size_t end) {
+        for (size_t p = begin; p < end; ++p) {
+          auto& partition = index.partitions[p];
+          for (const auto& buckets : scatter) {
+            if (buckets.empty()) continue;
+            for (const auto& [h, row] : buckets[p]) {
+              partition[h].push_back(row);
+            }
+          }
+        }
+        return Status::OK();
+      },
+      threads));
+
+  // ---- Probe: morsel-parallel, one output table per morsel, concatenated
+  // in morsel order (= serial probe-row order). --------------------------
+  const int64_t probe_rows = probe.num_rows();
+  const size_t probe_chunks =
+      probe_rows == 0 ? 0
+                      : static_cast<size_t>((probe_rows + grain - 1) / grain);
+  std::vector<Table> outputs(probe_chunks);
+  const bool emit_build = type == JoinType::kInner || type == JoinType::kLeft;
+  VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
+      0, static_cast<size_t>(probe_rows), static_cast<size_t>(grain),
+      [&](size_t begin, size_t end) -> Status {
+        std::vector<int64_t> probe_idx;
+        std::vector<int64_t> build_idx;
+        for (auto i = static_cast<int64_t>(begin);
+             i < static_cast<int64_t>(end); ++i) {
+          bool matched = false;
+          if (!JoinKeyHasNull(probe, probe_cols, i)) {
+            const uint64_t h = JoinKeyHash(probe, probe_cols, i);
+            const auto& partition = index.partitions[h % kJoinPartitions];
+            auto it = partition.find(h);
+            if (it != partition.end()) {
+              for (int64_t bi : it->second) {
+                if (JoinKeysEqual(probe, probe_cols, i, build, build_cols,
+                                  bi)) {
+                  matched = true;
+                  if (emit_build) {
+                    probe_idx.push_back(i);
+                    build_idx.push_back(bi);
+                  } else {
+                    break;  // semi/anti only need existence
+                  }
+                }
+              }
+            }
+          }
+          switch (type) {
+            case JoinType::kLeft:
+              if (!matched) {
+                probe_idx.push_back(i);
+                build_idx.push_back(-1);
+              }
+              break;
+            case JoinType::kSemi:
+              if (matched) probe_idx.push_back(i);
+              break;
+            case JoinType::kAnti:
+              if (!matched) probe_idx.push_back(i);
+              break;
+            case JoinType::kInner:
+              break;
+          }
+        }
+
+        std::vector<Column> columns;
+        columns.reserve(static_cast<size_t>(schema.num_fields()));
+        {
+          Table probe_side = probe.Take(probe_idx);
+          for (int c = 0; c < probe_side.num_columns(); ++c) {
+            columns.push_back(std::move(*probe_side.mutable_column(c)));
+          }
+        }
+        if (emit_build) {
+          for (int c = 0; c < build.num_columns(); ++c) {
+            columns.push_back(JoinTakeWithNulls(build.column(c), build_idx));
+          }
+        }
+        VX_ASSIGN_OR_RETURN(Table out,
+                            Table::Make(schema, std::move(columns)));
+        outputs[begin / static_cast<size_t>(grain)] = std::move(out);
+        return Status::OK();
+      },
+      threads));
+
+  Table result(schema);
+  for (const Table& out : outputs) {
+    VX_RETURN_NOT_OK(result.Append(out));
+  }
+  return result;
+}
+
+ParallelHashJoinOp::ParallelHashJoinOp(OperatorPtr probe, OperatorPtr build,
+                                       std::vector<std::string> probe_keys,
+                                       std::vector<std::string> build_keys,
+                                       JoinType type, ParallelOptions options)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_keys_(std::move(probe_keys)),
+      build_keys_(std::move(build_keys)),
+      type_(type),
+      options_(options) {
+  auto schema =
+      HashJoinOutputSchema(probe_->output_schema(), build_->output_schema(),
+                           probe_keys_, build_keys_, type_);
+  if (!schema.ok()) {
+    init_status_ = schema.status();
+    return;
+  }
+  schema_ = *std::move(schema);
+}
+
+std::string ParallelHashJoinOp::label() const {
+  std::string out = std::string("HashJoin[") + JoinTypeName(type_) + "](";
+  for (size_t i = 0; i < probe_keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += probe_keys_[i] + " = " + build_keys_[i];
+  }
+  return out + ") [morsel]";
+}
+
+Result<std::optional<Table>> ParallelHashJoinOp::Next() {
+  VX_RETURN_NOT_OK(init_status_);
+  if (done_) return std::optional<Table>{};
+  done_ = true;
+  VX_ASSIGN_OR_RETURN(Table probe_table, Collect(probe_.get()));
+  VX_ASSIGN_OR_RETURN(Table build_table, Collect(build_.get()));
+  VX_ASSIGN_OR_RETURN(Table out,
+                      ParallelHashJoin(probe_table, build_table, probe_keys_,
+                                       build_keys_, type_, options_));
+  return std::optional<Table>(std::move(out));
+}
+
+ParallelAggregateOp::ParallelAggregateOp(OperatorPtr input,
+                                         std::vector<std::string> group_by,
+                                         std::vector<AggSpec> aggs,
+                                         ParallelOptions options)
+    : input_(std::move(input)),
+      group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)),
+      options_(options) {
+  auto schema =
+      AggregateOutputSchema(input_->output_schema(), group_by_, aggs_);
+  if (!schema.ok()) {
+    init_status_ = schema.status();
+    return;
+  }
+  schema_ = *std::move(schema);
+}
+
+std::string ParallelAggregateOp::label() const {
+  std::string out = "HashAggregate(by: ";
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_by_[i];
+  }
+  out += "; ";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::string(AggOpName(aggs_[i].op));
+    if (aggs_[i].op != AggOp::kCountStar) out += "(" + aggs_[i].input + ")";
+  }
+  return out + ") [morsel]";
+}
+
+Result<std::optional<Table>> ParallelAggregateOp::Next() {
+  VX_RETURN_NOT_OK(init_status_);
+  if (done_) return std::optional<Table>{};
+  done_ = true;
+  VX_ASSIGN_OR_RETURN(Table in, Collect(input_.get()));
+  VX_ASSIGN_OR_RETURN(Table out,
+                      ParallelHashAggregate(in, group_by_, aggs_, options_));
+  return std::optional<Table>(std::move(out));
+}
+
+}  // namespace vertexica

@@ -1,5 +1,7 @@
 #include "exec/plan_builder.h"
 
+#include "exec/parallel.h"
+
 namespace vertexica {
 
 namespace {
@@ -64,14 +66,17 @@ PlanBuilder PlanBuilder::Join(PlanBuilder build,
                               std::vector<std::string> probe_keys,
                               std::vector<std::string> build_keys,
                               JoinType type) && {
-  return PlanBuilder(std::make_unique<HashJoinOp>(
+  // Morsel-parallel join (exec/parallel.h); resolves its thread budget at
+  // execution time and produces serial-identical row order.
+  return PlanBuilder(std::make_unique<ParallelHashJoinOp>(
       std::move(op_), std::move(build.op_), std::move(probe_keys),
       std::move(build_keys), type));
 }
 
 PlanBuilder PlanBuilder::Aggregate(std::vector<std::string> group_by,
                                    std::vector<AggSpec> aggs) && {
-  return PlanBuilder(std::make_unique<HashAggregateOp>(
+  // Chunk-parallel aggregation with deterministic chunk-order merge.
+  return PlanBuilder(std::make_unique<ParallelAggregateOp>(
       std::move(op_), std::move(group_by), std::move(aggs)));
 }
 

@@ -1,18 +1,32 @@
 #include "exec/scan.h"
 
+#include <algorithm>
+
 namespace vertexica {
 
 TableScan::TableScan(std::shared_ptr<const Table> table, int64_t batch_size)
-    : table_(std::move(table)), batch_size_(batch_size) {
+    : table_(std::move(table)),
+      batch_size_(batch_size),
+      limit_(table_->num_rows()) {
   VX_CHECK(batch_size_ > 0);
 }
 
 TableScan::TableScan(Table table, int64_t batch_size)
     : TableScan(std::make_shared<const Table>(std::move(table)), batch_size) {}
 
+TableScan::TableScan(std::shared_ptr<const Table> table, int64_t batch_size,
+                     int64_t offset, int64_t count)
+    : table_(std::move(table)), batch_size_(batch_size) {
+  VX_CHECK(batch_size_ > 0);
+  VX_CHECK(offset >= 0 && count >= 0);
+  first_row_ = std::min(offset, table_->num_rows());
+  offset_ = first_row_;
+  limit_ = std::min(first_row_ + count, table_->num_rows());
+}
+
 Result<std::optional<Table>> TableScan::Next() {
-  if (offset_ >= table_->num_rows()) return std::optional<Table>{};
-  const int64_t count = std::min(batch_size_, table_->num_rows() - offset_);
+  if (offset_ >= limit_) return std::optional<Table>{};
+  const int64_t count = std::min(batch_size_, limit_ - offset_);
   Table batch = table_->Slice(offset_, count);
   offset_ += count;
   return std::optional<Table>(std::move(batch));

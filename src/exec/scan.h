@@ -11,6 +11,11 @@
 namespace vertexica {
 
 /// \brief Emits `batch_size`-row slices of a materialized table.
+///
+/// A scan may be restricted to a row range [offset, offset+count): that is
+/// the partitioned/morsel scan the parallel driver (exec/parallel.h) hands
+/// to each worker, so N range scans over disjoint ranges together cover the
+/// table exactly once.
 class TableScan : public Operator {
  public:
   explicit TableScan(std::shared_ptr<const Table> table,
@@ -19,10 +24,19 @@ class TableScan : public Operator {
   /// \brief Convenience overload copying a table value.
   explicit TableScan(Table table, int64_t batch_size = kDefaultBatchSize);
 
+  /// \brief Range-restricted (morsel) scan over rows
+  /// [offset, offset+count); the range is clamped to the table.
+  TableScan(std::shared_ptr<const Table> table, int64_t batch_size,
+            int64_t offset, int64_t count);
+
   const Schema& output_schema() const override { return table_->schema(); }
   Result<std::optional<Table>> Next() override;
 
   std::string label() const override {
+    if (first_row_ != 0 || limit_ != table_->num_rows()) {
+      return "TableScan(rows " + std::to_string(first_row_) + ".." +
+             std::to_string(limit_) + ")";
+    }
     return "TableScan(" + std::to_string(table_->num_rows()) + " rows)";
   }
   std::vector<const Operator*> children() const override {
@@ -32,7 +46,9 @@ class TableScan : public Operator {
  private:
   std::shared_ptr<const Table> table_;
   int64_t batch_size_;
-  int64_t offset_ = 0;
+  int64_t first_row_ = 0;  // construction-time range start (for label())
+  int64_t offset_ = 0;     // scan cursor
+  int64_t limit_ = 0;      // one past the last row to emit
 };
 
 }  // namespace vertexica

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
+#include "exec/parallel.h"
 
 namespace vertexica {
 
@@ -68,8 +69,9 @@ Status BspEngine::Run(GiraphStats* stats) {
   const int64_t n = csr_.num_vertices();
   int workers = options_.num_workers;
   if (workers <= 0) {
-    workers = static_cast<int>(
-        std::max(1u, std::thread::hardware_concurrency()));
+    // Ambient executor parallelism: RunRequest::threads, else
+    // VERTEXICA_THREADS, else hardware cores.
+    workers = ExecThreads();
   }
   const auto agg_specs = program_->aggregators();
   std::map<std::string, AggregatorKind> agg_kinds;

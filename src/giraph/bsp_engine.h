@@ -27,7 +27,8 @@ namespace vertexica {
 
 /// \brief Execution knobs of the BSP comparator.
 struct GiraphOptions {
-  /// Compute threads (BSP workers); 0 = hardware cores.
+  /// Compute threads (BSP workers); 0 = ambient ExecThreads()
+  /// (RunRequest::threads / VERTEXICA_THREADS / hardware cores).
   int num_workers = 0;
   /// Apply the program's combiner at message delivery.
   bool use_combiner = true;

@@ -12,6 +12,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,13 @@ class Pipeline {
   /// \brief Executes the sub-DAG needed for `node_id` and returns its
   /// output. Results are memoized within one Run call chain; call Reset()
   /// to clear.
+  ///
+  /// Independent nodes run concurrently: evaluation proceeds in waves of
+  /// ready nodes (all inputs computed), and each wave fans out on the
+  /// shared ThreadPool up to the ambient ExecThreads() budget — so a
+  /// diamond of two branches costs one branch's wall clock. Node evaluation
+  /// order within a wave is unspecified, but outputs (and the set of nodes
+  /// run) are identical to serial execution.
   Result<Table> Run(int node_id);
 
   /// \brief Clears memoized results and timings (e.g. after the source
@@ -67,8 +75,13 @@ class Pipeline {
     bool computed = false;
     Table output;
   };
+
+  /// Evaluates one uncomputed node whose inputs are all computed.
+  Status ComputeNode(int node_id);
+
   std::vector<Entry> nodes_;
   std::vector<NodeTiming> timings_;
+  std::mutex timings_mutex_;  // guards timings_ during parallel waves
 };
 
 }  // namespace vertexica

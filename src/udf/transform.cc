@@ -1,12 +1,22 @@
 #include "udf/transform.h"
 
-#include <atomic>
-#include <mutex>
+#include <algorithm>
 
+#include "exec/parallel.h"
 #include "storage/partition.h"
 #include "storage/sort.h"
 
 namespace vertexica {
+
+TransformParallelism ResolveTransformParallelism(const TransformOptions& opts) {
+  TransformParallelism out;
+  out.partitions = opts.num_partitions > 0 ? opts.num_partitions
+                                           : kDefaultTransformPartitions;
+  out.workers = opts.num_workers > 0 ? opts.num_workers : ExecThreads();
+  // Enforce the documented partitions >= workers invariant.
+  out.workers = std::max(1, std::min(out.workers, out.partitions));
+  return out;
+}
 
 Result<Table> ApplyTransform(const Table& input, int partition_column,
                              const TransformUdfFactory& factory,
@@ -14,14 +24,10 @@ Result<Table> ApplyTransform(const Table& input, int partition_column,
   if (partition_column < 0 || partition_column >= input.num_columns()) {
     return Status::InvalidArgument("ApplyTransform: bad partition column");
   }
-  int workers = options.num_workers;
-  if (workers <= 0) {
-    workers = static_cast<int>(ThreadPool::Default()->num_threads());
-  }
-  int partitions = options.num_partitions;
-  if (partitions <= 0) partitions = workers;
+  const TransformParallelism par = ResolveTransformParallelism(options);
 
-  std::vector<Table> parts = HashPartition(input, partition_column, partitions);
+  std::vector<Table> parts =
+      HashPartition(input, partition_column, par.partitions);
 
   // Pre-sort partitions (the §2.3 "each partition is sorted on vertex id"
   // step) and prepare one output slot per partition so emission order is
@@ -33,20 +39,26 @@ Result<Table> ApplyTransform(const Table& input, int partition_column,
   const Schema out_schema = factory()->output_schema();
 
   std::vector<Table> outputs(parts.size(), Table(out_schema));
-  std::vector<Status> statuses(parts.size());
 
-  ThreadPool pool(static_cast<size_t>(workers));
-  pool.ParallelFor(parts.size(), [&](size_t p) {
-    Table partition =
-        keys.empty() ? std::move(parts[p]) : SortTable(parts[p], keys);
-    if (partition.num_rows() == 0) return;
-    auto udf = factory();
-    Table& out = outputs[p];
-    statuses[p] = udf->ProcessPartition(
-        partition, [&out](Table batch) { return out.Append(batch); });
-  });
-
-  for (const auto& st : statuses) VX_RETURN_NOT_OK(st);
+  // Propagate the caller's ambient thread budget into the pool tasks so a
+  // UDF body that runs exec kernels keeps honouring RunRequest::threads.
+  const int ambient_threads = ExecThreads();
+  VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
+      0, parts.size(), /*grain=*/1,
+      [&](size_t begin, size_t end) -> Status {
+        ScopedExecThreads scoped(ambient_threads);
+        for (size_t p = begin; p < end; ++p) {
+          Table partition =
+              keys.empty() ? std::move(parts[p]) : SortTable(parts[p], keys);
+          if (partition.num_rows() == 0) continue;
+          auto udf = factory();
+          Table& out = outputs[p];
+          VX_RETURN_NOT_OK(udf->ProcessPartition(
+              partition, [&out](Table batch) { return out.Append(batch); }));
+        }
+        return Status::OK();
+      },
+      par.workers));
 
   Table result(out_schema);
   for (auto& out : outputs) {

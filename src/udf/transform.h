@@ -45,15 +45,38 @@ class TransformUdf {
 using TransformUdfFactory = std::function<std::unique_ptr<TransformUdf>()>;
 
 /// \brief Execution options for ApplyTransform.
+///
+/// Parallelism contract (normalized in one place by
+/// ResolveTransformParallelism; every consumer sees the same rules):
+///  - `num_partitions <= 0` resolves to kDefaultTransformPartitions, a
+///    fixed constant deliberately *not* derived from the worker count:
+///    partition boundaries determine per-vertex tuple order, so tying them
+///    to the thread count would make results vary with parallelism.
+///  - `num_workers <= 0` resolves to the ambient ExecThreads() (the
+///    RunRequest::threads knob, else VERTEXICA_THREADS, else cores).
+///  - `num_partitions >= num_workers` always holds after resolution: a
+///    worker with no partition to process would be pure overhead, so the
+///    effective worker count is clamped down to the partition count.
 struct TransformOptions {
   /// Number of hash partitions ("vertex batching" granularity, §2.3).
-  int num_partitions = 0;  // 0 => num_workers
-  /// Parallel UDF instances; 0 => hardware cores.
+  int num_partitions = 0;  // 0 => kDefaultTransformPartitions
+  /// Parallel UDF instances; 0 => ambient ExecThreads().
   int num_workers = 0;
   /// Sort each partition by these column indices (ascending) before the UDF
   /// sees it.
   std::vector<int> sort_columns;
 };
+
+/// \brief Default "vertex batching" granularity (see TransformOptions).
+inline constexpr int kDefaultTransformPartitions = 64;
+
+/// \brief Resolved (workers, partitions) pair after applying the
+/// TransformOptions contract above. partitions >= workers >= 1.
+struct TransformParallelism {
+  int workers = 1;
+  int partitions = 1;
+};
+TransformParallelism ResolveTransformParallelism(const TransformOptions& opts);
 
 /// \brief Runs a transform UDF over `input` partitioned by `partition_column`
 /// (an INT64 column index), returning the concatenated outputs.

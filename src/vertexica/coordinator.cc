@@ -6,7 +6,9 @@
 #include "catalog/catalog_io.h"
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "common/threadpool.h"
 #include "common/timer.h"
+#include "exec/parallel.h"
 #include "exec/plan_builder.h"
 #include "vertexica/worker.h"
 
@@ -51,15 +53,16 @@ Coordinator::Coordinator(Catalog* catalog, VertexProgram* program,
       options_(options),
       names_(std::move(names)) {}
 
-Result<Table> Coordinator::BuildUnionInput(const Table& vertex,
-                                           const Table& edge,
-                                           const Table& message) const {
+Result<Table> Coordinator::BuildUnionInput(const TablePtr& vertex,
+                                           const TablePtr& edge,
+                                           const TablePtr& message) const {
   const int va = program_->value_arity();
   const int ma = program_->message_arity();
   const int arity = PayloadArity(*program_);
 
   // §2.3 "Table Unions": the three inputs are renamed to a common schema
-  // and unioned instead of joined.
+  // and unioned instead of joined. Each section is projected
+  // morsel-parallel; UNION ALL is then just ordered concatenation.
   std::vector<ProjectionSpec> vproj = {
       {"id", Col("id")},
       {"kind", Lit(static_cast<int64_t>(kVertexTuple))},
@@ -88,37 +91,37 @@ Result<Table> Coordinator::BuildUnionInput(const Table& vertex,
                      i < ma ? Col(StringFormat("m%d", i)) : Lit(0.0)});
   }
 
-  return PlanBuilder::Scan(vertex)
-      .Project(std::move(vproj))
-      .Union(PlanBuilder::Scan(edge).Project(std::move(eproj)))
-      .Union(PlanBuilder::Scan(message).Project(std::move(mproj)))
-      .Execute();
+  VX_ASSIGN_OR_RETURN(Table input, ParallelProject(vertex, vproj));
+  VX_ASSIGN_OR_RETURN(Table edge_part, ParallelProject(edge, eproj));
+  VX_ASSIGN_OR_RETURN(Table msg_part, ParallelProject(message, mproj));
+  VX_RETURN_NOT_OK(input.Append(edge_part));
+  VX_RETURN_NOT_OK(input.Append(msg_part));
+  return input;
 }
 
-Result<Table> Coordinator::BuildJoinInput(const Table& vertex,
-                                          const Table& edge,
-                                          const Table& message) const {
+Result<Table> Coordinator::BuildJoinInput(const TablePtr& vertex,
+                                          const TablePtr& edge,
+                                          const TablePtr& message) const {
   const int va = program_->value_arity();
   const int ma = program_->message_arity();
 
   // The "traditional database wisdom" plan §2.3 argues against: a 3-way
   // join of vertex ⟕ message ⟕ edge. Sequence-number columns let the worker
-  // undo the |messages| × |edges| fan-out per vertex.
+  // undo the |messages| × |edges| fan-out per vertex. The projections run
+  // morsel-parallel and the left joins are the parallel hash joins behind
+  // PlanBuilder::Join.
   std::vector<ProjectionSpec> mproj = {{"mdst", Col("dst")},
                                        {"msender", Col("src")}};
   for (int i = 0; i < ma; ++i) {
     mproj.push_back({StringFormat("mm%d", i), Col(StringFormat("m%d", i))});
   }
-  VX_ASSIGN_OR_RETURN(Table msgs,
-                      PlanBuilder::Scan(message).Project(std::move(mproj))
-                          .Execute());
+  VX_ASSIGN_OR_RETURN(Table msgs, ParallelProject(message, mproj));
   msgs = WithRowNumbers(msgs, "msg_seq");
 
-  VX_ASSIGN_OR_RETURN(Table edges, PlanBuilder::Scan(edge)
-                                       .Project({{"esrc", Col("src")},
-                                                 {"edst", Col("dst")},
-                                                 {"eweight", Col("weight")}})
-                                       .Execute());
+  VX_ASSIGN_OR_RETURN(Table edges,
+                      ParallelProject(edge, {{"esrc", Col("src")},
+                                             {"edst", Col("dst")},
+                                             {"eweight", Col("weight")}}));
   edges = WithRowNumbers(edges, "edge_seq");
 
   // vertex columns: id, halted, v0..v{va-1}. va is used implicitly by the
@@ -160,18 +163,27 @@ Result<Table> Coordinator::UpdateVerticesInPlace(const Table& vertex,
     ucols[static_cast<size_t>(i)] = &updates.column(c).doubles();
   }
 
+  // Morsel-parallel scatter: worker output contains at most one update row
+  // per vertex, so every target row is written by exactly one morsel.
   const auto& uids = updates.column(uid_c).ints();
   const auto& uhalted = updates.column(uhalted_c).bools();
-  for (int64_t u = 0; u < updates.num_rows(); ++u) {
-    const auto su = static_cast<size_t>(u);
-    const int64_t* row = row_of.Find(uids[su]);
-    if (row == nullptr) continue;
-    const auto sr = static_cast<size_t>(*row);
-    halted[sr] = uhalted[su];
-    for (int i = 0; i < va; ++i) {
-      (*vcols[static_cast<size_t>(i)])[sr] = (*ucols[static_cast<size_t>(i)])[su];
-    }
-  }
+  VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
+      0, static_cast<size_t>(updates.num_rows()),
+      static_cast<size_t>(kDefaultMorselRows),
+      [&](size_t begin, size_t end) {
+        for (size_t su = begin; su < end; ++su) {
+          const int64_t* row = row_of.Find(uids[su]);
+          if (row == nullptr) continue;
+          const auto sr = static_cast<size_t>(*row);
+          halted[sr] = uhalted[su];
+          for (int i = 0; i < va; ++i) {
+            (*vcols[static_cast<size_t>(i)])[sr] =
+                (*ucols[static_cast<size_t>(i)])[su];
+          }
+        }
+        return Status::OK();
+      },
+      ExecThreads()));
   return out;
 }
 
@@ -236,9 +248,9 @@ Status Coordinator::Run(RunStats* stats) {
     WallTimer phase_timer;
     Table input;
     if (options_.use_union_input) {
-      VX_ASSIGN_OR_RETURN(input, BuildUnionInput(*vertex, *edge, *message));
+      VX_ASSIGN_OR_RETURN(input, BuildUnionInput(vertex, edge, message));
     } else {
-      VX_ASSIGN_OR_RETURN(input, BuildJoinInput(*vertex, *edge, *message));
+      VX_ASSIGN_OR_RETURN(input, BuildJoinInput(vertex, edge, message));
     }
     const double input_seconds = phase_timer.ElapsedSeconds();
 
@@ -259,11 +271,16 @@ Status Coordinator::Run(RunStats* stats) {
       };
     }
     phase_timer.Restart();
-    VX_ASSIGN_OR_RETURN(Table out, ApplyTransform(input, 0, factory, topts));
+    VX_ASSIGN_OR_RETURN(Table out_table,
+                        ApplyTransform(input, 0, factory, topts));
     const double worker_seconds = phase_timer.ElapsedSeconds();
     phase_timer.Restart();
 
-    // ---- Split the worker output. -------------------------------------
+    // Shared snapshot so the two split scans below range-scan it in
+    // parallel without copying.
+    const auto out = std::make_shared<const Table>(std::move(out_table));
+
+    // ---- Split the worker output (fused σ→π, morsel-parallel). --------
     // Vertex updates: kind=0 rows with other=1 (state actually changed).
     std::vector<ProjectionSpec> uproj = {{"id", Col("id")},
                                          {"halted", Col("halted")}};
@@ -272,11 +289,11 @@ Status Coordinator::Run(RunStats* stats) {
     }
     VX_ASSIGN_OR_RETURN(
         Table updates,
-        PlanBuilder::Scan(out)
-            .Filter(And(Eq(Col("kind"), Lit(static_cast<int64_t>(kVertexTuple))),
-                        Eq(Col("other"), Lit(int64_t{1}))))
-            .Project(std::move(uproj))
-            .Execute());
+        ParallelFilterProject(
+            out,
+            And(Eq(Col("kind"), Lit(static_cast<int64_t>(kVertexTuple))),
+                Eq(Col("other"), Lit(int64_t{1}))),
+            uproj));
 
     // New messages: kind=2 rows; sender is `other`, receiver is `id`.
     std::vector<ProjectionSpec> mproj = {{"src", Col("other")},
@@ -286,10 +303,9 @@ Status Coordinator::Run(RunStats* stats) {
     }
     VX_ASSIGN_OR_RETURN(
         Table new_messages,
-        PlanBuilder::Scan(out)
-            .Filter(Eq(Col("kind"), Lit(static_cast<int64_t>(kMessageTuple))))
-            .Project(std::move(mproj))
-            .Execute());
+        ParallelFilterProject(
+            out, Eq(Col("kind"), Lit(static_cast<int64_t>(kMessageTuple))),
+            mproj));
 
     // Aggregator partials and activity count: direct scans over the output.
     int64_t active = 0;
@@ -298,10 +314,10 @@ Status Coordinator::Run(RunStats* stats) {
       new_aggregates[spec.name] = AggregatorIdentity(spec.kind);
     }
     {
-      const auto& kinds = out.column(1).ints();
-      const auto& others = out.column(2).ints();
-      const auto& p0 = out.column(4).doubles();
-      for (int64_t r = 0; r < out.num_rows(); ++r) {
+      const auto& kinds = out->column(1).ints();
+      const auto& others = out->column(2).ints();
+      const auto& p0 = out->column(4).doubles();
+      for (int64_t r = 0; r < out->num_rows(); ++r) {
         const auto sr = static_cast<size_t>(r);
         if (kinds[sr] == kVertexTuple) {
           ++active;

@@ -94,10 +94,14 @@ class Coordinator {
   }
 
  private:
-  Result<Table> BuildUnionInput(const Table& vertex, const Table& edge,
-                                const Table& message) const;
-  Result<Table> BuildJoinInput(const Table& vertex, const Table& edge,
-                               const Table& message) const;
+  /// Shared snapshots so the morsel-parallel input build (exec/parallel.h)
+  /// can range-scan the catalog tables without copying them.
+  using TablePtr = std::shared_ptr<const Table>;
+
+  Result<Table> BuildUnionInput(const TablePtr& vertex, const TablePtr& edge,
+                                const TablePtr& message) const;
+  Result<Table> BuildJoinInput(const TablePtr& vertex, const TablePtr& edge,
+                               const TablePtr& message) const;
   /// In-place path of §2.3 "Update Vs Replace": copies the vertex columns
   /// and scatters the updates.
   Result<Table> UpdateVerticesInPlace(const Table& vertex,

@@ -15,12 +15,16 @@ namespace vertexica {
 /// it off: table unions (vs. 3-way join), parallel workers, vertex batching
 /// (partition count), update-vs-replace threshold, and message combining.
 struct VertexicaOptions {
-  /// Parallel worker UDF instances; 0 = hardware cores ("in practice, we
-  /// have as many workers as the number of cores").
+  /// Parallel worker UDF instances; 0 = the ambient executor thread count
+  /// (RunRequest::threads / VERTEXICA_THREADS / hardware cores — "in
+  /// practice, we have as many workers as the number of cores").
   int num_workers = 0;
 
-  /// Hash partitions of the worker input ("vertex batching"); 0 = same as
-  /// the worker count. More partitions = smaller batches.
+  /// Hash partitions of the worker input ("vertex batching"); 0 = a fixed
+  /// default (kDefaultTransformPartitions) that is independent of the
+  /// worker count, so results do not vary with parallelism. More
+  /// partitions = smaller batches. See TransformOptions in udf/transform.h
+  /// for the full contract.
   int num_partitions = 0;
 
   /// §2.3 "Table Unions": feed workers the renamed union of the vertex,

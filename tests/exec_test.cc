@@ -2,8 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "catalog/catalog.h"
+#include "common/random.h"
+#include "common/threadpool.h"
+#include "exec/parallel.h"
 #include "exec/plan_builder.h"
+#include "storage/sort.h"
 
 namespace vertexica {
 namespace {
@@ -424,6 +431,309 @@ TEST(CatalogTest, SnapshotsAreImmutable) {
   // The old snapshot still sees 4 rows.
   EXPECT_EQ(snap->num_rows(), 4);
   EXPECT_EQ(*cat.RowCount("t"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel executor determinism (exec/parallel.h): the parallel
+// kernels must produce row-set-identical results to the serial reference
+// operators at 1/2/8 threads and adversarial morsel sizes, and bit-identical
+// results across thread counts.
+// ---------------------------------------------------------------------------
+
+/// Random keyed table: k INT64 (low cardinality), v INT64, x DOUBLE, with
+/// ~10% NULLs in v/x.
+Table KeyedTable(uint64_t seed, int64_t rows, int64_t key_range) {
+  Rng rng(seed);
+  Table t(Schema({{"k", DataType::kInt64},
+                  {"v", DataType::kInt64},
+                  {"x", DataType::kDouble}}));
+  for (int64_t r = 0; r < rows; ++r) {
+    auto maybe_null = [&](Value v) {
+      return rng.Bernoulli(0.1) ? Value::Null() : v;
+    };
+    VX_CHECK_OK(t.AppendRow(
+        {Value(static_cast<int64_t>(rng.Uniform(
+             static_cast<uint64_t>(key_range)))),
+         maybe_null(Value(rng.UniformRange(-100, 100))),
+         maybe_null(Value(rng.NextDouble()))}));
+  }
+  return t;
+}
+
+/// Canonical row order (sort by every column) for row-set comparison.
+Table Sorted(const Table& t) {
+  std::vector<SortKey> keys;
+  for (int c = 0; c < t.num_columns(); ++c) keys.push_back(SortKey{c, true});
+  return SortTable(t, keys);
+}
+
+const int kThreadSweep[] = {1, 2, 8};
+const int64_t kMorselSweep[] = {1, 7, kDefaultMorselRows};
+
+TEST(ParallelExecTest, FilterProjectMatchesSerialExactly) {
+  const Table t = KeyedTable(11, 1000, 50);
+  const ExprPtr pred = Gt(Col("v"), Lit(int64_t{0}));
+  const std::vector<ProjectionSpec> proj = {
+      {"k", Col("k")}, {"v2", Mul(Col("v"), Lit(int64_t{2}))}};
+  auto serial = PlanBuilder::Scan(t).Filter(pred).Project(proj).Execute();
+  ASSERT_TRUE(serial.ok());
+  const auto shared = std::make_shared<const Table>(t);
+  for (int threads : kThreadSweep) {
+    for (int64_t morsel : kMorselSweep) {
+      ParallelOptions opts;
+      opts.num_threads = threads;
+      opts.morsel_rows = morsel;
+      auto parallel = ParallelFilterProject(shared, pred, proj, opts);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      // The morsel driver preserves row order, so equality is exact.
+      EXPECT_TRUE(parallel->Equals(*serial))
+          << "threads=" << threads << " morsel=" << morsel;
+    }
+  }
+}
+
+TEST(ParallelExecTest, JoinMatchesSerialAllTypesExactly) {
+  const Table probe = KeyedTable(21, 700, 40);
+  const Table build = KeyedTable(22, 300, 40);
+  for (JoinType type : {JoinType::kInner, JoinType::kLeft, JoinType::kSemi,
+                        JoinType::kAnti}) {
+    HashJoinOp serial_op(std::make_unique<TableScan>(probe),
+                         std::make_unique<TableScan>(build), {"k"}, {"k"},
+                         type);
+    auto serial = Collect(&serial_op);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (int threads : kThreadSweep) {
+      for (int64_t morsel : kMorselSweep) {
+        ParallelOptions opts;
+        opts.num_threads = threads;
+        opts.morsel_rows = morsel;
+        auto parallel =
+            ParallelHashJoin(probe, build, {"k"}, {"k"}, type, opts);
+        ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+        // The parallel join reproduces the serial probe-row-major match
+        // order exactly, at any thread count and morsel size.
+        EXPECT_TRUE(parallel->Equals(*serial))
+            << JoinTypeName(type) << " threads=" << threads
+            << " morsel=" << morsel;
+      }
+    }
+  }
+}
+
+TEST(ParallelExecTest, CollisionHeavyJoinKeys) {
+  // Every row hashes to one of two keys: chains are long and fan-out is
+  // quadratic per key — a worst case for partitioned builds.
+  const Table probe = KeyedTable(31, 400, 2);
+  const Table build = KeyedTable(32, 200, 2);
+  HashJoinOp serial_op(std::make_unique<TableScan>(probe),
+                       std::make_unique<TableScan>(build), {"k"}, {"k"},
+                       JoinType::kInner);
+  auto serial = Collect(&serial_op);
+  ASSERT_TRUE(serial.ok());
+  ParallelOptions opts;
+  opts.num_threads = 8;
+  opts.morsel_rows = 13;
+  auto parallel =
+      ParallelHashJoin(probe, build, {"k"}, {"k"}, JoinType::kInner, opts);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_GT(parallel->num_rows(), 10000);
+  EXPECT_TRUE(parallel->Equals(*serial));
+}
+
+TEST(ParallelExecTest, MultiKeyNullKeyJoin) {
+  // NULL keys never match, including in parallel probes.
+  Table l(Schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}}));
+  Table r(Schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}}));
+  for (int64_t i = 0; i < 50; ++i) {
+    VX_CHECK_OK(l.AppendRow({i % 2 == 0 ? Value::Null() : Value(i % 5),
+                             Value(i % 3)}));
+    VX_CHECK_OK(r.AppendRow({Value(i % 5),
+                             i % 7 == 0 ? Value::Null() : Value(i % 3)}));
+  }
+  HashJoinOp serial_op(std::make_unique<TableScan>(l),
+                       std::make_unique<TableScan>(r), {"a", "b"}, {"a", "b"},
+                       JoinType::kLeft);
+  auto serial = Collect(&serial_op);
+  ASSERT_TRUE(serial.ok());
+  ParallelOptions opts;
+  opts.num_threads = 4;
+  opts.morsel_rows = 3;
+  auto parallel =
+      ParallelHashJoin(l, r, {"a", "b"}, {"a", "b"}, JoinType::kLeft, opts);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_TRUE(parallel->Equals(*serial));
+}
+
+TEST(ParallelExecTest, AggregateRowSetMatchesSerial) {
+  const Table t = KeyedTable(41, 2000, 30);
+  const std::vector<AggSpec> aggs = {{AggOp::kCountStar, "", "n"},
+                                     {AggOp::kCount, "v", "cv"},
+                                     {AggOp::kSum, "v", "sv"},
+                                     {AggOp::kMin, "v", "mn"},
+                                     {AggOp::kMax, "v", "mx"}};
+  // Integer aggregates merge exactly, so parallel == serial bit-for-bit.
+  HashAggregateOp serial_op(std::make_unique<TableScan>(t), {"k"}, aggs);
+  auto serial = Collect(&serial_op);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : kThreadSweep) {
+    for (int64_t morsel : kMorselSweep) {
+      ParallelOptions opts;
+      opts.num_threads = threads;
+      opts.morsel_rows = morsel;
+      auto parallel = ParallelHashAggregate(t, {"k"}, aggs, opts);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_TRUE(Sorted(*parallel).Equals(Sorted(*serial)))
+          << "threads=" << threads << " morsel=" << morsel;
+      // Group order is global first-appearance order, like the serial op.
+      EXPECT_TRUE(parallel->Equals(*serial))
+          << "threads=" << threads << " morsel=" << morsel;
+    }
+  }
+}
+
+TEST(ParallelExecTest, DoubleAggregatesBitIdenticalAcrossThreads) {
+  const Table t = KeyedTable(51, 3000, 10);
+  const std::vector<AggSpec> aggs = {{AggOp::kSum, "x", "sx"},
+                                     {AggOp::kAvg, "x", "ax"}};
+  // Chunk boundaries depend only on morsel_rows, so any thread count gives
+  // the same FP merge order: results must be bit-identical.
+  ParallelOptions base;
+  base.morsel_rows = 64;
+  base.num_threads = 1;
+  auto reference = ParallelHashAggregate(t, {"k"}, aggs, base);
+  ASSERT_TRUE(reference.ok());
+  for (int threads : {2, 4, 8}) {
+    ParallelOptions opts = base;
+    opts.num_threads = threads;
+    auto out = ParallelHashAggregate(t, {"k"}, aggs, opts);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out->Equals(*reference)) << "threads=" << threads;
+  }
+  // And row-set equal (within FP rounding) to the serial fold.
+  HashAggregateOp serial_op(std::make_unique<TableScan>(t), {"k"}, aggs);
+  auto serial = Collect(&serial_op);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(reference->num_rows(), serial->num_rows());
+  const Table sp = Sorted(*reference);
+  const Table ss = Sorted(*serial);
+  for (int64_t r = 0; r < sp.num_rows(); ++r) {
+    EXPECT_EQ(sp.column(0).GetInt64(r), ss.column(0).GetInt64(r));
+    EXPECT_NEAR(sp.column(1).GetDouble(r), ss.column(1).GetDouble(r), 1e-9);
+    EXPECT_NEAR(sp.column(2).GetDouble(r), ss.column(2).GetDouble(r), 1e-9);
+  }
+}
+
+TEST(ParallelExecTest, EmptyAndTinyInputs) {
+  const Table empty(Schema({{"k", DataType::kInt64},
+                            {"v", DataType::kInt64},
+                            {"x", DataType::kDouble}}));
+  ParallelOptions opts;
+  opts.num_threads = 8;
+  opts.morsel_rows = 1;
+
+  // Empty probe, empty build, and both.
+  const Table one = KeyedTable(61, 1, 3);
+  for (const auto& [probe, build] :
+       {std::pair<const Table&, const Table&>{empty, one},
+        {one, empty},
+        {empty, empty}}) {
+    auto out = ParallelHashJoin(probe, build, {"k"}, {"k"}, JoinType::kInner,
+                                opts);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->num_rows(), 0);
+    EXPECT_EQ(out->num_columns(), 6);
+  }
+
+  // Global aggregate over an empty table still yields its single row.
+  auto agg = ParallelHashAggregate(
+      empty, {}, {{AggOp::kCountStar, "", "n"}, {AggOp::kSum, "v", "s"}},
+      opts);
+  ASSERT_TRUE(agg.ok());
+  ASSERT_EQ(agg->num_rows(), 1);
+  EXPECT_EQ(agg->column(0).GetInt64(0), 0);
+  EXPECT_TRUE(agg->column(1).IsNull(0));
+
+  // One-morsel input through the driver.
+  auto filtered = ParallelFilter(std::make_shared<const Table>(one),
+                                 Ge(Col("k"), Lit(int64_t{0})), opts);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_rows(), 1);
+}
+
+TEST(ParallelExecTest, PlanBuilderUsesParallelOperators) {
+  // The builder's join/aggregate are the morsel-parallel operators; EXPLAIN
+  // makes that visible while keeping the serial label as a prefix.
+  Table t = KeyedTable(71, 10, 3);
+  auto plan = PlanBuilder::Scan(t)
+                  .Join(PlanBuilder::Scan(t), {"k"}, {"k"})
+                  .Aggregate({"k"}, {{AggOp::kCountStar, "", "n"}});
+  const std::string explain = plan.Explain();
+  EXPECT_NE(explain.find("[morsel]"), std::string::npos);
+}
+
+TEST(ParallelExecTest, ThreadBudgetResolutionOrder) {
+  // ExecThreads(): scoped override > process default > env/hardware.
+  const int ambient = ExecThreads();
+  SetDefaultExecThreads(3);
+  EXPECT_EQ(ExecThreads(), 3);
+  {
+    ScopedExecThreads scoped(5);
+    EXPECT_EQ(ExecThreads(), 5);
+    {
+      ScopedExecThreads inner(0);  // no-op scope keeps the outer override
+      EXPECT_EQ(ExecThreads(), 5);
+    }
+  }
+  EXPECT_EQ(ExecThreads(), 3);
+  SetDefaultExecThreads(0);  // restore automatic resolution
+  EXPECT_EQ(ExecThreads(), ambient);
+}
+
+TEST(ParallelForTest, FirstErrorWinsAndSkipsRemaining) {
+  Status st = ThreadPool::Default()->ParallelFor(
+      0, 1000, /*grain=*/1,
+      [&](std::size_t begin, std::size_t) -> Status {
+        if (begin == 3) return Status::Internal("boom");
+        if (begin == 7) return Status::InvalidArgument("later");
+        return Status::OK();
+      },
+      /*max_threads=*/2);
+  // A failing chunk's error surfaces; once the failure flag is up the
+  // remaining chunks are skipped, never overwriting the first error.
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find(st.IsInternal() ? "boom" : "later"),
+            std::string::npos);
+}
+
+TEST(ParallelForTest, ExceptionsBecomeStatus) {
+  Status st = ThreadPool::Default()->ParallelFor(
+      0, 8, /*grain=*/1,
+      [](std::size_t begin, std::size_t) -> Status {
+        if (begin == 5) throw std::runtime_error("kaput");
+        return Status::OK();
+      },
+      4);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.ToString().find("kaput"), std::string::npos);
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  // A pool task fanning out on the same pool must complete (the caller
+  // participates in draining chunks).
+  std::atomic<int> total{0};
+  Status st = ThreadPool::Default()->ParallelFor(
+      0, 4, 1,
+      [&](std::size_t, std::size_t) {
+        return ThreadPool::Default()->ParallelFor(
+            0, 4, 1,
+            [&](std::size_t, std::size_t) {
+              total.fetch_add(1);
+              return Status::OK();
+            });
+      },
+      4);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(total.load(), 16);
 }
 
 }  // namespace
