@@ -18,4 +18,15 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 (cd "$BUILD_DIR" && ctest -R api_ --output-on-failure)
 
+# Storage property suites with the segment-encoding knob forced off and on
+# (docs/STORAGE.md): encode/decode and zone-map pruning must be
+# value-neutral in both worlds, and the csv/exec/vertexica paths must not
+# care how the engine tables are physically stored.
+(cd "$BUILD_DIR" && VERTEXICA_ENCODING=off \
+    ctest -R 'storage_test|csv_test|exec_test|api_test|vertexica_test' \
+    --output-on-failure -j "$(nproc)")
+(cd "$BUILD_DIR" && VERTEXICA_ENCODING=force \
+    ctest -R 'storage_test|csv_test|exec_test|api_test|vertexica_test' \
+    --output-on-failure -j "$(nproc)")
+
 echo "check.sh: all green"

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,13 @@ Result<RunResult> RegistryBackend::Run(const RunRequest& request) {
   // around the dispatch, so every layer that resolves a thread count of 0
   // (exec kernels, worker UDFs, BSP compute threads) inherits it.
   ScopedExecThreads scoped_threads(request.threads);
+  // Same pattern for the storage-encoding policy: the graph-table loader
+  // and the superstep coordinator consult the ambient mode, so every
+  // backend inherits the request's `encoding` setting.
+  std::optional<ScopedEncodingMode> scoped_encoding;
+  if (!request.encoding.empty()) {
+    scoped_encoding.emplace(ParseEncodingMode(request.encoding));
+  }
   VX_ASSIGN_OR_RETURN(RunResult result, factory(this, request));
   result.backend = id_;
   result.algorithm = request.algorithm;

@@ -76,6 +76,17 @@ struct RunRequest {
   /// `threads`.
   int threads = 0;
 
+  /// Storage-encoding policy for the engine-owned tables (see
+  /// docs/STORAGE.md): "" keeps the ambient setting (VERTEXICA_ENCODING
+  /// env var, else auto); "off" stores everything plain; "auto"/"on"
+  /// encodes a column when the encoded footprint is smaller; "force"
+  /// encodes every eligible column. Installed as a scoped override around
+  /// the backend dispatch, like `threads`. Value-neutral: results are
+  /// bit-identical across settings on every backend — only the physical
+  /// representation (and SuperstepStats encoded/decoded byte counters)
+  /// changes.
+  std::string encoding;
+
   /// \name Backend passthroughs
   /// Tuning knobs forwarded verbatim to the backend that understands them;
   /// the others ignore them.

@@ -35,6 +35,10 @@ int CompareValues(const Value& a, const Value& b) {
 
 uint64_t HashGroupRow(const Table& t, const std::vector<int>& cols,
                       int64_t row) {
+  // Dictionary-encoded STRING group columns hash via the segment's cached
+  // per-entry hashes (Column::HashRow) — no decode, one HashString per
+  // distinct value — and GroupRowsEqual's CompareRows resolves equal codes
+  // without touching string bytes.
   uint64_t h = 0xabcdef01ULL;
   for (int c : cols) h = HashCombine(h, t.column(c).HashRow(row));
   return h;

@@ -1,6 +1,268 @@
 #include "exec/filter.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace vertexica {
+
+namespace {
+
+/// Maps a comparison BinaryOp onto the storage-layer CompareOp; nullopt for
+/// non-comparisons.
+std::optional<CompareOp> ToCompareOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return CompareOp::kEq;
+    case BinaryOp::kNe:
+      return CompareOp::kNe;
+    case BinaryOp::kLt:
+      return CompareOp::kLt;
+    case BinaryOp::kLe:
+      return CompareOp::kLe;
+    case BinaryOp::kGt:
+      return CompareOp::kGt;
+    case BinaryOp::kGe:
+      return CompareOp::kGe;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// `lit <op> col` ≡ `col <flipped op> lit`.
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+bool LiteralMatchesColumnType(const Value& literal, DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return literal.is_int64();
+    case DataType::kDouble:
+      return literal.is_double();
+    case DataType::kString:
+      return literal.is_string();
+    case DataType::kBool:
+      return literal.is_bool();
+  }
+  return false;
+}
+
+/// Matches `column <op> literal` (either operand order) with an exact
+/// column/literal type pairing.
+std::optional<ColumnPredicate> MatchComparison(const BinaryExpr& cmp,
+                                               const Schema& schema) {
+  const auto op = ToCompareOp(cmp.op());
+  if (!op.has_value()) return std::nullopt;
+  const auto* lcol = dynamic_cast<const ColumnRefExpr*>(cmp.left().get());
+  const auto* rcol = dynamic_cast<const ColumnRefExpr*>(cmp.right().get());
+  const auto* llit = dynamic_cast<const LiteralExpr*>(cmp.left().get());
+  const auto* rlit = dynamic_cast<const LiteralExpr*>(cmp.right().get());
+  const ColumnRefExpr* col = nullptr;
+  const LiteralExpr* lit = nullptr;
+  CompareOp resolved = *op;
+  if (lcol != nullptr && rlit != nullptr) {
+    col = lcol;
+    lit = rlit;
+  } else if (llit != nullptr && rcol != nullptr) {
+    col = rcol;
+    lit = llit;
+    resolved = FlipCompareOp(resolved);
+  } else {
+    return std::nullopt;
+  }
+  const int idx = schema.FieldIndex(col->name());
+  if (idx < 0) return std::nullopt;
+  // NULL literals are pushable too: `col <op> NULL` matches no row, which
+  // both the zone maps and SelectMatchingRows report consistently.
+  if (!lit->value().is_null() &&
+      !LiteralMatchesColumnType(lit->value(), schema.field(idx).type)) {
+    return std::nullopt;
+  }
+  return ColumnPredicate{col->name(), resolved, lit->value()};
+}
+
+void ExtractConjuncts(const ExprPtr& expr, const Schema& schema,
+                      std::vector<ColumnPredicate>* out) {
+  const auto* binary = dynamic_cast<const BinaryExpr*>(expr.get());
+  if (binary == nullptr) return;
+  if (binary->op() == BinaryOp::kAnd) {
+    ExtractConjuncts(binary->left(), schema, out);
+    ExtractConjuncts(binary->right(), schema, out);
+    return;
+  }
+  if (auto pred = MatchComparison(*binary, schema)) {
+    out->push_back(*std::move(pred));
+  }
+}
+
+bool ApplyCompareOp(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ColumnPredicate> ExtractPushdownPredicates(
+    const ExprPtr& predicate, const Schema& schema) {
+  std::vector<ColumnPredicate> out;
+  ExtractConjuncts(predicate, schema, &out);
+  return out;
+}
+
+std::optional<ColumnPredicate> ExactColumnPredicate(const ExprPtr& predicate,
+                                                    const Schema& schema) {
+  const auto* binary = dynamic_cast<const BinaryExpr*>(predicate.get());
+  if (binary == nullptr || binary->op() == BinaryOp::kAnd) return std::nullopt;
+  return MatchComparison(*binary, schema);
+}
+
+void SelectMatchingRows(const Column& column, CompareOp op,
+                        const Value& literal, int64_t begin, int64_t end,
+                        std::vector<int64_t>* out) {
+  begin = std::max<int64_t>(begin, 0);
+  end = std::min(end, column.length());
+  if (begin >= end) return;
+  // NULL literal: the comparison is NULL for every row — no matches.
+  if (literal.is_null()) return;
+  VX_CHECK(LiteralMatchesColumnType(literal, column.type()))
+      << "SelectMatchingRows: literal/column type mismatch";
+
+  const bool has_nulls = column.null_count() > 0;
+  auto emit_range = [&](int64_t from, int64_t to) {
+    if (!has_nulls) {
+      for (int64_t i = from; i < to; ++i) out->push_back(i);
+      return;
+    }
+    for (int64_t i = from; i < to; ++i) {
+      if (!column.IsNull(i)) out->push_back(i);
+    }
+  };
+  // One comparison per run overlapping [begin, end); the run-start offsets
+  // locate the first overlapping run by binary search so a morsel only
+  // touches its own runs (not the whole run list from row 0).
+  auto scan_runs = [&](const auto& run_matches) {
+    const std::vector<RleRun>& runs = *column.rle_runs();
+    const std::vector<int64_t>& starts = *column.rle_run_starts();
+    auto k = static_cast<size_t>(
+        std::upper_bound(starts.begin(), starts.end(), begin) -
+        starts.begin());
+    if (k > 0) --k;
+    for (; k < runs.size(); ++k) {
+      const int64_t row = starts[k];
+      if (row >= end) break;
+      const int64_t run_end = row + runs[k].length;
+      if (run_end > begin && run_matches(runs[k].value)) {
+        emit_range(std::max(row, begin), std::min(run_end, end));
+      }
+    }
+  };
+
+  switch (column.type()) {
+    case DataType::kInt64: {
+      const int64_t lit = literal.int64_value();
+      auto matches = [&](int64_t v) {
+        return ApplyCompareOp(op, v < lit ? -1 : (v > lit ? 1 : 0));
+      };
+      if (column.rle_runs() != nullptr) {
+        scan_runs(matches);
+        return;
+      }
+      const auto& v = column.ints();
+      for (int64_t i = begin; i < end; ++i) {
+        if (matches(v[static_cast<size_t>(i)]) &&
+            !(has_nulls && column.IsNull(i))) {
+          out->push_back(i);
+        }
+      }
+      return;
+    }
+    case DataType::kBool: {
+      const int lit = literal.bool_value() ? 1 : 0;
+      if (column.rle_runs() != nullptr) {
+        scan_runs([&](int64_t v) {
+          return ApplyCompareOp(op, (v != 0 ? 1 : 0) - lit);
+        });
+        return;
+      }
+      auto matches = [&](int v) { return ApplyCompareOp(op, v - lit); };
+      const auto& v = column.bools();
+      for (int64_t i = begin; i < end; ++i) {
+        if (matches(v[static_cast<size_t>(i)] != 0 ? 1 : 0) &&
+            !(has_nulls && column.IsNull(i))) {
+          out->push_back(i);
+        }
+      }
+      return;
+    }
+    case DataType::kDouble: {
+      const double lit = literal.double_value();
+      const auto& v = column.doubles();
+      for (int64_t i = begin; i < end; ++i) {
+        if (ApplyCompareOp(op, TotalOrderCompareDoubles(
+                                   v[static_cast<size_t>(i)], lit)) &&
+            !(has_nulls && column.IsNull(i))) {
+          out->push_back(i);
+        }
+      }
+      return;
+    }
+    case DataType::kString: {
+      const std::string& lit = literal.string_value();
+      if (const auto* dict = column.dict()) {
+        // One comparison per dictionary entry, then a code scan.
+        std::vector<uint8_t> entry_matches(dict->dictionary.size());
+        for (size_t k = 0; k < dict->dictionary.size(); ++k) {
+          const int cmp = dict->dictionary[k].compare(lit);
+          entry_matches[k] =
+              ApplyCompareOp(op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0)) ? 1 : 0;
+        }
+        for (int64_t i = begin; i < end; ++i) {
+          if (entry_matches[static_cast<size_t>(
+                  dict->codes[static_cast<size_t>(i)])] != 0 &&
+              !(has_nulls && column.IsNull(i))) {
+            out->push_back(i);
+          }
+        }
+        return;
+      }
+      const auto& v = column.strings();
+      for (int64_t i = begin; i < end; ++i) {
+        const int cmp = v[static_cast<size_t>(i)].compare(lit);
+        if (ApplyCompareOp(op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0)) &&
+            !(has_nulls && column.IsNull(i))) {
+          out->push_back(i);
+        }
+      }
+      return;
+    }
+  }
+}
 
 FilterOp::FilterOp(OperatorPtr input, ExprPtr predicate)
     : input_(std::move(input)), predicate_(std::move(predicate)) {}

@@ -4,10 +4,48 @@
 #ifndef VERTEXICA_EXEC_FILTER_H_
 #define VERTEXICA_EXEC_FILTER_H_
 
+#include <optional>
+#include <vector>
+
 #include "exec/operator.h"
 #include "expr/expression.h"
+#include "storage/encoding.h"
 
 namespace vertexica {
+
+/// \name Predicate pushdown over encoded segments
+///
+/// The bridge between expression trees and the storage layer's
+/// ColumnPredicate/zone-map machinery. Only comparisons whose literal type
+/// *exactly* matches the column type are extracted — that is the subset
+/// whose zone-map may-match logic and encoded evaluation provably agree
+/// with BinaryExpr::Evaluate (same-type comparisons route through
+/// Column::CompareRows), so pushing them down can never change results.
+/// @{
+
+/// \brief Extracts every AND-conjunct of `predicate` of the form
+/// `column <op> literal` (either operand order) with an exact column/
+/// literal type match. The result under-approximates the predicate: rows
+/// failing any extracted conjunct provably fail the whole predicate.
+std::vector<ColumnPredicate> ExtractPushdownPredicates(
+    const ExprPtr& predicate, const Schema& schema);
+
+/// \brief When `predicate` *is* exactly one pushable comparison, returns
+/// it; the caller may then evaluate rows with SelectMatchingRows instead of
+/// the expression interpreter.
+std::optional<ColumnPredicate> ExactColumnPredicate(const ExprPtr& predicate,
+                                                    const Schema& schema);
+
+/// \brief Appends (ascending) the row ids in [begin, end) whose value
+/// satisfies `value <op> literal` to `out` — bit-identical to evaluating
+/// the comparison expression and keeping TRUE rows (NULL rows never match;
+/// DOUBLE uses the CompareRows total order). RLE columns evaluate each
+/// overlapping run once; dictionary columns evaluate each dictionary entry
+/// once and then compare codes — no decode either way.
+void SelectMatchingRows(const Column& column, CompareOp op,
+                        const Value& literal, int64_t begin, int64_t end,
+                        std::vector<int64_t>* out);
+/// @}
 
 /// \brief Filters each input batch by a boolean predicate expression.
 /// Rows where the predicate is NULL are dropped (SQL WHERE semantics).

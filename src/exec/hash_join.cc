@@ -1,5 +1,6 @@
 #include "exec/hash_join.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/hash.h"
@@ -9,6 +10,13 @@ namespace vertexica {
 
 Column JoinTakeWithNulls(const Column& col,
                          const std::vector<int64_t>& indices) {
+  // Inner joins (and fully matched left joins) have no -1 padding: use the
+  // typed gather instead of per-row Value boxing. Column::Take also reads
+  // dictionary-encoded build columns without decoding them.
+  const bool padded =
+      std::any_of(indices.begin(), indices.end(),
+                  [](int64_t idx) { return idx < 0; });
+  if (!padded) return col.Take(indices);
   Column out(col.type());
   out.Reserve(static_cast<int64_t>(indices.size()));
   for (int64_t idx : indices) {
@@ -23,6 +31,10 @@ Column JoinTakeWithNulls(const Column& col,
 
 uint64_t JoinKeyHash(const Table& t, const std::vector<int>& key_cols,
                      int64_t row) {
+  // STRING key columns that are dictionary-encoded hash via the segment's
+  // per-entry hash cache (Column::HashRow): |dictionary| string hashes
+  // total instead of one per row, and the values equal HashString of the
+  // decoded key, so plain and encoded sides of a join stay compatible.
   uint64_t h = 0x12345678ULL;
   for (int c : key_cols) h = HashCombine(h, t.column(c).HashRow(row));
   return h;

@@ -42,8 +42,25 @@ ScopedExecThreads::ScopedExecThreads(int n) : prev_(tl_thread_override) {
 
 ScopedExecThreads::~ScopedExecThreads() { tl_thread_override = prev_; }
 
+MorselPruneFn MakeZonePrune(std::shared_ptr<const Table> table,
+                            std::vector<ColumnPredicate> preds) {
+  std::vector<ColumnPredicate> active;
+  for (auto& pred : preds) {
+    const Column* col = table->ColumnByName(pred.column);
+    if (col != nullptr && col->zone_map() != nullptr) {
+      active.push_back(std::move(pred));
+    }
+  }
+  if (active.empty()) return nullptr;
+  return [table = std::move(table),
+          active = std::move(active)](int64_t begin, int64_t end) {
+    return !MorselMayMatch(*table, active, begin, end);
+  };
+}
+
 Result<Table> ParallelCollect(std::shared_ptr<const Table> input,
                               const MorselPlanFactory& make_plan,
+                              const MorselPruneFn& prune,
                               const ParallelOptions& options) {
   const int64_t rows = input->num_rows();
   const int64_t grain = options.ResolvedGrain();
@@ -53,10 +70,23 @@ Result<Table> ParallelCollect(std::shared_ptr<const Table> input,
   // so tiny tables pay no fan-out cost. Morsel boundaries are fixed by
   // `grain`, so this fast path produces the same output as the fan-out.
   if (rows <= grain) {
-    auto plan = make_plan(std::make_unique<TableScan>(std::move(input),
+    auto plan = make_plan(std::make_unique<TableScan>(input,
                                                       kDefaultBatchSize));
     VX_RETURN_NOT_OK(plan.status());
+    if (prune != nullptr && rows > 0 && prune(0, rows)) {
+      return Table((*plan)->output_schema());
+    }
     return Collect(plan->get());
+  }
+
+  // The output schema up front (a 0-row plan build, no execution), so
+  // pruned morsels can contribute empty-but-typed tables.
+  Schema out_schema;
+  {
+    auto plan = make_plan(
+        std::make_unique<TableScan>(input, kDefaultBatchSize, 0, 0));
+    VX_RETURN_NOT_OK(plan.status());
+    out_schema = (*plan)->output_schema();
   }
 
   const auto num_morsels = static_cast<size_t>((rows + grain - 1) / grain);
@@ -64,6 +94,11 @@ Result<Table> ParallelCollect(std::shared_ptr<const Table> input,
   VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
       0, static_cast<size_t>(rows), static_cast<size_t>(grain),
       [&](size_t begin, size_t end) -> Status {
+        if (prune != nullptr && prune(static_cast<int64_t>(begin),
+                                      static_cast<int64_t>(end))) {
+          outputs[begin / static_cast<size_t>(grain)] = Table(out_schema);
+          return Status::OK();
+        }
         auto plan = make_plan(std::make_unique<TableScan>(
             input, kDefaultBatchSize, static_cast<int64_t>(begin),
             static_cast<int64_t>(end - begin)));
@@ -74,29 +109,73 @@ Result<Table> ParallelCollect(std::shared_ptr<const Table> input,
       },
       threads));
 
-  Table result(outputs[0].schema());
+  Table result(std::move(out_schema));
   for (const Table& out : outputs) {
     VX_RETURN_NOT_OK(result.Append(out));
   }
   return result;
 }
 
+Result<Table> ParallelCollect(std::shared_ptr<const Table> input,
+                              const MorselPlanFactory& make_plan,
+                              const ParallelOptions& options) {
+  return ParallelCollect(std::move(input), make_plan, nullptr, options);
+}
+
 Result<Table> ParallelCollect(Table input, const MorselPlanFactory& make_plan,
                               const ParallelOptions& options) {
   return ParallelCollect(std::make_shared<const Table>(std::move(input)),
-                         make_plan, options);
+                         make_plan, nullptr, options);
 }
 
 Result<Table> ParallelFilter(std::shared_ptr<const Table> input,
                              const ExprPtr& predicate,
                              const ParallelOptions& options) {
+  MorselPruneFn prune = MakeZonePrune(
+      input, ExtractPushdownPredicates(predicate, input->schema()));
+
+  // Encoded fast path: a predicate that *is* one pushable comparison is
+  // evaluated straight on the column representation (whole RLE runs /
+  // dictionary entries, see SelectMatchingRows) instead of through the
+  // expression interpreter — same rows, same order, no decode.
+  if (const auto exact = ExactColumnPredicate(predicate, input->schema())) {
+    const Column* col = input->ColumnByName(exact->column);
+    VX_CHECK(col != nullptr);  // ExactColumnPredicate validated the schema
+    const int64_t rows = input->num_rows();
+    const int64_t grain = options.ResolvedGrain();
+    const auto num_morsels =
+        rows == 0 ? size_t{0}
+                  : static_cast<size_t>((rows + grain - 1) / grain);
+    std::vector<Table> outputs(num_morsels);
+    VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
+        0, static_cast<size_t>(rows), static_cast<size_t>(grain),
+        [&](size_t begin, size_t end) -> Status {
+          std::vector<int64_t> selected;
+          if (prune == nullptr || !prune(static_cast<int64_t>(begin),
+                                         static_cast<int64_t>(end))) {
+            SelectMatchingRows(*col, exact->op, exact->literal,
+                               static_cast<int64_t>(begin),
+                               static_cast<int64_t>(end), &selected);
+          }
+          outputs[begin / static_cast<size_t>(grain)] =
+              input->Take(selected);
+          return Status::OK();
+        },
+        options.ResolvedThreads()));
+    Table result(input->schema());
+    for (const Table& out : outputs) {
+      VX_RETURN_NOT_OK(result.Append(out));
+    }
+    return result;
+  }
+
   return ParallelCollect(
       std::move(input),
       [&predicate](OperatorPtr source) -> Result<OperatorPtr> {
         return OperatorPtr(
             std::make_unique<FilterOp>(std::move(source), predicate));
       },
-      options);
+      prune, options);
 }
 
 Result<Table> ParallelProject(std::shared_ptr<const Table> input,
@@ -115,6 +194,8 @@ Result<Table> ParallelFilterProject(std::shared_ptr<const Table> input,
                                     const ExprPtr& predicate,
                                     const std::vector<ProjectionSpec>& outputs,
                                     const ParallelOptions& options) {
+  MorselPruneFn prune = MakeZonePrune(
+      input, ExtractPushdownPredicates(predicate, input->schema()));
   return ParallelCollect(
       std::move(input),
       [&predicate, &outputs](OperatorPtr source) -> Result<OperatorPtr> {
@@ -123,7 +204,7 @@ Result<Table> ParallelFilterProject(std::shared_ptr<const Table> input,
         return OperatorPtr(
             std::make_unique<ProjectOp>(std::move(filtered), outputs));
       },
-      options);
+      prune, options);
 }
 
 namespace {

@@ -94,14 +94,32 @@ struct ParallelOptions {
 using MorselPlanFactory =
     std::function<Result<OperatorPtr>(OperatorPtr morsel_source)>;
 
+/// \brief Zone-map morsel pruning hook: returns true when the morsel
+/// spanning source rows [begin, end) can be skipped entirely — i.e. the
+/// per-morsel plan provably emits no rows for it. Built from pushed-down
+/// predicates and the source columns' zone maps (MakeZonePrune).
+using MorselPruneFn = std::function<bool(int64_t begin, int64_t end)>;
+
+/// \brief Builds a MorselPruneFn from the pushdown conjuncts whose columns
+/// carry zone maps (see exec/scan.h MorselMayMatch); nullptr when none do —
+/// callers treat nullptr as "never prune".
+MorselPruneFn MakeZonePrune(std::shared_ptr<const Table> table,
+                            std::vector<ColumnPredicate> preds);
+
 /// \brief The Exchange-style driver: splits `input` into row-range morsels,
 /// drains `make_plan(scan-of-morsel)` for each on the shared pool, and
-/// concatenates the per-morsel outputs in morsel order.
+/// concatenates the per-morsel outputs in morsel order. Morsels rejected by
+/// `prune` contribute no rows and are never scanned or decoded.
 ///
 /// Works for any streaming per-row plan (filter, project, rename, ...).
 /// Blocking operators (join, aggregate, sort) must not be put inside
 /// `make_plan` — they would compute per-morsel results, not a global one;
 /// use ParallelHashJoin / ParallelHashAggregate instead.
+Result<Table> ParallelCollect(std::shared_ptr<const Table> input,
+                              const MorselPlanFactory& make_plan,
+                              const MorselPruneFn& prune,
+                              const ParallelOptions& options = {});
+/// \brief Overload without pruning.
 Result<Table> ParallelCollect(std::shared_ptr<const Table> input,
                               const MorselPlanFactory& make_plan,
                               const ParallelOptions& options = {});
@@ -110,6 +128,14 @@ Result<Table> ParallelCollect(Table input, const MorselPlanFactory& make_plan,
                               const ParallelOptions& options = {});
 
 /// \name Morsel-parallel streaming kernels (σ, π, fused σ→π)
+///
+/// ParallelFilter and ParallelFilterProject extract the pushable conjuncts
+/// of the predicate (exec/filter.h) and skip morsels their zone maps rule
+/// out. When the predicate is exactly one pushable comparison,
+/// ParallelFilter additionally bypasses the expression interpreter and
+/// evaluates directly on the column representation — whole RLE runs and
+/// dictionary entries are tested once instead of per row, with no decode.
+/// Both paths return rows bit-identical to the serial FilterOp.
 /// @{
 Result<Table> ParallelFilter(std::shared_ptr<const Table> input,
                              const ExprPtr& predicate,

@@ -46,6 +46,16 @@ PlanBuilder PlanBuilder::FromOperator(OperatorPtr op) {
 }
 
 PlanBuilder PlanBuilder::Filter(ExprPtr predicate) && {
+  // σ over a base-table scan: push the comparison conjuncts into the scan,
+  // which then skips whole batches via zone maps (when the table has them —
+  // Table::BuildZoneMaps/EncodeColumns). The FilterOp still evaluates the
+  // full predicate on the surviving batches, so this is purely an
+  // I/O-avoidance rewrite: same rows out, fewer rows touched.
+  if (auto* scan = dynamic_cast<TableScan*>(op_.get())) {
+    auto pushed =
+        ExtractPushdownPredicates(predicate, scan->output_schema());
+    if (!pushed.empty()) scan->PushDownPredicates(std::move(pushed));
+  }
   return PlanBuilder(
       std::make_unique<FilterOp>(std::move(op_), std::move(predicate)));
 }

@@ -1,8 +1,52 @@
 #include "exec/scan.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace vertexica {
+
+namespace {
+
+std::atomic<int64_t> g_ranges_checked{0};
+std::atomic<int64_t> g_ranges_pruned{0};
+std::atomic<int64_t> g_rows_pruned{0};
+
+}  // namespace
+
+bool MorselMayMatch(const Table& table,
+                    const std::vector<ColumnPredicate>& preds,
+                    int64_t row_begin, int64_t row_end) {
+  if (preds.empty() || row_begin >= row_end) return true;
+  g_ranges_checked.fetch_add(1, std::memory_order_relaxed);
+  for (const ColumnPredicate& pred : preds) {
+    const Column* col = table.ColumnByName(pred.column);
+    if (col == nullptr) continue;  // stale pushdown: never prune
+    const auto& zm = col->zone_map();
+    if (zm == nullptr) continue;
+    if (!zm->RangeMayMatch(pred.op, pred.literal, row_begin, row_end)) {
+      // One impossible conjunct makes the whole conjunction false.
+      g_ranges_pruned.fetch_add(1, std::memory_order_relaxed);
+      g_rows_pruned.fetch_add(row_end - row_begin,
+                              std::memory_order_relaxed);
+      return false;
+    }
+  }
+  return true;
+}
+
+ScanPruneStats ScanPruneStatsSnapshot() {
+  ScanPruneStats stats;
+  stats.ranges_checked = g_ranges_checked.load(std::memory_order_relaxed);
+  stats.ranges_pruned = g_ranges_pruned.load(std::memory_order_relaxed);
+  stats.rows_pruned = g_rows_pruned.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetScanPruneStats() {
+  g_ranges_checked.store(0, std::memory_order_relaxed);
+  g_ranges_pruned.store(0, std::memory_order_relaxed);
+  g_rows_pruned.store(0, std::memory_order_relaxed);
+}
 
 TableScan::TableScan(std::shared_ptr<const Table> table, int64_t batch_size)
     : table_(std::move(table)),
@@ -24,12 +68,23 @@ TableScan::TableScan(std::shared_ptr<const Table> table, int64_t batch_size,
   limit_ = std::min(first_row_ + count, table_->num_rows());
 }
 
+void TableScan::PushDownPredicates(std::vector<ColumnPredicate> preds) {
+  pushed_ = std::move(preds);
+}
+
 Result<std::optional<Table>> TableScan::Next() {
-  if (offset_ >= limit_) return std::optional<Table>{};
-  const int64_t count = std::min(batch_size_, limit_ - offset_);
-  Table batch = table_->Slice(offset_, count);
-  offset_ += count;
-  return std::optional<Table>(std::move(batch));
+  while (offset_ < limit_) {
+    const int64_t count = std::min(batch_size_, limit_ - offset_);
+    if (!pushed_.empty() &&
+        !MorselMayMatch(*table_, pushed_, offset_, offset_ + count)) {
+      offset_ += count;  // provably no matching row: skip without slicing
+      continue;
+    }
+    Table batch = table_->Slice(offset_, count);
+    offset_ += count;
+    return std::optional<Table>(std::move(batch));
+  }
+  return std::optional<Table>{};
 }
 
 }  // namespace vertexica

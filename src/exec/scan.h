@@ -1,14 +1,41 @@
 /// \file scan.h
-/// \brief Table scan over an immutable table snapshot.
+/// \brief Table scan over an immutable table snapshot, with zone-map
+/// pruning of pushed-down comparison predicates.
 
 #ifndef VERTEXICA_EXEC_SCAN_H_
 #define VERTEXICA_EXEC_SCAN_H_
 
 #include <memory>
+#include <vector>
 
 #include "exec/operator.h"
+#include "storage/encoding.h"
 
 namespace vertexica {
+
+/// \name Zone-map range pruning
+/// Shared by TableScan batches and the morsel driver (exec/parallel.h).
+/// @{
+
+/// \brief True when rows [row_begin, row_end) of `table` may contain a row
+/// satisfying *every* predicate in `preds`, judged by the referenced
+/// columns' zone maps. Conservative: a missing column, missing zone map or
+/// mixed-type comparison never prunes. Updates the global prune counters.
+bool MorselMayMatch(const Table& table,
+                    const std::vector<ColumnPredicate>& preds,
+                    int64_t row_begin, int64_t row_end);
+
+/// \brief Process-wide pruning counters (atomic; benches snapshot them to
+/// report "bytes/rows touched" with and without zone maps).
+struct ScanPruneStats {
+  int64_t ranges_checked = 0;  ///< morsel/batch ranges tested
+  int64_t ranges_pruned = 0;   ///< ranges skipped entirely
+  int64_t rows_pruned = 0;     ///< rows in the skipped ranges
+};
+
+ScanPruneStats ScanPruneStatsSnapshot();
+void ResetScanPruneStats();
+/// @}
 
 /// \brief Emits `batch_size`-row slices of a materialized table.
 ///
@@ -16,6 +43,14 @@ namespace vertexica {
 /// the partitioned/morsel scan the parallel driver (exec/parallel.h) hands
 /// to each worker, so N range scans over disjoint ranges together cover the
 /// table exactly once.
+///
+/// A scan may also carry pushed-down comparison predicates
+/// (PlanBuilder::Filter installs them): batches whose zone maps prove that
+/// no row can satisfy some predicate are skipped without being sliced.
+/// Pruning is an optimization only — the scan never evaluates predicates
+/// row-by-row, so the Filter above it must still run; with zone maps built
+/// (Table::BuildZoneMaps / EncodeColumns) the pair returns bit-identical
+/// rows while touching fewer of them.
 class TableScan : public Operator {
  public:
   explicit TableScan(std::shared_ptr<const Table> table,
@@ -29,15 +64,29 @@ class TableScan : public Operator {
   TableScan(std::shared_ptr<const Table> table, int64_t batch_size,
             int64_t offset, int64_t count);
 
+  /// \brief Installs pushed-down predicates used solely to skip batches
+  /// via zone maps (see class comment).
+  void PushDownPredicates(std::vector<ColumnPredicate> preds);
+  const std::vector<ColumnPredicate>& pushed_predicates() const {
+    return pushed_;
+  }
+
   const Schema& output_schema() const override { return table_->schema(); }
   Result<std::optional<Table>> Next() override;
 
   std::string label() const override {
+    std::string out;
     if (first_row_ != 0 || limit_ != table_->num_rows()) {
-      return "TableScan(rows " + std::to_string(first_row_) + ".." +
-             std::to_string(limit_) + ")";
+      out = "TableScan(rows " + std::to_string(first_row_) + ".." +
+            std::to_string(limit_) + ")";
+    } else {
+      out = "TableScan(" + std::to_string(table_->num_rows()) + " rows)";
     }
-    return "TableScan(" + std::to_string(table_->num_rows()) + " rows)";
+    for (const auto& p : pushed_) {
+      out += " [push: " + p.column + " " + CompareOpName(p.op) + " " +
+             p.literal.ToString() + "]";
+    }
+    return out;
   }
   std::vector<const Operator*> children() const override {
     return {};
@@ -49,6 +98,7 @@ class TableScan : public Operator {
   int64_t first_row_ = 0;  // construction-time range start (for label())
   int64_t offset_ = 0;     // scan cursor
   int64_t limit_ = 0;      // one past the last row to emit
+  std::vector<ColumnPredicate> pushed_;
 };
 
 }  // namespace vertexica

@@ -59,6 +59,8 @@ class LiteralExpr : public Expr {
   Result<Column> Evaluate(const Table& batch) const override;
   Result<DataType> OutputType(const Schema& schema) const override;
   std::string ToString() const override { return value_.ToString(); }
+  const Value& value() const { return value_; }
+  DataType type() const { return type_; }
 
  private:
   Value value_;
@@ -95,6 +97,12 @@ class BinaryExpr : public Expr {
   Result<Column> Evaluate(const Table& batch) const override;
   Result<DataType> OutputType(const Schema& schema) const override;
   std::string ToString() const override;
+  /// \name Introspection (predicate pushdown, exec/filter.h)
+  /// @{
+  BinaryOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+  /// @}
 
  private:
   BinaryOp op_;

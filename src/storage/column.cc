@@ -1,6 +1,7 @@
 #include "storage/column.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/hash.h"
 
@@ -58,7 +59,199 @@ void Column::EnsureValidity() {
   }
 }
 
+// ------------------------------------------------------------ encoding state
+
+const std::vector<int64_t>& Column::DecodedInts() const {
+  const EncodedSegment& seg = *segment_;
+  std::call_once(seg.decode_once,
+                 [&seg] { seg.decoded_ints = RleDecode(seg.runs); });
+  return seg.decoded_ints;
+}
+
+const std::vector<uint8_t>& Column::DecodedBools() const {
+  const EncodedSegment& seg = *segment_;
+  std::call_once(seg.decode_once, [&seg] {
+    seg.decoded_bools.reserve(static_cast<size_t>(seg.length));
+    for (const RleRun& run : seg.runs) {
+      seg.decoded_bools.insert(seg.decoded_bools.end(),
+                               static_cast<size_t>(run.length),
+                               run.value != 0 ? 1 : 0);
+    }
+  });
+  return seg.decoded_bools;
+}
+
+const std::vector<std::string>& Column::DecodedStrings() const {
+  const EncodedSegment& seg = *segment_;
+  std::call_once(seg.decode_once,
+                 [&seg] { seg.decoded_strings = DictionaryDecode(seg.dict); });
+  return seg.decoded_strings;
+}
+
+void Column::PrepareMutation() {
+  if (segment_ != nullptr) Decode();
+  zone_map_.reset();
+}
+
+namespace {
+
+std::vector<int64_t> RunStartOffsets(const std::vector<RleRun>& runs) {
+  std::vector<int64_t> starts;
+  starts.reserve(runs.size());
+  int64_t row = 0;
+  for (const RleRun& run : runs) {
+    starts.push_back(row);
+    row += run.length;
+  }
+  return starts;
+}
+
+}  // namespace
+
+bool Column::Encode(EncodingMode mode) {
+  if (mode == EncodingMode::kOff) return false;
+  if (segment_ != nullptr) return true;  // already encoded
+  // One pass over the still-plain vectors: the zone map rides along for
+  // free whatever the encoding decision. A cached zone map is still
+  // current (mutation drops it), so don't rebuild one.
+  if (zone_map_ == nullptr) BuildZoneMap();
+  switch (type_) {
+    case DataType::kInt64: {
+      auto runs = RleEncode(ints_);
+      const auto encoded_bytes =
+          static_cast<int64_t>(runs.size() * sizeof(RleRun));
+      const auto plain_bytes =
+          static_cast<int64_t>(ints_.size() * sizeof(int64_t));
+      if (mode == EncodingMode::kAuto && encoded_bytes >= plain_bytes) {
+        return false;
+      }
+      auto segment = std::make_shared<EncodedSegment>();
+      segment->encoding = ColumnEncoding::kRle;
+      segment->length = length_;
+      segment->runs = std::move(runs);
+      segment->run_starts = RunStartOffsets(segment->runs);
+      segment_ = std::move(segment);
+      ints_.clear();
+      ints_.shrink_to_fit();
+      return true;
+    }
+    case DataType::kBool: {
+      std::vector<int64_t> widened(bools_.begin(), bools_.end());
+      auto runs = RleEncode(widened);
+      const auto encoded_bytes =
+          static_cast<int64_t>(runs.size() * sizeof(RleRun));
+      const auto plain_bytes = static_cast<int64_t>(bools_.size());
+      if (mode == EncodingMode::kAuto && encoded_bytes >= plain_bytes) {
+        return false;
+      }
+      auto segment = std::make_shared<EncodedSegment>();
+      segment->encoding = ColumnEncoding::kRle;
+      segment->length = length_;
+      segment->runs = std::move(runs);
+      segment->run_starts = RunStartOffsets(segment->runs);
+      segment_ = std::move(segment);
+      bools_.clear();
+      bools_.shrink_to_fit();
+      return true;
+    }
+    case DataType::kString: {
+      auto dict = DictionaryEncode(strings_);
+      int64_t plain_bytes = 0;
+      for (const auto& s : strings_) {
+        plain_bytes += static_cast<int64_t>(sizeof(std::string) + s.size());
+      }
+      if (mode == EncodingMode::kAuto && dict.ByteSize() >= plain_bytes) {
+        return false;
+      }
+      auto segment = std::make_shared<EncodedSegment>();
+      segment->encoding = ColumnEncoding::kDict;
+      segment->length = length_;
+      segment->dict = std::move(dict);
+      segment_ = std::move(segment);
+      strings_.clear();
+      strings_.shrink_to_fit();
+      return true;
+    }
+    case DataType::kDouble:
+      return false;  // doubles always stay plain
+  }
+  return false;
+}
+
+void Column::Decode() {
+  if (segment_ == nullptr) return;
+  switch (type_) {
+    case DataType::kInt64:
+      ints_ = DecodedInts();
+      break;
+    case DataType::kBool:
+      bools_ = DecodedBools();
+      break;
+    case DataType::kString:
+      strings_ = DecodedStrings();
+      break;
+    case DataType::kDouble:
+      break;
+  }
+  segment_.reset();
+}
+
+void Column::BuildZoneMap() {
+  std::vector<ZoneStats> zones;
+  const auto num_zones =
+      static_cast<size_t>((length_ + kZoneRows - 1) / kZoneRows);
+  zones.reserve(num_zones);
+  for (size_t z = 0; z < num_zones; ++z) {
+    ZoneStats stats;
+    stats.row_begin = static_cast<int64_t>(z) * kZoneRows;
+    stats.row_end = std::min(stats.row_begin + kZoneRows, length_);
+    for (int64_t i = stats.row_begin; i < stats.row_end; ++i) {
+      if (IsNull(i)) {
+        ++stats.null_count;
+        continue;
+      }
+      switch (type_) {
+        case DataType::kInt64: {
+          const int64_t v = GetInt64(i);
+          if (!stats.has_value || v < stats.min_i) stats.min_i = v;
+          if (!stats.has_value || v > stats.max_i) stats.max_i = v;
+          break;
+        }
+        case DataType::kBool: {
+          const int64_t v = GetBool(i) ? 1 : 0;
+          if (!stats.has_value || v < stats.min_i) stats.min_i = v;
+          if (!stats.has_value || v > stats.max_i) stats.max_i = v;
+          break;
+        }
+        case DataType::kDouble: {
+          const double v = GetDouble(i);
+          if (std::isnan(v)) {
+            stats.has_nan = true;
+          } else {
+            if (!stats.has_finite || v < stats.min_d) stats.min_d = v;
+            if (!stats.has_finite || v > stats.max_d) stats.max_d = v;
+            stats.has_finite = true;
+          }
+          break;
+        }
+        case DataType::kString: {
+          const std::string& v = GetString(i);
+          if (!stats.has_value || v < stats.min_s) stats.min_s = v;
+          if (!stats.has_value || v > stats.max_s) stats.max_s = v;
+          break;
+        }
+      }
+      stats.has_value = true;
+    }
+    zones.push_back(std::move(stats));
+  }
+  zone_map_ = std::make_shared<const ZoneMapIndex>(type_, std::move(zones));
+}
+
+// ------------------------------------------------------------------- appends
+
 void Column::AppendNull() {
+  if (segment_ != nullptr || zone_map_ != nullptr) PrepareMutation();
   EnsureValidity();
   switch (type_) {
     case DataType::kInt64:
@@ -106,6 +299,7 @@ void Column::AppendColumn(const Column& other) {
   VX_CHECK(type_ == other.type_)
       << "AppendColumn type mismatch: " << DataTypeName(type_) << " vs "
       << DataTypeName(other.type_);
+  if (segment_ != nullptr || zone_map_ != nullptr) PrepareMutation();
   if (!other.validity_.empty() || !validity_.empty()) {
     EnsureValidity();
     if (other.validity_.empty()) {
@@ -116,20 +310,25 @@ void Column::AppendColumn(const Column& other) {
     }
   }
   switch (type_) {
-    case DataType::kInt64:
-      ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+    case DataType::kInt64: {
+      const auto& src = other.ints();
+      ints_.insert(ints_.end(), src.begin(), src.end());
       break;
+    }
     case DataType::kDouble:
       doubles_.insert(doubles_.end(), other.doubles_.begin(),
                       other.doubles_.end());
       break;
-    case DataType::kString:
-      strings_.insert(strings_.end(), other.strings_.begin(),
-                      other.strings_.end());
+    case DataType::kString: {
+      const auto& src = other.strings();
+      strings_.insert(strings_.end(), src.begin(), src.end());
       break;
-    case DataType::kBool:
-      bools_.insert(bools_.end(), other.bools_.begin(), other.bools_.end());
+    }
+    case DataType::kBool: {
+      const auto& src = other.bools();
+      bools_.insert(bools_.end(), src.begin(), src.end());
       break;
+    }
   }
   length_ += other.length_;
   null_count_ += other.null_count_;
@@ -155,21 +354,27 @@ Column Column::Take(const std::vector<int64_t>& indices) const {
   out.Reserve(static_cast<int64_t>(indices.size()));
   if (null_count_ == 0) {
     switch (type_) {
-      case DataType::kInt64:
-        for (int64_t i : indices) out.ints_.push_back(ints_[static_cast<size_t>(i)]);
+      case DataType::kInt64: {
+        const auto& src = ints();
+        for (int64_t i : indices)
+          out.ints_.push_back(src[static_cast<size_t>(i)]);
         break;
+      }
       case DataType::kDouble:
         for (int64_t i : indices)
           out.doubles_.push_back(doubles_[static_cast<size_t>(i)]);
         break;
       case DataType::kString:
-        for (int64_t i : indices)
-          out.strings_.push_back(strings_[static_cast<size_t>(i)]);
+        // GetString reads straight from the dictionary for encoded
+        // columns, so a gather never forces a full decode.
+        for (int64_t i : indices) out.strings_.push_back(GetString(i));
         break;
-      case DataType::kBool:
+      case DataType::kBool: {
+        const auto& src = bools();
         for (int64_t i : indices)
-          out.bools_.push_back(bools_[static_cast<size_t>(i)]);
+          out.bools_.push_back(src[static_cast<size_t>(i)]);
         break;
+      }
     }
     out.length_ = static_cast<int64_t>(indices.size());
     return out;
@@ -184,18 +389,25 @@ Column Column::Slice(int64_t offset, int64_t count) const {
   const auto b = static_cast<size_t>(offset);
   const auto e = static_cast<size_t>(offset + count);
   switch (type_) {
-    case DataType::kInt64:
-      out.ints_.assign(ints_.begin() + b, ints_.begin() + e);
+    case DataType::kInt64: {
+      const auto& src = ints();
+      out.ints_.assign(src.begin() + b, src.begin() + e);
       break;
+    }
     case DataType::kDouble:
       out.doubles_.assign(doubles_.begin() + b, doubles_.begin() + e);
       break;
     case DataType::kString:
-      out.strings_.assign(strings_.begin() + b, strings_.begin() + e);
+      out.strings_.reserve(static_cast<size_t>(count));
+      for (int64_t i = offset; i < offset + count; ++i) {
+        out.strings_.push_back(GetString(i));
+      }
       break;
-    case DataType::kBool:
-      out.bools_.assign(bools_.begin() + b, bools_.begin() + e);
+    case DataType::kBool: {
+      const auto& src = bools();
+      out.bools_.assign(src.begin() + b, src.begin() + e);
       break;
+    }
   }
   out.length_ = count;
   if (!validity_.empty()) {
@@ -215,7 +427,10 @@ bool Column::Equals(const Column& other) const {
   for (int64_t i = 0; i < length_; ++i) {
     if (IsNull(i) != other.IsNull(i)) return false;
     if (IsNull(i)) continue;
-    if (GetValue(i) != other.GetValue(i)) return false;
+    // CompareRows, not Value equality: deep equality must agree with the
+    // storage total order, under which NaN equals itself (a column always
+    // equals its own copy, encoded or not).
+    if (CompareRows(i, other, i) != 0) return false;
   }
   return true;
 }
@@ -232,8 +447,25 @@ uint64_t Column::HashRow(int64_t i) const {
       __builtin_memcpy(&bits, &d, sizeof(bits));
       return HashInt64(bits);
     }
-    case DataType::kString:
+    case DataType::kString: {
+      if (segment_ != nullptr &&
+          segment_->encoding == ColumnEncoding::kDict) {
+        // Per-dictionary-entry hash cache: |dictionary| HashString calls
+        // total instead of one per probed row. The cached hashes are
+        // exactly HashString of the decoded value, so encoded and plain
+        // key columns stay hash-compatible in joins and aggregations.
+        const EncodedSegment& seg = *segment_;
+        std::call_once(seg.hash_once, [&seg] {
+          seg.dict_hashes.reserve(seg.dict.dictionary.size());
+          for (const auto& s : seg.dict.dictionary) {
+            seg.dict_hashes.push_back(HashString(s));
+          }
+        });
+        return seg.dict_hashes[static_cast<size_t>(
+            seg.dict.codes[static_cast<size_t>(i)])];
+      }
       return HashString(GetString(i));
+    }
     case DataType::kBool:
       return HashInt64(GetBool(i) ? 1 : 2);
   }
@@ -251,15 +483,24 @@ int Column::CompareRows(int64_t i, const Column& other, int64_t j) const {
       const int64_t b = other.GetInt64(j);
       return a < b ? -1 : (a > b ? 1 : 0);
     }
-    case DataType::kDouble: {
-      const double a = GetDouble(i);
-      const double b = other.GetDouble(j);
-      return a < b ? -1 : (a > b ? 1 : 0);
+    case DataType::kDouble:
+      // Total order: NaN sorts after every number and equals itself.
+      // (`a < b ? … : a > b ? …` alone returns 0 whenever either side is
+      // NaN, which breaks strict weak ordering — UB in std::stable_sort
+      // and nondeterministic SortOp/TopNOp output.)
+      return TotalOrderCompareDoubles(GetDouble(i), other.GetDouble(j));
+    case DataType::kString: {
+      // Same dictionary ⇒ equal codes are equal strings; unequal codes
+      // still compare by value (first-appearance codes are unordered).
+      if (segment_ != nullptr && segment_ == other.segment_ &&
+          segment_->encoding == ColumnEncoding::kDict &&
+          segment_->dict.codes[static_cast<size_t>(i)] ==
+              segment_->dict.codes[static_cast<size_t>(j)]) {
+        return 0;
+      }
+      const int cmp = GetString(i).compare(other.GetString(j));
+      return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
     }
-    case DataType::kString:
-      return GetString(i).compare(other.GetString(j)) < 0
-                 ? -1
-                 : (GetString(i) == other.GetString(j) ? 0 : 1);
     case DataType::kBool: {
       const int a = GetBool(i) ? 1 : 0;
       const int b = other.GetBool(j) ? 1 : 0;

@@ -1,71 +1,29 @@
 #include "storage/compression.h"
 
-#include <unordered_map>
-
 namespace vertexica {
 
-std::vector<RleRun> RleEncode(const std::vector<int64_t>& values) {
-  std::vector<RleRun> runs;
-  for (int64_t v : values) {
-    if (!runs.empty() && runs.back().value == v) {
-      ++runs.back().length;
-    } else {
-      runs.push_back(RleRun{v, 1});
-    }
-  }
-  return runs;
-}
-
-std::vector<int64_t> RleDecode(const std::vector<RleRun>& runs) {
-  std::vector<int64_t> values;
-  for (const auto& run : runs) {
-    values.insert(values.end(), static_cast<size_t>(run.length), run.value);
-  }
-  return values;
-}
-
-int64_t DictEncoded::ByteSize() const {
-  int64_t bytes = static_cast<int64_t>(codes.size() * sizeof(int32_t));
-  for (const auto& s : dictionary) {
-    bytes += static_cast<int64_t>(s.size());
-  }
-  return bytes;
-}
-
-DictEncoded DictionaryEncode(const std::vector<std::string>& values) {
-  DictEncoded out;
-  out.codes.reserve(values.size());
-  std::unordered_map<std::string, int32_t> index;
-  for (const auto& v : values) {
-    auto [it, inserted] =
-        index.emplace(v, static_cast<int32_t>(out.dictionary.size()));
-    if (inserted) out.dictionary.push_back(v);
-    out.codes.push_back(it->second);
-  }
-  return out;
-}
-
-std::vector<std::string> DictionaryDecode(const DictEncoded& encoded) {
-  std::vector<std::string> values;
-  values.reserve(encoded.codes.size());
-  for (int32_t code : encoded.codes) {
-    values.push_back(encoded.dictionary[static_cast<size_t>(code)]);
-  }
-  return values;
-}
-
 int64_t UncompressedByteSize(const Column& column) {
+  int64_t bytes = column.ValidityByteSize();
   switch (column.type()) {
     case DataType::kInt64:
-      return column.length() * static_cast<int64_t>(sizeof(int64_t));
+      return bytes + column.length() * static_cast<int64_t>(sizeof(int64_t));
     case DataType::kDouble:
-      return column.length() * static_cast<int64_t>(sizeof(double));
+      return bytes + column.length() * static_cast<int64_t>(sizeof(double));
     case DataType::kBool:
-      return column.length();
+      return bytes + column.length();
     case DataType::kString: {
-      int64_t bytes = 0;
+      // Dictionary-encoded columns: per-row sizes from the dictionary, so
+      // accounting never forces a decode.
+      if (const auto* dict = column.dict()) {
+        for (int32_t code : dict->codes) {
+          bytes += static_cast<int64_t>(
+              sizeof(std::string) +
+              dict->dictionary[static_cast<size_t>(code)].size());
+        }
+        return bytes;
+      }
       for (const auto& s : column.strings()) {
-        bytes += static_cast<int64_t>(s.size());
+        bytes += static_cast<int64_t>(sizeof(std::string) + s.size());
       }
       return bytes;
     }
@@ -74,20 +32,46 @@ int64_t UncompressedByteSize(const Column& column) {
 }
 
 int64_t CompressedByteSize(const Column& column) {
+  const int64_t validity = column.ValidityByteSize();
   switch (column.type()) {
     case DataType::kInt64: {
+      // Reuse the stored runs when the column is already RLE-encoded.
+      if (const auto* runs = column.rle_runs()) {
+        return validity +
+               static_cast<int64_t>(runs->size() * sizeof(RleRun));
+      }
       const auto runs = RleEncode(column.ints());
-      return static_cast<int64_t>(runs.size() * sizeof(RleRun));
+      return validity + static_cast<int64_t>(runs.size() * sizeof(RleRun));
     }
     case DataType::kBool: {
+      if (const auto* runs = column.rle_runs()) {
+        return validity +
+               static_cast<int64_t>(runs->size() * sizeof(RleRun));
+      }
       std::vector<int64_t> widened(column.bools().begin(),
                                    column.bools().end());
       const auto runs = RleEncode(widened);
-      return static_cast<int64_t>(runs.size() * sizeof(RleRun));
+      return validity + static_cast<int64_t>(runs.size() * sizeof(RleRun));
     }
     case DataType::kString:
-      return DictionaryEncode(column.strings()).ByteSize();
+      if (const auto* dict = column.dict()) {
+        return validity + dict->ByteSize();
+      }
+      return validity + DictionaryEncode(column.strings()).ByteSize();
     case DataType::kDouble:
+      return UncompressedByteSize(column);
+  }
+  return 0;
+}
+
+int64_t EncodedByteSize(const Column& column) {
+  switch (column.encoding()) {
+    case ColumnEncoding::kRle:
+      return column.ValidityByteSize() +
+             static_cast<int64_t>(column.rle_runs()->size() * sizeof(RleRun));
+    case ColumnEncoding::kDict:
+      return column.ValidityByteSize() + column.dict()->ByteSize();
+    case ColumnEncoding::kPlain:
       return UncompressedByteSize(column);
   }
   return 0;

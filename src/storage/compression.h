@@ -1,60 +1,39 @@
 /// \file compression.h
-/// \brief Column-store compression primitives: run-length and dictionary
-/// encoding.
+/// \brief Column footprint accounting over the segment encodings.
 ///
-/// Vertexica "sits on top of an industry strength column-oriented database
-/// system"; RLE and dictionary encoding are the two workhorse encodings of
-/// such systems (sorted vertex ids RLE-compress; the §4 metadata's
-/// low-cardinality and zipfian attributes dictionary-compress). These
-/// utilities are used for storage-footprint accounting and exercised by
-/// property tests.
+/// The encodings themselves (RleRun, DictEncoded, ColumnEncoding, the
+/// ambient EncodingMode knob, zone maps) live in storage/encoding.h and are
+/// first-class column representations via `Column::Encode()`. This header
+/// keeps the byte-accounting helpers used by the coordinator's
+/// SuperstepStats counters, benches and tests. All sizes include the
+/// validity bitmap when one is materialized and a `sizeof(std::string)`
+/// header per string — omitting those systematically underreported
+/// footprints.
 
 #ifndef VERTEXICA_STORAGE_COMPRESSION_H_
 #define VERTEXICA_STORAGE_COMPRESSION_H_
 
 #include <cstdint>
-#include <string>
-#include <vector>
 
 #include "storage/column.h"
+#include "storage/encoding.h"
 
 namespace vertexica {
 
-/// \brief One RLE run: `length` repetitions of `value`.
-struct RleRun {
-  int64_t value;
-  int64_t length;
-};
-
-/// \brief Run-length encodes an int64 sequence.
-std::vector<RleRun> RleEncode(const std::vector<int64_t>& values);
-
-/// \brief Inverse of RleEncode.
-std::vector<int64_t> RleDecode(const std::vector<RleRun>& runs);
-
-/// \brief Dictionary-encoded string vector: distinct values (in first-
-/// appearance order) plus one code per row.
-struct DictEncoded {
-  std::vector<std::string> dictionary;
-  std::vector<int32_t> codes;
-
-  /// \brief Approximate encoded footprint in bytes.
-  int64_t ByteSize() const;
-};
-
-/// \brief Dictionary-encodes a string sequence.
-DictEncoded DictionaryEncode(const std::vector<std::string>& values);
-
-/// \brief Inverse of DictionaryEncode.
-std::vector<std::string> DictionaryDecode(const DictEncoded& encoded);
-
-/// \brief Uncompressed footprint of a column in bytes (values + strings;
-/// validity ignored).
+/// \brief Plain (decoded) footprint of a column in bytes: typed values,
+/// string headers + characters, and the validity bitmap when present.
 int64_t UncompressedByteSize(const Column& column);
 
 /// \brief Best-effort compressed footprint: RLE for INT64/BOOL columns,
-/// dictionary for STRING columns, raw for DOUBLE.
+/// dictionary for STRING columns, raw for DOUBLE; plus validity. This is
+/// the hypothetical "what would encoding save" number and does not depend
+/// on the column's current representation.
 int64_t CompressedByteSize(const Column& column);
+
+/// \brief Actual footprint of the column's *current* representation:
+/// encoded bytes (runs / dictionary + codes) when encoded, plain bytes
+/// otherwise; plus validity either way.
+int64_t EncodedByteSize(const Column& column);
 
 }  // namespace vertexica
 

@@ -10,38 +10,6 @@ namespace vertexica {
 
 namespace {
 
-/// Splits one CSV record honouring double-quoted fields ("" escapes a
-/// quote inside a quoted field).
-std::vector<std::string> SplitRecord(const std::string& line, char delim) {
-  std::vector<std::string> fields;
-  std::string current;
-  bool quoted = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    if (quoted) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          current += '"';
-          ++i;
-        } else {
-          quoted = false;
-        }
-      } else {
-        current += c;
-      }
-    } else if (c == '"' && current.empty()) {
-      quoted = true;
-    } else if (c == delim) {
-      fields.push_back(std::move(current));
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  fields.push_back(std::move(current));
-  return fields;
-}
-
 bool ParsesAsInt(const std::string& s, int64_t* out) {
   if (s.empty()) return false;
   char* end = nullptr;
@@ -79,32 +47,108 @@ struct RawCsv {
   std::vector<std::vector<std::string>> rows;
 };
 
+/// Tokenizes the whole text in one pass with RFC-4180 quoting: a quoted
+/// field may contain the delimiter, escaped quotes ("") and *newlines*, so
+/// records are assembled across lines rather than split by std::getline
+/// first (which manufactured spurious "line N has K fields" errors — or
+/// silently corrupt rows — for any quoted field with an embedded newline).
+/// Malformed quoting is an IoError instead of being accepted as literal
+/// text: a bare quote inside an unquoted field (`a"b`), characters after a
+/// closing quote (`"ab"x`), and a quote left unterminated at end of input.
 Result<RawCsv> Tokenize(const std::string& text, const CsvOptions& options) {
   RawCsv raw;
-  std::istringstream in(text);
-  std::string line;
   bool saw_header = !options.has_header;
   size_t width = 0;
-  int64_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    auto fields = SplitRecord(line, options.delimiter);
+
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool after_quote = false;    // just consumed a closing quote
+  bool record_has_data = false;
+  int64_t lineno = 1;          // current physical line (for errors)
+  int64_t record_line = 1;     // line the current record started on
+  int64_t quote_line = 1;      // line of the last opening quote
+
+  auto end_field = [&] {
+    fields.push_back(std::move(current));
+    current.clear();
+    after_quote = false;
+  };
+  auto end_record = [&]() -> Status {
+    if (!record_has_data) return Status::OK();  // blank line
+    end_field();
+    std::vector<std::string> record = std::move(fields);
+    fields.clear();
+    record_has_data = false;
     if (!saw_header) {
-      raw.header = std::move(fields);
+      raw.header = std::move(record);
       width = raw.header.size();
       saw_header = true;
-      continue;
+      return Status::OK();
     }
-    if (width == 0) width = fields.size();
-    if (fields.size() != width) {
+    if (width == 0) width = record.size();
+    if (record.size() != width) {
       return Status::IoError(StringFormat(
           "csv: line %lld has %zu fields, expected %zu",
-          static_cast<long long>(lineno), fields.size(), width));
+          static_cast<long long>(record_line), record.size(), width));
     }
-    raw.rows.push_back(std::move(fields));
+    raw.rows.push_back(std::move(record));
+    return Status::OK();
+  };
+
+  for (size_t pos = 0; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          current += '"';  // "" escapes a quote
+          ++pos;
+        } else {
+          in_quotes = false;
+          after_quote = true;
+        }
+      } else {
+        if (c == '\n') ++lineno;
+        current += c;  // delimiters and newlines are literal when quoted
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (current.empty() && !after_quote) {
+        in_quotes = true;
+        quote_line = lineno;
+        record_has_data = true;
+      } else {
+        return Status::IoError(StringFormat(
+            "csv: line %lld: unexpected '\"' inside an unquoted field "
+            "(quote the whole field and escape quotes as \"\")",
+            static_cast<long long>(lineno)));
+      }
+    } else if (c == options.delimiter) {
+      end_field();
+      record_has_data = true;
+    } else if (c == '\n' || (c == '\r' && (pos + 1 >= text.size() ||
+                                           text[pos + 1] == '\n'))) {
+      if (c == '\r' && pos + 1 < text.size()) ++pos;  // CRLF
+      VX_RETURN_NOT_OK(end_record());
+      ++lineno;
+      record_line = lineno;
+    } else if (after_quote) {
+      return Status::IoError(StringFormat(
+          "csv: line %lld: unexpected character after closing quote",
+          static_cast<long long>(lineno)));
+    } else {
+      current += c;
+      record_has_data = true;
+    }
   }
+  if (in_quotes) {
+    return Status::IoError(StringFormat(
+        "csv: unterminated quoted field starting at line %lld",
+        static_cast<long long>(quote_line)));
+  }
+  VX_RETURN_NOT_OK(end_record());  // final record without trailing newline
+
   if (raw.header.empty()) {
     for (size_t c = 0; c < width; ++c) {
       raw.header.push_back(StringFormat("c%zu", c));

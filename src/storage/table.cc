@@ -112,6 +112,22 @@ Table Table::RenameColumns(const std::vector<std::string>& names) const {
   return out;
 }
 
+int Table::EncodeColumns(EncodingMode mode) {
+  int encoded = 0;
+  for (auto& c : columns_) {
+    if (c.Encode(mode)) ++encoded;
+  }
+  return encoded;
+}
+
+void Table::DecodeColumns() {
+  for (auto& c : columns_) c.Decode();
+}
+
+void Table::BuildZoneMaps() {
+  for (auto& c : columns_) c.BuildZoneMap();
+}
+
 std::vector<Value> Table::GetRow(int64_t i) const {
   std::vector<Value> row;
   row.reserve(columns_.size());

@@ -61,6 +61,21 @@ class Table {
   /// \brief Same data, renamed columns (used to build union common schemas).
   Table RenameColumns(const std::vector<std::string>& names) const;
 
+  /// \name Segment encoding (storage/encoding.h)
+  /// Value-neutral physical-representation switches; readers see identical
+  /// data before and after.
+  /// @{
+  /// \brief Encodes every eligible column under `mode` (RLE for INT64/BOOL,
+  /// dictionary for STRING; kAuto only when smaller). Builds zone maps as a
+  /// side effect. Returns the number of columns now encoded.
+  int EncodeColumns(EncodingMode mode = EncodingMode::kAuto);
+  /// \brief Reverts every column to the plain representation.
+  void DecodeColumns();
+  /// \brief Builds zone maps on every column (without encoding anything),
+  /// enabling zone-map scan pruning on this table.
+  void BuildZoneMaps();
+  /// @}
+
   /// \brief One row as Values.
   std::vector<Value> GetRow(int64_t i) const;
 

@@ -10,6 +10,7 @@
 #include "common/timer.h"
 #include "exec/parallel.h"
 #include "exec/plan_builder.h"
+#include "storage/compression.h"
 #include "vertexica/worker.h"
 
 namespace vertexica {
@@ -19,10 +20,26 @@ namespace {
 bool AllHalted(const Table& vertex) {
   const Column* halted = vertex.ColumnByName("halted");
   if (halted == nullptr) return false;
+  // Stored encoded between supersteps: one comparison per run instead of
+  // per vertex (an all-halted column is a single run).
+  if (const auto* runs = halted->rle_runs()) {
+    for (const RleRun& run : *runs) {
+      if (run.value == 0) return false;
+    }
+    return true;
+  }
   for (uint8_t h : halted->bools()) {
     if (h == 0) return false;
   }
   return true;
+}
+
+/// Actual vs. plain footprint of a stored table (SuperstepStats counters).
+void AccountTableBytes(const Table& t, int64_t* encoded, int64_t* decoded) {
+  for (int c = 0; c < t.num_columns(); ++c) {
+    *encoded += EncodedByteSize(t.column(c));
+    *decoded += UncompressedByteSize(t.column(c));
+  }
 }
 
 /// Catalog name of the checkpoint superstep marker.
@@ -357,6 +374,14 @@ Status Coordinator::Run(RunStats* stats) {
     phase_timer.Restart();
 
     // ---- Update vs. replace (§2.3). -----------------------------------
+    // Both stored tables are (re-)encoded before the swap so they stay
+    // compressed between supersteps (storage/encoding.h); the next
+    // superstep's scans and projections decode lazily, and whole-table
+    // passes like AllHalted read runs directly. Value-neutral: results are
+    // bit-identical with the encoding knob off.
+    const EncodingMode enc_mode = AmbientEncodingMode();
+    int64_t encoded_bytes = 0;
+    int64_t decoded_bytes = 0;
     bool used_replace = false;
     if (updates.num_rows() > 0) {
       Table new_vertex;
@@ -370,11 +395,17 @@ Status Coordinator::Run(RunStats* stats) {
         used_replace = true;
         VX_ASSIGN_OR_RETURN(new_vertex, RebuildVertices(*vertex, updates));
       }
+      if (enc_mode != EncodingMode::kOff) new_vertex.EncodeColumns(enc_mode);
+      AccountTableBytes(new_vertex, &encoded_bytes, &decoded_bytes);
       VX_RETURN_NOT_OK(
           catalog_->ReplaceTable(names_.vertex, std::move(new_vertex)));
+    } else {
+      AccountTableBytes(*vertex, &encoded_bytes, &decoded_bytes);
     }
 
+    if (enc_mode != EncodingMode::kOff) new_messages.EncodeColumns(enc_mode);
     const int64_t messages_sent = new_messages.num_rows();
+    AccountTableBytes(new_messages, &encoded_bytes, &decoded_bytes);
     VX_RETURN_NOT_OK(
         catalog_->ReplaceTable(names_.message, std::move(new_messages)));
     prev_aggregates_ = std::move(new_aggregates);
@@ -392,6 +423,8 @@ Status Coordinator::Run(RunStats* stats) {
       s.worker_seconds = worker_seconds;
       s.split_seconds = split_seconds;
       s.apply_seconds = phase_timer.ElapsedSeconds();
+      s.encoded_bytes = encoded_bytes;
+      s.decoded_bytes = decoded_bytes;
       stats->supersteps.push_back(s);
       stats->total_messages += messages_sent;
     }
@@ -438,7 +471,9 @@ std::string RunStats::ToJson() const {
        << ",\"input_seconds\":" << s.input_seconds
        << ",\"worker_seconds\":" << s.worker_seconds
        << ",\"split_seconds\":" << s.split_seconds
-       << ",\"apply_seconds\":" << s.apply_seconds << "}";
+       << ",\"apply_seconds\":" << s.apply_seconds
+       << ",\"encoded_bytes\":" << s.encoded_bytes
+       << ",\"decoded_bytes\":" << s.decoded_bytes << "}";
   }
   os << "]}";
   return os.str();

@@ -50,6 +50,16 @@ struct SuperstepStats {
   double split_seconds = 0.0;    ///< output split & combiner
   double apply_seconds = 0.0;    ///< vertex update / table swaps
   /// @}
+
+  /// \name Stored-table footprint (storage/encoding.h)
+  /// Sizes of the vertex + message tables as stored at the end of the
+  /// superstep: `encoded_bytes` is the actual (possibly compressed)
+  /// representation, `decoded_bytes` the plain equivalent; equal when the
+  /// encoding knob is off.
+  /// @{
+  int64_t encoded_bytes = 0;
+  int64_t decoded_bytes = 0;
+  /// @}
 };
 
 /// \brief Whole-run measurements.

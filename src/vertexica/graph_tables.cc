@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "storage/sort.h"
 
 namespace vertexica {
 
@@ -75,10 +76,22 @@ Status LoadGraphTables(Catalog* catalog, const Graph& graph,
       cols.push_back(Column::FromDoubles(std::move(values[static_cast<size_t>(i)])));
     }
     VX_ASSIGN_OR_RETURN(Table t, Table::Make(schema, std::move(cols)));
+    // The halted column is a single all-false run — RLE collapses it to 16
+    // bytes; the ascending id column stays plain under kAuto (all-distinct
+    // ids don't RLE). Value-neutral either way.
+    if (AmbientEncodingMode() != EncodingMode::kOff) {
+      t.EncodeColumns(AmbientEncodingMode());
+    }
     VX_RETURN_NOT_OK(catalog->ReplaceTable(names.vertex, std::move(t)));
   }
 
-  // Edge table.
+  // Edge table, stored sorted on (src, dst) — the column-store layout the
+  // paper assumes: each vertex's out-edges are contiguous and the source-id
+  // column becomes one run per vertex, so it RLE-compresses to O(V) runs
+  // instead of O(E) values and its zone map makes per-vertex range scans
+  // prunable. Sorting is unconditional (layout must not depend on the
+  // encoding knob, or results could differ between encoding on and off);
+  // only the encoding step consults the ambient mode.
   {
     std::vector<Column> cols;
     cols.push_back(Column::FromInts(directed.src));
@@ -90,6 +103,11 @@ Status LoadGraphTables(Catalog* catalog, const Graph& graph,
       cols.push_back(Column::FromDoubles(directed.weight));
     }
     VX_ASSIGN_OR_RETURN(Table t, Table::Make(MakeEdgeSchema(), std::move(cols)));
+    t = SortTable(t, {{0, true}, {1, true}});
+    if (AmbientEncodingMode() != EncodingMode::kOff) {
+      t.BuildZoneMaps();
+      t.mutable_column(0)->Encode(AmbientEncodingMode());
+    }
     VX_RETURN_NOT_OK(catalog->ReplaceTable(names.edge, std::move(t)));
   }
 

@@ -223,6 +223,44 @@ TEST(ApiParityTest, ThreadsKnobIsBitIdenticalToSerial) {
   }
 }
 
+TEST(ApiParityTest, EncodingKnobIsBitIdenticalAcrossModes) {
+  // The storage-encoding knob changes only the physical representation of
+  // the engine-owned tables (RLE/dictionary segments + zone maps, see
+  // docs/STORAGE.md) — results must be bit-identical with encoding forced
+  // on and off, on every backend.
+  const Graph g = ParityGraph();
+  Engine engine;
+  ASSERT_TRUE(engine.LoadGraph(g).ok());
+  for (const std::string& backend : engine.backends()) {
+    for (const char* algorithm : {"pagerank", "sssp"}) {
+      RunRequest request;
+      request.algorithm = algorithm;
+      request.backend = backend;
+      request.iterations = 10;
+      request.source = 0;
+
+      request.encoding = "off";
+      auto plain = engine.Run(request);
+      ASSERT_TRUE(plain.ok())
+          << backend << "/" << algorithm << ": " << plain.status().ToString();
+      request.encoding = "force";
+      auto encoded = engine.Run(request);
+      ASSERT_TRUE(encoded.ok()) << backend << "/" << algorithm << ": "
+                                << encoded.status().ToString();
+
+      ASSERT_EQ(encoded->values.size(), plain->values.size())
+          << backend << "/" << algorithm;
+      for (size_t v = 0; v < plain->values.size(); ++v) {
+        EXPECT_EQ(encoded->values[v], plain->values[v])
+            << backend << "/" << algorithm << ": vertex " << v
+            << " diverges between encoding=off and encoding=force";
+      }
+      EXPECT_EQ(encoded->aggregates, plain->aggregates)
+          << backend << "/" << algorithm;
+    }
+  }
+}
+
 TEST(ApiParityTest, ThreadsKnobAgreesWithReference) {
   // threads=4 runs still match the single-threaded reference answers.
   const Graph g = ParityGraph();

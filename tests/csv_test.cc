@@ -101,5 +101,49 @@ TEST(CsvTest, CrLfLineEndings) {
   EXPECT_EQ(t->column(0).GetInt64(1), 2);
 }
 
+TEST(CsvTest, QuotedFieldSpansLines) {
+  // A quoted field may contain record separators; splitting on newlines
+  // before quote parsing turned this into a bogus field-count error.
+  auto t = ParseCsv("id,bio\n1,\"line one\nline two\"\n2,short\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->column(1).GetString(0), "line one\nline two");
+  EXPECT_EQ(t->column(1).GetString(1), "short");
+  EXPECT_EQ(t->column(0).GetInt64(1), 2);
+}
+
+TEST(CsvTest, QuotedFieldWithEmbeddedCrLf) {
+  auto t = ParseCsv("a,b\r\n1,\"x\r\ny\"\r\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 1);
+  // Inside quotes the bytes are literal; the record still ends at the
+  // unquoted CRLF.
+  EXPECT_EQ(t->column(1).GetString(0), "x\r\ny");
+}
+
+TEST(CsvTest, UnterminatedQuoteIsIoError) {
+  auto bad = ParseCsv("a,b\n1,\"oops\n2,fine\n");
+  ASSERT_TRUE(bad.status().IsIoError()) << bad.status().ToString();
+  // The error points at the line the quote opened on.
+  EXPECT_NE(bad.status().ToString().find("line 2"), std::string::npos)
+      << bad.status().ToString();
+}
+
+TEST(CsvTest, StrayQuoteMidFieldIsIoError) {
+  EXPECT_TRUE(ParseCsv("a\nx\"y\n").status().IsIoError());
+  EXPECT_TRUE(ParseCsv("a\n\"x\"y\n").status().IsIoError());
+}
+
+TEST(CsvTest, RoundTripEmbeddedNewlinesAndQuotes) {
+  Table t(Schema({{"id", DataType::kInt64}, {"text", DataType::kString}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value("a\nb")}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value("say \"hi\",\nok")}));
+  auto back = ParseCsv(ToCsv(t));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), 2);
+  EXPECT_EQ(back->column(1).GetString(0), "a\nb");
+  EXPECT_EQ(back->column(1).GetString(1), "say \"hi\",\nok");
+}
+
 }  // namespace
 }  // namespace vertexica
