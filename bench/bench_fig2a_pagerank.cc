@@ -63,5 +63,6 @@ int main(int argc, char** argv) {
       "PageRank", vertexica::bench::BM_PageRank);
   ::benchmark::RunSpecifiedBenchmarks();
   ::vertexica::bench::Table2a().Print();
+  ::vertexica::bench::Table2a().WriteJson("BENCH_fig2a_pagerank.json");
   return 0;
 }

@@ -29,4 +29,25 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
     ctest -R 'storage_test|csv_test|exec_test|api_test|vertexica_test' \
     --output-on-failure -j "$(nproc)")
 
+# The exec/vertexica suites once more with the merge-join knob forced off:
+# the order-aware join path must be a pure physical-plan swap — results
+# bit-identical with it disabled (docs/EXECUTOR.md).
+(cd "$BUILD_DIR" && VERTEXICA_MERGE_JOIN=off \
+    ctest -R 'exec_test|vertexica_test|api_test' --output-on-failure \
+    -j "$(nproc)")
+
+# Perf trajectory: surface bench JSONs at the repo root so they get
+# committed / uploaded as artifacts. Bench binaries write BENCH_*.json
+# into their cwd (the build dir), which is gitignored — without this copy
+# the bench history stays empty. Only newer-than-committed results move
+# (never resurrect a stale build-dir JSON over fresher history); run the
+# benches unfiltered before check.sh to refresh a figure.
+for f in "$BUILD_DIR"/BENCH_*.json; do
+  [ -e "$f" ] || continue
+  dest="./$(basename "$f")"
+  if [ ! -e "$dest" ] || [ "$f" -nt "$dest" ]; then
+    cp "$f" "$dest"
+  fi
+done
+
 echo "check.sh: all green"

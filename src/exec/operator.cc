@@ -21,7 +21,16 @@ std::string ExplainPlan(const Operator& root) {
 }
 
 Result<Table> Collect(Operator* op) {
+  // Blocking operators (joins, aggregates, sorts) emit exactly one
+  // materialized batch: return it as-is — no re-copy, and table metadata
+  // (the declared sort order) survives, which keeps join chains merging.
+  VX_ASSIGN_OR_RETURN(auto first, op->Next());
+  if (!first.has_value()) return Table(op->output_schema());
+  VX_ASSIGN_OR_RETURN(auto second, op->Next());
+  if (!second.has_value()) return *std::move(first);
   Table out(op->output_schema());
+  VX_RETURN_NOT_OK(out.Append(*first));
+  VX_RETURN_NOT_OK(out.Append(*second));
   for (;;) {
     VX_ASSIGN_OR_RETURN(auto batch, op->Next());
     if (!batch.has_value()) break;

@@ -6,7 +6,9 @@
 #include <unordered_map>
 
 #include "common/threadpool.h"
+#include "common/timer.h"
 #include "exec/filter.h"
+#include "exec/merge_join.h"
 #include "exec/scan.h"
 
 namespace vertexica {
@@ -209,10 +211,19 @@ Result<Table> ParallelFilterProject(std::shared_ptr<const Table> input,
 
 namespace {
 
-/// Number of independent build-side hash partitions. Fixed (not derived
-/// from the thread count) so chain layout — and with it match order — is
-/// identical at any parallelism.
-constexpr size_t kJoinPartitions = 64;
+/// Ceiling on the number of independent build-side hash partitions.
+constexpr int64_t kMaxJoinPartitions = 64;
+
+/// Partition count for a build side of `rows`: one partition per morsel's
+/// worth of build rows, clamped to [1, 64], so tiny builds stop paying
+/// 64-way scatter/assemble overhead. Partitioning stays hash-based and the
+/// count depends only on the row count — per-hash chains are assembled in
+/// chunk-then-row order either way, so match order (and results) are
+/// identical at any thread count *and* any partition count.
+size_t JoinPartitionsFor(int64_t rows) {
+  return static_cast<size_t>(std::clamp<int64_t>(
+      rows / kDefaultMorselRows, int64_t{1}, kMaxJoinPartitions));
+}
 
 struct JoinBuildIndex {
   // partition -> hash -> build row indices (ascending, like the serial op).
@@ -225,6 +236,7 @@ Result<Table> ParallelHashJoin(const Table& probe, const Table& build,
                                const std::vector<std::string>& probe_keys,
                                const std::vector<std::string>& build_keys,
                                JoinType type, const ParallelOptions& options) {
+  WallTimer timer;
   VX_ASSIGN_OR_RETURN(
       Schema schema, HashJoinOutputSchema(probe.schema(), build.schema(),
                                           probe_keys, build_keys, type));
@@ -245,6 +257,7 @@ Result<Table> ParallelHashJoin(const Table& probe, const Table& build,
   // ---- Build: scatter (hash, row) into per-chunk partition buckets, then
   // assemble each partition from the chunks in row order. ----------------
   const int64_t build_rows = build.num_rows();
+  const size_t partitions = JoinPartitionsFor(build_rows);
   const size_t build_chunks =
       build_rows == 0 ? 0
                       : static_cast<size_t>((build_rows + grain - 1) / grain);
@@ -254,21 +267,21 @@ Result<Table> ParallelHashJoin(const Table& probe, const Table& build,
       0, static_cast<size_t>(build_rows), static_cast<size_t>(grain),
       [&](size_t begin, size_t end) {
         auto& buckets = scatter[begin / static_cast<size_t>(grain)];
-        buckets.resize(kJoinPartitions);
+        buckets.resize(partitions);
         for (auto i = static_cast<int64_t>(begin);
              i < static_cast<int64_t>(end); ++i) {
           if (JoinKeyHasNull(build, build_cols, i)) continue;
           const uint64_t h = JoinKeyHash(build, build_cols, i);
-          buckets[h % kJoinPartitions].emplace_back(h, i);
+          buckets[h % partitions].emplace_back(h, i);
         }
         return Status::OK();
       },
       threads));
 
   JoinBuildIndex index;
-  index.partitions.resize(kJoinPartitions);
+  index.partitions.resize(partitions);
   VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
-      0, kJoinPartitions, 1,
+      0, partitions, 1,
       [&](size_t begin, size_t end) {
         for (size_t p = begin; p < end; ++p) {
           auto& partition = index.partitions[p];
@@ -301,7 +314,7 @@ Result<Table> ParallelHashJoin(const Table& probe, const Table& build,
           bool matched = false;
           if (!JoinKeyHasNull(probe, probe_cols, i)) {
             const uint64_t h = JoinKeyHash(probe, probe_cols, i);
-            const auto& partition = index.partitions[h % kJoinPartitions];
+            const auto& partition = index.partitions[h % partitions];
             auto it = partition.find(h);
             if (it != partition.end()) {
               for (int64_t bi : it->second) {
@@ -360,6 +373,14 @@ Result<Table> ParallelHashJoin(const Table& probe, const Table& build,
   for (const Table& out : outputs) {
     VX_RETURN_NOT_OK(result.Append(out));
   }
+  // Probe-row-major output: the probe side's declared order survives the
+  // join (its columns keep their positions), whatever the join type.
+  if (!probe.sort_order().empty()) result.SetSortOrder(probe.sort_order());
+  if (JoinPathStats* stats = AmbientJoinStats()) {
+    ++stats->hash_joins;
+    stats->hash_rows += result.num_rows();
+    stats->hash_seconds += timer.ElapsedSeconds();
+  }
   return result;
 }
 
@@ -396,10 +417,10 @@ Result<std::optional<Table>> ParallelHashJoinOp::Next() {
   VX_RETURN_NOT_OK(init_status_);
   if (done_) return std::optional<Table>{};
   done_ = true;
-  VX_ASSIGN_OR_RETURN(Table probe_table, Collect(probe_.get()));
-  VX_ASSIGN_OR_RETURN(Table build_table, Collect(build_.get()));
+  VX_ASSIGN_OR_RETURN(auto probe_table, CollectShared(probe_.get()));
+  VX_ASSIGN_OR_RETURN(auto build_table, CollectShared(build_.get()));
   VX_ASSIGN_OR_RETURN(Table out,
-                      ParallelHashJoin(probe_table, build_table, probe_keys_,
+                      ParallelHashJoin(*probe_table, *build_table, probe_keys_,
                                        build_keys_, type_, options_));
   return std::optional<Table>(std::move(out));
 }

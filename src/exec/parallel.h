@@ -184,6 +184,11 @@ class ParallelHashJoinOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
   Result<std::optional<Table>> Next() override;
 
+  // Probe-row-major output: the probe side's declared order survives.
+  std::vector<OrderKey> output_order() const override {
+    return probe_->output_order();
+  }
+
   std::string label() const override;
   std::vector<const Operator*> children() const override {
     return {probe_.get(), build_.get()};
@@ -210,6 +215,20 @@ class ParallelAggregateOp : public Operator {
 
   const Schema& output_schema() const override { return schema_; }
   Result<std::optional<Table>> Next() override;
+
+  // Groups are emitted in first-appearance order, so when the input is
+  // already sorted by the group-by prefix, first appearance *is* sorted —
+  // the combiner's group-by-dst output inherits the message order.
+  std::vector<OrderKey> output_order() const override {
+    const std::vector<OrderKey> in = input_->output_order();
+    if (group_by_.empty() || group_by_.size() > in.size()) return {};
+    for (size_t i = 0; i < group_by_.size(); ++i) {
+      if (in[i].column != group_by_[i] || !in[i].ascending) return {};
+    }
+    std::vector<OrderKey> order;
+    for (const auto& g : group_by_) order.push_back({g, true});
+    return order;
+  }
 
   std::string label() const override;
   std::vector<const Operator*> children() const override {

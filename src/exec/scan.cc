@@ -87,4 +87,12 @@ Result<std::optional<Table>> TableScan::Next() {
   return std::optional<Table>{};
 }
 
+Result<std::shared_ptr<const Table>> CollectShared(Operator* op) {
+  if (auto* scan = dynamic_cast<TableScan*>(op)) {
+    if (auto table = scan->shared_table_if_whole()) return table;
+  }
+  VX_ASSIGN_OR_RETURN(Table out, Collect(op));
+  return std::make_shared<const Table>(std::move(out));
+}
+
 }  // namespace vertexica

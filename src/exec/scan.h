@@ -72,6 +72,28 @@ class TableScan : public Operator {
   }
 
   const Schema& output_schema() const override { return table_->schema(); }
+
+  /// The snapshot's declared sort order (Table::sort_order), by name. A
+  /// range-restricted scan of a sorted table is still sorted.
+  std::vector<OrderKey> output_order() const override {
+    std::vector<OrderKey> order;
+    for (const SortKey& k : table_->sort_order()) {
+      order.push_back({table_->schema().field(k.column).name, k.ascending});
+    }
+    return order;
+  }
+
+  /// \brief The underlying snapshot when this scan covers the whole table
+  /// and has not started emitting; nullptr otherwise. Lets blocking
+  /// operators (joins) reuse the shared snapshot — with its sort-order
+  /// metadata — instead of re-materializing it batch by batch.
+  std::shared_ptr<const Table> shared_table_if_whole() const {
+    return offset_ == first_row_ && first_row_ == 0 &&
+                   limit_ == table_->num_rows() && pushed_.empty()
+               ? table_
+               : nullptr;
+  }
+
   Result<std::optional<Table>> Next() override;
 
   std::string label() const override {
@@ -100,6 +122,12 @@ class TableScan : public Operator {
   int64_t limit_ = 0;      // one past the last row to emit
   std::vector<ColumnPredicate> pushed_;
 };
+
+/// \brief Materializes an operator like Collect, but returns the shared
+/// snapshot directly (no copy, metadata intact) when the operator is a
+/// whole-table TableScan — the common shape of join inputs built by
+/// PlanBuilder::Scan.
+Result<std::shared_ptr<const Table>> CollectShared(Operator* op);
 
 }  // namespace vertexica
 

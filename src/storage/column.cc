@@ -91,6 +91,7 @@ const std::vector<std::string>& Column::DecodedStrings() const {
 void Column::PrepareMutation() {
   if (segment_ != nullptr) Decode();
   zone_map_.reset();
+  sorted_ascending_ = false;
 }
 
 namespace {
@@ -251,7 +252,7 @@ void Column::BuildZoneMap() {
 // ------------------------------------------------------------------- appends
 
 void Column::AppendNull() {
-  if (segment_ != nullptr || zone_map_ != nullptr) PrepareMutation();
+  if (MutationInvalidatesState()) PrepareMutation();
   EnsureValidity();
   switch (type_) {
     case DataType::kInt64:
@@ -299,7 +300,7 @@ void Column::AppendColumn(const Column& other) {
   VX_CHECK(type_ == other.type_)
       << "AppendColumn type mismatch: " << DataTypeName(type_) << " vs "
       << DataTypeName(other.type_);
-  if (segment_ != nullptr || zone_map_ != nullptr) PrepareMutation();
+  if (MutationInvalidatesState()) PrepareMutation();
   if (!other.validity_.empty() || !validity_.empty()) {
     EnsureValidity();
     if (other.validity_.empty()) {
@@ -410,6 +411,7 @@ Column Column::Slice(int64_t offset, int64_t count) const {
     }
   }
   out.length_ = count;
+  out.sorted_ascending_ = sorted_ascending_;  // a range of sorted is sorted
   if (!validity_.empty()) {
     out.validity_.assign(validity_.begin() + b, validity_.begin() + e);
     out.null_count_ =

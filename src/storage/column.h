@@ -82,29 +82,29 @@ class Column {
 
   /// \name Append
   /// Appending to an encoded column first reverts it to plain (and drops
-  /// the now-stale zone map).
+  /// the now-stale zone map and sorted-ascending flag).
   /// @{
   void AppendInt64(int64_t v) {
     VX_DCHECK(type_ == DataType::kInt64);
-    if (segment_ != nullptr || zone_map_ != nullptr) PrepareMutation();
+    if (MutationInvalidatesState()) PrepareMutation();
     ints_.push_back(v);
     NoteAppend();
   }
   void AppendDouble(double v) {
     VX_DCHECK(type_ == DataType::kDouble);
-    if (segment_ != nullptr || zone_map_ != nullptr) PrepareMutation();
+    if (MutationInvalidatesState()) PrepareMutation();
     doubles_.push_back(v);
     NoteAppend();
   }
   void AppendString(std::string v) {
     VX_DCHECK(type_ == DataType::kString);
-    if (segment_ != nullptr || zone_map_ != nullptr) PrepareMutation();
+    if (MutationInvalidatesState()) PrepareMutation();
     strings_.push_back(std::move(v));
     NoteAppend();
   }
   void AppendBool(bool v) {
     VX_DCHECK(type_ == DataType::kBool);
-    if (segment_ != nullptr || zone_map_ != nullptr) PrepareMutation();
+    if (MutationInvalidatesState()) PrepareMutation();
     bools_.push_back(v ? 1 : 0);
     NoteAppend();
   }
@@ -241,6 +241,18 @@ class Column {
   }
   /// @}
 
+  /// \name Sort-order property (order-aware execution)
+  ///
+  /// Declares that values are nondecreasing under the CompareRows total
+  /// order (NULLs first, NaN last). Set by producers that guarantee it —
+  /// Table::SetSortOrder marks its leading ascending key — and dropped on
+  /// any mutation together with the zone map (PrepareMutation), so the
+  /// flag can never go stale. Slices inherit it; gathers do not.
+  /// @{
+  bool sorted_ascending() const { return sorted_ascending_; }
+  void set_sorted_ascending(bool sorted) { sorted_ascending_ = sorted; }
+  /// @}
+
   /// \brief Gather: column of `indices.size()` rows taken at the indices.
   Column Take(const std::vector<int64_t>& indices) const;
 
@@ -269,8 +281,14 @@ class Column {
     if (!validity_.empty()) validity_.push_back(1);
   }
   void EnsureValidity();
-  /// Reverts to plain representation and drops the zone map before any
-  /// mutation (both would silently go stale otherwise).
+  /// True when some cached derived state (encoded segment, zone map,
+  /// sorted flag) must be invalidated before mutating.
+  bool MutationInvalidatesState() const {
+    return segment_ != nullptr || zone_map_ != nullptr || sorted_ascending_;
+  }
+  /// Reverts to plain representation and drops the zone map and the
+  /// sorted-ascending flag before any mutation (all would silently go
+  /// stale otherwise).
   void PrepareMutation();
 
   const std::vector<int64_t>& DecodedInts() const;
@@ -289,6 +307,8 @@ class Column {
   /// and reads go through the segment (lazily decoded).
   std::shared_ptr<const EncodedSegment> segment_;
   std::shared_ptr<const ZoneMapIndex> zone_map_;
+  /// Declared nondecreasing under CompareRows; dropped on mutation.
+  bool sorted_ascending_ = false;
 };
 
 }  // namespace vertexica

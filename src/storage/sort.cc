@@ -67,7 +67,9 @@ std::vector<int64_t> SortIndices(const Table& table,
 }
 
 Table SortTable(const Table& table, const std::vector<SortKey>& keys) {
-  return table.Take(SortIndices(table, keys));
+  Table out = table.Take(SortIndices(table, keys));
+  out.SetSortOrder(keys);  // the one producer that guarantees it by doing it
+  return out;
 }
 
 }  // namespace vertexica

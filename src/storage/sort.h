@@ -14,18 +14,16 @@
 
 namespace vertexica {
 
-/// \brief One sort key: a column index and a direction.
-struct SortKey {
-  int column;
-  bool ascending = true;
-};
+// SortKey (column index + direction) lives in storage/table.h, next to the
+// Table sort-order property it also describes.
 
 /// \brief Returns the row permutation that sorts `table` by `keys`
 /// (stable; NULLs first within ascending order).
 std::vector<int64_t> SortIndices(const Table& table,
                                  const std::vector<SortKey>& keys);
 
-/// \brief Returns a new table sorted by `keys`.
+/// \brief Returns a new table sorted by `keys`, with its sort-order
+/// property (Table::sort_order) declared accordingly.
 Table SortTable(const Table& table, const std::vector<SortKey>& keys);
 
 }  // namespace vertexica

@@ -1,5 +1,6 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -58,6 +59,7 @@ Status Table::AppendRow(const std::vector<Value>& row) {
         StringFormat("AppendRow: %d values for %d columns",
                      static_cast<int>(row.size()), num_columns()));
   }
+  sort_order_.clear();  // an appended row may land out of order
   for (size_t i = 0; i < row.size(); ++i) {
     columns_[i].AppendValue(row[i]);
   }
@@ -71,6 +73,7 @@ Status Table::Append(const Table& other) {
                              schema_.ToString() + " vs " +
                              other.schema_.ToString());
   }
+  if (other.num_rows_ > 0) sort_order_.clear();  // concatenation reorders
   for (size_t i = 0; i < columns_.size(); ++i) {
     columns_[i].AppendColumn(other.columns_[i]);
   }
@@ -93,6 +96,7 @@ Table Table::Slice(int64_t offset, int64_t count) const {
   out.columns_.reserve(columns_.size());
   for (const auto& c : columns_) out.columns_.push_back(c.Slice(offset, count));
   out.num_rows_ = count;
+  out.sort_order_ = sort_order_;  // a contiguous range of sorted is sorted
   return out;
 }
 
@@ -103,6 +107,15 @@ Table Table::SelectColumns(const std::vector<int>& col_indices) const {
     out.columns_.push_back(columns_[static_cast<size_t>(idx)]);
   }
   out.num_rows_ = num_rows_;
+  // The longest prefix of the declared order whose columns survive the
+  // projection still describes the row order (rows themselves are
+  // untouched); the first dropped key ends what we can claim.
+  for (const SortKey& k : sort_order_) {
+    auto it = std::find(col_indices.begin(), col_indices.end(), k.column);
+    if (it == col_indices.end()) break;
+    out.sort_order_.push_back(
+        SortKey{static_cast<int>(it - col_indices.begin()), k.ascending});
+  }
   return out;
 }
 
@@ -126,6 +139,30 @@ void Table::DecodeColumns() {
 
 void Table::BuildZoneMaps() {
   for (auto& c : columns_) c.BuildZoneMap();
+}
+
+void Table::SetSortOrder(std::vector<SortKey> keys) {
+  for (const SortKey& k : keys) {
+    VX_CHECK(k.column >= 0 && k.column < num_columns())
+        << "SetSortOrder: key column " << k.column << " outside schema "
+        << schema_.ToString();
+  }
+  sort_order_ = std::move(keys);
+  if (!sort_order_.empty() && sort_order_[0].ascending) {
+    // The leading ascending key's column is itself globally nondecreasing.
+    columns_[static_cast<size_t>(sort_order_[0].column)].set_sorted_ascending(
+        true);
+  }
+}
+
+bool Table::OrderCoversKeys(const std::vector<int>& key_cols) const {
+  if (key_cols.empty() || key_cols.size() > sort_order_.size()) return false;
+  for (size_t i = 0; i < key_cols.size(); ++i) {
+    if (sort_order_[i].column != key_cols[i] || !sort_order_[i].ascending) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::vector<Value> Table::GetRow(int64_t i) const {

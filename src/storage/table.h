@@ -14,6 +14,14 @@
 
 namespace vertexica {
 
+/// \brief One sort key: a column index and a direction. The unit of both
+/// table sorting (storage/sort.h) and the declared sort-order property
+/// below.
+struct SortKey {
+  int column;
+  bool ascending = true;
+};
+
 /// \brief A columnar relation: a schema plus one column per field.
 ///
 /// Tables are value types (copyable, movable); operators produce new tables
@@ -35,7 +43,12 @@ class Table {
   int64_t num_rows() const { return num_rows_; }
 
   const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
-  Column* mutable_column(int i) { return &columns_[static_cast<size_t>(i)]; }
+  Column* mutable_column(int i) {
+    // The caller may mutate arbitrarily, so the declared sort order cannot
+    // be assumed to survive; callers that preserve it re-declare it.
+    sort_order_.clear();
+    return &columns_[static_cast<size_t>(i)];
+  }
 
   /// \brief Column by field name; nullptr when absent.
   const Column* ColumnByName(const std::string& name) const;
@@ -76,6 +89,29 @@ class Table {
   void BuildZoneMaps();
   /// @}
 
+  /// \name Sort-order property (order-aware execution)
+  ///
+  /// A non-empty order declares that rows are lexicographically
+  /// nondecreasing by `keys[0]`, then `keys[1]`, ... under the
+  /// Column::CompareRows total order (NULLs first, NaN last). Producers
+  /// that guarantee the order declare it (SortTable, the sorted edge
+  /// loader, merge-join outputs); any mutation drops it conservatively,
+  /// exactly like the zone map. Consumers (the order-aware join path,
+  /// exec/merge_join.h) treat the declaration as trusted physical-design
+  /// metadata — the same contract as zone maps — so a false declaration
+  /// is a producer bug, not a consumer hazard.
+  /// @{
+  const std::vector<SortKey>& sort_order() const { return sort_order_; }
+  /// \brief Declares the order. Also marks the leading key's column
+  /// sorted-ascending (Column::sorted_ascending) when applicable.
+  /// Key indices must be valid for this schema.
+  void SetSortOrder(std::vector<SortKey> keys);
+  void ClearSortOrder() { sort_order_.clear(); }
+  /// \brief True when sort_order() covers `key_cols`, in sequence and all
+  /// ascending — the precondition for merge-joining on those columns.
+  bool OrderCoversKeys(const std::vector<int>& key_cols) const;
+  /// @}
+
   /// \brief One row as Values.
   std::vector<Value> GetRow(int64_t i) const;
 
@@ -92,6 +128,8 @@ class Table {
   Schema schema_;
   std::vector<Column> columns_;
   int64_t num_rows_ = 0;
+  /// Declared sort order; empty = unknown/none. Dropped on mutation.
+  std::vector<SortKey> sort_order_;
 };
 
 }  // namespace vertexica

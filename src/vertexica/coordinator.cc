@@ -1,5 +1,6 @@
 #include "vertexica/coordinator.h"
 
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -8,9 +9,11 @@
 #include "common/string_util.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
+#include "exec/merge_join.h"
 #include "exec/parallel.h"
 #include "exec/plan_builder.h"
 #include "storage/compression.h"
+#include "storage/sort.h"
 #include "vertexica/worker.h"
 
 namespace vertexica {
@@ -45,6 +48,15 @@ void AccountTableBytes(const Table& t, int64_t* encoded, int64_t* decoded) {
 /// Catalog name of the checkpoint superstep marker.
 std::string MarkerName(const GraphTableNames& names) {
   return names.vertex + "__vx_next_superstep";
+}
+
+/// True when `t`'s declared sort order starts with the column named
+/// `name`, ascending — the check behind propagating the stored tables'
+/// sorted invariants into the superstep join inputs.
+bool OrderedByColumn(const Table& t, const std::string& name) {
+  if (t.sort_order().empty()) return false;
+  const SortKey& k = t.sort_order()[0];
+  return k.ascending && t.schema().field(k.column).name == name;
 }
 
 AggOp CombinerToAggOp(MessageCombiner c) {
@@ -135,11 +147,36 @@ Result<Table> Coordinator::BuildJoinInput(const TablePtr& vertex,
   VX_ASSIGN_OR_RETURN(Table msgs, ParallelProject(message, mproj));
   msgs = WithRowNumbers(msgs, "msg_seq");
 
-  VX_ASSIGN_OR_RETURN(Table edges,
-                      ParallelProject(edge, {{"esrc", Col("src")},
-                                             {"edst", Col("dst")},
-                                             {"eweight", Col("weight")}}));
-  edges = WithRowNumbers(edges, "edge_seq");
+  // Propagate the stored message table's sorted invariant onto the
+  // projected side (projection and row-numbering preserve row order):
+  // message is kept sorted by receiver. With the vertex table sorted by
+  // id and the cached edge side below, the planner turns both left joins
+  // into merge joins — zero hash builds per superstep (exec/merge_join.h).
+  if (OrderedByColumn(*message, "dst")) msgs.SetSortOrder({{0, true}});
+
+  // The edge side is identical every superstep (the coordinator never
+  // rewrites the edge table): project/number/declare it once per run and
+  // reuse the shared snapshot. The esrc key column is re-encoded RLE —
+  // one run per source vertex on the (src, dst)-sorted layout — so the
+  // merge join matches whole runs without decoding it.
+  if (cached_edge_source_ != edge || cached_edge_join_side_ == nullptr) {
+    VX_ASSIGN_OR_RETURN(Table edges,
+                        ParallelProject(edge, {{"esrc", Col("src")},
+                                               {"edst", Col("dst")},
+                                               {"eweight", Col("weight")}}));
+    edges = WithRowNumbers(edges, "edge_seq");
+    if (AmbientEncodingMode() != EncodingMode::kOff) {
+      edges.mutable_column(0)->Encode(AmbientEncodingMode());
+    }
+    if (edge->OrderCoversKeys({0, 1})) {
+      edges.SetSortOrder({{0, true}, {1, true}});
+    } else if (OrderedByColumn(*edge, "src")) {
+      edges.SetSortOrder({{0, true}});
+    }
+    cached_edge_source_ = edge;
+    cached_edge_join_side_ =
+        std::make_shared<const Table>(std::move(edges));
+  }
 
   // vertex columns: id, halted, v0..v{va-1}. va is used implicitly by the
   // JoinWorker, which resolves columns by name.
@@ -147,7 +184,7 @@ Result<Table> Coordinator::BuildJoinInput(const TablePtr& vertex,
   return PlanBuilder::Scan(vertex)
       .Join(PlanBuilder::Scan(std::move(msgs)), {"id"}, {"mdst"},
             JoinType::kLeft)
-      .Join(PlanBuilder::Scan(std::move(edges)), {"id"}, {"esrc"},
+      .Join(PlanBuilder::Scan(cached_edge_join_side_), {"id"}, {"esrc"},
             JoinType::kLeft)
       .Execute();
 }
@@ -158,6 +195,12 @@ Result<Table> Coordinator::UpdateVerticesInPlace(const Table& vertex,
   Table out = vertex;  // copy-on-write of the stored version
   VX_ASSIGN_OR_RETURN(int id_c, out.ColumnIndex("id"));
   VX_ASSIGN_OR_RETURN(int halted_c, out.ColumnIndex("halted"));
+  // The scatter rewrites halted/value cells in place but never moves rows
+  // and never touches ids, so a declared sorted-by-id order survives;
+  // remember it and re-declare after the mutable_column accesses below
+  // conservatively drop it. (Only the id key is safe to re-declare — the
+  // other columns are exactly the ones being rewritten.)
+  const bool ordered_by_id = OrderedByColumn(out, "id");
 
   Int64HashMap<int64_t> row_of(static_cast<size_t>(out.num_rows()));
   const auto& ids = out.column(id_c).ints();
@@ -201,6 +244,7 @@ Result<Table> Coordinator::UpdateVerticesInPlace(const Table& vertex,
         return Status::OK();
       },
       ExecThreads()));
+  if (ordered_by_id) out.SetSortOrder({{id_c, true}});
   return out;
 }
 
@@ -215,6 +259,29 @@ Result<Table> Coordinator::RebuildVertices(const Table& vertex,
       .Execute();
 }
 
+Status Coordinator::RestoreSortedInvariant(
+    const std::string& table_name, const std::vector<std::string>& keys) const {
+  if (!catalog_->HasTable(table_name)) return Status::OK();
+  VX_ASSIGN_OR_RETURN(auto table, catalog_->GetTable(table_name));
+  std::vector<SortKey> order;
+  std::vector<int> cols;
+  for (const std::string& k : keys) {
+    VX_ASSIGN_OR_RETURN(int c, table->ColumnIndex(k));
+    cols.push_back(c);
+    order.push_back({c, true});
+  }
+  if (table->OrderCoversKeys(cols)) return Status::OK();  // already declared
+  // Not verifiably sorted (e.g. restored from a union-path checkpoint):
+  // leave it — the per-superstep maintenance re-sorts what it needs.
+  if (!TableSortedOnKeys(*table, cols)) return Status::OK();
+  // ReplaceTable needs a value, so attaching the declaration costs one
+  // table copy — paid once per run, and only when the declaration is
+  // missing (i.e. a checkpoint-restored catalog), never on a fresh load.
+  Table declared = *table;
+  declared.SetSortOrder(std::move(order));
+  return catalog_->ReplaceTable(table_name, std::move(declared));
+}
+
 Status Coordinator::Run(RunStats* stats) {
   const int va = program_->value_arity();
   const int ma = program_->message_arity();
@@ -225,6 +292,29 @@ Status Coordinator::Run(RunStats* stats) {
 
   const auto agg_specs = program_->aggregators();
   prev_aggregates_.clear();
+
+  // The ablation switch: use_merge_join=false pins the hash joins for the
+  // whole run (and skips the sorted-invariant maintenance below); when
+  // true, the ambient knob (VERTEXICA_MERGE_JOIN / ScopedMergeJoin)
+  // still governs, like the encoding mode.
+  std::optional<ScopedMergeJoin> scoped_merge;
+  if (!options_.use_merge_join) scoped_merge.emplace(false);
+
+  // The sorted-invariant maintenance below is gated on the join-input
+  // path only — NOT on the merge-join knob — so toggling use_merge_join
+  // (or VERTEXICA_MERGE_JOIN) swaps exactly one thing: the physical join
+  // operator. Table row orders, worker inputs, and therefore results are
+  // bit-identical by construction between the two paths.
+
+  // A restored checkpoint carries the rows but not the sort-order
+  // declarations (catalog_io persists none); re-establish them up front
+  // (one verification pass per table) so a resumed run merges like a
+  // fresh one instead of silently hashing to the end.
+  if (!options_.use_union_input) {
+    VX_RETURN_NOT_OK(RestoreSortedInvariant(names_.vertex, {"id"}));
+    VX_RETURN_NOT_OK(RestoreSortedInvariant(names_.edge, {"src", "dst"}));
+    VX_RETURN_NOT_OK(RestoreSortedInvariant(names_.message, {"dst"}));
+  }
 
   // §1 durability: resume from a checkpoint marker restored by LoadCatalog.
   int first_superstep = 0;
@@ -241,6 +331,10 @@ Status Coordinator::Run(RunStats* stats) {
   for (int superstep = first_superstep;
        superstep < options_.max_supersteps; ++superstep) {
     WallTimer step_timer;
+    // Which physical join path this superstep's plans take (input build +
+    // replace-path rebuild), published via SuperstepStats.
+    JoinPathStats join_stats;
+    ScopedJoinStatsCollector join_collector(&join_stats);
     VX_ASSIGN_OR_RETURN(auto vertex, catalog_->GetTable(names_.vertex));
     VX_ASSIGN_OR_RETURN(auto edge, catalog_->GetTable(names_.edge));
     VX_ASSIGN_OR_RETURN(auto message, catalog_->GetTable(names_.message));
@@ -370,6 +464,23 @@ Status Coordinator::Run(RunStats* stats) {
                               .Execute());
     }
 
+    // ---- Sorted-message invariant (order-aware joins). ----------------
+    // Keep the stored message table sorted by receiver so the next
+    // superstep's vertex ⟕ message join merges instead of hashing. The
+    // sort is stable, so each receiver's messages keep their arrival
+    // order — worker-visible message streams (and results) are unchanged.
+    // Only the join-input path benefits, so only it pays; not gated on
+    // the merge knob (see the bit-identity note at the top of Run).
+    if (!options_.use_union_input) {
+      VX_ASSIGN_OR_RETURN(int dst_c, new_messages.ColumnIndex("dst"));
+      if (new_messages.num_rows() > 0 &&
+          !OrderedByColumn(new_messages, "dst")) {
+        new_messages = SortTable(new_messages, {{dst_c, true}});
+      } else if (new_messages.sort_order().empty()) {
+        new_messages.SetSortOrder({{dst_c, true}});  // 0 rows: vacuously so
+      }
+    }
+
     const double split_seconds = phase_timer.ElapsedSeconds();
     phase_timer.Restart();
 
@@ -394,6 +505,17 @@ Status Coordinator::Run(RunStats* stats) {
       } else {
         used_replace = true;
         VX_ASSIGN_OR_RETURN(new_vertex, RebuildVertices(*vertex, updates));
+        // The anti-join ∪ union rebuild breaks the sorted-by-id invariant
+        // (updated rows land at the tail); restore it so the next
+        // superstep's joins keep merging. Stable and id-keyed, so results
+        // are unchanged — update-vs-replace now converges to the same row
+        // order as the in-place path. Not gated on the merge knob (see
+        // the bit-identity note at the top of Run).
+        if (!options_.use_union_input &&
+            !OrderedByColumn(new_vertex, "id")) {
+          VX_ASSIGN_OR_RETURN(int id_c, new_vertex.ColumnIndex("id"));
+          new_vertex = SortTable(new_vertex, {{id_c, true}});
+        }
       }
       if (enc_mode != EncodingMode::kOff) new_vertex.EncodeColumns(enc_mode);
       AccountTableBytes(new_vertex, &encoded_bytes, &decoded_bytes);
@@ -425,6 +547,10 @@ Status Coordinator::Run(RunStats* stats) {
       s.apply_seconds = phase_timer.ElapsedSeconds();
       s.encoded_bytes = encoded_bytes;
       s.decoded_bytes = decoded_bytes;
+      s.merge_joins = join_stats.merge_joins;
+      s.hash_joins = join_stats.hash_joins;
+      s.join_rows = join_stats.merge_rows + join_stats.hash_rows;
+      s.join_seconds = join_stats.merge_seconds + join_stats.hash_seconds;
       stats->supersteps.push_back(s);
       stats->total_messages += messages_sent;
     }
@@ -473,7 +599,11 @@ std::string RunStats::ToJson() const {
        << ",\"split_seconds\":" << s.split_seconds
        << ",\"apply_seconds\":" << s.apply_seconds
        << ",\"encoded_bytes\":" << s.encoded_bytes
-       << ",\"decoded_bytes\":" << s.decoded_bytes << "}";
+       << ",\"decoded_bytes\":" << s.decoded_bytes
+       << ",\"merge_joins\":" << s.merge_joins
+       << ",\"hash_joins\":" << s.hash_joins
+       << ",\"join_rows\":" << s.join_rows
+       << ",\"join_seconds\":" << s.join_seconds << "}";
   }
   os << "]}";
   return os.str();

@@ -60,6 +60,21 @@ struct SuperstepStats {
   int64_t encoded_bytes = 0;
   int64_t decoded_bytes = 0;
   /// @}
+
+  /// \name Join-path accounting (exec/merge_join.h)
+  /// Joins executed by this superstep's relational plans — the 3-way
+  /// input build and the replace-path vertex rebuild — split by physical
+  /// path: order-aware merge joins vs hash joins. `join_rows` is rows
+  /// emitted, `join_seconds` wall-clock inside the join kernels (part of
+  /// input_seconds/apply_seconds, not in addition to them). With
+  /// use_merge_join and the join input path, both superstep joins run as
+  /// merge joins: zero hash builds per superstep.
+  /// @{
+  int64_t merge_joins = 0;
+  int64_t hash_joins = 0;
+  int64_t join_rows = 0;
+  double join_seconds = 0.0;
+  /// @}
 };
 
 /// \brief Whole-run measurements.
@@ -120,11 +135,28 @@ class Coordinator {
   Result<Table> RebuildVertices(const Table& vertex,
                                 const Table& updates) const;
 
+  /// Re-declares `keys` (ascending) on a stored table when the rows are
+  /// verifiably in that order but the declaration is missing — checkpoint
+  /// restore (catalog_io) persists no sort-order metadata, and without
+  /// this a resumed run would silently pin every superstep join to the
+  /// hash path.
+  Status RestoreSortedInvariant(const std::string& table_name,
+                                const std::vector<std::string>& keys) const;
+
   Catalog* catalog_;
   VertexProgram* program_;
   VertexicaOptions options_;
   GraphTableNames names_;
   std::map<std::string, double> prev_aggregates_;
+
+  /// Join-input projection of the edge table — (esrc, edst, eweight,
+  /// edge_seq), sorted like its source and with the esrc column kept
+  /// RLE-encoded so the merge join matches whole runs. The edge table is
+  /// immutable across supersteps, so this is built once per run and
+  /// invalidated by snapshot identity; the message/vertex sides change
+  /// every superstep and are not cacheable.
+  mutable TablePtr cached_edge_source_;
+  mutable TablePtr cached_edge_join_side_;
 };
 
 /// \brief Convenience entry point: loads `graph` into `catalog` (vertex,

@@ -82,6 +82,9 @@ Status LoadGraphTables(Catalog* catalog, const Graph& graph,
     if (AmbientEncodingMode() != EncodingMode::kOff) {
       t.EncodeColumns(AmbientEncodingMode());
     }
+    // Ids were written 0..V-1: declare the sorted-by-id invariant the
+    // coordinator maintains, so the superstep vertex joins can merge.
+    t.SetSortOrder({{0, true}});
     VX_RETURN_NOT_OK(catalog->ReplaceTable(names.vertex, std::move(t)));
   }
 
@@ -108,12 +111,18 @@ Status LoadGraphTables(Catalog* catalog, const Graph& graph,
       t.BuildZoneMaps();
       t.mutable_column(0)->Encode(AmbientEncodingMode());
     }
+    // Re-declare after the encode step (mutable_column conservatively
+    // drops the declaration SortTable made; encoding is value-neutral, so
+    // the (src, dst) order still holds).
+    t.SetSortOrder({{0, true}, {1, true}});
     VX_RETURN_NOT_OK(catalog->ReplaceTable(names.edge, std::move(t)));
   }
 
-  // Message table (empty).
-  VX_RETURN_NOT_OK(catalog->ReplaceTable(
-      names.message, Table(MakeMessageSchema(program.message_arity()))));
+  // Message table (empty — and vacuously sorted by receiver, the invariant
+  // the coordinator maintains superstep to superstep).
+  Table messages(MakeMessageSchema(program.message_arity()));
+  messages.SetSortOrder({{1, true}});
+  VX_RETURN_NOT_OK(catalog->ReplaceTable(names.message, std::move(messages)));
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include "algorithms/label_propagation.h"
 #include "algorithms/reference.h"
 #include "catalog/catalog_io.h"
+#include "exec/merge_join.h"
 #include "giraph/bsp_engine.h"
 #include "sqlgraph/sql_common.h"
 #include "storage/compression.h"
@@ -369,6 +370,43 @@ TEST(CheckpointTest, ResumedRunMatchesUninterrupted) {
   ASSERT_TRUE(ranks.ok());
   for (size_t v = 0; v < expect->size(); ++v) {
     EXPECT_NEAR((*ranks)[v], (*expect)[v], 1e-9);
+  }
+}
+
+TEST(CheckpointTest, ResumedJoinPathKeepsMergeJoins) {
+  ScopedMergeJoin on(true);  // pin against a VERTEXICA_MERGE_JOIN=off env
+  Graph g = GenerateRmat(60, 300, 93);
+  const std::string dir = testing::TempDir() + "/vx_ckpt_merge";
+  PageRankProgram program(8);
+  Catalog cat;
+  ASSERT_TRUE(LoadGraphTables(&cat, g, program).ok());
+  VertexicaOptions opts;
+  opts.use_union_input = false;
+  opts.update_threshold = 2.0;  // in-place: the only joins are input builds
+  opts.max_supersteps = 4;  // "crash" after superstep 3
+  opts.checkpoint_every = 1;
+  opts.checkpoint_dir = dir;
+  Coordinator interrupted(&cat, &program, opts);
+  ASSERT_TRUE(interrupted.Run().ok());
+
+  // The restored tables carry rows but no sort-order declarations
+  // (catalog_io persists none); the coordinator re-establishes the
+  // invariants at run start, so a resumed run merges like a fresh one.
+  Catalog recovered;
+  ASSERT_TRUE(LoadCatalog(dir, &recovered).ok());
+  VertexicaOptions resume = opts;
+  resume.max_supersteps = 500;
+  resume.checkpoint_every = 0;
+  resume.resume_from_checkpoint = true;
+  PageRankProgram program2(8);
+  Coordinator resumed(&recovered, &program2, resume);
+  RunStats stats;
+  ASSERT_TRUE(resumed.Run(&stats).ok());
+  ASSERT_FALSE(stats.supersteps.empty());
+  EXPECT_GE(stats.supersteps.front().superstep, 4);
+  for (const SuperstepStats& s : stats.supersteps) {
+    EXPECT_EQ(s.merge_joins, 2) << "superstep " << s.superstep;
+    EXPECT_EQ(s.hash_joins, 0) << "superstep " << s.superstep;
   }
 }
 

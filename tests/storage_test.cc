@@ -379,6 +379,97 @@ TEST(SortTest, DoublesWithNaNAreDeterministic) {
   EXPECT_DOUBLE_EQ(desc.column(0).GetDouble(3), -1.0);
 }
 
+// --------------------------------------------------- Sort-order property
+
+Table SortOrderFixture() {
+  Table t(Schema({{"a", DataType::kInt64},
+                  {"b", DataType::kInt64},
+                  {"c", DataType::kDouble}}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{3}), Value(int64_t{1}), Value(0.5)}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{2}), Value(1.5)}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value(int64_t{0}), Value(2.5)}));
+  VX_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{1}), Value(3.5)}));
+  return t;
+}
+
+TEST(SortOrderTest, SortTableDeclaresOrderAndColumnFlag) {
+  Table sorted = SortOrderFixture();
+  EXPECT_TRUE(sorted.sort_order().empty());  // raw appends declare nothing
+  sorted = SortTable(sorted, {{0, true}, {1, true}});
+  ASSERT_EQ(sorted.sort_order().size(), 2u);
+  EXPECT_EQ(sorted.sort_order()[0].column, 0);
+  EXPECT_TRUE(sorted.sort_order()[0].ascending);
+  EXPECT_TRUE(sorted.column(0).sorted_ascending());
+  EXPECT_FALSE(sorted.column(1).sorted_ascending());  // only key 0 is global
+  EXPECT_TRUE(sorted.OrderCoversKeys({0}));
+  EXPECT_TRUE(sorted.OrderCoversKeys({0, 1}));
+  EXPECT_FALSE(sorted.OrderCoversKeys({1}));
+}
+
+TEST(SortOrderTest, DroppedOnMutationLikeZoneMap) {
+  Table sorted = SortTable(SortOrderFixture(), {{0, true}});
+  sorted.mutable_column(0)->BuildZoneMap();
+  ASSERT_NE(sorted.column(0).zone_map(), nullptr);
+  // mutable_column already drops the table-level declaration...
+  EXPECT_TRUE(sorted.sort_order().empty());
+  // ...and a row append drops the column-level flag together with the
+  // zone map (same PrepareMutation path).
+  Table sorted2 = SortTable(SortOrderFixture(), {{0, true}});
+  ASSERT_TRUE(sorted2.column(0).sorted_ascending());
+  VX_CHECK_OK(sorted2.AppendRow({Value(int64_t{0}), Value(int64_t{0}),
+                                 Value(0.0)}));
+  EXPECT_TRUE(sorted2.sort_order().empty());
+  EXPECT_FALSE(sorted2.column(0).sorted_ascending());
+  EXPECT_EQ(sorted2.column(0).zone_map(), nullptr);
+}
+
+TEST(SortOrderTest, AppendOfRowsDropsAppendOfNothingKeeps) {
+  Table sorted = SortTable(SortOrderFixture(), {{0, true}});
+  Table empty(sorted.schema());
+  VX_CHECK_OK(sorted.Append(empty));
+  EXPECT_FALSE(sorted.sort_order().empty());
+  VX_CHECK_OK(sorted.Append(SortOrderFixture()));
+  EXPECT_TRUE(sorted.sort_order().empty());
+}
+
+TEST(SortOrderTest, SlicePreservesTakeDrops) {
+  Table sorted = SortTable(SortOrderFixture(), {{0, true}});
+  Table slice = sorted.Slice(1, 2);
+  ASSERT_EQ(slice.sort_order().size(), 1u);
+  EXPECT_TRUE(slice.column(0).sorted_ascending());
+  Table taken = sorted.Take({2, 0, 1});
+  EXPECT_TRUE(taken.sort_order().empty());
+  EXPECT_FALSE(taken.column(0).sorted_ascending());
+}
+
+TEST(SortOrderTest, SelectColumnsRemapsPrefix) {
+  Table sorted = SortTable(SortOrderFixture(), {{0, true}, {1, true}});
+  // Reorder columns: the order keys follow their columns' new positions.
+  Table swapped = sorted.SelectColumns({1, 0});
+  ASSERT_EQ(swapped.sort_order().size(), 2u);
+  EXPECT_EQ(swapped.sort_order()[0].column, 1);
+  EXPECT_EQ(swapped.sort_order()[1].column, 0);
+  // Dropping the leading key column ends the claim entirely.
+  Table no_lead = sorted.SelectColumns({1, 2});
+  EXPECT_TRUE(no_lead.sort_order().empty());
+  // Dropping a later key keeps the surviving prefix.
+  Table prefix = sorted.SelectColumns({0, 2});
+  ASSERT_EQ(prefix.sort_order().size(), 1u);
+  EXPECT_EQ(prefix.sort_order()[0].column, 0);
+}
+
+TEST(SortOrderTest, EncodeIsValueNeutralForTheDeclaration) {
+  // Encoding is a physical-representation switch; the declaration (and
+  // the column flag) survive, like the zone map does across Decode.
+  Table sorted = SortTable(SortOrderFixture(), {{0, true}});
+  sorted.EncodeColumns(EncodingMode::kForce);
+  EXPECT_FALSE(sorted.sort_order().empty());
+  EXPECT_TRUE(sorted.column(0).sorted_ascending());
+  sorted.DecodeColumns();
+  EXPECT_FALSE(sorted.sort_order().empty());
+  EXPECT_TRUE(sorted.column(0).sorted_ascending());
+}
+
 // --------------------------------------------------- Segment encodings
 
 TEST(EncodingTest, RleRoundTripAndAccessors) {

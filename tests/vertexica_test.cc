@@ -8,6 +8,7 @@
 #include "algorithms/pagerank.h"
 #include "algorithms/reference.h"
 #include "algorithms/sssp.h"
+#include "exec/merge_join.h"
 #include "graphgen/generators.h"
 #include "vertexica/coordinator.h"
 #include "vertexica/graph_tables.h"
@@ -366,6 +367,115 @@ TEST(WorkerTest, RunnerReactivatesOnMessage) {
   EXPECT_EQ(out.kind[1], kMessageTuple);
   EXPECT_EQ(out.id[1], 6);
   EXPECT_DOUBLE_EQ(out.payload[0][1], 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Order-aware superstep joins (exec/merge_join.h): with the join-input
+// path, the sorted invariants (vertex by id, message by dst, edges by
+// (src, dst)) turn both superstep joins into merge joins — zero hash
+// builds — with results bit-identical to the hash path.
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationTest, JoinInputRunsMergeJoinsOnly) {
+  ScopedMergeJoin on(true);  // pin against a VERTEXICA_MERGE_JOIN=off env
+  Graph g = GenerateRmat(128, 800, 11);
+  VertexicaOptions opts;
+  opts.use_union_input = false;
+  opts.update_threshold = 2.0;  // always in-place: no rebuild-path joins
+  Catalog cat;
+  RunStats stats;
+  auto r = RunPageRank(&cat, g, 5, 0.85, opts, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GT(stats.supersteps.size(), 1u);
+  for (const SuperstepStats& s : stats.supersteps) {
+    // BuildJoinInput's vertex ⟕ message and ⟕ edge joins, merged.
+    EXPECT_EQ(s.merge_joins, 2) << "superstep " << s.superstep;
+    EXPECT_EQ(s.hash_joins, 0) << "superstep " << s.superstep;
+    EXPECT_GT(s.join_rows, 0) << "superstep " << s.superstep;
+  }
+}
+
+TEST(OptimizationTest, MergeJoinOnOffSameResult) {
+  ScopedMergeJoin on(true);  // pin against a VERTEXICA_MERGE_JOIN=off env
+  Graph g = GenerateRmat(128, 800, 12);
+  VertexicaOptions merge_opts;
+  merge_opts.use_union_input = false;
+  VertexicaOptions hash_opts;
+  hash_opts.use_union_input = false;
+  hash_opts.use_merge_join = false;
+  Catalog cat1;
+  RunStats s1;
+  auto r1 = RunPageRank(&cat1, g, 5, 0.85, merge_opts, &s1);
+  Catalog cat2;
+  RunStats s2;
+  auto r2 = RunPageRank(&cat2, g, 5, 0.85, hash_opts, &s2);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_EQ(r1->size(), r2->size());
+  for (size_t v = 0; v < r1->size(); ++v) {
+    // Bit-identical, not just close: the merge join reproduces the hash
+    // join's probe-row-major match order exactly.
+    EXPECT_EQ((*r1)[v], (*r2)[v]) << "vertex " << v;
+  }
+  ASSERT_EQ(s1.supersteps.size(), s2.supersteps.size());
+  int64_t merged = 0;
+  int64_t hashed = 0;
+  for (const SuperstepStats& s : s1.supersteps) merged += s.merge_joins;
+  for (const SuperstepStats& s : s2.supersteps) {
+    hashed += s.hash_joins;
+    EXPECT_EQ(s.merge_joins, 0);  // the ablation switch pins the hash path
+  }
+  EXPECT_GT(merged, 0);
+  EXPECT_GT(hashed, 0);
+}
+
+TEST(OptimizationTest, MergeJoinSurvivesReplacePath) {
+  // update_threshold = 0 forces the rebuild path every superstep; the
+  // coordinator re-sorts the rebuilt vertex table, so merge joins keep
+  // running and results still match the in-place path.
+  ScopedMergeJoin on(true);  // pin against a VERTEXICA_MERGE_JOIN=off env
+  Graph g = GenerateRmat(64, 400, 13);
+  VertexicaOptions replace_opts;
+  replace_opts.use_union_input = false;
+  replace_opts.update_threshold = 0.0;
+  Catalog cat1;
+  RunStats s1;
+  auto r1 = RunPageRank(&cat1, g, 4, 0.85, replace_opts, &s1);
+  VertexicaOptions inplace_opts;
+  inplace_opts.use_union_input = false;
+  inplace_opts.update_threshold = 2.0;
+  Catalog cat2;
+  auto r2 = RunPageRank(&cat2, g, 4, 0.85, inplace_opts);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  for (size_t v = 0; v < r1->size(); ++v) {
+    EXPECT_EQ((*r1)[v], (*r2)[v]) << "vertex " << v;
+  }
+  for (const SuperstepStats& s : s1.supersteps) {
+    EXPECT_EQ(s.merge_joins, 2) << "superstep " << s.superstep;
+    // The rebuild's anti join (unsorted build side) may hash; the two
+    // superstep input joins must not.
+    EXPECT_LE(s.hash_joins, 1) << "superstep " << s.superstep;
+  }
+}
+
+TEST(OptimizationTest, MergeJoinSameResultForSssp) {
+  Graph g = GenerateRmat(128, 800, 14);
+  AssignRandomWeights(&g, 1.0, 5.0, 15);
+  VertexicaOptions merge_opts;
+  merge_opts.use_union_input = false;
+  VertexicaOptions hash_opts;
+  hash_opts.use_union_input = false;
+  hash_opts.use_merge_join = false;
+  Catalog cat1;
+  auto d1 = RunShortestPaths(&cat1, g, 0, merge_opts);
+  Catalog cat2;
+  auto d2 = RunShortestPaths(&cat2, g, 0, hash_opts);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  for (size_t v = 0; v < d1->size(); ++v) {
+    EXPECT_EQ((*d1)[v], (*d2)[v]) << "vertex " << v;
+  }
 }
 
 TEST(WorkerTest, UnionBufferToTable) {
