@@ -6,7 +6,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+# Reconfigure with the bench option pinned ON: a cached build dir can carry
+# VERTEXICA_BUILD_BENCHES=OFF from a sanitizer configure, and a later
+# `--target bench_<name>` then silently no-ops (the output binary in the
+# build root shadows the phony target name), leaving stale bench binaries
+# behind the BENCH_*.json copy step below. Always full-build for the same
+# reason — never per-target.
+cmake -B "$BUILD_DIR" -S . -DVERTEXICA_BUILD_BENCHES=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # Full suite (tier-1) twice: once fully serial (VERTEXICA_THREADS=1) and
@@ -34,6 +40,13 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # bit-identical with it disabled (docs/EXECUTOR.md).
 (cd "$BUILD_DIR" && VERTEXICA_MERGE_JOIN=off \
     ctest -R 'exec_test|vertexica_test|api_test' --output-on-failure \
+    -j "$(nproc)")
+
+# And with the ambient shard count forced up: the persistent-sharding
+# superstep dataflow must be value-neutral too (docs/API.md), so every
+# vertexica/api expectation has to hold unchanged when all runs shard.
+(cd "$BUILD_DIR" && VERTEXICA_SHARDS=4 \
+    ctest -R 'vertexica_test|api_test|storage_test' --output-on-failure \
     -j "$(nproc)")
 
 # Perf trajectory: surface bench JSONs at the repo root so they get

@@ -15,6 +15,7 @@
 #include "giraph/bsp_engine.h"
 #include "graphdb/gdb_algorithms.h"
 #include "sqlgraph/sql_common.h"
+#include "storage/partition.h"
 #include "sqlgraph/sql_connected_components.h"
 #include "sqlgraph/sql_pagerank.h"
 #include "sqlgraph/sql_shortest_paths.h"
@@ -37,6 +38,11 @@ Result<RunResult> RegistryBackend::Run(const RunRequest& request) {
   // around the dispatch, so every layer that resolves a thread count of 0
   // (exec kernels, worker UDFs, BSP compute threads) inherits it.
   ScopedExecThreads scoped_threads(request.threads);
+  // Same pattern for the shard count: the Vertexica coordinator resolves
+  // its shard count through ExecShards(), so `shards` reaches the superstep
+  // dataflow without a backend-specific plumbing path (backends without a
+  // superstep loop simply never consult it).
+  ScopedExecShards scoped_shards(request.shards);
   // Same pattern for the storage-encoding policy: the graph-table loader
   // and the superstep coordinator consult the ambient mode, so every
   // backend inherits the request's `encoding` setting.

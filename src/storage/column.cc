@@ -35,6 +35,66 @@ Column Column::FromBools(std::vector<uint8_t> v) {
   return c;
 }
 
+namespace {
+
+std::vector<int64_t> RunStartOffsets(const std::vector<RleRun>& runs) {
+  std::vector<int64_t> starts;
+  starts.reserve(runs.size());
+  int64_t row = 0;
+  for (const RleRun& run : runs) {
+    starts.push_back(row);
+    row += run.length;
+  }
+  return starts;
+}
+
+}  // namespace
+
+Column Column::FromRleRuns(std::vector<RleRun> runs) {
+  auto segment = std::make_shared<EncodedSegment>();
+  segment->encoding = ColumnEncoding::kRle;
+  segment->runs = std::move(runs);
+  segment->run_starts = RunStartOffsets(segment->runs);
+  int64_t length = 0;
+  for (const RleRun& run : segment->runs) {
+    VX_CHECK(run.length > 0) << "FromRleRuns: non-positive run length";
+    length += run.length;
+  }
+  segment->length = length;
+  Column c(DataType::kInt64);
+  c.length_ = length;
+  // Zone map straight from the runs — Encode() would skip an
+  // already-encoded column before reaching its BuildZoneMap, and the
+  // generic builder would decode; one pass over the runs gives the same
+  // statistics with no decode (the column is fully valid by contract).
+  if (length > 0) {
+    std::vector<ZoneStats> zones(
+        static_cast<size_t>((length + kZoneRows - 1) / kZoneRows));
+    for (size_t z = 0; z < zones.size(); ++z) {
+      zones[z].row_begin = static_cast<int64_t>(z) * kZoneRows;
+      zones[z].row_end = std::min(zones[z].row_begin + kZoneRows, length);
+    }
+    int64_t row = 0;
+    for (const RleRun& run : segment->runs) {
+      int64_t remaining = run.length;
+      while (remaining > 0) {
+        ZoneStats& zone = zones[static_cast<size_t>(row / kZoneRows)];
+        const int64_t take = std::min(remaining, zone.row_end - row);
+        if (!zone.has_value || run.value < zone.min_i) zone.min_i = run.value;
+        if (!zone.has_value || run.value > zone.max_i) zone.max_i = run.value;
+        zone.has_value = true;
+        row += take;
+        remaining -= take;
+      }
+    }
+    c.zone_map_ =
+        std::make_shared<const ZoneMapIndex>(DataType::kInt64,
+                                             std::move(zones));
+  }
+  c.segment_ = std::move(segment);
+  return c;
+}
+
 void Column::Reserve(int64_t n) {
   const auto sn = static_cast<size_t>(n);
   switch (type_) {
@@ -93,21 +153,6 @@ void Column::PrepareMutation() {
   zone_map_.reset();
   sorted_ascending_ = false;
 }
-
-namespace {
-
-std::vector<int64_t> RunStartOffsets(const std::vector<RleRun>& runs) {
-  std::vector<int64_t> starts;
-  starts.reserve(runs.size());
-  int64_t row = 0;
-  for (const RleRun& run : runs) {
-    starts.push_back(row);
-    row += run.length;
-  }
-  return starts;
-}
-
-}  // namespace
 
 bool Column::Encode(EncodingMode mode) {
   if (mode == EncodingMode::kOff) return false;

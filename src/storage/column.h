@@ -72,6 +72,12 @@ class Column {
   static Column FromDoubles(std::vector<double> v);
   static Column FromStrings(std::vector<std::string> v);
   static Column FromBools(std::vector<uint8_t> v);
+  /// \brief Fully-valid INT64 column born RLE-encoded from the given runs
+  /// (adjacent runs may share a value). Lets producers that already know
+  /// the run structure — e.g. the partition scatter splitting an encoded
+  /// key column — build encoded output without a decode/re-encode round
+  /// trip.
+  static Column FromRleRuns(std::vector<RleRun> runs);
   /// @}
 
   DataType type() const { return type_; }

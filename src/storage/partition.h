@@ -1,17 +1,37 @@
 /// \file partition.h
-/// \brief Hash partitioning of tables.
+/// \brief Hash partitioning and persistent sharding of tables.
 ///
 /// §2.3 "Vertex Batching": Vertexica hash-partitions the vertex/edge/message
 /// union on vertex id into a fixed number of partitions, each processed
-/// serially by one worker.
+/// serially by one worker. This module provides that scatter primitive
+/// (HashPartition) plus the persistent form the sharded superstep dataflow
+/// is built on: a ShardingSpec that coarsens the same hash partitioning into
+/// contiguous shard blocks, and a PartitionSet of resident, metadata-bearing
+/// shard tables partitioned once per run.
+///
+/// Scatter contract (shared by HashPartition, ShardScatter, PartitionSet):
+///  - NULL keys deterministically land in partition/shard 0. The key
+///    column's validity bitmap is consulted; the value slot of a NULL row
+///    (which holds an unspecified placeholder) never reaches the hash.
+///  - Row order within a partition preserves input order (the scatter is
+///    stable), so any declared sort order of the input holds within each
+///    output partition.
+///  - An RLE-encoded key column scatters run-at-a-time: one bucket decision
+///    per run, and — when the key column is fully valid — the
+///    per-partition key columns are rebuilt directly from the assigned
+///    runs, so the key column is never decoded. A null-bearing RLE key
+///    still reads values run-at-a-time but gathers through the generic
+///    (decoding) path, producing plain outputs.
 
 #ifndef VERTEXICA_STORAGE_PARTITION_H_
 #define VERTEXICA_STORAGE_PARTITION_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/result.h"
 #include "storage/table.h"
 
 namespace vertexica {
@@ -23,9 +43,116 @@ inline int PartitionOf(int64_t key, int num_partitions) {
 }
 
 /// \brief Splits `table` into `num_partitions` tables by hashing the int64
-/// column `key_column`. Row order within a partition preserves input order.
+/// column `key_column`. Row order within a partition preserves input order;
+/// NULL keys go to partition 0 (see the scatter contract above).
 std::vector<Table> HashPartition(const Table& table, int key_column,
                                  int num_partitions);
+
+/// \name The ambient `shards` knob
+///
+/// Mirrors the `threads` and `encoding` knobs (exec/parallel.h,
+/// storage/encoding.h): innermost ScopedExecShards override, else the
+/// process default (SetDefaultExecShards), else the VERTEXICA_SHARDS
+/// environment variable, else 1 (unsharded). RunRequest::shards installs a
+/// scoped override around the backend dispatch; the Vertexica coordinator
+/// resolves its shard count through ExecShards().
+/// @{
+
+/// \brief Effective shard count for the calling thread. Always >= 1.
+int ExecShards();
+
+/// \brief Sets the process-wide default shard count; 0 restores automatic
+/// resolution (VERTEXICA_SHARDS env, else 1).
+void SetDefaultExecShards(int n);
+
+/// \brief RAII shard-count override for the current thread (how
+/// RunRequest::shards reaches the coordinator). n <= 0 is a no-op scope.
+class ScopedExecShards {
+ public:
+  explicit ScopedExecShards(int n);
+  ~ScopedExecShards();
+  ScopedExecShards(const ScopedExecShards&) = delete;
+  ScopedExecShards& operator=(const ScopedExecShards&) = delete;
+
+ private:
+  int prev_;
+};
+/// @}
+
+/// \brief How keys map to shards: keys hash into `base_partitions` buckets
+/// (PartitionOf — the same function vertex batching uses) and contiguous
+/// runs of buckets form the `num_shards` shards.
+///
+/// Coarsening the *same* base partitioning is what makes shard placement
+/// compose with vertex batching: a shard's rows hash into a contiguous
+/// block of the base partitions, so a per-shard batching pass (with the
+/// same base count) reproduces exactly the partitions of an unsharded pass,
+/// in order — the property behind the sharded dataflow being bit-identical
+/// at any shard count. `num_shards` must not exceed `base_partitions`.
+struct ShardingSpec {
+  int num_shards = 1;
+  int base_partitions = 64;  ///< keep equal to the vertex-batching count
+
+  /// \brief Shard owning base partition `p`: contiguous monotone blocks.
+  int ShardOfPartition(int p) const {
+    return static_cast<int>(static_cast<int64_t>(p) * num_shards /
+                            base_partitions);
+  }
+  /// \brief Shard owning `key` (non-NULL).
+  int ShardOfKey(int64_t key) const {
+    return ShardOfPartition(PartitionOf(key, base_partitions));
+  }
+  /// \brief NULL keys deterministically own shard 0 (scatter contract).
+  int ShardOfNull() const { return 0; }
+};
+
+/// \brief Order-preserving scatter of `table` into `spec.num_shards` tables
+/// by the shard of the int64 column `key_column`. Any declared sort order
+/// of the input is re-declared on every shard (a stable scatter keeps each
+/// shard a subsequence of the input). NULL keys go to shard 0.
+Result<std::vector<Table>> ShardScatter(const Table& table, int key_column,
+                                        const ShardingSpec& spec);
+
+/// \brief A resident shard set: one table per shard, partitioned once and
+/// kept across uses (the superstep dataflow re-reads shards every superstep
+/// instead of re-partitioning its input).
+///
+/// Build retains per-shard physical-design metadata: inherited sort-order
+/// declarations from the scatter, and — when the ambient encoding mode is
+/// not off — per-shard segment encodings and zone maps (Table::EncodeColumns
+/// over each shard). Shards are exposed as shared snapshots so the
+/// morsel-parallel executor can range-scan them without copying.
+class PartitionSet {
+ public:
+  using TablePtr = std::shared_ptr<const Table>;
+
+  PartitionSet() = default;
+
+  /// \brief Partitions `table` on `key_column` per `spec`. Fails when the
+  /// key column is not INT64 or the spec is malformed
+  /// (num_shards < 1 or num_shards > base_partitions).
+  static Result<PartitionSet> Build(const Table& table, int key_column,
+                                    const ShardingSpec& spec);
+
+  const ShardingSpec& spec() const { return spec_; }
+  int key_column() const { return key_column_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const TablePtr& shard(int s) const {
+    return shards_[static_cast<size_t>(s)];
+  }
+
+  /// \brief Sum of rows across shards.
+  int64_t total_rows() const;
+
+  /// \brief Swaps in a new table for shard `s` (the vertex-update path; the
+  /// caller is responsible for the rows still belonging to the shard).
+  void ReplaceShard(int s, Table t);
+
+ private:
+  ShardingSpec spec_;
+  int key_column_ = 0;
+  std::vector<TablePtr> shards_;
+};
 
 }  // namespace vertexica
 

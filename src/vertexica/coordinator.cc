@@ -1,5 +1,6 @@
 #include "vertexica/coordinator.h"
 
+#include <algorithm>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -13,10 +14,20 @@
 #include "exec/parallel.h"
 #include "exec/plan_builder.h"
 #include "storage/compression.h"
+#include "storage/partition.h"
 #include "storage/sort.h"
+#include "udf/transform.h"
 #include "vertexica/worker.h"
 
 namespace vertexica {
+
+// storage/ cannot see udf/, so the default ShardingSpec hard-codes the
+// vertex-batching partition count; pin the two constants together here,
+// where both headers are visible — the shard/batch alignment invariant
+// (shards = contiguous blocks of the batching partitions) depends on it.
+static_assert(ShardingSpec{}.base_partitions == kDefaultTransformPartitions,
+              "ShardingSpec::base_partitions must default to the "
+              "vertex-batching partition count");
 
 namespace {
 
@@ -59,6 +70,100 @@ bool OrderedByColumn(const Table& t, const std::string& name) {
   return k.ascending && t.schema().field(k.column).name == name;
 }
 
+/// Fused-split projection of the worker output onto vertex updates:
+/// (id, halted, v0..v{va-1}).
+std::vector<ProjectionSpec> UpdateProjection(int va) {
+  std::vector<ProjectionSpec> proj = {{"id", Col("id")},
+                                      {"halted", Col("halted")}};
+  for (int i = 0; i < va; ++i) {
+    proj.push_back({StringFormat("v%d", i), Col(StringFormat("p%d", i))});
+  }
+  return proj;
+}
+
+/// Fused-split projection of the worker output onto new messages:
+/// (src, dst, m0..m{ma-1}); sender is `other`, receiver is `id`.
+std::vector<ProjectionSpec> MessageProjection(int ma) {
+  std::vector<ProjectionSpec> proj = {{"src", Col("other")},
+                                      {"dst", Col("id")}};
+  for (int i = 0; i < ma; ++i) {
+    proj.push_back({StringFormat("m%d", i), Col(StringFormat("p%d", i))});
+  }
+  return proj;
+}
+
+/// One pass over a worker-output table: the active-vertex count plus the
+/// kind-3 aggregator partial rows as (aggregator index, partial) pairs in
+/// row order. Collected rather than merged so the sharded path can replay
+/// the merges across shards in global row order — the exact fold sequence
+/// of the unsharded loop.
+struct WorkerOutputScan {
+  int64_t active = 0;
+  std::vector<std::pair<int64_t, double>> aggregate_rows;
+};
+
+WorkerOutputScan ScanWorkerOutput(const Table& out) {
+  WorkerOutputScan scan;
+  const auto& kinds = out.column(1).ints();
+  const auto& others = out.column(2).ints();
+  const auto& p0 = out.column(4).doubles();
+  for (int64_t r = 0; r < out.num_rows(); ++r) {
+    const auto sr = static_cast<size_t>(r);
+    if (kinds[sr] == kVertexTuple) {
+      ++scan.active;
+    } else if (kinds[sr] == kAggregateTuple) {
+      scan.aggregate_rows.emplace_back(others[sr], p0[sr]);
+    }
+  }
+  return scan;
+}
+
+/// The fused σ→π worker-output split (updates, new messages, aggregate
+/// scan) — one definition shared by the sharded and unsharded superstep
+/// loops, so the two paths cannot drift apart and break their documented
+/// bit-identity contract.
+struct SplitOutputs {
+  Table updates;
+  Table messages;
+  WorkerOutputScan scan;
+};
+
+Result<SplitOutputs> SplitWorkerOutput(const std::shared_ptr<const Table>& out,
+                                       int va, int ma) {
+  SplitOutputs split;
+  // Vertex updates: kind=0 rows with other=1 (state actually changed).
+  VX_ASSIGN_OR_RETURN(
+      split.updates,
+      ParallelFilterProject(
+          out,
+          And(Eq(Col("kind"), Lit(static_cast<int64_t>(kVertexTuple))),
+              Eq(Col("other"), Lit(int64_t{1}))),
+          UpdateProjection(va)));
+  // New messages: kind=2 rows; sender is `other`, receiver is `id`.
+  VX_ASSIGN_OR_RETURN(
+      split.messages,
+      ParallelFilterProject(
+          out, Eq(Col("kind"), Lit(static_cast<int64_t>(kMessageTuple))),
+          MessageProjection(ma)));
+  split.scan = ScanWorkerOutput(*out);
+  return split;
+}
+
+/// Folds collected aggregator partials into `aggregates` in the order
+/// given — callers pass rows in global worker-output row order.
+void MergeAggregateRows(const std::vector<AggregatorSpec>& agg_specs,
+                        const std::vector<std::pair<int64_t, double>>& rows,
+                        std::map<std::string, double>* aggregates) {
+  for (const auto& [index, partial] : rows) {
+    const auto idx = static_cast<size_t>(index);
+    if (idx < agg_specs.size()) {
+      const auto& spec = agg_specs[idx];
+      double& slot = (*aggregates)[spec.name];
+      slot = MergeAggregate(spec.kind, slot, partial);
+    }
+  }
+}
+
 AggOp CombinerToAggOp(MessageCombiner c) {
   switch (c) {
     case MessageCombiner::kSum:
@@ -75,12 +180,26 @@ AggOp CombinerToAggOp(MessageCombiner c) {
 
 }  // namespace
 
+/// Resident state of the persistent-sharding path, built once per run:
+/// vertex shards (replaced in place as supersteps apply updates), immutable
+/// edge shards with their cached join sides, and the per-shard message
+/// tables swapped by the between-superstep exchange.
+struct Coordinator::ShardedState {
+  ShardingSpec spec;
+  PartitionSet vertex;
+  PartitionSet edge;
+  std::vector<TablePtr> message;
+  std::vector<TablePtr> edge_join_side;  // empty on the union-input path
+};
+
 Coordinator::Coordinator(Catalog* catalog, VertexProgram* program,
                          VertexicaOptions options, GraphTableNames names)
     : catalog_(catalog),
       program_(program),
       options_(options),
       names_(std::move(names)) {}
+
+Coordinator::~Coordinator() = default;
 
 Result<Table> Coordinator::BuildUnionInput(const TablePtr& vertex,
                                            const TablePtr& edge,
@@ -128,10 +247,32 @@ Result<Table> Coordinator::BuildUnionInput(const TablePtr& vertex,
   return input;
 }
 
-Result<Table> Coordinator::BuildJoinInput(const TablePtr& vertex,
-                                          const TablePtr& edge,
-                                          const TablePtr& message) const {
-  const int va = program_->value_arity();
+Result<Coordinator::TablePtr> Coordinator::BuildEdgeJoinSide(
+    const TablePtr& edge) const {
+  // The edge side is identical every superstep (the coordinator never
+  // rewrites the edge table): project/number/declare it once per run and
+  // reuse the shared snapshot. The esrc key column is re-encoded RLE —
+  // one run per source vertex on the (src, dst)-sorted layout — so the
+  // merge join matches whole runs without decoding it.
+  VX_ASSIGN_OR_RETURN(Table edges,
+                      ParallelProject(edge, {{"esrc", Col("src")},
+                                             {"edst", Col("dst")},
+                                             {"eweight", Col("weight")}}));
+  edges = WithRowNumbers(edges, "edge_seq");
+  if (AmbientEncodingMode() != EncodingMode::kOff) {
+    edges.mutable_column(0)->Encode(AmbientEncodingMode());
+  }
+  if (edge->OrderCoversKeys({0, 1})) {
+    edges.SetSortOrder({{0, true}, {1, true}});
+  } else if (OrderedByColumn(*edge, "src")) {
+    edges.SetSortOrder({{0, true}});
+  }
+  return std::make_shared<const Table>(std::move(edges));
+}
+
+Result<Table> Coordinator::BuildJoinInputWithEdgeSide(
+    const TablePtr& vertex, const TablePtr& edge_side,
+    const TablePtr& message) const {
   const int ma = program_->message_arity();
 
   // The "traditional database wisdom" plan §2.3 argues against: a 3-way
@@ -150,43 +291,28 @@ Result<Table> Coordinator::BuildJoinInput(const TablePtr& vertex,
   // Propagate the stored message table's sorted invariant onto the
   // projected side (projection and row-numbering preserve row order):
   // message is kept sorted by receiver. With the vertex table sorted by
-  // id and the cached edge side below, the planner turns both left joins
-  // into merge joins — zero hash builds per superstep (exec/merge_join.h).
+  // id and the cached edge side, the planner turns both left joins into
+  // merge joins — zero hash builds per superstep (exec/merge_join.h).
   if (OrderedByColumn(*message, "dst")) msgs.SetSortOrder({{0, true}});
 
-  // The edge side is identical every superstep (the coordinator never
-  // rewrites the edge table): project/number/declare it once per run and
-  // reuse the shared snapshot. The esrc key column is re-encoded RLE —
-  // one run per source vertex on the (src, dst)-sorted layout — so the
-  // merge join matches whole runs without decoding it.
-  if (cached_edge_source_ != edge || cached_edge_join_side_ == nullptr) {
-    VX_ASSIGN_OR_RETURN(Table edges,
-                        ParallelProject(edge, {{"esrc", Col("src")},
-                                               {"edst", Col("dst")},
-                                               {"eweight", Col("weight")}}));
-    edges = WithRowNumbers(edges, "edge_seq");
-    if (AmbientEncodingMode() != EncodingMode::kOff) {
-      edges.mutable_column(0)->Encode(AmbientEncodingMode());
-    }
-    if (edge->OrderCoversKeys({0, 1})) {
-      edges.SetSortOrder({{0, true}, {1, true}});
-    } else if (OrderedByColumn(*edge, "src")) {
-      edges.SetSortOrder({{0, true}});
-    }
-    cached_edge_source_ = edge;
-    cached_edge_join_side_ =
-        std::make_shared<const Table>(std::move(edges));
-  }
-
-  // vertex columns: id, halted, v0..v{va-1}. va is used implicitly by the
-  // JoinWorker, which resolves columns by name.
-  (void)va;
+  // vertex columns: id, halted, v0..v{va-1}; the JoinWorker resolves them
+  // by name.
   return PlanBuilder::Scan(vertex)
       .Join(PlanBuilder::Scan(std::move(msgs)), {"id"}, {"mdst"},
             JoinType::kLeft)
-      .Join(PlanBuilder::Scan(cached_edge_join_side_), {"id"}, {"esrc"},
+      .Join(PlanBuilder::Scan(edge_side), {"id"}, {"esrc"},
             JoinType::kLeft)
       .Execute();
+}
+
+Result<Table> Coordinator::BuildJoinInput(const TablePtr& vertex,
+                                          const TablePtr& edge,
+                                          const TablePtr& message) const {
+  if (cached_edge_source_ != edge || cached_edge_join_side_ == nullptr) {
+    VX_ASSIGN_OR_RETURN(cached_edge_join_side_, BuildEdgeJoinSide(edge));
+    cached_edge_source_ = edge;
+  }
+  return BuildJoinInputWithEdgeSide(vertex, cached_edge_join_side_, message);
 }
 
 Result<Table> Coordinator::UpdateVerticesInPlace(const Table& vertex,
@@ -246,6 +372,29 @@ Result<Table> Coordinator::UpdateVerticesInPlace(const Table& vertex,
       ExecThreads()));
   if (ordered_by_id) out.SetSortOrder({{id_c, true}});
   return out;
+}
+
+Result<Table> Coordinator::CombineMessages(Table messages) const {
+  if (!options_.use_combiner ||
+      program_->combiner() == MessageCombiner::kNone ||
+      messages.num_rows() == 0) {
+    return messages;
+  }
+  const int ma = program_->message_arity();
+  const AggOp op = CombinerToAggOp(program_->combiner());
+  std::vector<AggSpec> specs;
+  for (int i = 0; i < ma; ++i) {
+    specs.push_back({op, StringFormat("m%d", i), StringFormat("m%d", i)});
+  }
+  std::vector<ProjectionSpec> cproj = {{"src", Lit(int64_t{-1})},
+                                       {"dst", Col("dst")}};
+  for (int i = 0; i < ma; ++i) {
+    cproj.push_back({StringFormat("m%d", i), Col(StringFormat("m%d", i))});
+  }
+  return PlanBuilder::Scan(std::move(messages))
+      .Aggregate({"dst"}, std::move(specs))
+      .Project(std::move(cproj))
+      .Execute();
 }
 
 Result<Table> Coordinator::RebuildVertices(const Table& vertex,
@@ -327,6 +476,21 @@ Status Coordinator::Run(RunStats* stats) {
     }
   }
 
+  // Persistent sharding (§2.3 vertex batching made resident): with an
+  // effective shard count > 1 the run partitions the graph tables once and
+  // loops shard-wise. The shard count is capped at the vertex-batching
+  // partition count — shards are contiguous blocks of those partitions,
+  // which is what makes the two paths bit-identical (storage/partition.h).
+  const int base_partitions = options_.num_partitions > 0
+                                  ? options_.num_partitions
+                                  : kDefaultTransformPartitions;
+  const int num_shards = std::min(
+      options_.num_shards > 0 ? options_.num_shards : ExecShards(),
+      base_partitions);
+  if (num_shards > 1) {
+    return RunSharded(stats, num_shards, base_partitions, first_superstep);
+  }
+
   WallTimer total_timer;
   for (int superstep = first_superstep;
        superstep < options_.max_supersteps; ++superstep) {
@@ -392,77 +556,20 @@ Status Coordinator::Run(RunStats* stats) {
     const auto out = std::make_shared<const Table>(std::move(out_table));
 
     // ---- Split the worker output (fused σ→π, morsel-parallel). --------
-    // Vertex updates: kind=0 rows with other=1 (state actually changed).
-    std::vector<ProjectionSpec> uproj = {{"id", Col("id")},
-                                         {"halted", Col("halted")}};
-    for (int i = 0; i < va; ++i) {
-      uproj.push_back({StringFormat("v%d", i), Col(StringFormat("p%d", i))});
-    }
-    VX_ASSIGN_OR_RETURN(
-        Table updates,
-        ParallelFilterProject(
-            out,
-            And(Eq(Col("kind"), Lit(static_cast<int64_t>(kVertexTuple))),
-                Eq(Col("other"), Lit(int64_t{1}))),
-            uproj));
-
-    // New messages: kind=2 rows; sender is `other`, receiver is `id`.
-    std::vector<ProjectionSpec> mproj = {{"src", Col("other")},
-                                         {"dst", Col("id")}};
-    for (int i = 0; i < ma; ++i) {
-      mproj.push_back({StringFormat("m%d", i), Col(StringFormat("p%d", i))});
-    }
-    VX_ASSIGN_OR_RETURN(
-        Table new_messages,
-        ParallelFilterProject(
-            out, Eq(Col("kind"), Lit(static_cast<int64_t>(kMessageTuple))),
-            mproj));
-
-    // Aggregator partials and activity count: direct scans over the output.
-    int64_t active = 0;
+    VX_ASSIGN_OR_RETURN(SplitOutputs split, SplitWorkerOutput(out, va, ma));
+    Table updates = std::move(split.updates);
+    Table new_messages = std::move(split.messages);
+    const int64_t active = split.scan.active;
     std::map<std::string, double> new_aggregates;
     for (const auto& spec : agg_specs) {
       new_aggregates[spec.name] = AggregatorIdentity(spec.kind);
     }
-    {
-      const auto& kinds = out->column(1).ints();
-      const auto& others = out->column(2).ints();
-      const auto& p0 = out->column(4).doubles();
-      for (int64_t r = 0; r < out->num_rows(); ++r) {
-        const auto sr = static_cast<size_t>(r);
-        if (kinds[sr] == kVertexTuple) {
-          ++active;
-        } else if (kinds[sr] == kAggregateTuple) {
-          const auto idx = static_cast<size_t>(others[sr]);
-          if (idx < agg_specs.size()) {
-            const auto& spec = agg_specs[idx];
-            new_aggregates[spec.name] = MergeAggregate(
-                spec.kind, new_aggregates[spec.name], p0[sr]);
-          }
-        }
-      }
-    }
+    MergeAggregateRows(agg_specs, split.scan.aggregate_rows,
+                       &new_aggregates);
 
     // ---- Message combining. -------------------------------------------
-    if (options_.use_combiner &&
-        program_->combiner() != MessageCombiner::kNone &&
-        new_messages.num_rows() > 0) {
-      const AggOp op = CombinerToAggOp(program_->combiner());
-      std::vector<AggSpec> specs;
-      for (int i = 0; i < ma; ++i) {
-        specs.push_back({op, StringFormat("m%d", i), StringFormat("m%d", i)});
-      }
-      std::vector<ProjectionSpec> cproj = {{"src", Lit(int64_t{-1})},
-                                           {"dst", Col("dst")}};
-      for (int i = 0; i < ma; ++i) {
-        cproj.push_back({StringFormat("m%d", i), Col(StringFormat("m%d", i))});
-      }
-      VX_ASSIGN_OR_RETURN(new_messages,
-                          PlanBuilder::Scan(std::move(new_messages))
-                              .Aggregate({"dst"}, std::move(specs))
-                              .Project(std::move(cproj))
-                              .Execute());
-    }
+    VX_ASSIGN_OR_RETURN(new_messages,
+                        CombineMessages(std::move(new_messages)));
 
     // ---- Sorted-message invariant (order-aware joins). ----------------
     // Keep the stored message table sorted by receiver so the next
@@ -571,6 +678,367 @@ Status Coordinator::Run(RunStats* stats) {
   return Status::OK();
 }
 
+Status Coordinator::RunSharded(RunStats* stats, int num_shards,
+                               int base_partitions, int first_superstep) {
+  const int va = program_->value_arity();
+  const int ma = program_->message_arity();
+  const int arity = PayloadArity(*program_);
+  const auto agg_specs = program_->aggregators();
+
+  // Timer starts before the sharding setup: the once-per-run partitioning
+  // below is this path's analogue of the per-superstep partitioning the
+  // unsharded loop pays inside its measured loop, so total_seconds must
+  // include it for the two paths to be comparable.
+  WallTimer total_timer;
+
+  // ---- Shard the graph tables, once per run. --------------------------
+  // Vertex shards by id, edge shards by src, message shards by dst: every
+  // worker-input tuple's batching key is its owning vertex, so each shard's
+  // input hashes into exactly that shard's block of the vertex-batching
+  // partitions. PartitionSet::Build retains sort-order declarations and
+  // (ambient-mode permitting) encodings + zone maps per shard, so the
+  // per-shard join path sees the same physical design the unsharded path
+  // maintains on the whole tables.
+  {
+    VX_ASSIGN_OR_RETURN(auto vertex0, catalog_->GetTable(names_.vertex));
+    VX_ASSIGN_OR_RETURN(auto edge0, catalog_->GetTable(names_.edge));
+    VX_ASSIGN_OR_RETURN(auto message0, catalog_->GetTable(names_.message));
+
+    sharded_ = std::make_unique<ShardedState>();
+    sharded_->spec.num_shards = num_shards;
+    sharded_->spec.base_partitions = base_partitions;
+    VX_ASSIGN_OR_RETURN(int vid_c, vertex0->ColumnIndex("id"));
+    VX_ASSIGN_OR_RETURN(int esrc_c, edge0->ColumnIndex("src"));
+    VX_ASSIGN_OR_RETURN(int mdst_c, message0->ColumnIndex("dst"));
+    VX_ASSIGN_OR_RETURN(sharded_->vertex,
+                        PartitionSet::Build(*vertex0, vid_c, sharded_->spec));
+    VX_ASSIGN_OR_RETURN(sharded_->edge,
+                        PartitionSet::Build(*edge0, esrc_c, sharded_->spec));
+    VX_ASSIGN_OR_RETURN(std::vector<Table> msg_shards,
+                        ShardScatter(*message0, mdst_c, sharded_->spec));
+    for (Table& t : msg_shards) {
+      sharded_->message.push_back(
+          std::make_shared<const Table>(std::move(t)));
+    }
+    if (!options_.use_union_input) {
+      for (int s = 0; s < num_shards; ++s) {
+        VX_ASSIGN_OR_RETURN(auto side,
+                            BuildEdgeJoinSide(sharded_->edge.shard(s)));
+        sharded_->edge_join_side.push_back(std::move(side));
+      }
+    }
+  }
+  const int64_t total_vertices = sharded_->vertex.total_rows();
+
+  for (int superstep = first_superstep;
+       superstep < options_.max_supersteps; ++superstep) {
+    WallTimer step_timer;
+
+    // Stored-procedure loop condition, over the resident shards.
+    int64_t message_rows = 0;
+    for (const auto& m : sharded_->message) message_rows += m->num_rows();
+    if (superstep > 0 && message_rows == 0) {
+      bool all_halted = true;
+      for (int s = 0; s < num_shards && all_halted; ++s) {
+        all_halted = AllHalted(*sharded_->vertex.shard(s));
+      }
+      if (all_halted) break;
+    }
+
+    auto shared = std::make_shared<WorkerSharedState>();
+    shared->program = program_;
+    shared->superstep = superstep;
+    shared->num_vertices = total_vertices;  // global count, not per shard
+    shared->payload_arity = arity;
+    shared->prev_aggregates = &prev_aggregates_;
+    for (const auto& spec : agg_specs) {
+      shared->aggregator_kinds[spec.name] = spec.kind;
+      shared->aggregator_names.push_back(spec.name);
+    }
+
+    // Vertex batching within each shard uses the *global* partition count:
+    // a shard's rows only hash into its own contiguous partition block, so
+    // the per-shard batches, their order, and therefore every per-vertex
+    // tuple stream are exactly those of an unsharded pass.
+    TransformOptions topts;
+    topts.num_workers = options_.num_workers;
+    topts.num_partitions = base_partitions;
+    topts.sort_columns = {0};
+    TransformUdfFactory factory;
+    if (options_.use_union_input) {
+      factory = [shared]() -> std::unique_ptr<TransformUdf> {
+        return std::make_unique<Worker>(shared);
+      };
+    } else {
+      factory = [shared]() -> std::unique_ptr<TransformUdf> {
+        return std::make_unique<JoinWorker>(shared);
+      };
+    }
+
+    // ---- Per-shard dataflow: input → worker → split, shard-parallel. ---
+    struct ShardStep {
+      int64_t input_rows = 0;
+      Table updates;
+      Table messages;
+      WorkerOutputScan scan;
+      JoinPathStats join_stats;
+    };
+    std::vector<ShardStep> step(static_cast<size_t>(num_shards));
+
+    const int ambient_threads = ExecThreads();
+    const EncodingMode enc_mode = AmbientEncodingMode();
+    const bool merge_enabled = MergeJoinEnabled();
+
+    WallTimer phase_timer;
+    VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
+        0, static_cast<size_t>(num_shards), /*grain=*/1,
+        [&](size_t begin, size_t end) -> Status {
+          // Pool threads don't inherit the caller's thread-local knobs;
+          // reinstall them so the per-shard plans behave exactly like the
+          // unsharded loop's, and give each shard its own join-path
+          // collector (the ambient one is thread-local too).
+          ScopedExecThreads scoped_threads(ambient_threads);
+          ScopedEncodingMode scoped_encoding(enc_mode);
+          ScopedMergeJoin scoped_merge(merge_enabled);
+          for (size_t s = begin; s < end; ++s) {
+            ShardStep& st = step[s];
+            ScopedJoinStatsCollector collector(&st.join_stats);
+            const auto& vs = sharded_->vertex.shard(static_cast<int>(s));
+            const auto& es = sharded_->edge.shard(static_cast<int>(s));
+            const auto& ms = sharded_->message[s];
+            Table input;
+            if (options_.use_union_input) {
+              VX_ASSIGN_OR_RETURN(input, BuildUnionInput(vs, es, ms));
+            } else {
+              VX_ASSIGN_OR_RETURN(
+                  input, BuildJoinInputWithEdgeSide(
+                             vs, sharded_->edge_join_side[s], ms));
+            }
+            st.input_rows = input.num_rows();
+            VX_ASSIGN_OR_RETURN(Table out_table,
+                                ApplyTransform(input, 0, factory, topts));
+            const auto out =
+                std::make_shared<const Table>(std::move(out_table));
+            VX_ASSIGN_OR_RETURN(SplitOutputs split,
+                                SplitWorkerOutput(out, va, ma));
+            st.updates = std::move(split.updates);
+            st.messages = std::move(split.messages);
+            st.scan = std::move(split.scan);
+          }
+          return Status::OK();
+        },
+        ambient_threads));
+    const double worker_seconds = phase_timer.ElapsedSeconds();
+    phase_timer.Restart();
+
+    // ---- Merge shard results in shard order. ---------------------------
+    // Shards are contiguous partition blocks, so concatenation in shard
+    // order *is* the unsharded worker-output row order — the aggregate
+    // fold below replays exactly the unsharded merge sequence.
+    int64_t input_rows = 0;
+    int64_t active = 0;
+    int64_t total_updates = 0;
+    std::map<std::string, double> new_aggregates;
+    for (const auto& spec : agg_specs) {
+      new_aggregates[spec.name] = AggregatorIdentity(spec.kind);
+    }
+    for (const ShardStep& st : step) {
+      input_rows += st.input_rows;
+      active += st.scan.active;
+      total_updates += st.updates.num_rows();
+      MergeAggregateRows(agg_specs, st.scan.aggregate_rows, &new_aggregates);
+    }
+
+    // ---- Message exchange (the only cross-shard traffic). --------------
+    // Concatenate the per-shard outputs in shard order (again the global
+    // row order), combine globally — identical combiner input, identical
+    // FP fold — then scatter on receiver back to the shards. The scatter
+    // preserves per-receiver order, and a per-shard stable sort by dst
+    // equals the global sort restricted to the shard, so next superstep's
+    // message streams are bit-identical to the unsharded path's.
+    int64_t cross_shard = 0;
+    Table global_messages(step[0].messages.schema());
+    for (int s = 0; s < num_shards; ++s) {
+      const Table& msgs = step[static_cast<size_t>(s)].messages;
+      if (stats != nullptr) {
+        // Boundary-crossing counter only: one hash per produced message,
+        // skipped entirely when nobody collects stats.
+        VX_ASSIGN_OR_RETURN(int pdst_c, msgs.ColumnIndex("dst"));
+        const auto& dsts = msgs.column(pdst_c).ints();
+        for (int64_t r = 0; r < msgs.num_rows(); ++r) {
+          if (sharded_->spec.ShardOfKey(dsts[static_cast<size_t>(r)]) != s) {
+            ++cross_shard;
+          }
+        }
+      }
+      VX_RETURN_NOT_OK(global_messages.Append(msgs));
+    }
+    VX_ASSIGN_OR_RETURN(global_messages,
+                        CombineMessages(std::move(global_messages)));
+    const int64_t messages_sent = global_messages.num_rows();
+    VX_ASSIGN_OR_RETURN(int dst_c, global_messages.ColumnIndex("dst"));
+    VX_ASSIGN_OR_RETURN(
+        std::vector<Table> routed,
+        ShardScatter(global_messages, dst_c, sharded_->spec));
+    std::vector<int64_t> shard_message_rows(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      Table inbound = std::move(routed[static_cast<size_t>(s)]);
+      // Sorted-message invariant (order-aware joins), per shard; mirrors
+      // the unsharded loop and is likewise not gated on the merge knob.
+      if (!options_.use_union_input) {
+        VX_ASSIGN_OR_RETURN(int dc, inbound.ColumnIndex("dst"));
+        if (inbound.num_rows() > 0 && !OrderedByColumn(inbound, "dst")) {
+          inbound = SortTable(inbound, {{dc, true}});
+        } else if (inbound.sort_order().empty()) {
+          inbound.SetSortOrder({{dc, true}});
+        }
+      }
+      if (enc_mode != EncodingMode::kOff) inbound.EncodeColumns(enc_mode);
+      shard_message_rows[static_cast<size_t>(s)] = inbound.num_rows();
+      sharded_->message[static_cast<size_t>(s)] =
+          std::make_shared<const Table>(std::move(inbound));
+    }
+    const double split_seconds = phase_timer.ElapsedSeconds();
+    phase_timer.Restart();
+
+    // ---- Update vs. replace (§2.3), per shard. -------------------------
+    // One global decision from the global update fraction (matching the
+    // unsharded path), applied shard-locally — worker updates only ever
+    // target vertices of their own shard.
+    bool used_replace = false;
+    if (total_updates > 0) {
+      const double frac =
+          static_cast<double>(total_updates) /
+          static_cast<double>(std::max<int64_t>(1, total_vertices));
+      used_replace = frac >= options_.update_threshold;
+      VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
+          0, static_cast<size_t>(num_shards), /*grain=*/1,
+          [&](size_t begin, size_t end) -> Status {
+            ScopedExecThreads scoped_threads(ambient_threads);
+            ScopedEncodingMode scoped_encoding(enc_mode);
+            ScopedMergeJoin scoped_merge(merge_enabled);
+            for (size_t s = begin; s < end; ++s) {
+              if (step[s].updates.num_rows() == 0) continue;
+              // The replace-path rebuild joins report into the shard's
+              // collector, like the input-build joins above.
+              ScopedJoinStatsCollector collector(&step[s].join_stats);
+              const auto& vs = sharded_->vertex.shard(static_cast<int>(s));
+              Table new_vertex;
+              if (!used_replace) {
+                VX_ASSIGN_OR_RETURN(
+                    new_vertex, UpdateVerticesInPlace(*vs, step[s].updates));
+              } else {
+                VX_ASSIGN_OR_RETURN(
+                    new_vertex, RebuildVertices(*vs, step[s].updates));
+                if (!options_.use_union_input &&
+                    !OrderedByColumn(new_vertex, "id")) {
+                  VX_ASSIGN_OR_RETURN(int id_c,
+                                      new_vertex.ColumnIndex("id"));
+                  new_vertex = SortTable(new_vertex, {{id_c, true}});
+                }
+              }
+              if (enc_mode != EncodingMode::kOff) {
+                new_vertex.EncodeColumns(enc_mode);
+              }
+              sharded_->vertex.ReplaceShard(static_cast<int>(s),
+                                            std::move(new_vertex));
+            }
+            return Status::OK();
+          },
+          ambient_threads));
+    }
+
+    int64_t encoded_bytes = 0;
+    int64_t decoded_bytes = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      AccountTableBytes(*sharded_->vertex.shard(s), &encoded_bytes,
+                        &decoded_bytes);
+      AccountTableBytes(*sharded_->message[static_cast<size_t>(s)],
+                        &encoded_bytes, &decoded_bytes);
+    }
+    prev_aggregates_ = std::move(new_aggregates);
+
+    if (stats != nullptr) {
+      SuperstepStats s;
+      s.superstep = superstep;
+      s.input_rows = input_rows;
+      s.active_vertices = active;
+      s.vertex_updates = total_updates;
+      s.messages_sent = messages_sent;
+      s.seconds = step_timer.ElapsedSeconds();
+      s.used_replace = used_replace;
+      s.worker_seconds = worker_seconds;  // fused input build + compute
+      s.split_seconds = split_seconds;    // split + message exchange
+      s.apply_seconds = phase_timer.ElapsedSeconds();
+      s.encoded_bytes = encoded_bytes;
+      s.decoded_bytes = decoded_bytes;
+      s.shards = num_shards;
+      s.cross_shard_messages = cross_shard;
+      JoinPathStats join_stats;
+      for (const ShardStep& st : step) {
+        s.shard_input_rows.push_back(st.input_rows);
+        join_stats.merge_joins += st.join_stats.merge_joins;
+        join_stats.hash_joins += st.join_stats.hash_joins;
+        join_stats.merge_rows += st.join_stats.merge_rows;
+        join_stats.hash_rows += st.join_stats.hash_rows;
+        join_stats.merge_seconds += st.join_stats.merge_seconds;
+        join_stats.hash_seconds += st.join_stats.hash_seconds;
+      }
+      s.shard_messages = shard_message_rows;
+      s.merge_joins = join_stats.merge_joins;
+      s.hash_joins = join_stats.hash_joins;
+      s.join_rows = join_stats.merge_rows + join_stats.hash_rows;
+      s.join_seconds = join_stats.merge_seconds + join_stats.hash_seconds;
+      stats->supersteps.push_back(s);
+      stats->total_messages += messages_sent;
+    }
+
+    if (options_.checkpoint_every > 0 &&
+        (superstep + 1) % options_.checkpoint_every == 0) {
+      VX_RETURN_NOT_OK(FlushShardsToCatalog());
+      Table marker(Schema({{"next_superstep", DataType::kInt64}}));
+      VX_RETURN_NOT_OK(
+          marker.AppendRow({Value(static_cast<int64_t>(superstep + 1))}));
+      VX_RETURN_NOT_OK(
+          catalog_->ReplaceTable(MarkerName(names_), std::move(marker)));
+      VX_RETURN_NOT_OK(SaveCatalog(*catalog_, options_.checkpoint_dir));
+    }
+
+    if (active == 0 && messages_sent == 0) break;
+  }
+  // Publish the final shard state so catalog readers (ReadVertexValues,
+  // follow-up SQL) see the finished run like an unsharded one.
+  VX_RETURN_NOT_OK(FlushShardsToCatalog());
+  if (stats != nullptr) stats->total_seconds = total_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status Coordinator::FlushShardsToCatalog() const {
+  if (sharded_ == nullptr) return Status::OK();
+  Table vertex(sharded_->vertex.shard(0)->schema());
+  for (int s = 0; s < sharded_->vertex.num_shards(); ++s) {
+    VX_RETURN_NOT_OK(vertex.Append(*sharded_->vertex.shard(s)));
+  }
+  // Hash blocks interleave ids, so the concatenation is not id-ordered;
+  // re-sort (stable, id-keyed — values unchanged) so the stored table
+  // carries the same sorted invariant the unsharded path maintains.
+  VX_ASSIGN_OR_RETURN(int id_c, vertex.ColumnIndex("id"));
+  vertex = SortTable(vertex, {{id_c, true}});
+  Table message(sharded_->message[0]->schema());
+  for (const auto& m : sharded_->message) {
+    VX_RETURN_NOT_OK(message.Append(*m));
+  }
+  VX_ASSIGN_OR_RETURN(int dst_c, message.ColumnIndex("dst"));
+  message = SortTable(message, {{dst_c, true}});
+  const EncodingMode mode = AmbientEncodingMode();
+  if (mode != EncodingMode::kOff) {
+    vertex.EncodeColumns(mode);
+    message.EncodeColumns(mode);
+  }
+  VX_RETURN_NOT_OK(catalog_->ReplaceTable(names_.vertex, std::move(vertex)));
+  return catalog_->ReplaceTable(names_.message, std::move(message));
+}
+
 Status RunVertexProgram(Catalog* catalog, const Graph& graph,
                         VertexProgram* program, VertexicaOptions options,
                         GraphTableNames names, RunStats* stats) {
@@ -600,6 +1068,19 @@ std::string RunStats::ToJson() const {
        << ",\"apply_seconds\":" << s.apply_seconds
        << ",\"encoded_bytes\":" << s.encoded_bytes
        << ",\"decoded_bytes\":" << s.decoded_bytes
+       << ",\"shards\":" << s.shards
+       << ",\"cross_shard_messages\":" << s.cross_shard_messages
+       << ",\"shard_input_rows\":[";
+    for (size_t j = 0; j < s.shard_input_rows.size(); ++j) {
+      if (j > 0) os << ",";
+      os << s.shard_input_rows[j];
+    }
+    os << "],\"shard_messages\":[";
+    for (size_t j = 0; j < s.shard_messages.size(); ++j) {
+      if (j > 0) os << ",";
+      os << s.shard_messages[j];
+    }
+    os << "]"
        << ",\"merge_joins\":" << s.merge_joins
        << ",\"hash_joins\":" << s.hash_joins
        << ",\"join_rows\":" << s.join_rows

@@ -61,6 +61,22 @@ struct SuperstepStats {
   int64_t decoded_bytes = 0;
   /// @}
 
+  /// \name Sharded-dataflow accounting (storage/partition.h)
+  /// Filled when the coordinator runs the persistent-sharding path
+  /// (shards > 1): per-shard worker-input and stored-message row counts
+  /// (indexed by shard id), and how many produced messages had to cross a
+  /// shard boundary in the between-superstep exchange. Unsharded runs
+  /// report shards = 1 with empty vectors. On sharded runs the phase
+  /// breakdown attributes the fused per-shard input build + worker compute
+  /// to `worker_seconds` (input_seconds stays 0) and the message exchange
+  /// to `split_seconds`.
+  /// @{
+  int shards = 1;
+  std::vector<int64_t> shard_input_rows;
+  std::vector<int64_t> shard_messages;
+  int64_t cross_shard_messages = 0;
+  /// @}
+
   /// \name Join-path accounting (exec/merge_join.h)
   /// Joins executed by this superstep's relational plans — the 3-way
   /// input build and the replace-path vertex rebuild — split by physical
@@ -108,9 +124,18 @@ class Coordinator {
  public:
   Coordinator(Catalog* catalog, VertexProgram* program,
               VertexicaOptions options = {}, GraphTableNames names = {});
+  ~Coordinator();
 
   /// \brief Runs supersteps until no messages remain and all vertices have
   /// voted to halt (or max_supersteps is reached).
+  ///
+  /// With an effective shard count > 1 (VertexicaOptions::num_shards, else
+  /// the ambient ExecShards() knob) the run takes the persistent-sharding
+  /// path: vertex and edge tables are partitioned on vertex id once, kept
+  /// resident across supersteps, and each superstep runs the per-shard
+  /// dataflow shard-wise in parallel, exchanging only cross-shard messages
+  /// in between. Results are bit-identical to the unsharded path at any
+  /// shard count.
   Status Run(RunStats* stats = nullptr);
 
   /// \brief Global aggregator values from the final superstep.
@@ -127,6 +152,17 @@ class Coordinator {
                                 const TablePtr& message) const;
   Result<Table> BuildJoinInput(const TablePtr& vertex, const TablePtr& edge,
                                const TablePtr& message) const;
+  /// Projects/numbers/re-encodes the (esrc, edst, eweight, edge_seq) join
+  /// side of an edge table — the per-run cacheable half of BuildJoinInput;
+  /// the sharded path builds one per edge shard.
+  Result<TablePtr> BuildEdgeJoinSide(const TablePtr& edge) const;
+  /// The per-superstep half: vertex ⟕ message ⟕ prebuilt edge side.
+  Result<Table> BuildJoinInputWithEdgeSide(const TablePtr& vertex,
+                                           const TablePtr& edge_side,
+                                           const TablePtr& message) const;
+  /// Applies the program's message combiner (when configured and enabled)
+  /// over a message table; otherwise returns it unchanged.
+  Result<Table> CombineMessages(Table messages) const;
   /// In-place path of §2.3 "Update Vs Replace": copies the vertex columns
   /// and scatters the updates.
   Result<Table> UpdateVerticesInPlace(const Table& vertex,
@@ -143,6 +179,15 @@ class Coordinator {
   Status RestoreSortedInvariant(const std::string& table_name,
                                 const std::vector<std::string>& keys) const;
 
+  /// The persistent-sharding superstep loop (see Run). `num_shards` > 1,
+  /// already clamped to the vertex-batching partition count.
+  Status RunSharded(RunStats* stats, int num_shards, int base_partitions,
+                    int first_superstep);
+
+  /// Writes the resident shards back to the catalog (vertex re-sorted by
+  /// id, messages re-sorted by receiver) — run end and checkpoints.
+  Status FlushShardsToCatalog() const;
+
   Catalog* catalog_;
   VertexProgram* program_;
   VertexicaOptions options_;
@@ -157,6 +202,12 @@ class Coordinator {
   /// every superstep and are not cacheable.
   mutable TablePtr cached_edge_source_;
   mutable TablePtr cached_edge_join_side_;
+
+  /// Resident shard state of the persistent-sharding path (vertex/edge
+  /// PartitionSets, per-shard message tables and cached edge join sides);
+  /// null on unsharded runs. Defined in coordinator.cc.
+  struct ShardedState;
+  std::unique_ptr<ShardedState> sharded_;
 };
 
 /// \brief Convenience entry point: loads `graph` into `catalog` (vertex,

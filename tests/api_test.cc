@@ -261,6 +261,45 @@ TEST(ApiParityTest, EncodingKnobIsBitIdenticalAcrossModes) {
   }
 }
 
+TEST(ApiParityTest, ShardsKnobIsBitIdenticalAcrossCounts) {
+  // The `shards` request field reshapes only the Vertexica superstep
+  // dataflow (resident vertex-id shards, cross-shard message exchange —
+  // see docs/API.md); backends without a superstep loop ignore it. Results
+  // must be bit-identical at any shard count on every backend.
+  const Graph g = ParityGraph();
+  Engine engine;
+  ASSERT_TRUE(engine.LoadGraph(g).ok());
+  for (const std::string& backend : engine.backends()) {
+    for (const char* algorithm : {"pagerank", "sssp"}) {
+      RunRequest request;
+      request.algorithm = algorithm;
+      request.backend = backend;
+      request.iterations = 10;
+      request.source = 0;
+
+      request.shards = 0;  // ambient default: unsharded
+      auto unsharded = engine.Run(request);
+      ASSERT_TRUE(unsharded.ok()) << backend << "/" << algorithm << ": "
+                                  << unsharded.status().ToString();
+      for (const int shards : {2, 8}) {
+        request.shards = shards;
+        auto sharded = engine.Run(request);
+        ASSERT_TRUE(sharded.ok()) << backend << "/" << algorithm << ": "
+                                  << sharded.status().ToString();
+        ASSERT_EQ(sharded->values.size(), unsharded->values.size())
+            << backend << "/" << algorithm;
+        for (size_t v = 0; v < unsharded->values.size(); ++v) {
+          EXPECT_EQ(sharded->values[v], unsharded->values[v])
+              << backend << "/" << algorithm << ": vertex " << v
+              << " diverges between shards=1 and shards=" << shards;
+        }
+        EXPECT_EQ(sharded->aggregates, unsharded->aggregates)
+            << backend << "/" << algorithm;
+      }
+    }
+  }
+}
+
 TEST(ApiParityTest, ThreadsKnobAgreesWithReference) {
   // threads=4 runs still match the single-threaded reference answers.
   const Graph g = ParityGraph();

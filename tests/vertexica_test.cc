@@ -10,6 +10,7 @@
 #include "algorithms/sssp.h"
 #include "exec/merge_join.h"
 #include "graphgen/generators.h"
+#include "storage/partition.h"
 #include "vertexica/coordinator.h"
 #include "vertexica/graph_tables.h"
 #include "vertexica/worker.h"
@@ -378,6 +379,7 @@ TEST(WorkerTest, RunnerReactivatesOnMessage) {
 
 TEST(OptimizationTest, JoinInputRunsMergeJoinsOnly) {
   ScopedMergeJoin on(true);  // pin against a VERTEXICA_MERGE_JOIN=off env
+  ScopedExecShards unsharded(1);  // exact per-step counters assume 1 shard
   Graph g = GenerateRmat(128, 800, 11);
   VertexicaOptions opts;
   opts.use_union_input = false;
@@ -434,6 +436,7 @@ TEST(OptimizationTest, MergeJoinSurvivesReplacePath) {
   // coordinator re-sorts the rebuilt vertex table, so merge joins keep
   // running and results still match the in-place path.
   ScopedMergeJoin on(true);  // pin against a VERTEXICA_MERGE_JOIN=off env
+  ScopedExecShards unsharded(1);  // exact per-step counters assume 1 shard
   Graph g = GenerateRmat(64, 400, 13);
   VertexicaOptions replace_opts;
   replace_opts.use_union_input = false;
@@ -475,6 +478,149 @@ TEST(OptimizationTest, MergeJoinSameResultForSssp) {
   ASSERT_TRUE(d2.ok());
   for (size_t v = 0; v < d1->size(); ++v) {
     EXPECT_EQ((*d1)[v], (*d2)[v]) << "vertex " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent vertex-id sharding (storage/partition.h): with num_shards > 1
+// the coordinator partitions the graph tables once per run, keeps shards
+// resident, and only exchanges cross-shard messages between supersteps.
+// Shards are contiguous blocks of the vertex-batching partitions, so
+// results are bit-identical at any shard count — on both input paths, at
+// any thread count.
+// ---------------------------------------------------------------------------
+
+TEST(ShardingTest, ShardedPageRankBitIdenticalAtAnyShardCount) {
+  Graph g = GenerateRmat(200, 1500, 21);
+  for (const bool union_input : {true, false}) {
+    VertexicaOptions base;
+    base.use_union_input = union_input;
+    Catalog cat0;
+    auto unsharded = RunPageRank(&cat0, g, 6, 0.85, base);
+    ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+    for (const int shards : {1, 2, 8}) {
+      VertexicaOptions opts = base;
+      opts.num_shards = shards;
+      Catalog cat;
+      RunStats stats;
+      auto sharded = RunPageRank(&cat, g, 6, 0.85, opts, &stats);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      ASSERT_EQ(sharded->size(), unsharded->size());
+      for (size_t v = 0; v < unsharded->size(); ++v) {
+        EXPECT_EQ((*sharded)[v], (*unsharded)[v])
+            << (union_input ? "union" : "join") << " input, shards="
+            << shards << ", vertex " << v;
+      }
+      for (const SuperstepStats& s : stats.supersteps) {
+        EXPECT_EQ(s.shards, shards);
+      }
+    }
+  }
+}
+
+TEST(ShardingTest, ShardedSsspBitIdenticalAcrossThreadCounts) {
+  Graph g = GenerateRmat(150, 900, 22);
+  AssignRandomWeights(&g, 1.0, 5.0, 23);
+  Catalog cat0;
+  auto unsharded = RunShortestPaths(&cat0, g, 0, {});
+  ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+  for (const int threads : {1, 4}) {
+    ScopedExecThreads scoped(threads);
+    VertexicaOptions opts;
+    opts.num_shards = 4;
+    Catalog cat;
+    auto sharded = RunShortestPaths(&cat, g, 0, opts);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ASSERT_EQ(sharded->size(), unsharded->size());
+    for (size_t v = 0; v < unsharded->size(); ++v) {
+      EXPECT_EQ((*sharded)[v], (*unsharded)[v])
+          << "threads=" << threads << ", vertex " << v;
+    }
+  }
+}
+
+TEST(ShardingTest, PerShardCountersReported) {
+  Graph g = GenerateRmat(200, 1200, 24);
+  VertexicaOptions opts;
+  opts.num_shards = 4;
+  Catalog cat;
+  RunStats stats;
+  auto r = RunPageRank(&cat, g, 5, 0.85, opts, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GT(stats.supersteps.size(), 1u);
+  bool any_cross_shard = false;
+  for (const SuperstepStats& s : stats.supersteps) {
+    EXPECT_EQ(s.shards, 4);
+    ASSERT_EQ(s.shard_input_rows.size(), 4u);
+    ASSERT_EQ(s.shard_messages.size(), 4u);
+    int64_t input_sum = 0;
+    for (int64_t rows : s.shard_input_rows) input_sum += rows;
+    EXPECT_EQ(input_sum, s.input_rows);
+    int64_t message_sum = 0;
+    for (int64_t rows : s.shard_messages) message_sum += rows;
+    EXPECT_EQ(message_sum, s.messages_sent);
+    if (s.cross_shard_messages > 0) any_cross_shard = true;
+  }
+  // An RMAT graph connects vertices across hash blocks, so some messages
+  // must cross shards.
+  EXPECT_TRUE(any_cross_shard);
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"shards\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"shard_input_rows\":["), std::string::npos);
+  EXPECT_NE(json.find("\"cross_shard_messages\":"), std::string::npos);
+}
+
+TEST(ShardingTest, AmbientShardsKnobResolvesLikeThreads) {
+  Graph g = Diamond();
+  {
+    ScopedExecShards scoped(2);
+    Catalog cat;
+    RunStats stats;
+    ASSERT_TRUE(RunPageRank(&cat, g, 3, 0.85, {}, &stats).ok());
+    ASSERT_FALSE(stats.supersteps.empty());
+    EXPECT_EQ(stats.supersteps[0].shards, 2);
+  }
+  {
+    // An explicit option wins over the ambient knob, like num_workers
+    // vs. the threads knob.
+    ScopedExecShards scoped(2);
+    VertexicaOptions opts;
+    opts.num_shards = 3;
+    Catalog cat;
+    RunStats stats;
+    ASSERT_TRUE(RunPageRank(&cat, g, 3, 0.85, opts, &stats).ok());
+    ASSERT_FALSE(stats.supersteps.empty());
+    EXPECT_EQ(stats.supersteps[0].shards, 3);
+  }
+  {
+    // Unsharded runs report shards = 1 with empty per-shard vectors.
+    ScopedExecShards unsharded(1);  // pin against a VERTEXICA_SHARDS env
+    Catalog cat;
+    RunStats stats;
+    ASSERT_TRUE(RunPageRank(&cat, g, 3, 0.85, {}, &stats).ok());
+    ASSERT_FALSE(stats.supersteps.empty());
+    EXPECT_EQ(stats.supersteps[0].shards, 1);
+    EXPECT_TRUE(stats.supersteps[0].shard_input_rows.empty());
+  }
+}
+
+TEST(ShardingTest, ShardedMergeJoinStillMergesOnly) {
+  ScopedMergeJoin on(true);  // pin against a VERTEXICA_MERGE_JOIN=off env
+  Graph g = GenerateRmat(128, 800, 25);
+  VertexicaOptions opts;
+  opts.use_union_input = false;
+  opts.update_threshold = 2.0;  // in-place: no rebuild-path joins
+  opts.num_shards = 4;
+  Catalog cat;
+  RunStats stats;
+  auto r = RunPageRank(&cat, g, 5, 0.85, opts, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const SuperstepStats& s : stats.supersteps) {
+    // Two input-build joins per shard, all merged: the per-shard tables
+    // keep the sorted invariants (vertex by id, message by dst, edges by
+    // (src, dst)) the planner needs.
+    EXPECT_EQ(s.merge_joins, 2 * 4) << "superstep " << s.superstep;
+    EXPECT_EQ(s.hash_joins, 0) << "superstep " << s.superstep;
   }
 }
 
