@@ -49,6 +49,19 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
     ctest -R 'vertexica_test|api_test|storage_test' --output-on-failure \
     -j "$(nproc)")
 
+# The serving subsystem by name (docs/SERVER.md): concurrent clients with
+# differing per-request knobs on one EngineServer must stay bit-identical
+# to serial runs, sessions must stay pinned across graph updates, and the
+# admission controller must never oversubscribe. Run once at default
+# parallelism and once with a multi-thread pool so the admission budget is
+# exercised above 1 even on single-core runners. Then the vertexica_server
+# binary end-to-end: a real mixed workload from 4 client threads must
+# complete with zero failures.
+(cd "$BUILD_DIR" && ctest -R server_ --output-on-failure)
+(cd "$BUILD_DIR" && VERTEXICA_THREADS=4 ctest -R server_ --output-on-failure)
+"$BUILD_DIR"/vertexica_server --vertices=500 --edges=2500 --clients=4 \
+    --requests=2 > /dev/null
+
 # Perf trajectory: surface bench JSONs at the repo root so they get
 # committed / uploaded as artifacts. Bench binaries write BENCH_*.json
 # into their cwd (the build dir), which is gitignored — without this copy

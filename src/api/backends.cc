@@ -10,6 +10,7 @@
 #include "algorithms/pagerank.h"
 #include "algorithms/sssp.h"
 #include "algorithms/triangle_program.h"
+#include "api/exec_context.h"
 #include "common/timer.h"
 #include "exec/parallel.h"
 #include "giraph/bsp_engine.h"
@@ -34,22 +35,14 @@ Result<RunResult> RegistryBackend::Run(const RunRequest& request) {
   VX_ASSIGN_OR_RETURN(
       AlgorithmRegistry::Factory factory,
       AlgorithmRegistry::Global()->Find(request.algorithm, id_));
-  // The one `threads` knob: installed as the ambient executor parallelism
-  // around the dispatch, so every layer that resolves a thread count of 0
-  // (exec kernels, worker UDFs, BSP compute threads) inherits it.
-  ScopedExecThreads scoped_threads(request.threads);
-  // Same pattern for the shard count: the Vertexica coordinator resolves
-  // its shard count through ExecShards(), so `shards` reaches the superstep
-  // dataflow without a backend-specific plumbing path (backends without a
-  // superstep loop simply never consult it).
-  ScopedExecShards scoped_shards(request.shards);
-  // Same pattern for the storage-encoding policy: the graph-table loader
-  // and the superstep coordinator consult the ambient mode, so every
-  // backend inherits the request's `encoding` setting.
-  std::optional<ScopedEncodingMode> scoped_encoding;
-  if (!request.encoding.empty()) {
-    scoped_encoding.emplace(ParseEncodingMode(request.encoding));
-  }
+  // Resolve the request's knob overrides (threads, shards, encoding,
+  // merge-join) against the ambient defaults into one explicit context,
+  // then install it around the dispatch so every layer that resolves a
+  // knob (exec kernels, the graph-table loader, the superstep coordinator,
+  // BSP compute threads) inherits this request's configuration. Backends
+  // that never consult a knob simply ignore it.
+  const ExecContext ctx = ExecContext::FromRequest(request);
+  ExecContext::Scope scoped_knobs(ctx.knobs);
   VX_ASSIGN_OR_RETURN(RunResult result, factory(this, request));
   result.backend = id_;
   result.algorithm = request.algorithm;
@@ -57,9 +50,12 @@ Result<RunResult> RegistryBackend::Run(const RunRequest& request) {
 }
 
 Status VertexicaBackend::Prepare(std::shared_ptr<const Graph> graph) {
-  // The physical tables are (re)materialized per run because initial vertex
-  // values depend on the program; Prepare pins the logical graph.
+  // The vertex/message tables are (re)materialized per run because initial
+  // vertex values depend on the program; the edge table is program-
+  // independent, so it is built (sorted, encoded, zone-mapped) exactly once
+  // here and shared immutably by every run's private catalog.
   VX_RETURN_NOT_OK(SetGraph(std::move(graph)));
+  VX_RETURN_NOT_OK(LoadEdgeTable(&base_catalog_, *graph_));
   return Status::OK();
 }
 
@@ -80,6 +76,13 @@ Status GraphDbBackend::Prepare(std::shared_ptr<const Graph> graph) {
   db_ = std::make_unique<graphdb::GraphDb>();
   VX_RETURN_NOT_OK(db_->LoadGraph(*graph_));
   return Status::OK();
+}
+
+Result<RunResult> GraphDbBackend::Run(const RunRequest& request) {
+  // One run at a time: even "read-only" gdb algorithms bump record access
+  // counters and commit results as node properties (see backends.h).
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  return RegistryBackend::Run(request);
 }
 
 namespace {
@@ -125,12 +128,26 @@ Result<RunResult> RunOnCoordinator(VertexicaBackend* backend,
                                    const RunRequest& request,
                                    bool extract_values = true) {
   RunResult result;
-  VX_RETURN_NOT_OK(LoadGraphTables(backend->catalog(), graph, *program));
-  Coordinator coordinator(backend->catalog(), program, request.vertexica);
+  // Each run gets a private catalog — the coordinator replaces the vertex
+  // and message tables every superstep, which must stay run-local so
+  // concurrent runs on one backend don't see each other's supersteps.
+  // Runs on the prepared base graph seed it copy-on-write from the
+  // backend's snapshot and reuse the shared immutable edge table;
+  // algorithms that run on a transformed temporary graph (cc's
+  // WithReverseEdges, triangle's CanonicallyOriented) load a full private
+  // table set instead.
+  const bool on_base_graph = (&graph == &backend->graph());
+  Catalog catalog(on_base_graph ? backend->base_snapshot()
+                                : CatalogSnapshot());
+  if (on_base_graph) {
+    VX_RETURN_NOT_OK(LoadProgramTables(&catalog, graph, *program));
+  } else {
+    VX_RETURN_NOT_OK(LoadGraphTables(&catalog, graph, *program));
+  }
+  Coordinator coordinator(&catalog, program, request.vertexica);
   VX_RETURN_NOT_OK(coordinator.Run(&result.stats));
   if (extract_values) {
-    VX_ASSIGN_OR_RETURN(result.values,
-                        ReadVertexValues(*backend->catalog(), {}));
+    VX_ASSIGN_OR_RETURN(result.values, ReadVertexValues(catalog, {}));
   }
   result.aggregates = coordinator.aggregates();
   return result;

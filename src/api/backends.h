@@ -19,6 +19,7 @@
 #define VERTEXICA_API_BACKENDS_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "api/algorithm_registry.h"
@@ -59,17 +60,25 @@ class RegistryBackend : public GraphBackend {
 };
 
 /// \brief The paper's system: vertex programs on the relational engine.
+///
+/// Concurrency model: Prepare materializes the program-independent edge
+/// table (sorted, encoded, zone-mapped) into a base catalog and publishes
+/// an immutable snapshot of it. Every run then builds a *private* catalog
+/// seeded copy-on-write from that snapshot — the coordinator's per-
+/// superstep ReplaceTable churn stays run-local while all concurrent runs
+/// share the one edge table. This is what lets an EngineServer (see
+/// src/server/) execute many vertexica requests on one backend at once.
 class VertexicaBackend : public RegistryBackend {
  public:
   VertexicaBackend() : RegistryBackend(kVertexicaBackendId) {}
   Status Prepare(std::shared_ptr<const Graph> graph) override;
 
-  /// \brief The catalog holding the vertex/edge/message tables; algorithm
-  /// runs load (replace) their tables into it.
-  Catalog* catalog() { return &catalog_; }
+  /// \brief Immutable view of the prepared base tables (currently just the
+  /// edge table). Cheap: shares table handles, copies no data.
+  CatalogSnapshot base_snapshot() const { return base_catalog_.Snapshot(); }
 
  private:
-  Catalog catalog_;
+  Catalog base_catalog_;
 };
 
 /// \brief Hand-written SQL graph algorithms over materialized tables.
@@ -94,14 +103,22 @@ class GiraphBackend : public RegistryBackend {
 };
 
 /// \brief The transactional record-store graph database comparator.
+///
+/// GraphDb runs are serialized: the record store mutates shared state even
+/// on reads (access counters, and GdbPageRank commits ranks back as node
+/// properties), so concurrent runs would race. The run mutex keeps the
+/// backend safe under a concurrent server at the cost of no intra-backend
+/// parallelism — faithful to the paper's single-writer graph database.
 class GraphDbBackend : public RegistryBackend {
  public:
   GraphDbBackend() : RegistryBackend(kGraphDbBackendId) {}
   Status Prepare(std::shared_ptr<const Graph> graph) override;
+  Result<RunResult> Run(const RunRequest& request) override;
 
   graphdb::GraphDb* db() { return db_.get(); }
 
  private:
+  std::mutex run_mutex_;
   std::unique_ptr<graphdb::GraphDb> db_;
 };
 

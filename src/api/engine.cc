@@ -23,25 +23,30 @@ Status Engine::LoadGraph(std::shared_ptr<const Graph> graph) {
   if (graph->num_vertices < 0) {
     return Status::InvalidArgument("negative vertex count");
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   graph_ = std::move(graph);
   ++graph_generation_;  // invalidates every backend's prepared state
   return Status::OK();
 }
 
 Status Engine::PrepareBackend(const std::string& id) {
-  if (!has_graph()) {
-    return Status::InvalidArgument(
-        "no graph loaded — call Engine::LoadGraph first");
-  }
   GraphBackend* target = backend(id);
   if (target == nullptr) {
     return Status::NotFound("unknown backend '" + id + "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument(
+        "no graph loaded — call Engine::LoadGraph first");
   }
   auto gen_it = prepared_generation_.find(id);
   if (gen_it != prepared_generation_.end() &&
       gen_it->second == graph_generation_) {
     return Status::OK();
   }
+  // Prepare runs under the lock: when several first-touch requests arrive
+  // at once, exactly one pays the backend's load cost and the others wait
+  // for (and then reuse) the prepared state.
   VX_RETURN_NOT_OK(target->Prepare(graph_));
   prepared_generation_[id] = graph_generation_;
   return Status::OK();

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,8 +67,17 @@ class Engine {
   Status PrepareBackend(const std::string& id);
 
   /// \brief True once LoadGraph has been called.
-  bool has_graph() const { return graph_ != nullptr; }
-  const Graph& graph() const { return *graph_; }
+  bool has_graph() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return graph_ != nullptr;
+  }
+
+  /// \brief The currently loaded graph. Requires has_graph(); the reference
+  /// is only stable while no concurrent LoadGraph replaces the graph.
+  const Graph& graph() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return *graph_;
+  }
 
   /// \brief Runs one algorithm on one backend (empty backend id selects
   /// `default_backend()`), preparing the backend first if needed.
@@ -100,6 +110,13 @@ class Engine {
   Status set_default_backend(const std::string& id);
 
  private:
+  /// Guards graph_/graph_generation_/prepared_generation_ so concurrent
+  /// Run calls (the EngineServer serving path) race neither on lazy
+  /// preparation nor on a LoadGraph installing a new graph. Held across
+  /// Prepare itself: two first-touch requests must not both prepare one
+  /// backend. Backend registration is setup-time and stays unguarded.
+  mutable std::mutex mutex_;
+
   std::shared_ptr<const Graph> graph_;
   uint64_t graph_generation_ = 0;
 

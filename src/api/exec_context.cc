@@ -1,0 +1,22 @@
+#include "api/exec_context.h"
+
+namespace vertexica {
+
+ExecContext ExecContext::FromRequest(const RunRequest& request) {
+  ExecContext ctx;
+  ctx.knobs = ExecKnobs::Capture();
+  if (request.threads > 0) ctx.knobs.threads = request.threads;
+  if (request.shards > 0) ctx.knobs.shards = request.shards;
+  if (!request.encoding.empty()) {
+    ctx.knobs.encoding = ParseEncodingMode(request.encoding);
+  }
+  if (!request.merge_join.empty()) {
+    // Same off-vocabulary as the VERTEXICA_MERGE_JOIN env knob.
+    ctx.knobs.merge_join =
+        request.merge_join != "0" && request.merge_join != "off" &&
+        request.merge_join != "OFF" && request.merge_join != "false";
+  }
+  return ctx;
+}
+
+}  // namespace vertexica

@@ -100,6 +100,14 @@ struct RunRequest {
   /// changes.
   std::string encoding;
 
+  /// Join-operator policy for the relational executor (see docs/EXECUTOR.md):
+  /// "" keeps the ambient setting (VERTEXICA_MERGE_JOIN env var, else on);
+  /// "off" pins hash joins; "on" allows order-aware merge joins where the
+  /// inputs are sorted. Installed as a scoped override around the backend
+  /// dispatch, like `threads`. Value-neutral: the physical join operator
+  /// never changes results.
+  std::string merge_join;
+
   /// \name Backend passthroughs
   /// Tuning knobs forwarded verbatim to the backend that understands them;
   /// the others ignore them.

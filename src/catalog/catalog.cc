@@ -2,18 +2,48 @@
 
 namespace vertexica {
 
+Result<std::shared_ptr<const Table>> CatalogSnapshot::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("Table '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+bool CatalogSnapshot::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> CatalogSnapshot::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+Catalog::Catalog(const CatalogSnapshot& snapshot)
+    : version_(snapshot.version_), tables_(snapshot.tables_) {}
+
 Status Catalog::CreateTable(const std::string& name, Table table) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("Table '" + name + "' already exists");
   }
   tables_[name] = std::make_shared<const Table>(std::move(table));
+  ++version_;
   return Status::OK();
 }
 
 Status Catalog::ReplaceTable(const std::string& name, Table table) {
+  return ReplaceTable(name, std::make_shared<const Table>(std::move(table)));
+}
+
+Status Catalog::ReplaceTable(const std::string& name,
+                             std::shared_ptr<const Table> table) {
   std::lock_guard<std::mutex> lock(mutex_);
-  tables_[name] = std::make_shared<const Table>(std::move(table));
+  tables_[name] = std::move(table);
+  ++version_;
   return Status::OK();
 }
 
@@ -22,7 +52,21 @@ Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(name) == 0) {
     return Status::NotFound("Table '" + name + "' does not exist");
   }
+  ++version_;
   return Status::OK();
+}
+
+CatalogSnapshot Catalog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CatalogSnapshot snapshot;
+  snapshot.version_ = version_;
+  snapshot.tables_ = tables_;
+  return snapshot;
+}
+
+uint64_t Catalog::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
 }
 
 Result<std::shared_ptr<const Table>> Catalog::GetTable(

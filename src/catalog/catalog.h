@@ -5,10 +5,19 @@
 /// the vertex/message tables each superstep (§2.3 "Update Vs Replace");
 /// `ReplaceTable` is the swap primitive it uses. The catalog is thread-safe
 /// so parallel workers can read tables while the coordinator owns writes.
+///
+/// Tables are stored as `shared_ptr<const Table>`, which makes the whole
+/// catalog copy-on-write for free: `Snapshot()` copies only the name→table
+/// map (never table data) into an immutable CatalogSnapshot, and a new
+/// Catalog can be seeded from a snapshot the same way. The serving layer
+/// (src/server/) builds its isolation on this — each concurrent run gets a
+/// private Catalog seeded from the shared base snapshot, so a load that
+/// installs new tables never changes what an in-flight run reads.
 
 #ifndef VERTEXICA_CATALOG_CATALOG_H_
 #define VERTEXICA_CATALOG_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -20,10 +29,40 @@
 
 namespace vertexica {
 
+/// \brief An immutable point-in-time view of a Catalog.
+///
+/// Holds shared handles to the table versions that were current when the
+/// snapshot was taken; later mutations of the source catalog swap in new
+/// `shared_ptr`s and are invisible here. Cheap to copy (shares the map's
+/// table handles, never table data... the map itself is copied, which is
+/// tiny next to the tables).
+class CatalogSnapshot {
+ public:
+  CatalogSnapshot() = default;
+
+  /// \brief Version of the source catalog when the snapshot was taken
+  /// (0 for a default-constructed empty snapshot).
+  uint64_t version() const { return version_; }
+
+  Result<std::shared_ptr<const Table>> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+ private:
+  friend class Catalog;
+
+  uint64_t version_ = 0;
+  std::map<std::string, std::shared_ptr<const Table>> tables_;
+};
+
 /// \brief A collection of named tables.
 class Catalog {
  public:
   Catalog() = default;
+
+  /// \brief Seeds the catalog from a snapshot (copy-on-write: shares table
+  /// handles, copies no table data). Starts at the snapshot's version.
+  explicit Catalog(const CatalogSnapshot& snapshot);
 
   /// \brief Registers a new table; fails if the name exists.
   Status CreateTable(const std::string& name, Table table);
@@ -31,6 +70,11 @@ class Catalog {
   /// \brief Swaps in a new version of `name` (creates it if absent).
   /// This models Vertica's cheap "replace table" used by §2.3.
   Status ReplaceTable(const std::string& name, Table table);
+
+  /// \brief Zero-copy variant: installs an already-shared immutable table
+  /// (e.g. one lifted out of a snapshot or shared across catalogs).
+  Status ReplaceTable(const std::string& name,
+                      std::shared_ptr<const Table> table);
 
   /// \brief Removes a table; fails if absent.
   Status DropTable(const std::string& name);
@@ -45,8 +89,17 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// \brief Immutable view of every table's current version.
+  CatalogSnapshot Snapshot() const;
+
+  /// \brief Mutation counter: bumped by every successful Create/Replace/
+  /// Drop. Lets callers detect "has anything changed since snapshot v?"
+  /// without comparing table contents.
+  uint64_t version() const;
+
  private:
   mutable std::mutex mutex_;
+  uint64_t version_ = 0;
   std::map<std::string, std::shared_ptr<const Table>> tables_;
 };
 

@@ -7,15 +7,18 @@
 #include <memory>
 #include <string>
 
+#include "common/env_knob.h"
 #include "common/logging.h"
 
 namespace vertexica {
 
 std::size_t EnvThreadCount() {
-  const char* env = std::getenv("VERTEXICA_THREADS");
-  if (env == nullptr || env[0] == '\0') return 0;
-  const long v = std::strtol(env, nullptr, 10);
-  return v > 0 ? static_cast<std::size_t>(v) : 0;
+  // Range-validated (and garbage-rejected, with one warning) in the shared
+  // env-knob parser: a fat-fingered VERTEXICA_THREADS must not ask the OS
+  // for thousands of threads at startup, and ExecThreads() must resolve
+  // the same clamped value the pool sizing uses.
+  return static_cast<std::size_t>(
+      EnvIntKnob("VERTEXICA_THREADS", 1, 256, 0));
 }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -172,10 +175,10 @@ Status ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
 }
 
 ThreadPool* ThreadPool::Default() {
-  // The env override is clamped: a fat-fingered VERTEXICA_THREADS must not
-  // ask the OS for thousands of threads at startup.
+  // EnvThreadCount() is already range-clamped by the shared env-knob
+  // parser (common/env_knob.h).
   static ThreadPool pool(std::max(
-      std::min<std::size_t>(EnvThreadCount(), 256),
+      EnvThreadCount(),
       std::max<std::size_t>(1, std::thread::hardware_concurrency())));
   return &pool;
 }

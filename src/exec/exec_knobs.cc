@@ -1,0 +1,14 @@
+#include "exec/exec_knobs.h"
+
+namespace vertexica {
+
+ExecKnobs ExecKnobs::Capture() {
+  ExecKnobs knobs;
+  knobs.threads = ExecThreads();
+  knobs.shards = ExecShards();
+  knobs.encoding = AmbientEncodingMode();
+  knobs.merge_join = MergeJoinEnabled();
+  return knobs;
+}
+
+}  // namespace vertexica

@@ -1,0 +1,63 @@
+/// \file exec_knobs.h
+/// \brief Capture/install of the four ambient execution knobs as one value.
+///
+/// The executor's tuning state (thread count, shard count, encoding mode,
+/// merge-join toggle) lives in per-knob thread-locals so it can be scoped
+/// per request. That design has one sharp edge: a task handed to a
+/// ThreadPool worker runs on a thread whose locals are all unset, so every
+/// fan-out site has to re-install each knob by hand — PR 5's coordinator
+/// did this in two places, and the serving layer would have added more.
+/// ExecKnobs packages the capture (on the submitting thread) and the
+/// install (inside the pool task) so a knob added later has exactly one
+/// place to be threaded through.
+
+#ifndef VERTEXICA_EXEC_EXEC_KNOBS_H_
+#define VERTEXICA_EXEC_EXEC_KNOBS_H_
+
+#include "exec/merge_join.h"
+#include "exec/parallel.h"
+#include "storage/encoding.h"
+#include "storage/partition.h"
+
+namespace vertexica {
+
+/// \brief A value snapshot of the four ambient execution knobs.
+///
+/// Plain copyable data: capture once on the coordinating thread, then copy
+/// into each pool task and install there. Also the payload of the serving
+/// layer's ExecContext (api/exec_context.h), which resolves a RunRequest's
+/// explicit overrides against ambient defaults into one of these.
+struct ExecKnobs {
+  int threads = 1;
+  int shards = 1;
+  EncodingMode encoding = EncodingMode::kAuto;
+  bool merge_join = true;
+
+  /// Resolves the calling thread's ambient knobs (thread-local override →
+  /// process default → environment → fallback, per knob).
+  static ExecKnobs Capture();
+};
+
+/// \brief RAII installer: pins all four knobs on the current thread for the
+/// lifetime of the scope. Use inside pool tasks with a captured ExecKnobs.
+class ScopedExecKnobs {
+ public:
+  explicit ScopedExecKnobs(const ExecKnobs& knobs)
+      : threads_(knobs.threads),
+        shards_(knobs.shards),
+        encoding_(knobs.encoding),
+        merge_join_(knobs.merge_join) {}
+
+  ScopedExecKnobs(const ScopedExecKnobs&) = delete;
+  ScopedExecKnobs& operator=(const ScopedExecKnobs&) = delete;
+
+ private:
+  ScopedExecThreads threads_;
+  ScopedExecShards shards_;
+  ScopedEncodingMode encoding_;
+  ScopedMergeJoin merge_join_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_EXEC_EXEC_KNOBS_H_

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env_knob.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
 #include "exec/scan.h"
@@ -19,10 +20,12 @@ std::atomic<int> g_default_merge_join{-1};  // -1 = automatic (env, else on)
 thread_local int tl_merge_override = -1;    // -1 unset, 0 off, 1 on
 
 bool EnvMergeJoinEnabled() {
-  const char* env = std::getenv("VERTEXICA_MERGE_JOIN");
-  if (env == nullptr || env[0] == '\0') return true;
-  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
-         std::strcmp(env, "OFF") != 0 && std::strcmp(env, "false") != 0;
+  // Validated through the shared env-knob helper: a typo like
+  // VERTEXICA_MERGE_JOIN=offf warns once and keeps the default (on).
+  const std::string token = EnvTokenKnob(
+      "VERTEXICA_MERGE_JOIN",
+      {"0", "off", "false", "no", "1", "on", "true", "yes"}, "on");
+  return token != "0" && token != "off" && token != "false" && token != "no";
 }
 
 thread_local JoinPathStats* tl_join_stats = nullptr;

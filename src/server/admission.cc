@@ -1,0 +1,104 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/threadpool.h"
+#include "common/timer.h"
+
+namespace vertexica {
+
+AdmissionController::AdmissionController(int budget_threads)
+    : budget_(budget_threads > 0
+                  ? budget_threads
+                  : static_cast<int>(std::max<std::size_t>(
+                        1, ThreadPool::Default()->num_threads()))) {}
+
+AdmissionController::Ticket::Ticket(Ticket&& other) noexcept
+    : controller_(other.controller_),
+      granted_(other.granted_),
+      clamped_(other.clamped_),
+      queue_seconds_(other.queue_seconds_) {
+  other.controller_ = nullptr;
+  other.granted_ = 0;
+}
+
+AdmissionController::Ticket& AdmissionController::Ticket::operator=(
+    Ticket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    granted_ = other.granted_;
+    clamped_ = other.clamped_;
+    queue_seconds_ = other.queue_seconds_;
+    other.controller_ = nullptr;
+    other.granted_ = 0;
+  }
+  return *this;
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr && granted_ > 0) {
+    controller_->ReleaseThreads(granted_);
+  }
+  controller_ = nullptr;
+  granted_ = 0;
+}
+
+AdmissionController::Ticket AdmissionController::Admit(int demand_threads) {
+  const int demand = std::min(std::max(demand_threads, 1), budget_);
+  const bool clamped = demand_threads > budget_;
+
+  Ticket ticket;
+  ticket.controller_ = this;
+  ticket.granted_ = demand;
+  ticket.clamped_ = clamped;
+
+  WallTimer wait_timer;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const uint64_t serial = next_serial_++;
+  // FIFO: wait until every earlier ticket has been admitted AND the
+  // budget has room. head_serial_ only advances on admission, so a later
+  // (smaller) request cannot slip past a waiting (larger) one.
+  bool waited = false;
+  while (serial != head_serial_ || in_use_ + demand > budget_) {
+    waited = true;
+    cv_.wait(lock);
+  }
+  ++head_serial_;
+  in_use_ += demand;
+
+  ticket.queue_seconds_ = waited ? wait_timer.ElapsedSeconds() : 0.0;
+  ++stats_.admitted;
+  if (waited) ++stats_.queued;
+  if (clamped) ++stats_.clamped;
+  stats_.total_queue_seconds += ticket.queue_seconds_;
+  stats_.max_queue_seconds =
+      std::max(stats_.max_queue_seconds, ticket.queue_seconds_);
+  stats_.max_in_use = std::max(stats_.max_in_use, in_use_);
+  // Wake the next waiter: it may be admissible now that head advanced
+  // (e.g. zero remaining budget is still enough for a ticket of its own
+  // once threads free up; the wake on release handles that case).
+  cv_.notify_all();
+  return ticket;
+}
+
+void AdmissionController::ReleaseThreads(int n) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_use_ -= n;
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+int AdmissionController::in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_use_;
+}
+
+}  // namespace vertexica

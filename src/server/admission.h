@@ -1,0 +1,105 @@
+/// \file admission.h
+/// \brief Admission control: maps each request's thread demand onto one
+/// global worker budget (queue + clamp, no oversubscription).
+///
+/// The serving problem: every request carries its own `threads` knob, and
+/// the executor will happily schedule that much fan-out. With N concurrent
+/// requests the aggregate demand is unbounded while the machine (and the
+/// shared ThreadPool) is not. The controller makes the budget explicit:
+/// a request *reserves* its demand before running and releases it after,
+/// waiting in strict FIFO order when the budget is exhausted.
+///
+/// Two deliberate properties:
+///  - The reservation is clamped to the budget; the request's *knob* never
+///    is. Clamping the knob would change the giraph comparator's worker
+///    partitioning (its floating-point combine order varies with worker
+///    count), breaking the serve-equals-serial bit-identity contract. The
+///    ThreadPool is fixed-size, so a knob above its reservation competes
+///    for pool slots instead of creating OS threads — admission bounds the
+///    aggregate *scheduled* demand, the fixed pool bounds the OS threads.
+///  - Strict FIFO (ticket order), not best-fit: a small request never
+///    overtakes a large one, so a wide request cannot starve.
+
+#ifndef VERTEXICA_SERVER_ADMISSION_H_
+#define VERTEXICA_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace vertexica {
+
+/// \brief One global thread budget with FIFO reservations.
+class AdmissionController {
+ public:
+  /// `budget_threads` <= 0 resolves to the shared ThreadPool's size — the
+  /// pool is the resource being budgeted.
+  explicit AdmissionController(int budget_threads = 0);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// \brief A held reservation; releases its threads on destruction.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept;
+    Ticket& operator=(Ticket&& other) noexcept;
+    ~Ticket() { Release(); }
+
+    /// Threads actually reserved (demand clamped to the budget).
+    int granted_threads() const { return granted_; }
+    /// True when the demand exceeded the budget and the reservation was
+    /// clamped down.
+    bool clamped() const { return clamped_; }
+    /// Time spent waiting for the reservation, in seconds.
+    double queue_seconds() const { return queue_seconds_; }
+
+    /// Returns the reservation early (idempotent).
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    AdmissionController* controller_ = nullptr;
+    int granted_ = 0;
+    bool clamped_ = false;
+    double queue_seconds_ = 0.0;
+  };
+
+  /// \brief Blocks (FIFO) until `demand_threads` can be reserved, then
+  /// returns the held reservation. A demand above the budget is clamped; a
+  /// demand <= 0 is treated as 1.
+  Ticket Admit(int demand_threads);
+
+  /// \brief Aggregate counters since construction.
+  struct Stats {
+    uint64_t admitted = 0;          ///< total reservations granted
+    uint64_t queued = 0;            ///< of which had to wait
+    uint64_t clamped = 0;           ///< of which were clamped to the budget
+    double total_queue_seconds = 0; ///< summed queue wait
+    double max_queue_seconds = 0;   ///< worst single queue wait
+    int max_in_use = 0;             ///< high-water mark of reserved threads
+  };
+  Stats stats() const;
+
+  int budget_threads() const { return budget_; }
+
+  /// Currently reserved threads (for gauges/tests).
+  int in_use() const;
+
+ private:
+  void ReleaseThreads(int n);
+
+  const int budget_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int in_use_ = 0;
+  uint64_t next_serial_ = 0;  ///< next ticket number to hand out
+  uint64_t head_serial_ = 0;  ///< ticket currently allowed to admit
+  Stats stats_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_SERVER_ADMISSION_H_

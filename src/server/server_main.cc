@@ -1,0 +1,185 @@
+/// \file server_main.cc
+/// \brief `vertexica_server` — a thin driver around EngineServer.
+///
+/// Generates (or will later load) a graph, installs it under a name, and
+/// serves a mixed workload from N concurrent client threads, printing a
+/// JSON summary (per-request latency percentiles, queue-wait, admission
+/// stats) to stdout. Doubles as the smallest end-to-end smoke test of the
+/// serving subsystem:
+///
+///   vertexica_server --vertices=2000 --edges=12000 --clients=8 \
+///       --requests=4 --threads=2
+///
+/// All flags are optional; defaults give a sub-second run.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/run_types.h"
+#include "common/timer.h"
+#include "graphgen/generators.h"
+#include "server/engine_server.h"
+
+namespace {
+
+using vertexica::EngineServer;
+using vertexica::RunRequest;
+
+struct Flags {
+  int64_t vertices = 2000;
+  int64_t edges = 12000;
+  uint64_t seed = 13;
+  int clients = 8;
+  int requests = 4;  // per client
+  int threads = 0;   // per request; 0 = ambient
+  int shards = 0;    // per request; 0 = ambient
+  int budget = 0;    // admission budget; 0 = pool size
+};
+
+bool ParseFlag(const char* arg, const char* name, long* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtol(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    long v = 0;
+    if (ParseFlag(argv[i], "--vertices", &v)) flags.vertices = v;
+    else if (ParseFlag(argv[i], "--edges", &v)) flags.edges = v;
+    else if (ParseFlag(argv[i], "--seed", &v)) flags.seed = static_cast<uint64_t>(v);
+    else if (ParseFlag(argv[i], "--clients", &v)) flags.clients = static_cast<int>(v);
+    else if (ParseFlag(argv[i], "--requests", &v)) flags.requests = static_cast<int>(v);
+    else if (ParseFlag(argv[i], "--threads", &v)) flags.threads = static_cast<int>(v);
+    else if (ParseFlag(argv[i], "--shards", &v)) flags.shards = static_cast<int>(v);
+    else if (ParseFlag(argv[i], "--budget", &v)) flags.budget = static_cast<int>(v);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  vertexica::Graph graph =
+      vertexica::GenerateRmat(flags.vertices, flags.edges, flags.seed);
+  vertexica::AssignRandomWeights(&graph, 1.0, 5.0, flags.seed);
+
+  vertexica::ServerOptions options;
+  options.admission_budget_threads = flags.budget;
+  EngineServer server(options);
+  if (auto s = server.CreateGraph("default", std::move(graph)); !s.ok()) {
+    std::fprintf(stderr, "CreateGraph: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (auto s = server.PrepareGraph("default"); !s.ok()) {
+    std::fprintf(stderr, "PrepareGraph: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // The mixed workload: each client cycles through backend × algorithm
+  // pairs, staggered by client id so concurrent requests differ.
+  struct Work {
+    const char* backend;
+    const char* algorithm;
+  };
+  const std::vector<Work> workload = {
+      {vertexica::kVertexicaBackendId, vertexica::kPageRank},
+      {vertexica::kVertexicaBackendId, vertexica::kSssp},
+      {vertexica::kSqlGraphBackendId, vertexica::kPageRank},
+      {vertexica::kGiraphBackendId, vertexica::kSssp},
+      {vertexica::kGraphDbBackendId, vertexica::kPageRank},
+  };
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(flags.clients));
+  std::vector<std::vector<double>> queue_waits(
+      static_cast<std::size_t>(flags.clients));
+  std::vector<int> failures(static_cast<std::size_t>(flags.clients), 0);
+
+  vertexica::WallTimer total_timer;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(flags.clients));
+  for (int c = 0; c < flags.clients; ++c) {
+    clients.emplace_back([&, c]() {
+      for (int r = 0; r < flags.requests; ++r) {
+        const Work& w =
+            workload[static_cast<std::size_t>(c + r) % workload.size()];
+        RunRequest request;
+        request.backend = w.backend;
+        request.algorithm = w.algorithm;
+        request.threads = flags.threads;
+        request.shards = flags.shards;
+        request.source = c % 2;
+        vertexica::WallTimer timer;
+        auto result = server.Run("default", request);
+        if (!result.ok()) {
+          ++failures[static_cast<std::size_t>(c)];
+          continue;
+        }
+        latencies[static_cast<std::size_t>(c)].push_back(
+            timer.ElapsedSeconds());
+        queue_waits[static_cast<std::size_t>(c)].push_back(
+            result->backend_metrics["server_queue_seconds"]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_seconds = total_timer.ElapsedSeconds();
+
+  std::vector<double> all_latencies;
+  std::vector<double> all_waits;
+  int failed = 0;
+  for (int c = 0; c < flags.clients; ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    all_latencies.insert(all_latencies.end(), latencies[sc].begin(),
+                         latencies[sc].end());
+    all_waits.insert(all_waits.end(), queue_waits[sc].begin(),
+                     queue_waits[sc].end());
+    failed += failures[sc];
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  std::sort(all_waits.begin(), all_waits.end());
+
+  const auto admission = server.admission_stats();
+  std::printf(
+      "{\n"
+      "  \"clients\": %d,\n"
+      "  \"requests\": %zu,\n"
+      "  \"failed\": %d,\n"
+      "  \"wall_seconds\": %.6f,\n"
+      "  \"latency_p50_seconds\": %.6f,\n"
+      "  \"latency_p99_seconds\": %.6f,\n"
+      "  \"queue_wait_p50_seconds\": %.6f,\n"
+      "  \"queue_wait_p99_seconds\": %.6f,\n"
+      "  \"admission_budget_threads\": %d,\n"
+      "  \"admission_admitted\": %llu,\n"
+      "  \"admission_queued\": %llu,\n"
+      "  \"admission_clamped\": %llu,\n"
+      "  \"admission_max_in_use\": %d\n"
+      "}\n",
+      flags.clients, all_latencies.size(), failed, wall_seconds,
+      Percentile(all_latencies, 0.50), Percentile(all_latencies, 0.99),
+      Percentile(all_waits, 0.50), Percentile(all_waits, 0.99),
+      server.admission_budget_threads(),
+      static_cast<unsigned long long>(admission.admitted),
+      static_cast<unsigned long long>(admission.queued),
+      static_cast<unsigned long long>(admission.clamped),
+      admission.max_in_use);
+  return failed == 0 ? 0 : 1;
+}

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "common/env_knob.h"
+
 namespace vertexica {
 
 std::vector<RleRun> RleEncode(const std::vector<int64_t>& values) {
@@ -110,10 +112,11 @@ thread_local bool tl_mode_active = false;
 thread_local EncodingMode tl_mode_override = EncodingMode::kAuto;
 
 EncodingMode EnvEncodingMode() {
-  static const EncodingMode env = [] {
-    const char* value = std::getenv("VERTEXICA_ENCODING");
-    return value == nullptr ? EncodingMode::kAuto : ParseEncodingMode(value);
-  }();
+  // Validated through the shared env-knob helper so a typoed value warns
+  // once instead of silently resolving to kAuto inside ParseEncodingMode.
+  static const EncodingMode env = ParseEncodingMode(
+      EnvTokenKnob("VERTEXICA_ENCODING",
+                   {"off", "auto", "on", "1", "true", "force"}, "auto"));
   return env;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/env_knob.h"
 #include "common/logging.h"
 #include "storage/encoding.h"
 
@@ -18,12 +19,10 @@ std::atomic<int> g_default_shards{0};
 thread_local int tl_shards_override = 0;  // 0 = no override
 
 int EnvExecShards() {
-  static const int env = [] {
-    const char* value = std::getenv("VERTEXICA_SHARDS");
-    if (value == nullptr) return 1;
-    const int parsed = std::atoi(value);
-    return parsed > 0 ? parsed : 1;
-  }();
+  // Strict parsing (rejects "8abc") and range-clamping live in the shared
+  // env-knob helper; cached once since the environment never changes.
+  static const int env =
+      static_cast<int>(EnvIntKnob("VERTEXICA_SHARDS", 1, 4096, 1));
   return env;
 }
 

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
+#include "exec/exec_knobs.h"
 #include "exec/merge_join.h"
 #include "exec/parallel.h"
 #include "exec/plan_builder.h"
@@ -785,9 +786,7 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
     };
     std::vector<ShardStep> step(static_cast<size_t>(num_shards));
 
-    const int ambient_threads = ExecThreads();
-    const EncodingMode enc_mode = AmbientEncodingMode();
-    const bool merge_enabled = MergeJoinEnabled();
+    const ExecKnobs knobs = ExecKnobs::Capture();
 
     WallTimer phase_timer;
     VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
@@ -797,9 +796,7 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
           // reinstall them so the per-shard plans behave exactly like the
           // unsharded loop's, and give each shard its own join-path
           // collector (the ambient one is thread-local too).
-          ScopedExecThreads scoped_threads(ambient_threads);
-          ScopedEncodingMode scoped_encoding(enc_mode);
-          ScopedMergeJoin scoped_merge(merge_enabled);
+          ScopedExecKnobs scoped_knobs(knobs);
           for (size_t s = begin; s < end; ++s) {
             ShardStep& st = step[s];
             ScopedJoinStatsCollector collector(&st.join_stats);
@@ -827,7 +824,7 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
           }
           return Status::OK();
         },
-        ambient_threads));
+        knobs.threads));
     const double worker_seconds = phase_timer.ElapsedSeconds();
     phase_timer.Restart();
 
@@ -893,7 +890,9 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
           inbound.SetSortOrder({{dc, true}});
         }
       }
-      if (enc_mode != EncodingMode::kOff) inbound.EncodeColumns(enc_mode);
+      if (knobs.encoding != EncodingMode::kOff) {
+        inbound.EncodeColumns(knobs.encoding);
+      }
       shard_message_rows[static_cast<size_t>(s)] = inbound.num_rows();
       sharded_->message[static_cast<size_t>(s)] =
           std::make_shared<const Table>(std::move(inbound));
@@ -914,9 +913,7 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
       VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
           0, static_cast<size_t>(num_shards), /*grain=*/1,
           [&](size_t begin, size_t end) -> Status {
-            ScopedExecThreads scoped_threads(ambient_threads);
-            ScopedEncodingMode scoped_encoding(enc_mode);
-            ScopedMergeJoin scoped_merge(merge_enabled);
+            ScopedExecKnobs scoped_knobs(knobs);
             for (size_t s = begin; s < end; ++s) {
               if (step[s].updates.num_rows() == 0) continue;
               // The replace-path rebuild joins report into the shard's
@@ -937,15 +934,15 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
                   new_vertex = SortTable(new_vertex, {{id_c, true}});
                 }
               }
-              if (enc_mode != EncodingMode::kOff) {
-                new_vertex.EncodeColumns(enc_mode);
+              if (knobs.encoding != EncodingMode::kOff) {
+                new_vertex.EncodeColumns(knobs.encoding);
               }
               sharded_->vertex.ReplaceShard(static_cast<int>(s),
                                             std::move(new_vertex));
             }
             return Status::OK();
           },
-          ambient_threads));
+          knobs.threads));
     }
 
     int64_t encoded_bytes = 0;

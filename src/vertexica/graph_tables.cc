@@ -47,46 +47,13 @@ int PayloadArity(const VertexProgram& program) {
 Status LoadGraphTables(Catalog* catalog, const Graph& graph,
                        const VertexProgram& program,
                        const GraphTableNames& names) {
-  const Graph directed = graph.AsDirected();
-  const int arity = program.value_arity();
+  VX_RETURN_NOT_OK(LoadEdgeTable(catalog, graph, names));
+  return LoadProgramTables(catalog, graph, program, names);
+}
 
-  // Vertex table.
-  {
-    Schema schema = MakeVertexSchema(arity);
-    std::vector<Column> cols;
-    std::vector<int64_t> ids(static_cast<size_t>(directed.num_vertices));
-    for (int64_t v = 0; v < directed.num_vertices; ++v) {
-      ids[static_cast<size_t>(v)] = v;
-    }
-    cols.push_back(Column::FromInts(std::move(ids)));
-    cols.push_back(Column::FromBools(std::vector<uint8_t>(
-        static_cast<size_t>(directed.num_vertices), 0)));
-    std::vector<std::vector<double>> values(
-        static_cast<size_t>(arity),
-        std::vector<double>(static_cast<size_t>(directed.num_vertices)));
-    std::vector<double> tmp(static_cast<size_t>(arity));
-    for (int64_t v = 0; v < directed.num_vertices; ++v) {
-      program.InitValue(v, directed.num_vertices, tmp.data());
-      for (int i = 0; i < arity; ++i) {
-        values[static_cast<size_t>(i)][static_cast<size_t>(v)] =
-            tmp[static_cast<size_t>(i)];
-      }
-    }
-    for (int i = 0; i < arity; ++i) {
-      cols.push_back(Column::FromDoubles(std::move(values[static_cast<size_t>(i)])));
-    }
-    VX_ASSIGN_OR_RETURN(Table t, Table::Make(schema, std::move(cols)));
-    // The halted column is a single all-false run — RLE collapses it to 16
-    // bytes; the ascending id column stays plain under kAuto (all-distinct
-    // ids don't RLE). Value-neutral either way.
-    if (AmbientEncodingMode() != EncodingMode::kOff) {
-      t.EncodeColumns(AmbientEncodingMode());
-    }
-    // Ids were written 0..V-1: declare the sorted-by-id invariant the
-    // coordinator maintains, so the superstep vertex joins can merge.
-    t.SetSortOrder({{0, true}});
-    VX_RETURN_NOT_OK(catalog->ReplaceTable(names.vertex, std::move(t)));
-  }
+Status LoadEdgeTable(Catalog* catalog, const Graph& graph,
+                     const GraphTableNames& names) {
+  const Graph directed = graph.AsDirected();
 
   // Edge table, stored sorted on (src, dst) — the column-store layout the
   // paper assumes: each vertex's out-edges are contiguous and the source-id
@@ -116,6 +83,55 @@ Status LoadGraphTables(Catalog* catalog, const Graph& graph,
     // the (src, dst) order still holds).
     t.SetSortOrder({{0, true}, {1, true}});
     VX_RETURN_NOT_OK(catalog->ReplaceTable(names.edge, std::move(t)));
+  }
+  return Status::OK();
+}
+
+Status LoadProgramTables(Catalog* catalog, const Graph& graph,
+                         const VertexProgram& program,
+                         const GraphTableNames& names) {
+  // Only the vertex set matters here, and AsDirected preserves it — no
+  // need for the directed edge-list copy LoadEdgeTable makes.
+  const int64_t num_vertices = graph.num_vertices;
+  const int arity = program.value_arity();
+
+  // Vertex table.
+  {
+    Schema schema = MakeVertexSchema(arity);
+    std::vector<Column> cols;
+    std::vector<int64_t> ids(static_cast<size_t>(num_vertices));
+    for (int64_t v = 0; v < num_vertices; ++v) {
+      ids[static_cast<size_t>(v)] = v;
+    }
+    cols.push_back(Column::FromInts(std::move(ids)));
+    cols.push_back(Column::FromBools(
+        std::vector<uint8_t>(static_cast<size_t>(num_vertices), 0)));
+    std::vector<std::vector<double>> values(
+        static_cast<size_t>(arity),
+        std::vector<double>(static_cast<size_t>(num_vertices)));
+    std::vector<double> tmp(static_cast<size_t>(arity));
+    for (int64_t v = 0; v < num_vertices; ++v) {
+      program.InitValue(v, num_vertices, tmp.data());
+      for (int i = 0; i < arity; ++i) {
+        values[static_cast<size_t>(i)][static_cast<size_t>(v)] =
+            tmp[static_cast<size_t>(i)];
+      }
+    }
+    for (int i = 0; i < arity; ++i) {
+      cols.push_back(
+          Column::FromDoubles(std::move(values[static_cast<size_t>(i)])));
+    }
+    VX_ASSIGN_OR_RETURN(Table t, Table::Make(schema, std::move(cols)));
+    // The halted column is a single all-false run — RLE collapses it to 16
+    // bytes; the ascending id column stays plain under kAuto (all-distinct
+    // ids don't RLE). Value-neutral either way.
+    if (AmbientEncodingMode() != EncodingMode::kOff) {
+      t.EncodeColumns(AmbientEncodingMode());
+    }
+    // Ids were written 0..V-1: declare the sorted-by-id invariant the
+    // coordinator maintains, so the superstep vertex joins can merge.
+    t.SetSortOrder({{0, true}});
+    VX_RETURN_NOT_OK(catalog->ReplaceTable(names.vertex, std::move(t)));
   }
 
   // Message table (empty — and vacuously sorted by receiver, the invariant

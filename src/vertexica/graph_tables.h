@@ -66,10 +66,25 @@ int PayloadArity(const VertexProgram& program);
 
 /// \brief Materializes the three tables for `graph` into the catalog
 /// (replacing existing ones). Vertex values are initialized via
-/// `program.InitValue`; the message table starts empty.
+/// `program.InitValue`; the message table starts empty. Equivalent to
+/// LoadEdgeTable + LoadProgramTables.
 Status LoadGraphTables(Catalog* catalog, const Graph& graph,
                        const VertexProgram& program,
                        const GraphTableNames& names = {});
+
+/// \brief Materializes only the edge table: sorted (src, dst), RLE source
+/// column, zone maps. Program-independent, so the serving path builds it
+/// once per graph at Prepare time and shares the immutable result across
+/// concurrent runs (each run's private catalog references the same table).
+Status LoadEdgeTable(Catalog* catalog, const Graph& graph,
+                     const GraphTableNames& names = {});
+
+/// \brief Materializes the program-dependent tables — vertex (values via
+/// `program.InitValue`) and the empty message table — without touching the
+/// edge table.
+Status LoadProgramTables(Catalog* catalog, const Graph& graph,
+                         const VertexProgram& program,
+                         const GraphTableNames& names = {});
 
 /// \brief Reads component `component` of every vertex value into a dense
 /// vector indexed by vertex id.

@@ -1,0 +1,455 @@
+// Tests for the serving subsystem: env-knob hardening, ExecKnobs/
+// ExecContext capture+install, admission control, catalog snapshots, and —
+// the acceptance bar — N concurrent mixed clients on one EngineServer
+// producing bit-identical results to the same requests run serially.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "api/exec_context.h"
+#include "catalog/catalog.h"
+#include "common/env_knob.h"
+#include "common/logging.h"
+#include "exec/exec_knobs.h"
+#include "graphgen/generators.h"
+#include "server/admission.h"
+#include "server/engine_server.h"
+#include "storage/table.h"
+
+namespace vertexica {
+namespace {
+
+Graph ParityGraph() {
+  Graph g = GenerateRmat(120, 700, 13);
+  AssignRandomWeights(&g, 1.0, 5.0, 13);
+  return g;
+}
+
+// A second, structurally different graph for update/snapshot tests.
+Graph OtherGraph() {
+  Graph g = GenerateRmat(80, 400, 29);
+  AssignRandomWeights(&g, 1.0, 5.0, 29);
+  return g;
+}
+
+// ------------------------------------------------------------ env knobs
+
+TEST(EnvKnobTest, ParseKnobIntAcceptsStrictIntegers) {
+  bool clamped = true;
+  auto v = ParseKnobInt("8", 1, 256, &clamped);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 8);
+  EXPECT_FALSE(clamped);
+
+  v = ParseKnobInt("  42  ", 1, 256);  // surrounding whitespace is fine
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(EnvKnobTest, ParseKnobIntRejectsGarbage) {
+  EXPECT_FALSE(ParseKnobInt("8abc", 1, 256).has_value());  // trailing junk
+  EXPECT_FALSE(ParseKnobInt("abc", 1, 256).has_value());
+  EXPECT_FALSE(ParseKnobInt("", 1, 256).has_value());
+  EXPECT_FALSE(ParseKnobInt("   ", 1, 256).has_value());
+  EXPECT_FALSE(ParseKnobInt(nullptr, 1, 256).has_value());
+  EXPECT_FALSE(ParseKnobInt("1.5", 1, 256).has_value());
+}
+
+TEST(EnvKnobTest, ParseKnobIntClampsOutOfRange) {
+  bool clamped = false;
+  auto v = ParseKnobInt("100000", 1, 256, &clamped);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 256);
+  EXPECT_TRUE(clamped);
+
+  v = ParseKnobInt("-3", 1, 256, &clamped);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_TRUE(clamped);
+}
+
+TEST(EnvKnobTest, EnvIntKnobFallsBackAndClamps) {
+  ::setenv("VERTEXICA_TEST_KNOB", "junk", 1);
+  EXPECT_EQ(EnvIntKnob("VERTEXICA_TEST_KNOB", 1, 64, 7), 7);
+  ::setenv("VERTEXICA_TEST_KNOB", "9999", 1);
+  EXPECT_EQ(EnvIntKnob("VERTEXICA_TEST_KNOB", 1, 64, 7), 64);
+  ::setenv("VERTEXICA_TEST_KNOB", "12", 1);
+  EXPECT_EQ(EnvIntKnob("VERTEXICA_TEST_KNOB", 1, 64, 7), 12);
+  ::unsetenv("VERTEXICA_TEST_KNOB");
+  EXPECT_EQ(EnvIntKnob("VERTEXICA_TEST_KNOB", 1, 64, 7), 7);
+}
+
+TEST(EnvKnobTest, EnvTokenKnobMatchesCaseInsensitively) {
+  ::setenv("VERTEXICA_TEST_TOKEN", "FORCE", 1);
+  EXPECT_EQ(EnvTokenKnob("VERTEXICA_TEST_TOKEN", {"off", "auto", "force"},
+                         "auto"),
+            "force");
+  ::setenv("VERTEXICA_TEST_TOKEN", "bogus", 1);
+  EXPECT_EQ(EnvTokenKnob("VERTEXICA_TEST_TOKEN", {"off", "auto", "force"},
+                         "auto"),
+            "auto");
+  ::unsetenv("VERTEXICA_TEST_TOKEN");
+}
+
+// ------------------------------------------------- ExecKnobs / ExecContext
+
+TEST(ExecKnobsTest, CaptureInstallRoundTripsAcrossThreads) {
+  ScopedExecThreads threads(3);
+  ScopedExecShards shards(2);
+  ScopedEncodingMode encoding(EncodingMode::kForce);
+  ScopedMergeJoin merge(false);
+
+  const ExecKnobs knobs = ExecKnobs::Capture();
+  EXPECT_EQ(knobs.threads, 3);
+  EXPECT_EQ(knobs.shards, 2);
+  EXPECT_EQ(knobs.encoding, EncodingMode::kForce);
+  EXPECT_FALSE(knobs.merge_join);
+
+  // A fresh thread has none of the thread-local overrides; installing the
+  // captured knobs must reproduce the caller's configuration exactly.
+  int seen_threads = 0, seen_shards = 0;
+  EncodingMode seen_encoding = EncodingMode::kAuto;
+  bool seen_merge = true;
+  std::thread worker([&]() {
+    ScopedExecKnobs install(knobs);
+    seen_threads = ExecThreads();
+    seen_shards = ExecShards();
+    seen_encoding = AmbientEncodingMode();
+    seen_merge = MergeJoinEnabled();
+  });
+  worker.join();
+  EXPECT_EQ(seen_threads, 3);
+  EXPECT_EQ(seen_shards, 2);
+  EXPECT_EQ(seen_encoding, EncodingMode::kForce);
+  EXPECT_FALSE(seen_merge);
+}
+
+TEST(ExecContextTest, FromRequestResolvesOverrides) {
+  RunRequest request;
+  request.threads = 5;
+  request.shards = 3;
+  request.encoding = "force";
+  request.merge_join = "off";
+  const ExecContext ctx = ExecContext::FromRequest(request);
+  EXPECT_EQ(ctx.knobs.threads, 5);
+  EXPECT_EQ(ctx.knobs.shards, 3);
+  EXPECT_EQ(ctx.knobs.encoding, EncodingMode::kForce);
+  EXPECT_FALSE(ctx.knobs.merge_join);
+  EXPECT_EQ(ctx.DemandThreads(), 5);
+
+  // Unset fields inherit the ambient configuration.
+  ScopedExecThreads threads(2);
+  RunRequest ambient;
+  const ExecContext inherited = ExecContext::FromRequest(ambient);
+  EXPECT_EQ(inherited.knobs.threads, 2);
+  EXPECT_TRUE(inherited.knobs.merge_join);
+}
+
+// --------------------------------------------------------- admission
+
+TEST(AdmissionTest, ClampsDemandToBudget) {
+  AdmissionController admission(4);
+  auto ticket = admission.Admit(16);
+  EXPECT_EQ(ticket.granted_threads(), 4);
+  EXPECT_TRUE(ticket.clamped());
+  EXPECT_EQ(admission.in_use(), 4);
+  ticket.Release();
+  EXPECT_EQ(admission.in_use(), 0);
+  EXPECT_EQ(admission.stats().clamped, 1u);
+}
+
+TEST(AdmissionTest, TicketReleasesOnDestruction) {
+  AdmissionController admission(2);
+  {
+    auto ticket = admission.Admit(2);
+    EXPECT_EQ(admission.in_use(), 2);
+  }
+  EXPECT_EQ(admission.in_use(), 0);
+}
+
+TEST(AdmissionTest, QueuesInFifoOrder) {
+  AdmissionController admission(2);
+  auto first = admission.Admit(2);  // exhausts the budget
+
+  std::atomic<int> order{0};
+  int second_pos = 0, third_pos = 0;
+  std::thread second([&]() {
+    auto t = admission.Admit(2);
+    second_pos = ++order;
+  });
+  // Give `second` time to enqueue before `third` — FIFO is by arrival.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread third([&]() {
+    auto t = admission.Admit(1);  // would fit sooner, must not overtake
+    third_pos = ++order;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(order.load(), 0);  // both still queued behind `first`
+  first.Release();
+  second.join();
+  third.join();
+  EXPECT_EQ(second_pos, 1);
+  EXPECT_EQ(third_pos, 2);
+  const auto stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.queued, 2u);
+  EXPECT_GT(stats.total_queue_seconds, 0.0);
+}
+
+TEST(AdmissionTest, NeverOversubscribesUnderStress) {
+  AdmissionController admission(3);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 12; ++w) {
+    workers.emplace_back([&admission, w]() {
+      for (int i = 0; i < 20; ++i) {
+        auto ticket = admission.Admit(1 + (w + i) % 3);
+        // in_use includes this ticket; the invariant is the budget cap.
+        EXPECT_LE(admission.in_use(), 3);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const auto stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 12u * 20u);
+  EXPECT_LE(stats.max_in_use, 3);
+}
+
+// ------------------------------------------------------ catalog snapshots
+
+Table OneColumnTable(int64_t rows, int64_t value) {
+  std::vector<int64_t> data(static_cast<size_t>(rows), value);
+  auto made = Table::Make(Schema({{"x", DataType::kInt64}}),
+                          {Column::FromInts(std::move(data))});
+  VX_CHECK(made.ok());
+  return std::move(made).MoveValueUnsafe();
+}
+
+TEST(CatalogSnapshotTest, SnapshotIgnoresLaterMutations) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", OneColumnTable(3, 1)).ok());
+  EXPECT_EQ(catalog.version(), 1u);
+
+  const CatalogSnapshot snapshot = catalog.Snapshot();
+  EXPECT_EQ(snapshot.version(), 1u);
+
+  ASSERT_TRUE(catalog.ReplaceTable("t", OneColumnTable(7, 2)).ok());
+  ASSERT_TRUE(catalog.CreateTable("u", OneColumnTable(1, 3)).ok());
+  EXPECT_EQ(catalog.version(), 3u);
+
+  // The snapshot still sees the original table set and versions.
+  auto old_t = snapshot.GetTable("t");
+  ASSERT_TRUE(old_t.ok());
+  EXPECT_EQ((*old_t)->num_rows(), 3);
+  EXPECT_FALSE(snapshot.HasTable("u"));
+
+  auto new_t = catalog.GetTable("t");
+  ASSERT_TRUE(new_t.ok());
+  EXPECT_EQ((*new_t)->num_rows(), 7);
+}
+
+TEST(CatalogSnapshotTest, SeededCatalogSharesTablesZeroCopy) {
+  Catalog base;
+  ASSERT_TRUE(base.CreateTable("edge", OneColumnTable(5, 9)).ok());
+  const CatalogSnapshot snapshot = base.Snapshot();
+
+  Catalog seeded(snapshot);
+  EXPECT_EQ(seeded.version(), snapshot.version());
+  auto from_base = base.GetTable("edge");
+  auto from_seeded = seeded.GetTable("edge");
+  ASSERT_TRUE(from_base.ok() && from_seeded.ok());
+  // Same physical table, not a copy.
+  EXPECT_EQ(from_base->get(), from_seeded->get());
+
+  // Writes to the seeded catalog stay private.
+  ASSERT_TRUE(seeded.ReplaceTable("edge", OneColumnTable(1, 0)).ok());
+  auto base_after = base.GetTable("edge");
+  ASSERT_TRUE(base_after.ok());
+  EXPECT_EQ((*base_after)->num_rows(), 5);
+}
+
+// ------------------------------------------------------------ the server
+
+TEST(EngineServerTest, GraphLifecycleAndVersions) {
+  EngineServer server;
+  EXPECT_TRUE(server.CreateGraph("g", ParityGraph()).ok());
+  EXPECT_FALSE(server.CreateGraph("g", ParityGraph()).ok());  // duplicate
+  auto version = server.GraphVersion("g");
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1u);
+
+  EXPECT_TRUE(server.UpdateGraph("g", OtherGraph()).ok());
+  version = server.GraphVersion("g");
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 2u);
+
+  EXPECT_EQ(server.GraphNames(), std::vector<std::string>{"g"});
+  EXPECT_TRUE(server.DropGraph("g").ok());
+  EXPECT_FALSE(server.DropGraph("g").ok());
+  EXPECT_FALSE(server.Run("g", RunRequest{}).ok());
+}
+
+TEST(EngineServerTest, RunReportsServingMetrics) {
+  // Explicit budget: the default resolves to the pool size, which on a
+  // small machine could clamp the granted threads below the request.
+  ServerOptions options;
+  options.admission_budget_threads = 4;
+  EngineServer server(options);
+  ASSERT_TRUE(server.CreateGraph("g", ParityGraph()).ok());
+  RunRequest request;
+  request.algorithm = kPageRank;
+  request.backend = kVertexicaBackendId;
+  request.threads = 2;
+  auto result = server.Run("g", request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->backend_metrics.count("server_queue_seconds"), 1u);
+  EXPECT_EQ(result->backend_metrics.count("server_run_seconds"), 1u);
+  EXPECT_EQ(result->backend_metrics["server_granted_threads"], 2.0);
+  EXPECT_EQ(result->backend_metrics["server_graph_version"], 1.0);
+  EXPECT_EQ(server.in_flight(), 0);
+  EXPECT_EQ(server.admission_stats().admitted, 1u);
+}
+
+// The tentpole acceptance test: concurrent mixed requests with differing
+// knobs on ONE shared EngineServer are bit-identical to the same requests
+// run serially — all four backends, pagerank + sssp.
+TEST(EngineServerTest, ConcurrentMixedClientsBitIdenticalToSerial) {
+  const Graph g = ParityGraph();
+
+  // The request mix: backends × algorithms × knob variants. 16 requests,
+  // run by 16 concurrent clients (≥ 8 per the acceptance bar).
+  std::vector<RunRequest> requests;
+  for (const char* backend :
+       {kVertexicaBackendId, kSqlGraphBackendId, kGiraphBackendId,
+        kGraphDbBackendId}) {
+    for (const char* algorithm : {kPageRank, kSssp}) {
+      for (int variant = 0; variant < 2; ++variant) {
+        RunRequest request;
+        request.backend = backend;
+        request.algorithm = algorithm;
+        request.source = 1;
+        request.threads = 1 + variant * 2;        // 1 or 3
+        request.shards = 1 + variant * 3;         // 1 or 4
+        request.encoding = variant == 0 ? "off" : "force";
+        request.merge_join = variant == 0 ? "off" : "on";
+        requests.push_back(request);
+      }
+    }
+  }
+  ASSERT_GE(requests.size(), 8u);
+
+  // Serial reference: each request on its own fresh engine.
+  std::vector<RunResult> serial;
+  for (const RunRequest& request : requests) {
+    Engine engine;
+    ASSERT_TRUE(engine.LoadGraph(g).ok());
+    auto result = engine.Run(request);
+    ASSERT_TRUE(result.ok()) << request.backend << "/" << request.algorithm
+                             << ": " << result.status().ToString();
+    serial.push_back(*std::move(result));
+  }
+
+  // Concurrent: all requests at once against one shared server.
+  EngineServer server;
+  ASSERT_TRUE(server.CreateGraph("g", g).ok());
+  std::vector<Result<RunResult>> concurrent;
+  concurrent.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    concurrent.push_back(Status::Internal("not run"));
+  }
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    clients.emplace_back([&, i]() {
+      concurrent[i] = server.Run("g", requests[i]);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::string label = requests[i].backend + std::string("/") +
+                              requests[i].algorithm + "/variant" +
+                              std::to_string(i % 2);
+    ASSERT_TRUE(concurrent[i].ok())
+        << label << ": " << concurrent[i].status().ToString();
+    const RunResult& c = *concurrent[i];
+    const RunResult& s = serial[i];
+    ASSERT_EQ(c.values.size(), s.values.size()) << label;
+    for (size_t v = 0; v < s.values.size(); ++v) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(c.values[v], s.values[v]) << label << ": vertex " << v;
+    }
+    EXPECT_EQ(c.aggregates, s.aggregates) << label;
+  }
+
+  const auto stats = server.admission_stats();
+  EXPECT_EQ(stats.admitted, requests.size());
+  EXPECT_LE(stats.max_in_use, server.admission_budget_threads());
+}
+
+// Snapshot isolation: an update installed mid-session does not affect the
+// session's pinned version — no timing dependence, the pin is explicit.
+TEST(EngineServerTest, SessionsAreSnapshotIsolated) {
+  EngineServer server;
+  ASSERT_TRUE(server.CreateGraph("g", ParityGraph()).ok());
+
+  auto session = server.OpenSession("g");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->graph_version(), 1u);
+
+  RunRequest request;
+  request.algorithm = kPageRank;
+  request.backend = kVertexicaBackendId;
+  auto before = session->Run(request);
+  ASSERT_TRUE(before.ok());
+
+  // Install a structurally different graph mid-session.
+  ASSERT_TRUE(server.UpdateGraph("g", OtherGraph()).ok());
+
+  // The session still reads version 1: bit-identical to the run before
+  // the update.
+  auto pinned = session->Run(request);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_EQ(pinned->values.size(), before->values.size());
+  for (size_t v = 0; v < before->values.size(); ++v) {
+    EXPECT_EQ(pinned->values[v], before->values[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(pinned->backend_metrics["server_graph_version"], 1.0);
+
+  // A fresh server-level run sees version 2 (a different graph).
+  auto latest = server.Run("g", request);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->backend_metrics["server_graph_version"], 2.0);
+  EXPECT_NE(latest->values.size(), before->values.size());
+
+  // Refresh re-pins the session to the latest version.
+  ASSERT_TRUE(session->Refresh().ok());
+  EXPECT_EQ(session->graph_version(), 2u);
+  auto refreshed = session->Run(request);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed->values.size(), latest->values.size());
+}
+
+// Concurrent runs against a session must keep their pinned engine alive
+// even when the server drops the graph underneath them.
+TEST(EngineServerTest, DroppedGraphStaysAliveForPinnedSessions) {
+  EngineServer server;
+  ASSERT_TRUE(server.CreateGraph("g", ParityGraph()).ok());
+  auto session = server.OpenSession("g");
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(server.DropGraph("g").ok());
+
+  RunRequest request;
+  request.algorithm = kSssp;
+  request.backend = kSqlGraphBackendId;
+  request.source = 1;
+  auto result = session->Run(request);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(server.Run("g", request).ok());
+}
+
+}  // namespace
+}  // namespace vertexica
