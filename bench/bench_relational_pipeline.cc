@@ -15,8 +15,10 @@
 #include "bench_common.h"
 
 #include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
 #include "common/random.h"
 #include "common/timer.h"
+#include "exec/frontier.h"
 #include "exec/parallel.h"
 #include "exec/scan.h"
 #include "graphgen/metadata.h"
@@ -290,6 +292,76 @@ BENCHMARK(BM_ShardedSuperstep)
     ->Args({1, 1})->Args({1, 4})->Args({0, 1})->Args({0, 4})
     ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 
+// ---- Active-vertex frontier supersteps (exec/frontier.h) ---------------
+//
+// SSSP on a long-tail graph: an RMAT core with a long chain hanging off
+// the source's component. Once the core converges the distance wave crawls
+// down the chain one vertex per superstep, so the dense path assembles a
+// full V+E+M worker input for supersteps that touch one or two vertices.
+// The frontier path gathers only the active rows through the halted/
+// receiver bitvector and the cached CSR edge slices. Distances are
+// VX_CHECKed bit-identical across all cells; the recorded time is the
+// summed superstep seconds (SuperstepStats::seconds), i.e. exactly the
+// dataflow cost the frontier removes.
+
+const Graph& LongTailGraph() {
+  static const Graph graph = [] {
+    const int64_t core_v =
+        std::max<int64_t>(500, static_cast<int64_t>(20000 * Scale()));
+    Graph g = GenerateRmat(core_v, 6 * core_v, 777);
+    // Chain tail hanging off the SSSP source (vertex 0): the sparse-regime
+    // long tail. Its length bounds the superstep count.
+    const int64_t tail =
+        std::max<int64_t>(60, static_cast<int64_t>(1200 * Scale()));
+    int64_t prev = 0;
+    for (int64_t i = 0; i < tail; ++i) {
+      const int64_t v = g.num_vertices++;
+      g.AddEdge(prev, v);
+      prev = v;
+    }
+    return g;
+  }();
+  return graph;
+}
+
+void BM_FrontierSuperstep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const bool frontier = state.range(1) != 0;
+  const Graph& g = LongTailGraph();
+  VertexicaOptions opts;  // default union-input path
+  opts.max_supersteps =
+      static_cast<int>(g.num_vertices);  // the tail needs one step per hop
+  static std::vector<double> expected;  // parity across all four cells
+  double seconds = 0;
+  for (auto _ : state) {
+    ScopedExecThreads scoped(threads);
+    ScopedFrontierMode mode(frontier ? FrontierMode::kOn : FrontierMode::kOff);
+    Catalog catalog;
+    RunStats stats;
+    auto dist = RunShortestPaths(&catalog, g, 0, opts, &stats);
+    VX_CHECK(dist.ok()) << dist.status().ToString();
+    // Path + parity sanity (this is what the CI bench smoke job trips on):
+    // the requested path actually ran — under `on` every superstep after
+    // the first goes sparse — and distances agree bit-for-bit.
+    VX_CHECK(frontier ? (stats.frontier_supersteps > 0 &&
+                         stats.dense_supersteps == 1)
+                      : stats.frontier_supersteps == 0)
+        << stats.frontier_supersteps << " frontier / "
+        << stats.dense_supersteps << " dense supersteps";
+    if (expected.empty()) expected = *dist;
+    VX_CHECK(*dist == expected) << "frontier SSSP diverged";
+    double superstep_seconds = 0;
+    for (const auto& s : stats.supersteps) superstep_seconds += s.seconds;
+    seconds = superstep_seconds;
+    state.SetIterationTime(seconds);
+  }
+  Table34().Record(frontier ? "Frontier on" : "Frontier off",
+                   ThreadsColumn(threads), seconds);
+}
+BENCHMARK(BM_FrontierSuperstep)
+    ->Args({1, 0})->Args({1, 1})->Args({0, 0})->Args({0, 1})
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
 void PrintSpeedups() {
   std::printf("Speedup vs 1 thread (T0 = %d hardware threads):\n",
               HardwareThreads());
@@ -316,6 +388,18 @@ void PrintSpeedups() {
       std::printf(
           "Superstep join speedup, merge vs hash (T%d): %.2fx\n", threads,
           hash / merge);
+    }
+  }
+  for (int threads : {1, 0}) {
+    const double dense = Table34().Lookup("Frontier off",
+                                          ThreadsColumn(threads));
+    const double sparse = Table34().Lookup("Frontier on",
+                                           ThreadsColumn(threads));
+    if (dense > 0 && sparse > 0) {
+      std::printf(
+          "Long-tail SSSP superstep speedup, frontier vs dense (T%d): "
+          "%.2fx\n",
+          threads, dense / sparse);
     }
   }
   for (int threads : {1, 0}) {

@@ -42,6 +42,17 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
     ctest -R 'exec_test|vertexica_test|api_test' --output-on-failure \
     -j "$(nproc)")
 
+# The frontier knob both ways: the active-vertex sparse dataflow must be
+# bit-identical to the dense path (docs/EXECUTOR.md), so every expectation
+# has to hold with the frontier pinned off and with it forced on wherever
+# structurally possible.
+(cd "$BUILD_DIR" && VERTEXICA_FRONTIER=off \
+    ctest -R 'vertexica_test|api_test|server_test|extensions_test' \
+    --output-on-failure -j "$(nproc)")
+(cd "$BUILD_DIR" && VERTEXICA_FRONTIER=on \
+    ctest -R 'vertexica_test|api_test|server_test|extensions_test' \
+    --output-on-failure -j "$(nproc)")
+
 # And with the ambient shard count forced up: the persistent-sharding
 # superstep dataflow must be value-neutral too (docs/API.md), so every
 # vertexica/api expectation has to hold unchanged when all runs shard.

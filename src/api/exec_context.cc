@@ -16,6 +16,9 @@ ExecContext ExecContext::FromRequest(const RunRequest& request) {
         request.merge_join != "0" && request.merge_join != "off" &&
         request.merge_join != "OFF" && request.merge_join != "false";
   }
+  if (!request.frontier.empty()) {
+    ctx.knobs.frontier = ParseFrontierMode(request.frontier);
+  }
   return ctx;
 }
 

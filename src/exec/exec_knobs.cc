@@ -8,6 +8,7 @@ ExecKnobs ExecKnobs::Capture() {
   knobs.shards = ExecShards();
   knobs.encoding = AmbientEncodingMode();
   knobs.merge_join = MergeJoinEnabled();
+  knobs.frontier = AmbientFrontierMode();
   return knobs;
 }
 

@@ -14,6 +14,7 @@
 #ifndef VERTEXICA_EXEC_EXEC_KNOBS_H_
 #define VERTEXICA_EXEC_EXEC_KNOBS_H_
 
+#include "exec/frontier.h"
 #include "exec/merge_join.h"
 #include "exec/parallel.h"
 #include "storage/encoding.h"
@@ -21,7 +22,7 @@
 
 namespace vertexica {
 
-/// \brief A value snapshot of the four ambient execution knobs.
+/// \brief A value snapshot of the five ambient execution knobs.
 ///
 /// Plain copyable data: capture once on the coordinating thread, then copy
 /// into each pool task and install there. Also the payload of the serving
@@ -32,13 +33,14 @@ struct ExecKnobs {
   int shards = 1;
   EncodingMode encoding = EncodingMode::kAuto;
   bool merge_join = true;
+  FrontierMode frontier = FrontierMode::kAuto;
 
   /// Resolves the calling thread's ambient knobs (thread-local override →
   /// process default → environment → fallback, per knob).
   static ExecKnobs Capture();
 };
 
-/// \brief RAII installer: pins all four knobs on the current thread for the
+/// \brief RAII installer: pins all five knobs on the current thread for the
 /// lifetime of the scope. Use inside pool tasks with a captured ExecKnobs.
 class ScopedExecKnobs {
  public:
@@ -46,7 +48,8 @@ class ScopedExecKnobs {
       : threads_(knobs.threads),
         shards_(knobs.shards),
         encoding_(knobs.encoding),
-        merge_join_(knobs.merge_join) {}
+        merge_join_(knobs.merge_join),
+        frontier_(knobs.frontier) {}
 
   ScopedExecKnobs(const ScopedExecKnobs&) = delete;
   ScopedExecKnobs& operator=(const ScopedExecKnobs&) = delete;
@@ -56,6 +59,7 @@ class ScopedExecKnobs {
   ScopedExecShards shards_;
   ScopedEncodingMode encoding_;
   ScopedMergeJoin merge_join_;
+  ScopedFrontierMode frontier_;
 };
 
 }  // namespace vertexica

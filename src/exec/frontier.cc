@@ -1,0 +1,89 @@
+#include "exec/frontier.h"
+
+#include <atomic>
+#include <cctype>
+
+#include "common/env_knob.h"
+
+namespace vertexica {
+
+const char* FrontierModeName(FrontierMode m) {
+  switch (m) {
+    case FrontierMode::kAuto:
+      return "auto";
+    case FrontierMode::kOn:
+      return "on";
+    case FrontierMode::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+FrontierMode ParseFrontierMode(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "off" || lower == "0" || lower == "false" || lower == "none") {
+    return FrontierMode::kOff;
+  }
+  if (lower == "on" || lower == "1" || lower == "true" ||
+      lower == "force") {
+    return FrontierMode::kOn;
+  }
+  // "auto" and anything unrecognized.
+  return FrontierMode::kAuto;
+}
+
+namespace {
+
+// -1 = unset (resolve from env); otherwise a cast FrontierMode.
+std::atomic<int> g_default_frontier{-1};
+thread_local bool tl_frontier_active = false;
+thread_local FrontierMode tl_frontier_override = FrontierMode::kAuto;
+
+FrontierMode EnvFrontierMode() {
+  // Validated through the shared env-knob helper so a typoed value warns
+  // once instead of silently resolving to kAuto inside ParseFrontierMode.
+  static const FrontierMode env = ParseFrontierMode(EnvTokenKnob(
+      "VERTEXICA_FRONTIER",
+      {"off", "0", "false", "auto", "on", "1", "true", "force"}, "auto"));
+  return env;
+}
+
+}  // namespace
+
+FrontierMode AmbientFrontierMode() {
+  if (tl_frontier_active) return tl_frontier_override;
+  const int configured = g_default_frontier.load(std::memory_order_relaxed);
+  if (configured >= 0) return static_cast<FrontierMode>(configured);
+  return EnvFrontierMode();
+}
+
+void SetDefaultFrontierMode(FrontierMode m) {
+  // kAuto is the unset sentinel (like SetDefaultEncodingMode): it restores
+  // resolution from the VERTEXICA_FRONTIER environment variable, whose own
+  // default is kAuto anyway. Use ScopedFrontierMode to pin kAuto over a
+  // non-auto environment.
+  g_default_frontier.store(m == FrontierMode::kAuto ? -1 : static_cast<int>(m),
+                           std::memory_order_relaxed);
+}
+
+ScopedFrontierMode::ScopedFrontierMode(FrontierMode m)
+    : active_(true),
+      prev_(tl_frontier_override),
+      prev_active_(tl_frontier_active) {
+  tl_frontier_override = m;
+  tl_frontier_active = true;
+}
+
+ScopedFrontierMode::~ScopedFrontierMode() {
+  if (active_) {
+    tl_frontier_override = prev_;
+    tl_frontier_active = prev_active_;
+  }
+}
+
+}  // namespace vertexica

@@ -1,0 +1,34 @@
+#include "storage/bitvector.h"
+
+namespace vertexica {
+
+int64_t Bitvector::CountOnes() const {
+  int64_t count = 0;
+  for (uint64_t word : words_) {
+    count += __builtin_popcountll(word);
+  }
+  return count;
+}
+
+void Bitvector::And(const Bitvector& other) {
+  VX_CHECK(size_ == other.size_) << "Bitvector::And size mismatch";
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= other.words_[w];
+  }
+}
+
+void Bitvector::Or(const Bitvector& other) {
+  VX_CHECK(size_ == other.size_) << "Bitvector::Or size mismatch";
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+}
+
+std::vector<int64_t> Bitvector::SetIndices() const {
+  std::vector<int64_t> indices;
+  indices.reserve(static_cast<size_t>(CountOnes()));
+  ForEachSetBit([&indices](int64_t i) { indices.push_back(i); });
+  return indices;
+}
+
+}  // namespace vertexica

@@ -1,0 +1,82 @@
+/// \file bitvector.h
+/// \brief Word-packed bitvector: the frontier representation of the
+/// active-vertex superstep path (vertexica/coordinator.cc).
+///
+/// One bit per vertex row, 64 rows per machine word, so deriving and
+/// holding the active set costs V/8 bytes — negligible next to the vertex
+/// table it indexes. Supports the operations the frontier path needs: set/
+/// test, popcount, ascending set-bit iteration (the frontier gather order),
+/// and word-wise AND/OR for combining activity sources.
+
+#ifndef VERTEXICA_STORAGE_BITVECTOR_H_
+#define VERTEXICA_STORAGE_BITVECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vertexica {
+
+/// \brief A fixed-size bitvector packed into 64-bit words, all bits
+/// initially zero. Bits past `size()` in the last word stay zero (every
+/// mutator preserves this), so the word-wise operations never need a tail
+/// special case.
+class Bitvector {
+ public:
+  Bitvector() = default;
+  explicit Bitvector(int64_t size)
+      : size_(size), words_(static_cast<size_t>((size + 63) / 64), 0) {}
+
+  int64_t size() const { return size_; }
+
+  void Set(int64_t i) {
+    VX_DCHECK(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i >> 6)] |= uint64_t{1} << (i & 63);
+  }
+
+  void Clear(int64_t i) {
+    VX_DCHECK(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i >> 6)] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(int64_t i) const {
+    VX_DCHECK(i >= 0 && i < size_);
+    return (words_[static_cast<size_t>(i >> 6)] >> (i & 63)) & 1;
+  }
+
+  /// \brief Number of set bits.
+  int64_t CountOnes() const;
+
+  /// \brief Word-wise intersection with `other` (sizes must match).
+  void And(const Bitvector& other);
+
+  /// \brief Word-wise union with `other` (sizes must match).
+  void Or(const Bitvector& other);
+
+  /// \brief Calls `fn(index)` for every set bit, in ascending index order —
+  /// the order the frontier gathers restrict tables in, so restricted row
+  /// sequences keep the source table's relative row order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<int64_t>(w * 64 + static_cast<size_t>(bit)));
+        word &= word - 1;  // clear lowest set bit
+      }
+    }
+  }
+
+  /// \brief The set-bit indices as a vector, ascending.
+  std::vector<int64_t> SetIndices() const;
+
+ private:
+  int64_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_STORAGE_BITVECTOR_H_

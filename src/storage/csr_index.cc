@@ -1,0 +1,62 @@
+#include "storage/csr_index.h"
+
+#include <vector>
+
+namespace vertexica {
+
+std::shared_ptr<const CsrIndex> CsrIndex::Build(const Column& keys) {
+  if (keys.type() != DataType::kInt64 || keys.null_count() > 0) {
+    return nullptr;
+  }
+  auto index = std::shared_ptr<CsrIndex>(new CsrIndex());
+  index->num_rows_ = keys.length();
+
+  if (const std::vector<RleRun>* runs = keys.rle_runs()) {
+    // Straight from the encoded representation — no decode. Adjacent runs
+    // may legally share a value (Column::FromRleRuns), so merge them into
+    // one slice; any later run with a smaller-or-equal value means the
+    // column is not grouped into contiguous ranges.
+    int64_t row = 0;
+    bool have_prev = false;
+    int64_t prev_key = 0;
+    int64_t slice_begin = 0;
+    for (const RleRun& run : *runs) {
+      if (have_prev && run.value < prev_key) return nullptr;
+      if (!have_prev || run.value != prev_key) {
+        if (have_prev) {
+          index->slices_.GetOrInsert(prev_key, {slice_begin, row});
+          ++index->num_keys_;
+        }
+        prev_key = run.value;
+        slice_begin = row;
+        have_prev = true;
+      }
+      row += run.length;
+    }
+    if (have_prev) {
+      index->slices_.GetOrInsert(prev_key, {slice_begin, row});
+      ++index->num_keys_;
+    }
+    return index;
+  }
+
+  const std::vector<int64_t>& values = keys.ints();
+  const int64_t n = static_cast<int64_t>(values.size());
+  int64_t slice_begin = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    if (i == n || values[static_cast<size_t>(i)] !=
+                      values[static_cast<size_t>(i - 1)]) {
+      if (i < n && values[static_cast<size_t>(i)] <
+                       values[static_cast<size_t>(i - 1)]) {
+        return nullptr;  // not nondecreasing: groups may be split
+      }
+      index->slices_.GetOrInsert(values[static_cast<size_t>(i - 1)],
+                                 {slice_begin, i});
+      ++index->num_keys_;
+      slice_begin = i;
+    }
+  }
+  return index;
+}
+
+}  // namespace vertexica

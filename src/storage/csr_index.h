@@ -1,0 +1,67 @@
+/// \file csr_index.h
+/// \brief CSR-style grouped edge index: O(1) per-vertex neighbor-row
+/// slices over the (src, dst)-sorted edge table.
+///
+/// The edge loader keeps edges sorted by (src, dst) with an RLE source
+/// column, so each vertex's out-edges already sit in one contiguous row
+/// range — the CSR property, just stored relationally. This index
+/// materializes that property once per edge snapshot: a hash map from
+/// source id to its [begin, end) row slice, built straight from the RLE
+/// runs when the key column is encoded (no decode) and from one grouping
+/// pass otherwise. The frontier superstep path (vertexica/coordinator.cc)
+/// uses it to gather exactly the active vertices' edge rows instead of
+/// scanning the whole table.
+///
+/// Build is strict about its precondition: if the key column is not
+/// nondecreasing (so some vertex's rows could be split across ranges),
+/// Build returns nullptr and callers fall back to the dense full-scan
+/// path — the index can cost a fallback, never correctness.
+
+#ifndef VERTEXICA_STORAGE_CSR_INDEX_H_
+#define VERTEXICA_STORAGE_CSR_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/hash.h"
+#include "storage/column.h"
+
+namespace vertexica {
+
+/// \brief Immutable per-source-vertex row-slice index over a grouped
+/// (sorted) INT64 key column; shareable across threads once built.
+class CsrIndex {
+ public:
+  /// \brief A contiguous row range [begin, end) of the indexed table.
+  struct Slice {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t length() const { return end - begin; }
+  };
+
+  /// \brief Builds the index over `keys` (must be INT64). Returns nullptr
+  /// when the column is not nondecreasing — adjacent-run merging handles
+  /// RLE encodings that split one value across runs. NULL keys (possible
+  /// in principle, never produced by the edge loader) also fail the build.
+  static std::shared_ptr<const CsrIndex> Build(const Column& keys);
+
+  /// \brief The row slice of `key`; an empty slice when absent.
+  Slice NeighborSlice(int64_t key) const {
+    const Slice* s = slices_.Find(key);
+    return s == nullptr ? Slice{} : *s;
+  }
+
+  int64_t num_keys() const { return num_keys_; }
+  int64_t num_rows() const { return num_rows_; }
+
+ private:
+  CsrIndex() : slices_(0) {}
+
+  Int64HashMap<Slice> slices_;
+  int64_t num_keys_ = 0;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_STORAGE_CSR_INDEX_H_

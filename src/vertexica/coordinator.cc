@@ -1,6 +1,7 @@
 #include "vertexica/coordinator.h"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "common/threadpool.h"
 #include "common/timer.h"
 #include "exec/exec_knobs.h"
+#include "exec/frontier.h"
 #include "exec/merge_join.h"
 #include "exec/parallel.h"
 #include "exec/plan_builder.h"
@@ -32,21 +34,56 @@ static_assert(ShardingSpec{}.base_partitions == kDefaultTransformPartitions,
 
 namespace {
 
-bool AllHalted(const Table& vertex) {
+/// True when every vertex has voted to halt. With `halted_count` the scan
+/// also counts the halted vertices (one full pass — the frontier path's
+/// threshold decision reuses this instead of a second traversal); without
+/// it the scan exits at the first non-halted vertex.
+bool AllHalted(const Table& vertex, int64_t* halted_count = nullptr) {
   const Column* halted = vertex.ColumnByName("halted");
-  if (halted == nullptr) return false;
+  if (halted == nullptr) {
+    if (halted_count != nullptr) *halted_count = 0;
+    return false;
+  }
   // Stored encoded between supersteps: one comparison per run instead of
   // per vertex (an all-halted column is a single run).
   if (const auto* runs = halted->rle_runs()) {
+    int64_t count = 0;
     for (const RleRun& run : *runs) {
-      if (run.value == 0) return false;
+      if (run.value != 0) {
+        count += run.length;
+      } else if (halted_count == nullptr) {
+        return false;
+      }
     }
-    return true;
+    if (halted_count != nullptr) *halted_count = count;
+    return count == vertex.num_rows();
   }
-  for (uint8_t h : halted->bools()) {
-    if (h == 0) return false;
+  // Plain path, word-at-a-time: AppendBool stores canonical 0/1 bytes, so
+  // an all-halted word compares equal to kAllHalted and the per-word halted
+  // count is just its popcount.
+  constexpr uint64_t kAllHalted = 0x0101010101010101ull;
+  const std::vector<uint8_t>& bytes = halted->bools();
+  const size_t n = bytes.size();
+  int64_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes.data() + i, sizeof(word));
+    if (halted_count == nullptr) {
+      if (word != kAllHalted) return false;
+    } else {
+      count += __builtin_popcountll(word);
+    }
   }
-  return true;
+  for (; i < n; ++i) {
+    if (bytes[i] != 0) {
+      ++count;
+    } else if (halted_count == nullptr) {
+      return false;
+    }
+  }
+  if (halted_count != nullptr) *halted_count = count;
+  return halted_count == nullptr || count == static_cast<int64_t>(n);
 }
 
 /// Actual vs. plain footprint of a stored table (SuperstepStats counters).
@@ -69,6 +106,99 @@ bool OrderedByColumn(const Table& t, const std::string& name) {
   if (t.sort_order().empty()) return false;
   const SortKey& k = t.sort_order()[0];
   return k.ascending && t.schema().field(k.column).name == name;
+}
+
+/// The active set of one superstep over one vertex/message (shard) pair:
+/// one bit per vertex row, plus its popcount.
+struct Frontier {
+  Bitvector bits;
+  int64_t active = 0;
+};
+
+/// Decides whether a superstep should take the sparse frontier path and, if
+/// so, derives the active set: non-halted vertices ∪ message receivers —
+/// exactly the vertices whose Compute the worker would run (worker.cc's
+/// activity rule), so restricting the input to them cannot change any
+/// output row.
+///
+/// Gates, cheapest first: the knob (`mode` off), superstep 0 (everything is
+/// active by definition), and the structural precondition that the vertex
+/// table is declared sorted by id — receiver lookup is then a binary search
+/// per message destination, and the regimes line up: the in-place update
+/// path (the sparse regime this path targets) preserves that declared
+/// order, while the union-path replace rebuild (the dense regime) drops it.
+/// Under `auto` the halted scan short-circuits the build: active ≥
+/// non-halted, so a non-halted fraction above `threshold` is already a
+/// dense verdict before any bit is set.
+bool ComputeFrontier(const Table& vertex, const Table& message,
+                     FrontierMode mode, int superstep, double threshold,
+                     Frontier* out) {
+  if (mode == FrontierMode::kOff || superstep == 0) return false;
+  if (!OrderedByColumn(vertex, "id")) return false;
+  const int64_t num_vertices = vertex.num_rows();
+  if (num_vertices == 0) return false;
+  const double budget =
+      threshold * static_cast<double>(num_vertices);  // auto-mode bound
+
+  int64_t halted_rows = 0;
+  AllHalted(vertex, &halted_rows);
+  const int64_t non_halted = num_vertices - halted_rows;
+  if (mode == FrontierMode::kAuto &&
+      static_cast<double>(non_halted) > budget) {
+    return false;
+  }
+
+  Bitvector bits(num_vertices);
+  // Non-halted vertices, straight from the stored halted column (RLE runs
+  // when encoded — a mostly-halted column is a handful of runs).
+  const Column* halted = vertex.ColumnByName("halted");
+  if (halted != nullptr) {
+    if (const auto* runs = halted->rle_runs()) {
+      const auto& starts = *halted->rle_run_starts();
+      for (size_t k = 0; k < runs->size(); ++k) {
+        if ((*runs)[k].value != 0) continue;
+        const int64_t end = starts[k] + (*runs)[k].length;
+        for (int64_t r = starts[k]; r < end; ++r) bits.Set(r);
+      }
+    } else {
+      const auto& bytes = halted->bools();
+      for (int64_t r = 0; r < num_vertices; ++r) {
+        if (bytes[static_cast<size_t>(r)] == 0) bits.Set(r);
+      }
+    }
+  }
+
+  // Message receivers, binary-searched against the sorted id column.
+  // Destinations outside the vertex table (orphan messages) set no bit;
+  // the full message table is passed through either way and the worker
+  // skips those groups identically on both paths. One search per RLE run
+  // when the dst column is encoded; consecutive-duplicate skip otherwise
+  // (the join path keeps messages sorted by receiver).
+  const Column* dst = message.ColumnByName("dst");
+  if (dst != nullptr && message.num_rows() > 0) {
+    const auto& ids = vertex.ColumnByName("id")->ints();
+    const auto set_receiver = [&](int64_t d) {
+      const auto it = std::lower_bound(ids.begin(), ids.end(), d);
+      if (it != ids.end() && *it == d) bits.Set(it - ids.begin());
+    };
+    if (const auto* runs = dst->rle_runs()) {
+      for (const RleRun& run : *runs) set_receiver(run.value);
+    } else {
+      const auto& dsts = dst->ints();
+      for (size_t r = 0; r < dsts.size(); ++r) {
+        if (r > 0 && dsts[r] == dsts[r - 1]) continue;
+        set_receiver(dsts[r]);
+      }
+    }
+  }
+
+  const int64_t active = bits.CountOnes();
+  if (mode == FrontierMode::kAuto && static_cast<double>(active) > budget) {
+    return false;
+  }
+  out->bits = std::move(bits);
+  out->active = active;
+  return true;
 }
 
 /// Fused-split projection of the worker output onto vertex updates:
@@ -191,6 +321,15 @@ struct Coordinator::ShardedState {
   PartitionSet edge;
   std::vector<TablePtr> message;
   std::vector<TablePtr> edge_join_side;  // empty on the union-input path
+  /// Per-shard CSR edge indexes of the union-path frontier gathers, built
+  /// lazily the first superstep a shard takes the frontier path (a dense
+  /// run never pays for them). Race-free without locks: each shard's slot
+  /// is touched only by the one ParallelFor task that owns that shard in a
+  /// superstep, and cross-superstep visibility rides the pool's
+  /// submit/join synchronization. `edge_csr_failed[s]` remembers an
+  /// unbuildable shard layout so it is probed once, not every superstep.
+  std::vector<std::shared_ptr<const CsrIndex>> edge_csr;
+  std::vector<uint8_t> edge_csr_failed;
 };
 
 Coordinator::Coordinator(Catalog* catalog, VertexProgram* program,
@@ -306,14 +445,88 @@ Result<Table> Coordinator::BuildJoinInputWithEdgeSide(
       .Execute();
 }
 
+void Coordinator::SyncEdgeDerived(const TablePtr& edge) const {
+  if (edge_derived_.source == edge) return;
+  // A different snapshot — including an edge table replaced mid-run (the
+  // dynamic-graph path): drop every derived structure together so nothing
+  // stale can pair with the new rows.
+  edge_derived_ = EdgeDerived{};
+  edge_derived_.source = edge;
+}
+
+Result<Coordinator::TablePtr> Coordinator::EdgeJoinSideFor(
+    const TablePtr& edge) const {
+  SyncEdgeDerived(edge);
+  if (edge_derived_.join_side == nullptr) {
+    VX_ASSIGN_OR_RETURN(edge_derived_.join_side, BuildEdgeJoinSide(edge));
+  }
+  return edge_derived_.join_side;
+}
+
+const CsrIndex* Coordinator::EdgeCsrFor(const TablePtr& edge) const {
+  SyncEdgeDerived(edge);
+  if (edge_derived_.csr == nullptr && !edge_derived_.csr_failed) {
+    const Column* src = edge->ColumnByName("src");
+    if (src != nullptr) edge_derived_.csr = CsrIndex::Build(*src);
+    edge_derived_.csr_failed = edge_derived_.csr == nullptr;
+  }
+  return edge_derived_.csr.get();
+}
+
 Result<Table> Coordinator::BuildJoinInput(const TablePtr& vertex,
                                           const TablePtr& edge,
                                           const TablePtr& message) const {
-  if (cached_edge_source_ != edge || cached_edge_join_side_ == nullptr) {
-    VX_ASSIGN_OR_RETURN(cached_edge_join_side_, BuildEdgeJoinSide(edge));
-    cached_edge_source_ = edge;
+  VX_ASSIGN_OR_RETURN(TablePtr edge_side, EdgeJoinSideFor(edge));
+  return BuildJoinInputWithEdgeSide(vertex, edge_side, message);
+}
+
+Result<Table> Coordinator::BuildUnionInputFrontier(
+    const TablePtr& vertex, const TablePtr& edge, const TablePtr& message,
+    const Bitvector& frontier, const CsrIndex& csr) const {
+  // Restrict the vertex section to the active rows and the edge section to
+  // their CSR slices, then reuse the dense union builder over the small
+  // tables. Both gathers iterate the frontier in ascending row order over
+  // id-sorted tables, so the restricted sections keep the full tables'
+  // relative row order — after the stable partition-and-sort the surviving
+  // per-vertex tuple streams are exactly the dense build's (inactive
+  // vertices contribute no worker output, so dropping their rows is
+  // unobservable). The message section is passed through whole: every
+  // in-table receiver is in the frontier by construction, and orphan
+  // receivers are skipped by the worker on both paths.
+  const std::vector<int64_t> active_rows = frontier.SetIndices();
+  Table active_vertex = vertex->Take(active_rows);
+
+  const auto& ids = vertex->ColumnByName("id")->ints();
+  std::vector<int64_t> edge_rows;
+  for (int64_t r : active_rows) {
+    const CsrIndex::Slice s = csr.NeighborSlice(ids[static_cast<size_t>(r)]);
+    for (int64_t e = s.begin; e < s.end; ++e) edge_rows.push_back(e);
   }
-  return BuildJoinInputWithEdgeSide(vertex, cached_edge_join_side_, message);
+  Table active_edge = edge->Take(edge_rows);
+
+  return BuildUnionInput(
+      std::make_shared<const Table>(std::move(active_vertex)),
+      std::make_shared<const Table>(std::move(active_edge)), message);
+}
+
+Result<Table> Coordinator::BuildJoinInputFrontier(
+    const TablePtr& vertex, const TablePtr& edge_side,
+    const TablePtr& message, const Bitvector& frontier) const {
+  // Only the probe (vertex) side is restricted; the message and edge build
+  // sides stay whole, so their msg_seq/edge_seq numbering — what the worker
+  // uses to undo the join fan-out — is untouched. Join output is
+  // probe-row-major, so dropping probe rows that produce no worker output
+  // leaves the surviving rows' relative order (and the per-vertex streams)
+  // bit-identical to the dense plan's.
+  Table active = vertex->Take(frontier.SetIndices());
+  // Take conservatively drops the declared order, but the gather indices
+  // are ascending over an id-sorted table (a frontier precondition) — the
+  // restriction is still id-sorted; re-declare it so the superstep joins
+  // keep merging.
+  VX_ASSIGN_OR_RETURN(int id_c, active.ColumnIndex("id"));
+  active.SetSortOrder({{id_c, true}});
+  return BuildJoinInputWithEdgeSide(
+      std::make_shared<const Table>(std::move(active)), edge_side, message);
 }
 
 Result<Table> Coordinator::UpdateVerticesInPlace(const Table& vertex,
@@ -521,12 +734,36 @@ Status Coordinator::Run(RunStats* stats) {
       shared->aggregator_names.push_back(spec.name);
     }
 
+    // ---- Worker input: frontier (sparse) or dense build. ---------------
+    // The frontier decision is part of the measured input phase — deriving
+    // the active set is a cost the sparse path pays, so input_seconds must
+    // charge for it.
     WallTimer phase_timer;
+    Frontier frontier;
+    bool used_frontier =
+        ComputeFrontier(*vertex, *message, AmbientFrontierMode(), superstep,
+                        options_.frontier_threshold, &frontier);
     Table input;
     if (options_.use_union_input) {
-      VX_ASSIGN_OR_RETURN(input, BuildUnionInput(vertex, edge, message));
+      const CsrIndex* csr = used_frontier ? EdgeCsrFor(edge) : nullptr;
+      used_frontier = used_frontier && csr != nullptr;
+      if (used_frontier) {
+        VX_ASSIGN_OR_RETURN(input, BuildUnionInputFrontier(
+                                       vertex, edge, message, frontier.bits,
+                                       *csr));
+      } else {
+        VX_ASSIGN_OR_RETURN(input, BuildUnionInput(vertex, edge, message));
+      }
     } else {
-      VX_ASSIGN_OR_RETURN(input, BuildJoinInput(vertex, edge, message));
+      VX_ASSIGN_OR_RETURN(TablePtr edge_side, EdgeJoinSideFor(edge));
+      if (used_frontier) {
+        VX_ASSIGN_OR_RETURN(input, BuildJoinInputFrontier(
+                                       vertex, edge_side, message,
+                                       frontier.bits));
+      } else {
+        VX_ASSIGN_OR_RETURN(
+            input, BuildJoinInputWithEdgeSide(vertex, edge_side, message));
+      }
     }
     const double input_seconds = phase_timer.ElapsedSeconds();
 
@@ -614,13 +851,15 @@ Status Coordinator::Run(RunStats* stats) {
         used_replace = true;
         VX_ASSIGN_OR_RETURN(new_vertex, RebuildVertices(*vertex, updates));
         // The anti-join ∪ union rebuild breaks the sorted-by-id invariant
-        // (updated rows land at the tail); restore it so the next
-        // superstep's joins keep merging. Stable and id-keyed, so results
-        // are unchanged — update-vs-replace now converges to the same row
-        // order as the in-place path. Not gated on the merge knob (see
-        // the bit-identity note at the top of Run).
-        if (!options_.use_union_input &&
-            !OrderedByColumn(new_vertex, "id")) {
+        // (updated rows land at the tail); restore it on both input paths —
+        // the join path's merge joins and the frontier's receiver binary
+        // search both key on it. Stable and id-keyed, so results are
+        // unchanged: every id owns exactly one vertex row and the worker
+        // input is stable-sorted by id per partition, so vertex-table row
+        // order never reaches a per-vertex tuple stream. Not gated on the
+        // merge or frontier knobs (see the bit-identity note at the top
+        // of Run).
+        if (!OrderedByColumn(new_vertex, "id")) {
           VX_ASSIGN_OR_RETURN(int id_c, new_vertex.ColumnIndex("id"));
           new_vertex = SortTable(new_vertex, {{id_c, true}});
         }
@@ -655,12 +894,16 @@ Status Coordinator::Run(RunStats* stats) {
       s.apply_seconds = phase_timer.ElapsedSeconds();
       s.encoded_bytes = encoded_bytes;
       s.decoded_bytes = decoded_bytes;
+      s.used_frontier = used_frontier;
+      s.frontier_vertices = used_frontier ? frontier.active : 0;
       s.merge_joins = join_stats.merge_joins;
       s.hash_joins = join_stats.hash_joins;
       s.join_rows = join_stats.merge_rows + join_stats.hash_rows;
       s.join_seconds = join_stats.merge_seconds + join_stats.hash_seconds;
       stats->supersteps.push_back(s);
       stats->total_messages += messages_sent;
+      ++(used_frontier ? stats->frontier_supersteps
+                       : stats->dense_supersteps);
     }
 
     if (options_.checkpoint_every > 0 &&
@@ -728,6 +971,8 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
         sharded_->edge_join_side.push_back(std::move(side));
       }
     }
+    sharded_->edge_csr.resize(static_cast<size_t>(num_shards));
+    sharded_->edge_csr_failed.assign(static_cast<size_t>(num_shards), 0);
   }
   const int64_t total_vertices = sharded_->vertex.total_rows();
 
@@ -779,6 +1024,8 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
     // ---- Per-shard dataflow: input → worker → split, shard-parallel. ---
     struct ShardStep {
       int64_t input_rows = 0;
+      bool used_frontier = false;
+      int64_t frontier_vertices = 0;
       Table updates;
       Table messages;
       WorkerOutputScan scan;
@@ -803,14 +1050,51 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
             const auto& vs = sharded_->vertex.shard(static_cast<int>(s));
             const auto& es = sharded_->edge.shard(static_cast<int>(s));
             const auto& ms = sharded_->message[s];
+            // Frontier decision per shard: a shard's active fraction is
+            // its own (one dense hub shard doesn't force the whole
+            // superstep dense). Value-neutral either way — the per-shard
+            // frontier build is the unsharded construction applied to the
+            // shard's slice of the partition blocks.
+            Frontier frontier;
+            bool frontier_shard = ComputeFrontier(
+                *vs, *ms, knobs.frontier, superstep,
+                options_.frontier_threshold, &frontier);
             Table input;
             if (options_.use_union_input) {
-              VX_ASSIGN_OR_RETURN(input, BuildUnionInput(vs, es, ms));
+              const CsrIndex* csr = nullptr;
+              if (frontier_shard && !sharded_->edge_csr_failed[s]) {
+                if (sharded_->edge_csr[s] == nullptr) {
+                  const Column* src = es->ColumnByName("src");
+                  if (src != nullptr) {
+                    sharded_->edge_csr[s] = CsrIndex::Build(*src);
+                  }
+                  sharded_->edge_csr_failed[s] =
+                      sharded_->edge_csr[s] == nullptr ? 1 : 0;
+                }
+                csr = sharded_->edge_csr[s].get();
+              }
+              frontier_shard = frontier_shard && csr != nullptr;
+              if (frontier_shard) {
+                VX_ASSIGN_OR_RETURN(
+                    input, BuildUnionInputFrontier(vs, es, ms, frontier.bits,
+                                                   *csr));
+              } else {
+                VX_ASSIGN_OR_RETURN(input, BuildUnionInput(vs, es, ms));
+              }
             } else {
-              VX_ASSIGN_OR_RETURN(
-                  input, BuildJoinInputWithEdgeSide(
-                             vs, sharded_->edge_join_side[s], ms));
+              if (frontier_shard) {
+                VX_ASSIGN_OR_RETURN(
+                    input, BuildJoinInputFrontier(
+                               vs, sharded_->edge_join_side[s], ms,
+                               frontier.bits));
+              } else {
+                VX_ASSIGN_OR_RETURN(
+                    input, BuildJoinInputWithEdgeSide(
+                               vs, sharded_->edge_join_side[s], ms));
+              }
             }
+            st.used_frontier = frontier_shard;
+            st.frontier_vertices = frontier_shard ? frontier.active : 0;
             st.input_rows = input.num_rows();
             VX_ASSIGN_OR_RETURN(Table out_table,
                                 ApplyTransform(input, 0, factory, topts));
@@ -927,8 +1211,9 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
               } else {
                 VX_ASSIGN_OR_RETURN(
                     new_vertex, RebuildVertices(*vs, step[s].updates));
-                if (!options_.use_union_input &&
-                    !OrderedByColumn(new_vertex, "id")) {
+                // Both input paths, like the unsharded loop: the sorted
+                // invariant feeds the merge joins and the frontier.
+                if (!OrderedByColumn(new_vertex, "id")) {
                   VX_ASSIGN_OR_RETURN(int id_c,
                                       new_vertex.ColumnIndex("id"));
                   new_vertex = SortTable(new_vertex, {{id_c, true}});
@@ -974,6 +1259,8 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
       JoinPathStats join_stats;
       for (const ShardStep& st : step) {
         s.shard_input_rows.push_back(st.input_rows);
+        s.used_frontier = s.used_frontier || st.used_frontier;
+        s.frontier_vertices += st.frontier_vertices;
         join_stats.merge_joins += st.join_stats.merge_joins;
         join_stats.hash_joins += st.join_stats.hash_joins;
         join_stats.merge_rows += st.join_stats.merge_rows;
@@ -988,6 +1275,8 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
       s.join_seconds = join_stats.merge_seconds + join_stats.hash_seconds;
       stats->supersteps.push_back(s);
       stats->total_messages += messages_sent;
+      ++(s.used_frontier ? stats->frontier_supersteps
+                         : stats->dense_supersteps);
     }
 
     if (options_.checkpoint_every > 0 &&
@@ -1048,7 +1337,9 @@ std::string RunStats::ToJson() const {
   std::ostringstream os;
   os << "{\"total_seconds\":" << total_seconds
      << ",\"total_messages\":" << total_messages
-     << ",\"num_supersteps\":" << num_supersteps() << ",\"supersteps\":[";
+     << ",\"num_supersteps\":" << num_supersteps()
+     << ",\"frontier_supersteps\":" << frontier_supersteps
+     << ",\"dense_supersteps\":" << dense_supersteps << ",\"supersteps\":[";
   for (size_t i = 0; i < supersteps.size(); ++i) {
     const SuperstepStats& s = supersteps[i];
     if (i > 0) os << ",";
@@ -1078,6 +1369,8 @@ std::string RunStats::ToJson() const {
       os << s.shard_messages[j];
     }
     os << "]"
+       << ",\"used_frontier\":" << (s.used_frontier ? "true" : "false")
+       << ",\"frontier_vertices\":" << s.frontier_vertices
        << ",\"merge_joins\":" << s.merge_joins
        << ",\"hash_joins\":" << s.hash_joins
        << ",\"join_rows\":" << s.join_rows

@@ -26,6 +26,8 @@
 
 #include "catalog/catalog.h"
 #include "graphgen/graph.h"
+#include "storage/bitvector.h"
+#include "storage/csr_index.h"
 #include "vertexica/graph_tables.h"
 #include "vertexica/options.h"
 #include "vertexica/vertex_program.h"
@@ -77,6 +79,18 @@ struct SuperstepStats {
   int64_t cross_shard_messages = 0;
   /// @}
 
+  /// \name Frontier-path accounting (exec/frontier.h)
+  /// Whether this superstep's worker input was built from the sparse
+  /// active-vertex frontier instead of the full tables, and how many
+  /// vertices the frontier contained (the active-set popcount; 0 on dense
+  /// supersteps). On sharded runs the decision is per shard:
+  /// `used_frontier` is true when any shard took the frontier path and
+  /// `frontier_vertices` sums the frontier shards' active counts.
+  /// @{
+  bool used_frontier = false;
+  int64_t frontier_vertices = 0;
+  /// @}
+
   /// \name Join-path accounting (exec/merge_join.h)
   /// Joins executed by this superstep's relational plans — the 3-way
   /// input build and the replace-path vertex rebuild — split by physical
@@ -98,6 +112,14 @@ struct RunStats {
   std::vector<SuperstepStats> supersteps;
   double total_seconds = 0.0;
   int64_t total_messages = 0;
+
+  /// \name Frontier-vs-dense superstep counts (exec/frontier.h)
+  /// How many supersteps took each input-build path; they sum to
+  /// `supersteps.size()` when per-step stats are collected.
+  /// @{
+  int64_t frontier_supersteps = 0;
+  int64_t dense_supersteps = 0;
+  /// @}
 
   /// Superstep count for engines that run supersteps without a per-step
   /// phase breakdown (e.g. the BSP comparator behind the Engine facade);
@@ -160,6 +182,31 @@ class Coordinator {
   Result<Table> BuildJoinInputWithEdgeSide(const TablePtr& vertex,
                                            const TablePtr& edge_side,
                                            const TablePtr& message) const;
+
+  /// \name Frontier input builders (exec/frontier.h)
+  ///
+  /// Sparse counterparts of BuildUnionInput / BuildJoinInputWithEdgeSide:
+  /// the worker input is gathered from the `frontier` bitvector over
+  /// vertex rows — active vertex rows, their CSR edge slices (union path)
+  /// or the restricted probe side (join path), and the full message table
+  /// (every receiver is in the frontier by construction; receivers absent
+  /// from the vertex table are skipped by the worker exactly as on the
+  /// dense path). Gathers iterate set bits in ascending row order and the
+  /// section order (v → e → m) is unchanged, so after the stable
+  /// partition-and-sort the per-vertex tuple streams — and therefore
+  /// results, combiner folds, and aggregate FP folds — are bit-identical
+  /// to the dense build.
+  /// @{
+  Result<Table> BuildUnionInputFrontier(const TablePtr& vertex,
+                                        const TablePtr& edge,
+                                        const TablePtr& message,
+                                        const Bitvector& frontier,
+                                        const CsrIndex& csr) const;
+  Result<Table> BuildJoinInputFrontier(const TablePtr& vertex,
+                                       const TablePtr& edge_side,
+                                       const TablePtr& message,
+                                       const Bitvector& frontier) const;
+  /// @}
   /// Applies the program's message combiner (when configured and enabled)
   /// over a message table; otherwise returns it unchanged.
   Result<Table> CombineMessages(Table messages) const;
@@ -194,14 +241,33 @@ class Coordinator {
   GraphTableNames names_;
   std::map<std::string, double> prev_aggregates_;
 
-  /// Join-input projection of the edge table — (esrc, edst, eweight,
-  /// edge_seq), sorted like its source and with the esrc column kept
-  /// RLE-encoded so the merge join matches whole runs. The edge table is
-  /// immutable across supersteps, so this is built once per run and
-  /// invalidated by snapshot identity; the message/vertex sides change
-  /// every superstep and are not cacheable.
-  mutable TablePtr cached_edge_source_;
-  mutable TablePtr cached_edge_join_side_;
+  /// Structures derived from one edge-table snapshot, cached together and
+  /// invalidated together by snapshot identity — the coordinator re-fetches
+  /// the stored edge table every superstep, so replacing it (the
+  /// dynamic-graph path) changes `source` and rebuilds both members on
+  /// first use. `join_side` is the (esrc, edst, eweight, edge_seq)
+  /// projection with the esrc column kept RLE-encoded so the merge join
+  /// matches whole runs; `csr` is the per-source-vertex row-slice index the
+  /// frontier gathers use (csr_failed remembers an unbuildable layout so an
+  /// unsorted edge table is probed once per snapshot, not per superstep).
+  /// The message/vertex sides change every superstep and are not cacheable.
+  struct EdgeDerived {
+    TablePtr source;
+    TablePtr join_side;                   ///< lazy; join-input path
+    std::shared_ptr<const CsrIndex> csr;  ///< lazy; union frontier path
+    bool csr_failed = false;
+  };
+  /// Drops the cache when `edge` is a different snapshot than the one the
+  /// cached structures were derived from.
+  void SyncEdgeDerived(const TablePtr& edge) const;
+  /// The cached join side for `edge`, building it on first use.
+  Result<TablePtr> EdgeJoinSideFor(const TablePtr& edge) const;
+  /// The cached CSR index for `edge`, building it on first use; nullptr
+  /// when the edge table's src column is not grouped (callers fall back to
+  /// the dense path).
+  const CsrIndex* EdgeCsrFor(const TablePtr& edge) const;
+
+  mutable EdgeDerived edge_derived_;
 
   /// Resident shard state of the persistent-sharding path (vertex/edge
   /// PartitionSets, per-shard message tables and cached edge join sides);

@@ -62,6 +62,15 @@ struct VertexicaOptions {
   /// rebuild it via left join + table replace.
   double update_threshold = 0.1;
 
+  /// Activation threshold of the sparse frontier superstep path
+  /// (exec/frontier.h): under the `auto` frontier mode a superstep takes
+  /// the frontier path when its active-vertex fraction (non-halted
+  /// vertices plus message receivers) is at most this value. Ignored when
+  /// the ambient frontier mode is `on` (always frontier where structurally
+  /// possible) or `off` (always dense). Value-neutral either way: the two
+  /// paths are bit-identical by construction.
+  double frontier_threshold = 0.25;
+
   /// Safety bound on the superstep loop.
   int max_supersteps = 500;
 

@@ -12,6 +12,7 @@
 #include "algorithms/label_propagation.h"
 #include "algorithms/reference.h"
 #include "catalog/catalog_io.h"
+#include "exec/frontier.h"
 #include "exec/merge_join.h"
 #include "giraph/bsp_engine.h"
 #include "sqlgraph/sql_common.h"
@@ -432,6 +433,111 @@ TEST(CheckpointTest, NoResumeFlagRestartsFromZero) {
   ASSERT_TRUE(again.Run(&stats).ok());
   ASSERT_FALSE(stats.supersteps.empty());
   EXPECT_EQ(stats.supersteps.front().superstep, 0);
+}
+
+TEST(CheckpointTest, ResumedFrontierRunMatchesDenseBaseline) {
+  Graph g = GenerateRmat(80, 400, 94);
+  AssignRandomWeights(&g, 1.0, 4.0, 95);
+  // Dense uninterrupted baseline.
+  Catalog full;
+  std::vector<double> dense;
+  {
+    ScopedFrontierMode off(FrontierMode::kOff);
+    auto r = RunShortestPaths(&full, g, 0);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    dense = *r;
+  }
+
+  // Frontier run, checkpointed and "crashed" after superstep 1, then
+  // resumed with the frontier still forced on: the resumed coordinator
+  // must re-derive the active set from the restored tables (RLE halted
+  // column, restored-by-verification sort orders) and still land on the
+  // dense answer bit for bit.
+  ScopedFrontierMode on(FrontierMode::kOn);
+  const std::string dir = testing::TempDir() + "/vx_ckpt_frontier";
+  ShortestPathProgram program(0);
+  Catalog cat;
+  ASSERT_TRUE(LoadGraphTables(&cat, g, program).ok());
+  VertexicaOptions opts;
+  opts.use_union_input = false;
+  opts.max_supersteps = 2;
+  opts.checkpoint_every = 1;
+  opts.checkpoint_dir = dir;
+  Coordinator interrupted(&cat, &program, opts);
+  ASSERT_TRUE(interrupted.Run().ok());
+
+  Catalog recovered;
+  ASSERT_TRUE(LoadCatalog(dir, &recovered).ok());
+  VertexicaOptions resume = opts;
+  resume.max_supersteps = 500;
+  resume.checkpoint_every = 0;
+  resume.resume_from_checkpoint = true;
+  ShortestPathProgram program2(0);
+  Coordinator resumed(&recovered, &program2, resume);
+  RunStats stats;
+  ASSERT_TRUE(resumed.Run(&stats).ok());
+  ASSERT_FALSE(stats.supersteps.empty());
+  EXPECT_GE(stats.supersteps.front().superstep, 2);
+  EXPECT_GT(stats.frontier_supersteps, 0);
+
+  auto dists = ReadVertexValues(recovered, {});
+  ASSERT_TRUE(dists.ok());
+  ASSERT_EQ(dists->size(), dense.size());
+  for (size_t v = 0; v < dense.size(); ++v) {
+    EXPECT_EQ((*dists)[v], dense[v]) << "vertex " << v;
+  }
+}
+
+// ------------------------------------------- Edge-derived cache invalidation
+
+TEST(CoordinatorCacheTest, EdgeTableReplacedBetweenRunsRebuildsCaches) {
+  // One coordinator, two runs, the edge table replaced in between (the
+  // dynamic-graph pattern): the per-snapshot edge-derived caches — the
+  // join side and the frontier's CSR index — must be invalidated by
+  // snapshot identity and rebuilt, or run 2 computes distances over the
+  // stale edge set. Exercised on both input paths with the frontier
+  // forced on so the CSR cache is actually consulted.
+  const int64_t n = 20;
+  Graph chain;
+  chain.num_vertices = n;
+  for (int64_t v = 0; v + 1 < n; ++v) chain.AddEdge(v, v + 1, 1.0);
+  Graph shortcut = chain;
+  shortcut.AddEdge(0, n / 2, 0.5);  // new shortest path to the back half
+
+  ScopedFrontierMode on(FrontierMode::kOn);
+  for (const bool union_input : {true, false}) {
+    VertexicaOptions opts;
+    opts.use_union_input = union_input;
+    ShortestPathProgram program(0);
+    Catalog cat;
+    ASSERT_TRUE(LoadGraphTables(&cat, chain, program).ok());
+    Coordinator coordinator(&cat, &program, opts);
+    ASSERT_TRUE(coordinator.Run().ok());
+    auto before = ReadVertexValues(cat, {});
+    ASSERT_TRUE(before.ok());
+    EXPECT_DOUBLE_EQ((*before)[static_cast<size_t>(n / 2)],
+                     static_cast<double>(n / 2));
+
+    // Replace the graph tables (same coordinator!) and rerun. A fresh
+    // coordinator over the same catalog is the trusted reference.
+    ASSERT_TRUE(LoadGraphTables(&cat, shortcut, program).ok());
+    ASSERT_TRUE(coordinator.Run().ok());
+    auto after = ReadVertexValues(cat, {});
+    ASSERT_TRUE(after.ok());
+
+    Catalog fresh_cat;
+    ShortestPathProgram fresh_program(0);
+    auto expect = RunShortestPaths(&fresh_cat, shortcut, 0, opts);
+    ASSERT_TRUE(expect.ok());
+    ASSERT_EQ(after->size(), expect->size());
+    for (size_t v = 0; v < expect->size(); ++v) {
+      EXPECT_EQ((*after)[v], (*expect)[v])
+          << (union_input ? "union" : "join") << " input, vertex " << v;
+    }
+    // The shortcut must actually be visible: distance to the back half
+    // drops, which a stale edge cache cannot produce.
+    EXPECT_DOUBLE_EQ((*after)[static_cast<size_t>(n / 2)], 0.5);
+  }
 }
 
 // ------------------------------------------------- Label propagation

@@ -103,30 +103,35 @@ TEST(ExecKnobsTest, CaptureInstallRoundTripsAcrossThreads) {
   ScopedExecShards shards(2);
   ScopedEncodingMode encoding(EncodingMode::kForce);
   ScopedMergeJoin merge(false);
+  ScopedFrontierMode frontier(FrontierMode::kOn);
 
   const ExecKnobs knobs = ExecKnobs::Capture();
   EXPECT_EQ(knobs.threads, 3);
   EXPECT_EQ(knobs.shards, 2);
   EXPECT_EQ(knobs.encoding, EncodingMode::kForce);
   EXPECT_FALSE(knobs.merge_join);
+  EXPECT_EQ(knobs.frontier, FrontierMode::kOn);
 
   // A fresh thread has none of the thread-local overrides; installing the
   // captured knobs must reproduce the caller's configuration exactly.
   int seen_threads = 0, seen_shards = 0;
   EncodingMode seen_encoding = EncodingMode::kAuto;
   bool seen_merge = true;
+  FrontierMode seen_frontier = FrontierMode::kOff;
   std::thread worker([&]() {
     ScopedExecKnobs install(knobs);
     seen_threads = ExecThreads();
     seen_shards = ExecShards();
     seen_encoding = AmbientEncodingMode();
     seen_merge = MergeJoinEnabled();
+    seen_frontier = AmbientFrontierMode();
   });
   worker.join();
   EXPECT_EQ(seen_threads, 3);
   EXPECT_EQ(seen_shards, 2);
   EXPECT_EQ(seen_encoding, EncodingMode::kForce);
   EXPECT_FALSE(seen_merge);
+  EXPECT_EQ(seen_frontier, FrontierMode::kOn);
 }
 
 TEST(ExecContextTest, FromRequestResolvesOverrides) {
@@ -135,19 +140,29 @@ TEST(ExecContextTest, FromRequestResolvesOverrides) {
   request.shards = 3;
   request.encoding = "force";
   request.merge_join = "off";
+  request.frontier = "on";
   const ExecContext ctx = ExecContext::FromRequest(request);
   EXPECT_EQ(ctx.knobs.threads, 5);
   EXPECT_EQ(ctx.knobs.shards, 3);
   EXPECT_EQ(ctx.knobs.encoding, EncodingMode::kForce);
   EXPECT_FALSE(ctx.knobs.merge_join);
+  EXPECT_EQ(ctx.knobs.frontier, FrontierMode::kOn);
   EXPECT_EQ(ctx.DemandThreads(), 5);
 
   // Unset fields inherit the ambient configuration.
   ScopedExecThreads threads(2);
+  ScopedFrontierMode off(FrontierMode::kOff);
   RunRequest ambient;
   const ExecContext inherited = ExecContext::FromRequest(ambient);
   EXPECT_EQ(inherited.knobs.threads, 2);
   EXPECT_TRUE(inherited.knobs.merge_join);
+  EXPECT_EQ(inherited.knobs.frontier, FrontierMode::kOff);
+
+  // An explicit request field beats the ambient scope, like threads.
+  RunRequest explicit_frontier;
+  explicit_frontier.frontier = "auto";
+  const ExecContext resolved = ExecContext::FromRequest(explicit_frontier);
+  EXPECT_EQ(resolved.knobs.frontier, FrontierMode::kAuto);
 }
 
 // --------------------------------------------------------- admission

@@ -13,7 +13,9 @@
 #include "exec/parallel.h"
 #include "exec/plan_builder.h"
 #include "exec/scan.h"
+#include "storage/bitvector.h"
 #include "storage/compression.h"
+#include "storage/csr_index.h"
 #include "storage/partition.h"
 #include "storage/sort.h"
 #include "storage/table.h"
@@ -934,6 +936,126 @@ TEST(ShardingTest, ReplaceShardSwapsTable) {
   set->ReplaceShard(0, std::move(empty));
   EXPECT_EQ(set->shard(0)->num_rows(), 0);
   EXPECT_EQ(set->total_rows(), other_rows);
+}
+
+// ---- Bitvector (the frontier representation). ----------------------------
+
+TEST(BitvectorTest, SetTestClearRoundTrip) {
+  Bitvector bits(200);
+  EXPECT_EQ(bits.size(), 200);
+  EXPECT_EQ(bits.CountOnes(), 0);
+  for (int64_t i = 0; i < 200; i += 7) bits.Set(i);
+  for (int64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(bits.Test(i), i % 7 == 0) << i;
+  }
+  EXPECT_EQ(bits.CountOnes(), (200 + 6) / 7);
+  bits.Clear(0);
+  bits.Clear(7);
+  EXPECT_FALSE(bits.Test(0));
+  EXPECT_FALSE(bits.Test(7));
+  EXPECT_TRUE(bits.Test(14));
+  EXPECT_EQ(bits.CountOnes(), (200 + 6) / 7 - 2);
+}
+
+TEST(BitvectorTest, WordBoundarySizes) {
+  // 63/64/65: last-word tails of every flavor. The final bit must be
+  // settable and CountOnes must not read past size().
+  for (int64_t size : {63, 64, 65}) {
+    Bitvector bits(size);
+    bits.Set(size - 1);
+    EXPECT_TRUE(bits.Test(size - 1)) << size;
+    EXPECT_EQ(bits.CountOnes(), 1) << size;
+    bits.Set(0);
+    EXPECT_EQ(bits.CountOnes(), 2) << size;
+    EXPECT_EQ(bits.SetIndices(), (std::vector<int64_t>{0, size - 1}))
+        << size;
+  }
+}
+
+TEST(BitvectorTest, ForEachSetBitAscending) {
+  Bitvector bits(130);
+  const std::vector<int64_t> expected = {1, 63, 64, 65, 128, 129};
+  for (int64_t i : expected) bits.Set(i);
+  std::vector<int64_t> seen;
+  bits.ForEachSetBit([&seen](int64_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(bits.SetIndices(), expected);
+}
+
+TEST(BitvectorTest, AndOrCombine) {
+  Bitvector a(100);
+  Bitvector b(100);
+  for (int64_t i = 0; i < 100; i += 2) a.Set(i);   // evens
+  for (int64_t i = 0; i < 100; i += 3) b.Set(i);   // multiples of 3
+  Bitvector u = a;
+  u.Or(b);
+  Bitvector x = a;
+  x.And(b);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(u.Test(i), i % 2 == 0 || i % 3 == 0) << i;
+    EXPECT_EQ(x.Test(i), i % 6 == 0) << i;
+  }
+}
+
+// ---- CsrIndex (frontier edge slices). ------------------------------------
+
+Column GroupedKeys(const std::vector<int64_t>& values) {
+  Column c(DataType::kInt64);
+  for (int64_t v : values) c.AppendInt64(v);
+  return c;
+}
+
+TEST(CsrIndexTest, SlicesMatchGroupedRuns) {
+  // src column of a (src, dst)-sorted edge table: 0,0,0,2,2,5.
+  const Column keys = GroupedKeys({0, 0, 0, 2, 2, 5});
+  const auto csr = CsrIndex::Build(keys);
+  ASSERT_NE(csr, nullptr);
+  EXPECT_EQ(csr->num_keys(), 3);
+  EXPECT_EQ(csr->num_rows(), 6);
+  EXPECT_EQ(csr->NeighborSlice(0).begin, 0);
+  EXPECT_EQ(csr->NeighborSlice(0).end, 3);
+  EXPECT_EQ(csr->NeighborSlice(2).begin, 3);
+  EXPECT_EQ(csr->NeighborSlice(2).end, 5);
+  EXPECT_EQ(csr->NeighborSlice(5).begin, 5);
+  EXPECT_EQ(csr->NeighborSlice(5).end, 6);
+  EXPECT_EQ(csr->NeighborSlice(1).length(), 0);   // absent key: empty slice
+  EXPECT_EQ(csr->NeighborSlice(99).length(), 0);
+}
+
+TEST(CsrIndexTest, EncodedKeysBuildFromRuns) {
+  Column keys = GroupedKeys({0, 0, 0, 2, 2, 5});
+  ASSERT_TRUE(keys.Encode(EncodingMode::kForce));
+  ASSERT_EQ(keys.encoding(), ColumnEncoding::kRle);
+  const auto csr = CsrIndex::Build(keys);
+  ASSERT_NE(csr, nullptr);
+  EXPECT_EQ(csr->num_keys(), 3);
+  EXPECT_EQ(csr->NeighborSlice(2).begin, 3);
+  EXPECT_EQ(csr->NeighborSlice(2).end, 5);
+}
+
+TEST(CsrIndexTest, AdjacentRunsSharingAValueMerge) {
+  // Column::FromRleRuns permits adjacent runs with the same value; the
+  // index must see them as one slice.
+  Column keys = Column::FromRleRuns({{7, 2}, {7, 3}, {9, 1}});
+  const auto csr = CsrIndex::Build(keys);
+  ASSERT_NE(csr, nullptr);
+  EXPECT_EQ(csr->num_keys(), 2);
+  EXPECT_EQ(csr->NeighborSlice(7).begin, 0);
+  EXPECT_EQ(csr->NeighborSlice(7).end, 5);
+  EXPECT_EQ(csr->NeighborSlice(9).begin, 5);
+  EXPECT_EQ(csr->NeighborSlice(9).end, 6);
+}
+
+TEST(CsrIndexTest, UngroupedKeysFailTheBuild) {
+  EXPECT_EQ(CsrIndex::Build(GroupedKeys({0, 2, 1})), nullptr);
+  EXPECT_EQ(CsrIndex::Build(Column::FromRleRuns({{3, 2}, {1, 2}})), nullptr);
+  Column with_null(DataType::kInt64);
+  with_null.AppendInt64(1);
+  with_null.AppendNull();
+  EXPECT_EQ(CsrIndex::Build(with_null), nullptr);
+  Column doubles(DataType::kDouble);
+  doubles.AppendDouble(1.0);
+  EXPECT_EQ(CsrIndex::Build(doubles), nullptr);
 }
 
 }  // namespace

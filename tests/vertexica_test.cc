@@ -8,6 +8,7 @@
 #include "algorithms/pagerank.h"
 #include "algorithms/reference.h"
 #include "algorithms/sssp.h"
+#include "exec/frontier.h"
 #include "exec/merge_join.h"
 #include "graphgen/generators.h"
 #include "storage/partition.h"
@@ -621,6 +622,157 @@ TEST(ShardingTest, ShardedMergeJoinStillMergesOnly) {
     // (src, dst)) the planner needs.
     EXPECT_EQ(s.merge_joins, 2 * 4) << "superstep " << s.superstep;
     EXPECT_EQ(s.hash_joins, 0) << "superstep " << s.superstep;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Active-vertex frontier supersteps (exec/frontier.h): the worker input is
+// gathered from a per-(shard-)table bitvector of non-halted vertices and
+// message receivers plus CSR edge slices instead of full scans. The
+// contract under test: bit-identical to the dense path at any mode × shard
+// count × thread count, on both input paths.
+// ---------------------------------------------------------------------------
+
+Graph ChainGraph(int64_t n) {
+  Graph g;
+  g.num_vertices = n;
+  for (int64_t v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1, 1.0);
+  return g;
+}
+
+TEST(FrontierTest, PageRankBitIdenticalAcrossModes) {
+  Graph g = GenerateRmat(200, 1500, 31);
+  for (const bool union_input : {true, false}) {
+    VertexicaOptions opts;
+    opts.use_union_input = union_input;
+    // In-place updates preserve the vertex table's declared id order — the
+    // frontier's structural precondition — on both input paths. (PageRank
+    // updates every vertex, so the default threshold would take the
+    // replace path, whose union-path rebuild legitimately goes dense.)
+    opts.update_threshold = 2.0;
+    Catalog cat0;
+    std::vector<double> dense;
+    {
+      ScopedFrontierMode off(FrontierMode::kOff);
+      auto r = RunPageRank(&cat0, g, 6, 0.85, opts);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      dense = *r;
+    }
+    for (const FrontierMode mode : {FrontierMode::kOn, FrontierMode::kAuto}) {
+      ScopedFrontierMode scoped(mode);
+      Catalog cat;
+      RunStats stats;
+      auto r = RunPageRank(&cat, g, 6, 0.85, opts, &stats);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ASSERT_EQ(r->size(), dense.size());
+      for (size_t v = 0; v < dense.size(); ++v) {
+        EXPECT_EQ((*r)[v], dense[v])
+            << (union_input ? "union" : "join") << " input, mode="
+            << FrontierModeName(mode) << ", vertex " << v;
+      }
+      EXPECT_EQ(stats.frontier_supersteps + stats.dense_supersteps,
+                static_cast<int64_t>(stats.supersteps.size()));
+      if (mode == FrontierMode::kOn) {
+        // Forced mode: every superstep past the first takes the sparse
+        // path (superstep 0 is dense by definition).
+        for (const SuperstepStats& s : stats.supersteps) {
+          EXPECT_EQ(s.used_frontier, s.superstep > 0)
+              << (union_input ? "union" : "join") << " input, superstep "
+              << s.superstep;
+        }
+        EXPECT_GT(stats.frontier_supersteps, 0);
+      }
+    }
+  }
+}
+
+TEST(FrontierTest, SsspBitIdenticalAcrossModesShardsAndThreads) {
+  Graph g = GenerateRmat(150, 900, 32);
+  AssignRandomWeights(&g, 1.0, 5.0, 33);
+  Catalog cat0;
+  std::vector<double> dense;
+  {
+    ScopedFrontierMode off(FrontierMode::kOff);
+    auto r = RunShortestPaths(&cat0, g, 0);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    dense = *r;
+  }
+  for (const FrontierMode mode : {FrontierMode::kOn, FrontierMode::kAuto}) {
+    for (const int shards : {1, 2, 8}) {
+      ScopedFrontierMode scoped(mode);
+      VertexicaOptions opts;
+      opts.num_shards = shards;
+      Catalog cat;
+      auto r = RunShortestPaths(&cat, g, 0, opts);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ASSERT_EQ(r->size(), dense.size());
+      for (size_t v = 0; v < dense.size(); ++v) {
+        EXPECT_EQ((*r)[v], dense[v])
+            << "mode=" << FrontierModeName(mode) << ", shards=" << shards
+            << ", vertex " << v;
+      }
+    }
+  }
+  for (const int threads : {1, 4}) {
+    ScopedExecThreads scoped_threads(threads);
+    ScopedFrontierMode on(FrontierMode::kOn);
+    VertexicaOptions opts;
+    opts.num_shards = 2;
+    Catalog cat;
+    auto r = RunShortestPaths(&cat, g, 0, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    for (size_t v = 0; v < dense.size(); ++v) {
+      EXPECT_EQ((*r)[v], dense[v])
+          << "threads=" << threads << ", vertex " << v;
+    }
+  }
+}
+
+TEST(FrontierTest, AutoModeGoesSparseOnLongTail) {
+  // SSSP on a chain: after superstep 0 every vertex is halted and exactly
+  // one message is in flight, so the active fraction is 1/n — far below
+  // the auto threshold. `auto` must take the sparse path on its own and
+  // report it.
+  Graph g = ChainGraph(100);
+  ScopedFrontierMode automatic(FrontierMode::kAuto);
+  ScopedExecShards unsharded(1);  // pin against a VERTEXICA_SHARDS env
+  Catalog cat;
+  RunStats stats;
+  auto r = RunShortestPaths(&cat, g, 0, {}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (size_t v = 0; v < r->size(); ++v) {
+    EXPECT_DOUBLE_EQ((*r)[v], static_cast<double>(v));
+  }
+  ASSERT_GT(stats.supersteps.size(), 2u);
+  EXPECT_FALSE(stats.supersteps[0].used_frontier);  // superstep 0 is dense
+  EXPECT_GT(stats.frontier_supersteps, 0);
+  for (const SuperstepStats& s : stats.supersteps) {
+    if (!s.used_frontier) continue;
+    // The chain frontier is one receiver (plus no stragglers).
+    EXPECT_GE(s.frontier_vertices, 1) << "superstep " << s.superstep;
+    EXPECT_LE(s.frontier_vertices, 2) << "superstep " << s.superstep;
+  }
+  EXPECT_EQ(stats.frontier_supersteps + stats.dense_supersteps,
+            static_cast<int64_t>(stats.supersteps.size()));
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"frontier_supersteps\":"), std::string::npos);
+  EXPECT_NE(json.find("\"used_frontier\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"frontier_vertices\":"), std::string::npos);
+}
+
+TEST(FrontierTest, OffModeNeverTakesTheSparsePath) {
+  Graph g = ChainGraph(50);
+  ScopedFrontierMode off(FrontierMode::kOff);
+  Catalog cat;
+  RunStats stats;
+  auto r = RunShortestPaths(&cat, g, 0, {}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(stats.frontier_supersteps, 0);
+  EXPECT_EQ(stats.dense_supersteps,
+            static_cast<int64_t>(stats.supersteps.size()));
+  for (const SuperstepStats& s : stats.supersteps) {
+    EXPECT_FALSE(s.used_frontier);
+    EXPECT_EQ(s.frontier_vertices, 0);
   }
 }
 
