@@ -6,6 +6,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
+# Static tier first — cheapest signal, no build needed. The determinism
+# lint guards the bit-identical-results contract (unordered iteration,
+# unseeded randomness, bare ambient-knob reads in pool tasks, aborts on
+# user-input paths); the format check covers files changed vs origin/main
+# and skips gracefully where clang-format isn't installed.
+python3 scripts/lint_determinism.py
+./scripts/format.sh --check
+
 # Reconfigure with the bench option pinned ON: a cached build dir can carry
 # VERTEXICA_BUILD_BENCHES=OFF from a sanitizer configure, and a later
 # `--target bench_<name>` then silently no-ops (the output binary in the
@@ -72,6 +80,28 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && VERTEXICA_THREADS=4 ctest -R server_ --output-on-failure)
 "$BUILD_DIR"/vertexica_server --vertices=500 --edges=2500 --clients=4 \
     --requests=2 > /dev/null
+
+# Invariant-audit pass (docs/DEVELOPING.md): a Debug build with
+# VERTEXICA_DCHECK=ON compiles in the deep structural validators
+# (Column/Table/Bitvector/CsrIndex/PartitionSet CheckInvariants, the knob
+# round-trip audit) at every dataflow phase boundary, then runs the full
+# suite plus the knob-forcing env passes — any table, shard, index, or
+# knob scope that lies about its structure aborts with a precise message
+# instead of surfacing as a wrong answer. Tests only: the audit tier is
+# about correctness claims, not bench numbers.
+DCHECK_DIR="${BUILD_DIR}-dcheck"
+cmake -B "$DCHECK_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DVERTEXICA_DCHECK=ON \
+    -DVERTEXICA_BUILD_BENCHES=OFF -DVERTEXICA_BUILD_EXAMPLES=OFF
+cmake --build "$DCHECK_DIR" -j "$(nproc)"
+(cd "$DCHECK_DIR" && ctest --output-on-failure -j "$(nproc)")
+(cd "$DCHECK_DIR" && VERTEXICA_SHARDS=4 \
+    ctest -R 'vertexica_test|api_test|storage_test' --output-on-failure \
+    -j "$(nproc)")
+(cd "$DCHECK_DIR" && VERTEXICA_ENCODING=force \
+    ctest -R 'storage_test|exec_test|vertexica_test' --output-on-failure \
+    -j "$(nproc)")
+(cd "$DCHECK_DIR" && VERTEXICA_FRONTIER=on \
+    ctest -R 'vertexica_test|api_test' --output-on-failure -j "$(nproc)")
 
 # Perf trajectory: surface bench JSONs at the repo root so they get
 # committed / uploaded as artifacts. Bench binaries write BENCH_*.json

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# clang-format wrapper (style: repo .clang-format).
+#
+#   ./scripts/format.sh --check [base-ref]   verify, no writes (CI mode)
+#   ./scripts/format.sh [base-ref]           rewrite in place
+#   ./scripts/format.sh --all [--check]      whole tree instead of a diff
+#
+# Default scope is the files changed relative to base-ref (default: the
+# merge base with origin/main, falling back to HEAD) — the tree predates
+# the .clang-format config, so whole-tree enforcement would drown real
+# diffs in reformat noise. New/touched files are held to the style; --all
+# exists for a deliberate one-shot reformat.
+#
+# Skips gracefully (exit 0 with a notice) when clang-format is not
+# installed, so local runs on minimal containers don't fail check.sh; CI
+# installs the tool and gets real enforcement.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CHECK=0
+ALL=0
+BASE=""
+for arg in "$@"; do
+  case "$arg" in
+    --check) CHECK=1 ;;
+    --all) ALL=1 ;;
+    *) BASE="$arg" ;;
+  esac
+done
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "format.sh: clang-format not installed; skipping (CI enforces this)"
+  exit 0
+fi
+
+if [ "$ALL" -eq 1 ]; then
+  mapfile -t files < <(git ls-files 'src/**/*.cc' 'src/**/*.h' \
+      'tests/*.cc' 'benches/*.cc' 'examples/*.cc' 2>/dev/null || true)
+else
+  if [ -z "$BASE" ]; then
+    BASE="$(git merge-base HEAD origin/main 2>/dev/null || echo HEAD)"
+  fi
+  mapfile -t files < <(git diff --name-only --diff-filter=d "$BASE" -- \
+      'src/**/*.cc' 'src/**/*.h' 'tests/*.cc' 'benches/*.cc' \
+      'examples/*.cc' 2>/dev/null || true)
+fi
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "format.sh: no files in scope"
+  exit 0
+fi
+
+if [ "$CHECK" -eq 1 ]; then
+  # --dry-run -Werror: nonzero exit + a diff-style note per violation.
+  clang-format --style=file --dry-run -Werror "${files[@]}"
+  echo "format.sh: ${#files[@]} file(s) clean"
+else
+  clang-format --style=file -i "${files[@]}"
+  echo "format.sh: formatted ${#files[@]} file(s)"
+fi

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Determinism and error-model lint for the Vertexica sources.
+
+The engine's central claim (docs/API.md) is bit-identical results across
+every execution configuration — thread count, shard count, encoding mode,
+join path, frontier path. That claim dies quietly: an unordered-container
+iteration here, an ambient knob read on a bare pool thread there. This lint
+mechanically rejects the known ways nondeterminism (and the wrong error
+model) sneak in:
+
+  R1  std::unordered_map / std::unordered_set in src/ must carry an
+      `order-insensitive:` justification comment (same line or within the
+      three preceding lines) explaining why map-iteration order can never
+      reach a result. Plain #include lines are exempt; prefer Int64HashMap
+      (common/hash.h) where the key is an int64.
+
+  R2  No rand()/srand()/time()/std::random_device outside src/common/
+      random.* — all randomness flows through the seeded SplitMix/Xoshiro
+      generators so every run is reproducible from its seed.
+
+  R3  A ParallelFor(...) call whose body reads an ambient knob resolver
+      (ExecThreads, ExecShards, AmbientEncodingMode, MergeJoinEnabled,
+      AmbientFrontierMode, ExecKnobs::Capture) must install captured knobs
+      via ScopedExecKnobs inside that body — pool threads do not inherit
+      the submitter's thread-local overrides, so a bare read silently
+      resolves process/env defaults instead of the request's knobs.
+      Escape hatch for bodies that are knob-free by design: `ambient-ok:`
+      with a reason.
+
+  R4  src/server/, src/api/, src/catalog/ are user-input layers: VX_CHECK /
+      VX_CHECK_OK there abort the process on conditions a caller can
+      trigger, where a Status return is owed instead. A check that guards a
+      genuine internal invariant carries an `internal-invariant:`
+      justification (same line or within the three preceding lines).
+
+Exit status 0 when clean, 1 with one `file:line: [rule] message` per
+violation otherwise. Pure stdlib; runs anywhere python3 exists.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+JUSTIFY_WINDOW = 3  # lines above a flagged line searched for a justification
+
+UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set)\b")
+RANDOM_RE = re.compile(
+    r"\bstd::random_device\b|(?<![\w.:>])s?rand\s*\(|(?<![\w.:>])time\s*\(")
+AMBIENT_RE = re.compile(
+    r"\bExecThreads\s*\(|\bExecShards\s*\(|\bAmbientEncodingMode\s*\(|"
+    r"\bMergeJoinEnabled\s*\(|\bAmbientFrontierMode\s*\(|"
+    r"\bExecKnobs::Capture\s*\(")
+PARALLEL_FOR_RE = re.compile(r"\bParallelFor\s*\(")
+VX_CHECK_RE = re.compile(r"\bVX_CHECK(?:_OK)?\b")
+USER_INPUT_LAYERS = ("server", "api", "catalog")
+
+
+def has_justification(lines, idx, marker):
+    """True when `marker` appears on lines[idx] or the few lines above it."""
+    lo = max(0, idx - JUSTIFY_WINDOW)
+    return any(marker in lines[j] for j in range(lo, idx + 1))
+
+
+def parallel_for_span(lines, start):
+    """Line span (inclusive) of the ParallelFor(...) call opening at
+    lines[start], by parenthesis counting from its opening paren."""
+    depth = 0
+    seen_open = False
+    for i in range(start, len(lines)):
+        text = lines[i]
+        if i == start:
+            text = text[PARALLEL_FOR_RE.search(text).end() - 1:]
+        for ch in text:
+            if ch == "(":
+                depth += 1
+                seen_open = True
+            elif ch == ")":
+                depth -= 1
+                if seen_open and depth == 0:
+                    return start, i
+    return start, len(lines) - 1
+
+
+def lint_file(path, violations):
+    rel = path.relative_to(REPO).as_posix()
+    lines = path.read_text().splitlines()
+
+    in_common_random = rel.startswith("src/common/random")
+    layer = rel.split("/")[1] if rel.count("/") >= 2 else ""
+
+    for idx, line in enumerate(lines):
+        code = line.split("//")[0]
+
+        if (UNORDERED_RE.search(line) and not line.lstrip().startswith("#")
+                and UNORDERED_RE.search(code)
+                and not has_justification(lines, idx, "order-insensitive:")):
+            violations.append(
+                f"{rel}:{idx + 1}: [R1] std::unordered container without an "
+                f"'order-insensitive:' justification (map-iteration order "
+                f"must never reach a result; see scripts/"
+                f"lint_determinism.py)")
+
+        if RANDOM_RE.search(code) and not in_common_random:
+            violations.append(
+                f"{rel}:{idx + 1}: [R2] unseeded randomness or wall-clock "
+                f"entropy outside src/common/random.* (use the seeded "
+                f"generators so runs reproduce from their seed)")
+
+        if (layer in USER_INPUT_LAYERS and VX_CHECK_RE.search(code)
+                and not has_justification(lines, idx, "internal-invariant:")):
+            violations.append(
+                f"{rel}:{idx + 1}: [R4] VX_CHECK in the user-input layer "
+                f"'src/{layer}/' — return a Status the caller can handle, "
+                f"or justify with 'internal-invariant:'")
+
+    # R3 needs call-spanning context rather than single lines.
+    for idx, line in enumerate(lines):
+        if not PARALLEL_FOR_RE.search(line.split("//")[0]):
+            continue
+        lo, hi = parallel_for_span(lines, idx)
+        body = "\n".join(lines[lo:hi + 1])
+        preamble = "\n".join(lines[max(0, lo - JUSTIFY_WINDOW):lo])
+        if (AMBIENT_RE.search(body) and "ScopedExecKnobs" not in body
+                and "ambient-ok:" not in body
+                and "ambient-ok:" not in preamble):
+            violations.append(
+                f"{rel}:{idx + 1}: [R3] ParallelFor body reads an ambient "
+                f"knob without installing ScopedExecKnobs (pool threads "
+                f"don't inherit the submitter's thread-locals); capture "
+                f"with ExecKnobs::Capture() outside and install inside, or "
+                f"justify with 'ambient-ok:'")
+
+
+def main():
+    violations = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix in (".cc", ".h"):
+            lint_file(path, violations)
+    if violations:
+        print(f"lint_determinism: {len(violations)} violation(s)",
+              file=sys.stderr)
+        for v in violations:
+            print(v, file=sys.stderr)
+        return 1
+    print("lint_determinism: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

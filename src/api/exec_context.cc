@@ -19,6 +19,13 @@ ExecContext ExecContext::FromRequest(const RunRequest& request) {
   if (!request.frontier.empty()) {
     ctx.knobs.frontier = ParseFrontierMode(request.frontier);
   }
+  // Resolution audit: the contract above — "installing it on any thread
+  // reproduces the configuration" — needs strictly positive counts, since
+  // the scoped installers treat <= 0 as a no-op scope and would silently
+  // fall through to that thread's ambient values instead.
+  VX_DCHECK(ctx.knobs.threads >= 1 && ctx.knobs.shards >= 1)
+      << "ExecContext resolved non-installable knobs: threads="
+      << ctx.knobs.threads << " shards=" << ctx.knobs.shards;
   return ctx;
 }
 

@@ -10,6 +10,8 @@ Table RunResult::ToTable() const {
                     {value_name.empty() ? "value" : value_name,
                      DataType::kDouble}}));
   for (size_t v = 0; v < values.size(); ++v) {
+    // internal-invariant: the schema two lines up matches this row shape by
+    // construction — no user input can make AppendRow fail here.
     VX_CHECK_OK(out.AppendRow(
         {Value(static_cast<int64_t>(v)), Value(values[v])}));
   }

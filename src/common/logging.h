@@ -65,17 +65,63 @@ class FatalLogMessage {
   if (!(cond))                                                          \
   ::vertexica::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
 
-#define VX_CHECK_OK(expr)                                          \
-  do {                                                             \
-    ::vertexica::Status _vx_st = (expr);                           \
-    VX_CHECK(_vx_st.ok()) << _vx_st.ToString();                    \
-  } while (0)
+// Identical to the definitions in common/status.h (token-for-token, so the
+// repeated definition is legal); logging.h must stay includable on its own.
+#define VX_CONCAT_IMPL(a, b) a##b
+#define VX_CONCAT(a, b) VX_CONCAT_IMPL(a, b)
 
-#ifndef NDEBUG
-#define VX_DCHECK(cond) VX_CHECK(cond)
+/// Fatal Status check; the temporary is uniquified so nested expansions
+/// (an `expr` lambda that itself uses VX_CHECK_OK) never shadow.
+#define VX_CHECK_OK_IMPL(st, expr)       \
+  do {                                   \
+    ::vertexica::Status st = (expr);     \
+    VX_CHECK(st.ok()) << st.ToString();  \
+  } while (0)
+#define VX_CHECK_OK(expr) \
+  VX_CHECK_OK_IMPL(VX_CONCAT(_vx_check_status_, __COUNTER__), expr)
+
+/// \name The debug-audit check tier (VX_DCHECK / VX_DCHECK_OK)
+///
+/// Deep structural audits — Table::CheckInvariants, the coordinator's
+/// phase-boundary validations, per-element index checks on hot paths — are
+/// far too expensive for Release binaries, so they get their own tier:
+/// compiled in only when VERTEXICA_DCHECK is on (the CMake option of the
+/// same name, default ON in Debug builds and OFF otherwise; see
+/// docs/DEVELOPING.md for the verification matrix).
+///
+/// When compiled out, the condition expression is *not evaluated*: it is
+/// moved into an unevaluated `sizeof` operand, so it is still parsed and
+/// type-checked (the audit cannot rot and its operands never trigger
+/// -Wunused) but generates no code at all. Consequently a VX_DCHECK
+/// condition must never carry side effects the program relies on.
+/// @{
+
+#if !defined(VERTEXICA_DCHECK_ENABLED)
+#if defined(VERTEXICA_DCHECK)
+#define VERTEXICA_DCHECK_ENABLED 1
+#elif !defined(NDEBUG)
+// Non-CMake or assert-enabled builds keep the historical Debug behavior.
+#define VERTEXICA_DCHECK_ENABLED 1
 #else
-#define VX_DCHECK(cond) \
-  if (false) ::vertexica::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+#define VERTEXICA_DCHECK_ENABLED 0
 #endif
+#endif
+
+#if VERTEXICA_DCHECK_ENABLED
+#define VX_DCHECK(cond) VX_CHECK(cond)
+#define VX_DCHECK_OK(expr) VX_CHECK_OK(expr)
+#else
+// sizeof(!(cond)) is never 0, so the branch is statically dead; `cond`
+// sits in an unevaluated operand (type-checked, never executed) and any
+// streamed message is dead code behind it.
+#define VX_DCHECK(cond)                 \
+  if (sizeof(!(cond)) == 0)             \
+  ::vertexica::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+#define VX_DCHECK_OK(expr)    \
+  do {                        \
+    (void)sizeof(((expr)));   \
+  } while (0)
+#endif
+/// @}
 
 #endif  // VERTEXICA_COMMON_LOGGING_H_

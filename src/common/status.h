@@ -150,14 +150,18 @@ inline const char* StatusCodeToString(StatusCode code) {
 
 }  // namespace vertexica
 
-/// Propagates a non-OK Status to the caller.
-#define VX_RETURN_NOT_OK(expr)                 \
-  do {                                         \
-    ::vertexica::Status _st = (expr);          \
-    if (!_st.ok()) return _st;                 \
-  } while (0)
-
 #define VX_CONCAT_IMPL(a, b) a##b
 #define VX_CONCAT(a, b) VX_CONCAT_IMPL(a, b)
+
+/// Propagates a non-OK Status to the caller. The temporary's name is
+/// uniquified (__COUNTER__) so nested expansions — a lambda containing
+/// VX_RETURN_NOT_OK passed as the `expr` of an outer one — never shadow.
+#define VX_RETURN_NOT_OK_IMPL(st, expr)  \
+  do {                                   \
+    ::vertexica::Status st = (expr);     \
+    if (!st.ok()) return st;             \
+  } while (0)
+#define VX_RETURN_NOT_OK(expr) \
+  VX_RETURN_NOT_OK_IMPL(VX_CONCAT(_vx_status_, __COUNTER__), expr)
 
 #endif  // VERTEXICA_COMMON_STATUS_H_

@@ -236,6 +236,8 @@ void AggregateChunk(const Table& in, const std::vector<int>& group_cols,
     }
     return;
   }
+  // order-insensitive: keyed lookups only; group ids are assigned in
+  // input-row order, never in map-iteration order.
   std::unordered_map<uint64_t, std::vector<int64_t>> chains;
   for (int64_t i = begin; i < end; ++i) {
     const uint64_t h = HashGroupRow(in, group_cols, i);
@@ -365,6 +367,8 @@ Status HashAggregateOp::Compute() {
       group_of[static_cast<size_t>(i)] = gid;
     }
   } else if (!group_cols.empty()) {
+    // order-insensitive: keyed lookups only; group ids are assigned in
+    // input-row order, never in map-iteration order.
     std::unordered_map<uint64_t, std::vector<int64_t>> chains;
     for (int64_t i = 0; i < in.num_rows(); ++i) {
       const uint64_t h = HashGroupRow(in, group_cols, i);
@@ -488,6 +492,8 @@ Result<Table> ParallelHashAggregate(const Table& input,
       }
     }
   } else {
+    // order-insensitive: keyed lookups only; merged group ids follow
+    // partial/representative order, never map-iteration order.
     std::unordered_map<uint64_t, std::vector<int64_t>> chains;
     for (const auto& partial : partials) {
       for (size_t g = 0; g < partial.representative.size(); ++g) {

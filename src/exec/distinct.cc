@@ -27,6 +27,8 @@ Result<std::optional<Table>> DistinctOp::Next() {
   if (done_) return std::optional<Table>{};
   done_ = true;
   VX_ASSIGN_OR_RETURN(Table all, Collect(input_.get()));
+  // order-insensitive: keyed lookups only; kept rows come out in input-row
+  // order, never in map-iteration order.
   std::unordered_map<uint64_t, std::vector<int64_t>> seen;
   std::vector<int64_t> keep;
   for (int64_t i = 0; i < all.num_rows(); ++i) {

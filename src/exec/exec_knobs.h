@@ -14,6 +14,7 @@
 #ifndef VERTEXICA_EXEC_EXEC_KNOBS_H_
 #define VERTEXICA_EXEC_EXEC_KNOBS_H_
 
+#include "common/logging.h"
 #include "exec/frontier.h"
 #include "exec/merge_join.h"
 #include "exec/parallel.h"
@@ -38,10 +39,22 @@ struct ExecKnobs {
   /// Resolves the calling thread's ambient knobs (thread-local override →
   /// process default → environment → fallback, per knob).
   static ExecKnobs Capture();
+
+  bool operator==(const ExecKnobs& other) const {
+    return threads == other.threads && shards == other.shards &&
+           encoding == other.encoding && merge_join == other.merge_join &&
+           frontier == other.frontier;
+  }
+  bool operator!=(const ExecKnobs& other) const { return !(*this == other); }
 };
 
 /// \brief RAII installer: pins all five knobs on the current thread for the
 /// lifetime of the scope. Use inside pool tasks with a captured ExecKnobs.
+///
+/// After construction the thread's ambient knobs re-Capture() to exactly
+/// the installed value — audited under VX_DCHECK, so a knob added to
+/// ExecKnobs but not threaded through the scoped installers is caught the
+/// first time any pool task runs in a debug-audit build.
 class ScopedExecKnobs {
  public:
   explicit ScopedExecKnobs(const ExecKnobs& knobs)
@@ -49,7 +62,11 @@ class ScopedExecKnobs {
         shards_(knobs.shards),
         encoding_(knobs.encoding),
         merge_join_(knobs.merge_join),
-        frontier_(knobs.frontier) {}
+        frontier_(knobs.frontier) {
+    VX_DCHECK(ExecKnobs::Capture() == knobs)
+        << "ScopedExecKnobs: installed knobs do not round-trip through "
+           "Capture (a knob is missing from the scoped installers?)";
+  }
 
   ScopedExecKnobs(const ScopedExecKnobs&) = delete;
   ScopedExecKnobs& operator=(const ScopedExecKnobs&) = delete;

@@ -100,6 +100,8 @@ class HashJoinOp : public Operator {
   Table build_table_;
   std::vector<int> build_key_cols_;
   // hash -> row indices in build_table_ (chained; equality re-verified).
+  // order-insensitive: probed by key only; matches emit in probe-row then
+  // chain (build-row) order, never in map-iteration order.
   std::unordered_map<uint64_t, std::vector<int64_t>> index_;
 };
 

@@ -227,6 +227,8 @@ size_t JoinPartitionsFor(int64_t rows) {
 
 struct JoinBuildIndex {
   // partition -> hash -> build row indices (ascending, like the serial op).
+  // order-insensitive: probed by key only; the comment above this struct
+  // proves match order is identical at any thread/partition count.
   std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> partitions;
 };
 

@@ -13,6 +13,8 @@ namespace {
 Result<Graph> ParseStream(std::istream& in) {
   Graph g;
   g.directed = true;
+  // order-insensitive: keyed lookups only; dense ids are assigned in
+  // first-appearance (file) order, never in map-iteration order.
   std::unordered_map<int64_t, int64_t> remap;
   auto Dense = [&](int64_t raw) {
     auto [it, inserted] = remap.emplace(raw, g.num_vertices);

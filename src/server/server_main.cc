@@ -7,7 +7,7 @@
 /// stats) to stdout. Doubles as the smallest end-to-end smoke test of the
 /// serving subsystem:
 ///
-///   vertexica_server --vertices=2000 --edges=12000 --clients=8 \
+///   vertexica_server --vertices=2000 --edges=12000 --clients=8
 ///       --requests=4 --threads=2
 ///
 /// All flags are optional; defaults give a sub-second run.

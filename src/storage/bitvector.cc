@@ -1,5 +1,7 @@
 #include "storage/bitvector.h"
 
+#include "common/string_util.h"
+
 namespace vertexica {
 
 int64_t Bitvector::CountOnes() const {
@@ -29,6 +31,30 @@ std::vector<int64_t> Bitvector::SetIndices() const {
   indices.reserve(static_cast<size_t>(CountOnes()));
   ForEachSetBit([&indices](int64_t i) { indices.push_back(i); });
   return indices;
+}
+
+Status Bitvector::CheckInvariants() const {
+  if (size_ < 0) {
+    return Status::Internal(StringFormat(
+        "Bitvector invariant violated: negative size %lld",
+        static_cast<long long>(size_)));
+  }
+  const auto want_words = static_cast<size_t>((size_ + 63) / 64);
+  if (words_.size() != want_words) {
+    return Status::Internal(StringFormat(
+        "Bitvector invariant violated: %zu words for %lld bits (want %zu)",
+        words_.size(), static_cast<long long>(size_), want_words));
+  }
+  if (size_ % 64 != 0 && !words_.empty()) {
+    const uint64_t tail_mask = ~uint64_t{0} << (size_ % 64);
+    if ((words_.back() & tail_mask) != 0) {
+      return Status::Internal(StringFormat(
+          "Bitvector invariant violated: bits set past size %lld in the "
+          "last word (tail hygiene)",
+          static_cast<long long>(size_)));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace vertexica

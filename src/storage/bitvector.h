@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace vertexica {
 
@@ -72,7 +73,16 @@ class Bitvector {
   /// \brief The set-bit indices as a vector, ascending.
   std::vector<int64_t> SetIndices() const;
 
+  /// \brief Deep structural audit (the VX_DCHECK tier; see
+  /// docs/DEVELOPING.md): the word vector holds exactly ceil(size/64)
+  /// words and every bit past `size()` in the last word is zero — the
+  /// tail-hygiene contract the word-wise operations (And/Or/CountOnes)
+  /// rely on to skip tail special-casing.
+  Status CheckInvariants() const;
+
  private:
+  /// Test-only backdoor for the negative invariant tests.
+  friend struct BitvectorTestAccess;
   int64_t size_ = 0;
   std::vector<uint64_t> words_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/hash.h"
+#include "common/string_util.h"
 
 namespace vertexica {
 
@@ -517,6 +518,238 @@ uint64_t Column::HashRow(int64_t i) const {
       return HashInt64(GetBool(i) ? 1 : 2);
   }
   return 0;
+}
+
+// ---------------------------------------------------------- invariant audit
+
+namespace {
+
+/// Audit failure: every message leads with the violated structure so a
+/// VX_DCHECK_OK abort names the broken claim, not just "check failed".
+Status AuditError(std::string msg) {
+  return Status::Internal("Column invariant violated: " + std::move(msg));
+}
+
+}  // namespace
+
+Status Column::CheckInvariants() const {
+  // --- Counters and validity bitmap. ---------------------------------
+  if (length_ < 0) {
+    return AuditError(StringFormat("negative length %lld",
+                                   static_cast<long long>(length_)));
+  }
+  if (null_count_ < 0 || null_count_ > length_) {
+    return AuditError(StringFormat(
+        "null_count %lld outside [0, %lld]",
+        static_cast<long long>(null_count_), static_cast<long long>(length_)));
+  }
+  if (validity_.empty()) {
+    if (null_count_ != 0) {
+      return AuditError(StringFormat(
+          "null_count is %lld but the validity bitmap is empty (= all valid)",
+          static_cast<long long>(null_count_)));
+    }
+  } else {
+    if (static_cast<int64_t>(validity_.size()) != length_) {
+      return AuditError(StringFormat(
+          "validity bitmap has %lld slots for %lld rows",
+          static_cast<long long>(validity_.size()),
+          static_cast<long long>(length_)));
+    }
+    const int64_t zeros =
+        length_ - std::count(validity_.begin(), validity_.end(), 1);
+    if (zeros != null_count_) {
+      return AuditError(StringFormat(
+          "validity bitmap holds %lld NULLs but null_count says %lld",
+          static_cast<long long>(zeros),
+          static_cast<long long>(null_count_)));
+    }
+  }
+
+  // --- Physical representation: plain vectors vs. encoded segment. ----
+  const auto plain_size = [this]() -> int64_t {
+    switch (type_) {
+      case DataType::kInt64:
+        return static_cast<int64_t>(ints_.size());
+      case DataType::kDouble:
+        return static_cast<int64_t>(doubles_.size());
+      case DataType::kString:
+        return static_cast<int64_t>(strings_.size());
+      case DataType::kBool:
+        return static_cast<int64_t>(bools_.size());
+    }
+    return 0;
+  };
+  if (segment_ == nullptr) {
+    if (plain_size() != length_) {
+      return AuditError(StringFormat(
+          "plain %s vector has %lld values for %lld rows",
+          DataTypeName(type_), static_cast<long long>(plain_size()),
+          static_cast<long long>(length_)));
+    }
+  } else {
+    if (plain_size() != 0) {
+      return AuditError(
+          "encoded column still carries a non-empty plain vector");
+    }
+    if (segment_->length != length_) {
+      return AuditError(StringFormat(
+          "encoded segment claims %lld rows but the column has %lld",
+          static_cast<long long>(segment_->length),
+          static_cast<long long>(length_)));
+    }
+    switch (segment_->encoding) {
+      case ColumnEncoding::kPlain:
+        return AuditError("segment present but encoding is kPlain");
+      case ColumnEncoding::kRle: {
+        if (type_ != DataType::kInt64 && type_ != DataType::kBool) {
+          return AuditError(StringFormat("RLE segment on a %s column",
+                                         DataTypeName(type_)));
+        }
+        if (segment_->run_starts.size() != segment_->runs.size()) {
+          return AuditError(StringFormat(
+              "%zu run_starts for %zu RLE runs", segment_->run_starts.size(),
+              segment_->runs.size()));
+        }
+        int64_t row = 0;
+        for (size_t k = 0; k < segment_->runs.size(); ++k) {
+          const RleRun& run = segment_->runs[k];
+          if (run.length <= 0) {
+            return AuditError(StringFormat(
+                "RLE run %zu has non-positive length %lld", k,
+                static_cast<long long>(run.length)));
+          }
+          if (type_ == DataType::kBool && run.value != 0 && run.value != 1) {
+            return AuditError(StringFormat(
+                "BOOL RLE run %zu holds non-0/1 value %lld", k,
+                static_cast<long long>(run.value)));
+          }
+          if (segment_->run_starts[k] != row) {
+            return AuditError(StringFormat(
+                "run_starts[%zu] is %lld but runs before it sum to %lld", k,
+                static_cast<long long>(segment_->run_starts[k]),
+                static_cast<long long>(row)));
+          }
+          row += run.length;
+        }
+        if (row != length_) {
+          return AuditError(StringFormat(
+              "RLE runs sum to %lld rows but the column has %lld",
+              static_cast<long long>(row), static_cast<long long>(length_)));
+        }
+        break;
+      }
+      case ColumnEncoding::kDict: {
+        if (type_ != DataType::kString) {
+          return AuditError(StringFormat("dictionary segment on a %s column",
+                                         DataTypeName(type_)));
+        }
+        const DictEncoded& dict = segment_->dict;
+        if (static_cast<int64_t>(dict.codes.size()) != length_) {
+          return AuditError(StringFormat(
+              "%zu dict codes for %lld rows", dict.codes.size(),
+              static_cast<long long>(length_)));
+        }
+        const auto dict_size = static_cast<int32_t>(dict.dictionary.size());
+        for (size_t i = 0; i < dict.codes.size(); ++i) {
+          if (dict.codes[i] < 0 || dict.codes[i] >= dict_size) {
+            return AuditError(StringFormat(
+                "dict code %d at row %zu outside dictionary of %d entries",
+                dict.codes[i], i, dict_size));
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // --- Declared sort order (CompareRows total order, NULLs first). -----
+  if (sorted_ascending_) {
+    for (int64_t i = 1; i < length_; ++i) {
+      if (CompareRows(i - 1, *this, i) > 0) {
+        return AuditError(StringFormat(
+            "declared sorted_ascending but row %lld > row %lld",
+            static_cast<long long>(i - 1), static_cast<long long>(i)));
+      }
+    }
+  }
+
+  // --- Zone map soundness: stored statistics must bound the data. ------
+  if (zone_map_ != nullptr) {
+    if (zone_map_->type() != type_) {
+      return AuditError(StringFormat(
+          "zone map typed %s on a %s column",
+          DataTypeName(zone_map_->type()), DataTypeName(type_)));
+    }
+    const auto& zones = zone_map_->zones();
+    const auto want_zones =
+        static_cast<size_t>((length_ + kZoneRows - 1) / kZoneRows);
+    if (zones.size() != want_zones) {
+      return AuditError(StringFormat("%zu zones for %lld rows (want %zu)",
+                                     zones.size(),
+                                     static_cast<long long>(length_),
+                                     want_zones));
+    }
+    for (size_t z = 0; z < zones.size(); ++z) {
+      const ZoneStats& zone = zones[z];
+      const int64_t want_begin = static_cast<int64_t>(z) * kZoneRows;
+      const int64_t want_end = std::min(want_begin + kZoneRows, length_);
+      if (zone.row_begin != want_begin || zone.row_end != want_end) {
+        return AuditError(StringFormat(
+            "zone %zu spans [%lld, %lld) but should span [%lld, %lld)", z,
+            static_cast<long long>(zone.row_begin),
+            static_cast<long long>(zone.row_end),
+            static_cast<long long>(want_begin),
+            static_cast<long long>(want_end)));
+      }
+      int64_t nulls = 0;
+      for (int64_t i = zone.row_begin; i < zone.row_end; ++i) {
+        if (IsNull(i)) {
+          ++nulls;
+          continue;
+        }
+        bool in_bounds = true;
+        switch (type_) {
+          case DataType::kInt64:
+            in_bounds = zone.has_value && GetInt64(i) >= zone.min_i &&
+                        GetInt64(i) <= zone.max_i;
+            break;
+          case DataType::kBool: {
+            const int64_t v = GetBool(i) ? 1 : 0;
+            in_bounds = zone.has_value && v >= zone.min_i && v <= zone.max_i;
+            break;
+          }
+          case DataType::kDouble: {
+            const double v = GetDouble(i);
+            // NaN is tracked by has_nan and excluded from min_d/max_d.
+            in_bounds = zone.has_value &&
+                        (std::isnan(v)
+                             ? zone.has_nan
+                             : zone.has_finite && v >= zone.min_d &&
+                                   v <= zone.max_d);
+            break;
+          }
+          case DataType::kString:
+            in_bounds = zone.has_value && GetString(i) >= zone.min_s &&
+                        GetString(i) <= zone.max_s;
+            break;
+        }
+        if (!in_bounds) {
+          return AuditError(StringFormat(
+              "zone %zu bounds do not cover the value at row %lld "
+              "(stale zone map?)",
+              z, static_cast<long long>(i)));
+        }
+      }
+      if (nulls != zone.null_count) {
+        return AuditError(StringFormat(
+            "zone %zu claims %lld NULLs but rows hold %lld", z,
+            static_cast<long long>(zone.null_count),
+            static_cast<long long>(nulls)));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 int Column::CompareRows(int64_t i, const Column& other, int64_t j) const {

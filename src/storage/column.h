@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "storage/data_type.h"
 #include "storage/encoding.h"
 #include "storage/value.h"
@@ -281,7 +282,20 @@ class Column {
   /// documented GetAggregate undeclared-read contract).
   int CompareRows(int64_t i, const Column& other, int64_t j) const;
 
+  /// \brief Deep structural audit of every claim this column makes (the
+  /// VX_DCHECK tier; see docs/DEVELOPING.md). Verifies size/validity/
+  /// null-count consistency, that the encoded segment reproduces exactly
+  /// `length()` rows (RLE runs positive and summing to the length with
+  /// correct run_starts, dict codes in range), that a declared
+  /// `sorted_ascending()` actually holds under the CompareRows total order,
+  /// and that a cached zone map soundly bounds the data it describes.
+  /// O(length); call behind VX_DCHECK_OK, not on hot paths.
+  Status CheckInvariants() const;
+
  private:
+  /// Test-only backdoor (defined by the negative invariant tests, which
+  /// must corrupt internal state without the mutation hooks healing it).
+  friend struct ColumnTestAccess;
   void NoteAppend() {
     ++length_;
     if (!validity_.empty()) validity_.push_back(1);

@@ -1,6 +1,9 @@
 #include "storage/csr_index.h"
 
+#include <string>
 #include <vector>
+
+#include "common/string_util.h"
 
 namespace vertexica {
 
@@ -57,6 +60,62 @@ std::shared_ptr<const CsrIndex> CsrIndex::Build(const Column& keys) {
     }
   }
   return index;
+}
+
+Status CsrIndex::CheckInvariants(const Column& keys) const {
+  const auto fail = [](std::string msg) {
+    return Status::Internal("CsrIndex invariant violated: " + std::move(msg));
+  };
+  if (keys.type() != DataType::kInt64) {
+    return fail(StringFormat("audited against a %s key column",
+                             DataTypeName(keys.type())));
+  }
+  if (keys.null_count() > 0) {
+    return fail("key column holds NULLs (Build would have refused it)");
+  }
+  if (num_rows_ != keys.length()) {
+    return fail(StringFormat(
+        "index covers %lld rows but the key column has %lld (stale index?)",
+        static_cast<long long>(num_rows_),
+        static_cast<long long>(keys.length())));
+  }
+  if (num_keys_ != static_cast<int64_t>(slices_.size())) {
+    return fail(StringFormat(
+        "num_keys says %lld but the map holds %zu slices",
+        static_cast<long long>(num_keys_), slices_.size()));
+  }
+  // Re-derive the grouping: walk the (required nondecreasing) key column
+  // and demand the index maps each distinct key to exactly its row range.
+  int64_t derived_keys = 0;
+  int64_t slice_begin = 0;
+  for (int64_t i = 1; i <= num_rows_; ++i) {
+    if (i < num_rows_ && keys.GetInt64(i) == keys.GetInt64(i - 1)) continue;
+    const int64_t key = keys.GetInt64(i - 1);
+    if (i < num_rows_ && keys.GetInt64(i) < key) {
+      return fail(StringFormat(
+          "key column decreases at row %lld (not grouped; Build would have "
+          "refused it)",
+          static_cast<long long>(i)));
+    }
+    const Slice got = NeighborSlice(key);
+    if (got.begin != slice_begin || got.end != i) {
+      return fail(StringFormat(
+          "key %lld maps to slice [%lld, %lld) but its rows span "
+          "[%lld, %lld)",
+          static_cast<long long>(key), static_cast<long long>(got.begin),
+          static_cast<long long>(got.end),
+          static_cast<long long>(slice_begin), static_cast<long long>(i)));
+    }
+    ++derived_keys;
+    slice_begin = i;
+  }
+  if (derived_keys != num_keys_) {
+    return fail(StringFormat(
+        "column holds %lld distinct keys but the index maps %lld",
+        static_cast<long long>(derived_keys),
+        static_cast<long long>(num_keys_)));
+  }
+  return Status::OK();
 }
 
 }  // namespace vertexica

@@ -54,6 +54,14 @@ class CsrIndex {
   int64_t num_keys() const { return num_keys_; }
   int64_t num_rows() const { return num_rows_; }
 
+  /// \brief Deep structural audit against the column this index claims to
+  /// describe (the VX_DCHECK tier; see docs/DEVELOPING.md). Re-derives the
+  /// grouping from `keys` and verifies the slices are contiguous, cover
+  /// every row exactly once in ascending key order, and that num_keys/
+  /// num_rows match — i.e. the index still describes this edge snapshot and
+  /// not a stale one. O(rows); call behind VX_DCHECK_OK.
+  Status CheckInvariants(const Column& keys) const;
+
  private:
   CsrIndex() : slices_(0) {}
 

@@ -46,6 +46,8 @@ int64_t DictEncoded::ByteSize() const {
 DictEncoded DictionaryEncode(const std::vector<std::string>& values) {
   DictEncoded out;
   out.codes.reserve(values.size());
+  // order-insensitive: keyed lookups only; dictionary entries land in
+  // first-appearance order, never in map-iteration order.
   std::unordered_map<std::string, int32_t> index;
   for (const auto& v : values) {
     auto [it, inserted] =

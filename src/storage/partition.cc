@@ -6,6 +6,7 @@
 
 #include "common/env_knob.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "storage/encoding.h"
 
 namespace vertexica {
@@ -201,6 +202,10 @@ Result<PartitionSet> PartitionSet::Build(const Table& table, int key_column,
     if (mode != EncodingMode::kOff) shard.EncodeColumns(mode);
     set.shards_.push_back(std::make_shared<const Table>(std::move(shard)));
   }
+  // Self-audit the freshly built set (placement, per-shard structure): a
+  // scatter bug caught here aborts at the source instead of surfacing as a
+  // wrong answer supersteps later.
+  VX_DCHECK_OK(set.CheckInvariants());
   return set;
 }
 
@@ -213,6 +218,75 @@ int64_t PartitionSet::total_rows() const {
 void PartitionSet::ReplaceShard(int s, Table t) {
   shards_[static_cast<size_t>(s)] =
       std::make_shared<const Table>(std::move(t));
+}
+
+Status ShardingSpec::Validate() const {
+  if (num_shards < 1 || base_partitions < 1 ||
+      num_shards > base_partitions) {
+    return Status::Internal(StringFormat(
+        "ShardingSpec invariant violated: %d shards over %d base partitions",
+        num_shards, base_partitions));
+  }
+  // ShardOfPartition must walk 0..num_shards-1 without skipping or going
+  // backwards — contiguous monotone blocks, every shard non-empty.
+  int prev = -1;
+  for (int p = 0; p < base_partitions; ++p) {
+    const int s = ShardOfPartition(p);
+    if (s < prev || s > prev + 1 || s < 0 || s >= num_shards) {
+      return Status::Internal(StringFormat(
+          "ShardingSpec invariant violated: partition %d maps to shard %d "
+          "after partition %d mapped to shard %d (not contiguous monotone "
+          "blocks)",
+          p, s, p - 1, prev));
+    }
+    prev = s;
+  }
+  if (prev != num_shards - 1) {
+    return Status::Internal(StringFormat(
+        "ShardingSpec invariant violated: last base partition maps to shard "
+        "%d, leaving shards up to %d empty",
+        prev, num_shards - 1));
+  }
+  return Status::OK();
+}
+
+Status PartitionSet::CheckInvariants() const {
+  VX_RETURN_NOT_OK(spec_.Validate());
+  if (static_cast<int>(shards_.size()) != spec_.num_shards) {
+    return Status::Internal(StringFormat(
+        "PartitionSet invariant violated: %zu resident shards for a %d-shard "
+        "spec",
+        shards_.size(), spec_.num_shards));
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    const TablePtr& shard = shards_[static_cast<size_t>(s)];
+    if (shard == nullptr) {
+      return Status::Internal(StringFormat(
+          "PartitionSet invariant violated: shard %d is null", s));
+    }
+    if (key_column_ < 0 || key_column_ >= shard->num_columns() ||
+        shard->column(key_column_).type() != DataType::kInt64) {
+      return Status::Internal(StringFormat(
+          "PartitionSet invariant violated: key column %d invalid for shard "
+          "%d",
+          key_column_, s));
+    }
+    VX_RETURN_NOT_OK(shard->CheckInvariants());
+    // Placement: every row must hash to the shard holding it (NULL keys to
+    // shard 0) — the obligation ReplaceShard callers take on.
+    const Column& keys = shard->column(key_column_);
+    for (int64_t r = 0; r < keys.length(); ++r) {
+      const int want =
+          keys.IsNull(r) ? spec_.ShardOfNull() : spec_.ShardOfKey(keys.GetInt64(r));
+      if (want != s) {
+        return Status::Internal(StringFormat(
+            "PartitionSet invariant violated: row %lld of shard %d carries a "
+            "key owned by shard %d",
+            static_cast<long long>(r), s, want));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace vertexica

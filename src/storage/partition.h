@@ -104,6 +104,13 @@ struct ShardingSpec {
   }
   /// \brief NULL keys deterministically own shard 0 (scatter contract).
   int ShardOfNull() const { return 0; }
+
+  /// \brief Structural audit (the VX_DCHECK tier; see docs/DEVELOPING.md):
+  /// shard count in [1, base_partitions], and ShardOfPartition a monotone
+  /// surjection onto [0, num_shards) — every shard owns at least one
+  /// contiguous block of base partitions, the coarsening property the
+  /// sharded dataflow's bit-identical-at-any-shard-count claim rests on.
+  Status Validate() const;
 };
 
 /// \brief Order-preserving scatter of `table` into `spec.num_shards` tables
@@ -147,6 +154,16 @@ class PartitionSet {
   /// \brief Swaps in a new table for shard `s` (the vertex-update path; the
   /// caller is responsible for the rows still belonging to the shard).
   void ReplaceShard(int s, Table t);
+
+  /// \brief Deep structural audit (the VX_DCHECK tier; see
+  /// docs/DEVELOPING.md). Verifies the spec itself (ShardingSpec::Validate),
+  /// that the set holds exactly `spec().num_shards` non-null shard tables
+  /// each passing Table::CheckInvariants, and — the placement contract —
+  /// that every row of every shard actually hashes to that shard (NULL keys
+  /// to shard 0). Catches ReplaceShard callers that break the "rows still
+  /// belong to the shard" obligation. O(total rows); call behind
+  /// VX_DCHECK_OK.
+  Status CheckInvariants() const;
 
  private:
   ShardingSpec spec_;

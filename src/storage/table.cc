@@ -204,4 +204,59 @@ bool Table::IsConsistent() const {
   return true;
 }
 
+Status Table::CheckInvariants() const {
+  if (static_cast<int>(columns_.size()) != schema_.num_fields()) {
+    return Status::Internal(StringFormat(
+        "Table invariant violated: %zu columns for schema with %d fields",
+        columns_.size(), schema_.num_fields()));
+  }
+  for (int i = 0; i < num_columns(); ++i) {
+    const Column& col = columns_[static_cast<size_t>(i)];
+    if (col.type() != schema_.field(i).type) {
+      return Status::Internal(StringFormat(
+          "Table invariant violated: column %d (%s) is %s but the schema "
+          "declares %s",
+          i, schema_.field(i).name.c_str(), DataTypeName(col.type()),
+          DataTypeName(schema_.field(i).type)));
+    }
+    if (col.length() != num_rows_) {
+      return Status::Internal(StringFormat(
+          "Table invariant violated: column %d (%s) has %lld rows but the "
+          "table has %lld",
+          i, schema_.field(i).name.c_str(),
+          static_cast<long long>(col.length()),
+          static_cast<long long>(num_rows_)));
+    }
+    VX_RETURN_NOT_OK(col.CheckInvariants());
+  }
+  for (const SortKey& k : sort_order_) {
+    if (k.column < 0 || k.column >= num_columns()) {
+      return Status::Internal(StringFormat(
+          "Table invariant violated: sort key names column %d outside the "
+          "%d-field schema",
+          k.column, num_columns()));
+    }
+  }
+  if (!sort_order_.empty()) {
+    // Verify the declared lexicographic order row-by-row: rows must be
+    // nondecreasing by keys[0], ties broken by keys[1], and so on.
+    for (int64_t r = 1; r < num_rows_; ++r) {
+      for (const SortKey& k : sort_order_) {
+        const Column& col = columns_[static_cast<size_t>(k.column)];
+        int cmp = col.CompareRows(r - 1, col, r);
+        if (!k.ascending) cmp = -cmp;
+        if (cmp < 0) break;  // strictly ordered on this key; later keys free
+        if (cmp > 0) {
+          return Status::Internal(StringFormat(
+              "Table invariant violated: declared sort order broken between "
+              "rows %lld and %lld on key column %d (%s)",
+              static_cast<long long>(r - 1), static_cast<long long>(r),
+              k.column, schema_.field(k.column).name.c_str()));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace vertexica

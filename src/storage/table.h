@@ -124,6 +124,16 @@ class Table {
   /// \brief Sum of rows across columns — used by tests as a sanity invariant.
   bool IsConsistent() const;
 
+  /// \brief Deep structural audit (the VX_DCHECK tier; see
+  /// docs/DEVELOPING.md). Verifies that the schema and the column vector
+  /// agree in count and type, that every column has `num_rows()` rows and
+  /// itself passes Column::CheckInvariants, that every declared sort key
+  /// names a valid column, and that the declared lexicographic order
+  /// actually holds row-by-row under the Column::CompareRows total order —
+  /// the "trusted physical-design metadata" contract that merge joins and
+  /// zone-map pruning lean on. O(rows × columns); call behind VX_DCHECK_OK.
+  Status CheckInvariants() const;
+
  private:
   Schema schema_;
   std::vector<Column> columns_;

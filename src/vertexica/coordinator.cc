@@ -108,6 +108,28 @@ bool OrderedByColumn(const Table& t, const std::string& name) {
   return k.ascending && t.schema().field(k.column).name == name;
 }
 
+/// Debug-audit helper (the VX_DCHECK tier): every row of `t` must be owned
+/// by shard `shard` under `spec` — the scatter contract a table routed to a
+/// shard carries (NULL keys belong to shard 0). Mirrors
+/// PartitionSet::CheckInvariants for tables held outside a PartitionSet
+/// (the per-shard message tables).
+[[maybe_unused]] Status AuditShardPlacement(const Table& t, int key_column,
+                                            const ShardingSpec& spec,
+                                            int shard) {
+  const Column& keys = t.column(key_column);
+  for (int64_t r = 0; r < keys.length(); ++r) {
+    const int want = keys.IsNull(r) ? spec.ShardOfNull()
+                                    : spec.ShardOfKey(keys.GetInt64(r));
+    if (want != shard) {
+      return Status::Internal(StringFormat(
+          "shard placement violated: row %lld routed to shard %d but its "
+          "key is owned by shard %d",
+          static_cast<long long>(r), shard, want));
+    }
+  }
+  return Status::OK();
+}
+
 /// The active set of one superstep over one vertex/message (shard) pair:
 /// one bit per vertex row, plus its popcount.
 struct Frontier {
@@ -469,6 +491,11 @@ const CsrIndex* Coordinator::EdgeCsrFor(const TablePtr& edge) const {
     const Column* src = edge->ColumnByName("src");
     if (src != nullptr) edge_derived_.csr = CsrIndex::Build(*src);
     edge_derived_.csr_failed = edge_derived_.csr == nullptr;
+    if (edge_derived_.csr != nullptr) {
+      // The index is cached across supersteps keyed on this snapshot; prove
+      // once that it describes exactly this key column.
+      VX_DCHECK_OK(edge_derived_.csr->CheckInvariants(*src));
+    }
   }
   return edge_derived_.csr.get();
 }
@@ -567,6 +594,8 @@ Result<Table> Coordinator::UpdateVerticesInPlace(const Table& vertex,
   // per vertex, so every target row is written by exactly one morsel.
   const auto& uids = updates.column(uid_c).ints();
   const auto& uhalted = updates.column(uhalted_c).bools();
+  // ambient-ok: the lambda reads no knobs; ExecThreads() below is the
+  // thread-count argument, evaluated on the submitting thread.
   VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
       0, static_cast<size_t>(updates.num_rows()),
       static_cast<size_t>(kDefaultMorselRows),
@@ -743,6 +772,9 @@ Status Coordinator::Run(RunStats* stats) {
     bool used_frontier =
         ComputeFrontier(*vertex, *message, AmbientFrontierMode(), superstep,
                         options_.frontier_threshold, &frontier);
+    // The frontier bitvector gates which vertices compute this superstep;
+    // its word-tail hygiene is what the popcount/AND/OR shortcuts assume.
+    if (used_frontier) VX_DCHECK_OK(frontier.bits.CheckInvariants());
     Table input;
     if (options_.use_union_input) {
       const CsrIndex* csr = used_frontier ? EdgeCsrFor(edge) : nullptr;
@@ -865,6 +897,10 @@ Status Coordinator::Run(RunStats* stats) {
         }
       }
       if (enc_mode != EncodingMode::kOff) new_vertex.EncodeColumns(enc_mode);
+      // Post-apply audit: the table about to be published must honor every
+      // structural claim it carries (sorted-by-id declaration, encodings,
+      // zone maps) — downstream supersteps trust them blindly.
+      VX_DCHECK_OK(new_vertex.CheckInvariants());
       AccountTableBytes(new_vertex, &encoded_bytes, &decoded_bytes);
       VX_RETURN_NOT_OK(
           catalog_->ReplaceTable(names_.vertex, std::move(new_vertex)));
@@ -873,6 +909,7 @@ Status Coordinator::Run(RunStats* stats) {
     }
 
     if (enc_mode != EncodingMode::kOff) new_messages.EncodeColumns(enc_mode);
+    VX_DCHECK_OK(new_messages.CheckInvariants());
     const int64_t messages_sent = new_messages.num_rows();
     AccountTableBytes(new_messages, &encoded_bytes, &decoded_bytes);
     VX_RETURN_NOT_OK(
@@ -973,6 +1010,14 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
     }
     sharded_->edge_csr.resize(static_cast<size_t>(num_shards));
     sharded_->edge_csr_failed.assign(static_cast<size_t>(num_shards), 0);
+    // Post-scatter audit: the vertex/edge PartitionSets self-audited inside
+    // Build; the message shards scattered here carry the same obligations
+    // (structure + every row owned by its shard).
+    for (int s = 0; s < num_shards; ++s) {
+      const auto& ms = sharded_->message[static_cast<size_t>(s)];
+      VX_DCHECK_OK(ms->CheckInvariants());
+      VX_DCHECK_OK(AuditShardPlacement(*ms, mdst_c, sharded_->spec, s));
+    }
   }
   const int64_t total_vertices = sharded_->vertex.total_rows();
 
@@ -1059,6 +1104,9 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
             bool frontier_shard = ComputeFrontier(
                 *vs, *ms, knobs.frontier, superstep,
                 options_.frontier_threshold, &frontier);
+            if (frontier_shard) {
+              VX_DCHECK_OK(frontier.bits.CheckInvariants());
+            }
             Table input;
             if (options_.use_union_input) {
               const CsrIndex* csr = nullptr;
@@ -1067,6 +1115,10 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
                   const Column* src = es->ColumnByName("src");
                   if (src != nullptr) {
                     sharded_->edge_csr[s] = CsrIndex::Build(*src);
+                    if (sharded_->edge_csr[s] != nullptr) {
+                      VX_DCHECK_OK(
+                          sharded_->edge_csr[s]->CheckInvariants(*src));
+                    }
                   }
                   sharded_->edge_csr_failed[s] =
                       sharded_->edge_csr[s] == nullptr ? 1 : 0;
@@ -1180,6 +1232,12 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
       shard_message_rows[static_cast<size_t>(s)] = inbound.num_rows();
       sharded_->message[static_cast<size_t>(s)] =
           std::make_shared<const Table>(std::move(inbound));
+      // Post-exchange audit: each shard's inbound message table must honor
+      // its structural claims (the declared dst order feeds next
+      // superstep's merge joins) and hold only messages routed to it.
+      const auto& routed_in = sharded_->message[static_cast<size_t>(s)];
+      VX_DCHECK_OK(routed_in->CheckInvariants());
+      VX_DCHECK_OK(AuditShardPlacement(*routed_in, dst_c, sharded_->spec, s));
     }
     const double split_seconds = phase_timer.ElapsedSeconds();
     phase_timer.Restart();
@@ -1228,6 +1286,10 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
             return Status::OK();
           },
           knobs.threads));
+      // Post-apply audit: ReplaceShard trusts callers to keep every row in
+      // its owning shard; re-prove it (plus per-shard structure) over the
+      // whole set before the next superstep reads it.
+      VX_DCHECK_OK(sharded_->vertex.CheckInvariants());
     }
 
     int64_t encoded_bytes = 0;
@@ -1321,6 +1383,10 @@ Status Coordinator::FlushShardsToCatalog() const {
     vertex.EncodeColumns(mode);
     message.EncodeColumns(mode);
   }
+  // Post-flush audit: the concatenated, re-sorted, re-encoded tables are
+  // what catalog readers will trust from here on.
+  VX_DCHECK_OK(vertex.CheckInvariants());
+  VX_DCHECK_OK(message.CheckInvariants());
   VX_RETURN_NOT_OK(catalog_->ReplaceTable(names_.vertex, std::move(vertex)));
   return catalog_->ReplaceTable(names_.message, std::move(message));
 }

@@ -224,6 +224,8 @@ Status JoinWorker::ProcessPartition(const Table& partition,
 
   UnionRowBuffer out(shared_->payload_arity);
   VertexRunner runner(shared_.get());
+  // order-insensitive: membership tests only (dedup within one vertex's
+  // tuple group); rows stream through in partition order.
   std::unordered_set<int64_t> seen_msgs;
   std::unordered_set<int64_t> seen_edges;
 

@@ -174,7 +174,7 @@ TEST(ApiParityTest, TriangleCountAgreesWhereSupported) {
   const auto expect = static_cast<double>(TriangleCountReference(g));
   Engine engine;
   ASSERT_TRUE(engine.LoadGraph(g).ok());
-  for (const std::string& backend : {"vertexica", "sqlgraph", "giraph"}) {
+  for (const char* const backend : {"vertexica", "sqlgraph", "giraph"}) {
     auto result = engine.Run("triangle_count", backend);
     ASSERT_TRUE(result.ok())
         << backend << ": " << result.status().ToString();
@@ -192,7 +192,7 @@ TEST(ApiParityTest, ThreadsKnobIsBitIdenticalToSerial) {
   const Graph g = ParityGraph();
   Engine engine;
   ASSERT_TRUE(engine.LoadGraph(g).ok());
-  for (const std::string& backend : {"vertexica", "sqlgraph"}) {
+  for (const char* const backend : {"vertexica", "sqlgraph"}) {
     for (const char* algorithm :
          {"pagerank", "sssp", "connected_components", "triangle_count"}) {
       RunRequest request;

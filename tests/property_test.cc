@@ -151,9 +151,9 @@ INSTANTIATE_TEST_SUITE_P(
                       GraphCase{"er", 150, 1500, 5},
                       GraphCase{"ba", 100, 300, 6},
                       GraphCase{"ba", 200, 1000, 7}),
-    [](const ::testing::TestParamInfo<GraphCase>& info) {
+    [](const ::testing::TestParamInfo<GraphCase>& param_info) {
       std::ostringstream os;
-      os << info.param;
+      os << param_info.param;
       return os.str();
     });
 
@@ -196,8 +196,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ConfigCase{true, true, 1.1, 4, 16},
                       ConfigCase{false, false, 0.0, 3, 2},
                       ConfigCase{true, false, 1.1, 2, 32}),
-    [](const ::testing::TestParamInfo<ConfigCase>& info) {
-      const ConfigCase& c = info.param;
+    [](const ::testing::TestParamInfo<ConfigCase>& param_info) {
+      const ConfigCase& c = param_info.param;
       std::ostringstream os;
       os << (c.use_union ? "union" : "join") << "_"
          << (c.use_combiner ? "comb" : "nocomb") << "_t"

@@ -1059,4 +1059,247 @@ TEST(CsrIndexTest, UngroupedKeysFailTheBuild) {
 }
 
 }  // namespace
+
+// ------------------------------------------------------ invariant audits
+//
+// The test-only corruption backdoors (friended by the storage classes):
+// every mutation hook heals derived state before touching data, so lying
+// about structure — the exact thing CheckInvariants exists to catch —
+// requires reaching around the public API.
+
+struct ColumnTestAccess {
+  static std::shared_ptr<const EncodedSegment>& segment(Column* c) {
+    return c->segment_;
+  }
+  static std::vector<int64_t>& ints(Column* c) { return c->ints_; }
+  static std::vector<uint8_t>& validity(Column* c) { return c->validity_; }
+  static int64_t& null_count(Column* c) { return c->null_count_; }
+};
+
+struct BitvectorTestAccess {
+  static std::vector<uint64_t>& words(Bitvector* b) { return b->words_; }
+};
+
+namespace {
+
+bool Mentions(const Status& st, const char* needle) {
+  return st.ToString().find(needle) != std::string::npos;
+}
+
+TEST(InvariantAuditTest, HealthyStructuresPass) {
+  Column ints = Column::FromInts({1, 1, 2, 2, 3});
+  ASSERT_TRUE(ints.Encode(EncodingMode::kForce));
+  EXPECT_TRUE(ints.CheckInvariants().ok());
+
+  Column strs = Column::FromStrings({"a", "b", "a", "b", "a"});
+  ASSERT_TRUE(strs.Encode(EncodingMode::kForce));
+  EXPECT_TRUE(strs.CheckInvariants().ok());
+
+  Column with_zones = Column::FromDoubles({1.0, 2.0, 3.0});
+  with_zones.BuildZoneMap();
+  EXPECT_TRUE(with_zones.CheckInvariants().ok());
+
+  auto made = Table::Make(Schema({{"k", DataType::kInt64}}),
+                          {Column::FromInts({1, 2, 3})});
+  ASSERT_TRUE(made.ok());
+  Table t = *made;
+  t.SetSortOrder({{0, true}});
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(InvariantAuditTest, LyingColumnSortFlagIsReported) {
+  Column c = Column::FromInts({3, 1, 2});
+  c.set_sorted_ascending(true);  // public API, false claim
+  const Status st = c.CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Mentions(st, "declared sorted_ascending but row 0 > row 1"))
+      << st.ToString();
+}
+
+TEST(InvariantAuditTest, LyingTableSortOrderIsReported) {
+  // The leading key really is nondecreasing (so the column-level flag
+  // audit passes); the declared tiebreaker is the lie.
+  auto made = Table::Make(
+      Schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}}),
+      {Column::FromInts({1, 1, 2}), Column::FromInts({5, 3, 9})});
+  ASSERT_TRUE(made.ok());
+  Table t = *made;
+  t.SetSortOrder({{0, true}, {1, true}});
+  const Status st = t.CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Mentions(
+      st, "sort order broken between rows 0 and 1 on key column 1 (b)"))
+      << st.ToString();
+}
+
+TEST(InvariantAuditTest, TruncatedRleRunsAreReported) {
+  Column c = Column::FromInts({1, 1, 2, 2, 3});
+  ASSERT_TRUE(c.Encode(EncodingMode::kForce));
+  ASSERT_EQ(c.encoding(), ColumnEncoding::kRle);
+  const auto& good = *ColumnTestAccess::segment(&c);
+  auto bad = std::make_shared<EncodedSegment>();
+  bad->encoding = ColumnEncoding::kRle;
+  bad->length = good.length;
+  bad->runs.assign(good.runs.begin(), good.runs.end() - 1);  // drop a run
+  bad->run_starts.assign(good.run_starts.begin(), good.run_starts.end() - 1);
+  ColumnTestAccess::segment(&c) = bad;
+  const Status st = c.CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Mentions(st, "RLE runs sum to 4 rows but the column has 5"))
+      << st.ToString();
+}
+
+TEST(InvariantAuditTest, BrokenRunStartsAreReported) {
+  Column c = Column::FromInts({7, 7, 8});
+  ASSERT_TRUE(c.Encode(EncodingMode::kForce));
+  const auto& good = *ColumnTestAccess::segment(&c);
+  auto bad = std::make_shared<EncodedSegment>();
+  bad->encoding = ColumnEncoding::kRle;
+  bad->length = good.length;
+  bad->runs = good.runs;
+  bad->run_starts = good.run_starts;
+  bad->run_starts[1] = 1;  // true prefix sum is 2
+  ColumnTestAccess::segment(&c) = bad;
+  const Status st = c.CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(
+      Mentions(st, "run_starts[1] is 1 but runs before it sum to 2"))
+      << st.ToString();
+}
+
+TEST(InvariantAuditTest, OutOfRangeDictCodeIsReported) {
+  Column c = Column::FromStrings({"x", "y", "x", "y"});
+  ASSERT_TRUE(c.Encode(EncodingMode::kForce));
+  ASSERT_EQ(c.encoding(), ColumnEncoding::kDict);
+  const auto& good = *ColumnTestAccess::segment(&c);
+  auto bad = std::make_shared<EncodedSegment>();
+  bad->encoding = ColumnEncoding::kDict;
+  bad->length = good.length;
+  bad->dict = good.dict;
+  bad->dict.codes[2] = 99;
+  ColumnTestAccess::segment(&c) = bad;
+  const Status st = c.CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(
+      Mentions(st, "dict code 99 at row 2 outside dictionary of 2 entries"))
+      << st.ToString();
+}
+
+TEST(InvariantAuditTest, StaleZoneMapIsReported) {
+  Column c = Column::FromInts({1, 2, 3, 4});
+  c.BuildZoneMap();
+  ASSERT_NE(c.zone_map(), nullptr);
+  // Reach past PrepareMutation (which would have dropped the zone map) and
+  // move a value outside the recorded bounds.
+  ColumnTestAccess::ints(&c)[0] = 1000000;
+  const Status st = c.CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Mentions(
+      st, "zone 0 bounds do not cover the value at row 0 (stale zone map?)"))
+      << st.ToString();
+}
+
+TEST(InvariantAuditTest, NullCountMismatchIsReported) {
+  Column c = Column::FromInts({1, 2});
+  ColumnTestAccess::null_count(&c) = 1;  // bitmap is empty == all valid
+  const Status st = c.CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Mentions(
+      st, "null_count is 1 but the validity bitmap is empty"))
+      << st.ToString();
+
+  Column d(DataType::kInt64);
+  d.AppendInt64(5);
+  d.AppendNull();
+  ColumnTestAccess::validity(&d)[1] = 1;  // claims the NULL row is valid
+  const Status st2 = d.CheckInvariants();
+  ASSERT_FALSE(st2.ok());
+  EXPECT_TRUE(Mentions(
+      st2, "validity bitmap holds 0 NULLs but null_count says 1"))
+      << st2.ToString();
+}
+
+TEST(InvariantAuditTest, BitvectorTailBitIsReported) {
+  Bitvector bits(10);
+  bits.Set(3);
+  EXPECT_TRUE(bits.CheckInvariants().ok());
+  BitvectorTestAccess::words(&bits).back() |= uint64_t{1} << 12;  // > size
+  const Status st = bits.CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Mentions(st, "bits set past size 10")) << st.ToString();
+}
+
+TEST(InvariantAuditTest, StaleCsrIndexIsReported) {
+  const Column keys = Column::FromInts({0, 0, 1});
+  auto csr = CsrIndex::Build(keys);
+  ASSERT_NE(csr, nullptr);
+  EXPECT_TRUE(csr->CheckInvariants(keys).ok());
+
+  // Audited against a longer snapshot: stale by row count.
+  const Column longer = Column::FromInts({0, 0, 1, 2});
+  const Status st = csr->CheckInvariants(longer);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Mentions(
+      st, "index covers 3 rows but the key column has 4 (stale index?)"))
+      << st.ToString();
+
+  // Same length, different grouping: stale by slice shape.
+  const Column regrouped = Column::FromInts({0, 1, 1});
+  const Status st2 = csr->CheckInvariants(regrouped);
+  ASSERT_FALSE(st2.ok());
+  EXPECT_TRUE(Mentions(
+      st2, "key 0 maps to slice [0, 2) but its rows span [0, 1)"))
+      << st2.ToString();
+}
+
+TEST(InvariantAuditTest, MalformedShardingSpecIsReported) {
+  ShardingSpec bad;
+  bad.num_shards = 4;
+  bad.base_partitions = 2;  // shards must coarsen, not refine
+  const Status st = bad.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Mentions(st, "4 shards over 2 base partitions"))
+      << st.ToString();
+
+  ShardingSpec good;
+  good.num_shards = 3;
+  good.base_partitions = 64;
+  EXPECT_TRUE(good.Validate().ok());
+}
+
+TEST(InvariantAuditTest, MisplacedShardRowIsReported) {
+  Schema schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+  Table t(schema);
+  for (int64_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(i), Value(static_cast<double>(i))}).ok());
+  }
+  ShardingSpec spec;
+  spec.num_shards = 2;
+  spec.base_partitions = 64;
+  auto built = PartitionSet::Build(t, 0, spec);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  PartitionSet set = *built;
+  EXPECT_TRUE(set.CheckInvariants().ok());
+
+  // A key provably owned by shard 0, force-placed into shard 1 — the
+  // ReplaceShard obligation ("rows still belong to the shard") broken.
+  int64_t shard0_key = -1;
+  for (int64_t k = 0; k < 1000; ++k) {
+    if (spec.ShardOfKey(k) == 0) {
+      shard0_key = k;
+      break;
+    }
+  }
+  ASSERT_GE(shard0_key, 0);
+  Table wrong(schema);
+  ASSERT_TRUE(wrong.AppendRow({Value(shard0_key), Value(0.5)}).ok());
+  set.ReplaceShard(1, std::move(wrong));
+  const Status st = set.CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Mentions(
+      st, "row 0 of shard 1 carries a key owned by shard 0"))
+      << st.ToString();
+}
+
+}  // namespace
 }  // namespace vertexica

@@ -791,5 +791,25 @@ TEST(WorkerTest, UnionBufferToTable) {
   EXPECT_DOUBLE_EQ(t2.ColumnByName("p1")->GetDouble(0), 0.0);  // padded
 }
 
+TEST(InvariantAuditTest, CatalogTablesPassDeepAuditAfterRuns) {
+  // End-to-end audit coverage: the tables a finished run publishes —
+  // sort-order declarations, segment encodings, zone maps included — must
+  // withstand the same CheckInvariants the VX_DCHECK tier applies at every
+  // phase boundary, on both the unsharded and sharded dataflows.
+  Graph g = GenerateRmat(120, 600, 17);
+  for (int shards : {0, 3}) {
+    ScopedExecShards scoped(shards);
+    Catalog cat;
+    ASSERT_TRUE(RunPageRank(&cat, g, 6).ok());
+    for (const char* const name : {"vertex", "edge", "message"}) {
+      auto table = cat.GetTable(name);
+      ASSERT_TRUE(table.ok()) << name;
+      const Status st = (*table)->CheckInvariants();
+      EXPECT_TRUE(st.ok()) << name << " (shards=" << shards
+                           << "): " << st.ToString();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace vertexica
