@@ -26,6 +26,7 @@
 
 #include "bench_common.h"
 
+#include "common/fault_injection.h"
 #include "common/timer.h"
 #include "server/engine_server.h"
 
@@ -158,6 +159,85 @@ void BM_ServingMixedClients(benchmark::State& state) {
 // 1 client is the serial baseline row; 8 concurrent mixed clients is the
 // acceptance configuration; 4 sits between to show the queueing knee.
 BENCHMARK(BM_ServingMixedClients)->Arg(1)->Arg(4)->Arg(8)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+/// Serving under a 10% deterministic transient-failure rate: every 10th
+/// pass through the server.run fault point aborts, and the server's
+/// bounded-backoff retry loop absorbs it. Reported: the latency the retry
+/// tax costs at p50/p99, plus the retry and shed counters — all produced
+/// only by runs that still match the serial reference bit-for-bit.
+EngineServer& FaultServer() {
+  static EngineServer* server = [] {
+    // Dedicated server so the retry knob is explicit, and so arming the
+    // fault can't perturb the clean-path rows above. A generous attempt
+    // budget keeps the worst-case hit interleaving (every attempt of one
+    // request landing on a multiple of the period) out of reach.
+    ServerOptions options;
+    options.max_run_attempts = 6;
+    auto* s = new EngineServer(options);
+    VX_CHECK_OK(s->CreateGraph("twitter", GetDatasetShared(DatasetId::kTwitter)));
+    VX_CHECK_OK(s->PrepareGraph("twitter"));
+    return s;
+  }();
+  return *server;
+}
+
+void BM_ServingTransientFaults(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  EngineServer& server = FaultServer();
+  const std::vector<RunRequest> workload = MixedWorkload();
+  // The reference comes from the *other* (clean) server: recovery must
+  // reproduce not just a serial run, but any correct server's bits.
+  const std::vector<std::vector<double>>& reference = SerialReference();
+
+  std::vector<double> latencies;
+  double wall_seconds = 0;
+  uint64_t retries = 0;
+  uint64_t shed = 0;
+  for (auto _ : state) {
+    latencies.clear();
+    std::mutex collect_mutex;
+    const uint64_t retries_before = server.retry_count();
+    const uint64_t shed_before = server.admission_stats().shed;
+    ArmFaultEvery("server.run", 10, FaultAction::kError);  // 10% failure rate
+    WallTimer wall_timer;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c]() {
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          const std::size_t w =
+              static_cast<std::size_t>(c + r) % workload.size();
+          WallTimer timer;
+          auto result = server.Run("twitter", workload[w]);
+          const double latency = timer.ElapsedSeconds();
+          VX_CHECK(result.ok())
+              << workload[w].backend << " under injected faults: "
+              << result.status().ToString();
+          VX_CHECK(result->values == reference[w])
+              << workload[w].backend << "/" << workload[w].algorithm
+              << " diverged from the serial reference under injected faults";
+          std::lock_guard<std::mutex> lock(collect_mutex);
+          latencies.push_back(latency);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    wall_seconds = wall_timer.ElapsedSeconds();
+    DisarmAllFaults();
+    retries = server.retry_count() - retries_before;
+    shed = server.admission_stats().shed - shed_before;
+    state.SetIterationTime(wall_seconds);
+  }
+
+  const std::string row = ClientsRow(clients) + ", 10% transient faults";
+  TableServing().Record(row, "latency p50", Percentile(latencies, 0.50));
+  TableServing().Record(row, "latency p99", Percentile(latencies, 0.99));
+  TableServing().Record(row, "retries", static_cast<double>(retries));
+  TableServing().Record(row, "shed", static_cast<double>(shed));
+  TableServing().Record(row, "wall", wall_seconds);
+}
+BENCHMARK(BM_ServingTransientFaults)->Arg(8)
     ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void PrintAdmissionSummary() {

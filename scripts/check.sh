@@ -81,6 +81,20 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 "$BUILD_DIR"/vertexica_server --vertices=500 --edges=2500 --clients=4 \
     --requests=2 > /dev/null
 
+# Fault-injection pass (docs/DEVELOPING.md, "Fault injection & recovery"):
+# the in-process arming API is covered by the regular suites above; this
+# pass proves the *environment* arming path fires in a fresh process. The
+# FaultEnv tests skip unless VERTEXICA_FAULTS names their site, so the
+# binary is invoked directly with the filter — ctest registers whole
+# binaries and would arm the fault for every unrelated test too.
+VERTEXICA_FAULTS="checkpoint.after_manifest=1:error" \
+    "$BUILD_DIR"/tests/extensions_test --gtest_filter='FaultEnvTest.*'
+
+# Crash-recovery smoke: kill a checkpointing run mid-save (simulated crash
+# via fault injection, then a raw SIGKILL) and require the restored +
+# resumed values to be bit-identical to an uninterrupted run.
+./scripts/crash_recovery_smoke.sh "$BUILD_DIR"
+
 # Invariant-audit pass (docs/DEVELOPING.md): a Debug build with
 # VERTEXICA_DCHECK=ON compiles in the deep structural validators
 # (Column/Table/Bitvector/CsrIndex/PartitionSet CheckInvariants, the knob

@@ -33,6 +33,12 @@ model) sneak in:
       genuine internal invariant carries an `internal-invariant:`
       justification (same line or within the three preceding lines).
 
+  R5  Every fault-injection site declared in src/ — a string literal inside
+      VX_FAULT_POINT("...") or FaultPointHit("...") — must be referenced by
+      name somewhere under tests/ or scripts/. An unexercised fault point is
+      dead recovery code: the crash/abort path it guards has never been
+      driven, so nothing stops it from silently rotting.
+
 Exit status 0 when clean, 1 with one `file:line: [rule] message` per
 violation otherwise. Pure stdlib; runs anywhere python3 exists.
 """
@@ -43,6 +49,8 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
+TESTS = REPO / "tests"
+SCRIPTS = REPO / "scripts"
 
 JUSTIFY_WINDOW = 3  # lines above a flagged line searched for a justification
 
@@ -55,6 +63,8 @@ AMBIENT_RE = re.compile(
     r"\bExecKnobs::Capture\s*\(")
 PARALLEL_FOR_RE = re.compile(r"\bParallelFor\s*\(")
 VX_CHECK_RE = re.compile(r"\bVX_CHECK(?:_OK)?\b")
+FAULT_SITE_RE = re.compile(
+    r"\b(?:VX_FAULT_POINT|FaultPointHit)\s*\(\s*\"([^\"]+)\"")
 USER_INPUT_LAYERS = ("server", "api", "catalog")
 
 
@@ -134,11 +144,42 @@ def lint_file(path, violations):
                 f"justify with 'ambient-ok:'")
 
 
+def lint_fault_sites(violations):
+    """R5: fault sites declared in src/ must be exercised from tests/ or
+    scripts/ — an uninjected fault point guards a recovery path no test has
+    ever driven."""
+    sites = []  # (name, rel, line)
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in (".cc", ".h"):
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        for idx, line in enumerate(path.read_text().splitlines()):
+            for m in FAULT_SITE_RE.finditer(line.split("//")[0]):
+                sites.append((m.group(1), rel, idx + 1))
+    if not sites:
+        return
+    corpus = []
+    for root in (TESTS, SCRIPTS):
+        for path in sorted(root.rglob("*")):
+            if path.is_file() and path.suffix in (
+                    ".cc", ".h", ".py", ".sh", ".cpp"):
+                corpus.append(path.read_text())
+    haystack = "\n".join(corpus)
+    for name, rel, lineno in sites:
+        if name not in haystack:
+            violations.append(
+                f"{rel}:{lineno}: [R5] fault site '{name}' is never "
+                f"referenced under tests/ or scripts/ — arm it in a test "
+                f"(ArmFault/VERTEXICA_FAULTS) so its recovery path is "
+                f"actually driven")
+
+
 def main():
     violations = []
     for path in sorted(SRC.rglob("*")):
         if path.suffix in (".cc", ".h"):
             lint_file(path, violations)
+    lint_fault_sites(violations)
     if violations:
         print(f"lint_determinism: {len(violations)} violation(s)",
               file=sys.stderr)

@@ -19,6 +19,13 @@ ExecContext ExecContext::FromRequest(const RunRequest& request) {
   if (!request.frontier.empty()) {
     ctx.knobs.frontier = ParseFrontierMode(request.frontier);
   }
+  if (request.deadline_ms > 0) {
+    // Derive rather than replace: the child token enforces the request
+    // deadline while still observing an ambient (e.g. session-level)
+    // cancellation installed by the serving layer.
+    ctx.knobs.cancel =
+        ctx.knobs.cancel.WithDeadlineAfter(request.deadline_ms / 1e3);
+  }
   // Resolution audit: the contract above — "installing it on any thread
   // reproduces the configuration" — needs strictly positive counts, since
   // the scoped installers treat <= 0 as a no-op scope and would silently

@@ -119,6 +119,15 @@ struct RunRequest {
   /// (only SuperstepStats frontier counters change).
   std::string frontier;
 
+  /// End-to-end deadline for this run, in milliseconds; 0 means none.
+  /// The budget covers admission queue wait plus execution: a request
+  /// still queued when it expires is shed with `DeadlineExceeded`, and a
+  /// running one stops cooperatively (ParallelFor grain boundaries,
+  /// coordinator superstep boundaries) with the same status. Resolved into
+  /// the run's CancelToken by ExecContext::FromRequest; see
+  /// docs/DEVELOPING.md ("Fault injection & recovery") for the semantics.
+  double deadline_ms = 0;
+
   /// \name Backend passthroughs
   /// Tuning knobs forwarded verbatim to the backend that understands them;
   /// the others ignore them.

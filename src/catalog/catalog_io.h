@@ -1,12 +1,29 @@
 /// \file catalog_io.h
-/// \brief Catalog persistence: checkpoint and recovery.
+/// \brief Catalog persistence: crash-atomic checkpoint and verified
+/// recovery.
 ///
 /// §1 lists "transactions, checkpointing and recovery, fault tolerance,
 /// durability" among the relational features users are reluctant to
-/// forego. This module provides the checkpoint/recover pair: a catalog is
-/// saved as one CSV file per table plus a manifest recording names and
-/// schemas, and restored losslessly (types come from the manifest, not
-/// from CSV inference).
+/// forego. This module provides the checkpoint/recover pair with the
+/// crash-atomicity those words imply (checkpoint format v2; see
+/// docs/DEVELOPING.md, "Fault injection & recovery"):
+///
+///  - `SaveCatalog` writes one CSV per table plus a MANIFEST (per-file
+///    CRC32 and byte counts, format version header) into a temp
+///    directory, fsyncs everything, atomically renames it into place as a
+///    new numbered *generation*, and only then swaps the `CURRENT`
+///    pointer file. A crash — real or injected via the
+///    `checkpoint.*` fault points (common/fault_injection.h) — at any
+///    moment leaves either the previous generation or the new one fully
+///    intact, never a torn mixture.
+///  - `LoadCatalog` follows `CURRENT`, verifies every file against the
+///    MANIFEST's checksums and sizes, rejects torn or partial generations
+///    with precise diagnostics, and falls back to the newest older
+///    generation that verifies. Directories written by the pre-v2 format
+///    (a bare MANIFEST, no checksums) still load.
+///
+/// Types come from the manifest, not from CSV inference, so restores are
+/// lossless.
 
 #ifndef VERTEXICA_CATALOG_CATALOG_IO_H_
 #define VERTEXICA_CATALOG_CATALOG_IO_H_
@@ -18,12 +35,15 @@
 
 namespace vertexica {
 
-/// \brief Writes every table of `catalog` into `directory` (created if
-/// missing): a `MANIFEST` file plus `<n>.csv` per table.
+/// \brief Writes every table of `catalog` into a new checkpoint generation
+/// under `directory` (created if missing) and atomically publishes it via
+/// the `CURRENT` pointer. The two newest generations are retained; older
+/// ones are pruned.
 Status SaveCatalog(const Catalog& catalog, const std::string& directory);
 
-/// \brief Restores a catalog previously written by SaveCatalog into
-/// `catalog` (existing tables with the same names are replaced).
+/// \brief Restores the newest verifiable checkpoint generation under
+/// `directory` into `catalog` (existing tables with the same names are
+/// replaced; on any error `catalog` is left untouched).
 Status LoadCatalog(const std::string& directory, Catalog* catalog);
 
 }  // namespace vertexica

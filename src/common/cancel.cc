@@ -1,0 +1,61 @@
+#include "common/cancel.h"
+
+#include <utility>
+
+namespace vertexica {
+
+namespace {
+
+thread_local CancelToken t_ambient_token;
+
+}  // namespace
+
+CancelToken CancelToken::WithDeadlineAfter(double seconds) const {
+  auto state = std::make_shared<cancel_internal::CancelState>();
+  state->has_deadline = true;
+  state->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(seconds));
+  state->parent = state_;
+  return CancelToken(std::move(state));
+}
+
+Status CancelToken::Check() const {
+  bool expired = false;
+  for (const cancel_internal::CancelState* s = state_.get(); s != nullptr;
+       s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_acquire)) {
+      return Status::Cancelled("run cancelled");
+    }
+    if (s->has_deadline && std::chrono::steady_clock::now() >= s->deadline) {
+      expired = true;  // keep walking: an ancestor's Cancel() wins
+    }
+  }
+  if (expired) return Status::DeadlineExceeded("run deadline exceeded");
+  return Status::OK();
+}
+
+bool CancelToken::deadline(
+    std::chrono::steady_clock::time_point* out) const {
+  bool found = false;
+  for (const cancel_internal::CancelState* s = state_.get(); s != nullptr;
+       s = s->parent.get()) {
+    if (s->has_deadline && (!found || s->deadline < *out)) {
+      *out = s->deadline;
+      found = true;
+    }
+  }
+  return found;
+}
+
+CancelToken AmbientCancelToken() { return t_ambient_token; }
+
+ScopedCancelToken::ScopedCancelToken(CancelToken token)
+    : previous_(t_ambient_token) {
+  t_ambient_token = std::move(token);
+}
+
+ScopedCancelToken::~ScopedCancelToken() { t_ambient_token = previous_; }
+
+}  // namespace vertexica

@@ -1,0 +1,31 @@
+/// \file crc32.h
+/// \brief CRC-32 (IEEE 802.3 polynomial) over byte buffers.
+///
+/// The self-verification primitive of the durability layer: checkpoint
+/// MANIFESTs record a CRC32 per table file (catalog/catalog_io.cc) and
+/// every WAL record carries one (graphdb/wal.cc), so torn or corrupted
+/// bytes are detected at read time instead of being parsed as garbage.
+/// Software table-driven implementation — no hardware dependency, and the
+/// checkpoint/WAL paths are not hot.
+
+#ifndef VERTEXICA_COMMON_CRC32_H_
+#define VERTEXICA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace vertexica {
+
+/// \brief CRC-32 of `size` bytes at `data`, continuing from `seed` (pass
+/// the previous call's return value to checksum a buffer in pieces; the
+/// default seed starts a fresh checksum).
+uint32_t Crc32(const void* data, std::size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_COMMON_CRC32_H_

@@ -1,0 +1,178 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace vertexica {
+
+namespace fault_internal {
+std::atomic<bool> g_armed{false};
+}  // namespace fault_internal
+
+namespace {
+
+struct FaultSite {
+  int64_t nth = 0;      // hit to fire on (1-based); period when `every`
+  bool every = false;   // fire on every nth-th hit instead of once
+  FaultAction action = FaultAction::kError;
+  int64_t hits = 0;     // hits recorded since arming
+};
+
+struct Registry {
+  std::mutex mutex;
+  // Ordered map: ArmedFaultSites() reports names in a stable order.
+  std::map<std::string, FaultSite> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Status ParseOneFault(const std::string& item, std::string* site,
+                     FaultSite* parsed) {
+  const auto eq = item.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("fault spec item '" + item +
+                                   "': expected site=N[:action]");
+  }
+  *site = Trim(item.substr(0, eq));
+  std::string rest = Trim(item.substr(eq + 1));
+  std::string action_token;
+  const auto colon = rest.find(':');
+  if (colon != std::string::npos) {
+    action_token = Trim(rest.substr(colon + 1));
+    rest = Trim(rest.substr(0, colon));
+  }
+  if (!rest.empty() && rest[0] == '%') {
+    parsed->every = true;
+    rest = rest.substr(1);
+  }
+  if (rest.empty() ||
+      rest.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("fault spec item '" + item +
+                                   "': hit count must be a positive integer");
+  }
+  parsed->nth = std::strtoll(rest.c_str(), nullptr, 10);
+  if (parsed->nth <= 0) {
+    return Status::InvalidArgument("fault spec item '" + item +
+                                   "': hit count must be >= 1");
+  }
+  if (action_token.empty() || action_token == "error") {
+    parsed->action = FaultAction::kError;
+  } else if (action_token == "crash") {
+    parsed->action = FaultAction::kCrash;
+  } else {
+    return Status::InvalidArgument("fault spec item '" + item +
+                                   "': unknown action '" + action_token +
+                                   "' (expected error|crash)");
+  }
+  return Status::OK();
+}
+
+// Arms faults from VERTEXICA_FAULTS before main() runs, so a spec set in
+// the environment covers the whole process lifetime (including static
+// graph loads). A malformed spec warns and arms nothing — consistent with
+// the env-knob contract of never silently running a half-applied config.
+const bool g_env_armed = []() {
+  const char* spec = std::getenv("VERTEXICA_FAULTS");
+  if (spec == nullptr || *spec == '\0') return false;
+  const Status st = ArmFaultsFromSpec(spec);
+  if (!st.ok()) {
+    VX_LOG(kWarn) << "VERTEXICA_FAULTS ignored: " << st.ToString();
+    return false;
+  }
+  return true;
+}();
+
+}  // namespace
+
+Status FaultPointHit(const char* site) {
+  FaultAction action = FaultAction::kError;
+  bool fire = false;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.sites.find(site);
+    if (it == registry.sites.end()) return Status::OK();
+    FaultSite& fault = it->second;
+    ++fault.hits;
+    fire = fault.every ? (fault.hits % fault.nth == 0)
+                       : (fault.hits == fault.nth);
+    action = fault.action;
+  }
+  if (!fire) return Status::OK();
+  if (action == FaultAction::kCrash) {
+    // No destructors, no stream flushing: everything on disk looks exactly
+    // like the process was SIGKILLed at this statement.
+    std::_Exit(kFaultCrashExitCode);
+  }
+  return Status::Aborted(std::string("injected fault at '") + site + "'");
+}
+
+void ArmFault(const std::string& site, int64_t nth, FaultAction action) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites[site] = FaultSite{nth, /*every=*/false, action, 0};
+  fault_internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void ArmFaultEvery(const std::string& site, int64_t period,
+                   FaultAction action) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites[site] = FaultSite{period, /*every=*/true, action, 0};
+  fault_internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+Status ArmFaultsFromSpec(const std::string& spec) {
+  // Parse everything before arming anything: a malformed item must not
+  // leave a half-armed configuration behind.
+  std::vector<std::pair<std::string, FaultSite>> parsed;
+  for (const std::string& item : Split(spec, ',')) {
+    if (Trim(item).empty()) continue;
+    std::string site;
+    FaultSite fault;
+    VX_RETURN_NOT_OK(ParseOneFault(Trim(item), &site, &fault));
+    parsed.emplace_back(std::move(site), fault);
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& [site, fault] : parsed) {
+    registry.sites[site] = fault;
+  }
+  if (!registry.sites.empty()) {
+    fault_internal::g_armed.store(true, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void DisarmAllFaults() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites.clear();
+  fault_internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+int64_t FaultHits(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> ArmedFaultSites() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> names;
+  names.reserve(registry.sites.size());
+  for (const auto& [name, _] : registry.sites) names.push_back(name);
+  return names;
+}
+
+}  // namespace vertexica

@@ -28,6 +28,8 @@ enum class StatusCode : int {
   kNotImplemented = 7,
   kInternal = 8,
   kAborted = 9,
+  kDeadlineExceeded = 10,
+  kCancelled = 11,
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -77,6 +79,12 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   /// \brief True iff this status represents success.
   bool ok() const { return state_ == nullptr; }
@@ -104,6 +112,10 @@ class Status {
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// \brief "OK" or "<Code>: <message>".
   std::string ToString() const {
@@ -144,6 +156,10 @@ inline const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

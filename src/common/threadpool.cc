@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "common/cancel.h"
 #include "common/env_knob.h"
 #include "common/logging.h"
 
@@ -64,7 +65,10 @@ void ThreadPool::ParallelFor(std::size_t n,
   const std::size_t grain = (n + workers - 1) / workers;
   // Preserve the historical contract: an exception thrown by `fn` (e.g. a
   // user-supplied vertex program) propagates to the caller instead of being
-  // flattened into a Status.
+  // flattened into a Status. This entry point has no error channel, so it
+  // is also not cancellable — a null token is installed for the loop's
+  // duration lest an ambient cancellation turn into the VX_CHECK below.
+  ScopedCancelToken no_cancel{CancelToken()};
   std::mutex eptr_mutex;
   std::exception_ptr first_exception;
   const Status status =
@@ -92,6 +96,10 @@ struct ParallelForState {
   std::size_t end = 0;
   std::size_t grain = 1;
   std::size_t total_chunks = 0;
+  // Captured from the submitting thread's ambient state: cooperative
+  // cancellation is checked at every grain boundary, so a cancelled or
+  // past-deadline run stops scheduling work instead of finishing the loop.
+  CancelToken cancel;
 
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<std::size_t> done_chunks{0};
@@ -109,6 +117,9 @@ struct ParallelForState {
       if (c >= total_chunks) return;
       Status status;
       if (!failed.load(std::memory_order_acquire)) {
+        status = cancel.Check();
+      }
+      if (status.ok() && !failed.load(std::memory_order_acquire)) {
         const std::size_t b = begin + c * grain;
         const std::size_t e = std::min(end, b + grain);
         try {
@@ -138,6 +149,8 @@ Status ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
                                std::size_t grain, const ChunkFn& fn,
                                int max_threads) {
   if (begin >= end) return Status::OK();
+  CancelToken cancel = AmbientCancelToken();
+  VX_RETURN_NOT_OK(cancel.Check());
   grain = std::max<std::size_t>(1, grain);
   const std::size_t total = (end - begin + grain - 1) / grain;
   if (total == 1) {
@@ -157,6 +170,7 @@ Status ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
   state->end = end;
   state->grain = grain;
   state->total_chunks = total;
+  state->cancel = std::move(cancel);
 
   std::size_t helpers = std::min(total - 1, num_threads());
   if (max_threads > 0) {

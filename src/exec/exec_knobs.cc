@@ -9,6 +9,7 @@ ExecKnobs ExecKnobs::Capture() {
   knobs.encoding = AmbientEncodingMode();
   knobs.merge_join = MergeJoinEnabled();
   knobs.frontier = AmbientFrontierMode();
+  knobs.cancel = AmbientCancelToken();
   return knobs;
 }
 

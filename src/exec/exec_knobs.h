@@ -14,6 +14,7 @@
 #ifndef VERTEXICA_EXEC_EXEC_KNOBS_H_
 #define VERTEXICA_EXEC_EXEC_KNOBS_H_
 
+#include "common/cancel.h"
 #include "common/logging.h"
 #include "exec/frontier.h"
 #include "exec/merge_join.h"
@@ -23,7 +24,8 @@
 
 namespace vertexica {
 
-/// \brief A value snapshot of the five ambient execution knobs.
+/// \brief A value snapshot of the ambient execution knobs (plus the run's
+/// cancellation token).
 ///
 /// Plain copyable data: capture once on the coordinating thread, then copy
 /// into each pool task and install there. Also the payload of the serving
@@ -35,6 +37,11 @@ struct ExecKnobs {
   EncodingMode encoding = EncodingMode::kAuto;
   bool merge_join = true;
   FrontierMode frontier = FrontierMode::kAuto;
+  /// The run's cancellation/deadline token (common/cancel.h). Not a tuning
+  /// knob, but it rides the same capture/install plumbing so pool tasks
+  /// observe the submitting request's cancellation — a null token (the
+  /// default) never fires.
+  CancelToken cancel;
 
   /// Resolves the calling thread's ambient knobs (thread-local override →
   /// process default → environment → fallback, per knob).
@@ -43,13 +50,14 @@ struct ExecKnobs {
   bool operator==(const ExecKnobs& other) const {
     return threads == other.threads && shards == other.shards &&
            encoding == other.encoding && merge_join == other.merge_join &&
-           frontier == other.frontier;
+           frontier == other.frontier && cancel == other.cancel;
   }
   bool operator!=(const ExecKnobs& other) const { return !(*this == other); }
 };
 
-/// \brief RAII installer: pins all five knobs on the current thread for the
-/// lifetime of the scope. Use inside pool tasks with a captured ExecKnobs.
+/// \brief RAII installer: pins every captured knob (and the cancel token)
+/// on the current thread for the lifetime of the scope. Use inside pool
+/// tasks with a captured ExecKnobs.
 ///
 /// After construction the thread's ambient knobs re-Capture() to exactly
 /// the installed value — audited under VX_DCHECK, so a knob added to
@@ -62,7 +70,8 @@ class ScopedExecKnobs {
         shards_(knobs.shards),
         encoding_(knobs.encoding),
         merge_join_(knobs.merge_join),
-        frontier_(knobs.frontier) {
+        frontier_(knobs.frontier),
+        cancel_(knobs.cancel) {
     VX_DCHECK(ExecKnobs::Capture() == knobs)
         << "ScopedExecKnobs: installed knobs do not round-trip through "
            "Capture (a knob is missing from the scoped installers?)";
@@ -77,6 +86,7 @@ class ScopedExecKnobs {
   ScopedEncodingMode encoding_;
   ScopedMergeJoin merge_join_;
   ScopedFrontierMode frontier_;
+  ScopedCancelToken cancel_;
 };
 
 }  // namespace vertexica

@@ -1,15 +1,119 @@
 #include "graphdb/wal.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/string_util.h"
 
 namespace vertexica {
 namespace graphdb {
+
+namespace {
+
+constexpr std::size_t kPayloadBytes = kWalRecordBytes - 4;  // sans CRC
+
+// Fixed-width little-endian packing: the image must be byte-identical
+// across platforms so recorded CRCs verify anywhere.
+void PutU64(unsigned char* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+uint64_t GetU64(const unsigned char* in) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+void PutU32(unsigned char* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+uint32_t GetU32(const unsigned char* in) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+}  // namespace
 
 int64_t Wal::committed_count() const {
   return std::count_if(entries_.begin(), entries_.end(),
                        [](const WalEntry& e) {
                          return e.op == WalOp::kCommit;
                        });
+}
+
+std::string Wal::Serialize() const {
+  std::string out;
+  out.resize(entries_.size() * kWalRecordBytes);
+  auto* cursor = reinterpret_cast<unsigned char*>(out.data());
+  for (const WalEntry& e : entries_) {
+    PutU64(cursor, static_cast<uint64_t>(e.txid));
+    cursor[8] = static_cast<unsigned char>(e.op);
+    PutU64(cursor + 9, static_cast<uint64_t>(e.entity));
+    PutU32(cursor + 17, static_cast<uint32_t>(e.key));
+    uint64_t payload_bits = 0;
+    static_assert(sizeof(payload_bits) == sizeof(e.payload));
+    std::memcpy(&payload_bits, &e.payload, sizeof(payload_bits));
+    PutU64(cursor + 21, payload_bits);
+    PutU32(cursor + kPayloadBytes, Crc32(cursor, kPayloadBytes));
+    cursor += kWalRecordBytes;
+  }
+  return out;
+}
+
+Result<Wal> Wal::Replay(std::string_view bytes, int64_t* dropped_tail) {
+  if (dropped_tail != nullptr) *dropped_tail = 0;
+  Wal wal;
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes.data());
+  const std::size_t whole_records = bytes.size() / kWalRecordBytes;
+  const std::size_t tail_bytes = bytes.size() % kWalRecordBytes;
+  wal.entries_.reserve(whole_records);
+
+  for (std::size_t r = 0; r < whole_records; ++r) {
+    const unsigned char* rec = data + r * kWalRecordBytes;
+    const uint32_t expect_crc = GetU32(rec + kPayloadBytes);
+    const uint32_t got_crc = Crc32(rec, kPayloadBytes);
+    if (got_crc != expect_crc) {
+      const bool is_last = (r + 1 == whole_records) && tail_bytes == 0;
+      if (is_last) {
+        // A torn final record is the expected crash-mid-append signature:
+        // drop it and recover to the last complete record.
+        VX_LOG(kWarn)
+            << "wal replay: dropping torn final record " << r
+            << " (checksum mismatch; crash mid-append)";
+        if (dropped_tail != nullptr) {
+          *dropped_tail = static_cast<int64_t>(kWalRecordBytes);
+        }
+        return wal;
+      }
+      return Status::IoError(StringFormat(
+          "wal replay: record %zu is corrupt (crc32 %08x recorded, %08x "
+          "computed) and is not the final record — the log tail cannot be "
+          "trusted",
+          r, expect_crc, got_crc));
+    }
+    WalEntry e;
+    e.txid = static_cast<int64_t>(GetU64(rec));
+    e.op = static_cast<WalOp>(rec[8]);
+    e.entity = static_cast<int64_t>(GetU64(rec + 9));
+    e.key = static_cast<int32_t>(GetU32(rec + 17));
+    const uint64_t payload_bits = GetU64(rec + 21);
+    std::memcpy(&e.payload, &payload_bits, sizeof(e.payload));
+    wal.entries_.push_back(e);
+  }
+
+  if (tail_bytes != 0) {
+    VX_LOG(kWarn)
+        << "wal replay: dropping " << tail_bytes
+        << " trailing byte(s) of a truncated record (crash mid-append)";
+    if (dropped_tail != nullptr) {
+      *dropped_tail = static_cast<int64_t>(tail_bytes);
+    }
+  }
+  return wal;
 }
 
 }  // namespace graphdb

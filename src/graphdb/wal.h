@@ -6,13 +6,24 @@
 /// benchmark machine's "disk"), giving the baseline the WAL write
 /// amplification a transactional store pays on every update — one of the
 /// §3.3 features relational engines give for free.
+///
+/// The on-disk image (`Serialize`/`Replay`) carries a CRC32 per record
+/// (docs/DEVELOPING.md, "Fault injection & recovery"): a torn *last*
+/// record — the signature of a crash mid-append — is dropped on replay
+/// with a warning, exactly as a real WAL recovers to its last complete
+/// record; corruption anywhere earlier is an error, because nothing after
+/// a damaged record can be trusted.
 
 #ifndef VERTEXICA_GRAPHDB_WAL_H_
 #define VERTEXICA_GRAPHDB_WAL_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/result.h"
 
 namespace vertexica {
 namespace graphdb {
@@ -38,6 +49,10 @@ struct WalEntry {
   double payload = 0.0;  // numeric payload where applicable
 };
 
+/// Serialized size of one WAL record: the fixed little-endian fields
+/// (txid 8, op 1, entity 8, key 4, payload 8) plus a CRC32 over them.
+inline constexpr std::size_t kWalRecordBytes = 33;
+
 /// \brief Append-only in-memory log.
 class Wal {
  public:
@@ -51,6 +66,18 @@ class Wal {
 
   /// \brief Drops everything (checkpoint).
   void Truncate() { entries_.clear(); }
+
+  /// \brief The log as `kWalRecordBytes`-sized records, each ending in a
+  /// CRC32 of its payload bytes.
+  std::string Serialize() const;
+
+  /// \brief Rebuilds a log from `bytes`. A truncated or checksum-damaged
+  /// *final* record is dropped with a warning (`dropped_tail`, when
+  /// non-null, reports how many bytes were discarded — a crash mid-append
+  /// tore it); a damaged record anywhere earlier is an IoError with the
+  /// record index, since the tail beyond it cannot be trusted.
+  static Result<Wal> Replay(std::string_view bytes,
+                            int64_t* dropped_tail = nullptr);
 
  private:
   std::vector<WalEntry> entries_;

@@ -1,8 +1,11 @@
 #include "server/admission.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "common/fault_injection.h"
+#include "common/logging.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
 
@@ -46,27 +49,66 @@ void AdmissionController::Ticket::Release() {
 }
 
 AdmissionController::Ticket AdmissionController::Admit(int demand_threads) {
+  Result<Ticket> admitted = Admit(demand_threads, CancelToken());
+  // internal-invariant: a null token never cancels or expires, so the
+  // deadline-aware path below cannot shed this waiter.
+  VX_CHECK(admitted.ok()) << admitted.status().ToString();
+  return std::move(*admitted);
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    int demand_threads, const CancelToken& cancel) {
+  VX_FAULT_POINT("admission.admit");
   const int demand = std::min(std::max(demand_threads, 1), budget_);
   const bool clamped = demand_threads > budget_;
 
+  // The ticket is only bound to the controller after admission succeeds:
+  // a shed return must not run Release() for threads never reserved (and
+  // would self-deadlock on mutex_ doing so).
   Ticket ticket;
-  ticket.controller_ = this;
-  ticket.granted_ = demand;
   ticket.clamped_ = clamped;
 
   WallTimer wait_timer;
   std::unique_lock<std::mutex> lock(mutex_);
   const uint64_t serial = next_serial_++;
-  // FIFO: wait until every earlier ticket has been admitted AND the
-  // budget has room. head_serial_ only advances on admission, so a later
-  // (smaller) request cannot slip past a waiting (larger) one.
+  std::chrono::steady_clock::time_point deadline;
+  const bool has_deadline = cancel.deadline(&deadline);
+  // FIFO: wait until every earlier ticket has been admitted or shed AND
+  // the budget has room. head_serial_ only advances on admission (or past
+  // abandoned serials), so a later (smaller) request cannot slip past a
+  // waiting (larger) one.
   bool waited = false;
-  while (serial != head_serial_ || in_use_ + demand > budget_) {
+  for (;;) {
+    SkipAbandonedLocked();
+    if (serial == head_serial_ && in_use_ + demand <= budget_) break;
+    const Status stop = cancel.Check();
+    if (!stop.ok()) {
+      // Shed: give up the place in line. Marking the serial abandoned (and
+      // nudging head past it if it is already there) keeps the FIFO chain
+      // behind this waiter moving.
+      abandoned_.insert(serial);
+      SkipAbandonedLocked();
+      ++stats_.shed;
+      cv_.notify_all();
+      return stop;
+    }
     waited = true;
-    cv_.wait(lock);
+    if (has_deadline) {
+      // Wake at the deadline to shed precisely; the periodic cap below
+      // also catches a Cancel() from another thread (which has no cv).
+      cv_.wait_until(lock, std::min(deadline,
+                                    std::chrono::steady_clock::now() +
+                                        std::chrono::milliseconds(50)));
+    } else if (!cancel.null()) {
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+    } else {
+      cv_.wait(lock);
+    }
   }
   ++head_serial_;
   in_use_ += demand;
+  ticket.controller_ = this;
+  ticket.granted_ = demand;
 
   ticket.queue_seconds_ = waited ? wait_timer.ElapsedSeconds() : 0.0;
   ++stats_.admitted;
@@ -81,6 +123,15 @@ AdmissionController::Ticket AdmissionController::Admit(int demand_threads) {
   // once threads free up; the wake on release handles that case).
   cv_.notify_all();
   return ticket;
+}
+
+void AdmissionController::SkipAbandonedLocked() {
+  auto it = abandoned_.find(head_serial_);
+  while (it != abandoned_.end()) {
+    abandoned_.erase(it);
+    ++head_serial_;
+    it = abandoned_.find(head_serial_);
+  }
 }
 
 void AdmissionController::ReleaseThreads(int n) {

@@ -26,6 +26,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <set>
+
+#include "common/cancel.h"
+#include "common/result.h"
 
 namespace vertexica {
 
@@ -71,11 +75,19 @@ class AdmissionController {
   /// demand <= 0 is treated as 1.
   Ticket Admit(int demand_threads);
 
+  /// \brief Deadline/cancellation-aware Admit: waits FIFO like above, but
+  /// sheds the request — with `DeadlineExceeded` or `Cancelled` — when
+  /// `cancel` fires before the reservation is granted. A shed waiter
+  /// abandons its place in line without wedging the tickets behind it.
+  /// A null token makes this identical to `Admit(demand_threads)`.
+  Result<Ticket> Admit(int demand_threads, const CancelToken& cancel);
+
   /// \brief Aggregate counters since construction.
   struct Stats {
     uint64_t admitted = 0;          ///< total reservations granted
     uint64_t queued = 0;            ///< of which had to wait
     uint64_t clamped = 0;           ///< of which were clamped to the budget
+    uint64_t shed = 0;              ///< waiters that gave up (deadline/cancel)
     double total_queue_seconds = 0; ///< summed queue wait
     double max_queue_seconds = 0;   ///< worst single queue wait
     int max_in_use = 0;             ///< high-water mark of reserved threads
@@ -90,6 +102,10 @@ class AdmissionController {
  private:
   void ReleaseThreads(int n);
 
+  /// Advances head_serial_ past serials whose waiters shed (mutex held) —
+  /// an abandoned ticket must not block the FIFO line behind it.
+  void SkipAbandonedLocked();
+
   const int budget_;
 
   mutable std::mutex mutex_;
@@ -97,6 +113,7 @@ class AdmissionController {
   int in_use_ = 0;
   uint64_t next_serial_ = 0;  ///< next ticket number to hand out
   uint64_t head_serial_ = 0;  ///< ticket currently allowed to admit
+  std::set<uint64_t> abandoned_;  ///< shed serials not yet passed by head
   Stats stats_;
 };
 

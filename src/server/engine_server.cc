@@ -1,8 +1,12 @@
 #include "server/engine_server.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "api/exec_context.h"
+#include "common/fault_injection.h"
 #include "common/timer.h"
 
 namespace vertexica {
@@ -11,7 +15,7 @@ Result<RunResult> Session::Run(const RunRequest& request) {
   if (server_ == nullptr || engine_ == nullptr) {
     return Status::InvalidArgument("session is not open");
   }
-  return server_->RunOnEngine(engine_.get(), version_, request);
+  return server_->RunOnEngine(engine_.get(), version_, request, cancel_);
 }
 
 Status Session::Refresh() {
@@ -26,7 +30,7 @@ Status Session::Refresh() {
 }
 
 EngineServer::EngineServer(ServerOptions options)
-    : admission_(options.admission_budget_threads) {}
+    : options_(options), admission_(options.admission_budget_threads) {}
 
 Status EngineServer::CreateGraph(const std::string& name, Graph graph) {
   return CreateGraph(name, std::make_shared<const Graph>(std::move(graph)));
@@ -117,7 +121,8 @@ Result<RunResult> EngineServer::Run(const std::string& graph,
   VX_ASSIGN_OR_RETURN(GraphEntry entry, Lookup(graph));
   // `entry.engine` (a shared_ptr copy) pins this version for the whole
   // run; a concurrent UpdateGraph swaps the map entry without touching it.
-  return RunOnEngine(entry.engine.get(), entry.version, request);
+  return RunOnEngine(entry.engine.get(), entry.version, request,
+                     CancelToken());
 }
 
 Result<Session> EngineServer::OpenSession(const std::string& graph) {
@@ -125,16 +130,52 @@ Result<Session> EngineServer::OpenSession(const std::string& graph) {
   return Session(this, graph, std::move(entry.engine), entry.version);
 }
 
-Result<RunResult> EngineServer::RunOnEngine(Engine* engine, uint64_t version,
-                                            const RunRequest& request) {
+Result<RunResult> EngineServer::RunOnEngine(
+    Engine* engine, uint64_t version, const RunRequest& request,
+    const CancelToken& session_cancel) {
   // Resolve the request's execution configuration up front — its thread
-  // demand is what admission charges against the budget.
+  // demand is what admission charges against the budget, and its deadline
+  // (resolved against arrival time, layered over the session's stop
+  // button) is what admission sheds on. The token covers queue wait plus
+  // execution: time spent queued is time the run no longer has.
+  const ScopedCancelToken session_scope(session_cancel);
   const ExecContext ctx = ExecContext::FromRequest(request);
-  AdmissionController::Ticket ticket = admission_.Admit(ctx.DemandThreads());
+
+  VX_ASSIGN_OR_RETURN(
+      AdmissionController::Ticket ticket,
+      admission_.Admit(ctx.DemandThreads(), ctx.knobs.cancel));
+
+  // The resolved token is installed ambiently for the engine dispatch, so
+  // the request copy drops deadline_ms — re-deriving it after the queue
+  // wait would silently grant a fresh budget.
+  const ScopedCancelToken run_scope(ctx.knobs.cancel);
+  RunRequest run_request = request;
+  run_request.deadline_ms = 0;
 
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   WallTimer run_timer;
-  Result<RunResult> result = engine->Run(request);
+  const int max_attempts = std::max(1, options_.max_run_attempts);
+  int attempts = 0;
+  Result<RunResult> result = Status::Internal("no run attempt was made");
+  for (;;) {
+    ++attempts;
+    // An injected transient failure ("server.run", FaultAction::kError)
+    // surfaces exactly like an engine-reported Aborted — the retry loop
+    // below must not be able to tell the difference.
+    Status injected = FaultInjectionArmed() ? FaultPointHit("server.run")
+                                            : Status::OK();
+    result = injected.ok() ? engine->Run(run_request)
+                           : Result<RunResult>(injected);
+    if (result.ok() || !result.status().IsAborted() ||
+        attempts >= max_attempts || ctx.knobs.cancel.ShouldStop()) {
+      break;
+    }
+    retries_.fetch_add(1, std::memory_order_acq_rel);
+    const double backoff =
+        std::min(options_.retry_backoff_seconds * (1 << (attempts - 1)),
+                 0.050);
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
   const double run_seconds = run_timer.ElapsedSeconds();
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
 
@@ -149,6 +190,8 @@ Result<RunResult> EngineServer::RunOnEngine(Engine* engine, uint64_t version,
         static_cast<double>(granted);
     result->backend_metrics["server_graph_version"] =
         static_cast<double>(version);
+    result->backend_metrics["server_attempts"] =
+        static_cast<double>(attempts);
   }
   return result;
 }

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "common/cancel.h"
 #include "common/result.h"
 #include "server/admission.h"
 
@@ -47,6 +48,16 @@ struct ServerOptions {
   /// Global thread budget for admission control; <= 0 uses the shared
   /// ThreadPool's size.
   int admission_budget_threads = 0;
+
+  /// Total attempts per request when the engine reports a *transient*
+  /// failure (`Status::Aborted` — the code injected faults and retryable
+  /// conditions use). 1 disables retries; other status codes never retry.
+  int max_run_attempts = 3;
+
+  /// Base of the bounded exponential backoff between attempts
+  /// (base * 2^(attempt-1), capped at 50 ms). Retries also stop early when
+  /// the request's deadline or cancellation fires.
+  double retry_backoff_seconds = 0.001;
 };
 
 class EngineServer;
@@ -61,6 +72,14 @@ class Session {
  public:
   /// \brief Runs one request against the pinned graph version.
   Result<RunResult> Run(const RunRequest& request);
+
+  /// \brief Cancels this session's in-flight and future runs: the current
+  /// Run stops cooperatively (superstep / ParallelFor grain boundaries)
+  /// with `Status::Cancelled`, releasing its admission reservation; a
+  /// queued Run sheds without ever being admitted. Sticky — a cancelled
+  /// session stays cancelled; open a new session to continue. The one
+  /// method safe to call from another thread while Run is in flight.
+  void Cancel() { cancel_.Cancel(); }
 
   /// \brief The pinned version (bumped by every server-side update).
   uint64_t graph_version() const { return version_; }
@@ -83,6 +102,7 @@ class Session {
   std::string graph_;
   std::shared_ptr<Engine> engine_;  // pins the version
   uint64_t version_ = 0;
+  CancelToken cancel_ = CancelToken::Make();  // session-wide stop button
 };
 
 /// \brief The long-lived, concurrently-callable serving facade.
@@ -142,6 +162,11 @@ class EngineServer {
     return admission_.budget_threads();
   }
 
+  /// \brief Transient-failure retries performed across all requests.
+  uint64_t retry_count() const {
+    return retries_.load(std::memory_order_acquire);
+  }
+
  private:
   friend class Session;
 
@@ -154,13 +179,19 @@ class EngineServer {
   Status Install(const std::string& name, std::shared_ptr<const Graph> graph,
                  bool allow_replace);
 
-  /// The run path shared by EngineServer::Run and Session::Run: admission,
-  /// execution on the pinned engine, serving metrics.
+  /// The run path shared by EngineServer::Run and Session::Run: deadline
+  /// resolution, admission (with queue-wait shedding), execution on the
+  /// pinned engine with bounded-backoff retry of transient failures,
+  /// serving metrics. `session_cancel` layers a session's stop button
+  /// under the request deadline; a null token means no session.
   Result<RunResult> RunOnEngine(Engine* engine, uint64_t version,
-                                const RunRequest& request);
+                                const RunRequest& request,
+                                const CancelToken& session_cancel);
 
+  ServerOptions options_;
   AdmissionController admission_;
   std::atomic<int> in_flight_{0};
+  std::atomic<uint64_t> retries_{0};
 
   mutable std::mutex mutex_;
   std::map<std::string, GraphEntry> graphs_;

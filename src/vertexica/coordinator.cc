@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "catalog/catalog_io.h"
+#include "common/cancel.h"
+#include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/string_util.h"
 #include "common/threadpool.h"
@@ -737,6 +739,11 @@ Status Coordinator::Run(RunStats* stats) {
   WallTimer total_timer;
   for (int superstep = first_superstep;
        superstep < options_.max_supersteps; ++superstep) {
+    // Superstep boundary: the natural stopping point of a cancelled or
+    // past-deadline run — the catalog still holds the last completed
+    // superstep's consistent state.
+    VX_RETURN_NOT_OK(CheckAmbientCancel());
+    VX_FAULT_POINT("coordinator.superstep");
     WallTimer step_timer;
     // Which physical join path this superstep's plans take (input build +
     // replace-path rebuild), published via SuperstepStats.
@@ -1023,6 +1030,10 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
 
   for (int superstep = first_superstep;
        superstep < options_.max_supersteps; ++superstep) {
+    // Superstep boundary: see the unsharded loop — the resident shards
+    // hold the last completed superstep's consistent state.
+    VX_RETURN_NOT_OK(CheckAmbientCancel());
+    VX_FAULT_POINT("coordinator.superstep");
     WallTimer step_timer;
 
     // Stored-procedure loop condition, over the resident shards.
@@ -1183,6 +1194,9 @@ Status Coordinator::RunSharded(RunStats* stats, int num_shards,
     }
 
     // ---- Message exchange (the only cross-shard traffic). --------------
+    // Phase boundary: a worker failure surfaces here in a distributed
+    // deployment (ROADMAP #1), so the exchange carries a fault site.
+    VX_FAULT_POINT("coordinator.exchange");
     // Concatenate the per-shard outputs in shard order (again the global
     // row order), combine globally — identical combiner input, identical
     // FP fold — then scatter on receiver back to the shards. The scatter

@@ -4,9 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <string_view>
 #include <thread>
 
+#include "common/cancel.h"
+#include "common/crc32.h"
+#include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -291,6 +296,157 @@ TEST(StringUtilTest, StartsWith) {
 TEST(StringUtilTest, StringFormat) {
   EXPECT_EQ(StringFormat("%d-%s", 42, "x"), "42-x");
   EXPECT_EQ(StringFormat("%.2f", 3.14159), "3.14");
+}
+
+// ------------------------------------------------------------------ crc32
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(Crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string_view("")), 0u);
+  EXPECT_NE(Crc32(std::string_view("a")), Crc32(std::string_view("b")));
+}
+
+TEST(Crc32Test, SeedChainingEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data);
+  const uint32_t part = Crc32(data.data() + 10, data.size() - 10,
+                              Crc32(data.data(), 10));
+  EXPECT_EQ(part, whole);
+}
+
+// ------------------------------------------------------------ CancelToken
+
+TEST(CancelTokenTest, NullTokenNeverFires) {
+  CancelToken token;
+  EXPECT_TRUE(token.null());
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_TRUE(token.Check().ok());
+  token.Cancel();  // no-op, not a crash
+  EXPECT_TRUE(token.Check().ok());
+  std::chrono::steady_clock::time_point unused;
+  EXPECT_FALSE(token.deadline(&unused));
+}
+
+TEST(CancelTokenTest, CancelReachesEveryCopy) {
+  CancelToken token = CancelToken::Make();
+  CancelToken copy = token;
+  EXPECT_TRUE(copy.Check().ok());
+  token.Cancel();
+  EXPECT_TRUE(copy.ShouldStop());
+  EXPECT_TRUE(copy.Check().IsCancelled());
+}
+
+TEST(CancelTokenTest, DeadlineExpires) {
+  CancelToken token = CancelToken().WithDeadlineAfter(0.0);
+  EXPECT_TRUE(token.Check().IsDeadlineExceeded());
+  std::chrono::steady_clock::time_point deadline;
+  EXPECT_TRUE(token.deadline(&deadline));
+
+  CancelToken far = CancelToken().WithDeadlineAfter(3600.0);
+  EXPECT_TRUE(far.Check().ok());
+}
+
+TEST(CancelTokenTest, ChildObservesAncestorCancellation) {
+  CancelToken parent = CancelToken::Make();
+  CancelToken child = parent.WithDeadlineAfter(3600.0);
+  EXPECT_TRUE(child.Check().ok());
+  parent.Cancel();
+  // Cancellation wins over the (distant) deadline and crosses the chain.
+  EXPECT_TRUE(child.Check().IsCancelled());
+  // The parent itself stays deadline-free.
+  std::chrono::steady_clock::time_point deadline;
+  EXPECT_FALSE(parent.deadline(&deadline));
+  EXPECT_TRUE(child.deadline(&deadline));
+}
+
+TEST(CancelTokenTest, TightestDeadlineInChainWins) {
+  CancelToken near = CancelToken().WithDeadlineAfter(1.0);
+  CancelToken far = near.WithDeadlineAfter(3600.0);
+  std::chrono::steady_clock::time_point tight, parent_deadline;
+  ASSERT_TRUE(far.deadline(&tight));
+  ASSERT_TRUE(near.deadline(&parent_deadline));
+  EXPECT_EQ(tight, parent_deadline);  // the 1s ancestor bounds the child
+}
+
+TEST(CancelTokenTest, AmbientScopeInstallsAndRestores) {
+  EXPECT_TRUE(AmbientCancelToken().null());
+  CancelToken token = CancelToken::Make();
+  {
+    ScopedCancelToken scope(token);
+    EXPECT_EQ(AmbientCancelToken(), token);
+    token.Cancel();
+    EXPECT_TRUE(CheckAmbientCancel().IsCancelled());
+  }
+  EXPECT_TRUE(AmbientCancelToken().null());
+  EXPECT_TRUE(CheckAmbientCancel().ok());
+}
+
+// -------------------------------------------------------- fault injection
+
+namespace {
+Status HitSite(const char* site) {
+  VX_FAULT_POINT(site);
+  return Status::OK();
+}
+}  // namespace
+
+TEST(FaultInjectionTest, DisarmedIsANoOp) {
+  DisarmAllFaults();
+  EXPECT_FALSE(FaultInjectionArmed());
+  EXPECT_TRUE(HitSite("test.nosite").ok());
+  EXPECT_EQ(FaultHits("test.nosite"), 0);  // hits only counted while armed
+}
+
+TEST(FaultInjectionTest, NthHitFiresDeterministically) {
+  ArmFault("test.site", 3);
+  EXPECT_TRUE(FaultInjectionArmed());
+  EXPECT_TRUE(HitSite("test.site").ok());
+  EXPECT_TRUE(HitSite("test.site").ok());
+  const Status fired = HitSite("test.site");
+  EXPECT_TRUE(fired.IsAborted()) << fired.ToString();
+  EXPECT_NE(fired.ToString().find("test.site"), std::string::npos);
+  EXPECT_TRUE(HitSite("test.site").ok());  // one-shot: only the 3rd hit
+  EXPECT_EQ(FaultHits("test.site"), 4);
+  // An unrelated site armed at the same time is unaffected.
+  EXPECT_TRUE(HitSite("test.other").ok());
+  DisarmAllFaults();
+  EXPECT_FALSE(FaultInjectionArmed());
+}
+
+TEST(FaultInjectionTest, EveryNthIsADeterministicFailureRate) {
+  ArmFaultEvery("test.periodic", 3);
+  int failures = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (!HitSite("test.periodic").ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 3);  // hits 3, 6, 9
+  DisarmAllFaults();
+}
+
+TEST(FaultInjectionTest, SpecParsing) {
+  ASSERT_TRUE(
+      ArmFaultsFromSpec("a.one=1,b.two=%5:error,c.three=2:crash").ok());
+  EXPECT_EQ(ArmedFaultSites(),
+            (std::vector<std::string>{"a.one", "b.two", "c.three"}));
+  DisarmAllFaults();
+
+  // Malformed specs are rejected without arming anything.
+  EXPECT_FALSE(ArmFaultsFromSpec("a.one").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("a.one=0").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("a.one=x").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("a.one=1:explode").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("=1").ok());
+  EXPECT_FALSE(FaultInjectionArmed());
+}
+
+TEST(FaultInjectionTest, RearmResetsHitCount) {
+  ArmFault("test.rearm", 2);
+  EXPECT_TRUE(HitSite("test.rearm").ok());
+  ArmFault("test.rearm", 2);  // reset: the next hit is #1 again
+  EXPECT_TRUE(HitSite("test.rearm").ok());
+  EXPECT_FALSE(HitSite("test.rearm").ok());
+  DisarmAllFaults();
 }
 
 }  // namespace

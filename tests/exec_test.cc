@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "catalog/catalog.h"
+#include "common/cancel.h"
 #include "common/random.h"
 #include "common/threadpool.h"
 #include "exec/merge_join.h"
@@ -705,6 +706,58 @@ TEST(ParallelForTest, FirstErrorWinsAndSkipsRemaining) {
   EXPECT_FALSE(st.ok());
   EXPECT_NE(st.ToString().find(st.IsInternal() ? "boom" : "later"),
             std::string::npos);
+}
+
+TEST(ParallelForTest, PreCancelledTokenRunsNothing) {
+  CancelToken token = CancelToken::Make();
+  token.Cancel();
+  ScopedCancelToken scope(token);
+  std::atomic<int> executed{0};
+  const Status st = ThreadPool::Default()->ParallelFor(
+      0, 1000, /*grain=*/1,
+      [&](std::size_t, std::size_t) -> Status {
+        ++executed;
+        return Status::OK();
+      },
+      4);
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+  EXPECT_EQ(executed.load(), 0);  // checked before the first grain
+}
+
+TEST(ParallelForTest, CancelMidRunStopsAtGrainBoundary) {
+  CancelToken token = CancelToken::Make();
+  ScopedCancelToken scope(token);
+  std::atomic<int> executed{0};
+  const Status st = ThreadPool::Default()->ParallelFor(
+      0, 10000, /*grain=*/1,
+      [&](std::size_t begin, std::size_t) -> Status {
+        if (begin == 0) token.Cancel();
+        ++executed;
+        return Status::OK();
+      },
+      2);
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+  // Grains already in flight may finish; the bulk is skipped.
+  EXPECT_LT(executed.load(), 10000);
+}
+
+TEST(ParallelForTest, ExpiredDeadlineSurfacesAsDeadlineExceeded) {
+  ScopedCancelToken scope(CancelToken().WithDeadlineAfter(0.0));
+  const Status st = ThreadPool::Default()->ParallelFor(
+      0, 100, /*grain=*/10,
+      [](std::size_t, std::size_t) -> Status { return Status::OK(); }, 2);
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+}
+
+TEST(ParallelForTest, VoidOverloadIgnoresAmbientCancellation) {
+  // The exception-contract overload has no error channel, so it is not
+  // cancellable: an ambient cancelled token must neither abort nor skip.
+  CancelToken token = CancelToken::Make();
+  token.Cancel();
+  ScopedCancelToken scope(token);
+  std::atomic<int> executed{0};
+  ThreadPool::Default()->ParallelFor(100, [&](std::size_t) { ++executed; });
+  EXPECT_EQ(executed.load(), 100);
 }
 
 TEST(ParallelForTest, ExceptionsBecomeStatus) {

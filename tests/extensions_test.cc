@@ -5,13 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "vertexica/vertexica.h"  // umbrella header must be self-contained
 
 #include "algorithms/label_propagation.h"
 #include "algorithms/reference.h"
 #include "catalog/catalog_io.h"
+#include "common/fault_injection.h"
 #include "exec/frontier.h"
 #include "exec/merge_join.h"
 #include "giraph/bsp_engine.h"
@@ -486,6 +492,413 @@ TEST(CheckpointTest, ResumedFrontierRunMatchesDenseBaseline) {
   for (size_t v = 0; v < dense.size(); ++v) {
     EXPECT_EQ((*dists)[v], dense[v]) << "vertex " << v;
   }
+}
+
+// ----------------------------------- Checkpoint v2: crash atomicity
+
+namespace fs = std::filesystem;
+
+/// Fills a fresh catalog with a table whose contents identify the
+/// checkpoint they came from. (Catalog is pinned in place — not movable —
+/// so the helpers take an out-param / save directly.)
+void FillTagged(Catalog* catalog, int64_t tag) {
+  Table t(Schema({{"id", DataType::kInt64}, {"tag", DataType::kInt64}}));
+  for (int64_t i = 0; i < 8; ++i) {
+    VX_CHECK_OK(t.AppendRow({Value(i), Value(tag)}));
+  }
+  VX_CHECK_OK(catalog->CreateTable("t", std::move(t)));
+}
+
+Status SaveTagged(int64_t tag, const std::string& dir) {
+  Catalog catalog;
+  FillTagged(&catalog, tag);
+  return SaveCatalog(catalog, dir);
+}
+
+int64_t ReadTag(const Catalog& catalog) {
+  auto t = catalog.GetTable("t");
+  VX_CHECK_OK(t.status());
+  return (*t)->column(1).GetInt64(0);
+}
+
+/// A fresh checkpoint root under the test temp dir.
+std::string FreshCheckpointDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string CurrentGeneration(const std::string& dir) {
+  std::ifstream in(dir + "/CURRENT");
+  std::string name;
+  in >> name;
+  return name;
+}
+
+std::vector<std::string> GenerationDirs(const std::string& dir) {
+  std::vector<std::string> gens;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_directory() && name.rfind("gen-", 0) == 0) {
+      gens.push_back(name);
+    }
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+/// Flips one byte of `path` in place (CRC damage without a size change).
+void FlipByte(const std::string& path, std::streamoff offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(offset);
+  char c = 0;
+  f.get(c);
+  f.seekp(offset);
+  f.put(static_cast<char>(c ^ 0x20));
+}
+
+TEST(CatalogIoV2Test, CurrentTracksNewestAndPrunesToTwoGenerations) {
+  const std::string dir = FreshCheckpointDir("vx_v2_prune");
+  for (int64_t tag = 1; tag <= 4; ++tag) {
+    ASSERT_TRUE(SaveTagged(tag, dir).ok());
+  }
+  EXPECT_EQ(CurrentGeneration(dir), "gen-000004");
+  // Current + one fallback; older generations and temp dirs are pruned.
+  EXPECT_EQ(GenerationDirs(dir),
+            (std::vector<std::string>{"gen-000003", "gen-000004"}));
+  Catalog restored;
+  ASSERT_TRUE(LoadCatalog(dir, &restored).ok());
+  EXPECT_EQ(ReadTag(restored), 4);
+}
+
+TEST(CatalogIoV2Test, ChecksumDamageFallsBackToPreviousGeneration) {
+  const std::string dir = FreshCheckpointDir("vx_v2_crc");
+  ASSERT_TRUE(SaveTagged(1, dir).ok());
+  ASSERT_TRUE(SaveTagged(2, dir).ok());
+  FlipByte(dir + "/" + CurrentGeneration(dir) + "/t0000.csv", 12);
+  Catalog restored;
+  ASSERT_TRUE(LoadCatalog(dir, &restored).ok());
+  EXPECT_EQ(ReadTag(restored), 1);  // the damaged newest one is rejected
+}
+
+TEST(CatalogIoV2Test, TornTableFileFallsBack) {
+  const std::string dir = FreshCheckpointDir("vx_v2_torn");
+  ASSERT_TRUE(SaveTagged(1, dir).ok());
+  ASSERT_TRUE(SaveTagged(2, dir).ok());
+  const std::string file = dir + "/" + CurrentGeneration(dir) + "/t0000.csv";
+  fs::resize_file(file, fs::file_size(file) - 5);
+  Catalog restored;
+  ASSERT_TRUE(LoadCatalog(dir, &restored).ok());
+  EXPECT_EQ(ReadTag(restored), 1);
+}
+
+TEST(CatalogIoV2Test, MissingTableFileFallsBack) {
+  const std::string dir = FreshCheckpointDir("vx_v2_missing_file");
+  ASSERT_TRUE(SaveTagged(1, dir).ok());
+  ASSERT_TRUE(SaveTagged(2, dir).ok());
+  fs::remove(dir + "/" + CurrentGeneration(dir) + "/t0000.csv");
+  Catalog restored;
+  ASSERT_TRUE(LoadCatalog(dir, &restored).ok());
+  EXPECT_EQ(ReadTag(restored), 1);
+}
+
+TEST(CatalogIoV2Test, EmptyManifestFallsBack) {
+  const std::string dir = FreshCheckpointDir("vx_v2_empty_manifest");
+  ASSERT_TRUE(SaveTagged(1, dir).ok());
+  ASSERT_TRUE(SaveTagged(2, dir).ok());
+  std::ofstream(dir + "/" + CurrentGeneration(dir) + "/MANIFEST",
+                std::ios::trunc);
+  Catalog restored;
+  ASSERT_TRUE(LoadCatalog(dir, &restored).ok());
+  EXPECT_EQ(ReadTag(restored), 1);
+}
+
+TEST(CatalogIoV2Test, UnsupportedHeaderIsPreciselyDiagnosed) {
+  const std::string dir = FreshCheckpointDir("vx_v2_header");
+  ASSERT_TRUE(SaveTagged(1, dir).ok());
+  std::ofstream out(dir + "/" + CurrentGeneration(dir) + "/MANIFEST",
+                    std::ios::trunc);
+  out << "VERTEXICA_CHECKPOINT 99\n";
+  out.close();
+  Catalog restored;
+  const Status st = LoadCatalog(dir, &restored);
+  ASSERT_TRUE(st.IsIoError());
+  EXPECT_NE(st.ToString().find("unsupported format header"),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("VERTEXICA_CHECKPOINT 99"), std::string::npos);
+}
+
+TEST(CatalogIoV2Test, CurrentNamingMissingGenerationFallsBack) {
+  const std::string dir = FreshCheckpointDir("vx_v2_dangling_current");
+  ASSERT_TRUE(SaveTagged(1, dir).ok());
+  std::ofstream out(dir + "/CURRENT", std::ios::trunc);
+  out << "gen-999999\n";
+  out.close();
+  Catalog restored;
+  ASSERT_TRUE(LoadCatalog(dir, &restored).ok());
+  EXPECT_EQ(ReadTag(restored), 1);  // newest real generation wins
+}
+
+TEST(CatalogIoV2Test, EmptyDirectoryIsPreciselyDiagnosed) {
+  const std::string dir = FreshCheckpointDir("vx_v2_nothing");
+  fs::create_directories(dir);
+  Catalog restored;
+  const Status st = LoadCatalog(dir, &restored);
+  ASSERT_TRUE(st.IsIoError());
+  EXPECT_NE(st.ToString().find("no checkpoint"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(CatalogIoV2Test, FailedLoadLeavesCatalogUntouched) {
+  const std::string dir = FreshCheckpointDir("vx_v2_untouched");
+  ASSERT_TRUE(SaveTagged(1, dir).ok());
+  FlipByte(dir + "/" + CurrentGeneration(dir) + "/t0000.csv", 12);
+  Catalog catalog;
+  FillTagged(&catalog, 7);  // pre-existing state
+  EXPECT_FALSE(LoadCatalog(dir, &catalog).ok());  // only gen is damaged
+  EXPECT_EQ(ReadTag(catalog), 7);  // nothing was partially installed
+}
+
+TEST(CatalogIoV2Test, LegacyV1LayoutStillLoads) {
+  // Pre-v2 checkpoints: a bare MANIFEST next to the CSVs, no CURRENT, no
+  // checksums. They must keep loading (unverified).
+  const std::string dir = FreshCheckpointDir("vx_v2_legacy");
+  fs::create_directories(dir);
+  Catalog catalog;
+  FillTagged(&catalog, 5);
+  auto table = catalog.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  std::ofstream csv(dir + "/t0000.csv", std::ios::binary);
+  csv << ToCsv(**table);
+  csv.close();
+  std::ofstream manifest(dir + "/MANIFEST");
+  manifest << "t0000.csv\tt\tid:INT64\ttag:INT64\n";
+  manifest.close();
+  Catalog restored;
+  ASSERT_TRUE(LoadCatalog(dir, &restored).ok());
+  EXPECT_EQ(ReadTag(restored), 5);
+}
+
+// Every fault site on the checkpoint path, error mode: SaveCatalog fails,
+// yet the directory always restores a complete state — the previous one
+// before the publish point, the new one after it. No site leaves a torn,
+// unloadable mixture.
+TEST(CheckpointFaultTest, InjectedErrorAtEverySiteLeavesRestorableState) {
+  struct Case {
+    const char* site;
+    int64_t expect_tag;  // which state LoadCatalog restores after failure
+  };
+  const Case cases[] = {
+      {"checkpoint.begin", 1},
+      {"checkpoint.after_tables", 1},
+      {"checkpoint.after_manifest", 1},
+      {"checkpoint.after_rename", 1},   // durable but unpublished
+      {"checkpoint.after_current", 2},  // published; only pruning remained
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.site);
+    const std::string dir =
+        FreshCheckpointDir(std::string("vx_fault_") + c.site);
+    ASSERT_TRUE(SaveTagged(1, dir).ok());
+
+    ArmFault(c.site, 1, FaultAction::kError);
+    const Status st = SaveTagged(2, dir);
+    DisarmAllFaults();
+    ASSERT_TRUE(st.IsAborted()) << c.site << ": " << st.ToString();
+    EXPECT_NE(st.ToString().find(c.site), std::string::npos);
+
+    Catalog restored;
+    ASSERT_TRUE(LoadCatalog(dir, &restored).ok());
+    EXPECT_EQ(ReadTag(restored), c.expect_tag);
+
+    // The next checkpoint after the failure publishes normally.
+    ASSERT_TRUE(SaveTagged(3, dir).ok());
+    Catalog after;
+    ASSERT_TRUE(LoadCatalog(dir, &after).ok());
+    EXPECT_EQ(ReadTag(after), 3);
+  }
+}
+
+/// Baseline + interrupted-and-resumed PageRank under `opts`; the resumed
+/// values must be bit-identical to the uninterrupted ones.
+void RunCheckpointFaultResumeCase(const std::string& dir_name,
+                                  const VertexicaOptions& base_opts) {
+  Graph g = GenerateRmat(70, 350, 96);
+
+  Catalog full;
+  PageRankProgram baseline_program(8);
+  ASSERT_TRUE(LoadGraphTables(&full, g, baseline_program).ok());
+  Coordinator baseline(&full, &baseline_program, base_opts);
+  ASSERT_TRUE(baseline.Run().ok());
+  auto expect = ReadVertexValues(full, {});
+  ASSERT_TRUE(expect.ok());
+
+  // Interrupted run: checkpoint every superstep; the 3rd checkpoint fails
+  // at the manifest boundary with an injected error, killing the run.
+  const std::string dir = FreshCheckpointDir(dir_name);
+  VertexicaOptions opts = base_opts;
+  opts.checkpoint_every = 1;
+  opts.checkpoint_dir = dir;
+  PageRankProgram program(8);
+  Catalog cat;
+  ASSERT_TRUE(LoadGraphTables(&cat, g, program).ok());
+  Coordinator interrupted(&cat, &program, opts);
+  ArmFault("checkpoint.after_manifest", 3, FaultAction::kError);
+  const Status st = interrupted.Run();
+  DisarmAllFaults();
+  ASSERT_TRUE(st.IsAborted()) << st.ToString();
+
+  // Recovery: the directory restores the last good checkpoint, and the
+  // resumed run finishes bit-identical to the uninterrupted baseline.
+  Catalog recovered;
+  ASSERT_TRUE(LoadCatalog(dir, &recovered).ok());
+  VertexicaOptions resume = base_opts;
+  resume.resume_from_checkpoint = true;
+  PageRankProgram program2(8);
+  Coordinator resumed(&recovered, &program2, resume);
+  RunStats stats;
+  ASSERT_TRUE(resumed.Run(&stats).ok());
+  ASSERT_FALSE(stats.supersteps.empty());
+  EXPECT_GT(stats.supersteps.front().superstep, 0);  // resumed, not restarted
+
+  auto ranks = ReadVertexValues(recovered, {});
+  ASSERT_TRUE(ranks.ok());
+  ASSERT_EQ(ranks->size(), expect->size());
+  for (size_t v = 0; v < expect->size(); ++v) {
+    EXPECT_EQ((*ranks)[v], (*expect)[v]) << "vertex " << v;
+  }
+}
+
+TEST(CheckpointFaultTest, FailedCheckpointResumesBitIdentical) {
+  RunCheckpointFaultResumeCase("vx_fault_resume_default", {});
+}
+
+TEST(CheckpointFaultTest, FailedCheckpointResumesBitIdenticalSharded) {
+  VertexicaOptions opts;
+  opts.num_workers = 2;
+  opts.num_shards = 4;  // > 1 engages RunSharded's checkpoint/resume path
+  opts.num_partitions = 16;
+  opts.use_union_input = false;
+  RunCheckpointFaultResumeCase("vx_fault_resume_sharded", opts);
+}
+
+TEST(CoordinatorFaultTest, SuperstepFaultAbortsAndCleanRerunIsBitIdentical) {
+  Graph g = GenerateRmat(60, 300, 97);
+
+  Catalog full;
+  PageRankProgram baseline_program(6);
+  ASSERT_TRUE(LoadGraphTables(&full, g, baseline_program).ok());
+  Coordinator baseline(&full, &baseline_program, {});
+  ASSERT_TRUE(baseline.Run().ok());
+  auto expect = ReadVertexValues(full, {});
+  ASSERT_TRUE(expect.ok());
+
+  // The superstep-boundary fault aborts the run mid-iteration...
+  Catalog faulted;
+  PageRankProgram program(6);
+  ASSERT_TRUE(LoadGraphTables(&faulted, g, program).ok());
+  Coordinator interrupted(&faulted, &program, {});
+  ArmFault("coordinator.superstep", 3, FaultAction::kError);
+  const Status st = interrupted.Run();
+  DisarmAllFaults();
+  ASSERT_TRUE(st.IsAborted()) << st.ToString();
+  EXPECT_NE(st.ToString().find("coordinator.superstep"), std::string::npos);
+
+  // ...and a clean rerun from fresh tables is bit-identical to the
+  // baseline: the abort left no state that could bleed into a new run.
+  Catalog rerun_cat;
+  PageRankProgram program2(6);
+  ASSERT_TRUE(LoadGraphTables(&rerun_cat, g, program2).ok());
+  Coordinator rerun(&rerun_cat, &program2, {});
+  ASSERT_TRUE(rerun.Run().ok());
+  auto ranks = ReadVertexValues(rerun_cat, {});
+  ASSERT_TRUE(ranks.ok());
+  ASSERT_EQ(ranks->size(), expect->size());
+  for (size_t v = 0; v < expect->size(); ++v) {
+    EXPECT_EQ((*ranks)[v], (*expect)[v]) << "vertex " << v;
+  }
+}
+
+TEST(CoordinatorFaultTest, ExchangeFaultAbortsShardedRun) {
+  Graph g = GenerateRmat(50, 250, 98);
+  VertexicaOptions opts;
+  opts.num_shards = 4;  // > 1 engages RunSharded and its exchange phase
+  opts.num_partitions = 8;
+  opts.use_union_input = false;
+
+  // The message exchange is the only cross-shard phase — a worker failure
+  // in a distributed deployment surfaces exactly here.
+  Catalog cat;
+  PageRankProgram program(5);
+  ASSERT_TRUE(LoadGraphTables(&cat, g, program).ok());
+  Coordinator interrupted(&cat, &program, opts);
+  ArmFault("coordinator.exchange", 1, FaultAction::kError);
+  const Status st = interrupted.Run();
+  DisarmAllFaults();
+  ASSERT_TRUE(st.IsAborted()) << st.ToString();
+  EXPECT_NE(st.ToString().find("coordinator.exchange"), std::string::npos);
+
+  Catalog clean;
+  PageRankProgram program2(5);
+  ASSERT_TRUE(LoadGraphTables(&clean, g, program2).ok());
+  Coordinator rerun(&clean, &program2, opts);
+  EXPECT_TRUE(rerun.Run().ok());
+}
+
+TEST(CheckpointCrashDeathTest, CrashLeavesLastGoodGenerationRestorable) {
+  const std::string dir = FreshCheckpointDir("vx_crash_death");
+  ASSERT_TRUE(SaveTagged(1, dir).ok());
+
+  // The crash action _Exits with no unwinding — to everything on disk this
+  // is a SIGKILL mid-checkpoint, between manifest fsync and publish.
+  EXPECT_EXIT(
+      {
+        ArmFault("checkpoint.after_manifest", 1, FaultAction::kCrash);
+        (void)SaveTagged(2, dir);
+        std::exit(0);  // unreachable: the fault point exits first
+      },
+      ::testing::ExitedWithCode(kFaultCrashExitCode), "");
+
+  // The kill left a .tmp- staging dir at most; the published generation is
+  // intact and the next save after recovery publishes over it cleanly.
+  Catalog restored;
+  ASSERT_TRUE(LoadCatalog(dir, &restored).ok());
+  EXPECT_EQ(ReadTag(restored), 1);
+  ASSERT_TRUE(SaveTagged(3, dir).ok());
+  Catalog after;
+  ASSERT_TRUE(LoadCatalog(dir, &after).ok());
+  EXPECT_EQ(ReadTag(after), 3);
+}
+
+// Runs only under the CI fault-injection pass (check.sh arms
+// VERTEXICA_FAULTS for exactly this filter): proves the *environment*
+// arming path fires in a fresh process, not just the in-process API.
+TEST(FaultEnvTest, CheckpointFaultArmedViaEnvironmentFires) {
+  const char* spec = std::getenv("VERTEXICA_FAULTS");
+  if (spec == nullptr ||
+      std::string(spec).find("checkpoint.after_manifest") ==
+          std::string::npos) {
+    GTEST_SKIP() << "set VERTEXICA_FAULTS=checkpoint.after_manifest=1:error "
+                    "to exercise the env arming path";
+  }
+  const auto armed = ArmedFaultSites();
+  ASSERT_NE(std::find(armed.begin(), armed.end(),
+                      std::string("checkpoint.after_manifest")),
+            armed.end());
+
+  const std::string dir = FreshCheckpointDir("vx_fault_env");
+  const Status st = SaveTagged(1, dir);
+  ASSERT_TRUE(st.IsAborted()) << st.ToString();
+  EXPECT_GT(FaultHits("checkpoint.after_manifest"), 0);
+
+  // One-shot fault: the retry checkpoints cleanly and restores.
+  ASSERT_TRUE(SaveTagged(1, dir).ok());
+  Catalog restored;
+  ASSERT_TRUE(LoadCatalog(dir, &restored).ok());
+  EXPECT_EQ(ReadTag(restored), 1);
+  DisarmAllFaults();
 }
 
 // ------------------------------------------- Edge-derived cache invalidation

@@ -13,7 +13,9 @@
 
 #include "api/exec_context.h"
 #include "catalog/catalog.h"
+#include "common/cancel.h"
 #include "common/env_knob.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "exec/exec_knobs.h"
 #include "graphgen/generators.h"
@@ -165,6 +167,46 @@ TEST(ExecContextTest, FromRequestResolvesOverrides) {
   EXPECT_EQ(resolved.knobs.frontier, FrontierMode::kAuto);
 }
 
+TEST(ExecKnobsTest, CancelTokenRidesTheKnobPlumbing) {
+  CancelToken token = CancelToken::Make();
+  ExecKnobs knobs;
+  {
+    ScopedCancelToken scope(token);
+    knobs = ExecKnobs::Capture();
+  }
+  EXPECT_EQ(knobs.cancel, token);
+
+  // Installing the captured knobs on a fresh thread reinstalls the token —
+  // a pool task polls the submitter's stop button, not a null one.
+  token.Cancel();
+  Status seen;
+  std::thread worker([&]() {
+    ScopedExecKnobs install(knobs);
+    seen = CheckAmbientCancel();
+  });
+  worker.join();
+  EXPECT_TRUE(seen.IsCancelled()) << seen.ToString();
+}
+
+TEST(ExecContextTest, FromRequestResolvesDeadline) {
+  RunRequest no_deadline;
+  EXPECT_TRUE(ExecContext::FromRequest(no_deadline).knobs.cancel.null());
+
+  RunRequest with_deadline;
+  with_deadline.deadline_ms = 3600 * 1e3;  // one hour: resolves, never fires
+  const ExecContext ctx = ExecContext::FromRequest(with_deadline);
+  ASSERT_FALSE(ctx.knobs.cancel.null());
+  std::chrono::steady_clock::time_point deadline;
+  EXPECT_TRUE(ctx.knobs.cancel.deadline(&deadline));
+  EXPECT_TRUE(ctx.knobs.cancel.Check().ok());
+
+  RunRequest expired;
+  expired.deadline_ms = 1e-9;  // resolved against arrival: already past
+  EXPECT_TRUE(ExecContext::FromRequest(expired)
+                  .knobs.cancel.Check()
+                  .IsDeadlineExceeded());
+}
+
 // --------------------------------------------------------- admission
 
 TEST(AdmissionTest, ClampsDemandToBudget) {
@@ -232,6 +274,83 @@ TEST(AdmissionTest, NeverOversubscribesUnderStress) {
   const auto stats = admission.stats();
   EXPECT_EQ(stats.admitted, 12u * 20u);
   EXPECT_LE(stats.max_in_use, 3);
+}
+
+TEST(AdmissionTest, QueueWaitDeadlineShedsWithDeadlineExceeded) {
+  AdmissionController admission(2);
+  auto hog = admission.Admit(2);  // exhausts the budget
+
+  const CancelToken deadline = CancelToken().WithDeadlineAfter(0.05);
+  auto shed = admission.Admit(1, deadline);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsDeadlineExceeded()) << shed.status().ToString();
+  EXPECT_EQ(admission.stats().shed, 1u);
+
+  // The abandoned serial must not wedge the FIFO: the next waiter admits
+  // as soon as the budget frees up.
+  hog.Release();
+  auto next = admission.Admit(2, CancelToken());
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->granted_threads(), 2);
+}
+
+TEST(AdmissionTest, CancelledTokenShedsImmediately) {
+  AdmissionController admission(1);
+  auto hog = admission.Admit(1);
+  CancelToken token = CancelToken::Make();
+  token.Cancel();
+  auto shed = admission.Admit(1, token);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsCancelled());
+  EXPECT_EQ(admission.stats().shed, 1u);
+  EXPECT_EQ(admission.in_use(), 1);  // nothing was reserved for the shed
+}
+
+TEST(AdmissionTest, ShedWaiterDoesNotBlockLaterWaiters) {
+  AdmissionController admission(2);
+  auto hog = admission.Admit(2);
+
+  // Waiter A holds the FIFO head with a cancellable token; waiter B queues
+  // behind it with no token at all.
+  CancelToken a_token = CancelToken::Make();
+  std::atomic<bool> a_shed{false};
+  std::thread a([&]() {
+    auto t = admission.Admit(1, a_token);
+    a_shed = !t.ok() && t.status().IsCancelled();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::atomic<bool> b_admitted{false};
+  std::thread b([&]() {
+    auto t = admission.Admit(2, CancelToken());
+    b_admitted = t.ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  a_token.Cancel();  // A abandons its place at the head of the line
+  a.join();
+  EXPECT_TRUE(a_shed.load());
+  hog.Release();  // B — behind the abandoned serial — must still admit
+  b.join();
+  EXPECT_TRUE(b_admitted.load());
+  EXPECT_EQ(admission.stats().shed, 1u);
+  EXPECT_EQ(admission.in_use(), 0);
+}
+
+TEST(AdmissionTest, InjectedAdmissionFaultDoesNotLeakBudget) {
+  AdmissionController admission(2);
+
+  // The fault fires before any reservation, so a failed Admit must leave
+  // the budget untouched and the FIFO unwedged.
+  ArmFault("admission.admit", 1, FaultAction::kError);
+  auto shed = admission.Admit(1, CancelToken());
+  DisarmAllFaults();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsAborted()) << shed.status().ToString();
+  EXPECT_EQ(admission.in_use(), 0);
+
+  auto next = admission.Admit(2, CancelToken());
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->granted_threads(), 2);
 }
 
 // ------------------------------------------------------ catalog snapshots
@@ -464,6 +583,186 @@ TEST(EngineServerTest, DroppedGraphStaysAliveForPinnedSessions) {
   auto result = session->Run(request);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_FALSE(server.Run("g", request).ok());
+}
+
+// ----------------------------------------- deadlines, cancel, retries
+
+TEST(EngineServerTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  EngineServer server;
+  ASSERT_TRUE(server.CreateGraph("g", ParityGraph()).ok());
+  RunRequest request;
+  request.algorithm = kPageRank;
+  request.backend = kVertexicaBackendId;
+  request.deadline_ms = 1e-9;  // expires on arrival
+  const auto result = server.Run("g", request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  // The failed run released its reservation (if it was ever admitted).
+  EXPECT_EQ(server.in_flight(), 0);
+}
+
+// Saturation: 8 concurrent clients against a 1-thread admission budget,
+// half with an already-expired deadline. The deadline requests shed (or
+// stop at the first superstep boundary) with DeadlineExceeded; the
+// survivors are unaffected and bit-identical to a serial reference run.
+TEST(EngineServerTest, SaturatedServerShedsDeadlinedRequestsOnly) {
+  const Graph g = ParityGraph();
+  RunRequest request;
+  request.algorithm = kPageRank;
+  request.backend = kVertexicaBackendId;
+  request.threads = 1;
+
+  Engine reference_engine;
+  ASSERT_TRUE(reference_engine.LoadGraph(g).ok());
+  auto reference = reference_engine.Run(request);
+  ASSERT_TRUE(reference.ok());
+
+  ServerOptions options;
+  options.admission_budget_threads = 1;  // fully serialized admission
+  EngineServer server(options);
+  ASSERT_TRUE(server.CreateGraph("g", g).ok());
+
+  constexpr int kClients = 8;
+  std::vector<Result<RunResult>> results;
+  for (int i = 0; i < kClients; ++i) {
+    results.push_back(Status::Internal("not run"));
+  }
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i]() {
+      RunRequest mine = request;
+      if (i % 2 == 1) mine.deadline_ms = 1e-9;
+      results[static_cast<size_t>(i)] = server.Run("g", mine);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    const auto& result = results[static_cast<size_t>(i)];
+    if (i % 2 == 1) {
+      ASSERT_FALSE(result.ok()) << "client " << i;
+      EXPECT_TRUE(result.status().IsDeadlineExceeded())
+          << "client " << i << ": " << result.status().ToString();
+    } else {
+      ASSERT_TRUE(result.ok())
+          << "client " << i << ": " << result.status().ToString();
+      EXPECT_EQ(result->values, reference->values) << "client " << i;
+    }
+  }
+  EXPECT_EQ(server.in_flight(), 0);
+  // Shed requests released (or never took) their tickets: a full-budget
+  // request admits immediately afterwards.
+  auto after = server.Run("g", request);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST(EngineServerTest, CancelledSessionsReleaseTicketsSurvivorsUnaffected) {
+  const Graph g = ParityGraph();
+  RunRequest request;
+  request.algorithm = kPageRank;
+  request.backend = kVertexicaBackendId;
+  request.threads = 1;
+
+  Engine reference_engine;
+  ASSERT_TRUE(reference_engine.LoadGraph(g).ok());
+  auto reference = reference_engine.Run(request);
+  ASSERT_TRUE(reference.ok());
+
+  ServerOptions options;
+  options.admission_budget_threads = 2;
+  EngineServer server(options);
+  ASSERT_TRUE(server.CreateGraph("g", g).ok());
+
+  constexpr int kClients = 8;
+  std::vector<Session> sessions;
+  for (int i = 0; i < kClients; ++i) {
+    auto session = server.OpenSession("g");
+    ASSERT_TRUE(session.ok());
+    sessions.push_back(*std::move(session));
+  }
+  // Cancel is sticky, so cancelling before the run makes the outcome
+  // deterministic: the run stops at its first cooperative boundary
+  // whether it was queued or already admitted.
+  for (int i = 0; i < kClients; i += 2) sessions[i].Cancel();
+
+  std::vector<Result<RunResult>> results;
+  for (int i = 0; i < kClients; ++i) {
+    results.push_back(Status::Internal("not run"));
+  }
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i]() {
+      results[static_cast<size_t>(i)] =
+          sessions[static_cast<size_t>(i)].Run(request);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    const auto& result = results[static_cast<size_t>(i)];
+    if (i % 2 == 0) {
+      ASSERT_FALSE(result.ok()) << "session " << i;
+      EXPECT_TRUE(result.status().IsCancelled())
+          << "session " << i << ": " << result.status().ToString();
+    } else {
+      ASSERT_TRUE(result.ok())
+          << "session " << i << ": " << result.status().ToString();
+      EXPECT_EQ(result->values, reference->values) << "session " << i;
+    }
+  }
+  EXPECT_EQ(server.in_flight(), 0);
+
+  // A cancelled session stays cancelled; its ticket is long gone, so the
+  // budget is fully available to a fresh full-budget request.
+  auto again = sessions[0].Run(request);
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsCancelled());
+  RunRequest full = request;
+  full.threads = 2;
+  auto after = server.Run("g", full);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST(EngineServerTest, TransientFailuresRetryWithBoundedBackoff) {
+  EngineServer server;
+  ASSERT_TRUE(server.CreateGraph("g", ParityGraph()).ok());
+  RunRequest request;
+  request.algorithm = kPageRank;
+  request.backend = kVertexicaBackendId;
+
+  // One injected transient failure: the retry absorbs it.
+  ArmFault("server.run", 1, FaultAction::kError);
+  auto result = server.Run("g", request);
+  DisarmAllFaults();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(server.retry_count(), 1u);
+  EXPECT_EQ(result->backend_metrics["server_attempts"], 2.0);
+
+  // A run with no faults armed reports one attempt and no new retries.
+  auto clean = server.Run("g", request);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->backend_metrics["server_attempts"], 1.0);
+  EXPECT_EQ(server.retry_count(), 1u);
+}
+
+TEST(EngineServerTest, PersistentTransientFailureExhaustsAttempts) {
+  ServerOptions options;
+  options.max_run_attempts = 3;
+  options.retry_backoff_seconds = 1e-4;
+  EngineServer server(options);
+  ASSERT_TRUE(server.CreateGraph("g", ParityGraph()).ok());
+  RunRequest request;
+  request.algorithm = kPageRank;
+  request.backend = kVertexicaBackendId;
+
+  ArmFaultEvery("server.run", 1);  // every attempt fails
+  auto result = server.Run("g", request);
+  DisarmAllFaults();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsAborted()) << result.status().ToString();
+  EXPECT_EQ(server.retry_count(), 2u);  // 3 attempts = 2 retries
+  EXPECT_EQ(server.in_flight(), 0);
 }
 
 }  // namespace
