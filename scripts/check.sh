@@ -50,6 +50,13 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
     ctest -R 'exec_test|vertexica_test|api_test' --output-on-failure \
     -j "$(nproc)")
 
+# Same contract for the fused selection-vector σ/π core: pinning the
+# interpreter path must leave every expectation bit-identical
+# (docs/EXECUTOR.md, "Selection-vector batches").
+(cd "$BUILD_DIR" && VERTEXICA_VECTORIZED=off \
+    ctest -R 'exec_test|vertexica_test|api_test' --output-on-failure \
+    -j "$(nproc)")
+
 # The frontier knob both ways: the active-vertex sparse dataflow must be
 # bit-identical to the dense path (docs/EXECUTOR.md), so every expectation
 # has to hold with the frontier pinned off and with it forced on wherever

@@ -36,16 +36,44 @@ Result<RunResult> RegistryBackend::Run(const RunRequest& request) {
       AlgorithmRegistry::Factory factory,
       AlgorithmRegistry::Global()->Find(request.algorithm, id_));
   // Resolve the request's knob overrides (threads, shards, encoding,
-  // merge-join) against the ambient defaults into one explicit context,
-  // then install it around the dispatch so every layer that resolves a
-  // knob (exec kernels, the graph-table loader, the superstep coordinator,
-  // BSP compute threads) inherits this request's configuration. Backends
-  // that never consult a knob simply ignore it.
-  const ExecContext ctx = ExecContext::FromRequest(request);
+  // merge-join, vectorized) against the ambient defaults into one explicit
+  // context, then install it around the dispatch so every layer that
+  // resolves a knob (exec kernels, the graph-table loader, the superstep
+  // coordinator, BSP compute threads) inherits this request's
+  // configuration. Backends that never consult a knob simply ignore it.
+  ExecContext ctx = ExecContext::FromRequest(request);
+  // Per-run counter blocks (not process-wide atomics): concurrent runs on
+  // one server never interleave their counters. The KernelStats block is
+  // relaxed atomics and rides ExecKnobs into every pool task; the
+  // JoinPathStats block has plain fields, so it is installed on this
+  // dispatching thread only (the coordinator layers its own per-superstep
+  // collectors innermost).
+  KernelStats kernel_stats;
+  ctx.knobs.kernel_stats = &kernel_stats;
   ExecContext::Scope scoped_knobs(ctx.knobs);
+  JoinPathStats join_stats;
+  ScopedJoinStatsCollector join_scope(&join_stats);
   VX_ASSIGN_OR_RETURN(RunResult result, factory(this, request));
   result.backend = id_;
   result.algorithm = request.algorithm;
+  const KernelStatsSnapshot kernels = Snapshot(kernel_stats);
+  if (kernels.bytes_materialized > 0 || kernels.fused_batches > 0 ||
+      kernels.legacy_batches > 0 || kernels.batch_hash_rows > 0) {
+    result.backend_metrics["bytes_materialized"] =
+        static_cast<double>(kernels.bytes_materialized);
+    result.backend_metrics["fused_batches"] =
+        static_cast<double>(kernels.fused_batches);
+    result.backend_metrics["legacy_batches"] =
+        static_cast<double>(kernels.legacy_batches);
+    result.backend_metrics["batch_hash_rows"] =
+        static_cast<double>(kernels.batch_hash_rows);
+  }
+  if (join_stats.hash_joins > 0 || join_stats.merge_joins > 0) {
+    result.backend_metrics["hash_joins"] =
+        static_cast<double>(join_stats.hash_joins);
+    result.backend_metrics["merge_joins"] =
+        static_cast<double>(join_stats.merge_joins);
+  }
   return result;
 }
 

@@ -19,6 +19,12 @@ ExecContext ExecContext::FromRequest(const RunRequest& request) {
   if (!request.frontier.empty()) {
     ctx.knobs.frontier = ParseFrontierMode(request.frontier);
   }
+  if (!request.vectorized.empty()) {
+    // Same off-vocabulary as the VERTEXICA_VECTORIZED env knob.
+    ctx.knobs.vectorized =
+        request.vectorized != "0" && request.vectorized != "off" &&
+        request.vectorized != "OFF" && request.vectorized != "false";
+  }
   if (request.deadline_ms > 0) {
     // Derive rather than replace: the child token enforces the request
     // deadline while still observing an ambient (e.g. session-level)

@@ -25,7 +25,7 @@ struct ExecContext {
   ExecKnobs knobs;
 
   /// \brief Resolves `request`'s explicit overrides (threads/shards > 0,
-  /// non-empty encoding/merge_join/frontier) against the calling thread's
+  /// non-empty encoding/merge_join/frontier/vectorized) against the calling thread's
   /// ambient defaults. The result is self-contained: installing it on any thread
   /// reproduces the configuration the request would have seen here.
   static ExecContext FromRequest(const RunRequest& request);

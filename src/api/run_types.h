@@ -108,6 +108,15 @@ struct RunRequest {
   /// never changes results.
   std::string merge_join;
 
+  /// Execution-path policy for the relational σ/π kernels (see
+  /// docs/EXECUTOR.md): "" keeps the ambient setting (VERTEXICA_VECTORIZED
+  /// env var, else on); "off" pins the table-at-a-time interpreter; "on"
+  /// allows the fused selection-vector path for eligible pipelines.
+  /// Installed as a scoped override around the backend dispatch, like
+  /// `threads`. Value-neutral: the fused path is bit-identical to the
+  /// interpreter (only the KernelStats counters change).
+  std::string vectorized;
+
   /// Frontier-path policy for the Vertexica superstep loop (see
   /// docs/EXECUTOR.md): "" keeps the ambient setting (VERTEXICA_FRONTIER
   /// env var, else auto); "auto" takes the sparse active-vertex path when

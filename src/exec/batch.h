@@ -1,0 +1,72 @@
+/// \file batch.h
+/// \brief Selection-vector batches: the executor's fused-pipeline currency.
+///
+/// The table-at-a-time operators (exec/filter.h, exec/project.h) hand a
+/// fully materialized Table from stage to stage: a scan slices every column
+/// of the morsel, the filter materializes a boolean mask and a gathered
+/// survivor table, the projection copies the surviving columns again — three
+/// copies of rows the pipeline is mostly about to discard. A Batch instead
+/// carries *references*: the shared source table, a morsel window, and a
+/// selection vector of surviving row ids. Fused kernels (exec/vectorized.h)
+/// narrow the selection in place, column by column, and materialize exactly
+/// once — at the pipeline breaker (join build, aggregate, sort, exchange)
+/// or the pipeline's output.
+///
+/// Representation rules:
+///  - `sel` holds *absolute* row ids of `source`, strictly ascending and
+///    all inside [begin, end). Absolute ids make gathers direct
+///    (Column::Take needs no rebasing) and keep morsel outputs
+///    concatenation-ready in morsel order — the determinism contract of
+///    the morsel driver (exec/parallel.h) carries over unchanged.
+///  - A batch where every window row survives is *dense*: `sel` stays
+///    empty and `dense` is true, so an unselective pipeline prefix never
+///    builds a 16K-entry identity vector just to throw it away.
+///
+/// Materialization (MaterializeColumn) is the only point a Batch touches
+/// column storage: Slice for dense batches, the typed gather (Column::Take,
+/// which reads dictionary codes without decoding) for sparse ones. Like
+/// every gather in the engine, the result drops derived metadata (zone
+/// maps, sort flags) — values, never metadata, are the bit-identity
+/// contract (docs/EXECUTOR.md).
+
+#ifndef VERTEXICA_EXEC_BATCH_H_
+#define VERTEXICA_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace vertexica {
+
+/// \brief Selected row ids: absolute, strictly ascending.
+using SelVector = std::vector<int64_t>;
+
+/// \brief One morsel of a fused pipeline: a borrowed source table, the
+/// morsel window, and the rows still alive. The source must outlive the
+/// batch (the morsel drivers pin it via shared_ptr for the whole fan-out).
+struct Batch {
+  const Table* source = nullptr;
+  int64_t begin = 0;  ///< window start (inclusive), absolute row id
+  int64_t end = 0;    ///< window end (exclusive), absolute row id
+  SelVector sel;      ///< alive rows; unused while `dense`
+  bool dense = true;  ///< all of [begin, end) alive; `sel` is empty
+
+  int64_t num_selected() const {
+    return dense ? end - begin : static_cast<int64_t>(sel.size());
+  }
+};
+
+/// \brief Materializes one column of the batch: a contiguous Slice for a
+/// dense batch, a typed gather for a sparse one. The single point a fused
+/// pipeline pays a copy.
+inline Column MaterializeColumn(const Column& col, const Batch& batch) {
+  // materialize-ok: this IS the fused pipeline's one copy point — callers
+  // reach storage only through here, at the pipeline's end.
+  if (batch.dense) return col.Slice(batch.begin, batch.end - batch.begin);
+  return col.Take(batch.sel);
+}
+
+}  // namespace vertexica
+
+#endif  // VERTEXICA_EXEC_BATCH_H_

@@ -9,7 +9,9 @@ ExecKnobs ExecKnobs::Capture() {
   knobs.encoding = AmbientEncodingMode();
   knobs.merge_join = MergeJoinEnabled();
   knobs.frontier = AmbientFrontierMode();
+  knobs.vectorized = VectorizedEnabled();
   knobs.cancel = AmbientCancelToken();
+  knobs.kernel_stats = AmbientKernelStats();
   return knobs;
 }
 

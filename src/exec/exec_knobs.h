@@ -1,8 +1,8 @@
 /// \file exec_knobs.h
-/// \brief Capture/install of the four ambient execution knobs as one value.
+/// \brief Capture/install of the ambient execution knobs as one value.
 ///
 /// The executor's tuning state (thread count, shard count, encoding mode,
-/// merge-join toggle) lives in per-knob thread-locals so it can be scoped
+/// merge-join and vectorized toggles) lives in per-knob thread-locals so it can be scoped
 /// per request. That design has one sharp edge: a task handed to a
 /// ThreadPool worker runs on a thread whose locals are all unset, so every
 /// fan-out site has to re-install each knob by hand — PR 5's coordinator
@@ -17,8 +17,10 @@
 #include "common/cancel.h"
 #include "common/logging.h"
 #include "exec/frontier.h"
+#include "exec/kernel_stats.h"
 #include "exec/merge_join.h"
 #include "exec/parallel.h"
+#include "exec/vectorized.h"
 #include "storage/encoding.h"
 #include "storage/partition.h"
 
@@ -37,11 +39,18 @@ struct ExecKnobs {
   EncodingMode encoding = EncodingMode::kAuto;
   bool merge_join = true;
   FrontierMode frontier = FrontierMode::kAuto;
+  bool vectorized = true;
   /// The run's cancellation/deadline token (common/cancel.h). Not a tuning
   /// knob, but it rides the same capture/install plumbing so pool tasks
   /// observe the submitting request's cancellation — a null token (the
   /// default) never fires.
   CancelToken cancel;
+  /// The run's kernel-counter block (exec/kernel_stats.h); nullptr disables
+  /// counting. Rides the knob plumbing so morsel workers report into the
+  /// submitting run's block — safe to share across pool threads because the
+  /// block is all relaxed atomics (unlike JoinPathStats, which is installed
+  /// per dispatching thread only; see api/backends.cc).
+  KernelStats* kernel_stats = nullptr;
 
   /// Resolves the calling thread's ambient knobs (thread-local override →
   /// process default → environment → fallback, per knob).
@@ -50,7 +59,8 @@ struct ExecKnobs {
   bool operator==(const ExecKnobs& other) const {
     return threads == other.threads && shards == other.shards &&
            encoding == other.encoding && merge_join == other.merge_join &&
-           frontier == other.frontier && cancel == other.cancel;
+           frontier == other.frontier && vectorized == other.vectorized &&
+           cancel == other.cancel && kernel_stats == other.kernel_stats;
   }
   bool operator!=(const ExecKnobs& other) const { return !(*this == other); }
 };
@@ -71,7 +81,9 @@ class ScopedExecKnobs {
         encoding_(knobs.encoding),
         merge_join_(knobs.merge_join),
         frontier_(knobs.frontier),
-        cancel_(knobs.cancel) {
+        vectorized_(knobs.vectorized),
+        cancel_(knobs.cancel),
+        kernel_stats_(knobs.kernel_stats) {
     VX_DCHECK(ExecKnobs::Capture() == knobs)
         << "ScopedExecKnobs: installed knobs do not round-trip through "
            "Capture (a knob is missing from the scoped installers?)";
@@ -86,7 +98,9 @@ class ScopedExecKnobs {
   ScopedEncodingMode encoding_;
   ScopedMergeJoin merge_join_;
   ScopedFrontierMode frontier_;
+  ScopedVectorized vectorized_;
   ScopedCancelToken cancel_;
+  ScopedKernelStats kernel_stats_;
 };
 
 }  // namespace vertexica

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/kernel_stats.h"
+
 namespace vertexica {
 
 namespace {
@@ -94,21 +96,26 @@ std::optional<ColumnPredicate> MatchComparison(const BinaryExpr& cmp,
   return ColumnPredicate{col->name(), resolved, lit->value()};
 }
 
-void ExtractConjuncts(const ExprPtr& expr, const Schema& schema,
-                      std::vector<ColumnPredicate>* out) {
+void SplitConjuncts(const ExprPtr& expr, const Schema& schema,
+                    PredicateConjuncts* out) {
   const auto* binary = dynamic_cast<const BinaryExpr*>(expr.get());
-  if (binary == nullptr) return;
-  if (binary->op() == BinaryOp::kAnd) {
-    ExtractConjuncts(binary->left(), schema, out);
-    ExtractConjuncts(binary->right(), schema, out);
+  if (binary != nullptr && binary->op() == BinaryOp::kAnd) {
+    SplitConjuncts(binary->left(), schema, out);
+    SplitConjuncts(binary->right(), schema, out);
     return;
   }
-  if (auto pred = MatchComparison(*binary, schema)) {
-    out->push_back(*std::move(pred));
+  if (binary != nullptr) {
+    if (auto pred = MatchComparison(*binary, schema)) {
+      out->pushable.push_back(*std::move(pred));
+      return;
+    }
   }
+  out->residual.push_back(expr);
 }
 
-bool ApplyCompareOp(CompareOp op, int cmp) {
+}  // namespace
+
+bool CompareOpMatches(CompareOp op, int cmp) {
   switch (op) {
     case CompareOp::kEq:
       return cmp == 0;
@@ -126,12 +133,15 @@ bool ApplyCompareOp(CompareOp op, int cmp) {
   return false;
 }
 
-}  // namespace
-
 std::vector<ColumnPredicate> ExtractPushdownPredicates(
     const ExprPtr& predicate, const Schema& schema) {
-  std::vector<ColumnPredicate> out;
-  ExtractConjuncts(predicate, schema, &out);
+  return SplitPredicateConjuncts(predicate, schema).pushable;
+}
+
+PredicateConjuncts SplitPredicateConjuncts(const ExprPtr& predicate,
+                                           const Schema& schema) {
+  PredicateConjuncts out;
+  SplitConjuncts(predicate, schema, &out);
   return out;
 }
 
@@ -187,7 +197,7 @@ void SelectMatchingRows(const Column& column, CompareOp op,
     case DataType::kInt64: {
       const int64_t lit = literal.int64_value();
       auto matches = [&](int64_t v) {
-        return ApplyCompareOp(op, v < lit ? -1 : (v > lit ? 1 : 0));
+        return CompareOpMatches(op, v < lit ? -1 : (v > lit ? 1 : 0));
       };
       if (column.rle_runs() != nullptr) {
         scan_runs(matches);
@@ -206,11 +216,11 @@ void SelectMatchingRows(const Column& column, CompareOp op,
       const int lit = literal.bool_value() ? 1 : 0;
       if (column.rle_runs() != nullptr) {
         scan_runs([&](int64_t v) {
-          return ApplyCompareOp(op, (v != 0 ? 1 : 0) - lit);
+          return CompareOpMatches(op, (v != 0 ? 1 : 0) - lit);
         });
         return;
       }
-      auto matches = [&](int v) { return ApplyCompareOp(op, v - lit); };
+      auto matches = [&](int v) { return CompareOpMatches(op, v - lit); };
       const auto& v = column.bools();
       for (int64_t i = begin; i < end; ++i) {
         if (matches(v[static_cast<size_t>(i)] != 0 ? 1 : 0) &&
@@ -224,7 +234,7 @@ void SelectMatchingRows(const Column& column, CompareOp op,
       const double lit = literal.double_value();
       const auto& v = column.doubles();
       for (int64_t i = begin; i < end; ++i) {
-        if (ApplyCompareOp(op, TotalOrderCompareDoubles(
+        if (CompareOpMatches(op, TotalOrderCompareDoubles(
                                    v[static_cast<size_t>(i)], lit)) &&
             !(has_nulls && column.IsNull(i))) {
           out->push_back(i);
@@ -240,7 +250,7 @@ void SelectMatchingRows(const Column& column, CompareOp op,
         for (size_t k = 0; k < dict->dictionary.size(); ++k) {
           const int cmp = dict->dictionary[k].compare(lit);
           entry_matches[k] =
-              ApplyCompareOp(op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0)) ? 1 : 0;
+              CompareOpMatches(op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0)) ? 1 : 0;
         }
         for (int64_t i = begin; i < end; ++i) {
           if (entry_matches[static_cast<size_t>(
@@ -254,7 +264,7 @@ void SelectMatchingRows(const Column& column, CompareOp op,
       const auto& v = column.strings();
       for (int64_t i = begin; i < end; ++i) {
         const int cmp = v[static_cast<size_t>(i)].compare(lit);
-        if (ApplyCompareOp(op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0)) &&
+        if (CompareOpMatches(op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0)) &&
             !(has_nulls && column.IsNull(i))) {
           out->push_back(i);
         }
@@ -276,16 +286,20 @@ Result<std::optional<Table>> FilterOp::Next() {
       return Status::TypeError("Filter predicate must be BOOL: " +
                                predicate_->ToString());
     }
+    NoteMaterialized(mask);  // the per-batch mask the fused path avoids
     std::vector<int64_t> selected;
     selected.reserve(static_cast<size_t>(batch->num_rows()));
     for (int64_t i = 0; i < batch->num_rows(); ++i) {
       if (!mask.IsNull(i) && mask.GetBool(i)) selected.push_back(i);
     }
     if (selected.empty()) continue;  // fetch more input
+    NoteLegacyBatch();
     if (static_cast<int64_t>(selected.size()) == batch->num_rows()) {
       return std::optional<Table>(std::move(*batch));
     }
-    return std::optional<Table>(batch->Take(selected));
+    Table out = batch->Take(selected);
+    NoteMaterialized(out);
+    return std::optional<Table>(std::move(out));
   }
 }
 

@@ -36,6 +36,23 @@ std::vector<ColumnPredicate> ExtractPushdownPredicates(
 std::optional<ColumnPredicate> ExactColumnPredicate(const ExprPtr& predicate,
                                                     const Schema& schema);
 
+/// \brief The complete AND-decomposition of a predicate: the pushable
+/// conjuncts as ColumnPredicates and everything else verbatim.
+///
+/// ExtractPushdownPredicates answers "which conjuncts can also be checked
+/// early?" — an under-approximation. This answers the stronger question
+/// the fused selection-vector path (exec/vectorized.h) needs: "is the
+/// predicate *nothing but* pushable conjuncts?" When `residual` is empty,
+/// evaluating the pushable conjuncts and intersecting their matches is
+/// exactly the rows whose Kleene-AND mask is TRUE, so the expression
+/// interpreter can be bypassed entirely.
+struct PredicateConjuncts {
+  std::vector<ColumnPredicate> pushable;
+  std::vector<ExprPtr> residual;  ///< conjuncts the interpreter must run
+};
+PredicateConjuncts SplitPredicateConjuncts(const ExprPtr& predicate,
+                                           const Schema& schema);
+
 /// \brief Appends (ascending) the row ids in [begin, end) whose value
 /// satisfies `value <op> literal` to `out` — bit-identical to evaluating
 /// the comparison expression and keeping TRUE rows (NULL rows never match;
@@ -45,6 +62,12 @@ std::optional<ColumnPredicate> ExactColumnPredicate(const ExprPtr& predicate,
 void SelectMatchingRows(const Column& column, CompareOp op,
                         const Value& literal, int64_t begin, int64_t end,
                         std::vector<int64_t>* out);
+
+/// \brief `<op>` applied to a three-way comparison result (`cmp` < 0, 0,
+/// or > 0) — the single decision shared by SelectMatchingRows and the
+/// selection-refining kernels (exec/vectorized.h), so every encoded and
+/// plain evaluation path agrees on comparison semantics.
+bool CompareOpMatches(CompareOp op, int cmp);
 /// @}
 
 /// \brief Filters each input batch by a boolean predicate expression.

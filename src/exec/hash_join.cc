@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "exec/kernel_stats.h"
 #include "exec/operator.h"
 
 namespace vertexica {
@@ -38,6 +39,50 @@ uint64_t JoinKeyHash(const Table& t, const std::vector<int>& key_cols,
   uint64_t h = 0x12345678ULL;
   for (int c : key_cols) h = HashCombine(h, t.column(c).HashRow(row));
   return h;
+}
+
+void BatchJoinKeyHash(const Table& t, const std::vector<int>& key_cols,
+                      int64_t begin, int64_t end,
+                      std::vector<uint64_t>* hashes) {
+  const int64_t n = std::max<int64_t>(end - begin, 0);
+  // Seed matches JoinKeyHash; columns then fold in declaration order, so
+  // hashes[i] ends up exactly JoinKeyHash(t, key_cols, begin + i).
+  hashes->assign(static_cast<size_t>(n), 0x12345678ULL);
+  if (n == 0) return;
+  for (int c : key_cols) {
+    const Column& col = t.column(c);
+    const bool plain = col.rle_runs() == nullptr && col.dict() == nullptr &&
+                       col.null_count() == 0;
+    if (plain && col.type() == DataType::kInt64) {
+      const auto& v = col.ints();
+      for (int64_t i = 0; i < n; ++i) {
+        (*hashes)[static_cast<size_t>(i)] = HashCombine(
+            (*hashes)[static_cast<size_t>(i)],
+            HashInt64(static_cast<uint64_t>(
+                v[static_cast<size_t>(begin + i)])));
+      }
+      continue;
+    }
+    if (plain && col.type() == DataType::kDouble) {
+      const auto& v = col.doubles();
+      for (int64_t i = 0; i < n; ++i) {
+        const double d = v[static_cast<size_t>(begin + i)];
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        (*hashes)[static_cast<size_t>(i)] =
+            HashCombine((*hashes)[static_cast<size_t>(i)], HashInt64(bits));
+      }
+      continue;
+    }
+    // Encoded, nullable, or non-numeric keys: HashRow already evaluates on
+    // the representation (dictionary hash cache, NULL sentinel).
+    for (int64_t i = 0; i < n; ++i) {
+      (*hashes)[static_cast<size_t>(i)] = HashCombine(
+          (*hashes)[static_cast<size_t>(i)], col.HashRow(begin + i));
+    }
+  }
+  NoteBatchHashRows(n);
 }
 
 bool JoinKeyHasNull(const Table& t, const std::vector<int>& key_cols,

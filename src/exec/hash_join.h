@@ -30,6 +30,17 @@ const char* JoinTypeName(JoinType t);
 uint64_t JoinKeyHash(const Table& t, const std::vector<int>& key_cols,
                      int64_t row);
 
+/// \brief Hashes every row of [begin, end) into `hashes[i - begin]` —
+/// column-at-a-time over the key columns so plain non-NULL INT64/DOUBLE
+/// keys hash in a tight loop over the typed view. Values are byte-identical
+/// to calling JoinKeyHash per row (HashCombine is applied in key-column
+/// order for each row either way), so batched and per-row callers build
+/// compatible tables. Rows hashed here are reported to the ambient
+/// KernelStats.
+void BatchJoinKeyHash(const Table& t, const std::vector<int>& key_cols,
+                      int64_t begin, int64_t end,
+                      std::vector<uint64_t>* hashes);
+
 /// \brief True when any key column is NULL at `row` (SQL: never matches).
 bool JoinKeyHasNull(const Table& t, const std::vector<int>& key_cols,
                     int64_t row);

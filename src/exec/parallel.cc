@@ -5,11 +5,15 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/cache_sizing.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
+#include "exec/batch.h"
 #include "exec/filter.h"
+#include "exec/kernel_stats.h"
 #include "exec/merge_join.h"
 #include "exec/scan.h"
+#include "exec/vectorized.h"
 
 namespace vertexica {
 
@@ -93,9 +97,14 @@ Result<Table> ParallelCollect(std::shared_ptr<const Table> input,
 
   const auto num_morsels = static_cast<size_t>((rows + grain - 1) / grain);
   std::vector<Table> outputs(num_morsels);
+  // Captured on the submitting thread: pool workers have no ambient
+  // collector of their own, and counters must not depend on whether a
+  // morsel ran inline (threads=1 fast path above) or on the pool.
+  KernelStats* const kernel_stats = AmbientKernelStats();
   VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
       0, static_cast<size_t>(rows), static_cast<size_t>(grain),
       [&](size_t begin, size_t end) -> Status {
+        ScopedKernelStats stats_scope(kernel_stats);
         if (prune != nullptr && prune(static_cast<int64_t>(begin),
                                       static_cast<int64_t>(end))) {
           outputs[begin / static_cast<size_t>(grain)] = Table(out_schema);
@@ -130,16 +139,99 @@ Result<Table> ParallelCollect(Table input, const MorselPlanFactory& make_plan,
                          make_plan, nullptr, options);
 }
 
+namespace {
+
+/// Morsel driver of the fused σ→π path (exec/vectorized.h): evaluates the
+/// compiled pipeline's conjuncts into a selection-vector Batch per morsel
+/// and materializes exactly one output table per morsel, concatenated in
+/// morsel order. Morsel boundaries and merge order are identical to
+/// ParallelCollect's, so the result is bit-identical to the interpreter
+/// path at any thread count.
+Result<Table> RunFusedPipeline(const std::shared_ptr<const Table>& input,
+                               const FusedPipelinePlan& plan,
+                               const MorselPruneFn& prune,
+                               const ParallelOptions& options) {
+  const int64_t rows = input->num_rows();
+  const int64_t grain = options.ResolvedGrain();
+  auto run_morsel = [&](int64_t begin, int64_t end) -> Result<Table> {
+    Batch batch;
+    batch.source = input.get();
+    batch.begin = begin;
+    batch.end = begin;  // pruned morsels stay an empty dense window
+    if (prune == nullptr || begin >= end || !prune(begin, end)) {
+      EvaluateConjuncts(*input, plan.conjuncts, begin, end, &batch);
+    }
+    return MaterializeFusedOutputs(plan, batch);
+  };
+
+  // Single morsel: inline, like ParallelCollect's fast path.
+  if (rows <= grain) return run_morsel(0, rows);
+
+  const auto num_morsels = static_cast<size_t>((rows + grain - 1) / grain);
+  std::vector<Table> outputs(num_morsels);
+  KernelStats* const kernel_stats = AmbientKernelStats();
+  VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
+      0, static_cast<size_t>(rows), static_cast<size_t>(grain),
+      [&](size_t begin, size_t end) -> Status {
+        ScopedKernelStats stats_scope(kernel_stats);
+        VX_ASSIGN_OR_RETURN(Table out,
+                            run_morsel(static_cast<int64_t>(begin),
+                                       static_cast<int64_t>(end)));
+        outputs[begin / static_cast<size_t>(grain)] = std::move(out);
+        return Status::OK();
+      },
+      options.ResolvedThreads()));
+  Table result(plan.schema);
+  for (const Table& out : outputs) {
+    VX_RETURN_NOT_OK(result.Append(out));
+  }
+  return result;
+}
+
+/// The identity projection (π = *) for the fused filter: every input
+/// column passed through as a column ref.
+FusedPipelinePlan IdentityPlan(const Table& input,
+                               std::vector<ColumnPredicate> conjuncts) {
+  FusedPipelinePlan plan;
+  plan.conjuncts = std::move(conjuncts);
+  plan.schema = input.schema();
+  for (int c = 0; c < input.num_columns(); ++c) {
+    FusedPipelinePlan::Output out;
+    out.name = input.schema().field(c).name;
+    out.source_column = c;
+    out.type = input.schema().field(c).type;
+    plan.outputs.push_back(std::move(out));
+  }
+  return plan;
+}
+
+}  // namespace
+
 Result<Table> ParallelFilter(std::shared_ptr<const Table> input,
                              const ExprPtr& predicate,
                              const ParallelOptions& options) {
   MorselPruneFn prune = MakeZonePrune(
       input, ExtractPushdownPredicates(predicate, input->schema()));
 
-  // Encoded fast path: a predicate that *is* one pushable comparison is
-  // evaluated straight on the column representation (whole RLE runs /
-  // dictionary entries, see SelectMatchingRows) instead of through the
-  // expression interpreter — same rows, same order, no decode.
+  // Fused selection-vector path: a predicate that decomposes *completely*
+  // into pushable conjuncts evaluates conjunct-at-a-time into a selection
+  // vector (encoded-aware first pass, tight typed refinement passes) and
+  // gathers survivors once — no mask column, no per-operator tables.
+  if (VectorizedEnabled() && input->num_columns() > 0) {
+    PredicateConjuncts split =
+        SplitPredicateConjuncts(predicate, input->schema());
+    if (split.residual.empty() && !split.pushable.empty()) {
+      return RunFusedPipeline(
+          input, IdentityPlan(*input, std::move(split.pushable)), prune,
+          options);
+    }
+  }
+
+  // Encoded fast path (also the `vectorized=off` path for one conjunct): a
+  // predicate that *is* one pushable comparison is evaluated straight on
+  // the column representation (whole RLE runs / dictionary entries, see
+  // SelectMatchingRows) instead of through the expression interpreter —
+  // same rows, same order, no decode.
   if (const auto exact = ExactColumnPredicate(predicate, input->schema())) {
     const Column* col = input->ColumnByName(exact->column);
     VX_CHECK(col != nullptr);  // ExactColumnPredicate validated the schema
@@ -149,9 +241,11 @@ Result<Table> ParallelFilter(std::shared_ptr<const Table> input,
         rows == 0 ? size_t{0}
                   : static_cast<size_t>((rows + grain - 1) / grain);
     std::vector<Table> outputs(num_morsels);
+    KernelStats* const kernel_stats = AmbientKernelStats();
     VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
         0, static_cast<size_t>(rows), static_cast<size_t>(grain),
         [&](size_t begin, size_t end) -> Status {
+          ScopedKernelStats stats_scope(kernel_stats);
           std::vector<int64_t> selected;
           if (prune == nullptr || !prune(static_cast<int64_t>(begin),
                                          static_cast<int64_t>(end))) {
@@ -159,8 +253,10 @@ Result<Table> ParallelFilter(std::shared_ptr<const Table> input,
                                static_cast<int64_t>(begin),
                                static_cast<int64_t>(end), &selected);
           }
-          outputs[begin / static_cast<size_t>(grain)] =
-              input->Take(selected);
+          Table out = input->Take(selected);
+          NoteMaterialized(out);
+          NoteLegacyBatch();
+          outputs[begin / static_cast<size_t>(grain)] = std::move(out);
           return Status::OK();
         },
         options.ResolvedThreads()));
@@ -183,6 +279,14 @@ Result<Table> ParallelFilter(std::shared_ptr<const Table> input,
 Result<Table> ParallelProject(std::shared_ptr<const Table> input,
                               const std::vector<ProjectionSpec>& outputs,
                               const ParallelOptions& options) {
+  // Pure column-ref/literal projections slice (dense morsels never gather)
+  // straight off the source — the interpreter would copy each column per
+  // batch through Evaluate.
+  if (VectorizedEnabled()) {
+    if (auto plan = CompileFusedPipeline(*input, nullptr, outputs)) {
+      return RunFusedPipeline(input, *plan, nullptr, options);
+    }
+  }
   return ParallelCollect(
       std::move(input),
       [&outputs](OperatorPtr source) -> Result<OperatorPtr> {
@@ -198,6 +302,14 @@ Result<Table> ParallelFilterProject(std::shared_ptr<const Table> input,
                                     const ParallelOptions& options) {
   MorselPruneFn prune = MakeZonePrune(
       input, ExtractPushdownPredicates(predicate, input->schema()));
+  // The tentpole shape: σ→π fused over selection vectors, one
+  // materialization per morsel at the pipeline's end instead of a scan
+  // slice + mask + filter output + projection output.
+  if (VectorizedEnabled()) {
+    if (auto plan = CompileFusedPipeline(*input, predicate, outputs)) {
+      return RunFusedPipeline(input, *plan, prune, options);
+    }
+  }
   return ParallelCollect(
       std::move(input),
       [&predicate, &outputs](OperatorPtr source) -> Result<OperatorPtr> {
@@ -212,17 +324,23 @@ Result<Table> ParallelFilterProject(std::shared_ptr<const Table> input,
 namespace {
 
 /// Ceiling on the number of independent build-side hash partitions.
-constexpr int64_t kMaxJoinPartitions = 64;
+constexpr int kMaxJoinPartitions = 64;
 
-/// Partition count for a build side of `rows`: one partition per morsel's
-/// worth of build rows, clamped to [1, 64], so tiny builds stop paying
-/// 64-way scatter/assemble overhead. Partitioning stays hash-based and the
-/// count depends only on the row count — per-hash chains are assembled in
+/// Bytes one build key occupies in a partition's index: the scattered
+/// (hash, row) pair plus the amortized node/bucket overhead of the
+/// per-partition chain map.
+constexpr int64_t kJoinBuildBytesPerKey = 48;
+
+/// Partition count for a build side of `rows`: radix-partitioned so each
+/// partition's index stays within one cache budget (common/cache_sizing.h)
+/// while it is built, clamped to [1, 64] so tiny builds stop paying 64-way
+/// scatter/assemble overhead. Partitioning stays hash-based and the count
+/// depends only on the row count — per-hash chains are assembled in
 /// chunk-then-row order either way, so match order (and results) are
 /// identical at any thread count *and* any partition count.
 size_t JoinPartitionsFor(int64_t rows) {
-  return static_cast<size_t>(std::clamp<int64_t>(
-      rows / kDefaultMorselRows, int64_t{1}, kMaxJoinPartitions));
+  return static_cast<size_t>(CacheSizedPartitionCount(
+      rows, kJoinBuildBytesPerKey, kMaxJoinPartitions));
 }
 
 struct JoinBuildIndex {
@@ -265,15 +383,28 @@ Result<Table> ParallelHashJoin(const Table& probe, const Table& build,
                       : static_cast<size_t>((build_rows + grain - 1) / grain);
   std::vector<std::vector<std::vector<std::pair<uint64_t, int64_t>>>> scatter(
       build_chunks);
+  // Captured outside the fan-out: the knob and collector are thread-local
+  // on the submitting thread, not on pool workers.
+  const bool vectorized = VectorizedEnabled();
+  KernelStats* const kernel_stats = AmbientKernelStats();
   VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
       0, static_cast<size_t>(build_rows), static_cast<size_t>(grain),
       [&](size_t begin, size_t end) {
+        ScopedKernelStats stats_scope(kernel_stats);
         auto& buckets = scatter[begin / static_cast<size_t>(grain)];
         buckets.resize(partitions);
+        std::vector<uint64_t> hashes;
+        if (vectorized) {
+          BatchJoinKeyHash(build, build_cols, static_cast<int64_t>(begin),
+                           static_cast<int64_t>(end), &hashes);
+        }
         for (auto i = static_cast<int64_t>(begin);
              i < static_cast<int64_t>(end); ++i) {
           if (JoinKeyHasNull(build, build_cols, i)) continue;
-          const uint64_t h = JoinKeyHash(build, build_cols, i);
+          const uint64_t h =
+              vectorized ? hashes[static_cast<size_t>(
+                               i - static_cast<int64_t>(begin))]
+                         : JoinKeyHash(build, build_cols, i);
           buckets[h % partitions].emplace_back(h, i);
         }
         return Status::OK();
@@ -309,13 +440,22 @@ Result<Table> ParallelHashJoin(const Table& probe, const Table& build,
   VX_RETURN_NOT_OK(ThreadPool::Default()->ParallelFor(
       0, static_cast<size_t>(probe_rows), static_cast<size_t>(grain),
       [&](size_t begin, size_t end) -> Status {
+        ScopedKernelStats stats_scope(kernel_stats);
         std::vector<int64_t> probe_idx;
         std::vector<int64_t> build_idx;
+        std::vector<uint64_t> hashes;
+        if (vectorized) {
+          BatchJoinKeyHash(probe, probe_cols, static_cast<int64_t>(begin),
+                           static_cast<int64_t>(end), &hashes);
+        }
         for (auto i = static_cast<int64_t>(begin);
              i < static_cast<int64_t>(end); ++i) {
           bool matched = false;
           if (!JoinKeyHasNull(probe, probe_cols, i)) {
-            const uint64_t h = JoinKeyHash(probe, probe_cols, i);
+            const uint64_t h =
+                vectorized ? hashes[static_cast<size_t>(
+                                 i - static_cast<int64_t>(begin))]
+                           : JoinKeyHash(probe, probe_cols, i);
             const auto& partition = index.partitions[h % partitions];
             auto it = partition.find(h);
             if (it != partition.end()) {

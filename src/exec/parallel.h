@@ -131,11 +131,15 @@ Result<Table> ParallelCollect(Table input, const MorselPlanFactory& make_plan,
 ///
 /// ParallelFilter and ParallelFilterProject extract the pushable conjuncts
 /// of the predicate (exec/filter.h) and skip morsels their zone maps rule
-/// out. When the predicate is exactly one pushable comparison,
-/// ParallelFilter additionally bypasses the expression interpreter and
-/// evaluates directly on the column representation — whole RLE runs and
-/// dictionary entries are tested once instead of per row, with no decode.
-/// Both paths return rows bit-identical to the serial FilterOp.
+/// out. Under the `vectorized` knob (exec/vectorized.h, on by default),
+/// predicates that decompose completely into pushable conjuncts — and
+/// column-ref/literal projections — run on the fused selection-vector path:
+/// conjunct-at-a-time evaluation into a selection vector (encoded-aware
+/// first pass, tight typed refinement passes) with one materialization per
+/// morsel at the pipeline's end. With the knob off (or an ineligible
+/// shape), the table-at-a-time interpreter path runs, with ParallelFilter's
+/// single-comparison encoded fast path still bypassing the interpreter.
+/// Every path returns rows bit-identical to the serial FilterOp/ProjectOp.
 /// @{
 Result<Table> ParallelFilter(std::shared_ptr<const Table> input,
                              const ExprPtr& predicate,

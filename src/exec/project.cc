@@ -1,5 +1,7 @@
 #include "exec/project.h"
 
+#include "exec/kernel_stats.h"
+
 namespace vertexica {
 
 ProjectOp::ProjectOp(OperatorPtr input, std::vector<ProjectionSpec> outputs)
@@ -25,6 +27,8 @@ Result<std::optional<Table>> ProjectOp::Next() {
     columns.push_back(std::move(col));
   }
   VX_ASSIGN_OR_RETURN(Table out, Table::Make(schema_, std::move(columns)));
+  NoteMaterialized(out);
+  NoteLegacyBatch();
   return std::optional<Table>(std::move(out));
 }
 

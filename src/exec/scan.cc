@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "exec/kernel_stats.h"
+
 namespace vertexica {
 
 namespace {
@@ -81,6 +83,7 @@ Result<std::optional<Table>> TableScan::Next() {
       continue;
     }
     Table batch = table_->Slice(offset_, count);
+    NoteMaterialized(batch);
     offset_ += count;
     return std::optional<Table>(std::move(batch));
   }

@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cache_sizing.h"
 #include "common/hash.h"
 #include "common/result.h"
 #include "storage/table.h"
@@ -91,7 +92,9 @@ class ScopedExecShards {
 /// at any shard count. `num_shards` must not exceed `base_partitions`.
 struct ShardingSpec {
   int num_shards = 1;
-  int base_partitions = 64;  ///< keep equal to the vertex-batching count
+  /// Keep equal to the vertex-batching count (the shared order-defining
+  /// constant in common/cache_sizing.h; audited in vertexica/coordinator.cc).
+  int base_partitions = kVertexBatchPartitions;
 
   /// \brief Shard owning base partition `p`: contiguous monotone blocks.
   int ShardOfPartition(int p) const {

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cache_sizing.h"
 #include "common/threadpool.h"
 #include "exec/operator.h"
 
@@ -67,8 +68,10 @@ struct TransformOptions {
   std::vector<int> sort_columns;
 };
 
-/// \brief Default "vertex batching" granularity (see TransformOptions).
-inline constexpr int kDefaultTransformPartitions = 64;
+/// \brief Default "vertex batching" granularity (see TransformOptions):
+/// the shared order-defining partition constant (common/cache_sizing.h),
+/// which sharded vertex layouts (storage/partition.h) pin too.
+inline constexpr int kDefaultTransformPartitions = kVertexBatchPartitions;
 
 /// \brief Resolved (workers, partitions) pair after applying the
 /// TransformOptions contract above. partitions >= workers >= 1.

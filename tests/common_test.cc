@@ -9,6 +9,7 @@
 #include <string_view>
 #include <thread>
 
+#include "common/cache_sizing.h"
 #include "common/cancel.h"
 #include "common/crc32.h"
 #include "common/fault_injection.h"
@@ -447,6 +448,32 @@ TEST(FaultInjectionTest, RearmResetsHitCount) {
   EXPECT_TRUE(HitSite("test.rearm").ok());
   EXPECT_FALSE(HitSite("test.rearm").ok());
   DisarmAllFaults();
+}
+
+TEST(CacheSizingTest, PartitionCountScalesWithWorkingSet) {
+  // One L2-sized budget per partition: below the budget → 1 partition.
+  EXPECT_EQ(CacheSizedPartitionCount(0, 48, 64), 1);
+  EXPECT_EQ(CacheSizedPartitionCount(1000, 48, 64), 1);
+  // Exactly three partitions' worth of working set (floor division).
+  const int64_t rows_3_parts = kCachePartitionBytes * 3 / 48;
+  EXPECT_EQ(CacheSizedPartitionCount(rows_3_parts, 48, 64), 3);
+  // Clamped to the caller's maximum, however large the build is.
+  EXPECT_EQ(CacheSizedPartitionCount(int64_t{1} << 40, 48, 64), 64);
+  EXPECT_EQ(CacheSizedPartitionCount(int64_t{1} << 40, 48, 16), 16);
+}
+
+TEST(CacheSizingTest, DegenerateBytesPerRowStaysValid) {
+  // bytes_per_row <= 0 is treated as 1, never a divide-by-zero or a
+  // zero-partition result.
+  EXPECT_EQ(CacheSizedPartitionCount(100, 0, 64), 1);
+  EXPECT_EQ(CacheSizedPartitionCount(100, -5, 64), 1);
+  EXPECT_GE(CacheSizedPartitionCount(int64_t{1} << 30, 0, 64), 1);
+}
+
+TEST(CacheSizingTest, VertexBatchConstantIsNotDerived) {
+  // The order-defining count is a constant of the dataflow; this pin keeps
+  // an accidental "tune it" change from silently reordering results.
+  EXPECT_EQ(kVertexBatchPartitions, 64);
 }
 
 }  // namespace

@@ -10,9 +10,12 @@
 #include "common/cancel.h"
 #include "common/random.h"
 #include "common/threadpool.h"
+#include "exec/exec_knobs.h"
+#include "exec/kernel_stats.h"
 #include "exec/merge_join.h"
 #include "exec/parallel.h"
 #include "exec/plan_builder.h"
+#include "exec/vectorized.h"
 #include "storage/sort.h"
 
 namespace vertexica {
@@ -999,6 +1002,270 @@ TEST(MergeJoinTest, OutputCarriesProbeOrder) {
   EXPECT_EQ(out->sort_order()[0].column, 0);
   EXPECT_TRUE(out->sort_order()[0].ascending);
   ASSERT_TRUE(TableSortedOnKeys(*out, {0}));
+}
+
+// ---------------------------------------------------------------------------
+// Fused selection-vector path (exec/vectorized.h): the `vectorized` knob is
+// a pure physical-plan swap, so every random σ/π/join/agg plan — NULLs,
+// NaN, strings, encoded columns — must produce *byte-identical* tables with
+// the knob on and off, at 1 and 8 threads.
+// ---------------------------------------------------------------------------
+
+/// Random wide table: k INT64 (runs, RLE-friendly), v INT64 (~10% NULL),
+/// x DOUBLE (~10% NULL, ~5% NaN), s STRING (low cardinality,
+/// dict-friendly), b BOOL (~10% NULL).
+Table FuzzTable(uint64_t seed, int64_t rows) {
+  Rng rng(seed);
+  const char* cities[] = {"bos", "nyc", "sfo", "chi"};
+  Table t(Schema({{"k", DataType::kInt64},
+                  {"v", DataType::kInt64},
+                  {"x", DataType::kDouble},
+                  {"s", DataType::kString},
+                  {"b", DataType::kBool}}));
+  int64_t run_key = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (rng.Bernoulli(0.02)) run_key = rng.UniformRange(0, 20);
+    const double x = rng.Bernoulli(0.05)
+                         ? std::numeric_limits<double>::quiet_NaN()
+                         : rng.NextDouble() * 200 - 100;
+    VX_CHECK_OK(t.AppendRow(
+        {Value(run_key),
+         rng.Bernoulli(0.1) ? Value::Null()
+                            : Value(rng.UniformRange(-100, 100)),
+         rng.Bernoulli(0.1) ? Value::Null() : Value(x),
+         Value(std::string(cities[rng.Uniform(4)])),
+         rng.Bernoulli(0.1) ? Value::Null() : Value(rng.Bernoulli(0.5))}));
+  }
+  return t;
+}
+
+/// A random predicate: 1-3 pushable conjuncts over the FuzzTable columns,
+/// plus (with probability ~1/4) a computed conjunct that forces the
+/// interpreter fallback — the fallback must agree with itself too.
+ExprPtr FuzzPredicate(Rng* rng) {
+  auto conjunct = [&]() -> ExprPtr {
+    switch (rng->Uniform(5)) {
+      case 0:
+        return Ge(Col("k"), Lit(rng->UniformRange(0, 20)));
+      case 1:
+        return Lt(Col("v"), Lit(rng->UniformRange(-50, 50)));
+      case 2:
+        return Gt(Col("x"), Lit(rng->NextDouble() * 100 - 50));
+      case 3:
+        return Eq(Col("s"), Lit(std::string(rng->Bernoulli(0.5) ? "bos"
+                                                                : "nyc")));
+      default:
+        return Eq(Col("b"), Lit(rng->Bernoulli(0.5)));
+    }
+  };
+  ExprPtr pred = conjunct();
+  const uint64_t extra = rng->Uniform(3);
+  for (uint64_t i = 0; i < extra; ++i) pred = And(std::move(pred), conjunct());
+  if (rng->Bernoulli(0.25)) {
+    // Not pushable: exercises the residual/interpreter path under both
+    // knob settings.
+    pred = And(std::move(pred),
+               Ge(Mul(Col("v"), Lit(int64_t{1})), Lit(int64_t{-200})));
+  }
+  return pred;
+}
+
+/// Random projection: column refs in random order, a literal output, and
+/// (with probability ~1/4) a computed column that forces the fallback.
+std::vector<ProjectionSpec> FuzzProjection(Rng* rng) {
+  std::vector<ProjectionSpec> proj;
+  const char* cols[] = {"k", "v", "x", "s", "b"};
+  for (const char* c : cols) {
+    if (rng->Bernoulli(0.7)) proj.push_back({c, Col(c)});
+  }
+  if (proj.empty()) proj.push_back({"k", Col("k")});
+  if (rng->Bernoulli(0.5)) proj.push_back({"tag", Lit(int64_t{7})});
+  if (rng->Bernoulli(0.25)) {
+    proj.push_back({"v2", Mul(Col("v"), Lit(int64_t{2}))});
+  }
+  return proj;
+}
+
+/// Runs `fn` under the given knob settings and returns its table.
+template <typename Fn>
+Table RunWithKnobs(bool vectorized, int threads, const Fn& fn) {
+  ScopedVectorized vec(vectorized);
+  ScopedExecThreads scoped_threads(threads);
+  auto result = fn();
+  VX_CHECK_OK(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+TEST(VectorizedTest, RandomSigmaPiPlansBitIdenticalOnVsOff) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed * 977);
+    Table plain = FuzzTable(seed, 700);
+    Table encoded = plain;
+    encoded.EncodeColumns(EncodingMode::kForce);
+    const ExprPtr pred = FuzzPredicate(&rng);
+    const auto proj = FuzzProjection(&rng);
+    for (const Table& t : {plain, encoded}) {
+      const auto shared = std::make_shared<const Table>(t);
+      ParallelOptions opts;
+      opts.morsel_rows = 97;  // force many morsels
+      auto run = [&] {
+        return ParallelFilterProject(shared, pred, proj, opts);
+      };
+      const Table reference = RunWithKnobs(false, 1, run);
+      for (int threads : {1, 8}) {
+        for (bool vectorized : {false, true}) {
+          const Table out = RunWithKnobs(vectorized, threads, run);
+          EXPECT_TRUE(out.Equals(reference))
+              << "seed=" << seed << " vectorized=" << vectorized
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(VectorizedTest, FilterAndProjectKernelsMatchAcrossKnob) {
+  for (uint64_t seed = 100; seed < 106; ++seed) {
+    Rng rng(seed);
+    Table t = FuzzTable(seed, 500);
+    if (seed % 2 == 0) t.EncodeColumns(EncodingMode::kForce);
+    const auto shared = std::make_shared<const Table>(t);
+    const ExprPtr pred = FuzzPredicate(&rng);
+    const auto proj = FuzzProjection(&rng);
+    ParallelOptions opts;
+    opts.morsel_rows = 61;
+    const Table filter_ref =
+        RunWithKnobs(false, 1, [&] { return ParallelFilter(shared, pred, opts); });
+    const Table project_ref =
+        RunWithKnobs(false, 1, [&] { return ParallelProject(shared, proj, opts); });
+    for (int threads : {1, 8}) {
+      EXPECT_TRUE(RunWithKnobs(true, threads, [&] {
+                    return ParallelFilter(shared, pred, opts);
+                  }).Equals(filter_ref))
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_TRUE(RunWithKnobs(true, threads, [&] {
+                    return ParallelProject(shared, proj, opts);
+                  }).Equals(project_ref))
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(VectorizedTest, JoinAndAggregatePlansBitIdenticalOnVsOff) {
+  // The batched hash kernel must hash byte-identically to JoinKeyHash, and
+  // aggregation downstream of fused pipelines must see identical input.
+  const Table probe = FuzzTable(201, 600);
+  Table build = FuzzTable(202, 250);
+  build.EncodeColumns(EncodingMode::kForce);
+  const std::vector<AggSpec> aggs = {{AggOp::kCountStar, "", "n"},
+                                     {AggOp::kSum, "v", "sv"}};
+  ParallelOptions opts;
+  opts.morsel_rows = 83;
+  for (JoinType type :
+       {JoinType::kInner, JoinType::kLeft, JoinType::kSemi, JoinType::kAnti}) {
+    const Table join_ref = RunWithKnobs(false, 1, [&] {
+      return ParallelHashJoin(probe, build, {"k", "s"}, {"k", "s"}, type,
+                              opts);
+    });
+    for (int threads : {1, 8}) {
+      for (bool vectorized : {false, true}) {
+        EXPECT_TRUE(RunWithKnobs(vectorized, threads, [&] {
+                      return ParallelHashJoin(probe, build, {"k", "s"},
+                                              {"k", "s"}, type, opts);
+                    }).Equals(join_ref))
+            << JoinTypeName(type) << " vectorized=" << vectorized
+            << " threads=" << threads;
+      }
+    }
+  }
+  const Table agg_ref = RunWithKnobs(false, 1, [&] {
+    return ParallelHashAggregate(probe, {"k"}, aggs, opts);
+  });
+  for (bool vectorized : {false, true}) {
+    EXPECT_TRUE(RunWithKnobs(vectorized, 8, [&] {
+                  return ParallelHashAggregate(probe, {"k"}, aggs, opts);
+                }).Equals(agg_ref))
+        << "vectorized=" << vectorized;
+  }
+}
+
+TEST(VectorizedTest, KnobResolutionOrder) {
+  // Same contract as the merge-join knob: scoped override beats the
+  // process default; -1 restores automatic resolution.
+  const bool ambient = VectorizedEnabled();
+  SetDefaultVectorized(0);
+  EXPECT_FALSE(VectorizedEnabled());
+  {
+    ScopedVectorized on(true);
+    EXPECT_TRUE(VectorizedEnabled());
+    {
+      ScopedVectorized off(false);
+      EXPECT_FALSE(VectorizedEnabled());
+    }
+    EXPECT_TRUE(VectorizedEnabled());
+  }
+  EXPECT_FALSE(VectorizedEnabled());
+  SetDefaultVectorized(-1);
+  EXPECT_EQ(VectorizedEnabled(), ambient);
+}
+
+TEST(VectorizedTest, ExecKnobsCaptureAndInstallRoundTrip) {
+  KernelStats block;
+  ScopedVectorized off(false);
+  ScopedKernelStats stats(&block);
+  const ExecKnobs captured = ExecKnobs::Capture();
+  EXPECT_FALSE(captured.vectorized);
+  EXPECT_EQ(captured.kernel_stats, &block);
+  Status st = ThreadPool::Default()->ParallelFor(
+      0, 1, 1,
+      [&](std::size_t, std::size_t) -> Status {
+        ScopedExecKnobs install(captured);
+        if (VectorizedEnabled()) return Status::Internal("knob not installed");
+        if (AmbientKernelStats() != &block) {
+          return Status::Internal("collector not installed");
+        }
+        return Status::OK();
+      },
+      2);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(KernelStatsTest, CountersAreDeterministicAcrossThreadsAndPerScope) {
+  const Table t = FuzzTable(301, 2000);
+  const auto shared = std::make_shared<const Table>(t);
+  const ExprPtr pred = And(Ge(Col("k"), Lit(int64_t{3})),
+                           Lt(Col("v"), Lit(int64_t{40})));
+  const std::vector<ProjectionSpec> proj = {{"k", Col("k")}, {"v", Col("v")}};
+  ParallelOptions opts;
+  opts.morsel_rows = 128;
+  auto measure = [&](bool vectorized, int threads) {
+    KernelStats block;
+    ScopedKernelStats scope(&block);
+    ScopedVectorized vec(vectorized);
+    ScopedExecThreads scoped_threads(threads);
+    VX_CHECK_OK(ParallelFilterProject(shared, pred, proj, opts).status());
+    return Snapshot(block);
+  };
+  const KernelStatsSnapshot fused1 = measure(true, 1);
+  const KernelStatsSnapshot fused8 = measure(true, 8);
+  const KernelStatsSnapshot legacy1 = measure(false, 1);
+  const KernelStatsSnapshot legacy8 = measure(false, 8);
+  // Morsel boundaries don't depend on threads, so neither do the counters.
+  EXPECT_EQ(fused1.bytes_materialized, fused8.bytes_materialized);
+  EXPECT_EQ(fused1.fused_batches, fused8.fused_batches);
+  EXPECT_EQ(legacy1.bytes_materialized, legacy8.bytes_materialized);
+  EXPECT_EQ(legacy1.legacy_batches, legacy8.legacy_batches);
+  // The fused path exists to materialize less.
+  EXPECT_GT(fused1.fused_batches, 0);
+  EXPECT_EQ(fused1.legacy_batches, 0);
+  EXPECT_GT(legacy1.legacy_batches, 0);
+  EXPECT_LT(fused1.bytes_materialized, legacy1.bytes_materialized);
+  // Per-scope isolation: a fresh block starts at zero even though another
+  // run just counted (nothing is process-wide).
+  KernelStats fresh;
+  EXPECT_EQ(Snapshot(fresh).bytes_materialized, 0);
+  // And with no collector installed, counting is off entirely.
+  EXPECT_EQ(AmbientKernelStats(), nullptr);
 }
 
 TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
